@@ -1,0 +1,93 @@
+//===- bench/Common.h - Shared experiment-harness helpers ------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the table/figure regeneration binaries: running a
+/// workload under a mode, the CINT/CFP/SPEC averaging rows of the paper's
+/// tables, and simulated-seconds formatting (the paper reports wall-clock
+/// seconds of a 167 MHz UltraSPARC; we report simulated cycles scaled the
+/// same way so the tables read alike).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_BENCH_COMMON_H
+#define PP_BENCH_COMMON_H
+
+#include "prof/Session.h"
+#include "support/Format.h"
+#include "support/TableWriter.h"
+#include "workloads/Spec.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace bench {
+
+/// The paper's machine: 167 MHz. Simulated cycles / ClockHz = "seconds".
+inline constexpr double ClockHz = 167e6;
+
+inline double simSeconds(uint64_t Cycles) {
+  return double(Cycles) / ClockHz;
+}
+
+/// Runs \p Name at \p Scale under \p M with default options; aborts the
+/// bench on failure so broken runs cannot masquerade as results.
+inline prof::RunOutcome runWorkload(const workloads::WorkloadSpec &Spec,
+                                    prof::Mode M, int Scale = 1) {
+  auto Module = Spec.Build(Scale);
+  prof::SessionOptions Options;
+  Options.Config.M = M;
+  prof::RunOutcome Run = prof::runProfile(*Module, Options);
+  if (!Run.Result.Ok) {
+    std::fprintf(stderr, "workload %s failed under %s: %s\n",
+                 Spec.Name.c_str(), prof::modeName(M),
+                 Run.Result.Error.c_str());
+    std::abort();
+  }
+  return Run;
+}
+
+/// Accumulates per-benchmark values and emits the paper's three averaging
+/// rows (CINT95 Avg, CFP95 Avg, SPEC95 Avg), plus the "without go and gcc"
+/// row used by Tables 4 and 5.
+class SuiteAverager {
+public:
+  void add(const std::string &Name, bool IsFloat,
+           std::vector<double> Values) {
+    Rows.push_back(Row{Name, IsFloat, std::move(Values)});
+  }
+
+  std::vector<double> average(bool IncludeInt, bool IncludeFloat,
+                              bool ExcludeGoGcc = false) const {
+    std::vector<double> Sums;
+    size_t Count = 0;
+    for (const Row &R : Rows) {
+      if ((R.IsFloat && !IncludeFloat) || (!R.IsFloat && !IncludeInt))
+        continue;
+      if (ExcludeGoGcc && (R.Name == "099.go" || R.Name == "126.gcc"))
+        continue;
+      if (Sums.empty())
+        Sums.assign(R.Values.size(), 0);
+      for (size_t Index = 0; Index != R.Values.size(); ++Index)
+        Sums[Index] += R.Values[Index];
+      ++Count;
+    }
+    for (double &Sum : Sums)
+      Sum /= Count ? double(Count) : 1.0;
+    return Sums;
+  }
+
+private:
+  struct Row {
+    std::string Name;
+    bool IsFloat;
+    std::vector<double> Values;
+  };
+  std::vector<Row> Rows;
+};
+
+} // namespace bench
+} // namespace pp
+
+#endif // PP_BENCH_COMMON_H

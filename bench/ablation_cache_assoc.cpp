@@ -1,0 +1,68 @@
+//===- bench/ablation_cache_assoc.cpp - cache-geometry sensitivity --------------===//
+//
+// The paper measured one machine (16 KB direct-mapped L1 D). A natural
+// question for the reproduction: does the hot-path concentration of
+// misses survive different cache geometries, or is it an artifact of
+// direct mapping? This bench sweeps associativity 1/2/4 and reports the
+// total misses and the miss share of the hot paths under each.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "analysis/HotPaths.h"
+
+using namespace pp;
+using namespace pp::bench;
+using prof::Mode;
+
+int main() {
+  std::printf("Ablation: hot-path miss concentration vs D-cache "
+              "associativity (16 KB)\n\n");
+
+  TableWriter Table;
+  Table.setHeader({"Benchmark", "Miss 1-way", "Hot%", "Miss 2-way", "Hot%",
+                   "Miss 4-way", "Hot%"});
+  SuiteAverager Averager;
+
+  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+    std::vector<std::string> Row{Spec.Name};
+    std::vector<double> Values;
+    for (unsigned Assoc : {1u, 2u, 4u}) {
+      auto Module = Spec.Build(1);
+      prof::SessionOptions Options;
+      Options.Config.M = Mode::FlowHw;
+      Options.MachineCfg.DCache = hw::CacheConfig{16 * 1024, 32, Assoc};
+      prof::RunOutcome Run = prof::runProfile(*Module, Options);
+      if (!Run.Result.Ok) {
+        std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
+        return 1;
+      }
+      std::vector<analysis::PathRecord> Records =
+          analysis::collectPathRecords(Run);
+      analysis::HotPathAnalysis A = analysis::analyzeHotPaths(Records, 0.01);
+      double HotShare = A.TotalMisses == 0
+                            ? 0
+                            : 100.0 * double(A.Hot.Misses) /
+                                  double(A.TotalMisses);
+      Row.push_back(formatEng(double(A.TotalMisses)));
+      Row.push_back(formatString("%.0f%%", HotShare));
+      Values.push_back(double(A.TotalMisses));
+      Values.push_back(HotShare);
+    }
+    Table.addRow(Row);
+    Averager.add(Spec.Name, Spec.IsFloat, Values);
+  }
+  Table.addSeparator();
+  std::vector<double> Avg = Averager.average(true, true);
+  Table.addRow({"SPEC95 Avg", formatEng(Avg[0]),
+                formatString("%.0f%%", Avg[1]), formatEng(Avg[2]),
+                formatString("%.0f%%", Avg[3]), formatEng(Avg[4]),
+                formatString("%.0f%%", Avg[5])});
+  std::printf("%s", Table.render().c_str());
+  std::printf("\nExpected: associativity removes some conflict misses but "
+              "the\nconcentration of the remaining misses on a few hot "
+              "paths persists —\nthe phenomenon is about locality "
+              "structure, not about one cache design.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- bench/ablation_cct_sites.cpp - §4.1's site-distinction trade-off ---------===//
+//
+// "A space-precision trade-off in a CCT is whether to distinguish calls to
+// the same procedure from different call sites ... Distinguishing call
+// sites requires more space" (the paper measures 2-3x). This bench builds
+// both variants for every workload and compares node counts and heap
+// bytes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+using namespace pp;
+using namespace pp::bench;
+using prof::Mode;
+
+int main() {
+  std::printf("Ablation: call-site-distinguished CCT vs per-procedure "
+              "aggregation\n\n");
+
+  TableWriter Table;
+  Table.setHeader({"Benchmark", "Nodes/site", "Nodes/proc", "Bytes/site",
+                   "Bytes/proc", "Size ratio"});
+  SuiteAverager Averager;
+
+  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+    auto BySite = Spec.Build(1);
+    prof::SessionOptions SiteOptions;
+    SiteOptions.Config.M = Mode::Context;
+    prof::RunOutcome SiteRun = prof::runProfile(*BySite, SiteOptions);
+
+    auto ByProc = Spec.Build(1);
+    prof::SessionOptions ProcOptions;
+    ProcOptions.Config.M = Mode::Context;
+    ProcOptions.Config.DistinguishCallSites = false;
+    prof::RunOutcome ProcRun = prof::runProfile(*ByProc, ProcOptions);
+
+    if (!SiteRun.Result.Ok || !ProcRun.Result.Ok) {
+      std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
+      return 1;
+    }
+    double Ratio = double(SiteRun.Tree->heapBytes()) /
+                   double(ProcRun.Tree->heapBytes());
+    Table.addRow({Spec.Name, std::to_string(SiteRun.Tree->numRecords()),
+                  std::to_string(ProcRun.Tree->numRecords()),
+                  std::to_string(SiteRun.Tree->heapBytes()),
+                  std::to_string(ProcRun.Tree->heapBytes()),
+                  formatString("%.2f", Ratio)});
+    Averager.add(Spec.Name, Spec.IsFloat, {Ratio});
+  }
+  Table.addSeparator();
+  Table.addRow({"CINT95 Avg", "", "", "", "",
+                formatString("%.2f", Averager.average(true, false)[0])});
+  Table.addRow({"CFP95 Avg", "", "", "", "",
+                formatString("%.2f", Averager.average(false, true)[0])});
+  Table.addRow({"SPEC95 Avg", "", "", "", "",
+                formatString("%.2f", Averager.average(true, true)[0])});
+  std::printf("%s", Table.render().c_str());
+  std::printf("\nPaper's shape: distinguishing call sites grows the CCT "
+              "(the paper\nreports 2-3x for the profile data structure) in "
+              "exchange for the\nper-site precision path profiling needs. "
+              "The growth concentrates in\nthe call-heavy integer codes "
+              "whose procedures call the same helpers\nfrom many sites; "
+              "the single-call-site FP loop nests are unaffected\n(their "
+              "per-procedure records are marginally smaller, ratio just "
+              "under 1).\n");
+  return 0;
+}

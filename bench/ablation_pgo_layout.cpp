@@ -1,0 +1,68 @@
+//===- bench/ablation_pgo_layout.cpp - the paper's compiler application ---------===//
+//
+// The summary's promise, measured: feed each workload's path profile to
+// the hot-path-first layout pass and re-run the uninstrumented program.
+// Loop-dominated codes barely move (their hot paths are already compact);
+// branchy codes with interleaved cold blocks gain. This is the smallest
+// instance of "compilers can use path profiles ... as an empirical basis
+// for making optimization tradeoffs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "opt/Layout.h"
+
+using namespace pp;
+using namespace pp::bench;
+using prof::Mode;
+
+int main() {
+  std::printf("Ablation: profile-guided hot-path-first block layout\n\n");
+
+  TableWriter Table;
+  Table.setHeader({"Benchmark", "Reordered", "IC miss before", "after",
+                   "Cycles before", "after", "Speedup"});
+  SuiteAverager Averager;
+
+  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+    auto M = Spec.Build(1);
+    prof::SessionOptions Base;
+    Base.Config.M = Mode::None;
+    prof::RunOutcome Before = prof::runProfile(*M, Base);
+
+    prof::SessionOptions FlowOptions;
+    FlowOptions.Config.M = Mode::FlowHw;
+    prof::RunOutcome Profile = prof::runProfile(*M, FlowOptions);
+    if (!Profile.Result.Ok) {
+      std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
+      return 1;
+    }
+    opt::LayoutResult Layout = opt::layoutHotPathsFirst(*M, Profile);
+
+    prof::RunOutcome After = prof::runProfile(*M, Base);
+    if (!After.Result.Ok ||
+        After.Result.ExitValue != Before.Result.ExitValue) {
+      std::fprintf(stderr, "%s behaviour changed!\n", Spec.Name.c_str());
+      return 1;
+    }
+    double Speedup = double(Before.total(hw::Event::Cycles)) /
+                     double(After.total(hw::Event::Cycles));
+    Table.addRow({Spec.Name, std::to_string(Layout.FunctionsReordered),
+                  std::to_string(Before.total(hw::Event::ICacheMiss)),
+                  std::to_string(After.total(hw::Event::ICacheMiss)),
+                  std::to_string(Before.total(hw::Event::Cycles)),
+                  std::to_string(After.total(hw::Event::Cycles)),
+                  formatString("%.3f", Speedup)});
+    Averager.add(Spec.Name, Spec.IsFloat, {Speedup});
+  }
+  Table.addSeparator();
+  Table.addRow({"SPEC95 Avg", "", "", "", "", "",
+                formatString("%.3f", Averager.average(true, true)[0])});
+  std::printf("%s", Table.render().c_str());
+  std::printf("\nThe workloads are small enough to fit the I-cache, so "
+              "gains here are\nmodest; examples/hot_path_optimizer builds "
+              "a program with I-cache\npressure where the same pass "
+              "removes ~99%% of I-cache misses.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- bench/ablation_sampling_vs_cct.cpp - §7.2's comparison -------------------===//
+//
+// Call-path sampling (Goldberg/Hall) vs the CCT. The paper's criticisms:
+// sampling walks the whole stack per sample, its log grows without bound,
+// and it only *approximates* context frequencies. This bench measures all
+// three against the exhaustive bounded CCT, per workload: sample-log
+// bytes vs CCT heap bytes, contexts discovered vs contexts that exist,
+// and the stack frames walked.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "prof/SamplingProfiler.h"
+
+using namespace pp;
+using namespace pp::bench;
+
+int main() {
+  std::printf("Ablation: call-path sampling (Goldberg/Hall, §7.2) vs the "
+              "CCT\n(sampling interval: 2000 simulated cycles)\n\n");
+
+  TableWriter Table;
+  Table.setHeader({"Benchmark", "Samples", "LogBytes", "CctBytes",
+                   "CtxFound", "CtxTotal", "Found%", "FramesWalked"});
+  SuiteAverager Averager;
+
+  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+    // Sampling run: uninstrumented program + sampling tracer.
+    auto Module = Spec.Build(1);
+    hw::Machine Machine;
+    prof::SamplingProfiler Sampler(Machine, 2000);
+    vm::Vm VM(*Module, Machine);
+    VM.setTracer(&Sampler);
+    vm::RunResult Result = VM.run();
+    if (!Result.Ok) {
+      std::fprintf(stderr, "%s failed: %s\n", Spec.Name.c_str(),
+                   Result.Error.c_str());
+      return 1;
+    }
+
+    // CCT run for the ground-truth context set.
+    prof::RunOutcome Ctx = runWorkload(Spec, prof::Mode::Context);
+    size_t CtxTotal = Ctx.Tree->numRecords() - 1; // root excluded
+    size_t CtxFound = Sampler.numDistinctContexts();
+    double FoundShare =
+        CtxTotal == 0 ? 0 : 100.0 * double(CtxFound) / double(CtxTotal);
+
+    Table.addRow({Spec.Name, std::to_string(Sampler.numSamples()),
+                  std::to_string(Sampler.logBytes()),
+                  std::to_string(Ctx.Tree->heapBytes()),
+                  std::to_string(CtxFound), std::to_string(CtxTotal),
+                  formatString("%.0f%%", FoundShare),
+                  std::to_string(Sampler.framesWalked())});
+    Averager.add(Spec.Name, Spec.IsFloat,
+                 {double(Sampler.logBytes()),
+                  double(Ctx.Tree->heapBytes()), FoundShare});
+  }
+  Table.addSeparator();
+  std::vector<double> Avg = Averager.average(true, true);
+  Table.addRow({"SPEC95 Avg", "", formatString("%.0f", Avg[0]),
+                formatString("%.0f", Avg[1]), "", "",
+                formatString("%.0f%%", Avg[2]), ""});
+  std::printf("%s", Table.render().c_str());
+
+  std::printf(
+      "\nPaper's shape: the sample log grows with run length while the CCT "
+      "is\nbounded by program structure (re-run with --scale and the gap "
+      "widens);\nsampling misses the rarely-active contexts the CCT "
+      "records exhaustively,\nand pays a stack walk on every sample. One "
+      "instrumented execution\nreplaces the whole apparatus (§7.2).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- bench/ablation_statement_level.cpp - §6.4.3's argument -------------------===//
+//
+// "Collecting and reporting cache miss measurements at the statement
+// level ... does not alleviate this problem. In these benchmarks, the
+// basic blocks along hot paths execute along an average of 16 different
+// paths." This bench computes the blocks-to-paths ambiguity over the
+// suite: if a block lies on many executed paths, block-level (statement-
+// level) miss counts cannot say which behaviour caused the misses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "analysis/BlockPaths.h"
+
+using namespace pp;
+using namespace pp::bench;
+using prof::Mode;
+
+int main() {
+  std::printf("Ablation: how many executed paths run through each "
+              "hot-path block\n(statement-level attribution cannot tell "
+              "them apart)\n\n");
+
+  TableWriter Table;
+  Table.setHeader({"Benchmark", "HotBlocks", "AvgPaths/Block",
+                   "MaxPaths/Block"});
+  SuiteAverager Averager;
+
+  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+    auto Module = Spec.Build(1);
+    prof::SessionOptions Options;
+    Options.Config.M = Mode::FlowHw;
+    prof::RunOutcome Run = prof::runProfile(*Module, Options);
+    if (!Run.Result.Ok) {
+      std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
+      return 1;
+    }
+    std::vector<analysis::PathRecord> Records =
+        analysis::collectPathRecords(Run);
+    analysis::HotPathAnalysis A = analysis::analyzeHotPaths(Records, 0.01);
+    analysis::BlockPathStats Stats =
+        analysis::computeBlockPathStats(*Module, Records, A);
+
+    Table.addRow({Spec.Name, std::to_string(Stats.HotPathBlocks),
+                  formatString("%.1f", Stats.AvgPathsPerBlock),
+                  std::to_string(Stats.MaxPathsPerBlock)});
+    Averager.add(Spec.Name, Spec.IsFloat,
+                 {Stats.AvgPathsPerBlock, double(Stats.MaxPathsPerBlock)});
+  }
+  Table.addSeparator();
+  std::vector<double> IntAvg = Averager.average(true, false);
+  std::vector<double> FpAvg = Averager.average(false, true);
+  std::vector<double> AllAvg = Averager.average(true, true);
+  Table.addRow({"CINT95 Avg", "", formatString("%.1f", IntAvg[0]),
+                formatString("%.1f", IntAvg[1])});
+  Table.addRow({"CFP95 Avg", "", formatString("%.1f", FpAvg[0]),
+                formatString("%.1f", FpAvg[1])});
+  Table.addRow({"SPEC95 Avg", "", formatString("%.1f", AllAvg[0]),
+                formatString("%.1f", AllAvg[1])});
+  std::printf("%s", Table.render().c_str());
+  std::printf("\nPaper's shape: blocks on hot paths are shared by many "
+              "executed paths\n(the paper reports an average of 16), so a "
+              "block-level miss count is\nambiguous where a path-level one "
+              "is precise.\n");
+  return 0;
+}

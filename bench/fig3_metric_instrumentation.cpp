@@ -1,0 +1,57 @@
+//===- bench/fig3_metric_instrumentation.cpp - Figure 3 ------------------------===//
+//
+// Regenerates Figure 3: what the instrumentation for measuring a hardware
+// metric over paths looks like. Prints the instrumented IR of the loop
+// example (hw-cnt zeroing at path starts, the read-after-write the
+// UltraSPARC requires, the 13-instruction commit at path ends), then runs
+// it and prints the per-path metric table.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "prof/Session.h"
+#include "support/TableWriter.h"
+#include "workloads/Examples.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace pp;
+
+int main() {
+  auto M = workloads::buildLoopModule(1000);
+
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::FlowHw;
+  Options.Config.Pic0 = hw::Event::Insts;
+  Options.Config.Pic1 = hw::Event::DCacheReadMiss;
+
+  // Show the edit: instrument and print the function.
+  prof::Instrumented Instr = prof::instrument(*M, Options.Config);
+  std::printf("Figure 3: instrumentation for measuring a metric over paths\n");
+  std::printf("============================================================\n\n");
+  std::printf("Instrumented main (PIC0 = Insts, PIC1 = D-cache read misses).\n");
+  std::printf("Note the save (rdpic) at entry, wrpic 0 followed by the\n"
+              "forced read at each path start, and the commit sequence at\n"
+              "path ends (back edge and return):\n\n");
+  std::printf("%s\n", ir::printFunction(*Instr.M->main()).c_str());
+
+  // Run and report per-path metrics.
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  assert(Run.Result.Ok);
+  const prof::FunctionPathProfile &Profile =
+      Run.PathProfiles[M->main()->id()];
+
+  std::printf("Measured per-path metrics:\n");
+  TableWriter Table;
+  Table.setHeader({"PathSum", "Freq", "Insts", "DC misses"});
+  for (const prof::PathEntry &Entry : Profile.Paths)
+    Table.addRow({std::to_string(Entry.PathSum), std::to_string(Entry.Freq),
+                  std::to_string(Entry.Metric0),
+                  std::to_string(Entry.Metric1)});
+  std::printf("%s", Table.render().c_str());
+  std::printf("\nWhole-run ground truth: %llu insts, %llu DC read misses\n",
+              (unsigned long long)Run.total(hw::Event::Insts),
+              (unsigned long long)Run.total(hw::Event::DCacheReadMiss));
+  return 0;
+}

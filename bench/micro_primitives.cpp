@@ -1,0 +1,111 @@
+//===- bench/micro_primitives.cpp - host-time microbenchmarks -------------------===//
+//
+// google-benchmark measurements of the library's primitives: path
+// numbering construction, path regeneration, CCT enter on the three slot
+// kinds, cache simulation, and end-to-end simulated execution throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bl/PathNumbering.h"
+#include "cct/CallingContextTree.h"
+#include "hw/CacheSim.h"
+#include "prof/Session.h"
+#include "workloads/Spec.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pp;
+
+static void BM_PathNumberingConstruction(benchmark::State &State) {
+  auto M = workloads::buildGcc(1);
+  const ir::Function &F = *M->findFunction("main");
+  for (auto _ : State) {
+    cfg::Cfg G(F);
+    bl::PathNumbering PN(G);
+    benchmark::DoNotOptimize(PN.numPaths());
+  }
+}
+BENCHMARK(BM_PathNumberingConstruction);
+
+static void BM_PathRegeneration(benchmark::State &State) {
+  auto M = workloads::buildGo(1);
+  const ir::Function &F = *M->findFunction("eval_point");
+  cfg::Cfg G(F);
+  bl::PathNumbering PN(G);
+  uint64_t Sum = 0;
+  for (auto _ : State) {
+    bl::RegeneratedPath Path = PN.regenerate(Sum);
+    benchmark::DoNotOptimize(Path.Nodes.data());
+    Sum = (Sum + 1) % PN.numPaths();
+  }
+}
+BENCHMARK(BM_PathRegeneration);
+
+static void BM_CctEnterResolvedSlot(benchmark::State &State) {
+  std::vector<cct::ProcDesc> Procs(2);
+  Procs[0] = {"caller", 1, {0}, 0};
+  Procs[1] = {"callee", 0, {}, 0};
+  cct::CallingContextTree Tree(Procs, 1);
+  cct::CallRecord *Caller = Tree.enter(Tree.root(), 0, 0);
+  Tree.enter(Caller, 0, 1); // resolve the slot
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Tree.enter(Caller, 0, 1));
+}
+BENCHMARK(BM_CctEnterResolvedSlot);
+
+static void BM_CctEnterIndirectList(benchmark::State &State) {
+  std::vector<cct::ProcDesc> Procs(4);
+  Procs[0] = {"caller", 1, {1}, 0}; // one indirect site
+  Procs[1] = {"x", 0, {}, 0};
+  Procs[2] = {"y", 0, {}, 0};
+  Procs[3] = {"z", 0, {}, 0};
+  cct::CallingContextTree Tree(Procs, 1);
+  cct::CallRecord *Caller = Tree.enter(Tree.root(), 0, 0);
+  cct::ProcId Target = 1;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Tree.enter(Caller, 0, Target));
+    Target = Target == 3 ? 1 : Target + 1; // rotate: worst-case list churn
+  }
+}
+BENCHMARK(BM_CctEnterIndirectList);
+
+static void BM_CacheSimAccess(benchmark::State &State) {
+  hw::CacheSim Cache(hw::dcacheDefault());
+  uint64_t Addr = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Cache.access(Addr, 8));
+    Addr += 104; // mixes hits and misses
+  }
+}
+BENCHMARK(BM_CacheSimAccess);
+
+static void BM_SimulatedExecution(benchmark::State &State) {
+  // End-to-end interpreter throughput (simulated instructions/second).
+  auto M = workloads::buildCompress(1);
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    auto Clone = M->clone();
+    hw::Machine Machine;
+    vm::Vm VM(*Clone, Machine);
+    vm::RunResult Result = VM.run();
+    Insts += Result.ExecutedInsts;
+  }
+  State.counters["sim_insts/s"] =
+      benchmark::Counter(double(Insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedExecution)->Unit(benchmark::kMillisecond);
+
+static void BM_InstrumentationEditTime(benchmark::State &State) {
+  // How long the EEL-role editor takes on the biggest workload.
+  auto M = workloads::buildGcc(1);
+  prof::ProfileConfig Config;
+  Config.M = prof::Mode::ContextFlow;
+  for (auto _ : State) {
+    prof::Instrumented Instr = prof::instrument(*M, Config);
+    benchmark::DoNotOptimize(Instr.M.get());
+  }
+  State.SetLabel("gcc-like module, ContextFlow");
+}
+BENCHMARK(BM_InstrumentationEditTime)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

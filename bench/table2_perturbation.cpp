@@ -1,0 +1,79 @@
+//===- bench/table2_perturbation.cpp - Table 2 ----------------------------------===//
+//
+// Regenerates Table 2: perturbation of hardware metrics from profiling.
+// For each of the eight events, F is the ratio of the metric under flow
+// sensitive profiling (intraprocedural paths) to the uninstrumented run,
+// and C the same for context sensitive profiling. The simulator observes
+// the uninstrumented ground truth for free, playing the role of the
+// paper's sampled baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+using namespace pp;
+using namespace pp::bench;
+using prof::Mode;
+
+int main() {
+  std::printf("Table 2: perturbation of hardware metrics "
+              "(instrumented / base)\n\n");
+
+  const hw::Event Events[] = {
+      hw::Event::Cycles,           hw::Event::Insts,
+      hw::Event::DCacheReadMiss,   hw::Event::DCacheWriteMiss,
+      hw::Event::ICacheMiss,       hw::Event::MispredictStall,
+      hw::Event::StoreBufferStall, hw::Event::FpStall,
+  };
+
+  TableWriter Table;
+  {
+    std::vector<std::string> Header{"Benchmark"};
+    for (hw::Event E : Events) {
+      Header.push_back(std::string(hw::eventName(E)) + " F");
+      Header.push_back("C");
+    }
+    Table.setHeader(Header);
+  }
+  SuiteAverager Averager;
+
+  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+    prof::RunOutcome Base = runWorkload(Spec, Mode::None);
+    prof::RunOutcome Flow = runWorkload(Spec, Mode::FlowHw);
+    prof::RunOutcome Ctx = runWorkload(Spec, Mode::ContextHw);
+
+    std::vector<std::string> Row{Spec.Name};
+    std::vector<double> Values;
+    for (hw::Event E : Events) {
+      double BaseVal = double(Base.total(E));
+      double FRatio = BaseVal == 0 ? 0 : double(Flow.total(E)) / BaseVal;
+      double CRatio = BaseVal == 0 ? 0 : double(Ctx.total(E)) / BaseVal;
+      Row.push_back(BaseVal == 0 ? "-" : formatString("%.2f", FRatio));
+      Row.push_back(BaseVal == 0 ? "-" : formatString("%.2f", CRatio));
+      Values.push_back(FRatio);
+      Values.push_back(CRatio);
+    }
+    Table.addRow(Row);
+    Averager.add(Spec.Name, Spec.IsFloat, Values);
+  }
+
+  auto AddAverage = [&](const char *Label, bool Int, bool Float) {
+    std::vector<double> Avg = Averager.average(Int, Float);
+    std::vector<std::string> Row{Label};
+    for (double Value : Avg)
+      Row.push_back(formatString("%.2f", Value));
+    Table.addRow(Row);
+  };
+  Table.addSeparator();
+  AddAverage("CINT95 Avg", true, false);
+  AddAverage("CFP95 Avg", false, true);
+  AddAverage("SPEC95 Avg", true, true);
+
+  std::printf("%s", Table.render().c_str());
+  std::printf(
+      "\nPaper's shape: cycle and instruction counts inflate directly with\n"
+      "instrumentation (F slightly above C for flow profiling's denser\n"
+      "probes); cache and stall metrics sit near 1.0 with scattered\n"
+      "outliers caused by conflict interactions with the profile tables.\n");
+  return 0;
+}

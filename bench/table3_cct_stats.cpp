@@ -1,0 +1,65 @@
+//===- bench/table3_cct_stats.cpp - Table 3 -------------------------------------===//
+//
+// Regenerates Table 3: statistics for a CCT with intraprocedural path
+// information in the nodes (Context and Flow mode). Size is the
+// serialised profile plus simulated heap bytes; the remaining columns are
+// the paper's: node count, average node size, average out-degree, height
+// (average over leaves / max), max replication of a single procedure, and
+// the call-site columns including "reached by exactly one path".
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "analysis/SiteStats.h"
+#include "cct/Export.h"
+
+using namespace pp;
+using namespace pp::bench;
+using prof::Mode;
+
+int main() {
+  std::printf("Table 3: statistics for a CCT with intraprocedural path "
+              "information\n\n");
+
+  TableWriter Table;
+  Table.setHeader({"Benchmark", "Size", "Nodes", "AvgNode", "AvgOut",
+                   "Ht avg", "Ht max", "MaxRepl", "Sites", "Used",
+                   "OnePath"});
+
+  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+    auto Module = Spec.Build(1);
+    prof::SessionOptions Options;
+    Options.Config.M = Mode::ContextFlow;
+    prof::RunOutcome Run = prof::runProfile(*Module, Options);
+    if (!Run.Result.Ok || !Run.Tree) {
+      std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
+      return 1;
+    }
+    cct::CctStats Stats = Run.Tree->computeStats();
+    analysis::SitePathStats Sites =
+        analysis::computeSitePathStats(*Run.Tree, *Module, Run.Instr);
+    uint64_t ProfileBytes =
+        cct::serialize(*Run.Tree).size() + Run.Tree->heapBytes();
+
+    Table.addRow({Spec.Name, formatEng(double(ProfileBytes)),
+                  std::to_string(Stats.NumRecords),
+                  formatString("%.1f", Stats.AvgNodeBytes),
+                  formatString("%.1f", Stats.AvgOutDegree),
+                  formatString("%.1f", Stats.AvgLeafDepth),
+                  std::to_string(Stats.MaxDepth),
+                  std::to_string(Stats.MaxReplication),
+                  std::to_string(Sites.TotalSites),
+                  std::to_string(Sites.UsedSites),
+                  std::to_string(Sites.OnePathSites)});
+  }
+
+  std::printf("%s", Table.render().c_str());
+  std::printf("\nPaper's shape: CCTs are bushy rather than tall (out-degree\n"
+              "well above 1, height bounded by the procedure count); call-\n"
+              "heavy codes (vortex-like) dominate node counts; a sizeable\n"
+              "fraction of used call sites is reached by exactly one path,\n"
+              "where flow+context profiling equals full interprocedural\n"
+              "path profiling.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+//===- examples/cache_conflict.cpp - the paper's motivating example -------------===//
+//
+// From the introduction: "a flow insensitive measurement might find two
+// statements in a procedure that have high cache miss rates, whereas a
+// flow sensitive measurement could show that the misses occur when the
+// statements execute along a common path, and thus are possibly due to a
+// cache conflict."
+//
+// This example constructs exactly that situation: two arrays placed 16 KB
+// apart (the L1 size), so they conflict in the direct-mapped cache only
+// when one path touches both. Statement-level counts blame both loads
+// equally; the path profile shows the misses belong to a single path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bl/PathNumbering.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "prof/Session.h"
+#include "support/AddressLayout.h"
+
+#include <cstdio>
+
+using namespace pp;
+using namespace pp::ir;
+
+int main() {
+  auto M = std::make_unique<Module>();
+
+  // Two 8 KB arrays exactly one L1-cache-size (16 KB) apart: elements at
+  // equal offsets map to the same direct-mapped set.
+  size_t AIndex = M->addGlobal("arrayA", 8 * 1024);
+  size_t PadIndex = M->addGlobal("pad", 8 * 1024);
+  size_t BIndex = M->addGlobal("arrayB", 8 * 1024);
+  uint64_t ArrayA = M->global(AIndex).Addr;
+  uint64_t ArrayB = M->global(BIndex).Addr;
+  (void)PadIndex;
+  std::printf("arrayA at 0x%llx, arrayB at 0x%llx (delta 0x%llx = L1 "
+              "size)\n\n",
+              (unsigned long long)ArrayA, (unsigned long long)ArrayB,
+              (unsigned long long)(ArrayB - ArrayA));
+
+  // process(i, both): always reads A[i]; on the "both" path also reads
+  // B[i] — the same cache set, evicting A's line every time.
+  Function *Process = M->addFunction("process", 2);
+  {
+    BasicBlock *Entry = Process->addBlock("entry");
+    BasicBlock *OnlyA = Process->addBlock("onlyA");
+    BasicBlock *Both = Process->addBlock("both");
+    BasicBlock *Done = Process->addBlock("done");
+    IRBuilder IRB(Process, Entry);
+    Reg I = 0, WantBoth = 1;
+    Reg Slot = IRB.andImm(I, 1023);
+    Reg Offset = IRB.shlImm(Slot, 3);
+    Reg AAddr = IRB.addImm(Offset, static_cast<int64_t>(ArrayA));
+    Reg AVal = IRB.load(AAddr, 0); // statement S1
+    Reg Out = Process->freshReg();
+    IRB.condBr(WantBoth, Both, OnlyA);
+
+    IRB.setBlock(OnlyA);
+    Reg Doubled = IRB.mulImm(AVal, 2);
+    IRB.movRegInto(Out, Doubled);
+    IRB.br(Done);
+
+    IRB.setBlock(Both);
+    Reg BAddr = IRB.addImm(Offset, static_cast<int64_t>(ArrayB));
+    Reg BVal = IRB.load(BAddr, 0); // statement S2: conflicts with S1
+    Reg Sum = IRB.add(AVal, BVal);
+    IRB.movRegInto(Out, Sum);
+    IRB.br(Done);
+
+    IRB.setBlock(Done);
+    IRB.ret(Out);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    BasicBlock *Entry = Main->addBlock("entry");
+    BasicBlock *Head = Main->addBlock("head");
+    BasicBlock *Body = Main->addBlock("body");
+    BasicBlock *Done = Main->addBlock("done");
+    IRBuilder IRB(Main, Entry);
+    Reg Count = IRB.movImm(0);
+    Reg Acc = IRB.movImm(0);
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg More = IRB.cmpLtImm(Count, 8000);
+    IRB.condBr(More, Body, Done);
+    IRB.setBlock(Body);
+    // Every 4th iteration takes the conflicting path.
+    Reg Mod = IRB.andImm(Count, 3);
+    Reg WantBoth = IRB.cmpEqImm(Mod, 0);
+    Reg Value = IRB.call(Process, {Count, WantBoth});
+    Reg NewAcc = IRB.add(Acc, Value);
+    IRB.movRegInto(Acc, NewAcc);
+    Reg Next = IRB.addImm(Count, 1);
+    IRB.movRegInto(Count, Next);
+    IRB.br(Head);
+    IRB.setBlock(Done);
+    Reg Masked = IRB.andImm(Acc, 0xffff);
+    IRB.ret(Masked);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::FlowHw;
+  Options.Config.Pic0 = hw::Event::Insts;
+  Options.Config.Pic1 = hw::Event::DCacheReadMiss;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  if (!Run.Result.Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Run.Result.Error.c_str());
+    return 1;
+  }
+
+  const Function &ProcessFn = *M->findFunction("process");
+  cfg::Cfg G(ProcessFn);
+  bl::PathNumbering PN(G);
+
+  std::printf("per-path profile of process():\n");
+  uint64_t BothMisses = 0, OnlyAMisses = 0, BothFreq = 0, OnlyAFreq = 0;
+  for (const prof::PathEntry &Entry :
+       Run.PathProfiles[ProcessFn.id()].Paths) {
+    bl::RegeneratedPath Path = PN.regenerate(Entry.PathSum);
+    std::string Blocks;
+    bool IsBoth = false;
+    for (unsigned Node : Path.Nodes) {
+      Blocks += G.block(Node)->name() + " ";
+      if (G.block(Node)->name() == "both")
+        IsBoth = true;
+    }
+    std::printf("  %-22s x%-5llu %5llu misses  (%.3f misses/exec)\n",
+                Blocks.c_str(), (unsigned long long)Entry.Freq,
+                (unsigned long long)Entry.Metric1,
+                double(Entry.Metric1) / double(Entry.Freq));
+    if (IsBoth) {
+      BothMisses += Entry.Metric1;
+      BothFreq += Entry.Freq;
+    } else {
+      OnlyAMisses += Entry.Metric1;
+      OnlyAFreq += Entry.Freq;
+    }
+  }
+
+  std::printf("\nthe conflict path runs %.0f%% of the time but takes "
+              "%.0f%% of process()'s misses:\n",
+              100.0 * double(BothFreq) / double(BothFreq + OnlyAFreq),
+              100.0 * double(BothMisses) /
+                  double(BothMisses + OnlyAMisses));
+  std::printf("both loads look equally guilty statement-wise; the path "
+              "profile shows they\nonly miss when they execute together — "
+              "the signature of a cache conflict.\nFix: pad arrayB by one "
+              "line, or fuse the loads onto different sets.\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+//===- examples/gprof_problem.cpp - why contexts beat call graphs ---------------===//
+//
+// The paper's "gprof problem" (§4.1): tools like gprof apportion a
+// procedure's cost to its callers in proportion to call *counts*, which
+// "can produce misleading results" [PF88]. This example builds the classic
+// counterexample: C is cheap when called from A (small argument) and
+// expensive when called from B (large argument); A calls it 9x more often.
+// The call-count heuristic blames A; the calling context tree reports the
+// truth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "prof/Session.h"
+
+#include <cstdio>
+
+using namespace pp;
+using namespace pp::ir;
+
+int main() {
+  auto M = std::make_unique<Module>();
+
+  // work(n): cost linear in n.
+  Function *Work = M->addFunction("work", 1);
+  {
+    BasicBlock *Entry = Work->addBlock("entry");
+    BasicBlock *Head = Work->addBlock("head");
+    BasicBlock *Body = Work->addBlock("body");
+    BasicBlock *Done = Work->addBlock("done");
+    IRBuilder IRB(Work, Entry);
+    Reg N = 0;
+    Reg Acc = IRB.movImm(0);
+    Reg I = IRB.movImm(0);
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg More = IRB.cmpLt(I, N);
+    IRB.condBr(More, Body, Done);
+    IRB.setBlock(Body);
+    Reg T = IRB.mulImm(I, 7);
+    Reg T2 = IRB.andImm(T, 1023);
+    Reg NewAcc = IRB.add(Acc, T2);
+    IRB.movRegInto(Acc, NewAcc);
+    Reg Next = IRB.addImm(I, 1);
+    IRB.movRegInto(I, Next);
+    IRB.br(Head);
+    IRB.setBlock(Done);
+    IRB.ret(Acc);
+  }
+
+  // cheap_caller: calls work(4), 900 times.
+  Function *CheapCaller = M->addFunction("cheap_caller", 0);
+  {
+    BasicBlock *Entry = CheapCaller->addBlock("entry");
+    BasicBlock *Head = CheapCaller->addBlock("head");
+    BasicBlock *Body = CheapCaller->addBlock("body");
+    BasicBlock *Done = CheapCaller->addBlock("done");
+    IRBuilder IRB(CheapCaller, Entry);
+    Reg I = IRB.movImm(0);
+    Reg Acc = IRB.movImm(0);
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg More = IRB.cmpLtImm(I, 900);
+    IRB.condBr(More, Body, Done);
+    IRB.setBlock(Body);
+    Reg Four = IRB.movImm(4);
+    Reg V = IRB.call(Work, {Four});
+    Reg NewAcc = IRB.add(Acc, V);
+    IRB.movRegInto(Acc, NewAcc);
+    Reg Next = IRB.addImm(I, 1);
+    IRB.movRegInto(I, Next);
+    IRB.br(Head);
+    IRB.setBlock(Done);
+    IRB.ret(Acc);
+  }
+
+  // expensive_caller: calls work(2000), 100 times.
+  Function *ExpensiveCaller = M->addFunction("expensive_caller", 0);
+  {
+    BasicBlock *Entry = ExpensiveCaller->addBlock("entry");
+    BasicBlock *Head = ExpensiveCaller->addBlock("head");
+    BasicBlock *Body = ExpensiveCaller->addBlock("body");
+    BasicBlock *Done = ExpensiveCaller->addBlock("done");
+    IRBuilder IRB(ExpensiveCaller, Entry);
+    Reg I = IRB.movImm(0);
+    Reg Acc = IRB.movImm(0);
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg More = IRB.cmpLtImm(I, 100);
+    IRB.condBr(More, Body, Done);
+    IRB.setBlock(Body);
+    Reg Big = IRB.movImm(2000);
+    Reg V = IRB.call(Work, {Big});
+    Reg NewAcc = IRB.add(Acc, V);
+    IRB.movRegInto(Acc, NewAcc);
+    Reg Next = IRB.addImm(I, 1);
+    IRB.movRegInto(I, Next);
+    IRB.br(Head);
+    IRB.setBlock(Done);
+    IRB.ret(Acc);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg A = IRB.call(CheapCaller, {});
+    Reg B = IRB.call(ExpensiveCaller, {});
+    Reg Sum = IRB.add(A, B);
+    Reg Masked = IRB.andImm(Sum, 0xffffff);
+    IRB.ret(Masked);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+
+  // Context and HW: PIC0 counts cycles so records accumulate time.
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::ContextHw;
+  Options.Config.Pic0 = hw::Event::Cycles;
+  Options.Config.Pic1 = hw::Event::Insts;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  if (!Run.Result.Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Run.Result.Error.c_str());
+    return 1;
+  }
+
+  // Gather work()'s two context records.
+  uint64_t CheapCalls = 0, CheapCycles = 0;
+  uint64_t ExpensiveCalls = 0, ExpensiveCycles = 0;
+  unsigned WorkId = Work->id();
+  for (const auto &R : Run.Tree->records()) {
+    if (R->procId() != WorkId || !R->parent())
+      continue;
+    const std::string &Caller =
+        Run.Tree->procDesc(R->parent()->procId()).Name;
+    if (Caller == "cheap_caller") {
+      CheapCalls = R->Metrics[0];
+      CheapCycles = R->Metrics[1];
+    } else if (Caller == "expensive_caller") {
+      ExpensiveCalls = R->Metrics[0];
+      ExpensiveCycles = R->Metrics[1];
+    }
+  }
+  uint64_t TotalCalls = CheapCalls + ExpensiveCalls;
+  uint64_t TotalCycles = CheapCycles + ExpensiveCycles;
+
+  std::printf("work() was called %llu times for %llu cycles total\n\n",
+              (unsigned long long)TotalCalls,
+              (unsigned long long)TotalCycles);
+
+  std::printf("gprof-style attribution (proportional to call counts):\n");
+  std::printf("  cheap_caller:     %5.1f%%  <- blamed for the time\n",
+              100.0 * double(CheapCalls) / double(TotalCalls));
+  std::printf("  expensive_caller: %5.1f%%\n\n",
+              100.0 * double(ExpensiveCalls) / double(TotalCalls));
+
+  std::printf("calling context tree (measured per context):\n");
+  std::printf("  cheap_caller > work:     %5.1f%% of cycles "
+              "(%llu calls)\n",
+              100.0 * double(CheapCycles) / double(TotalCycles),
+              (unsigned long long)CheapCalls);
+  std::printf("  expensive_caller > work: %5.1f%% of cycles "
+              "(%llu calls)  <- the real cost\n\n",
+              100.0 * double(ExpensiveCycles) / double(TotalCycles),
+              (unsigned long long)ExpensiveCalls);
+
+  std::printf("the call-count heuristic inverts the picture: "
+              "expensive_caller makes %.0fx\nfewer calls but owns the "
+              "time. Context sensitivity measures instead of guessing.\n",
+              double(CheapCalls) / double(ExpensiveCalls));
+  return 0;
+}

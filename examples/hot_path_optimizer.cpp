@@ -1,0 +1,165 @@
+//===- examples/hot_path_optimizer.cpp - profile-guided code layout -------------===//
+//
+// The paper's summary: "Compilers can use path profiles to identify
+// portions of a program that would benefit from optimization, and as an
+// empirical basis for making optimization tradeoffs." This example closes
+// that loop inside the simulator: profile a program whose hot paths are
+// interleaved with fat cold error-handling blocks, reorder each hot
+// function so its hottest path's blocks are laid out contiguously, and
+// re-measure. The hot code's I-cache footprint collapses and the miss
+// count drops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "opt/Layout.h"
+#include "prof/Session.h"
+
+#include <cstdio>
+
+using namespace pp;
+using namespace pp::ir;
+
+namespace {
+
+/// A stage function: a chain of hot blocks, each followed by a fat cold
+/// "error handling" block that the hot path jumps over. The cold blocks
+/// inflate the code so the two stages together overflow the 16 KB I-cache.
+Function *buildStage(Module &M, const std::string &Name, uint64_t Data,
+                     int Seed) {
+  Function *F = M.addFunction(Name, 1);
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder IRB(F, Entry);
+  Reg Value = 0;
+  Reg Acc = IRB.movImm(Seed);
+
+  BasicBlock *Cursor = Entry;
+  for (int Stage = 0; Stage != 8; ++Stage) {
+    BasicBlock *Hot = F->addBlock("hot" + std::to_string(Stage));
+    BasicBlock *Cold = F->addBlock("cold" + std::to_string(Stage));
+    BasicBlock *Join = F->addBlock("join" + std::to_string(Stage));
+    IRB.setBlock(Cursor);
+    // The "error" condition is rare: value == a specific pattern.
+    Reg Masked = IRB.andImm(Value, 1023);
+    Reg IsError = IRB.cmpEqImm(Masked, 999 - Stage);
+    IRB.condBr(IsError, Cold, Hot);
+
+    IRB.setBlock(Hot);
+    Reg Slot = IRB.andImm(Acc, 511);
+    Reg Offset = IRB.shlImm(Slot, 3);
+    Reg Addr = IRB.addImm(Offset, static_cast<int64_t>(Data));
+    Reg Loaded = IRB.load(Addr, 0);
+    Reg Mixed = IRB.add(Acc, Loaded);
+    Reg Rotated = IRB.mulImm(Mixed, 33);
+    Reg Clipped = IRB.andImm(Rotated, 0xfffff);
+    IRB.movRegInto(Acc, Clipped);
+    IRB.br(Join);
+
+    // Fat cold block: a long pile of straight-line "recovery" code.
+    IRB.setBlock(Cold);
+    Reg ColdAcc = IRB.movImm(Stage);
+    for (int Filler = 0; Filler != 220; ++Filler) {
+      Reg T = IRB.addImm(ColdAcc, Filler);
+      Reg T2 = IRB.xorImm(T, 0x5a5a);
+      ColdAcc = T2;
+    }
+    IRB.movRegInto(Acc, ColdAcc);
+    IRB.br(Join);
+
+    Cursor = Join;
+  }
+  IRB.setBlock(Cursor);
+  IRB.ret(Acc);
+  return F;
+}
+
+std::unique_ptr<Module> buildProgram() {
+  auto M = std::make_unique<Module>();
+  size_t DataIndex = M->addGlobal("data", 4096 * 8);
+  uint64_t Data = M->global(DataIndex).Addr;
+  Function *StageA = buildStage(*M, "stage_a", Data, 17);
+  Function *StageB = buildStage(*M, "stage_b", Data, 71);
+  Function *StageC = buildStage(*M, "stage_c", Data, 131);
+
+  Function *Main = M->addFunction("main", 0);
+  BasicBlock *Entry = Main->addBlock("entry");
+  BasicBlock *Head = Main->addBlock("head");
+  BasicBlock *Body = Main->addBlock("body");
+  BasicBlock *Done = Main->addBlock("done");
+  IRBuilder IRB(Main, Entry);
+  Reg I = IRB.movImm(0);
+  Reg Acc = IRB.movImm(0);
+  IRB.br(Head);
+  IRB.setBlock(Head);
+  Reg More = IRB.cmpLtImm(I, 2500);
+  IRB.condBr(More, Body, Done);
+  IRB.setBlock(Body);
+  Reg A = IRB.call(StageA, {I});
+  Reg B = IRB.call(StageB, {A});
+  Reg C = IRB.call(StageC, {B});
+  Reg NewAcc = IRB.add(Acc, C);
+  IRB.movRegInto(Acc, NewAcc);
+  Reg Next = IRB.addImm(I, 1);
+  IRB.movRegInto(I, Next);
+  IRB.br(Head);
+  IRB.setBlock(Done);
+  Reg Masked = IRB.andImm(Acc, 0xffffff);
+  IRB.ret(Masked);
+
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+} // namespace
+
+int main() {
+  auto M = buildProgram();
+  std::printf("program code size: %zu instructions (%zu KB, vs 16 KB "
+              "I-cache)\n\n",
+              M->numInsts(), M->numInsts() * 4 / 1024);
+
+  // Measure the original layout.
+  prof::SessionOptions Base;
+  Base.Config.M = prof::Mode::None;
+  prof::RunOutcome Before = prof::runProfile(*M, Base);
+
+  // Profile flow sensitively.
+  prof::SessionOptions FlowOptions;
+  FlowOptions.Config.M = prof::Mode::FlowHw;
+  prof::RunOutcome Profile = prof::runProfile(*M, FlowOptions);
+  if (!Profile.Result.Ok) {
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 Profile.Result.Error.c_str());
+    return 1;
+  }
+
+  // Optimise: lay every profiled function out hottest-path-first.
+  opt::LayoutResult Layout = opt::layoutHotPathsFirst(*M, Profile);
+  std::printf("reordered %u of %u profiled functions\n\n",
+              Layout.FunctionsReordered, Layout.FunctionsConsidered);
+  verifyModuleOrDie(*M);
+
+  prof::RunOutcome After = prof::runProfile(*M, Base);
+  if (!After.Result.Ok || After.Result.ExitValue != Before.Result.ExitValue) {
+    std::fprintf(stderr, "layout change altered behaviour!\n");
+    return 1;
+  }
+
+  auto Show = [&](const char *Label, hw::Event E) {
+    uint64_t B = Before.total(E), A = After.total(E);
+    std::printf("  %-18s %10llu -> %10llu  (%+.1f%%)\n", Label,
+                (unsigned long long)B, (unsigned long long)A,
+                100.0 * (double(A) - double(B)) / double(B));
+  };
+  std::printf("profile-guided hot-path-first layout:\n");
+  Show("I-cache misses", hw::Event::ICacheMiss);
+  Show("cycles", hw::Event::Cycles);
+  std::printf("\nsame program, same work (exit value %llu unchanged); only "
+              "the block\nlayout moved. The hot paths of the three stages "
+              "now share a compact\nI-cache footprint instead of striding "
+              "across the cold error blocks.\n",
+              (unsigned long long)After.Result.ExitValue);
+  return 0;
+}

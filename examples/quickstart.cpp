@@ -1,0 +1,171 @@
+//===- examples/quickstart.cpp - build, profile, inspect ------------------------===//
+//
+// The five-minute tour of the library:
+//   1. build a program with ir::IRBuilder,
+//   2. profile it flow sensitively with hardware metrics (prof::runProfile),
+//   3. decode the hot path sums back into block sequences
+//      (bl::PathNumbering::regenerate),
+//   4. profile it context sensitively and walk the calling context tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bl/PathNumbering.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "prof/Session.h"
+
+#include <cstdio>
+
+using namespace pp;
+using namespace pp::ir;
+
+/// A toy program: main repeatedly classifies pseudo-random values with
+/// `classify`, which has four paths of very different costs.
+static std::unique_ptr<Module> buildProgram() {
+  auto M = std::make_unique<Module>();
+  size_t TableIndex = M->addGlobal("table", 4096 * 8);
+  uint64_t Table = M->global(TableIndex).Addr;
+
+  Function *Classify = M->addFunction("classify", 1);
+  {
+    BasicBlock *Entry = Classify->addBlock("entry");
+    BasicBlock *Small = Classify->addBlock("small");
+    BasicBlock *Large = Classify->addBlock("large");
+    BasicBlock *Rare = Classify->addBlock("rare");
+    BasicBlock *Common = Classify->addBlock("common");
+    BasicBlock *Done = Classify->addBlock("done");
+    IRBuilder IRB(Classify, Entry);
+    Reg Value = 0;
+    Reg Out = Classify->freshReg();
+    Reg IsSmall = IRB.cmpLtImm(Value, 1000);
+    IRB.condBr(IsSmall, Small, Large);
+
+    IRB.setBlock(Small); // cheap: pure arithmetic
+    Reg Tripled = IRB.mulImm(Value, 3);
+    IRB.movRegInto(Out, Tripled);
+    IRB.br(Done);
+
+    IRB.setBlock(Large); // another branch level
+    Reg IsRare = IRB.cmpLtImm(Value, 1016);
+    IRB.condBr(IsRare, Rare, Common);
+
+    IRB.setBlock(Rare); // expensive: walks the whole table
+    Reg Sum = IRB.movImm(0);
+    // (a small loop, so this function has loops and multiple paths)
+    BasicBlock *Head = Classify->addBlock("walk.head");
+    BasicBlock *Body = Classify->addBlock("walk.body");
+    Reg Index = IRB.movImm(0);
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg More = IRB.cmpLtImm(Index, 4096);
+    IRB.condBr(More, Body, Done);
+    IRB.setBlock(Body);
+    Reg Offset = IRB.shlImm(Index, 3);
+    Reg Addr = IRB.addImm(Offset, static_cast<int64_t>(Table));
+    Reg Loaded = IRB.load(Addr, 0);
+    Reg NewSum = IRB.add(Sum, Loaded);
+    IRB.movRegInto(Sum, NewSum);
+    IRB.movRegInto(Out, Sum);
+    Reg Next = IRB.addImm(Index, 1);
+    IRB.movRegInto(Index, Next);
+    IRB.br(Head);
+
+    IRB.setBlock(Common); // moderate: one table touch
+    Reg Slot = IRB.andImm(Value, 4095);
+    Reg COffset = IRB.shlImm(Slot, 3);
+    Reg CAddr = IRB.addImm(COffset, static_cast<int64_t>(Table));
+    Reg Old = IRB.load(CAddr, 0);
+    Reg Bumped = IRB.addImm(Old, 1);
+    IRB.store(CAddr, 0, Bumped);
+    IRB.movRegInto(Out, Bumped);
+    IRB.br(Done);
+
+    IRB.setBlock(Done);
+    IRB.ret(Out);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    BasicBlock *Entry = Main->addBlock("entry");
+    BasicBlock *Head = Main->addBlock("head");
+    BasicBlock *Body = Main->addBlock("body");
+    BasicBlock *Done = Main->addBlock("done");
+    IRBuilder IRB(Main, Entry);
+    Reg Rng = IRB.movImm(0x2545f491);
+    Reg Acc = IRB.movImm(0);
+    Reg Count = IRB.movImm(0);
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg More = IRB.cmpLtImm(Count, 3000);
+    IRB.condBr(More, Body, Done);
+    IRB.setBlock(Body);
+    Reg Mul = IRB.mulImm(Rng, 6364136223846793005LL);
+    Reg Step = IRB.addImm(Mul, 1442695040888963407LL);
+    IRB.movRegInto(Rng, Step);
+    Reg Sample = IRB.shrImm(Rng, 50); // 0..16383
+    Reg Score = IRB.call(Classify, {Sample});
+    Reg NewAcc = IRB.add(Acc, Score);
+    IRB.movRegInto(Acc, NewAcc);
+    Reg Next = IRB.addImm(Count, 1);
+    IRB.movRegInto(Count, Next);
+    IRB.br(Head);
+    IRB.setBlock(Done);
+    Reg Masked = IRB.andImm(Acc, 0xffffff);
+    IRB.ret(Masked);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+int main() {
+  std::unique_ptr<Module> M = buildProgram();
+
+  // --- Flow sensitive profiling with hardware metrics ----------------------
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::FlowHw;
+  Options.Config.Pic0 = hw::Event::Insts;
+  Options.Config.Pic1 = hw::Event::DCacheReadMiss;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  if (!Run.Result.Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Run.Result.Error.c_str());
+    return 1;
+  }
+  std::printf("program exited with %llu after %llu instructions\n\n",
+              (unsigned long long)Run.Result.ExitValue,
+              (unsigned long long)Run.Result.ExecutedInsts);
+
+  const Function &Classify = *M->findFunction("classify");
+  cfg::Cfg G(Classify);
+  bl::PathNumbering PN(G);
+  std::printf("classify has %llu potential paths; executed:\n",
+              (unsigned long long)PN.numPaths());
+  for (const prof::PathEntry &Entry :
+       Run.PathProfiles[Classify.id()].Paths) {
+    bl::RegeneratedPath Path = PN.regenerate(Entry.PathSum);
+    std::string Blocks;
+    for (unsigned Node : Path.Nodes)
+      Blocks += G.block(Node)->name() + " ";
+    std::printf("  sum %2llu x%-5llu  %6llu insts  %5llu misses   %s%s%s\n",
+                (unsigned long long)Entry.PathSum,
+                (unsigned long long)Entry.Freq,
+                (unsigned long long)Entry.Metric0,
+                (unsigned long long)Entry.Metric1,
+                Path.StartsAfterBackedge ? "(loop) " : "", Blocks.c_str(),
+                Path.EndsWithBackedge ? "(back edge)" : "");
+  }
+
+  // --- Context sensitive profiling -----------------------------------------
+  Options.Config.M = prof::Mode::Context;
+  prof::RunOutcome CtxRun = prof::runProfile(*M, Options);
+  std::printf("\ncalling context tree (%zu records):\n",
+              CtxRun.Tree->numRecords());
+  for (const auto &R : CtxRun.Tree->records()) {
+    if (R->procId() == cct::RootProcId)
+      continue;
+    std::printf("  %*s%s: %llu calls\n", 2 * (R->depth() - 1), "",
+                CtxRun.Tree->procDesc(R->procId()).Name.c_str(),
+                (unsigned long long)R->Metrics[0]);
+  }
+  return 0;
+}

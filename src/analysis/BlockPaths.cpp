@@ -1,0 +1,61 @@
+//===- analysis/BlockPaths.cpp - §6.4.3's blocks-vs-paths statistic -----------===//
+
+#include "analysis/BlockPaths.h"
+
+#include "bl/PathNumbering.h"
+#include "cfg/Cfg.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+using namespace pp;
+using namespace pp::analysis;
+
+BlockPathStats
+analysis::computeBlockPathStats(const ir::Module &Original,
+                                const std::vector<PathRecord> &Records,
+                                const HotPathAnalysis &Analysis) {
+  BlockPathStats Stats;
+
+  // Count executed paths through every block, and mark the blocks that
+  // appear on hot paths.
+  std::map<std::pair<unsigned, unsigned>, uint64_t> PathsThrough;
+  std::set<std::pair<unsigned, unsigned>> HotBlocks;
+  std::set<size_t> HotIndexSet(Analysis.HotIndices.begin(),
+                               Analysis.HotIndices.end());
+
+  std::map<unsigned, std::unique_ptr<cfg::Cfg>> Cfgs;
+  std::map<unsigned, std::unique_ptr<bl::PathNumbering>> Numberings;
+  for (size_t Index = 0; Index != Records.size(); ++Index) {
+    const PathRecord &Record = Records[Index];
+    auto &PN = Numberings[Record.FuncId];
+    if (!PN) {
+      Cfgs[Record.FuncId] =
+          std::make_unique<cfg::Cfg>(*Original.function(Record.FuncId));
+      PN = std::make_unique<bl::PathNumbering>(*Cfgs[Record.FuncId]);
+    }
+    if (!PN->valid())
+      continue;
+    bl::RegeneratedPath Path = PN->regenerate(Record.PathSum);
+    std::set<unsigned> Blocks(Path.Nodes.begin(), Path.Nodes.end());
+    for (unsigned Block : Blocks) {
+      std::pair<unsigned, unsigned> Key{Record.FuncId, Block};
+      ++PathsThrough[Key];
+      if (HotIndexSet.count(Index))
+        HotBlocks.insert(Key);
+    }
+  }
+
+  uint64_t Sum = 0;
+  for (const auto &Key : HotBlocks) {
+    uint64_t Count = PathsThrough.at(Key);
+    Sum += Count;
+    Stats.MaxPathsPerBlock = std::max(Stats.MaxPathsPerBlock, Count);
+  }
+  Stats.HotPathBlocks = HotBlocks.size();
+  Stats.AvgPathsPerBlock =
+      HotBlocks.empty() ? 0 : double(Sum) / double(HotBlocks.size());
+  return Stats;
+}

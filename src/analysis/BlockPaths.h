@@ -1,0 +1,43 @@
+//===- analysis/BlockPaths.h - §6.4.3's blocks-vs-paths statistic -*- C++ -*-===//
+///
+/// \file
+/// The paper's argument against statement-level attribution (§6.4.3):
+/// "the basic blocks along hot paths execute along an average of 16
+/// different paths", so knowing a block misses does not say which path
+/// caused it. This computes that statistic from a flow profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_ANALYSIS_BLOCKPATHS_H
+#define PP_ANALYSIS_BLOCKPATHS_H
+
+#include "analysis/HotPaths.h"
+
+namespace pp {
+namespace ir {
+class Module;
+} // namespace ir
+
+namespace analysis {
+
+/// How ambiguously blocks map to paths.
+struct BlockPathStats {
+  /// Distinct (function, block) pairs lying on at least one hot path.
+  uint64_t HotPathBlocks = 0;
+  /// Average number of *executed* paths (of any temperature) through
+  /// those blocks.
+  double AvgPathsPerBlock = 0;
+  uint64_t MaxPathsPerBlock = 0;
+};
+
+/// Computes the statistic. \p Original is the pristine module whose CFGs
+/// define the path sums in \p Records; \p Analysis identifies the hot
+/// paths.
+BlockPathStats computeBlockPathStats(const ir::Module &Original,
+                                     const std::vector<PathRecord> &Records,
+                                     const HotPathAnalysis &Analysis);
+
+} // namespace analysis
+} // namespace pp
+
+#endif // PP_ANALYSIS_BLOCKPATHS_H

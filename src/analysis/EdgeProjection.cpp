@@ -1,0 +1,33 @@
+//===- analysis/EdgeProjection.cpp - paths refine edges -----------------------===//
+
+#include "analysis/EdgeProjection.h"
+
+#include "bl/PathNumbering.h"
+#include "cfg/Cfg.h"
+#include "ir/Module.h"
+
+using namespace pp;
+using namespace pp::analysis;
+
+std::vector<uint64_t>
+analysis::edgeCountsFromPaths(const ir::Module &Original, unsigned FuncId,
+                              const prof::FunctionPathProfile &Profile) {
+  const ir::Function &F = *Original.function(FuncId);
+  cfg::Cfg G(F);
+  bl::PathNumbering PN(G);
+  if (!PN.valid())
+    return {};
+
+  std::vector<uint64_t> Counts(G.numEdges(), 0);
+  for (const prof::PathEntry &Entry : Profile.Paths) {
+    bl::RegeneratedPath Path = PN.regenerate(Entry.PathSum);
+    // Ordinary edges traversed by the path...
+    for (unsigned EdgeId : Path.Edges)
+      Counts[EdgeId] += Entry.Freq;
+    // ...plus the back edge the path ends with, which the pseudo-edge
+    // transform factored out of the path body.
+    if (Path.EndsWithBackedge)
+      Counts[Path.ExitBackedge] += Entry.Freq;
+  }
+  return Counts;
+}

@@ -1,0 +1,40 @@
+//===- analysis/EdgeProjection.h - paths refine edges ----------*- C++ -*-===//
+///
+/// \file
+/// A path profile strictly refines an edge profile: summing path
+/// frequencies over the edges each path traverses (including the back
+/// edge a path ends with) must reproduce the exact per-edge execution
+/// counts. This projection is both a useful downgrade (edge-profile
+/// consumers can run off path profiles) and a powerful consistency check
+/// between the two instrumentation schemes — the tests verify it against
+/// the chord-reconstructed Edge mode and the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_ANALYSIS_EDGEPROJECTION_H
+#define PP_ANALYSIS_EDGEPROJECTION_H
+
+#include "prof/Session.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pp {
+namespace ir {
+class Module;
+} // namespace ir
+
+namespace analysis {
+
+/// Projects \p Profile (of function \p FuncId) onto per-CFG-edge counts.
+/// The result is indexed by the CFG edge ids of the pristine module's
+/// function. Returns an empty vector when the function has no valid
+/// numbering.
+std::vector<uint64_t>
+edgeCountsFromPaths(const ir::Module &Original, unsigned FuncId,
+                    const prof::FunctionPathProfile &Profile);
+
+} // namespace analysis
+} // namespace pp
+
+#endif // PP_ANALYSIS_EDGEPROJECTION_H

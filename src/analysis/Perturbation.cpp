@@ -1,0 +1,43 @@
+//===- analysis/Perturbation.cpp - §3.2's frequency-based correction ----------===//
+
+#include "analysis/Perturbation.h"
+
+#include "bl/PathNumbering.h"
+#include "cfg/Cfg.h"
+#include "ir/Module.h"
+
+using namespace pp;
+using namespace pp::analysis;
+
+std::vector<CorrectedPath>
+analysis::correctInstructionCounts(const ir::Module &Original,
+                                   unsigned FuncId,
+                                   const prof::FunctionPathProfile &Profile) {
+  std::vector<CorrectedPath> Out;
+  const ir::Function &F = *Original.function(FuncId);
+  cfg::Cfg G(F);
+  bl::PathNumbering PN(G);
+  if (!PN.valid())
+    return Out;
+
+  for (const prof::PathEntry &Entry : Profile.Paths) {
+    CorrectedPath Corrected;
+    Corrected.PathSum = Entry.PathSum;
+    Corrected.Freq = Entry.Freq;
+    Corrected.MeasuredInsts = Entry.Metric0;
+
+    bl::RegeneratedPath Path = PN.regenerate(Entry.PathSum);
+    uint64_t StaticLength = 0;
+    unsigned Calls = 0;
+    for (unsigned Node : Path.Nodes) {
+      const ir::BasicBlock &BB = *G.block(Node);
+      StaticLength += BB.insts().size();
+      for (const ir::Inst &I : BB.insts())
+        Calls += ir::isCall(I.Op);
+    }
+    Corrected.DerivedInsts = Entry.Freq * StaticLength;
+    Corrected.CallsOnPath = Calls;
+    Out.push_back(Corrected);
+  }
+  return Out;
+}

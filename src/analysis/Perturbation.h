@@ -1,0 +1,58 @@
+//===- analysis/Perturbation.h - §3.2's frequency-based correction -*- C++ -*-===//
+///
+/// \file
+/// "For simple, predictable metrics, such as instruction frequency, a
+/// profiling tool can correct for perturbation by using path frequency to
+/// subtract the effect of instrumentation code" (§3.2). For the
+/// instruction metric the correction is complete: a path's true
+/// instruction count is its frequency times the static length of the
+/// original (uninstrumented) path, so the measured, perturbed PIC value
+/// can be replaced by an exact derived one. Metrics like cache misses have
+/// no such correction — that is the paper's point about why perturbation
+/// of those metrics is hard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_ANALYSIS_PERTURBATION_H
+#define PP_ANALYSIS_PERTURBATION_H
+
+#include "prof/Session.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pp {
+namespace ir {
+class Module;
+} // namespace ir
+
+namespace analysis {
+
+/// One path's measured vs derived instruction counts.
+struct CorrectedPath {
+  uint64_t PathSum = 0;
+  uint64_t Freq = 0;
+  /// The PIC-measured count (includes instrumentation instructions and
+  /// callee entry/exit code outside the PIC save window).
+  uint64_t MeasuredInsts = 0;
+  /// Freq x static length of the original path: the uninstrumented truth
+  /// for the path's own instructions. Exact when the path contains no
+  /// calls; calls contribute the callee's pre-save/post-restore code to
+  /// the measurement but not to the derivation.
+  uint64_t DerivedInsts = 0;
+  /// Number of call instructions on the path (0 means DerivedInsts is an
+  /// exact correction).
+  unsigned CallsOnPath = 0;
+};
+
+/// Derives corrected counts for every executed path of \p FuncId.
+/// \p Original must be the pristine module the instrumented run was made
+/// from (its CFG defines the path sums).
+std::vector<CorrectedPath>
+correctInstructionCounts(const ir::Module &Original, unsigned FuncId,
+                         const prof::FunctionPathProfile &Profile);
+
+} // namespace analysis
+} // namespace pp
+
+#endif // PP_ANALYSIS_PERTURBATION_H

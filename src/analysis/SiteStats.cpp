@@ -1,0 +1,85 @@
+//===- analysis/SiteStats.cpp - CCT call-site path statistics ----------------===//
+
+#include "analysis/SiteStats.h"
+
+#include "bl/PathNumbering.h"
+#include "cfg/Cfg.h"
+#include "ir/Module.h"
+#include "prof/CallSites.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+using namespace pp;
+using namespace pp::analysis;
+
+SitePathStats
+analysis::computeSitePathStats(const cct::CallingContextTree &Tree,
+                               const ir::Module &Original,
+                               const prof::Instrumented &Instr) {
+  SitePathStats Stats;
+
+  // Per-function machinery, built lazily: CFG + numbering on the pristine
+  // module, the call-site block list, and a cache of regenerated paths'
+  // block sets.
+  struct FuncContext {
+    std::unique_ptr<cfg::Cfg> G;
+    std::unique_ptr<bl::PathNumbering> PN;
+    std::vector<unsigned> SiteBlocks;
+    std::map<uint64_t, std::set<unsigned>> PathBlocks;
+  };
+  std::map<unsigned, FuncContext> Contexts;
+
+  auto GetContext = [&](unsigned FuncId) -> FuncContext & {
+    auto It = Contexts.find(FuncId);
+    if (It != Contexts.end())
+      return It->second;
+    FuncContext &Ctx = Contexts[FuncId];
+    const ir::Function &F = *Original.function(FuncId);
+    Ctx.G = std::make_unique<cfg::Cfg>(F);
+    Ctx.PN = std::make_unique<bl::PathNumbering>(*Ctx.G);
+    for (const prof::CallSite &Site : prof::enumerateCallSites(F))
+      Ctx.SiteBlocks.push_back(Site.BlockId);
+    return Ctx;
+  };
+
+  for (const auto &R : Tree.records()) {
+    if (R->procId() == cct::RootProcId)
+      continue;
+    unsigned FuncId = R->procId();
+    const prof::FunctionInstrInfo &Info = Instr.Functions[FuncId];
+    if (!Info.HasPathProfile)
+      continue;
+    FuncContext &Ctx = GetContext(FuncId);
+    if (!Ctx.PN->valid())
+      continue;
+
+    Stats.TotalSites += Ctx.SiteBlocks.size();
+    if (Ctx.SiteBlocks.empty())
+      continue;
+
+    // Count, per site block, how many of this record's executed paths
+    // cover it.
+    std::map<unsigned, uint64_t> CoverCounts;
+    for (const auto &[Sum, Cell] : R->PathTable) {
+      auto PathIt = Ctx.PathBlocks.find(Sum);
+      if (PathIt == Ctx.PathBlocks.end()) {
+        bl::RegeneratedPath Path = Ctx.PN->regenerate(Sum);
+        std::set<unsigned> Blocks(Path.Nodes.begin(), Path.Nodes.end());
+        PathIt = Ctx.PathBlocks.emplace(Sum, std::move(Blocks)).first;
+      }
+      for (unsigned Block : PathIt->second)
+        ++CoverCounts[Block];
+    }
+    for (unsigned SiteBlock : Ctx.SiteBlocks) {
+      auto CoverIt = CoverCounts.find(SiteBlock);
+      if (CoverIt == CoverCounts.end())
+        continue;
+      ++Stats.UsedSites;
+      if (CoverIt->second == 1)
+        ++Stats.OnePathSites;
+    }
+  }
+  return Stats;
+}

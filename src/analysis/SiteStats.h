@@ -1,0 +1,47 @@
+//===- analysis/SiteStats.h - CCT call-site path statistics ----*- C++ -*-===//
+///
+/// \file
+/// The last columns of the paper's Table 3: of the call sites in allocated
+/// call records, how many were actually reached, and how many were reached
+/// by exactly one intraprocedural path from the procedure's entry — the
+/// case where combined flow and context sensitive profiling is as precise
+/// as full interprocedural path profiling (§6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_ANALYSIS_SITESTATS_H
+#define PP_ANALYSIS_SITESTATS_H
+
+#include "cct/CallingContextTree.h"
+#include "prof/Instrumenter.h"
+
+#include <cstdint>
+
+namespace pp {
+namespace ir {
+class Module;
+} // namespace ir
+
+namespace analysis {
+
+/// Call-site coverage of a combined flow+context profile.
+struct SitePathStats {
+  /// Call sites summed over all allocated call records.
+  uint64_t TotalSites = 0;
+  /// Sites whose block lies on at least one executed path of the record.
+  uint64_t UsedSites = 0;
+  /// Sites reached by exactly one executed path in their record.
+  uint64_t OnePathSites = 0;
+};
+
+/// Computes the statistics from a Context-and-Flow run. \p Original is the
+/// pristine module (its CFGs define the path numbering the records' path
+/// sums refer to).
+SitePathStats computeSitePathStats(const cct::CallingContextTree &Tree,
+                                   const ir::Module &Original,
+                                   const prof::Instrumented &Instr);
+
+} // namespace analysis
+} // namespace pp
+
+#endif // PP_ANALYSIS_SITESTATS_H

@@ -1,0 +1,47 @@
+//===- bl/InstrumentationPlan.cpp - Where path probes go -------------------===//
+
+#include "bl/InstrumentationPlan.h"
+
+using namespace pp;
+using namespace pp::bl;
+
+PathPlan bl::buildPathPlan(const PathNumbering &PN,
+                           const PlanOptions &Options) {
+  PathPlan Plan;
+  if (!PN.valid())
+    return Plan;
+  const cfg::Cfg &G = PN.graph();
+
+  Plan.Valid = true;
+  Plan.NumPaths = PN.numPaths();
+  Plan.UseHashTable = Plan.NumPaths > Options.ArrayThreshold;
+
+  for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId) {
+    const cfg::Edge &E = G.edge(EdgeId);
+    if (!G.isReachable(E.From))
+      continue;
+
+    if (G.isBackedge(EdgeId)) {
+      Plan.Backedges.push_back(BackedgeOp{EdgeId, PN.backedgeEndValue(EdgeId),
+                                          PN.backedgeStartValue(EdgeId)});
+      continue;
+    }
+
+    uint64_t Value = PN.valueForCfgEdge(EdgeId);
+    if (E.SuccIndex < 0) {
+      // Synthetic edge to the virtual EXIT: the commit point in a return or
+      // longjmp block.
+      if (Options.FoldFinalValues) {
+        Plan.ExitCommits.push_back(ExitCommit{E.From, Value});
+      } else {
+        if (Value != 0)
+          Plan.Increments.push_back(EdgeIncrement{EdgeId, Value});
+        Plan.ExitCommits.push_back(ExitCommit{E.From, 0});
+      }
+      continue;
+    }
+    if (Value != 0)
+      Plan.Increments.push_back(EdgeIncrement{EdgeId, Value});
+  }
+  return Plan;
+}

@@ -1,0 +1,76 @@
+//===- bl/InstrumentationPlan.h - Where path probes go ---------*- C++ -*-===//
+///
+/// \file
+/// Turns a PathNumbering into a placement plan: which CFG edges receive
+/// "r += Val" increments, where path sums are committed (return blocks and
+/// back edges), and whether the function's counters fit an array or need a
+/// hash table. The plan is representation-only; the instrumenter in
+/// src/prof lowers it to IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_BL_INSTRUMENTATIONPLAN_H
+#define PP_BL_INSTRUMENTATIONPLAN_H
+
+#include "bl/PathNumbering.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pp {
+namespace bl {
+
+/// Placement options.
+struct PlanOptions {
+  /// Fold the value of the final edge into the commit's table offset
+  /// instead of emitting a separate increment (the Figure 1(d) style
+  /// optimisation). When false, every nonzero edge gets an explicit
+  /// increment and commits use offset zero (Figure 1(c) style).
+  bool FoldFinalValues = true;
+  /// Path-count threshold above which counters live in a hash table
+  /// instead of a dense array (§2: "if the number of potential paths is
+  /// large").
+  uint64_t ArrayThreshold = 1 << 16;
+};
+
+/// An "r += Value" increment on a non-back CFG edge.
+struct EdgeIncrement {
+  unsigned CfgEdgeId;
+  uint64_t Value;
+};
+
+/// A path commit in a block that leaves the procedure (return or longjmp).
+/// The committed index is r + FoldValue.
+struct ExitCommit {
+  /// CFG node (block id) whose terminator leaves the procedure.
+  unsigned Node;
+  uint64_t FoldValue;
+};
+
+/// The combined commit/reset on a back edge: count[r + EndValue]++ then
+/// r = StartValue.
+struct BackedgeOp {
+  unsigned CfgEdgeId;
+  uint64_t EndValue;
+  uint64_t StartValue;
+};
+
+/// A complete placement plan for one function.
+struct PathPlan {
+  /// False when the potential-path count overflowed; the function must be
+  /// profiled some other way (e.g. edge profiling).
+  bool Valid = false;
+  uint64_t NumPaths = 0;
+  bool UseHashTable = false;
+  std::vector<EdgeIncrement> Increments;
+  std::vector<ExitCommit> ExitCommits;
+  std::vector<BackedgeOp> Backedges;
+};
+
+/// Builds the plan for \p PN.
+PathPlan buildPathPlan(const PathNumbering &PN, const PlanOptions &Options);
+
+} // namespace bl
+} // namespace pp
+
+#endif // PP_BL_INSTRUMENTATIONPLAN_H

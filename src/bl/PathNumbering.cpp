@@ -1,0 +1,222 @@
+//===- bl/PathNumbering.cpp - Ball-Larus path numbering --------------------===//
+
+#include "bl/PathNumbering.h"
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+using namespace pp;
+using namespace pp::bl;
+
+/// Path counts beyond this are treated as overflow; such functions cannot
+/// use path profiling and fall back to edge profiling.
+static constexpr uint64_t MaxPaths = uint64_t(1) << 62;
+
+PathNumbering::PathNumbering(const cfg::Cfg &G) : G(G) {
+  buildTransformedGraph();
+  computeNumPaths();
+  if (!Overflowed)
+    assignEdgeValues();
+}
+
+void PathNumbering::buildTransformedGraph() {
+  TOut.resize(G.numNodes());
+  RealIndex.assign(G.numEdges(), ~0u);
+  EntryPseudoIndex.assign(G.numEdges(), ~0u);
+
+  // Real (non-back) edges first, preserving successor order within each
+  // node; the order determines value assignment but any fixed order works.
+  for (unsigned Node = 0; Node != G.numNodes(); ++Node) {
+    if (!G.isReachable(Node))
+      continue;
+    for (unsigned EdgeId : G.outEdges(Node)) {
+      const cfg::Edge &E = G.edge(EdgeId);
+      if (G.isBackedge(EdgeId))
+        continue;
+      unsigned Index = static_cast<unsigned>(TEdges.size());
+      TEdges.push_back(TEdge{TEdgeKind::Real, E.From, E.To, EdgeId, 0});
+      TOut[E.From].push_back(Index);
+      RealIndex[EdgeId] = Index;
+    }
+  }
+
+  // Pseudo edges for every back edge b = v -> w: b_start = ENTRY -> w and
+  // b_end = v -> EXIT. A back edge *into* the entry block would make
+  // b_start a self-loop; such paths restart exactly like ordinary entry
+  // paths, so the pseudo edge is elided and the runtime reset value is 0
+  // (backedgeStartValue handles this case).
+  for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId) {
+    if (!G.isBackedge(EdgeId))
+      continue;
+    const cfg::Edge &E = G.edge(EdgeId);
+    if (E.To != G.entryNode()) {
+      unsigned StartIndex = static_cast<unsigned>(TEdges.size());
+      TEdges.push_back(
+          TEdge{TEdgeKind::EntryPseudo, G.entryNode(), E.To, EdgeId, 0});
+      TOut[G.entryNode()].push_back(StartIndex);
+      EntryPseudoIndex[EdgeId] = StartIndex;
+    }
+
+    unsigned EndIndex = static_cast<unsigned>(TEdges.size());
+    TEdges.push_back(
+        TEdge{TEdgeKind::ExitPseudo, E.From, G.exitNode(), EdgeId, 0});
+    TOut[E.From].push_back(EndIndex);
+    RealIndex[EdgeId] = EndIndex;
+  }
+}
+
+void PathNumbering::computeNumPaths() {
+  // The transformed graph is acyclic; compute a reverse topological order
+  // with an iterative DFS over it (finish order), then accumulate NP.
+  unsigned NumNodes = G.numNodes();
+  NumPathsFrom.assign(NumNodes, 0);
+
+  std::vector<unsigned> FinishOrder;
+  FinishOrder.reserve(NumNodes);
+  std::vector<uint8_t> Visited(NumNodes, 0); // 0 white, 1 grey, 2 black
+  struct Frame {
+    unsigned Node;
+    size_t NextOut;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({G.entryNode(), 0});
+  Visited[G.entryNode()] = 1;
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.NextOut == TOut[Top.Node].size()) {
+      Visited[Top.Node] = 2;
+      FinishOrder.push_back(Top.Node);
+      Stack.pop_back();
+      continue;
+    }
+    unsigned To = TEdges[TOut[Top.Node][Top.NextOut++]].To;
+    assert(Visited[To] != 1 && "transformed graph must be acyclic");
+    if (Visited[To] == 0) {
+      Visited[To] = 1;
+      Stack.push_back({To, 0});
+    }
+  }
+
+  // Finish order lists every node after all of its successors, so a single
+  // sweep suffices.
+  for (unsigned Node : FinishOrder) {
+    if (Node == G.exitNode()) {
+      NumPathsFrom[Node] = 1;
+      continue;
+    }
+    if (TOut[Node].empty()) {
+      // Reachable node with no way to EXIT cannot occur: every terminator
+      // either branches, returns (synthetic EXIT edge), or closes a loop
+      // (whose back edge contributes an ExitPseudo edge).
+      assert(false && "reachable node with no outgoing transformed edges");
+      NumPathsFrom[Node] = 0;
+      continue;
+    }
+    uint64_t Sum = 0;
+    for (unsigned Index : TOut[Node]) {
+      Sum += NumPathsFrom[TEdges[Index].To];
+      if (Sum >= MaxPaths) {
+        Overflowed = true;
+        return;
+      }
+    }
+    NumPathsFrom[Node] = Sum;
+  }
+}
+
+void PathNumbering::assignEdgeValues() {
+  // Val(e_i) = sum over earlier successors of NP (Figure 2).
+  for (unsigned Node = 0; Node != G.numNodes(); ++Node) {
+    uint64_t Prefix = 0;
+    for (unsigned Index : TOut[Node]) {
+      TEdges[Index].Val = Prefix;
+      Prefix += NumPathsFrom[TEdges[Index].To];
+    }
+  }
+}
+
+uint64_t PathNumbering::valueForCfgEdge(unsigned CfgEdgeId) const {
+  assert(!G.isBackedge(CfgEdgeId) && "use backedge{End,Start}Value");
+  unsigned Index = RealIndex[CfgEdgeId];
+  assert(Index != ~0u && "edge unreachable from ENTRY");
+  return TEdges[Index].Val;
+}
+
+uint64_t PathNumbering::backedgeEndValue(unsigned CfgEdgeId) const {
+  assert(G.isBackedge(CfgEdgeId) && "not a back edge");
+  unsigned Index = RealIndex[CfgEdgeId];
+  assert(Index != ~0u);
+  assert(TEdges[Index].Kind == TEdgeKind::ExitPseudo);
+  return TEdges[Index].Val;
+}
+
+uint64_t PathNumbering::backedgeStartValue(unsigned CfgEdgeId) const {
+  assert(G.isBackedge(CfgEdgeId) && "not a back edge");
+  unsigned Index = EntryPseudoIndex[CfgEdgeId];
+  if (Index == ~0u) {
+    // Back edge into the entry block: restarted paths are ordinary entry
+    // paths.
+    assert(G.edge(CfgEdgeId).To == G.entryNode());
+    return 0;
+  }
+  assert(TEdges[Index].Kind == TEdgeKind::EntryPseudo);
+  return TEdges[Index].Val;
+}
+
+RegeneratedPath PathNumbering::regenerate(uint64_t PathSum) const {
+  assert(valid() && "cannot regenerate paths after overflow");
+  assert(PathSum < numPaths() && "path sum out of range");
+
+  RegeneratedPath Path;
+  uint64_t Remaining = PathSum;
+  unsigned Node = G.entryNode();
+  bool First = true;
+  while (Node != G.exitNode()) {
+    // Successor values are strictly increasing prefix sums in TOut order,
+    // so the edge to take is the last one whose Val <= Remaining.
+    const std::vector<unsigned> &OutIds = TOut[Node];
+    assert(!OutIds.empty() && "walked into a dead end");
+    unsigned Chosen = OutIds[0];
+    for (unsigned Index : OutIds) {
+      if (TEdges[Index].Val <= Remaining)
+        Chosen = Index;
+      else
+        break;
+    }
+    const TEdge &E = TEdges[Chosen];
+    assert(E.Val <= Remaining);
+    Remaining -= E.Val;
+
+    if (First) {
+      First = false;
+      if (E.Kind == TEdgeKind::EntryPseudo) {
+        // Path begins just after a back edge: its first block is the loop
+        // head the back edge targets.
+        Path.StartsAfterBackedge = true;
+        Path.EntryBackedge = E.CfgEdgeId;
+        Path.Nodes.push_back(E.To);
+        Node = E.To;
+        continue;
+      }
+      Path.Nodes.push_back(Node);
+    }
+    switch (E.Kind) {
+    case TEdgeKind::Real:
+      Path.Edges.push_back(E.CfgEdgeId);
+      if (E.To != G.exitNode())
+        Path.Nodes.push_back(E.To);
+      break;
+    case TEdgeKind::ExitPseudo:
+      Path.EndsWithBackedge = true;
+      Path.ExitBackedge = E.CfgEdgeId;
+      break;
+    case TEdgeKind::EntryPseudo:
+      assert(false && "entry pseudo edge cannot occur mid-path");
+      break;
+    }
+    Node = E.To;
+  }
+  assert(Remaining == 0 && "path sum not fully consumed");
+  return Path;
+}

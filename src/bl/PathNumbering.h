@@ -1,0 +1,137 @@
+//===- bl/PathNumbering.h - Ball-Larus path numbering ----------*- C++ -*-===//
+///
+/// \file
+/// The Ball-Larus efficient path profiling algorithm (§2 of the paper):
+///
+///  * transforms a cyclic CFG into an acyclic one by replacing every back
+///    edge b = v -> w with the pseudo edges b_start = ENTRY -> w and
+///    b_end = v -> EXIT;
+///  * computes NP(n), the number of paths from n to EXIT, in reverse
+///    topological order;
+///  * assigns each edge a value Val(e) so that summing the values along any
+///    ENTRY -> EXIT path produces a unique sum in [0, NP(ENTRY));
+///  * regenerates the block sequence of a path from its sum.
+///
+/// The numbering handles reducible and irreducible CFGs (back edges come
+/// from a DFS, whose removal always leaves an acyclic graph).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_BL_PATHNUMBERING_H
+#define PP_BL_PATHNUMBERING_H
+
+#include "cfg/Cfg.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pp {
+namespace bl {
+
+/// Kind of an edge of the transformed (acyclic) graph.
+enum class TEdgeKind : uint8_t {
+  /// An original CFG edge that is not a back edge.
+  Real,
+  /// ENTRY -> w, standing for "a path that begins by taking back edge
+  /// v -> w".
+  EntryPseudo,
+  /// v -> EXIT, standing for "a path that ends by taking back edge
+  /// v -> w".
+  ExitPseudo,
+};
+
+/// One edge of the transformed graph, with its assigned value.
+struct TEdge {
+  TEdgeKind Kind;
+  unsigned From;
+  unsigned To;
+  /// The originating CFG edge: itself for Real edges, the back edge for
+  /// pseudo edges.
+  unsigned CfgEdgeId;
+  /// The Ball-Larus increment for this edge.
+  uint64_t Val = 0;
+};
+
+/// A path reconstructed from its path sum.
+struct RegeneratedPath {
+  /// Executed blocks, as CFG node indices (never includes the virtual
+  /// EXIT). Starts at the function entry, or at a loop head if the path
+  /// began with a back edge.
+  std::vector<unsigned> Nodes;
+  /// True when the path begins just after a back edge was taken.
+  bool StartsAfterBackedge = false;
+  /// True when the path ends by taking a back edge (rather than returning).
+  bool EndsWithBackedge = false;
+  /// CFG edge id of the back edge the path starts after / ends with
+  /// (~0u when not applicable). Distinguishes paths whose block sequences
+  /// coincide but that follow different back edges.
+  unsigned EntryBackedge = ~0u;
+  unsigned ExitBackedge = ~0u;
+  /// CFG edge ids of the ordinary edges traversed, in order. Parallel
+  /// edges (a conditional branch whose arms share a target) make this the
+  /// path's true identity; the node list alone can collide.
+  std::vector<unsigned> Edges;
+};
+
+/// Path numbering for one function's CFG. The paths that can exceed 64-bit
+/// counts are detected: valid() returns false and the function must fall
+/// back to edge profiling (numbers this large never index tables anyway).
+class PathNumbering {
+public:
+  explicit PathNumbering(const cfg::Cfg &G);
+
+  const cfg::Cfg &graph() const { return G; }
+
+  /// False if the potential-path count overflowed 2^62.
+  bool valid() const { return !Overflowed; }
+
+  /// NP(ENTRY): number of distinct measurable paths; path sums lie in
+  /// [0, numPaths()).
+  uint64_t numPaths() const { return NumPathsFrom[G.entryNode()]; }
+
+  /// NP(n) for any node (0 for nodes unreachable from ENTRY).
+  uint64_t numPathsFrom(unsigned Node) const { return NumPathsFrom[Node]; }
+
+  const std::vector<TEdge> &transformedEdges() const { return TEdges; }
+
+  /// Out-edge indices (into transformedEdges()) of \p Node, in the order
+  /// used for value assignment.
+  const std::vector<unsigned> &transformedOutEdges(unsigned Node) const {
+    return TOut[Node];
+  }
+
+  /// Val(e) for a non-back-edge CFG edge (the "r += Val" increment).
+  uint64_t valueForCfgEdge(unsigned CfgEdgeId) const;
+
+  /// For back edge \p CfgEdgeId: the value of its v -> EXIT pseudo edge
+  /// (added to r when committing the ending path, "count[r+END]++").
+  uint64_t backedgeEndValue(unsigned CfgEdgeId) const;
+
+  /// For back edge \p CfgEdgeId: the value of its ENTRY -> w pseudo edge
+  /// (the new path sum after the back edge, "r = START").
+  uint64_t backedgeStartValue(unsigned CfgEdgeId) const;
+
+  /// Reconstructs the block sequence for \p PathSum (< numPaths()).
+  RegeneratedPath regenerate(uint64_t PathSum) const;
+
+private:
+  void buildTransformedGraph();
+  void computeNumPaths();
+  void assignEdgeValues();
+
+  const cfg::Cfg &G;
+  bool Overflowed = false;
+  std::vector<TEdge> TEdges;
+  std::vector<std::vector<unsigned>> TOut;
+  std::vector<uint64_t> NumPathsFrom;
+  /// Map from CFG edge id to transformed-edge index for Real edges, or to
+  /// the ExitPseudo index for back edges; ~0u when absent.
+  std::vector<unsigned> RealIndex;
+  /// Map from back-edge CFG id to its EntryPseudo index; ~0u when absent.
+  std::vector<unsigned> EntryPseudoIndex;
+};
+
+} // namespace bl
+} // namespace pp
+
+#endif // PP_BL_PATHNUMBERING_H

@@ -1,0 +1,32 @@
+//===- cct/DynamicCallTree.cpp - DCT and DCG references --------------------===//
+
+#include "cct/DynamicCallTree.h"
+
+#include <map>
+
+using namespace pp;
+using namespace pp::cct;
+
+size_t DynamicCallTree::numDistinctContexts() const {
+  // Two activations share a context iff they share a (procedure, parent
+  // context) pair; count equivalence classes with a trie walk over the
+  // tree, merging identical-procedure siblings.
+  size_t Count = 0;
+  // Work list of merged sibling groups: each group is a set of DCT nodes
+  // that map to the same context.
+  std::vector<std::vector<int>> Work;
+  Work.push_back({0});
+  while (!Work.empty()) {
+    std::vector<int> Group = std::move(Work.back());
+    Work.pop_back();
+    if (Nodes[Group.front()].Proc != RootProcId)
+      ++Count;
+    std::map<ProcId, std::vector<int>> ByProc;
+    for (int Index : Group)
+      for (int Child : Nodes[Index].Children)
+        ByProc[Nodes[Child].Proc].push_back(Child);
+    for (auto &[Proc, Members] : ByProc)
+      Work.push_back(std::move(Members));
+  }
+  return Count;
+}

@@ -1,0 +1,138 @@
+//===- cct/Export.cpp - CCT serialisation and dot export -------------------===//
+
+#include "cct/Export.h"
+
+#include "support/Format.h"
+
+#include <cstring>
+#include <unordered_map>
+
+using namespace pp;
+using namespace pp::cct;
+
+namespace {
+
+constexpr uint32_t Magic = 0x50504354; // "PPCT"
+
+void writeU64(std::vector<uint8_t> &Out, uint64_t Value) {
+  for (unsigned Index = 0; Index != 8; ++Index)
+    Out.push_back(static_cast<uint8_t>(Value >> (8 * Index)));
+}
+
+class Reader {
+public:
+  explicit Reader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool readU64(uint64_t &Value) {
+    if (Cursor + 8 > Bytes.size())
+      return false;
+    Value = 0;
+    for (unsigned Index = 0; Index != 8; ++Index)
+      Value |= uint64_t(Bytes[Cursor + Index]) << (8 * Index);
+    Cursor += 8;
+    return true;
+  }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t Cursor = 0;
+};
+
+} // namespace
+
+std::vector<uint8_t> cct::serialize(const CallingContextTree &Tree) {
+  std::vector<uint8_t> Out;
+  writeU64(Out, Magic);
+  writeU64(Out, Tree.numRecords());
+
+  std::unordered_map<const CallRecord *, uint64_t> IndexOf;
+  for (size_t Index = 0; Index != Tree.records().size(); ++Index)
+    IndexOf[Tree.records()[Index].get()] = Index;
+
+  for (const auto &R : Tree.records()) {
+    writeU64(Out, R->procId());
+    writeU64(Out, R->parent() ? IndexOf.at(R->parent()) + 1 : 0);
+    writeU64(Out, R->Metrics.size());
+    for (uint64_t Metric : R->Metrics)
+      writeU64(Out, Metric);
+    writeU64(Out, R->PathTable.size());
+    for (const auto &[Sum, Cell] : R->PathTable) {
+      writeU64(Out, Sum);
+      writeU64(Out, Cell.Freq);
+      writeU64(Out, Cell.Metric0);
+      writeU64(Out, Cell.Metric1);
+    }
+  }
+  return Out;
+}
+
+bool cct::deserialize(const std::vector<uint8_t> &Bytes,
+                      std::vector<LoadedRecord> &Out) {
+  Reader R(Bytes);
+  uint64_t Header, NumRecords;
+  if (!R.readU64(Header) || Header != Magic || !R.readU64(NumRecords))
+    return false;
+  Out.clear();
+  Out.reserve(NumRecords);
+  for (uint64_t Index = 0; Index != NumRecords; ++Index) {
+    LoadedRecord Record;
+    uint64_t Proc, ParentPlus1, NumMetrics, NumCells;
+    if (!R.readU64(Proc) || !R.readU64(ParentPlus1) || !R.readU64(NumMetrics))
+      return false;
+    Record.Proc = static_cast<ProcId>(Proc);
+    if (ParentPlus1 > Index)
+      return false; // parents precede children in allocation order
+    Record.Parent = static_cast<int>(ParentPlus1) - 1;
+    Record.Metrics.resize(NumMetrics);
+    for (uint64_t M = 0; M != NumMetrics; ++M)
+      if (!R.readU64(Record.Metrics[M]))
+        return false;
+    if (!R.readU64(NumCells))
+      return false;
+    for (uint64_t C = 0; C != NumCells; ++C) {
+      uint64_t Sum;
+      PathCell Cell;
+      if (!R.readU64(Sum) || !R.readU64(Cell.Freq) ||
+          !R.readU64(Cell.Metric0) || !R.readU64(Cell.Metric1))
+        return false;
+      Record.PathCells.push_back({Sum, Cell});
+    }
+    Out.push_back(std::move(Record));
+  }
+  return true;
+}
+
+std::string cct::exportDot(const CallingContextTree &Tree) {
+  std::string Out = "digraph cct {\n  node [shape=box];\n";
+  std::unordered_map<const CallRecord *, uint64_t> IndexOf;
+  for (size_t Index = 0; Index != Tree.records().size(); ++Index)
+    IndexOf[Tree.records()[Index].get()] = Index;
+
+  for (const auto &R : Tree.records()) {
+    std::string Label =
+        R->procId() == RootProcId
+            ? std::string("T")
+            : Tree.procDesc(R->procId()).Name;
+    Out += formatString("  n%llu [label=\"%s\"];\n",
+                        (unsigned long long)IndexOf.at(R.get()),
+                        Label.c_str());
+  }
+  for (const auto &R : Tree.records()) {
+    uint64_t From = IndexOf.at(R.get());
+    auto EmitEdge = [&](const CallRecord *To) {
+      bool TreeEdge = To->parent() == R.get();
+      Out += formatString("  n%llu -> n%llu%s;\n", (unsigned long long)From,
+                          (unsigned long long)IndexOf.at(To),
+                          TreeEdge ? "" : " [style=dashed]");
+    };
+    for (unsigned Index = 0; Index != R->numSlots(); ++Index) {
+      const CallRecord::Slot &S = R->slot(Index);
+      if (S.K == CallRecord::Slot::Kind::Record && S.Direct)
+        EmitEdge(S.Direct);
+      else if (S.K == CallRecord::Slot::Kind::List)
+        for (const auto &Cell : S.List)
+          EmitEdge(Cell.first);
+    }
+  }
+  return Out + "}\n";
+}

@@ -1,0 +1,106 @@
+//===- cfg/Cfg.cpp - Control flow graph snapshot ---------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "ir/Function.h"
+
+#include <cassert>
+
+using namespace pp;
+using namespace pp::cfg;
+
+Cfg::Cfg(const ir::Function &F) : F(F) {
+  NumNodes = static_cast<unsigned>(F.numBlocks()) + 1; // +1 for virtual EXIT
+  build();
+  computeReachability();
+  computeBackedgesAndOrder();
+}
+
+ir::BasicBlock *Cfg::block(unsigned Node) const {
+  if (Node == exitNode())
+    return nullptr;
+  return F.block(Node);
+}
+
+void Cfg::build() {
+  Out.resize(NumNodes);
+  In.resize(NumNodes);
+  for (unsigned Node = 0; Node + 1 < NumNodes; ++Node) {
+    const ir::BasicBlock *BB = F.block(Node);
+    assert(BB->id() == Node && "block ids must be dense and in order");
+    unsigned NumSuccs = BB->numSuccessors();
+    if (NumSuccs == 0) {
+      // Return / longjmp: synthetic edge to the virtual EXIT.
+      unsigned Id = static_cast<unsigned>(Edges.size());
+      Edges.push_back(Edge{Id, Node, exitNode(), -1});
+      Out[Node].push_back(Id);
+      In[exitNode()].push_back(Id);
+      continue;
+    }
+    for (unsigned SuccIndex = 0; SuccIndex != NumSuccs; ++SuccIndex) {
+      unsigned To = BB->successor(SuccIndex)->id();
+      unsigned Id = static_cast<unsigned>(Edges.size());
+      Edges.push_back(Edge{Id, Node, To, static_cast<int>(SuccIndex)});
+      Out[Node].push_back(Id);
+      In[To].push_back(Id);
+    }
+  }
+}
+
+void Cfg::computeReachability() {
+  Reachable.assign(NumNodes, false);
+  std::vector<unsigned> Stack;
+  Stack.push_back(entryNode());
+  Reachable[entryNode()] = true;
+  while (!Stack.empty()) {
+    unsigned Node = Stack.back();
+    Stack.pop_back();
+    for (unsigned EdgeId : Out[Node]) {
+      unsigned To = Edges[EdgeId].To;
+      if (!Reachable[To]) {
+        Reachable[To] = true;
+        Stack.push_back(To);
+      }
+    }
+  }
+}
+
+void Cfg::computeBackedgesAndOrder() {
+  IsBackedge.assign(Edges.size(), false);
+  RevTopo.clear();
+  RevTopo.reserve(NumNodes);
+
+  // Iterative DFS with an explicit edge cursor. An edge whose target is on
+  // the DFS stack is a back edge; finished nodes are appended to RevTopo,
+  // which therefore holds a reverse topological order of the graph with
+  // back edges removed (finish order = reverse topological order of the
+  // remaining DAG).
+  enum Colour : uint8_t { White, Grey, Black };
+  std::vector<Colour> Colours(NumNodes, White);
+  struct StackFrame {
+    unsigned Node;
+    size_t NextOut;
+  };
+  std::vector<StackFrame> Stack;
+  Stack.push_back({entryNode(), 0});
+  Colours[entryNode()] = Grey;
+
+  while (!Stack.empty()) {
+    StackFrame &Top = Stack.back();
+    if (Top.NextOut == Out[Top.Node].size()) {
+      Colours[Top.Node] = Black;
+      RevTopo.push_back(Top.Node);
+      Stack.pop_back();
+      continue;
+    }
+    unsigned EdgeId = Out[Top.Node][Top.NextOut++];
+    unsigned To = Edges[EdgeId].To;
+    if (Colours[To] == Grey) {
+      IsBackedge[EdgeId] = true;
+      ++NumBackedges;
+    } else if (Colours[To] == White) {
+      Colours[To] = Grey;
+      Stack.push_back({To, 0});
+    }
+  }
+}

@@ -1,0 +1,100 @@
+//===- cfg/Cfg.h - Control flow graph snapshot -----------------*- C++ -*-===//
+///
+/// \file
+/// A control-flow-graph snapshot of one function, with the normalisation
+/// path profiling requires (§2 of the paper): a unique ENTRY (the function's
+/// entry block) and a unique virtual EXIT that every return/longjmp block
+/// feeds. Edges get dense ids so analyses can attach per-edge data; each
+/// edge remembers the (block, successor-index) pair that identifies it in
+/// the IR so the instrumenter can find it again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_CFG_CFG_H
+#define PP_CFG_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pp {
+namespace ir {
+class BasicBlock;
+class Function;
+} // namespace ir
+
+namespace cfg {
+
+/// One directed edge of the snapshot.
+struct Edge {
+  /// Dense edge id, index into Cfg's edge array.
+  unsigned Id;
+  /// Source and destination node indices.
+  unsigned From;
+  unsigned To;
+  /// Successor index in the source block's terminator, or -1 for the
+  /// synthetic edge from a return/longjmp block to the virtual EXIT.
+  int SuccIndex;
+};
+
+/// Immutable CFG snapshot. Node i (< numBlocks) corresponds to block(i) of
+/// the function; node exitNode() is the virtual EXIT. The entry node is 0.
+class Cfg {
+public:
+  explicit Cfg(const ir::Function &F);
+
+  const ir::Function &function() const { return F; }
+
+  unsigned numNodes() const { return NumNodes; }
+  unsigned entryNode() const { return 0; }
+  unsigned exitNode() const { return NumNodes - 1; }
+
+  /// Block for node \p Node; null for the virtual EXIT node.
+  ir::BasicBlock *block(unsigned Node) const;
+
+  unsigned numEdges() const { return static_cast<unsigned>(Edges.size()); }
+  const Edge &edge(unsigned Id) const { return Edges[Id]; }
+  const std::vector<Edge> &edges() const { return Edges; }
+
+  /// Out-edge ids of \p Node, in successor order.
+  const std::vector<unsigned> &outEdges(unsigned Node) const {
+    return Out[Node];
+  }
+  /// In-edge ids of \p Node.
+  const std::vector<unsigned> &inEdges(unsigned Node) const {
+    return In[Node];
+  }
+
+  /// True for nodes reachable from the entry node.
+  bool isReachable(unsigned Node) const { return Reachable[Node]; }
+
+  /// Edge ids that are DFS back edges (targets on the DFS stack). Removing
+  /// them always leaves the graph acyclic, for reducible and irreducible
+  /// CFGs alike.
+  const std::vector<bool> &backedges() const { return IsBackedge; }
+  bool isBackedge(unsigned EdgeId) const { return IsBackedge[EdgeId]; }
+  unsigned numBackedges() const { return NumBackedges; }
+
+  /// Reverse topological order of the reachable nodes of the graph with
+  /// back edges removed (EXIT first, ENTRY last).
+  const std::vector<unsigned> &reverseTopoOrder() const { return RevTopo; }
+
+private:
+  void build();
+  void computeReachability();
+  void computeBackedgesAndOrder();
+
+  const ir::Function &F;
+  unsigned NumNodes = 0;
+  std::vector<Edge> Edges;
+  std::vector<std::vector<unsigned>> Out;
+  std::vector<std::vector<unsigned>> In;
+  std::vector<bool> Reachable;
+  std::vector<bool> IsBackedge;
+  unsigned NumBackedges = 0;
+  std::vector<unsigned> RevTopo;
+};
+
+} // namespace cfg
+} // namespace pp
+
+#endif // PP_CFG_CFG_H

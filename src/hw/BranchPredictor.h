@@ -1,0 +1,68 @@
+//===- hw/BranchPredictor.h - Direction + target prediction ----*- C++ -*-===//
+///
+/// \file
+/// A 2-bit saturating-counter direction predictor for conditional branches
+/// plus a one-entry-per-slot branch target buffer for indirect transfers
+/// (switch tables and indirect calls). Mispredictions cost a fixed number
+/// of stall cycles in the cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_HW_BRANCHPREDICTOR_H
+#define PP_HW_BRANCHPREDICTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pp {
+namespace hw {
+
+/// Direction and indirect-target prediction state.
+class BranchPredictor {
+public:
+  explicit BranchPredictor(unsigned TableBits = 12)
+      : Mask((1u << TableBits) - 1),
+        Counters(size_t(1) << TableBits, 1 /* weakly not-taken */),
+        Targets(size_t(1) << TableBits, 0) {}
+
+  /// Records the outcome of the conditional branch at \p Addr; returns true
+  /// when the prediction was correct.
+  bool predictConditional(uint64_t Addr, bool Taken) {
+    uint8_t &Counter = Counters[index(Addr)];
+    bool Predicted = Counter >= 2;
+    if (Taken) {
+      if (Counter < 3)
+        ++Counter;
+    } else if (Counter > 0) {
+      --Counter;
+    }
+    return Predicted == Taken;
+  }
+
+  /// Records the outcome of the indirect transfer at \p Addr; returns true
+  /// when the cached target matched.
+  bool predictIndirect(uint64_t Addr, uint64_t Target) {
+    uint64_t &Cached = Targets[index(Addr)];
+    bool Correct = Cached == Target;
+    Cached = Target;
+    return Correct;
+  }
+
+  void reset() {
+    Counters.assign(Counters.size(), 1);
+    Targets.assign(Targets.size(), 0);
+  }
+
+private:
+  size_t index(uint64_t Addr) const { return (Addr >> 2) & Mask; }
+
+  uint64_t Mask;
+  std::vector<uint8_t> Counters;
+  std::vector<uint64_t> Targets;
+};
+
+} // namespace hw
+} // namespace pp
+
+#endif // PP_HW_BRANCHPREDICTOR_H

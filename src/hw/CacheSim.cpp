@@ -1,0 +1,61 @@
+//===- hw/CacheSim.cpp - Set-associative cache simulator --------------------===//
+
+#include "hw/CacheSim.h"
+
+#include <bit>
+
+using namespace pp;
+using namespace pp::hw;
+
+CacheSim::CacheSim(const CacheConfig &Config) : Config(Config) {
+  assert(std::has_single_bit(Config.LineBytes) && "line size must be 2^k");
+  assert(Config.Associativity >= 1);
+  NumSets = Config.numSets();
+  assert(NumSets >= 1 && std::has_single_bit(NumSets) &&
+         "set count must be a power of two");
+  LineShift = static_cast<uint64_t>(std::countr_zero(Config.LineBytes));
+  Tags.assign(NumSets * Config.Associativity, 0);
+  Stamps.assign(NumSets * Config.Associativity, 0);
+}
+
+void CacheSim::reset() {
+  Tags.assign(Tags.size(), 0);
+  Stamps.assign(Stamps.size(), 0);
+  Clock = 0;
+  Accesses = 0;
+  Misses = 0;
+}
+
+bool CacheSim::access(uint64_t Addr, uint64_t Size) {
+  assert(Size >= 1);
+  ++Accesses;
+  uint64_t FirstLine = Addr >> LineShift;
+  uint64_t LastLine = (Addr + Size - 1) >> LineShift;
+  bool Miss = false;
+  for (uint64_t Line = FirstLine; Line <= LastLine; ++Line)
+    Miss |= touchLine(Line);
+  if (Miss)
+    ++Misses;
+  return Miss;
+}
+
+bool CacheSim::touchLine(uint64_t LineAddr) {
+  uint64_t Set = LineAddr & (NumSets - 1);
+  // Shift so a valid tag can never collide with the 0 invalid marker.
+  uint64_t Tag = (LineAddr >> std::countr_zero(NumSets)) + 1;
+  uint64_t *SetTags = &Tags[Set * Config.Associativity];
+  uint64_t *SetStamps = &Stamps[Set * Config.Associativity];
+  ++Clock;
+  unsigned Victim = 0;
+  for (unsigned Way = 0; Way != Config.Associativity; ++Way) {
+    if (SetTags[Way] == Tag) {
+      SetStamps[Way] = Clock;
+      return false; // hit
+    }
+    if (SetStamps[Way] < SetStamps[Victim])
+      Victim = Way;
+  }
+  SetTags[Victim] = Tag;
+  SetStamps[Victim] = Clock;
+  return true; // miss
+}

@@ -1,0 +1,43 @@
+//===- hw/CostModel.h - Microarchitectural cost constants ------*- C++ -*-===//
+///
+/// \file
+/// Latency and penalty constants of the simulated processor. The shape (not
+/// the absolute values) drives the reproduction: long-latency events that
+/// cannot overlap produce the stalls the paper attributes to paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_HW_COSTMODEL_H
+#define PP_HW_COSTMODEL_H
+
+#include <cstdint>
+
+namespace pp {
+namespace hw {
+
+/// Cycle costs charged by the machine.
+struct CostModel {
+  /// Extra cycles on an L1 D-cache miss (hit in the off-chip cache).
+  uint64_t DCacheMissPenalty = 6;
+  /// Extra cycles on an L1 I-cache miss.
+  uint64_t ICacheMissPenalty = 6;
+  /// Stall cycles on a branch or indirect-target misprediction.
+  uint64_t MispredictPenalty = 4;
+  /// Extra cycles for integer divide/remainder.
+  uint64_t DivCycles = 12;
+  /// Result latency of FP add/sub/mul/compare (scoreboarded).
+  uint64_t FpLatency = 3;
+  /// Result latency of FP divide.
+  uint64_t FpDivLatency = 12;
+  /// Result latency of loads (a dependent FP use stalls).
+  uint64_t LoadLatency = 2;
+  /// Store-buffer depth; stores beyond this drain rate stall the pipeline.
+  uint64_t StoreBufferDepth = 8;
+  /// Cycles for one store-buffer entry to drain.
+  uint64_t StoreDrainCycles = 2;
+};
+
+} // namespace hw
+} // namespace pp
+
+#endif // PP_HW_COSTMODEL_H

@@ -1,0 +1,33 @@
+//===- hw/Event.cpp - Hardware event kinds ----------------------------------===//
+
+#include "hw/Event.h"
+
+#include <cassert>
+
+using namespace pp;
+using namespace pp::hw;
+
+const char *hw::eventName(Event E) {
+  switch (E) {
+  case Event::Cycles:
+    return "Cycles";
+  case Event::Insts:
+    return "Insts";
+  case Event::DCacheReadMiss:
+    return "DC RdMiss";
+  case Event::DCacheWriteMiss:
+    return "DC WrMiss";
+  case Event::ICacheMiss:
+    return "IC Miss";
+  case Event::MispredictStall:
+    return "Mispredict";
+  case Event::StoreBufferStall:
+    return "StoreBuf";
+  case Event::FpStall:
+    return "FP Stall";
+  case Event::NumEvents:
+    break;
+  }
+  assert(false && "invalid event");
+  return "<invalid>";
+}

@@ -1,0 +1,42 @@
+//===- hw/Event.h - Hardware event kinds -----------------------*- C++ -*-===//
+///
+/// \file
+/// The hardware performance events the simulated machine counts. The set
+/// mirrors the UltraSPARC metrics in the paper's Table 2: cycles,
+/// instructions, D-cache read/write misses, I-cache misses, branch
+/// mispredict stalls, store-buffer stalls, and FP stalls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_HW_EVENT_H
+#define PP_HW_EVENT_H
+
+#include <cstdint>
+
+namespace pp {
+namespace hw {
+
+/// One countable hardware event. Stall kinds count stall *cycles*, matching
+/// the paper's "Mispredict Stalls" / "Store Buffer Stalls" / "FP Stalls".
+enum class Event : uint8_t {
+  Cycles,
+  Insts,
+  DCacheReadMiss,
+  DCacheWriteMiss,
+  ICacheMiss,
+  MispredictStall,
+  StoreBufferStall,
+  FpStall,
+  NumEvents
+};
+
+inline constexpr unsigned NumEvents =
+    static_cast<unsigned>(Event::NumEvents);
+
+/// Short column label for reports ("Cycles", "DC RdMiss", ...).
+const char *eventName(Event E);
+
+} // namespace hw
+} // namespace pp
+
+#endif // PP_HW_EVENT_H

@@ -1,0 +1,86 @@
+//===- hw/MemoryImage.h - Sparse simulated memory --------------*- C++ -*-===//
+///
+/// \file
+/// Byte-addressable sparse memory for the simulated machine. Pages are
+/// allocated zero-filled on first touch ("demand paged", like the CCT heap
+/// region in §4.2). Values are little-endian.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_HW_MEMORYIMAGE_H
+#define PP_HW_MEMORYIMAGE_H
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace pp {
+namespace hw {
+
+/// Sparse 64-bit address space backed by 4 KB pages.
+class MemoryImage {
+public:
+  static constexpr uint64_t PageBytes = 4096;
+
+  /// Reads \p Size bytes (1-8) at \p Addr, zero-extended.
+  uint64_t peek(uint64_t Addr, unsigned Size) const {
+    uint64_t Offset = Addr & (PageBytes - 1);
+    if (Offset + Size <= PageBytes) {
+      const uint8_t *Page = findPage(Addr);
+      if (!Page)
+        return 0;
+      uint64_t Value = 0;
+      std::memcpy(&Value, Page + Offset, Size);
+      return Value;
+    }
+    uint64_t Value = 0;
+    for (unsigned Index = 0; Index != Size; ++Index)
+      Value |= peek(Addr + Index, 1) << (8 * Index);
+    return Value;
+  }
+
+  /// Writes the low \p Size bytes of \p Value at \p Addr.
+  void poke(uint64_t Addr, unsigned Size, uint64_t Value) {
+    uint64_t Offset = Addr & (PageBytes - 1);
+    if (Offset + Size <= PageBytes) {
+      std::memcpy(getPage(Addr) + Offset, &Value, Size);
+      return;
+    }
+    for (unsigned Index = 0; Index != Size; ++Index)
+      poke(Addr + Index, 1, (Value >> (8 * Index)) & 0xff);
+  }
+
+  /// Copies \p Size bytes from \p Data to \p Addr.
+  void pokeBytes(uint64_t Addr, const uint8_t *Data, uint64_t Size) {
+    for (uint64_t Index = 0; Index != Size; ++Index)
+      poke(Addr + Index, 1, Data[Index]);
+  }
+
+  /// Number of pages materialised so far (the image's footprint).
+  size_t numPages() const { return Pages.size(); }
+
+  void clear() { Pages.clear(); }
+
+private:
+  const uint8_t *findPage(uint64_t Addr) const {
+    auto It = Pages.find(Addr / PageBytes);
+    return It == Pages.end() ? nullptr : It->second.get();
+  }
+
+  uint8_t *getPage(uint64_t Addr) {
+    std::unique_ptr<uint8_t[]> &Page = Pages[Addr / PageBytes];
+    if (!Page) {
+      Page = std::make_unique<uint8_t[]>(PageBytes);
+      std::memset(Page.get(), 0, PageBytes);
+    }
+    return Page.get();
+  }
+
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> Pages;
+};
+
+} // namespace hw
+} // namespace pp
+
+#endif // PP_HW_MEMORYIMAGE_H

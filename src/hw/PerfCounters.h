@@ -1,0 +1,81 @@
+//===- hw/PerfCounters.h - Hardware performance counters -------*- C++ -*-===//
+///
+/// \file
+/// The counter architecture the paper programs (§3, §5.1): the machine
+/// counts many event kinds, and two *program-accessible* 32-bit registers
+/// (PIC0/PIC1) can each be mapped to one event and read or written quickly
+/// from user code. The 32-bit width wraps, which is why PP measures short
+/// intraprocedural paths and accumulates into 64-bit memory counters.
+///
+/// Separately from the PICs, the full 64-bit per-event totals are always
+/// maintained; the experiment harness reads them as the "uninstrumented
+/// baseline" ground truth (standing in for the paper's 6-second sampling of
+/// an uninstrumented run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_HW_PERFCOUNTERS_H
+#define PP_HW_PERFCOUNTERS_H
+
+#include "hw/Event.h"
+
+#include <array>
+#include <cstdint>
+
+namespace pp {
+namespace hw {
+
+/// Event totals plus the two program-visible PIC registers.
+class PerfCounters {
+public:
+  PerfCounters() { Totals.fill(0); }
+
+  /// Selects which events the two PICs observe (the PCR write on a real
+  /// UltraSPARC, performed by the profiler before the run).
+  void selectPicEvents(Event Pic0, Event Pic1) {
+    Pic0Event = Pic0;
+    Pic1Event = Pic1;
+  }
+
+  Event pic0Event() const { return Pic0Event; }
+  Event pic1Event() const { return Pic1Event; }
+
+  /// Adds \p N occurrences of \p E.
+  void count(Event E, uint64_t N) {
+    Totals[static_cast<unsigned>(E)] += N;
+    // The PICs wrap at 32 bits, as on the UltraSPARC.
+    if (E == Pic0Event)
+      Pic0 = static_cast<uint32_t>(Pic0 + N);
+    if (E == Pic1Event)
+      Pic1 = static_cast<uint32_t>(Pic1 + N);
+  }
+
+  /// Full-width ground-truth total for \p E.
+  uint64_t total(Event E) const { return Totals[static_cast<unsigned>(E)]; }
+
+  /// The rd-of-both-PICs instruction: PIC0 in the low, PIC1 in the high
+  /// 32 bits.
+  uint64_t readPics() const {
+    return uint64_t(Pic0) | (uint64_t(Pic1) << 32);
+  }
+
+  /// The wr-of-both-PICs instruction.
+  void writePics(uint64_t Value) {
+    Pic0 = static_cast<uint32_t>(Value);
+    Pic1 = static_cast<uint32_t>(Value >> 32);
+  }
+
+  void resetTotals() { Totals.fill(0); }
+
+private:
+  std::array<uint64_t, NumEvents> Totals;
+  Event Pic0Event = Event::Cycles;
+  Event Pic1Event = Event::Insts;
+  uint32_t Pic0 = 0;
+  uint32_t Pic1 = 0;
+};
+
+} // namespace hw
+} // namespace pp
+
+#endif // PP_HW_PERFCOUNTERS_H

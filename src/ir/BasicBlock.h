@@ -1,0 +1,141 @@
+//===- ir/BasicBlock.h - IR basic block ------------------------*- C++ -*-===//
+///
+/// \file
+/// A basic block: a straight-line instruction sequence ending in exactly one
+/// terminator. Successors are derived from the terminator; the successor
+/// *order* is significant because path profiling identifies CFG edges by
+/// (block, successor index).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_IR_BASICBLOCK_H
+#define PP_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace ir {
+
+class Function;
+
+/// A node of a function's control flow graph.
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, unsigned Id, std::string Name)
+      : Parent(Parent), Id(Id), Name(std::move(Name)) {}
+
+  Function *parent() const { return Parent; }
+  /// Dense index of this block within its function, stable across
+  /// instrumentation (new blocks get fresh indices at the end) but
+  /// renumbered by Function::reorderBlocks.
+  unsigned id() const { return Id; }
+  /// Used by Function::reorderBlocks only.
+  void setId(unsigned NewId) { Id = NewId; }
+  const std::string &name() const { return Name; }
+
+  std::vector<Inst> &insts() { return Insts; }
+  const std::vector<Inst> &insts() const { return Insts; }
+
+  bool empty() const { return Insts.empty(); }
+
+  /// The block's terminator; the block must be non-empty and well-formed.
+  Inst &terminator() {
+    assert(!Insts.empty() && isTerminator(Insts.back().Op) &&
+           "block has no terminator");
+    return Insts.back();
+  }
+  const Inst &terminator() const {
+    return const_cast<BasicBlock *>(this)->terminator();
+  }
+
+  /// True once the block ends in a terminator instruction.
+  bool hasTerminator() const {
+    return !Insts.empty() && isTerminator(Insts.back().Op);
+  }
+
+  /// Number of CFG successors, derived from the terminator.
+  unsigned numSuccessors() const {
+    const Inst &T = terminator();
+    switch (T.Op) {
+    case Opcode::Br:
+      return 1;
+    case Opcode::CondBr:
+      return 2;
+    case Opcode::Switch:
+      return 1 + static_cast<unsigned>(T.SwitchTargets.size());
+    case Opcode::Ret:
+    case Opcode::Longjmp:
+      return 0;
+    default:
+      assert(false && "non-terminator at end of block");
+      return 0;
+    }
+  }
+
+  /// Successor \p Index in canonical edge order: CondBr lists the taken
+  /// (true) edge first; Switch lists the default edge first, then cases.
+  BasicBlock *successor(unsigned Index) const {
+    const Inst &T = terminator();
+    switch (T.Op) {
+    case Opcode::Br:
+      assert(Index == 0);
+      return T.T1;
+    case Opcode::CondBr:
+      assert(Index < 2);
+      return Index == 0 ? T.T1 : T.T2;
+    case Opcode::Switch:
+      if (Index == 0)
+        return T.T1;
+      assert(Index - 1 < T.SwitchTargets.size());
+      return T.SwitchTargets[Index - 1];
+    default:
+      assert(false && "block has no successors");
+      return nullptr;
+    }
+  }
+
+  /// Redirects successor \p Index to \p NewTarget (used when splitting
+  /// critical edges during instrumentation).
+  void setSuccessor(unsigned Index, BasicBlock *NewTarget) {
+    Inst &T = terminator();
+    switch (T.Op) {
+    case Opcode::Br:
+      assert(Index == 0);
+      T.T1 = NewTarget;
+      return;
+    case Opcode::CondBr:
+      assert(Index < 2);
+      (Index == 0 ? T.T1 : T.T2) = NewTarget;
+      return;
+    case Opcode::Switch:
+      if (Index == 0) {
+        T.T1 = NewTarget;
+        return;
+      }
+      assert(Index - 1 < T.SwitchTargets.size());
+      T.SwitchTargets[Index - 1] = NewTarget;
+      return;
+    default:
+      assert(false && "block has no successors");
+    }
+  }
+
+  /// Index of the instruction before which non-terminator code should be
+  /// appended (i.e. just before the terminator if present).
+  size_t appendPos() const { return hasTerminator() ? Insts.size() - 1 : Insts.size(); }
+
+private:
+  Function *Parent;
+  unsigned Id;
+  std::string Name;
+  std::vector<Inst> Insts;
+};
+
+} // namespace ir
+} // namespace pp
+
+#endif // PP_IR_BASICBLOCK_H

@@ -1,0 +1,115 @@
+//===- ir/Function.h - IR function -----------------------------*- C++ -*-===//
+///
+/// \file
+/// A function: an owned list of basic blocks with a distinguished entry
+/// block, a parameter count, and a virtual register file. Functions carry a
+/// dense id used as their "address" for indirect calls, mirroring how the
+/// paper uses a procedure's start address as its identifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_IR_FUNCTION_H
+#define PP_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace ir {
+
+class Module;
+
+/// A procedure in the simulated program.
+class Function {
+public:
+  Function(Module *Parent, unsigned Id, std::string Name, unsigned NumParams)
+      : Parent(Parent), Id(Id), Name(std::move(Name)), NumParams(NumParams),
+        NumRegs(NumParams) {}
+
+  Module *parent() const { return Parent; }
+  unsigned id() const { return Id; }
+  const std::string &name() const { return Name; }
+  unsigned numParams() const { return NumParams; }
+
+  /// Number of virtual registers in use; registers [0, numParams) hold the
+  /// arguments on entry.
+  unsigned numRegs() const { return NumRegs; }
+
+  /// Allocates a fresh virtual register (the instrumenter relies on this,
+  /// like EEL finding a free register for the path sum).
+  Reg freshReg() { return NumRegs++; }
+
+  /// Appends a new basic block. The first block created is the entry block.
+  BasicBlock *addBlock(std::string BlockName) {
+    Blocks.push_back(std::make_unique<BasicBlock>(
+        this, static_cast<unsigned>(Blocks.size()), std::move(BlockName)));
+    return Blocks.back().get();
+  }
+
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  size_t numBlocks() const { return Blocks.size(); }
+  BasicBlock *block(size_t Index) const { return Blocks[Index].get(); }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// Reorders the blocks to \p NewOrder (a permutation of all blocks whose
+  /// first element is the current entry's replacement — it becomes the new
+  /// entry). Block ids are reassigned to match, and the loader lays code
+  /// out in this order, so profile-guided layout (hot paths first) changes
+  /// the simulated I-cache behaviour.
+  void reorderBlocks(const std::vector<BasicBlock *> &NewOrder) {
+    assert(NewOrder.size() == Blocks.size() && "not a permutation");
+    std::vector<std::unique_ptr<BasicBlock>> Reordered;
+    Reordered.reserve(Blocks.size());
+    for (BasicBlock *BB : NewOrder) {
+      auto It = std::find_if(
+          Blocks.begin(), Blocks.end(),
+          [BB](const std::unique_ptr<BasicBlock> &Own) {
+            return Own.get() == BB;
+          });
+      assert(It != Blocks.end() && "block not owned by this function");
+      Reordered.push_back(std::move(*It));
+      Blocks.erase(It);
+    }
+    assert(Blocks.empty() && "duplicate blocks in permutation");
+    Blocks = std::move(Reordered);
+    for (unsigned Index = 0; Index != Blocks.size(); ++Index)
+      Blocks[Index]->setId(Index);
+  }
+
+  /// Total instruction count across all blocks (the function's code size).
+  size_t numInsts() const {
+    size_t N = 0;
+    for (const auto &BB : Blocks)
+      N += BB->insts().size();
+    return N;
+  }
+
+  /// Marks the function as carrying profiling instrumentation.
+  void setInstrumented(bool Value) { Instrumented = Value; }
+  bool isInstrumented() const { return Instrumented; }
+
+private:
+  Module *Parent;
+  unsigned Id;
+  std::string Name;
+  unsigned NumParams;
+  unsigned NumRegs;
+  bool Instrumented = false;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace ir
+} // namespace pp
+
+#endif // PP_IR_FUNCTION_H

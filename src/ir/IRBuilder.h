@@ -1,0 +1,307 @@
+//===- ir/IRBuilder.h - Convenience IR constructor -------------*- C++ -*-===//
+///
+/// \file
+/// IRBuilder appends instructions to a basic block, allocating destination
+/// registers on demand. Workload generators and the instrumenter use it to
+/// emit code compactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_IR_IRBUILDER_H
+#define PP_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <bit>
+#include <cassert>
+
+namespace pp {
+namespace ir {
+
+/// Emits instructions at the end of a block (before its terminator, once one
+/// exists). Reposition with setBlock().
+class IRBuilder {
+public:
+  explicit IRBuilder(Function *F) : F(F), BB(nullptr) {}
+  IRBuilder(Function *F, BasicBlock *BB) : F(F), BB(BB) {}
+
+  Function *function() const { return F; }
+  BasicBlock *block() const { return BB; }
+  void setBlock(BasicBlock *NewBB) { BB = NewBB; }
+
+  /// Creates a new block in the function (does not reposition).
+  BasicBlock *makeBlock(std::string Name) { return F->addBlock(std::move(Name)); }
+
+  // --- Data movement -----------------------------------------------------
+
+  /// Dst = Imm.
+  Reg movImm(int64_t Imm) { return emitDst(Opcode::Mov, NoReg, immOp(Imm)); }
+
+  /// Dst = bit pattern of the double \p Value.
+  Reg movFpImm(double Value) {
+    return movImm(static_cast<int64_t>(std::bit_cast<uint64_t>(Value)));
+  }
+
+  /// Dst = Src.
+  Reg mov(Reg Src) { return emitDst(Opcode::Mov, NoReg, regOp(Src)); }
+
+  /// Existing = Imm (writes into a caller-chosen register).
+  void movInto(Reg Dst, int64_t Imm) {
+    Inst I = makeInst(Opcode::Mov, NoReg, immOp(Imm));
+    I.Dst = Dst;
+    append(std::move(I));
+  }
+
+  /// Existing = Src.
+  void movRegInto(Reg Dst, Reg Src) {
+    Inst I = makeInst(Opcode::Mov, NoReg, regOp(Src));
+    I.Dst = Dst;
+    append(std::move(I));
+  }
+
+  // --- Integer ALU ---------------------------------------------------------
+
+  Reg add(Reg A, Reg B) { return emitDst(Opcode::Add, A, regOp(B)); }
+  Reg addImm(Reg A, int64_t Imm) { return emitDst(Opcode::Add, A, immOp(Imm)); }
+  Reg sub(Reg A, Reg B) { return emitDst(Opcode::Sub, A, regOp(B)); }
+  Reg subImm(Reg A, int64_t Imm) { return emitDst(Opcode::Sub, A, immOp(Imm)); }
+  Reg mul(Reg A, Reg B) { return emitDst(Opcode::Mul, A, regOp(B)); }
+  Reg mulImm(Reg A, int64_t Imm) { return emitDst(Opcode::Mul, A, immOp(Imm)); }
+  Reg divOp(Reg A, Reg B) { return emitDst(Opcode::Div, A, regOp(B)); }
+  Reg divImm(Reg A, int64_t Imm) { return emitDst(Opcode::Div, A, immOp(Imm)); }
+  Reg rem(Reg A, Reg B) { return emitDst(Opcode::Rem, A, regOp(B)); }
+  Reg remImm(Reg A, int64_t Imm) { return emitDst(Opcode::Rem, A, immOp(Imm)); }
+  Reg andOp(Reg A, Reg B) { return emitDst(Opcode::And, A, regOp(B)); }
+  Reg andImm(Reg A, int64_t Imm) { return emitDst(Opcode::And, A, immOp(Imm)); }
+  Reg orOp(Reg A, Reg B) { return emitDst(Opcode::Or, A, regOp(B)); }
+  Reg orImm(Reg A, int64_t Imm) { return emitDst(Opcode::Or, A, immOp(Imm)); }
+  Reg xorOp(Reg A, Reg B) { return emitDst(Opcode::Xor, A, regOp(B)); }
+  Reg xorImm(Reg A, int64_t Imm) { return emitDst(Opcode::Xor, A, immOp(Imm)); }
+  Reg shlImm(Reg A, int64_t Imm) { return emitDst(Opcode::Shl, A, immOp(Imm)); }
+  Reg shrImm(Reg A, int64_t Imm) { return emitDst(Opcode::Shr, A, immOp(Imm)); }
+
+  /// addInto: Dst += Imm, in place (the path-register update "r += c").
+  void addImmInto(Reg Dst, int64_t Imm) {
+    Inst I = makeInst(Opcode::Add, Dst, immOp(Imm));
+    I.Dst = Dst;
+    append(std::move(I));
+  }
+
+  // --- Comparisons ---------------------------------------------------------
+
+  Reg cmpEq(Reg A, Reg B) { return emitDst(Opcode::CmpEq, A, regOp(B)); }
+  Reg cmpEqImm(Reg A, int64_t Imm) { return emitDst(Opcode::CmpEq, A, immOp(Imm)); }
+  Reg cmpNe(Reg A, Reg B) { return emitDst(Opcode::CmpNe, A, regOp(B)); }
+  Reg cmpNeImm(Reg A, int64_t Imm) { return emitDst(Opcode::CmpNe, A, immOp(Imm)); }
+  Reg cmpLt(Reg A, Reg B) { return emitDst(Opcode::CmpLt, A, regOp(B)); }
+  Reg cmpLtImm(Reg A, int64_t Imm) { return emitDst(Opcode::CmpLt, A, immOp(Imm)); }
+  Reg cmpLe(Reg A, Reg B) { return emitDst(Opcode::CmpLe, A, regOp(B)); }
+  Reg cmpLeImm(Reg A, int64_t Imm) { return emitDst(Opcode::CmpLe, A, immOp(Imm)); }
+
+  // --- Floating point ------------------------------------------------------
+
+  Reg fadd(Reg A, Reg B) { return emitDst(Opcode::FAdd, A, regOp(B)); }
+  Reg fsub(Reg A, Reg B) { return emitDst(Opcode::FSub, A, regOp(B)); }
+  Reg fmul(Reg A, Reg B) { return emitDst(Opcode::FMul, A, regOp(B)); }
+  Reg fdiv(Reg A, Reg B) { return emitDst(Opcode::FDiv, A, regOp(B)); }
+  Reg fcmpLt(Reg A, Reg B) { return emitDst(Opcode::FCmpLt, A, regOp(B)); }
+  Reg fcmpLe(Reg A, Reg B) { return emitDst(Opcode::FCmpLe, A, regOp(B)); }
+  Reg fcmpEq(Reg A, Reg B) { return emitDst(Opcode::FCmpEq, A, regOp(B)); }
+  Reg intToFp(Reg A) { return emitDst(Opcode::IntToFp, A, immOp(0)); }
+  Reg fpToInt(Reg A) { return emitDst(Opcode::FpToInt, A, immOp(0)); }
+
+  // --- Memory ----------------------------------------------------------------
+
+  /// Dst = mem[Base + Offset], access width \p Size bytes.
+  Reg load(Reg Base, int64_t Offset, uint8_t Size = 8) {
+    Inst I = makeInst(Opcode::Load, Base, immOp(Offset));
+    I.Size = Size;
+    I.Dst = F->freshReg();
+    Reg Dst = I.Dst;
+    append(std::move(I));
+    return Dst;
+  }
+
+  /// Dst = mem[AbsoluteAddr].
+  Reg loadAbs(int64_t AbsoluteAddr, uint8_t Size = 8) {
+    return load(NoReg, AbsoluteAddr, Size);
+  }
+
+  /// mem[Base + Offset] = Value.
+  void store(Reg Base, int64_t Offset, Reg Value, uint8_t Size = 8) {
+    Inst I;
+    I.Op = Opcode::Store;
+    I.A = Base;
+    I.B = Value;
+    I.Imm = Offset;
+    I.Size = Size;
+    append(std::move(I));
+  }
+
+  /// mem[AbsoluteAddr] = Value.
+  void storeAbs(int64_t AbsoluteAddr, Reg Value, uint8_t Size = 8) {
+    store(NoReg, AbsoluteAddr, Value, Size);
+  }
+
+  /// Dst = address of a fresh heap allocation of \p SizeReg bytes.
+  Reg alloc(Reg SizeReg) { return emitDst(Opcode::Alloc, NoReg, regOp(SizeReg)); }
+  Reg allocImm(int64_t Size) { return emitDst(Opcode::Alloc, NoReg, immOp(Size)); }
+
+  // --- Control flow ----------------------------------------------------------
+
+  void br(BasicBlock *Target) {
+    Inst I;
+    I.Op = Opcode::Br;
+    I.T1 = Target;
+    append(std::move(I));
+  }
+
+  /// if Cond != 0 goto TrueBB else FalseBB.
+  void condBr(Reg Cond, BasicBlock *TrueBB, BasicBlock *FalseBB) {
+    Inst I;
+    I.Op = Opcode::CondBr;
+    I.A = Cond;
+    I.T1 = TrueBB;
+    I.T2 = FalseBB;
+    append(std::move(I));
+  }
+
+  /// goto Targets[Index], or Default when out of range.
+  void switchOn(Reg Index, BasicBlock *Default,
+                std::vector<BasicBlock *> Targets) {
+    Inst I;
+    I.Op = Opcode::Switch;
+    I.A = Index;
+    I.T1 = Default;
+    I.SwitchTargets = std::move(Targets);
+    append(std::move(I));
+  }
+
+  void ret(Reg Value) {
+    Inst I;
+    I.Op = Opcode::Ret;
+    I.B = Value;
+    append(std::move(I));
+  }
+
+  void retImm(int64_t Value = 0) {
+    Inst I;
+    I.Op = Opcode::Ret;
+    I.BIsImm = true;
+    I.Imm = Value;
+    append(std::move(I));
+  }
+
+  /// Dst = Callee(Args...).
+  Reg call(Function *Callee, std::vector<Reg> Args = {}) {
+    assert(Callee->numParams() == Args.size() && "call arity mismatch");
+    Inst I;
+    I.Op = Opcode::Call;
+    I.Callee = Callee;
+    I.Args = std::move(Args);
+    I.Dst = F->freshReg();
+    Reg Dst = I.Dst;
+    append(std::move(I));
+    return Dst;
+  }
+
+  /// Dst = functions[TargetId](Args...), indirect call.
+  Reg icall(Reg TargetId, std::vector<Reg> Args = {}) {
+    Inst I;
+    I.Op = Opcode::ICall;
+    I.A = TargetId;
+    I.Args = std::move(Args);
+    I.Dst = F->freshReg();
+    Reg Dst = I.Dst;
+    append(std::move(I));
+    return Dst;
+  }
+
+  /// Dst = 0 when executed directly, the longjmp value on non-local return.
+  Reg setjmp(int64_t BufferKey) {
+    Inst I;
+    I.Op = Opcode::Setjmp;
+    I.Imm = BufferKey;
+    I.Dst = F->freshReg();
+    Reg Dst = I.Dst;
+    append(std::move(I));
+    return Dst;
+  }
+
+  /// Unwinds to the setjmp with \p BufferKey, delivering \p Value.
+  void longjmp(int64_t BufferKey, Reg Value) {
+    Inst I;
+    I.Op = Opcode::Longjmp;
+    I.Imm = BufferKey;
+    I.B = Value;
+    append(std::move(I));
+  }
+
+  // --- Hardware counters ------------------------------------------------------
+
+  /// Dst = (PIC1 << 32) | PIC0.
+  Reg rdPic() { return emitDst(Opcode::RdPic, NoReg, immOp(0)); }
+
+  void wrPicImm(int64_t Value) {
+    Inst I;
+    I.Op = Opcode::WrPic;
+    I.BIsImm = true;
+    I.Imm = Value;
+    append(std::move(I));
+  }
+
+  void wrPic(Reg Value) {
+    Inst I;
+    I.Op = Opcode::WrPic;
+    I.B = Value;
+    append(std::move(I));
+  }
+
+  /// Appends a fully constructed instruction. Non-terminators appended to an
+  /// already-terminated block are inserted just before the terminator.
+  void append(Inst I) {
+    assert(BB && "builder not positioned at a block");
+    if (BB->hasTerminator()) {
+      assert(!isTerminator(I.Op) && "block already terminated");
+      BB->insts().insert(BB->insts().begin() + BB->appendPos(), std::move(I));
+      return;
+    }
+    BB->insts().push_back(std::move(I));
+  }
+
+private:
+  struct Operand {
+    bool IsImm;
+    Reg R;
+    int64_t Imm;
+  };
+  static Operand regOp(Reg R) { return {false, R, 0}; }
+  static Operand immOp(int64_t Imm) { return {true, NoReg, Imm}; }
+
+  Inst makeInst(Opcode Op, Reg A, Operand B) {
+    Inst I;
+    I.Op = Op;
+    I.A = A;
+    I.BIsImm = B.IsImm;
+    I.B = B.R;
+    I.Imm = B.IsImm ? B.Imm : I.Imm;
+    return I;
+  }
+
+  Reg emitDst(Opcode Op, Reg A, Operand B) {
+    Inst I = makeInst(Op, A, B);
+    I.Dst = F->freshReg();
+    Reg Dst = I.Dst;
+    append(std::move(I));
+    return Dst;
+  }
+
+  Function *F;
+  BasicBlock *BB;
+};
+
+} // namespace ir
+} // namespace pp
+
+#endif // PP_IR_IRBUILDER_H

@@ -1,0 +1,64 @@
+//===- ir/Instruction.h - IR instruction ----------------------*- C++ -*-===//
+///
+/// \file
+/// The Inst value type: one simulated machine instruction. Instructions are
+/// stored by value inside their basic block, so the instrumenter can insert
+/// profiling code with ordinary vector operations, mirroring how EEL splices
+/// foreign code into an executable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_IR_INSTRUCTION_H
+#define PP_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pp {
+namespace ir {
+
+class BasicBlock;
+class Function;
+
+/// Virtual register index within a function.
+using Reg = uint32_t;
+
+/// Sentinel for "no register".
+inline constexpr Reg NoReg = ~0u;
+
+/// One IR instruction. Fields are interpreted per-opcode; see Opcode.h for
+/// each opcode's operand conventions. The second source operand is either
+/// the register \c B or the immediate \c Imm, selected by \c BIsImm.
+struct Inst {
+  Opcode Op = Opcode::Mov;
+  /// Memory access width in bytes for Load/Store (1, 2, 4, or 8).
+  uint8_t Size = 8;
+  /// True when the second operand is the immediate Imm instead of register B.
+  bool BIsImm = false;
+  Reg Dst = NoReg;
+  Reg A = NoReg;
+  Reg B = NoReg;
+  int64_t Imm = 0;
+  /// Primary branch target (Br, CondBr true edge, Switch default).
+  BasicBlock *T1 = nullptr;
+  /// Secondary branch target (CondBr false edge).
+  BasicBlock *T2 = nullptr;
+  /// Non-default Switch targets, in case order (case value = index).
+  std::vector<BasicBlock *> SwitchTargets;
+  /// Direct call target.
+  Function *Callee = nullptr;
+  /// Argument registers for Call/ICall.
+  std::vector<Reg> Args;
+  /// Simulated code address, assigned by the loader at layout time.
+  uint64_t Addr = 0;
+
+  /// True when the second source operand is a register.
+  bool usesRegB() const { return !BIsImm && B != NoReg; }
+};
+
+} // namespace ir
+} // namespace pp
+
+#endif // PP_IR_INSTRUCTION_H

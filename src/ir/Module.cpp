@@ -1,0 +1,61 @@
+//===- ir/Module.cpp - IR module -------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace pp;
+using namespace pp::ir;
+
+std::unique_ptr<Module> Module::clone() const {
+  auto New = std::make_unique<Module>();
+
+  // Pass 1: create functions and blocks so cross-references can resolve.
+  std::unordered_map<const Function *, Function *> FnMap;
+  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+  for (const auto &F : Functions) {
+    Function *NF = New->addFunction(F->name(), F->numParams());
+    FnMap[F.get()] = NF;
+    while (NF->numRegs() < F->numRegs())
+      NF->freshReg();
+    NF->setInstrumented(F->isInstrumented());
+    for (const auto &BB : F->blocks())
+      BlockMap[BB.get()] = NF->addBlock(BB->name());
+  }
+
+  // Pass 2: copy instructions, remapping pointers.
+  auto MapBlock = [&BlockMap](BasicBlock *BB) -> BasicBlock * {
+    if (!BB)
+      return nullptr;
+    auto It = BlockMap.find(BB);
+    assert(It != BlockMap.end() && "branch target outside module");
+    return It->second;
+  };
+  for (const auto &F : Functions) {
+    for (const auto &BB : F->blocks()) {
+      BasicBlock *NB = BlockMap[BB.get()];
+      for (const Inst &I : BB->insts()) {
+        Inst NI = I;
+        NI.T1 = MapBlock(I.T1);
+        NI.T2 = MapBlock(I.T2);
+        for (BasicBlock *&Target : NI.SwitchTargets)
+          Target = MapBlock(Target);
+        if (I.Callee) {
+          auto It = FnMap.find(I.Callee);
+          assert(It != FnMap.end() && "callee outside module");
+          NI.Callee = It->second;
+        }
+        NB->insts().push_back(std::move(NI));
+      }
+    }
+  }
+
+  for (const Global &G : Globals)
+    New->Globals.push_back(G);
+  New->NextGlobalAddr = NextGlobalAddr;
+
+  if (MainFunction)
+    New->setMain(FnMap.at(MainFunction));
+  return New;
+}

@@ -1,0 +1,118 @@
+//===- ir/Module.h - IR module ---------------------------------*- C++ -*-===//
+///
+/// \file
+/// A module: the whole simulated program — functions, global data objects,
+/// and the designated main function. The loader assigns simulated addresses
+/// to code and globals when a module is loaded into a machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_IR_MODULE_H
+#define PP_IR_MODULE_H
+
+#include "ir/Function.h"
+#include "support/AddressLayout.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace ir {
+
+/// A statically allocated data object in the simulated address space.
+struct Global {
+  std::string Name;
+  uint64_t Size = 0;
+  /// Optional initial contents; zero-filled beyond Init.size().
+  std::vector<uint8_t> Init;
+  /// Simulated address, assigned eagerly when the global is declared so
+  /// instrumentation can reference it with absolute addressing.
+  uint64_t Addr = 0;
+};
+
+/// The unit of instrumentation and execution.
+class Module {
+public:
+  Module() = default;
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  /// Creates a new function with a dense id.
+  Function *addFunction(std::string Name, unsigned NumParams) {
+    Functions.push_back(std::make_unique<Function>(
+        this, static_cast<unsigned>(Functions.size()), std::move(Name),
+        NumParams));
+    return Functions.back().get();
+  }
+
+  size_t numFunctions() const { return Functions.size(); }
+  Function *function(size_t Id) const { return Functions[Id].get(); }
+
+  /// Returns the function named \p Name, or null.
+  Function *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->name() == Name)
+        return F.get();
+    return nullptr;
+  }
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  /// Declares a zero-initialised global of \p Size bytes; returns its index.
+  size_t addGlobal(std::string Name, uint64_t Size) {
+    return addGlobal(std::move(Name), Size, {});
+  }
+
+  /// Declares an initialised global; returns its index.
+  size_t addGlobal(std::string Name, uint64_t Size,
+                   std::vector<uint8_t> Init) {
+    uint64_t Addr = (NextGlobalAddr + 15) & ~uint64_t(15);
+    NextGlobalAddr = Addr + Size;
+    Globals.push_back(Global{std::move(Name), Size, std::move(Init), Addr});
+    return Globals.size() - 1;
+  }
+
+  size_t numGlobals() const { return Globals.size(); }
+  Global &global(size_t Index) { return Globals[Index]; }
+  const Global &global(size_t Index) const { return Globals[Index]; }
+
+  /// Returns the global named \p Name, or null.
+  const Global *findGlobal(const std::string &Name) const {
+    for (const auto &G : Globals)
+      if (G.Name == Name)
+        return &G;
+    return nullptr;
+  }
+
+  void setMain(Function *F) { MainFunction = F; }
+  Function *main() const { return MainFunction; }
+
+  /// Total instruction count across all functions.
+  size_t numInsts() const {
+    size_t N = 0;
+    for (const auto &F : Functions)
+      N += F->numInsts();
+    return N;
+  }
+
+  /// Deep-copies the module (blocks, instructions, globals). Cross-pointers
+  /// (branch targets, callees, main) are remapped into the clone. The
+  /// profiler clones before instrumenting so the original stays pristine
+  /// for baseline runs.
+  std::unique_ptr<Module> clone() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<Global> Globals;
+  Function *MainFunction = nullptr;
+  uint64_t NextGlobalAddr = layout::GlobalBase;
+};
+
+} // namespace ir
+} // namespace pp
+
+#endif // PP_IR_MODULE_H

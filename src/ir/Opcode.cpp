@@ -1,0 +1,103 @@
+//===- ir/Opcode.cpp - IR opcode definitions ------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+
+using namespace pp;
+using namespace pp::ir;
+
+const char *ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FCmpLt:
+    return "fcmplt";
+  case Opcode::FCmpLe:
+    return "fcmple";
+  case Opcode::FCmpEq:
+    return "fcmpeq";
+  case Opcode::IntToFp:
+    return "itof";
+  case Opcode::FpToInt:
+    return "ftoi";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Alloc:
+    return "alloc";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Switch:
+    return "switch";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Call:
+    return "call";
+  case Opcode::ICall:
+    return "icall";
+  case Opcode::Setjmp:
+    return "setjmp";
+  case Opcode::Longjmp:
+    return "longjmp";
+  case Opcode::RdPic:
+    return "rdpic";
+  case Opcode::WrPic:
+    return "wrpic";
+  case Opcode::PathHashCommit:
+    return "path.hashcommit";
+  case Opcode::CctEnter:
+    return "cct.enter";
+  case Opcode::CctCall:
+    return "cct.call";
+  case Opcode::CctExit:
+    return "cct.exit";
+  case Opcode::CctPathCommit:
+    return "cct.pathcommit";
+  case Opcode::CctHwProbe:
+    return "cct.hwprobe";
+  case Opcode::NumOpcodes:
+    break;
+  }
+  assert(false && "invalid opcode");
+  return "<invalid>";
+}

@@ -1,0 +1,167 @@
+//===- ir/Opcode.h - IR opcode definitions ---------------------*- C++ -*-===//
+///
+/// \file
+/// Opcode enumeration and opcode traits for the pathprof IR. The IR plays
+/// the role that SPARC machine code plays in the paper: a concrete program
+/// representation that the instrumenter edits and the simulated machine
+/// executes, including the profiling pseudo-ops PP inserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_IR_OPCODE_H
+#define PP_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace pp {
+namespace ir {
+
+/// Every instruction kind the simulated machine executes. Registers are
+/// untyped 64-bit containers; FP opcodes interpret their bit patterns as
+/// IEEE doubles.
+enum class Opcode : uint8_t {
+  // Data movement: Dst = operand B (register or immediate).
+  Mov,
+  // Integer ALU: Dst = A op B.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  // Integer comparisons (signed; result is 0 or 1): Dst = A cmp B.
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  // Floating point on double bit patterns.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FCmpLt,
+  FCmpLe,
+  FCmpEq,
+  IntToFp,
+  FpToInt,
+  // Memory: Load Dst = mem[A + Imm]; Store mem[A + Imm] = B. Size gives the
+  // access width (1, 2, 4, or 8 bytes); sub-word loads zero-extend. A may be
+  // NoReg for absolute addressing.
+  Load,
+  Store,
+  // Bump-allocates B bytes in the simulated heap: Dst = base address.
+  Alloc,
+  // Control flow terminators.
+  Br,     // goto T1
+  CondBr, // if A != 0 goto T1 else goto T2
+  Switch, // goto SwitchTargets[A], or T1 (default) when A is out of range
+  Ret,    // return operand B
+  // Calls (not terminators; execution continues in the same block).
+  Call,  // Dst = Callee(Args...)
+  ICall, // Dst = module.function(A)(Args...)
+  // Non-local control transfer (the paper's longjmp discussion, §4.2).
+  Setjmp,  // Dst = 0 on direct execution, the longjmp value on re-entry;
+           // Imm names the jump buffer
+  Longjmp, // unwind to the Setjmp with buffer Imm, returning B (terminator)
+  // Hardware counter access (§3.1): RdPic packs PIC0 into the low and PIC1
+  // into the high 32 bits of Dst; WrPic writes operand B the same way.
+  RdPic,
+  WrPic,
+  // Profiling runtime pseudo-ops. These stand for instrumentation sequences
+  // too irregular to emit inline (hash probes, CCT pointer chasing); the VM
+  // runs them through the profiling runtime, which charges the machine the
+  // instructions and memory traffic of the equivalent inline expansion.
+  PathHashCommit, // hash-table path commit: table Imm, key A, PIC start B
+  CctEnter,       // procedure entry: find/create this call's CallRecord
+  CctCall,        // before a call: point gCSP at callee slot Imm
+  CctExit,        // procedure exit: restore caller's gCSP
+  CctPathCommit,  // commit path A into the current CallRecord's path table
+  CctHwProbe,     // Imm selects: 0 entry probe, 1 loop backedge, 2 exit
+
+  NumOpcodes
+};
+
+/// Returns the mnemonic for \p Op (e.g. "add", "cct.enter").
+const char *opcodeName(Opcode Op);
+
+/// True for opcodes that must terminate a basic block.
+inline bool isTerminator(Opcode Op) {
+  switch (Op) {
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Switch:
+  case Opcode::Ret:
+  case Opcode::Longjmp:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True for direct and indirect calls.
+inline bool isCall(Opcode Op) {
+  return Op == Opcode::Call || Op == Opcode::ICall;
+}
+
+/// True if the opcode writes a destination register.
+inline bool hasDst(Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Switch:
+  case Opcode::Ret:
+  case Opcode::Longjmp:
+  case Opcode::WrPic:
+  case Opcode::PathHashCommit:
+  case Opcode::CctEnter:
+  case Opcode::CctCall:
+  case Opcode::CctExit:
+  case Opcode::CctPathCommit:
+  case Opcode::CctHwProbe:
+    return false;
+  default:
+    return true;
+  }
+}
+
+/// True for the floating-point arithmetic opcodes that occupy the FP
+/// pipeline (used by the FP-stall scoreboard).
+inline bool isFpArith(Opcode Op) {
+  switch (Op) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FCmpLt:
+  case Opcode::FCmpLe:
+  case Opcode::FCmpEq:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True for the profiling pseudo-ops handled by the profiling runtime.
+inline bool isProfRuntimeOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::PathHashCommit:
+  case Opcode::CctEnter:
+  case Opcode::CctCall:
+  case Opcode::CctExit:
+  case Opcode::CctPathCommit:
+  case Opcode::CctHwProbe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace ir
+} // namespace pp
+
+#endif // PP_IR_OPCODE_H

@@ -1,0 +1,36 @@
+//===- ir/Parser.h - Textual IR parser -------------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the .ppir textual form produced by ir/Printer.h, so programs can
+/// be written by hand, stored as files, and fed to the pp command-line
+/// tool. Round-tripping print -> parse -> print is exercised by the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_IR_PARSER_H
+#define PP_IR_PARSER_H
+
+#include <memory>
+#include <string>
+
+namespace pp {
+namespace ir {
+
+class Module;
+
+/// Result of a parse: either a module or a diagnostic.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  /// Empty on success; otherwise "line N: message".
+  std::string Error;
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Parses a whole module from \p Text.
+ParseResult parseModule(const std::string &Text);
+
+} // namespace ir
+} // namespace pp
+
+#endif // PP_IR_PARSER_H

@@ -1,0 +1,37 @@
+//===- ir/Printer.h - Textual IR output ------------------------*- C++ -*-===//
+///
+/// \file
+/// Prints modules, functions, and instructions in the .ppir textual form
+/// that the parser reads back. Round-tripping is exercised by the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_IR_PRINTER_H
+#define PP_IR_PRINTER_H
+
+#include <string>
+
+namespace pp {
+namespace ir {
+
+struct Inst;
+class BasicBlock;
+class Function;
+class Module;
+
+/// Renders one instruction (no trailing newline).
+std::string printInst(const Inst &I);
+
+/// Renders a block: label line followed by indented instructions.
+std::string printBlock(const BasicBlock &BB);
+
+/// Renders a function definition.
+std::string printFunction(const Function &F);
+
+/// Renders the whole module: globals, then functions, then the main marker.
+std::string printModule(const Module &M);
+
+} // namespace ir
+} // namespace pp
+
+#endif // PP_IR_PRINTER_H

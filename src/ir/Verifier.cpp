@@ -1,0 +1,189 @@
+//===- ir/Verifier.cpp - IR well-formedness checks -------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Module.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <unordered_set>
+
+using namespace pp;
+using namespace pp::ir;
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, std::vector<std::string> &Errors)
+      : F(F), Errors(Errors) {}
+
+  bool run() {
+    size_t Before = Errors.size();
+    if (F.numBlocks() == 0) {
+      error("function has no blocks");
+      return false;
+    }
+    for (const auto &BB : F.blocks())
+      OwnBlocks.insert(BB.get());
+    for (const auto &BB : F.blocks())
+      checkBlock(*BB);
+    return Errors.size() == Before;
+  }
+
+private:
+  void error(const std::string &Message) {
+    Errors.push_back("function '" + F.name() + "': " + Message);
+  }
+
+  void checkReg(const BasicBlock &BB, const Inst &I, Reg R, const char *Role) {
+    if (R == NoReg || R < F.numRegs())
+      return;
+    error(formatString("block '%s': %s register r%u out of range (%u regs)",
+                       BB.name().c_str(), Role, R, F.numRegs()));
+  }
+
+  void checkTarget(const BasicBlock &BB, BasicBlock *Target,
+                   const char *Role) {
+    if (!Target) {
+      error(formatString("block '%s': null %s target", BB.name().c_str(),
+                         Role));
+      return;
+    }
+    if (!OwnBlocks.count(Target))
+      error(formatString("block '%s': %s target '%s' is in another function",
+                         BB.name().c_str(), Role, Target->name().c_str()));
+  }
+
+  void checkBlock(const BasicBlock &BB) {
+    if (BB.empty()) {
+      error(formatString("block '%s' is empty", BB.name().c_str()));
+      return;
+    }
+    if (!isTerminator(BB.insts().back().Op)) {
+      error(formatString("block '%s' does not end in a terminator",
+                         BB.name().c_str()));
+      return;
+    }
+    for (size_t Index = 0; Index != BB.insts().size(); ++Index) {
+      const Inst &I = BB.insts()[Index];
+      bool IsLast = Index + 1 == BB.insts().size();
+      if (isTerminator(I.Op) && !IsLast) {
+        error(formatString("block '%s': terminator '%s' before end of block",
+                           BB.name().c_str(), opcodeName(I.Op)));
+        return;
+      }
+      checkInst(BB, I);
+    }
+  }
+
+  void checkInst(const BasicBlock &BB, const Inst &I) {
+    checkReg(BB, I, I.A, "source A");
+    if (!I.BIsImm)
+      checkReg(BB, I, I.B, "source B");
+    checkReg(BB, I, I.Dst, "destination");
+
+    if (hasDst(I.Op) && I.Dst == NoReg)
+      error(formatString("block '%s': '%s' missing destination register",
+                         BB.name().c_str(), opcodeName(I.Op)));
+
+    switch (I.Op) {
+    case Opcode::Load:
+    case Opcode::Store:
+      if (I.Size != 1 && I.Size != 2 && I.Size != 4 && I.Size != 8)
+        error(formatString("block '%s': invalid access size %u",
+                           BB.name().c_str(), unsigned(I.Size)));
+      if (I.Op == Opcode::Store && !I.BIsImm && I.B == NoReg)
+        error(formatString("block '%s': store without value operand",
+                           BB.name().c_str()));
+      break;
+    case Opcode::Br:
+      checkTarget(BB, I.T1, "branch");
+      break;
+    case Opcode::CondBr:
+      if (I.A == NoReg)
+        error(formatString("block '%s': condbr without condition register",
+                           BB.name().c_str()));
+      checkTarget(BB, I.T1, "true");
+      checkTarget(BB, I.T2, "false");
+      break;
+    case Opcode::Switch:
+      if (I.A == NoReg)
+        error(formatString("block '%s': switch without index register",
+                           BB.name().c_str()));
+      checkTarget(BB, I.T1, "default");
+      for (BasicBlock *Target : I.SwitchTargets)
+        checkTarget(BB, Target, "case");
+      break;
+    case Opcode::Call:
+      if (!I.Callee) {
+        error(formatString("block '%s': call without callee",
+                           BB.name().c_str()));
+        break;
+      }
+      if (I.Callee->parent() != F.parent())
+        error(formatString("block '%s': callee '%s' is in another module",
+                           BB.name().c_str(), I.Callee->name().c_str()));
+      if (I.Args.size() != I.Callee->numParams())
+        error(formatString(
+            "block '%s': call to '%s' passes %zu args, expected %u",
+            BB.name().c_str(), I.Callee->name().c_str(), I.Args.size(),
+            I.Callee->numParams()));
+      for (Reg Arg : I.Args)
+        checkReg(BB, I, Arg, "argument");
+      break;
+    case Opcode::ICall:
+      if (I.A == NoReg)
+        error(formatString("block '%s': icall without target register",
+                           BB.name().c_str()));
+      for (Reg Arg : I.Args)
+        checkReg(BB, I, Arg, "argument");
+      break;
+    case Opcode::Longjmp:
+      if (!I.BIsImm && I.B == NoReg)
+        error(formatString("block '%s': longjmp without value operand",
+                           BB.name().c_str()));
+      break;
+    default:
+      break;
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> &Errors;
+  std::unordered_set<const BasicBlock *> OwnBlocks;
+};
+
+} // namespace
+
+bool ir::verifyFunction(const Function &F, std::vector<std::string> &Errors) {
+  return FunctionVerifier(F, Errors).run();
+}
+
+bool ir::verifyModule(const Module &M, std::vector<std::string> &Errors) {
+  size_t Before = Errors.size();
+  if (!M.main())
+    Errors.push_back("module has no main function");
+  else if (M.main()->numParams() != 0)
+    Errors.push_back("main function must take no parameters");
+  for (const auto &F : M.functions())
+    verifyFunction(*F, Errors);
+  for (size_t Index = 0; Index != M.numGlobals(); ++Index) {
+    const Global &G = M.global(Index);
+    if (G.Size == 0)
+      Errors.push_back("global '" + G.Name + "' has zero size");
+    if (G.Init.size() > G.Size)
+      Errors.push_back("global '" + G.Name + "' initialiser exceeds size");
+  }
+  return Errors.size() == Before;
+}
+
+void ir::verifyModuleOrDie(const Module &M) {
+  std::vector<std::string> Errors;
+  if (verifyModule(M, Errors))
+    return;
+  std::string Joined = "module verification failed:";
+  for (const std::string &E : Errors)
+    Joined += "\n  " + E;
+  reportFatalError(Joined);
+}

@@ -1,0 +1,38 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+///
+/// \file
+/// Structural verification of modules: every block ends in exactly one
+/// terminator, branch targets stay inside the function, register and call
+/// arities are consistent, and the entry block has no predecessors that
+/// would invalidate the path-profiling entry assumption.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_IR_VERIFIER_H
+#define PP_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace ir {
+
+class Function;
+class Module;
+
+/// Checks \p F; appends human-readable problems to \p Errors. Returns true
+/// when no problems were found.
+bool verifyFunction(const Function &F, std::vector<std::string> &Errors);
+
+/// Checks every function of \p M plus module-level invariants (main exists,
+/// global sizes are nonzero). Returns true when no problems were found.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+/// Convenience wrapper: verifies and calls reportFatalError with the first
+/// problem if verification fails.
+void verifyModuleOrDie(const Module &M);
+
+} // namespace ir
+} // namespace pp
+
+#endif // PP_IR_VERIFIER_H

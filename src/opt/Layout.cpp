@@ -1,0 +1,70 @@
+//===- opt/Layout.cpp - profile-guided code layout ----------------------------===//
+
+#include "opt/Layout.h"
+
+#include "bl/PathNumbering.h"
+#include "cfg/Cfg.h"
+#include "ir/Module.h"
+
+#include <set>
+#include <vector>
+
+using namespace pp;
+using namespace pp::opt;
+
+bool opt::layoutHotPathFirst(ir::Function &F,
+                             const prof::FunctionPathProfile &Profile) {
+  if (!Profile.HasProfile || Profile.Paths.empty())
+    return false;
+
+  // Hottest path by measured cost (PIC0 when present, frequency
+  // otherwise).
+  const prof::PathEntry *Hottest = &Profile.Paths.front();
+  for (const prof::PathEntry &Entry : Profile.Paths) {
+    uint64_t Best = Hottest->Metric0 ? Hottest->Metric0 : Hottest->Freq;
+    uint64_t Cur = Entry.Metric0 ? Entry.Metric0 : Entry.Freq;
+    if (Cur > Best)
+      Hottest = &Entry;
+  }
+
+  cfg::Cfg G(F);
+  bl::PathNumbering PN(G);
+  if (!PN.valid())
+    return false;
+  bl::RegeneratedPath Path = PN.regenerate(Hottest->PathSum);
+
+  std::vector<ir::BasicBlock *> NewOrder;
+  std::set<ir::BasicBlock *> Placed;
+  NewOrder.push_back(F.entry()); // the entry must stay first
+  Placed.insert(F.entry());
+  for (unsigned Node : Path.Nodes) {
+    ir::BasicBlock *BB = G.block(Node);
+    if (Placed.insert(BB).second)
+      NewOrder.push_back(BB);
+  }
+  for (const auto &BB : F.blocks())
+    if (Placed.insert(BB.get()).second)
+      NewOrder.push_back(BB.get());
+
+  // Skip the no-op permutation (keeps the pass idempotent).
+  bool Changed = false;
+  for (size_t Index = 0; Index != NewOrder.size(); ++Index)
+    Changed |= NewOrder[Index]->id() != Index;
+  if (!Changed)
+    return false;
+  F.reorderBlocks(NewOrder);
+  return true;
+}
+
+LayoutResult opt::layoutHotPathsFirst(ir::Module &M,
+                                      const prof::RunOutcome &Profile) {
+  LayoutResult Result;
+  for (const prof::FunctionPathProfile &FuncProfile : Profile.PathProfiles) {
+    if (!FuncProfile.HasProfile)
+      continue;
+    ++Result.FunctionsConsidered;
+    if (layoutHotPathFirst(*M.function(FuncProfile.FuncId), FuncProfile))
+      ++Result.FunctionsReordered;
+  }
+  return Result;
+}

@@ -1,0 +1,49 @@
+//===- opt/Layout.h - profile-guided code layout ---------------*- C++ -*-===//
+///
+/// \file
+/// The paper's closing argument is that path profiles give compilers "an
+/// empirical basis for making optimization tradeoffs". This pass is the
+/// smallest such consumer: reorder every profiled function's blocks so
+/// its hottest path (by the measured PIC0 metric, falling back to
+/// frequency) is laid out contiguously from the entry, pushing cold
+/// blocks (error paths, rare cases) to the tail. On the simulated
+/// machine, code addresses follow block order, so the effect on the
+/// I-cache is measured, not estimated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_OPT_LAYOUT_H
+#define PP_OPT_LAYOUT_H
+
+#include "prof/Session.h"
+
+namespace pp {
+namespace ir {
+class Function;
+class Module;
+} // namespace ir
+
+namespace opt {
+
+/// Outcome of a layout pass.
+struct LayoutResult {
+  unsigned FunctionsConsidered = 0;
+  unsigned FunctionsReordered = 0;
+};
+
+/// Reorders the blocks of one function hot-path-first, using its measured
+/// path profile. Returns false when there is nothing to do (no executed
+/// paths, or the hot path already leads the layout).
+bool layoutHotPathFirst(ir::Function &F,
+                        const prof::FunctionPathProfile &Profile);
+
+/// Applies layoutHotPathFirst to every function with a flow profile in
+/// \p Profile (which must have been collected from \p M or a clone with
+/// identical structure).
+LayoutResult layoutHotPathsFirst(ir::Module &M,
+                                 const prof::RunOutcome &Profile);
+
+} // namespace opt
+} // namespace pp
+
+#endif // PP_OPT_LAYOUT_H

@@ -1,0 +1,23 @@
+//===- prof/CallSites.cpp - Call site enumeration ---------------------------===//
+
+#include "prof/CallSites.h"
+
+#include "ir/Function.h"
+
+using namespace pp;
+using namespace pp::prof;
+
+std::vector<CallSite> prof::enumerateCallSites(const ir::Function &F) {
+  std::vector<CallSite> Sites;
+  for (const auto &BB : F.blocks()) {
+    const auto &Insts = BB->insts();
+    for (unsigned Index = 0; Index != Insts.size(); ++Index) {
+      const ir::Inst &I = Insts[Index];
+      if (!ir::isCall(I.Op))
+        continue;
+      Sites.push_back(
+          CallSite{BB->id(), Index, I.Op == ir::Opcode::ICall});
+    }
+  }
+  return Sites;
+}

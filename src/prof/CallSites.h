@@ -1,0 +1,37 @@
+//===- prof/CallSites.h - Call site enumeration ----------------*- C++ -*-===//
+///
+/// \file
+/// Assigns dense indices to a function's call sites (block order, then
+/// instruction order). The instrumenter and the CCT runtime agree on these
+/// indices: CctCall's immediate names the slot the caller's record reserves
+/// for the site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_PROF_CALLSITES_H
+#define PP_PROF_CALLSITES_H
+
+#include <vector>
+
+namespace pp {
+namespace ir {
+class Function;
+} // namespace ir
+
+namespace prof {
+
+/// One call site of a function.
+struct CallSite {
+  unsigned BlockId;
+  /// Instruction index at enumeration time (pre-instrumentation).
+  unsigned InstIndex;
+  bool Indirect;
+};
+
+/// Enumerates the call sites of \p F in canonical order.
+std::vector<CallSite> enumerateCallSites(const ir::Function &F);
+
+} // namespace prof
+} // namespace pp
+
+#endif // PP_PROF_CALLSITES_H

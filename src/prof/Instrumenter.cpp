@@ -1,0 +1,507 @@
+//===- prof/Instrumenter.cpp - The EEL-role binary editor -------------------===//
+
+#include "prof/Instrumenter.h"
+
+#include "bl/InstrumentationPlan.h"
+#include "bl/PathNumbering.h"
+#include "cfg/Cfg.h"
+#include "prof/CallSites.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace pp;
+using namespace pp::prof;
+using ir::BasicBlock;
+using ir::Function;
+using ir::Inst;
+using ir::Opcode;
+using ir::Reg;
+
+namespace {
+
+// --- Small instruction constructors ----------------------------------------
+
+Inst mkMovImm(Reg Dst, int64_t Value) {
+  Inst I;
+  I.Op = Opcode::Mov;
+  I.Dst = Dst;
+  I.BIsImm = true;
+  I.Imm = Value;
+  return I;
+}
+
+Inst mkBin(Opcode Op, Reg Dst, Reg A, int64_t Imm) {
+  Inst I;
+  I.Op = Op;
+  I.Dst = Dst;
+  I.A = A;
+  I.BIsImm = true;
+  I.Imm = Imm;
+  return I;
+}
+
+Inst mkBinReg(Opcode Op, Reg Dst, Reg A, Reg B) {
+  Inst I;
+  I.Op = Op;
+  I.Dst = Dst;
+  I.A = A;
+  I.B = B;
+  return I;
+}
+
+Inst mkLoadAbs(Reg Dst, uint64_t Addr) {
+  Inst I;
+  I.Op = Opcode::Load;
+  I.Dst = Dst;
+  I.A = ir::NoReg;
+  I.Imm = static_cast<int64_t>(Addr);
+  I.Size = 8;
+  return I;
+}
+
+Inst mkLoad(Reg Dst, Reg Base, int64_t Offset) {
+  Inst I;
+  I.Op = Opcode::Load;
+  I.Dst = Dst;
+  I.A = Base;
+  I.Imm = Offset;
+  I.Size = 8;
+  return I;
+}
+
+Inst mkStoreAbs(uint64_t Addr, Reg Value) {
+  Inst I;
+  I.Op = Opcode::Store;
+  I.A = ir::NoReg;
+  I.B = Value;
+  I.Imm = static_cast<int64_t>(Addr);
+  I.Size = 8;
+  return I;
+}
+
+Inst mkStore(Reg Base, int64_t Offset, Reg Value) {
+  Inst I;
+  I.Op = Opcode::Store;
+  I.A = Base;
+  I.B = Value;
+  I.Imm = Offset;
+  I.Size = 8;
+  return I;
+}
+
+Inst mkRdPic(Reg Dst) {
+  Inst I;
+  I.Op = Opcode::RdPic;
+  I.Dst = Dst;
+  return I;
+}
+
+Inst mkWrPicImm(int64_t Value) {
+  Inst I;
+  I.Op = Opcode::WrPic;
+  I.BIsImm = true;
+  I.Imm = Value;
+  return I;
+}
+
+Inst mkWrPicReg(Reg Value) {
+  Inst I;
+  I.Op = Opcode::WrPic;
+  I.B = Value;
+  return I;
+}
+
+Inst mkRuntimeOp(Opcode Op, int64_t Imm = 0, Reg A = ir::NoReg) {
+  Inst I;
+  I.Op = Op;
+  I.Imm = Imm;
+  I.A = A;
+  return I;
+}
+
+// --- Per-function instrumentation -------------------------------------------
+
+/// Rewrites one function. The CFG, numbering, and plan are computed on the
+/// pristine clone before any code is inserted; placement then only appends
+/// to block fronts/backs or to freshly split edge blocks, so the plan's
+/// (block, successor-index) coordinates stay valid throughout.
+class FunctionInstrumenter {
+public:
+  FunctionInstrumenter(ir::Module &M, Function &F,
+                       const ProfileConfig &Config, FunctionInstrInfo &Info)
+      : M(M), F(F), Config(Config), Info(Info), G(F) {}
+
+  void run() {
+    Info.F = &F;
+    Info.Instrumented = true;
+    F.setInstrumented(true);
+
+    bool WantPaths = modeUsesPaths(Config.M);
+    bool WantCct = modeUsesCct(Config.M);
+
+    if (WantCct)
+      describeCallSites();
+    if (WantPaths)
+      planPaths();
+    if (Config.M == Mode::Edge)
+      planEdgeProfile();
+
+    // Scratch registers ("EEL requires a free local register in each
+    // procedure", §3.2).
+    PathReg = F.freshReg();
+    PicSaveReg = F.freshReg();
+    for (Reg &S : Scratch)
+      S = F.freshReg();
+
+    if (WantCct)
+      instrumentCallSites();
+    placeEdgeOps();
+    placeEntry();
+    placeExits();
+  }
+
+private:
+  /// Enumerates call sites into Info (slot indices for the CCT).
+  void describeCallSites() {
+    Sites = enumerateCallSites(F);
+    Info.SiteIsIndirect.clear();
+    if (Config.DistinguishCallSites) {
+      Info.NumSites = static_cast<unsigned>(Sites.size());
+      for (const CallSite &Site : Sites)
+        Info.SiteIsIndirect.push_back(Site.Indirect);
+      return;
+    }
+    // Per-procedure aggregation (§4.1's space/precision trade-off): all
+    // sites share one list-valued slot, so a callee gets one record per
+    // (caller context, callee) pair rather than per call site.
+    Info.NumSites = Sites.empty() ? 0 : 1;
+    if (!Sites.empty())
+      Info.SiteIsIndirect.push_back(1);
+  }
+
+  /// Computes the Ball-Larus plan and allocates the counter table.
+  void planPaths() {
+    PN = std::make_unique<bl::PathNumbering>(G);
+    Plan = bl::buildPathPlan(*PN, Config.Plan);
+    if (!Plan.Valid)
+      return; // path-count overflow: no flow profile for this function
+    Info.HasPathProfile = true;
+    Info.NumPaths = Plan.NumPaths;
+    Info.Hashed = Plan.UseHashTable;
+    Info.Stride = modeUsesHw(Config.M) ? 24 : 8;
+    if (modeUsesPerRecordPaths(Config.M))
+      return; // per-record tables live in the CCT heap
+    uint64_t Bytes = Plan.UseHashTable
+                         ? (uint64_t(Config.Plan.ArrayThreshold) * 32)
+                         : Plan.NumPaths * Info.Stride;
+    size_t Index = M.addGlobal("__pp.paths." + F.name(), Bytes);
+    Info.TableAddr = M.global(Index).Addr;
+  }
+
+  /// Chooses spanning-tree chords for the edge-profiling baseline (Knuth's
+  /// method, as used by qpt): only chords carry counters; tree edge counts
+  /// are reconstructed offline by flow conservation.
+  void planEdgeProfile() {
+    // Undirected DFS over the CFG (plus the implicit EXIT -> ENTRY edge,
+    // which is "counted" by the trailing invocation counter).
+    std::vector<bool> InTree(G.numEdges(), false);
+    std::vector<bool> Visited(G.numNodes(), false);
+    std::vector<unsigned> Stack{G.entryNode()};
+    Visited[G.entryNode()] = true;
+    while (!Stack.empty()) {
+      unsigned Node = Stack.back();
+      Stack.pop_back();
+      auto Consider = [&](unsigned EdgeId, unsigned Other) {
+        if (Visited[Other])
+          return;
+        Visited[Other] = true;
+        InTree[EdgeId] = true;
+        Stack.push_back(Other);
+      };
+      for (unsigned EdgeId : G.outEdges(Node))
+        Consider(EdgeId, G.edge(EdgeId).To);
+      for (unsigned EdgeId : G.inEdges(Node))
+        Consider(EdgeId, G.edge(EdgeId).From);
+    }
+    for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId)
+      if (!InTree[EdgeId] && G.isReachable(G.edge(EdgeId).From))
+        Info.ChordEdges.push_back(EdgeId);
+    uint64_t Slots = Info.ChordEdges.size() + 1; // +1 invocation count
+    size_t Index = M.addGlobal("__pp.edges." + F.name(), Slots * 8);
+    Info.EdgeTableAddr = M.global(Index).Addr;
+  }
+
+  /// Inserts a cct.call before every call so the callee finds its slot
+  /// through the gCSP.
+  void instrumentCallSites() {
+    unsigned SiteIndex = 0;
+    for (const auto &BB : F.blocks()) {
+      auto &Insts = BB->insts();
+      for (size_t Index = 0; Index != Insts.size(); ++Index) {
+        if (!ir::isCall(Insts[Index].Op))
+          continue;
+        unsigned Slot = Config.DistinguishCallSites ? SiteIndex : 0;
+        Insts.insert(Insts.begin() + static_cast<long>(Index),
+                     mkRuntimeOp(Opcode::CctCall, Slot));
+        ++Index; // skip the call we just stepped over
+        ++SiteIndex;
+      }
+    }
+    assert(SiteIndex == Sites.size() && "site enumeration drifted");
+  }
+
+  /// The "count[r + Fold]++ (+ metric accumulation)" sequence.
+  std::vector<Inst> commitSequence(uint64_t Fold) {
+    std::vector<Inst> Code;
+    bool Hw = Config.M == Mode::FlowHw;
+    if (modeUsesPerRecordPaths(Config.M)) {
+      // Commit into the current call record's table via the runtime.
+      Reg Key = PathReg;
+      if (Fold != 0) {
+        Code.push_back(mkBin(Opcode::Add, Scratch[0], PathReg,
+                             static_cast<int64_t>(Fold)));
+        Key = Scratch[0];
+      }
+      Code.push_back(mkRuntimeOp(Opcode::CctPathCommit, 0, Key));
+      return Code;
+    }
+    if (Info.Hashed) {
+      Reg Key = PathReg;
+      if (Fold != 0) {
+        Code.push_back(mkBin(Opcode::Add, Scratch[0], PathReg,
+                             static_cast<int64_t>(Fold)));
+        Key = Scratch[0];
+      }
+      Code.push_back(mkRuntimeOp(Opcode::PathHashCommit, F.id(), Key));
+      return Code;
+    }
+    // Array mode, inline: address = Table + (r + Fold) * Stride.
+    Reg Addr = Scratch[0];
+    if (Info.Stride == 8)
+      Code.push_back(mkBin(Opcode::Shl, Addr, PathReg, 3));
+    else
+      Code.push_back(mkBin(Opcode::Mul, Addr, PathReg,
+                           static_cast<int64_t>(Info.Stride)));
+    Code.push_back(mkBin(Opcode::Add, Addr, Addr,
+                         static_cast<int64_t>(Info.TableAddr +
+                                              Fold * Info.Stride)));
+    Reg Count = Scratch[1];
+    Code.push_back(mkLoad(Count, Addr, 0));
+    Code.push_back(mkBin(Opcode::Add, Count, Count, 1));
+    Code.push_back(mkStore(Addr, 0, Count));
+    if (Hw) {
+      // Read both PICs, split the lanes, and accumulate 64-bit sums
+      // (§3.1: "thirteen or more instructions").
+      Reg Cur = Scratch[2], Lane0 = Scratch[3], Lane1 = Scratch[4],
+          Acc = Scratch[5];
+      Code.push_back(mkRdPic(Cur));
+      Code.push_back(mkBin(Opcode::And, Lane0, Cur, 0xffffffffLL));
+      Code.push_back(mkBin(Opcode::Shr, Lane1, Cur, 32));
+      Code.push_back(mkLoad(Acc, Addr, 8));
+      Code.push_back(mkBinReg(Opcode::Add, Acc, Acc, Lane0));
+      Code.push_back(mkStore(Addr, 8, Acc));
+      Code.push_back(mkLoad(Acc, Addr, 16));
+      Code.push_back(mkBinReg(Opcode::Add, Acc, Acc, Lane1));
+      Code.push_back(mkStore(Addr, 16, Acc));
+    }
+    return Code;
+  }
+
+  /// The "zero the counters, with the UltraSPARC read-after-write" pair.
+  void appendPicRestart(std::vector<Inst> &Code) {
+    Code.push_back(mkWrPicImm(0));
+    Code.push_back(mkRdPic(Scratch[2]));
+  }
+
+  /// Chord counter bump for edge profiling.
+  std::vector<Inst> chordSequence(uint64_t Slot) {
+    uint64_t Addr = Info.EdgeTableAddr + Slot * 8;
+    std::vector<Inst> Code;
+    Code.push_back(mkLoadAbs(Scratch[0], Addr));
+    Code.push_back(mkBin(Opcode::Add, Scratch[0], Scratch[0], 1));
+    Code.push_back(mkStoreAbs(Addr, Scratch[0]));
+    return Code;
+  }
+
+  /// Inserts \p Code on CFG edge \p EdgeId, splitting critical edges.
+  void insertOnEdge(unsigned EdgeId, std::vector<Inst> Code) {
+    const cfg::Edge &E = G.edge(EdgeId);
+    BasicBlock *From = G.block(E.From);
+    assert(From && "cannot place code on a synthetic exit edge");
+    if (E.SuccIndex < 0) {
+      insertBeforeTerminator(From, std::move(Code));
+      return;
+    }
+    BasicBlock *To = G.block(E.To);
+
+    if (From->numSuccessors() == 1) {
+      insertBeforeTerminator(From, std::move(Code));
+      return;
+    }
+    if (G.inEdges(E.To).size() == 1 && E.To != G.entryNode()) {
+      prependToBlock(To, std::move(Code));
+      return;
+    }
+    // Critical edge: route through a fresh block (once per edge; later
+    // insertions on the same edge append to it).
+    auto It = SplitBlocks.find(EdgeId);
+    BasicBlock *Split;
+    if (It != SplitBlocks.end()) {
+      Split = It->second;
+    } else {
+      Split = F.addBlock(From->name() + ".split" + std::to_string(EdgeId));
+      Inst Jump;
+      Jump.Op = Opcode::Br;
+      Jump.T1 = To;
+      Split->insts().push_back(Jump);
+      From->setSuccessor(static_cast<unsigned>(E.SuccIndex), Split);
+      SplitBlocks[EdgeId] = Split;
+    }
+    insertBeforeTerminator(Split, std::move(Code));
+  }
+
+  void insertBeforeTerminator(BasicBlock *BB, std::vector<Inst> Code) {
+    auto &Insts = BB->insts();
+    Insts.insert(Insts.begin() + static_cast<long>(BB->appendPos()),
+                 std::make_move_iterator(Code.begin()),
+                 std::make_move_iterator(Code.end()));
+  }
+
+  void prependToBlock(BasicBlock *BB, std::vector<Inst> Code) {
+    size_t &Offset = PrependCounts[BB];
+    auto &Insts = BB->insts();
+    Insts.insert(Insts.begin() + static_cast<long>(Offset),
+                 std::make_move_iterator(Code.begin()),
+                 std::make_move_iterator(Code.end()));
+    Offset += Code.size();
+  }
+
+  /// Path increments, back-edge commit/reset pairs, CCT loop probes, and
+  /// edge-profiling chords — everything that lives on CFG edges.
+  void placeEdgeOps() {
+    if (Info.HasPathProfile) {
+      for (const bl::EdgeIncrement &Incr : Plan.Increments)
+        insertOnEdge(Incr.CfgEdgeId,
+                     {mkBin(Opcode::Add, PathReg, PathReg,
+                            static_cast<int64_t>(Incr.Value))});
+      for (const bl::BackedgeOp &Op : Plan.Backedges) {
+        std::vector<Inst> Code = commitSequence(Op.EndValue);
+        Code.push_back(mkMovImm(PathReg, static_cast<int64_t>(Op.StartValue)));
+        if (modeUsesHw(Config.M))
+          appendPicRestart(Code);
+        insertOnEdge(Op.CfgEdgeId, std::move(Code));
+      }
+    }
+
+    if (Config.M == Mode::ContextHw) {
+      // Read the counters along loop back edges too (§4.3), bounding the
+      // measured interval to avoid 32-bit wrap and longjmp loss.
+      for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId)
+        if (G.isBackedge(EdgeId) && G.isReachable(G.edge(EdgeId).From))
+          insertOnEdge(EdgeId, {mkRuntimeOp(Opcode::CctHwProbe, 1)});
+    }
+
+    if (Config.M == Mode::Edge)
+      for (size_t Slot = 0; Slot != Info.ChordEdges.size(); ++Slot)
+        insertOnEdge(Info.ChordEdges[Slot], chordSequence(Slot));
+  }
+
+  /// Entry preamble, in order: CCT entry, CCT entry probe, PIC save, path
+  /// register init, PIC zero + forced read.
+  void placeEntry() {
+    std::vector<Inst> Code;
+    if (modeUsesCct(Config.M)) {
+      Code.push_back(mkRuntimeOp(Opcode::CctEnter));
+      if (Config.M == Mode::ContextHw)
+        Code.push_back(mkRuntimeOp(Opcode::CctHwProbe, 0));
+    }
+    if (Info.HasPathProfile) {
+      if (modeUsesHw(Config.M))
+        Code.push_back(mkRdPic(PicSaveReg));
+      Code.push_back(mkMovImm(PathReg, 0));
+      if (modeUsesHw(Config.M))
+        appendPicRestart(Code);
+    }
+    if (Config.M == Mode::Edge)
+      Code = chordSequence(Info.ChordEdges.size()); // invocation counter
+    if (Code.empty())
+      return;
+    auto &Insts = F.entry()->insts();
+    Insts.insert(Insts.begin(), std::make_move_iterator(Code.begin()),
+                 std::make_move_iterator(Code.end()));
+  }
+
+  /// Exit sequences before every return (and path commits before longjmp,
+  /// whose frames the runtime unwinds without cct.exit).
+  void placeExits() {
+    for (const bl::ExitCommit &Commit : Plan.ExitCommits) {
+      BasicBlock *BB = G.block(Commit.Node);
+      bool IsReturn = BB->terminator().Op == Opcode::Ret;
+      std::vector<Inst> Code;
+      if (Info.HasPathProfile) {
+        Code = commitSequence(Commit.FoldValue);
+        if (modeUsesHw(Config.M) && IsReturn) {
+          // Restore the caller's counter values (§3.1: save on entry,
+          // restore before exit, capturing the cost of call instructions).
+          Code.push_back(mkWrPicReg(PicSaveReg));
+          Code.push_back(mkRdPic(Scratch[2]));
+        }
+      }
+      insertBeforeTerminator(BB, std::move(Code));
+    }
+    if (!modeUsesCct(Config.M))
+      return;
+    for (const auto &BB : F.blocks()) {
+      if (!BB->hasTerminator() || BB->terminator().Op != Opcode::Ret)
+        continue;
+      std::vector<Inst> Code;
+      if (Config.M == Mode::ContextHw)
+        Code.push_back(mkRuntimeOp(Opcode::CctHwProbe, 2));
+      Code.push_back(mkRuntimeOp(Opcode::CctExit));
+      insertBeforeTerminator(BB.get(), std::move(Code));
+    }
+  }
+
+  ir::Module &M;
+  Function &F;
+  const ProfileConfig &Config;
+  FunctionInstrInfo &Info;
+  cfg::Cfg G;
+  std::unique_ptr<bl::PathNumbering> PN;
+  bl::PathPlan Plan;
+  std::vector<CallSite> Sites;
+  Reg PathReg = ir::NoReg;
+  Reg PicSaveReg = ir::NoReg;
+  Reg Scratch[6] = {ir::NoReg, ir::NoReg, ir::NoReg,
+                    ir::NoReg, ir::NoReg, ir::NoReg};
+  std::unordered_map<unsigned, BasicBlock *> SplitBlocks;
+  std::unordered_map<BasicBlock *, size_t> PrependCounts;
+};
+
+} // namespace
+
+Instrumented prof::instrument(const ir::Module &Original,
+                              const ProfileConfig &Config) {
+  Instrumented Result;
+  Result.M = Original.clone();
+  Result.Config = Config;
+  Result.Functions.resize(Result.M->numFunctions());
+
+  if (Config.M == Mode::None) {
+    for (size_t Id = 0; Id != Result.M->numFunctions(); ++Id)
+      Result.Functions[Id].F = Result.M->function(Id);
+    return Result;
+  }
+
+  for (size_t Id = 0; Id != Result.M->numFunctions(); ++Id) {
+    Function *F = Result.M->function(Id);
+    Result.Functions[Id].F = F;
+    if (F->numBlocks() == 0 || !Config.shouldInstrument(*F))
+      continue;
+    FunctionInstrumenter FI(*Result.M, *F, Config, Result.Functions[Id]);
+    FI.run();
+  }
+  return Result;
+}

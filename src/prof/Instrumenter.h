@@ -1,0 +1,73 @@
+//===- prof/Instrumenter.h - The EEL-role binary editor --------*- C++ -*-===//
+///
+/// \file
+/// Rewrites a module with profiling instrumentation, playing the role EEL
+/// plays for PP (§5): it splices real instructions into the program —
+/// path-register updates on edges (splitting critical edges), counter
+/// commits at path ends, PIC save/zero/read sequences, CCT entry/call/exit
+/// ops, and spanning-tree chord counters for the edge-profiling baseline.
+/// All inserted code executes on the simulated machine and perturbs it,
+/// which is what Tables 1 and 2 measure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_PROF_INSTRUMENTER_H
+#define PP_PROF_INSTRUMENTER_H
+
+#include "ir/Module.h"
+#include "prof/Mode.h"
+
+#include <memory>
+#include <vector>
+
+namespace pp {
+namespace prof {
+
+/// Per-function facts the runtime and the analysis need about what the
+/// instrumenter did.
+struct FunctionInstrInfo {
+  /// The function in the *instrumented* module.
+  ir::Function *F = nullptr;
+  bool Instrumented = false;
+
+  // --- Path profiling ------------------------------------------------------
+  bool HasPathProfile = false;
+  uint64_t NumPaths = 0;
+  /// True when counters live in a hash table (held by the runtime) instead
+  /// of the in-memory array at TableAddr.
+  bool Hashed = false;
+  uint64_t TableAddr = 0;
+  /// Bytes per path cell: 8 (frequency) or 24 (frequency + 2 metrics).
+  unsigned Stride = 0;
+
+  // --- Edge profiling ------------------------------------------------------
+  uint64_t EdgeTableAddr = 0;
+  /// CFG edge ids carrying chord counters; slot i counts ChordEdges[i].
+  /// One extra trailing slot counts function invocations (the virtual
+  /// EXIT -> ENTRY edge).
+  std::vector<unsigned> ChordEdges;
+
+  // --- CCT -----------------------------------------------------------------
+  unsigned NumSites = 0;
+  std::vector<uint8_t> SiteIsIndirect;
+};
+
+/// An instrumented clone of a module plus its metadata.
+struct Instrumented {
+  std::unique_ptr<ir::Module> M;
+  ProfileConfig Config;
+  /// Indexed by function id.
+  std::vector<FunctionInstrInfo> Functions;
+};
+
+/// Clones \p Original and instruments the clone per \p Config. The original
+/// is untouched (it serves as the baseline and as the structural reference
+/// for interpreting path sums, since cloning preserves block and edge
+/// order).
+Instrumented instrument(const ir::Module &Original,
+                        const ProfileConfig &Config);
+
+} // namespace prof
+} // namespace pp
+
+#endif // PP_PROF_INSTRUMENTER_H

@@ -1,0 +1,85 @@
+//===- prof/Oracle.cpp - Reference profiles via tracing ---------------------===//
+
+#include "prof/Oracle.h"
+
+#include <cassert>
+
+using namespace pp;
+using namespace pp::prof;
+
+OracleProfiler::OracleProfiler(const ir::Module &M) {
+  size_t NumFuncs = M.numFunctions();
+  Cfgs.resize(NumFuncs);
+  Numberings.resize(NumFuncs);
+  PathFreqs.resize(NumFuncs);
+  EdgeCounts.resize(NumFuncs);
+  CallCounts.assign(NumFuncs, 0);
+  for (size_t Id = 0; Id != NumFuncs; ++Id) {
+    const ir::Function &F = *M.function(Id);
+    if (F.numBlocks() == 0)
+      continue;
+    Cfgs[Id] = std::make_unique<cfg::Cfg>(F);
+    Numberings[Id] = std::make_unique<bl::PathNumbering>(*Cfgs[Id]);
+    EdgeCounts[Id].assign(Cfgs[Id]->numEdges(), 0);
+  }
+}
+
+OracleProfiler::~OracleProfiler() = default;
+
+void OracleProfiler::onEnterFunction(const ir::Function &F) {
+  ++CallCounts[F.id()];
+  Stack.push_back(FrameState{F.id(), 0});
+  Dct.enter(F.id());
+}
+
+void OracleProfiler::onExitFunction(const ir::Function &F) {
+  assert(!Stack.empty() && Stack.back().FuncId == F.id());
+  Stack.pop_back();
+  Dct.exit();
+}
+
+void OracleProfiler::onUnwindFunction(const ir::Function &F) {
+  // Longjmp discards the frame: its in-flight path is abandoned, exactly
+  // like the instrumented program, whose commit never runs.
+  assert(!Stack.empty() && Stack.back().FuncId == F.id());
+  Stack.pop_back();
+  Dct.exit();
+}
+
+void OracleProfiler::onCall(const ir::Function &Caller,
+                            const ir::Inst &CallInst,
+                            const ir::Function &Callee) {
+  Dcg.addCall(Caller.id(), Callee.id());
+}
+
+void OracleProfiler::onEdgeTaken(const ir::BasicBlock &From, int SuccIndex) {
+  assert(!Stack.empty());
+  FrameState &Frame = Stack.back();
+  unsigned FuncId = Frame.FuncId;
+  assert(From.parent()->id() == FuncId && "edge in unexpected function");
+
+  const cfg::Cfg &G = *Cfgs[FuncId];
+  const auto &OutIds = G.outEdges(From.id());
+  unsigned EdgeId =
+      SuccIndex < 0 ? OutIds[0] : OutIds[static_cast<unsigned>(SuccIndex)];
+  assert((SuccIndex >= 0 || G.edge(EdgeId).SuccIndex == -1) &&
+         "exit edge mismatch");
+  ++EdgeCounts[FuncId][EdgeId];
+
+  const bl::PathNumbering &PN = *Numberings[FuncId];
+  if (!PN.valid())
+    return;
+  if (G.isBackedge(EdgeId)) {
+    ++PathFreqs[FuncId][Frame.PathSum + PN.backedgeEndValue(EdgeId)];
+    Frame.PathSum = PN.backedgeStartValue(EdgeId);
+    return;
+  }
+  uint64_t Val = PN.valueForCfgEdge(EdgeId);
+  if (G.edge(EdgeId).SuccIndex < 0) {
+    // Leaving the function (return or longjmp): commit the ended path.
+    ++PathFreqs[FuncId][Frame.PathSum + Val];
+    Frame.PathSum = 0;
+    return;
+  }
+  Frame.PathSum += Val;
+}

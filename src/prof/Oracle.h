@@ -1,0 +1,80 @@
+//===- prof/Oracle.h - Reference profiles via tracing ----------*- C++ -*-===//
+///
+/// \file
+/// A VM tracer that derives ground-truth profiles without instrumentation:
+/// per-function Ball-Larus path frequencies, CFG edge counts, call counts,
+/// and a dynamic call tree. Runs on the pristine module; tests and benches
+/// compare the instrumented program's measurements against it (the
+/// simulator's equivalent of the paper's uninstrumented sampled baseline).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_PROF_ORACLE_H
+#define PP_PROF_ORACLE_H
+
+#include "bl/PathNumbering.h"
+#include "cct/DynamicCallTree.h"
+#include "cfg/Cfg.h"
+#include "ir/Module.h"
+#include "vm/Vm.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace pp {
+namespace prof {
+
+/// Shadow profiler driven by VM trace callbacks.
+class OracleProfiler : public vm::Tracer {
+public:
+  explicit OracleProfiler(const ir::Module &M);
+  ~OracleProfiler() override;
+
+  // --- vm::Tracer -----------------------------------------------------------
+  void onEdgeTaken(const ir::BasicBlock &From, int SuccIndex) override;
+  void onEnterFunction(const ir::Function &F) override;
+  void onExitFunction(const ir::Function &F) override;
+  void onUnwindFunction(const ir::Function &F) override;
+  void onCall(const ir::Function &Caller, const ir::Inst &CallInst,
+              const ir::Function &Callee) override;
+
+  // --- Results ---------------------------------------------------------------
+  /// Path-sum -> frequency for \p FuncId (empty when numbering overflowed).
+  const std::map<uint64_t, uint64_t> &pathFreqs(unsigned FuncId) const {
+    return PathFreqs[FuncId];
+  }
+  /// Execution count per CFG edge id of \p FuncId.
+  const std::vector<uint64_t> &edgeCounts(unsigned FuncId) const {
+    return EdgeCounts[FuncId];
+  }
+  uint64_t callCount(unsigned FuncId) const { return CallCounts[FuncId]; }
+
+  const cct::DynamicCallTree &dct() const { return Dct; }
+  const cct::DynamicCallGraph &dcg() const { return Dcg; }
+
+  const cfg::Cfg &cfgOf(unsigned FuncId) const { return *Cfgs[FuncId]; }
+  const bl::PathNumbering &numberingOf(unsigned FuncId) const {
+    return *Numberings[FuncId];
+  }
+
+private:
+  struct FrameState {
+    unsigned FuncId;
+    uint64_t PathSum;
+  };
+
+  std::vector<std::unique_ptr<cfg::Cfg>> Cfgs;
+  std::vector<std::unique_ptr<bl::PathNumbering>> Numberings;
+  std::vector<std::map<uint64_t, uint64_t>> PathFreqs;
+  std::vector<std::vector<uint64_t>> EdgeCounts;
+  std::vector<uint64_t> CallCounts;
+  std::vector<FrameState> Stack;
+  cct::DynamicCallTree Dct;
+  cct::DynamicCallGraph Dcg;
+};
+
+} // namespace prof
+} // namespace pp
+
+#endif // PP_PROF_ORACLE_H

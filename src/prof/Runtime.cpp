@@ -1,0 +1,214 @@
+//===- prof/Runtime.cpp - The profiling runtime ------------------------------===//
+
+#include "prof/Runtime.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace pp;
+using namespace pp::prof;
+
+Runtime::Runtime(const Instrumented &Instr, hw::Machine &Machine)
+    : Instr(Instr), Machine(Machine) {
+  if (!modeUsesCct(Instr.Config.M))
+    return;
+  // Build the procedure descriptor table the CCT needs: slot counts and
+  // kinds per function, plus path-table sizes in Context+Flow mode.
+  std::vector<cct::ProcDesc> Procs;
+  Procs.reserve(Instr.Functions.size());
+  for (const FunctionInstrInfo &Info : Instr.Functions) {
+    cct::ProcDesc Desc;
+    Desc.Name = Info.F ? Info.F->name() : "<null>";
+    Desc.NumSites = Info.NumSites;
+    Desc.SiteIsIndirect = Info.SiteIsIndirect;
+    if (modeUsesPerRecordPaths(Instr.Config.M) && Info.HasPathProfile)
+      Desc.NumPaths = Info.NumPaths;
+    Procs.push_back(std::move(Desc));
+  }
+  // Metrics: [0] invocations, [1] PIC0 sum, [2] PIC1 sum. Path cells carry
+  // metric accumulators only in the full flow+context+HW combination.
+  Tree = std::make_unique<cct::CallingContextTree>(
+      std::move(Procs), /*NumMetrics=*/3, /*Charger=*/this,
+      /*PathCellBytes=*/
+      Instr.Config.M == Mode::ContextFlowHw ? 24u : 8u,
+      /*HashThreshold=*/Instr.Config.Plan.ArrayThreshold);
+  GcspRecord = Tree->root();
+  GcspSlot = 0;
+}
+
+Runtime::~Runtime() = default;
+
+const std::unordered_map<uint64_t, HashPathCell> &
+Runtime::hashTable(unsigned FuncId) const {
+  static const std::unordered_map<uint64_t, HashPathCell> Empty;
+  auto It = HashTables.find(FuncId);
+  return It == HashTables.end() ? Empty : It->second;
+}
+
+void Runtime::execOp(vm::Vm &VM, const ir::Inst &I) {
+  switch (I.Op) {
+  case ir::Opcode::CctEnter:
+    doCctEnter(VM);
+    return;
+  case ir::Opcode::CctCall:
+    // The caller points the gCSP at this site's slot in its record: one
+    // add off the local call record pointer (§4.2 "Procedure call").
+    GcspRecord = currentRecord();
+    GcspSlot = static_cast<unsigned>(I.Imm);
+    Machine.chargeInsts(1);
+    return;
+  case ir::Opcode::CctExit:
+    doCctExit(VM);
+    return;
+  case ir::Opcode::CctHwProbe:
+    doHwProbe(VM, static_cast<int>(I.Imm));
+    return;
+  case ir::Opcode::CctPathCommit:
+    doCctPathCommit(VM, I);
+    return;
+  case ir::Opcode::PathHashCommit:
+    doPathHashCommit(VM, I);
+    return;
+  default:
+    unreachable("not a profiling runtime op");
+  }
+}
+
+void Runtime::doCctEnter(vm::Vm &VM) {
+  assert(Tree && "cct op without a context mode");
+  const ir::Function *F = VM.currentFunction();
+  assert(F && "cct.enter outside a function");
+
+  // Save the caller's gCSP to the (simulated) stack so calls through
+  // uninstrumented procedures still attribute correctly.
+  Machine.touchData(layout::ProfStackBase + 16 * Shadow.size(), 8,
+                    /*IsWrite=*/true);
+  Machine.chargeInsts(2);
+
+  cct::CallRecord *R = Tree->enter(GcspRecord, GcspSlot, F->id());
+
+  // Invocation count lives in the record's first metric slot.
+  cct::CallingContextTree::bumpMetric(R, 0, 1);
+  Machine.touchData(R->addr() + 16, 8, /*IsWrite=*/false);
+  Machine.touchData(R->addr() + 16, 8, /*IsWrite=*/true);
+  Machine.chargeInsts(3);
+
+  Shadow.push_back(ShadowEntry{VM.frameDepth(), R, GcspRecord, GcspSlot, 0});
+}
+
+void Runtime::doCctExit(vm::Vm &VM) {
+  assert(Tree && !Shadow.empty() && "cct.exit without matching enter");
+  const ShadowEntry &Entry = Shadow.back();
+  GcspRecord = Entry.SavedGcspRecord;
+  GcspSlot = Entry.SavedGcspSlot;
+  Shadow.pop_back();
+  // Reload the saved gCSP from the stack.
+  Machine.touchData(layout::ProfStackBase + 16 * Shadow.size(), 8,
+                    /*IsWrite=*/false);
+  Machine.chargeInsts(2);
+}
+
+void Runtime::doHwProbe(vm::Vm &VM, int Kind) {
+  assert(Tree && !Shadow.empty() && "hw probe without an active record");
+  ShadowEntry &Entry = Shadow.back();
+  if (Kind == 0) {
+    // Entry probe: snapshot the free-running PICs.
+    Entry.HwStart = Machine.counters().readPics();
+    Machine.chargeInsts(2);
+    return;
+  }
+  // Loop back edge (1) or exit (2): accumulate the 32-bit lane deltas into
+  // the record and restart the interval (§4.3: reading along back edges
+  // bounds the interval, avoiding wrap and longjmp loss).
+  uint64_t Cur = Machine.counters().readPics();
+  uint64_t Start = Entry.HwStart;
+  uint64_t Delta0 = static_cast<uint32_t>(Cur) - static_cast<uint32_t>(Start);
+  Delta0 &= 0xffffffffu;
+  uint64_t Delta1 = (Cur >> 32) - (Start >> 32);
+  Delta1 &= 0xffffffffu;
+  cct::CallRecord *R = Entry.Record;
+  cct::CallingContextTree::bumpMetric(R, 1, Delta0);
+  cct::CallingContextTree::bumpMetric(R, 2, Delta1);
+  Entry.HwStart = Cur;
+  for (unsigned Metric = 1; Metric <= 2; ++Metric) {
+    Machine.touchData(R->addr() + 16 + 8 * Metric, 8, /*IsWrite=*/false);
+    Machine.touchData(R->addr() + 16 + 8 * Metric, 8, /*IsWrite=*/true);
+  }
+  Machine.chargeInsts(8);
+}
+
+void Runtime::doCctPathCommit(vm::Vm &VM, const ir::Inst &I) {
+  assert(Tree && !Shadow.empty() && "path commit without an active record");
+  uint64_t PathSum = VM.reg(I.A);
+  if (Instr.Config.M == Mode::ContextFlowHw) {
+    // The counters were zeroed at the path start, so the current PIC
+    // values are the path's metric deltas.
+    uint64_t Cur = Machine.counters().readPics();
+    Machine.chargeInsts(3); // rd + lane extraction
+    Tree->commitPath(Shadow.back().Record, PathSum, /*WithMetrics=*/true,
+                     static_cast<uint32_t>(Cur), Cur >> 32);
+    return;
+  }
+  Tree->commitPath(Shadow.back().Record, PathSum, /*WithMetrics=*/false, 0,
+                   0);
+}
+
+void Runtime::doPathHashCommit(vm::Vm &VM, const ir::Inst &I) {
+  unsigned FuncId = static_cast<unsigned>(I.Imm);
+  assert(FuncId < Instr.Functions.size());
+  const FunctionInstrInfo &Info = Instr.Functions[FuncId];
+  uint64_t Key = VM.reg(I.A);
+  HashPathCell &Cell = HashTables[FuncId][Key];
+  ++Cell.Freq;
+
+  // Charge one probe of the open-addressed table plus the counter update.
+  uint64_t Cells = Instr.Config.Plan.ArrayThreshold;
+  uint64_t Mixed = Key * 0x9e3779b97f4a7c15ULL;
+  uint64_t CellAddr = Info.TableAddr + (Mixed % Cells) * 32;
+  Machine.touchData(CellAddr, 8, /*IsWrite=*/false); // key compare
+  Machine.touchData(CellAddr + 8, 8, /*IsWrite=*/false);
+  Machine.touchData(CellAddr + 8, 8, /*IsWrite=*/true);
+  Machine.chargeInsts(8);
+
+  if (Instr.Config.M == Mode::FlowHw) {
+    uint64_t Cur = Machine.counters().readPics();
+    Cell.Metric0 += static_cast<uint32_t>(Cur);
+    Cell.Metric1 += Cur >> 32;
+    Machine.touchData(CellAddr + 16, 8, /*IsWrite=*/true);
+    Machine.touchData(CellAddr + 24, 8, /*IsWrite=*/true);
+    Machine.chargeInsts(6);
+  }
+}
+
+void Runtime::onSignalDeliver(vm::Vm &VM) {
+  if (!Tree)
+    return;
+  // The handler is a fresh entry point: point the gCSP at the root's
+  // signal slot so its cct.enter hangs the activation off the root
+  // instead of whatever procedure the signal interrupted.
+  SignalSavedGcsps.push_back({GcspRecord, GcspSlot});
+  GcspRecord = Tree->root();
+  GcspSlot = cct::SignalSlot;
+  Machine.chargeInsts(2);
+}
+
+void Runtime::onSignalReturn(vm::Vm &VM) {
+  if (!Tree || SignalSavedGcsps.empty())
+    return;
+  GcspRecord = SignalSavedGcsps.back().first;
+  GcspSlot = SignalSavedGcsps.back().second;
+  SignalSavedGcsps.pop_back();
+  Machine.chargeInsts(2);
+}
+
+void Runtime::onFrameUnwound(vm::Vm &VM, const ir::Function &F) {
+  // A longjmp is discarding the current frame: drop its shadow entry (if
+  // the function was instrumented) and restore the gCSP it saved, exactly
+  // what the normal exception mechanism does for instrumented code (§4.2).
+  while (!Shadow.empty() && Shadow.back().FrameDepth >= VM.frameDepth()) {
+    GcspRecord = Shadow.back().SavedGcspRecord;
+    GcspSlot = Shadow.back().SavedGcspSlot;
+    Shadow.pop_back();
+  }
+}

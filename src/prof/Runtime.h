@@ -1,0 +1,103 @@
+//===- prof/Runtime.h - The profiling runtime ------------------*- C++ -*-===//
+///
+/// \file
+/// Implements the profiling pseudo-ops the instrumenter emits. The CCT
+/// protocol state (the gCSP "callee slot pointer" register, the per-frame
+/// shadow of saved gCSPs, per-activation PIC snapshots) lives here, as do
+/// the hash-table path counters for functions whose potential-path count
+/// exceeds the array threshold.
+///
+/// Every operation charges the simulated machine the instruction count and
+/// memory traffic of its inline expansion — CCT heap and profiling-stack
+/// addresses go through the simulated D-cache — so runtime-implemented
+/// instrumentation perturbs the machine like emitted code does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_PROF_RUNTIME_H
+#define PP_PROF_RUNTIME_H
+
+#include "cct/CallingContextTree.h"
+#include "prof/Instrumenter.h"
+#include "vm/Vm.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace pp {
+namespace prof {
+
+/// One hash-table path counter cell (for functions too big for arrays).
+struct HashPathCell {
+  uint64_t Freq = 0;
+  uint64_t Metric0 = 0;
+  uint64_t Metric1 = 0;
+};
+
+/// The runtime behind the instrumented program.
+class Runtime : public vm::ProfRuntime, public cct::MemCharger {
+public:
+  Runtime(const Instrumented &Instr, hw::Machine &Machine);
+  ~Runtime() override;
+
+  // --- vm::ProfRuntime ----------------------------------------------------
+  void execOp(vm::Vm &VM, const ir::Inst &I) override;
+  void onFrameUnwound(vm::Vm &VM, const ir::Function &F) override;
+  void onSignalDeliver(vm::Vm &VM) override;
+  void onSignalReturn(vm::Vm &VM) override;
+
+  // --- cct::MemCharger -----------------------------------------------------
+  void touchMemory(uint64_t Addr, unsigned Size, bool IsWrite) override {
+    Machine.touchData(Addr, Size, IsWrite);
+  }
+  void chargeInsts(unsigned N) override { Machine.chargeInsts(N); }
+
+  // --- Results --------------------------------------------------------------
+  /// Null unless a context mode is active.
+  cct::CallingContextTree *tree() { return Tree.get(); }
+  std::unique_ptr<cct::CallingContextTree> takeTree() {
+    return std::move(Tree);
+  }
+
+  /// Hash-mode path counters of function \p FuncId (empty map if none).
+  const std::unordered_map<uint64_t, HashPathCell> &
+  hashTable(unsigned FuncId) const;
+
+private:
+  struct ShadowEntry {
+    size_t FrameDepth;
+    cct::CallRecord *Record;
+    cct::CallRecord *SavedGcspRecord;
+    unsigned SavedGcspSlot;
+    /// Packed PIC snapshot at the last probe (Context and HW).
+    uint64_t HwStart;
+  };
+
+  void doCctEnter(vm::Vm &VM);
+  void doCctExit(vm::Vm &VM);
+  void doHwProbe(vm::Vm &VM, int Kind);
+  void doPathHashCommit(vm::Vm &VM, const ir::Inst &I);
+  void doCctPathCommit(vm::Vm &VM, const ir::Inst &I);
+
+  cct::CallRecord *currentRecord() {
+    return Shadow.empty() ? Tree->root() : Shadow.back().Record;
+  }
+
+  const Instrumented &Instr;
+  hw::Machine &Machine;
+  std::unique_ptr<cct::CallingContextTree> Tree;
+  /// The gCSP global register: (record, callee slot index).
+  cct::CallRecord *GcspRecord = nullptr;
+  unsigned GcspSlot = 0;
+  std::vector<ShadowEntry> Shadow;
+  /// gCSPs saved across signal-handler activations.
+  std::vector<std::pair<cct::CallRecord *, unsigned>> SignalSavedGcsps;
+  std::unordered_map<unsigned, std::unordered_map<uint64_t, HashPathCell>>
+      HashTables;
+};
+
+} // namespace prof
+} // namespace pp
+
+#endif // PP_PROF_RUNTIME_H

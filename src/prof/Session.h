@@ -1,0 +1,88 @@
+//===- prof/Session.h - One profiling run end to end -----------*- C++ -*-===//
+///
+/// \file
+/// Orchestration of a complete profiling run: clone + instrument, load into
+/// a fresh machine, execute, then read the profiles back — path counter
+/// arrays from simulated memory, hash tables and the CCT from the runtime,
+/// ground-truth event totals from the machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_PROF_SESSION_H
+#define PP_PROF_SESSION_H
+
+#include "cct/CallingContextTree.h"
+#include "prof/Instrumenter.h"
+#include "vm/Vm.h"
+
+#include <array>
+#include <memory>
+#include <vector>
+
+namespace pp {
+namespace prof {
+
+/// Knobs of a run.
+struct SessionOptions {
+  ProfileConfig Config;
+  hw::MachineConfig MachineCfg;
+  uint64_t MaxInsts = uint64_t(1) << 32;
+  /// When non-empty, the named zero-argument function runs as a simulated
+  /// signal handler every SignalInterval executed instructions.
+  std::string SignalHandler;
+  uint64_t SignalInterval = 0;
+};
+
+/// One executed path and its accumulated measurements.
+struct PathEntry {
+  uint64_t PathSum = 0;
+  uint64_t Freq = 0;
+  /// Sums of the PIC0/PIC1 events over the path's executions (HW modes).
+  uint64_t Metric0 = 0;
+  uint64_t Metric1 = 0;
+};
+
+/// All executed paths of one function.
+struct FunctionPathProfile {
+  unsigned FuncId = 0;
+  bool HasProfile = false;
+  uint64_t NumPaths = 0;
+  bool Hashed = false;
+  /// Executed paths only (Freq > 0), sorted by PathSum.
+  std::vector<PathEntry> Paths;
+};
+
+/// Edge counts of one function, reconstructed from chord counters.
+struct EdgeProfile {
+  unsigned FuncId = 0;
+  bool HasProfile = false;
+  /// Execution count per CFG edge id (CFG of the pristine module).
+  std::vector<uint64_t> EdgeCounts;
+  uint64_t Invocations = 0;
+};
+
+/// Everything a run produced.
+struct RunOutcome {
+  Instrumented Instr;
+  vm::RunResult Result;
+  /// Ground-truth event totals of the whole run.
+  std::array<uint64_t, hw::NumEvents> Totals{};
+  /// Flow-mode path profiles, indexed by function id.
+  std::vector<FunctionPathProfile> PathProfiles;
+  /// Edge-mode reconstructed profiles, indexed by function id.
+  std::vector<EdgeProfile> EdgeProfiles;
+  /// The CCT (context modes).
+  std::unique_ptr<cct::CallingContextTree> Tree;
+
+  uint64_t total(hw::Event E) const {
+    return Totals[static_cast<unsigned>(E)];
+  }
+};
+
+/// Runs \p M under \p Options (Mode::None = uninstrumented baseline).
+RunOutcome runProfile(const ir::Module &M, const SessionOptions &Options);
+
+} // namespace prof
+} // namespace pp
+
+#endif // PP_PROF_SESSION_H

@@ -1,0 +1,37 @@
+//===- support/AddressLayout.h - Simulated address space map ---*- C++ -*-===//
+///
+/// \file
+/// Fixed region bases of the simulated address space. Globals get addresses
+/// eagerly when declared (so instrumentation-added profile tables have known
+/// addresses at edit time, like EEL patching absolute addresses); code is
+/// laid out by the loader; the heap, the profiling runtime's stack, and the
+/// CCT heap are bump regions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_SUPPORT_ADDRESSLAYOUT_H
+#define PP_SUPPORT_ADDRESSLAYOUT_H
+
+#include <cstdint>
+
+namespace pp {
+namespace layout {
+
+/// Base of the code segment (instructions are 4 bytes, as on SPARC).
+inline constexpr uint64_t CodeBase = 0x0000'1000;
+/// Base of the statically allocated globals (includes profile counter
+/// tables added by the instrumenter).
+inline constexpr uint64_t GlobalBase = 0x1000'0000;
+/// Base of the program heap served by the Alloc instruction.
+inline constexpr uint64_t HeapBase = 0x4000'0000;
+/// Base of the CCT heap ("a heap in a memory-mapped region", §4.2).
+inline constexpr uint64_t CctHeapBase = 0x5000'0000;
+/// Base of the profiling runtime's shadow stack (saved gCSP words, §4.2).
+inline constexpr uint64_t ProfStackBase = 0x6000'0000;
+/// Bytes per simulated instruction.
+inline constexpr uint64_t BytesPerInst = 4;
+
+} // namespace layout
+} // namespace pp
+
+#endif // PP_SUPPORT_ADDRESSLAYOUT_H

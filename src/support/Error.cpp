@@ -1,0 +1,18 @@
+//===- support/Error.cpp - Fatal error reporting -------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pp;
+
+void pp::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "pathprof fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void pp::unreachable(const char *Message) {
+  std::fprintf(stderr, "pathprof unreachable: %s\n", Message);
+  std::abort();
+}

@@ -1,0 +1,27 @@
+//===- support/Error.h - Fatal error reporting ----------------*- C++ -*-===//
+///
+/// \file
+/// Fatal-error reporting for unrecoverable conditions. The library is built
+/// without exceptions; invariant violations use assert, and unrecoverable
+/// environment errors (bad input files, exhausted simulated memory) call
+/// pp::reportFatalError, which prints a message and aborts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_SUPPORT_ERROR_H
+#define PP_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace pp {
+
+/// Prints "pathprof fatal error: <Message>" to stderr and aborts.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in the code that must be unreachable if program invariants
+/// hold. Prints \p Message and aborts.
+[[noreturn]] void unreachable(const char *Message);
+
+} // namespace pp
+
+#endif // PP_SUPPORT_ERROR_H

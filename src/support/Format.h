@@ -1,0 +1,33 @@
+//===- support/Format.h - printf-style string formatting ------*- C++ -*-===//
+///
+/// \file
+/// Small printf-style formatting helpers used by reports and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_SUPPORT_FORMAT_H
+#define PP_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace pp {
+
+/// Returns the printf-style formatting of the arguments as a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats \p Value with engineering notation similar to the paper's tables
+/// (e.g. 1.1e7 for 11,000,000; plain digits below 100,000).
+std::string formatEng(double Value);
+
+/// Formats \p Numerator / \p Denominator as a percentage with one decimal
+/// ("42.0%"); returns "0.0%" when the denominator is zero.
+std::string formatPercent(double Numerator, double Denominator);
+
+/// Formats a ratio with two decimals ("1.23"); "-" when the base is zero.
+std::string formatRatio(double Value, double Base);
+
+} // namespace pp
+
+#endif // PP_SUPPORT_FORMAT_H

@@ -1,0 +1,84 @@
+//===- support/Prng.h - Deterministic PRNG ---------------------*- C++ -*-===//
+///
+/// \file
+/// A deterministic xoshiro256** pseudo-random number generator. Workload
+/// generators use it so every experiment is bit-for-bit reproducible across
+/// runs and platforms (std::mt19937 distributions are not portable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_SUPPORT_PRNG_H
+#define PP_SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pp {
+
+/// xoshiro256** 1.0 by Blackman and Vigna (public domain reference
+/// implementation), seeded with splitmix64 so any 64-bit seed is usable.
+class Prng {
+public:
+  explicit Prng(uint64_t Seed) {
+    // splitmix64 expansion of the seed into the four state words.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound). \p Bound must be
+  /// nonzero. Uses rejection sampling to avoid modulo bias.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be nonzero");
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t Value = next();
+      if (Value >= Threshold)
+        return Value % Bound;
+    }
+  }
+
+  /// Returns a value uniformly distributed in [Low, High] inclusive.
+  int64_t nextInRange(int64_t Low, int64_t High) {
+    assert(Low <= High && "empty range");
+    return Low + static_cast<int64_t>(
+                     nextBelow(static_cast<uint64_t>(High - Low) + 1));
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace pp
+
+#endif // PP_SUPPORT_PRNG_H

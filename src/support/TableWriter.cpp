@@ -1,0 +1,67 @@
+//===- support/TableWriter.cpp - Aligned text tables ----------------------===//
+
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pp;
+
+void TableWriter::setHeader(std::vector<std::string> Names) {
+  assert(Rows.empty() && "header must be set before rows are added");
+  Header = std::move(Names);
+}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row width must match header");
+  assert(!Cells.empty() && "empty rows encode separators; use addSeparator");
+  Rows.push_back(std::move(Cells));
+  ++NumDataRows;
+}
+
+void TableWriter::addSeparator() { Rows.emplace_back(); }
+
+std::string TableWriter::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I != Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      const std::string &Cell = Cells[I];
+      assert(Widths[I] >= Cell.size());
+      size_t Pad = Widths[I] - Cell.size();
+      if (I == 0) {
+        // First column: left aligned.
+        Line += Cell;
+        Line.append(Pad + 2, ' ');
+      } else {
+        Line.append(Pad, ' ');
+        Line += Cell;
+        Line.append(2, ' ');
+      }
+    }
+    // Trim trailing spaces.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line + "\n";
+  };
+
+  std::string Out = RenderRow(Header);
+  Out += std::string(TotalWidth, '-') + "\n";
+  for (const auto &Row : Rows) {
+    if (Row.empty())
+      Out += std::string(TotalWidth, '-') + "\n";
+    else
+      Out += RenderRow(Row);
+  }
+  return Out;
+}

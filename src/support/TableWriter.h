@@ -1,0 +1,45 @@
+//===- support/TableWriter.h - Aligned text tables -------------*- C++ -*-===//
+///
+/// \file
+/// Renders aligned plain-text tables for the experiment reports. Columns are
+/// sized to their widest cell; the first column is left-aligned and all other
+/// columns right-aligned, matching the layout of the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_SUPPORT_TABLEWRITER_H
+#define PP_SUPPORT_TABLEWRITER_H
+
+#include <string>
+#include <vector>
+
+namespace pp {
+
+/// Accumulates rows of string cells and renders them as an aligned table.
+class TableWriter {
+public:
+  /// Sets the column headers. Must be called before adding rows.
+  void setHeader(std::vector<std::string> Names);
+
+  /// Appends one data row; the cell count must match the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line (rendered as dashes).
+  void addSeparator();
+
+  /// Renders the table into a string, one line per row.
+  std::string render() const;
+
+  /// Number of data rows added so far (separators excluded).
+  size_t numRows() const { return NumDataRows; }
+
+private:
+  std::vector<std::string> Header;
+  // A row with no cells encodes a separator.
+  std::vector<std::vector<std::string>> Rows;
+  size_t NumDataRows = 0;
+};
+
+} // namespace pp
+
+#endif // PP_SUPPORT_TABLEWRITER_H

@@ -1,0 +1,175 @@
+//===- vm/Vm.h - IR interpreter on the simulated machine -------*- C++ -*-===//
+///
+/// \file
+/// Executes a module on a hw::Machine, driving the caches, branch
+/// predictor, store buffer, FP scoreboard, and performance counters one
+/// instruction at a time. Profiling pseudo-ops are dispatched to a
+/// ProfRuntime; an optional Tracer observes control flow (tests use it to
+/// build oracle profiles the instrumented measurements must match).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_VM_VM_H
+#define PP_VM_VM_H
+
+#include "hw/Machine.h"
+#include "ir/Module.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pp {
+namespace vm {
+
+class Vm;
+
+/// Callbacks the profiling runtime implements (src/prof). The VM invokes
+/// execOp for every Opcode with isProfRuntimeOp(); onFrameUnwound fires for
+/// every frame a longjmp discards, so the runtime can pop its shadow state
+/// the way the paper's exception discussion requires (§4.2).
+class ProfRuntime {
+public:
+  virtual ~ProfRuntime();
+  virtual void execOp(Vm &VM, const ir::Inst &I) = 0;
+  virtual void onFrameUnwound(Vm &VM, const ir::Function &F) = 0;
+  /// A signal handler is about to run / has returned. The CCT gives signal
+  /// handlers their own root slot ("the CCT would need multiple roots",
+  /// §4.2), so the runtime repoints the gCSP for the handler's duration.
+  virtual void onSignalDeliver(Vm &VM) {}
+  virtual void onSignalReturn(Vm &VM) {}
+};
+
+/// Control-flow observer. Default implementations do nothing.
+class Tracer {
+public:
+  virtual ~Tracer();
+  /// A CFG edge was taken; SuccIndex is the canonical successor index, or
+  /// -1 for leaving the function (return or longjmp).
+  virtual void onEdgeTaken(const ir::BasicBlock &From, int SuccIndex) {}
+  virtual void onEnterFunction(const ir::Function &F) {}
+  virtual void onExitFunction(const ir::Function &F) {}
+  /// A frame was discarded by longjmp without returning.
+  virtual void onUnwindFunction(const ir::Function &F) {}
+  /// A call is about to transfer to \p Callee.
+  virtual void onCall(const ir::Function &Caller, const ir::Inst &CallInst,
+                      const ir::Function &Callee) {}
+};
+
+/// Outcome of a run.
+struct RunResult {
+  bool Ok = false;
+  std::string Error;
+  uint64_t ExitValue = 0;
+  /// IR instructions the VM dispatched (excludes runtime-op charges).
+  uint64_t ExecutedInsts = 0;
+};
+
+/// The interpreter. Construction lays the module out in the machine's
+/// address space: code addresses are assigned (4 bytes per instruction) and
+/// global initialisers are copied into memory.
+class Vm {
+public:
+  Vm(ir::Module &M, hw::Machine &Machine);
+
+  void setRuntime(ProfRuntime *R) { Runtime = R; }
+  void setTracer(Tracer *T) { TracerHook = T; }
+  /// Aborts the run with an error after this many executed instructions.
+  void setMaxInsts(uint64_t Max) { MaxInsts = Max; }
+
+  /// Delivers a simulated signal every \p IntervalInsts executed
+  /// instructions: \p Handler (a zero-argument function) runs to
+  /// completion, then the interrupted code resumes. Signals have
+  /// resumption semantics and do not nest.
+  void setSignal(ir::Function *Handler, uint64_t IntervalInsts) {
+    assert(Handler && Handler->numParams() == 0 &&
+           "signal handlers take no arguments");
+    SignalHandler = Handler;
+    SignalInterval = IntervalInsts;
+    SignalCountdown = IntervalInsts;
+  }
+
+  /// Number of signals delivered so far.
+  uint64_t signalsDelivered() const { return SignalsDelivered; }
+
+  /// Runs main() to completion.
+  RunResult run();
+
+  // --- Services for the profiling runtime ---------------------------------
+
+  hw::Machine &machine() { return Machine; }
+  ir::Module &module() { return M; }
+
+  /// Depth of the call stack (1 while main runs).
+  size_t frameDepth() const { return Frames.size(); }
+  const ir::Function *currentFunction() const {
+    return Frames.empty() ? nullptr : Frames.back().F;
+  }
+
+  /// Register access in the current frame.
+  uint64_t reg(ir::Reg R) const;
+  void setReg(ir::Reg R, uint64_t Value);
+
+  /// Bump-allocates in the simulated program heap.
+  uint64_t heapAlloc(uint64_t Size);
+
+  /// Entry code address of \p F (the paper's procedure identifier).
+  uint64_t functionEntryAddr(const ir::Function &F) const {
+    return EntryAddrs[F.id()];
+  }
+
+private:
+  struct Frame {
+    ir::Function *F;
+    ir::BasicBlock *BB;
+    size_t InstIdx;
+    uint64_t Serial;
+    /// Return continuation in the caller.
+    ir::Reg RetDst;
+    /// True for a frame pushed by signal delivery: returning from it
+    /// resumes the interrupted instruction stream without advancing it.
+    bool IsSignal = false;
+    std::vector<uint64_t> Regs;
+    /// Result-ready cycle per register, for the FP scoreboard.
+    std::vector<uint64_t> Ready;
+  };
+
+  struct JmpBuf {
+    size_t FrameIndex;
+    uint64_t Serial;
+    ir::BasicBlock *BB;
+    size_t InstIdx;
+    ir::Reg Dst;
+  };
+
+  void layout();
+  void fail(RunResult &Result, const std::string &Message);
+  uint64_t operandB(const Frame &FR, const ir::Inst &I) const {
+    return I.BIsImm ? static_cast<uint64_t>(I.Imm) : FR.Regs[I.B];
+  }
+  void pushFrame(ir::Function *Callee, const Frame &Caller,
+                 const ir::Inst &CallInst);
+  void takeEdge(Frame &FR, const ir::BasicBlock &From, int SuccIndex,
+                ir::BasicBlock *To);
+
+  ir::Module &M;
+  hw::Machine &Machine;
+  ProfRuntime *Runtime = nullptr;
+  Tracer *TracerHook = nullptr;
+  uint64_t MaxInsts = uint64_t(1) << 34;
+  std::vector<Frame> Frames;
+  std::unordered_map<int64_t, JmpBuf> JmpBufs;
+  std::vector<uint64_t> EntryAddrs;
+  uint64_t HeapNext = layout::HeapBase;
+  uint64_t NextSerial = 1;
+  ir::Function *SignalHandler = nullptr;
+  uint64_t SignalInterval = 0;
+  uint64_t SignalCountdown = 0;
+  uint64_t SignalsDelivered = 0;
+  bool InSignal = false;
+};
+
+} // namespace vm
+} // namespace pp
+
+#endif // PP_VM_VM_H

@@ -1,0 +1,229 @@
+//===- workloads/Examples.cpp - The paper's example programs -----------------===//
+
+#include "workloads/Examples.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+using namespace pp;
+using namespace pp::workloads;
+using namespace pp::ir;
+
+std::unique_ptr<ir::Module> workloads::buildFig1Module() {
+  auto M = std::make_unique<Module>();
+
+  // fig1(selector): the Figure 1 CFG. Successor order matters: the paper's
+  // edge values arise when A orders its successors [C, B], B orders [C, D],
+  // and D orders [F, E].
+  Function *Fig1 = M->addFunction("fig1", 1);
+  BasicBlock *A = Fig1->addBlock("A");
+  BasicBlock *B = Fig1->addBlock("B");
+  BasicBlock *C = Fig1->addBlock("C");
+  BasicBlock *D = Fig1->addBlock("D");
+  BasicBlock *E = Fig1->addBlock("E");
+  BasicBlock *F = Fig1->addBlock("F");
+
+  IRBuilder IRB(Fig1, A);
+  Reg Sel = 0; // parameter
+  Reg Acc = IRB.movImm(0);
+  // A: bit0 == 0 -> C (first successor), else B.
+  Reg Bit0 = IRB.andImm(Sel, 1);
+  Reg TakeC = IRB.cmpEqImm(Bit0, 0);
+  IRB.condBr(TakeC, C, B);
+
+  // B: bit1 == 0 -> C, else D.
+  IRB.setBlock(B);
+  Reg Bit1 = IRB.andImm(Sel, 2);
+  Reg BTakeC = IRB.cmpEqImm(Bit1, 0);
+  IRB.condBr(BTakeC, C, D);
+
+  // C: fall through to D.
+  IRB.setBlock(C);
+  Reg CWork = IRB.addImm(Acc, 7);
+  IRB.movRegInto(Acc, CWork);
+  IRB.br(D);
+
+  // D: bit2 == 0 -> F, else E.
+  IRB.setBlock(D);
+  Reg Bit2 = IRB.andImm(Sel, 4);
+  Reg TakeF = IRB.cmpEqImm(Bit2, 0);
+  IRB.condBr(TakeF, F, E);
+
+  // E: a little work, then F.
+  IRB.setBlock(E);
+  Reg EWork = IRB.mulImm(Acc, 3);
+  IRB.movRegInto(Acc, EWork);
+  IRB.br(F);
+
+  IRB.setBlock(F);
+  IRB.ret(Acc);
+
+  // main: run every selector once.
+  Function *Main = M->addFunction("main", 0);
+  BasicBlock *Entry = Main->addBlock("entry");
+  BasicBlock *Head = Main->addBlock("head");
+  BasicBlock *Body = Main->addBlock("body");
+  BasicBlock *Done = Main->addBlock("done");
+
+  IRBuilder MB(Main, Entry);
+  Reg I = MB.movImm(0);
+  Reg Total = MB.movImm(0);
+  MB.br(Head);
+
+  MB.setBlock(Head);
+  Reg More = MB.cmpLtImm(I, 8);
+  MB.condBr(More, Body, Done);
+
+  MB.setBlock(Body);
+  Reg Value = MB.call(Fig1, {I});
+  Reg NewTotal = MB.add(Total, Value);
+  MB.movRegInto(Total, NewTotal);
+  Reg NextI = MB.addImm(I, 1);
+  MB.movRegInto(I, NextI);
+  MB.br(Head);
+
+  MB.setBlock(Done);
+  MB.ret(Total);
+
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+std::unique_ptr<ir::Module> workloads::buildFig4Module() {
+  auto M = std::make_unique<Module>();
+
+  // Leaf first: C does trivial work.
+  Function *C = M->addFunction("C", 1);
+  {
+    IRBuilder IRB(C, C->addBlock("entry"));
+    Reg Doubled = IRB.mulImm(0, 2);
+    IRB.ret(Doubled);
+  }
+  // B calls C once.
+  Function *B = M->addFunction("B", 1);
+  {
+    IRBuilder IRB(B, B->addBlock("entry"));
+    Reg FromC = IRB.call(C, {0});
+    IRB.ret(FromC);
+  }
+  // A calls B once.
+  Function *A = M->addFunction("A", 1);
+  {
+    IRBuilder IRB(A, A->addBlock("entry"));
+    Reg FromB = IRB.call(B, {0});
+    IRB.ret(FromB);
+  }
+  // D calls C once.
+  Function *D = M->addFunction("D", 1);
+  {
+    IRBuilder IRB(D, D->addBlock("entry"));
+    Reg FromC = IRB.call(C, {0});
+    IRB.ret(FromC);
+  }
+  // M calls A then D.
+  Function *MProc = M->addFunction("M", 0);
+  {
+    IRBuilder IRB(MProc, MProc->addBlock("entry"));
+    Reg Seed = IRB.movImm(5);
+    Reg FromA = IRB.call(A, {Seed});
+    Reg FromD = IRB.call(D, {FromA});
+    IRB.ret(FromD);
+  }
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Result = IRB.call(MProc, {});
+    IRB.ret(Result);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+std::unique_ptr<ir::Module> workloads::buildFig5Module() {
+  auto M = std::make_unique<Module>();
+
+  Function *A = M->addFunction("A", 1);
+  Function *B = M->addFunction("B", 1);
+
+  // A(n): if n <= 0 return 0 else return 1 + B(n).
+  {
+    BasicBlock *Entry = A->addBlock("entry");
+    BasicBlock *Base = A->addBlock("base");
+    BasicBlock *Recurse = A->addBlock("recurse");
+    IRBuilder IRB(A, Entry);
+    Reg Stop = IRB.cmpLeImm(0, 0);
+    IRB.condBr(Stop, Base, Recurse);
+    IRB.setBlock(Base);
+    IRB.retImm(0);
+    IRB.setBlock(Recurse);
+    Reg FromB = IRB.call(B, {0});
+    Reg Result = IRB.addImm(FromB, 1);
+    IRB.ret(Result);
+  }
+  // B(n): return A(n - 1).
+  {
+    IRBuilder IRB(B, B->addBlock("entry"));
+    Reg Less = IRB.subImm(0, 1);
+    Reg FromA = IRB.call(A, {Less});
+    IRB.ret(FromA);
+  }
+  Function *MProc = M->addFunction("M", 0);
+  {
+    IRBuilder IRB(MProc, MProc->addBlock("entry"));
+    Reg Depth = IRB.movImm(4);
+    Reg Result = IRB.call(A, {Depth});
+    IRB.ret(Result);
+  }
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Result = IRB.call(MProc, {});
+    IRB.ret(Result);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+std::unique_ptr<ir::Module> workloads::buildLoopModule(int64_t Iterations) {
+  auto M = std::make_unique<Module>();
+  size_t DataIndex = M->addGlobal("data", 8 * 1024);
+  uint64_t DataAddr = M->global(DataIndex).Addr;
+
+  Function *Main = M->addFunction("main", 0);
+  BasicBlock *Entry = Main->addBlock("entry");
+  BasicBlock *Head = Main->addBlock("head");
+  BasicBlock *Body = Main->addBlock("body");
+  BasicBlock *Done = Main->addBlock("done");
+
+  IRBuilder IRB(Main, Entry);
+  Reg I = IRB.movImm(0);
+  Reg Sum = IRB.movImm(0);
+  IRB.br(Head);
+
+  IRB.setBlock(Head);
+  Reg More = IRB.cmpLtImm(I, Iterations);
+  IRB.condBr(More, Body, Done);
+
+  IRB.setBlock(Body);
+  Reg Slot = IRB.andImm(I, 1023);
+  Reg Offset = IRB.shlImm(Slot, 3);
+  Reg Addr = IRB.addImm(Offset, static_cast<int64_t>(DataAddr));
+  Reg Value = IRB.load(Addr, 0);
+  Reg Bumped = IRB.add(Value, I);
+  IRB.store(Addr, 0, Bumped);
+  Reg NewSum = IRB.add(Sum, Bumped);
+  IRB.movRegInto(Sum, NewSum);
+  Reg NextI = IRB.addImm(I, 1);
+  IRB.movRegInto(I, NextI);
+  IRB.br(Head);
+
+  IRB.setBlock(Done);
+  IRB.ret(Sum);
+
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}

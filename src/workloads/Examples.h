@@ -1,0 +1,47 @@
+//===- workloads/Examples.h - The paper's example programs -----*- C++ -*-===//
+///
+/// \file
+/// Small programs reproducing the paper's worked examples: the six-path
+/// CFG of Figure 1, the call structures of Figures 4 and 5, and a simple
+/// counted loop for back-edge transformation tests. Tests and the figure
+/// benches share them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_WORKLOADS_EXAMPLES_H
+#define PP_WORKLOADS_EXAMPLES_H
+
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace pp {
+namespace workloads {
+
+/// The Figure 1 graph: blocks A..F with edges A->{C,B}, B->{C,D}, C->D,
+/// D->{F,E}, E->F, so the six entry-to-exit paths receive the paper's path
+/// sums (ACDF=0, ACDEF=1, ABCDF=2, ABCDEF=3, ABDF=4, ABDEF=5). The
+/// function "fig1" takes a 3-bit selector: bit0 routes A (1 = B side),
+/// bit1 routes B (1 = D side), bit2 routes D (1 = E side). main() runs
+/// every selector in [0, 8), so every feasible path executes at least once.
+std::unique_ptr<ir::Module> buildFig1Module();
+
+/// The Figure 4 program: main -> M; M calls A and D; A calls B; B calls C;
+/// D calls C. Procedure C therefore has the two distinct contexts the
+/// paper highlights (M A B C and M D C).
+std::unique_ptr<ir::Module> buildFig4Module();
+
+/// The Figure 5 program: M calls A(n); A calls B(n); B calls A(n-1) while
+/// n > 0 — mutual recursion that must collapse onto one A record and one B
+/// record below the first A.
+std::unique_ptr<ir::Module> buildFig5Module();
+
+/// A counted loop summing an array: entry -> head <-> body, head -> exit.
+/// \p Iterations controls the trip count; the module's global "data" holds
+/// the array.
+std::unique_ptr<ir::Module> buildLoopModule(int64_t Iterations);
+
+} // namespace workloads
+} // namespace pp
+
+#endif // PP_WORKLOADS_EXAMPLES_H

@@ -1,0 +1,38 @@
+//===- workloads/Spec.cpp - The SPEC95-shaped workload registry --------------===//
+
+#include "workloads/Spec.h"
+
+using namespace pp;
+using namespace pp::workloads;
+
+const std::vector<WorkloadSpec> &workloads::spec95Suite() {
+  static const std::vector<WorkloadSpec> Suite = {
+      {"099.go", false, buildGo},
+      {"124.m88ksim", false, buildM88ksim},
+      {"126.gcc", false, buildGcc},
+      {"129.compress", false, buildCompress},
+      {"130.li", false, buildLi},
+      {"132.ijpeg", false, buildIjpeg},
+      {"134.perl", false, buildPerl},
+      {"147.vortex", false, buildVortex},
+      {"101.tomcatv", true, buildTomcatv},
+      {"102.swim", true, buildSwim},
+      {"103.su2cor", true, buildSu2cor},
+      {"104.hydro2d", true, buildHydro2d},
+      {"107.mgrid", true, buildMgrid},
+      {"110.applu", true, buildApplu},
+      {"125.turb3d", true, buildTurb3d},
+      {"141.apsi", true, buildApsi},
+      {"145.fpppp", true, buildFpppp},
+      {"146.wave5", true, buildWave5},
+  };
+  return Suite;
+}
+
+std::unique_ptr<ir::Module> workloads::buildWorkload(const std::string &Name,
+                                                     int Scale) {
+  for (const WorkloadSpec &Spec : spec95Suite())
+    if (Spec.Name == Name)
+      return Spec.Build(Scale);
+  return nullptr;
+}

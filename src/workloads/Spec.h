@@ -1,0 +1,66 @@
+//===- workloads/Spec.h - The SPEC95-shaped workload suite -----*- C++ -*-===//
+///
+/// \file
+/// Eighteen deterministic synthetic programs, one per SPEC95 benchmark the
+/// paper measures. Each reproduces the control-flow and locality *shape*
+/// that drives the paper's results — branchy searches and interpreters with
+/// many executed paths on the integer side, loop nests over double arrays
+/// with few paths on the floating-point side — at a scale a simulator runs
+/// in milliseconds. See DESIGN.md for the substitution rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_WORKLOADS_SPEC_H
+#define PP_WORKLOADS_SPEC_H
+
+#include "ir/Module.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace workloads {
+
+/// A registry entry for one workload.
+struct WorkloadSpec {
+  /// The SPEC95 name the workload mirrors (e.g. "099.go").
+  std::string Name;
+  /// True for the CFP95 half of the suite.
+  bool IsFloat;
+  /// Builds the module; \p Scale multiplies the main iteration count
+  /// (1 = the default used by the benches).
+  std::function<std::unique_ptr<ir::Module>(int Scale)> Build;
+};
+
+/// All 18 workloads, CINT95 first, in the paper's table order.
+const std::vector<WorkloadSpec> &spec95Suite();
+
+/// Convenience lookup; returns nullptr for unknown names.
+std::unique_ptr<ir::Module> buildWorkload(const std::string &Name, int Scale);
+
+// Individual builders (each also reachable through the registry).
+std::unique_ptr<ir::Module> buildGo(int Scale);        // 099.go
+std::unique_ptr<ir::Module> buildM88ksim(int Scale);   // 124.m88ksim
+std::unique_ptr<ir::Module> buildGcc(int Scale);       // 126.gcc
+std::unique_ptr<ir::Module> buildCompress(int Scale);  // 129.compress
+std::unique_ptr<ir::Module> buildLi(int Scale);        // 130.li
+std::unique_ptr<ir::Module> buildIjpeg(int Scale);     // 132.ijpeg
+std::unique_ptr<ir::Module> buildPerl(int Scale);      // 134.perl
+std::unique_ptr<ir::Module> buildVortex(int Scale);    // 147.vortex
+std::unique_ptr<ir::Module> buildTomcatv(int Scale);   // 101.tomcatv
+std::unique_ptr<ir::Module> buildSwim(int Scale);      // 102.swim
+std::unique_ptr<ir::Module> buildSu2cor(int Scale);    // 103.su2cor
+std::unique_ptr<ir::Module> buildHydro2d(int Scale);   // 104.hydro2d
+std::unique_ptr<ir::Module> buildMgrid(int Scale);     // 107.mgrid
+std::unique_ptr<ir::Module> buildApplu(int Scale);     // 110.applu
+std::unique_ptr<ir::Module> buildTurb3d(int Scale);    // 125.turb3d
+std::unique_ptr<ir::Module> buildApsi(int Scale);      // 141.apsi
+std::unique_ptr<ir::Module> buildFpppp(int Scale);     // 145.fpppp
+std::unique_ptr<ir::Module> buildWave5(int Scale);     // 146.wave5
+
+} // namespace workloads
+} // namespace pp
+
+#endif // PP_WORKLOADS_SPEC_H

@@ -1,0 +1,691 @@
+//===- workloads/SpecFp.cpp - CFP95-shaped synthetic workloads ----------------===//
+//
+// The floating-point half of the suite: loop nests over double arrays with
+// few acyclic paths per procedure, FP-pipeline pressure, and array
+// footprints chosen around the 16 KB L1 so stencils and strided sweeps
+// produce the miss patterns the paper attributes to a handful of hot loop
+// paths. fpppp is the outlier by design: one enormous straight-line block.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "workloads/Spec.h"
+#include "workloads/Util.h"
+
+using namespace pp;
+using namespace pp::workloads;
+using namespace pp::ir;
+
+namespace {
+
+/// addr = Base + Index * 8 helper.
+Reg elemAddr(IRBuilder &IRB, uint64_t Base, Reg Index) {
+  Reg Off = IRB.shlImm(Index, 3);
+  return IRB.addImm(Off, static_cast<int64_t>(Base));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// 101.tomcatv — 2D 5-point stencil relaxation on a 64x64 mesh.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildTomcatv(int Scale) {
+  constexpr int64_t N = 64;
+  auto M = std::make_unique<Module>();
+  uint64_t X = addRandomFpGlobal(*M, "x", N * N, 0x101);
+  uint64_t Y = addZeroGlobal(*M, "y", N * N * 8);
+
+  // relax(src, dst pass flag): one sweep of the stencil.
+  Function *Relax = M->addFunction("relax", 1);
+  {
+    IRBuilder IRB(Relax, Relax->addBlock("entry"));
+    Reg Flip = 0;
+    Reg Quarter = IRB.movFpImm(0.25);
+    Loop RowLoop = beginLoop(IRB, N - 2, "row");
+    Loop ColLoop = beginLoop(IRB, N - 2, "col");
+    Reg Row = IRB.addImm(RowLoop.Index, 1);
+    Reg Col = IRB.addImm(ColLoop.Index, 1);
+    Reg RowOff = IRB.shlImm(Row, 6);
+    Reg Center = IRB.add(RowOff, Col);
+    // Alternate sweep direction by flipping source/destination.
+    Reg SrcBase = Relax->freshReg();
+    Reg DstBase = Relax->freshReg();
+    BasicBlock *Even = Relax->addBlock("even");
+    BasicBlock *Odd = Relax->addBlock("odd");
+    BasicBlock *Compute = Relax->addBlock("compute");
+    Reg IsOdd = IRB.andImm(Flip, 1);
+    IRB.condBr(IsOdd, Odd, Even);
+    IRB.setBlock(Even);
+    IRB.movInto(SrcBase, static_cast<int64_t>(X));
+    IRB.movInto(DstBase, static_cast<int64_t>(Y));
+    IRB.br(Compute);
+    IRB.setBlock(Odd);
+    IRB.movInto(SrcBase, static_cast<int64_t>(Y));
+    IRB.movInto(DstBase, static_cast<int64_t>(X));
+    IRB.br(Compute);
+    IRB.setBlock(Compute);
+    Reg COff = IRB.shlImm(Center, 3);
+    Reg CAddr = IRB.add(SrcBase, COff);
+    Reg Up = IRB.load(CAddr, -8 * N);
+    Reg Down = IRB.load(CAddr, 8 * N);
+    Reg Left = IRB.load(CAddr, -8);
+    Reg Right = IRB.load(CAddr, 8);
+    Reg S1 = IRB.fadd(Up, Down);
+    Reg S2 = IRB.fadd(Left, Right);
+    Reg S3 = IRB.fadd(S1, S2);
+    Reg Avg = IRB.fmul(S3, Quarter);
+    Reg DAddr = IRB.add(DstBase, COff);
+    IRB.store(DAddr, 0, Avg);
+    endLoop(IRB, ColLoop);
+    endLoop(IRB, RowLoop);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Loop Sweeps = beginLoop(IRB, 6 * Scale, "sweep");
+    IRB.call(Relax, {Sweeps.Index});
+    endLoop(IRB, Sweeps);
+    Reg Sample = IRB.loadAbs(static_cast<int64_t>(Y) + 8 * (N + 1), 8);
+    Reg AsInt = IRB.fpToInt(Sample);
+    IRB.ret(AsInt);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 102.swim — shallow-water update over three 64x64 fields.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildSwim(int Scale) {
+  constexpr int64_t N = 64;
+  auto M = std::make_unique<Module>();
+  uint64_t U = addRandomFpGlobal(*M, "u", N * N, 0x201);
+  uint64_t V = addRandomFpGlobal(*M, "v", N * N, 0x202);
+  uint64_t P = addRandomFpGlobal(*M, "p", N * N, 0x203);
+
+  Function *Step = M->addFunction("swim_step", 0);
+  {
+    IRBuilder IRB(Step, Step->addBlock("entry"));
+    Reg Dt = IRB.movFpImm(0.01);
+    Loop RowLoop = beginLoop(IRB, N - 2, "row");
+    Loop ColLoop = beginLoop(IRB, N - 2, "col");
+    Reg Row = IRB.addImm(RowLoop.Index, 1);
+    Reg Col = IRB.addImm(ColLoop.Index, 1);
+    Reg RowOff = IRB.shlImm(Row, 6);
+    Reg Center = IRB.add(RowOff, Col);
+    Reg COff = IRB.shlImm(Center, 3);
+    Reg UAddr = IRB.addImm(COff, static_cast<int64_t>(U));
+    Reg VAddr = IRB.addImm(COff, static_cast<int64_t>(V));
+    Reg PAddr = IRB.addImm(COff, static_cast<int64_t>(P));
+    Reg Uc = IRB.load(UAddr, 0);
+    Reg Vc = IRB.load(VAddr, 0);
+    Reg PRight = IRB.load(PAddr, 8);
+    Reg PLeft = IRB.load(PAddr, -8);
+    Reg PDown = IRB.load(PAddr, 8 * N);
+    Reg PUp = IRB.load(PAddr, -8 * N);
+    Reg GradX = IRB.fsub(PRight, PLeft);
+    Reg GradY = IRB.fsub(PDown, PUp);
+    Reg DU = IRB.fmul(GradX, Dt);
+    Reg DV = IRB.fmul(GradY, Dt);
+    Reg NewU = IRB.fsub(Uc, DU);
+    Reg NewV = IRB.fsub(Vc, DV);
+    IRB.store(UAddr, 0, NewU);
+    IRB.store(VAddr, 0, NewV);
+    Reg Div = IRB.fadd(NewU, NewV);
+    Reg DP = IRB.fmul(Div, Dt);
+    Reg Pc = IRB.load(PAddr, 0);
+    Reg NewP = IRB.fsub(Pc, DP);
+    IRB.store(PAddr, 0, NewP);
+    endLoop(IRB, ColLoop);
+    endLoop(IRB, RowLoop);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Loop Steps = beginLoop(IRB, 5 * Scale, "step");
+    IRB.call(Step, {});
+    endLoop(IRB, Steps);
+    Reg Sample = IRB.loadAbs(static_cast<int64_t>(P) + 8 * (N + 1), 8);
+    Reg AsInt = IRB.fpToInt(Sample);
+    IRB.ret(AsInt);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 103.su2cor — repeated matrix-vector products (gauge update flavour).
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildSu2cor(int Scale) {
+  constexpr int64_t Dim = 48;
+  auto M = std::make_unique<Module>();
+  uint64_t Mat = addRandomFpGlobal(*M, "mat", Dim * Dim, 0x301);
+  uint64_t Vec = addRandomFpGlobal(*M, "vec", Dim, 0x302);
+  uint64_t Out = addZeroGlobal(*M, "outv", Dim * 8);
+
+  Function *MatVec = M->addFunction("matvec", 0);
+  {
+    IRBuilder IRB(MatVec, MatVec->addBlock("entry"));
+    Loop RowLoop = beginLoop(IRB, Dim, "row");
+    Reg Acc = IRB.movFpImm(0.0);
+    Loop ColLoop = beginLoop(IRB, Dim, "col");
+    Reg RowBase = IRB.mulImm(RowLoop.Index, Dim);
+    Reg Index = IRB.add(RowBase, ColLoop.Index);
+    Reg MAddr = elemAddr(IRB, Mat, Index);
+    Reg MVal = IRB.load(MAddr, 0);
+    Reg VAddr = elemAddr(IRB, Vec, ColLoop.Index);
+    Reg VVal = IRB.load(VAddr, 0);
+    Reg Prod = IRB.fmul(MVal, VVal);
+    Reg NewAcc = IRB.fadd(Acc, Prod);
+    IRB.movRegInto(Acc, NewAcc);
+    endLoop(IRB, ColLoop);
+    Reg OAddr = elemAddr(IRB, Out, RowLoop.Index);
+    IRB.store(OAddr, 0, Acc);
+    endLoop(IRB, RowLoop);
+    IRB.retImm(0);
+  }
+
+  // normalize(): copy out back to vec with scaling.
+  Function *Normalize = M->addFunction("normalize", 0);
+  {
+    IRBuilder IRB(Normalize, Normalize->addBlock("entry"));
+    Reg Scale = IRB.movFpImm(1.0 / 48.0);
+    Loop L = beginLoop(IRB, Dim, "norm");
+    Reg OAddr = elemAddr(IRB, Out, L.Index);
+    Reg Val = IRB.load(OAddr, 0);
+    Reg Scaled = IRB.fmul(Val, Scale);
+    Reg VAddr = elemAddr(IRB, Vec, L.Index);
+    IRB.store(VAddr, 0, Scaled);
+    endLoop(IRB, L);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Loop Iters = beginLoop(IRB, 8 * Scale, "iter");
+    IRB.call(MatVec, {});
+    IRB.call(Normalize, {});
+    endLoop(IRB, Iters);
+    Reg Sample = IRB.loadAbs(static_cast<int64_t>(Vec), 8);
+    Reg AsInt = IRB.fpToInt(Sample);
+    IRB.ret(AsInt);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 104.hydro2d — hydrodynamics sweep with a limiter branch.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildHydro2d(int Scale) {
+  constexpr int64_t N = 64;
+  auto M = std::make_unique<Module>();
+  uint64_t Rho = addRandomFpGlobal(*M, "rho", N * N, 0x401);
+  uint64_t Flux = addZeroGlobal(*M, "flux", N * N * 8);
+
+  Function *Sweep = M->addFunction("hydro_sweep", 0);
+  {
+    IRBuilder IRB(Sweep, Sweep->addBlock("entry"));
+    Reg Zero = IRB.movFpImm(0.0);
+    Reg Gamma = IRB.movFpImm(1.4);
+    Loop RowLoop = beginLoop(IRB, N - 2, "row");
+    Loop ColLoop = beginLoop(IRB, N - 2, "col");
+    Reg Row = IRB.addImm(RowLoop.Index, 1);
+    Reg Col = IRB.addImm(ColLoop.Index, 1);
+    Reg RowOff = IRB.shlImm(Row, 6);
+    Reg Center = IRB.add(RowOff, Col);
+    Reg COff = IRB.shlImm(Center, 3);
+    Reg RAddr = IRB.addImm(COff, static_cast<int64_t>(Rho));
+    Reg Rc = IRB.load(RAddr, 0);
+    Reg Rr = IRB.load(RAddr, 8);
+    Reg Diff = IRB.fsub(Rr, Rc);
+    // Limiter: negative gradients are clamped (data-dependent branch).
+    BasicBlock *Clamp = Sweep->addBlock("clamp");
+    BasicBlock *Keep = Sweep->addBlock("keep");
+    BasicBlock *StoreBlock = Sweep->addBlock("store");
+    Reg FluxVal = Sweep->freshReg();
+    Reg IsNeg = IRB.fcmpLt(Diff, Zero);
+    IRB.condBr(IsNeg, Clamp, Keep);
+    IRB.setBlock(Clamp);
+    IRB.movRegInto(FluxVal, Zero);
+    IRB.br(StoreBlock);
+    IRB.setBlock(Keep);
+    Reg Scaled = IRB.fmul(Diff, Gamma);
+    IRB.movRegInto(FluxVal, Scaled);
+    IRB.br(StoreBlock);
+    IRB.setBlock(StoreBlock);
+    Reg FAddr = IRB.addImm(COff, static_cast<int64_t>(Flux));
+    IRB.store(FAddr, 0, FluxVal);
+    // Relax density toward the flux.
+    Reg Half = IRB.movFpImm(0.5);
+    Reg Mixed = IRB.fmul(FluxVal, Half);
+    Reg NewR = IRB.fadd(Rc, Mixed);
+    IRB.store(RAddr, 0, NewR);
+    endLoop(IRB, ColLoop);
+    endLoop(IRB, RowLoop);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Loop Steps = beginLoop(IRB, 5 * Scale, "step");
+    IRB.call(Sweep, {});
+    endLoop(IRB, Steps);
+    Reg Sample = IRB.loadAbs(static_cast<int64_t>(Flux) + 8 * (N + 1), 8);
+    Reg AsInt = IRB.fpToInt(Sample);
+    IRB.ret(AsInt);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 107.mgrid — 3D 7-point stencil on a 16^3 grid (multigrid smoothing).
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildMgrid(int Scale) {
+  constexpr int64_t N = 16;
+  auto M = std::make_unique<Module>();
+  uint64_t Grid = addRandomFpGlobal(*M, "grid", N * N * N, 0x501);
+  uint64_t Tmp = addZeroGlobal(*M, "tmp", N * N * N * 8);
+
+  Function *Smooth = M->addFunction("smooth", 0);
+  {
+    IRBuilder IRB(Smooth, Smooth->addBlock("entry"));
+    Reg Sixth = IRB.movFpImm(1.0 / 6.0);
+    Loop ZL = beginLoop(IRB, N - 2, "z");
+    Loop YL = beginLoop(IRB, N - 2, "y");
+    Loop XL = beginLoop(IRB, N - 2, "x");
+    Reg Z = IRB.addImm(ZL.Index, 1);
+    Reg Y = IRB.addImm(YL.Index, 1);
+    Reg Xc = IRB.addImm(XL.Index, 1);
+    Reg ZOff = IRB.mulImm(Z, N * N);
+    Reg YOff = IRB.mulImm(Y, N);
+    Reg Sum0 = IRB.add(ZOff, YOff);
+    Reg Index = IRB.add(Sum0, Xc);
+    Reg COff = IRB.shlImm(Index, 3);
+    Reg CAddr = IRB.addImm(COff, static_cast<int64_t>(Grid));
+    Reg XPlus = IRB.load(CAddr, 8);
+    Reg XMinus = IRB.load(CAddr, -8);
+    Reg YPlus = IRB.load(CAddr, 8 * N);
+    Reg YMinus = IRB.load(CAddr, -8 * N);
+    Reg ZPlus = IRB.load(CAddr, 8 * N * N);
+    Reg ZMinus = IRB.load(CAddr, -8 * N * N);
+    Reg S1 = IRB.fadd(XPlus, XMinus);
+    Reg S2 = IRB.fadd(YPlus, YMinus);
+    Reg S3 = IRB.fadd(ZPlus, ZMinus);
+    Reg S4 = IRB.fadd(S1, S2);
+    Reg S5 = IRB.fadd(S3, S4);
+    Reg Avg = IRB.fmul(S5, Sixth);
+    Reg TAddr = IRB.addImm(COff, static_cast<int64_t>(Tmp));
+    IRB.store(TAddr, 0, Avg);
+    endLoop(IRB, XL);
+    endLoop(IRB, YL);
+    endLoop(IRB, ZL);
+    IRB.retImm(0);
+  }
+
+  // copy_back(): tmp -> grid.
+  Function *CopyBack = M->addFunction("copy_back", 0);
+  {
+    IRBuilder IRB(CopyBack, CopyBack->addBlock("entry"));
+    Loop L = beginLoop(IRB, N * N * N, "copy");
+    Reg TAddr = elemAddr(IRB, Tmp, L.Index);
+    Reg Val = IRB.load(TAddr, 0);
+    Reg GAddr = elemAddr(IRB, Grid, L.Index);
+    IRB.store(GAddr, 0, Val);
+    endLoop(IRB, L);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Loop Cycles = beginLoop(IRB, 6 * Scale, "vcycle");
+    IRB.call(Smooth, {});
+    IRB.call(CopyBack, {});
+    endLoop(IRB, Cycles);
+    Reg Sample =
+        IRB.loadAbs(static_cast<int64_t>(Grid) + 8 * (N * N + N + 1), 8);
+    Reg AsInt = IRB.fpToInt(Sample);
+    IRB.ret(AsInt);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 110.applu — SSOR-flavoured sweep with small inner solves and divides.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildApplu(int Scale) {
+  constexpr int64_t N = 32;
+  auto M = std::make_unique<Module>();
+  uint64_t A = addRandomFpGlobal(*M, "a", N * N, 0x601);
+  uint64_t B = addRandomFpGlobal(*M, "b", N * N, 0x602);
+
+  // solve_row(row): forward elimination across one row with divides.
+  Function *SolveRow = M->addFunction("solve_row", 1);
+  {
+    IRBuilder IRB(SolveRow, SolveRow->addBlock("entry"));
+    Reg Row = 0;
+    Reg RowBase = IRB.mulImm(Row, N);
+    Reg Pivot = IRB.movFpImm(1.0);
+    Loop L = beginLoop(IRB, N - 1, "elim");
+    Reg Index = IRB.add(RowBase, L.Index);
+    Reg AAddr = elemAddr(IRB, A, Index);
+    Reg AVal = IRB.load(AAddr, 0);
+    Reg BAddr = elemAddr(IRB, B, Index);
+    Reg BVal = IRB.load(BAddr, 0);
+    Reg Num = IRB.fadd(AVal, BVal);
+    Reg Denom = IRB.fadd(Pivot, Pivot);
+    Reg Ratio = IRB.fdiv(Num, Denom);
+    IRB.store(AAddr, 8, Ratio);
+    IRB.movRegInto(Pivot, Ratio);
+    endLoop(IRB, L);
+    Reg AsInt = IRB.fpToInt(Pivot);
+    IRB.ret(AsInt);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Acc = IRB.movImm(0);
+    Loop Sweeps = beginLoop(IRB, 10 * Scale, "sweep");
+    Loop Rows = beginLoop(IRB, N, "rows");
+    Reg V = IRB.call(SolveRow, {Rows.Index});
+    Reg NewAcc = IRB.add(Acc, V);
+    IRB.movRegInto(Acc, NewAcc);
+    endLoop(IRB, Rows);
+    endLoop(IRB, Sweeps);
+    Reg Masked = IRB.andImm(Acc, 0x7fffffff);
+    IRB.ret(Masked);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 125.turb3d — butterfly passes with power-of-two strides (FFT flavour).
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildTurb3d(int Scale) {
+  constexpr int64_t Size = 4096; // 32 KB: strided passes sweep the cache
+  auto M = std::make_unique<Module>();
+  uint64_t Re = addRandomFpGlobal(*M, "re", Size, 0x701);
+  uint64_t Im = addRandomFpGlobal(*M, "im", Size, 0x702);
+
+  // butterfly(stride): pairwise updates at distance stride.
+  Function *Butterfly = M->addFunction("butterfly", 1);
+  {
+    IRBuilder IRB(Butterfly, Butterfly->addBlock("entry"));
+    Reg Stride = 0;
+    Reg Half = IRB.movFpImm(0.5);
+    Loop L = beginLoop(IRB, Size / 2, "pairs");
+    // Partner index: i and i ^ stride (masked).
+    Reg Partner = IRB.xorOp(L.Index, Stride);
+    Reg PMask = IRB.andImm(Partner, Size - 1);
+    Reg AAddr = elemAddr(IRB, Re, L.Index);
+    Reg BAddr = elemAddr(IRB, Re, PMask);
+    Reg AVal = IRB.load(AAddr, 0);
+    Reg BVal = IRB.load(BAddr, 0);
+    Reg Sum = IRB.fadd(AVal, BVal);
+    Reg Diff = IRB.fsub(AVal, BVal);
+    Reg SumH = IRB.fmul(Sum, Half);
+    Reg DiffH = IRB.fmul(Diff, Half);
+    IRB.store(AAddr, 0, SumH);
+    IRB.store(BAddr, 0, DiffH);
+    // Same on the imaginary plane.
+    Reg IAAddr = elemAddr(IRB, Im, L.Index);
+    Reg IBAddr = elemAddr(IRB, Im, PMask);
+    Reg IAVal = IRB.load(IAAddr, 0);
+    Reg IBVal = IRB.load(IBAddr, 0);
+    Reg ISum = IRB.fadd(IAVal, IBVal);
+    Reg IDiff = IRB.fsub(IAVal, IBVal);
+    Reg ISumH = IRB.fmul(ISum, Half);
+    Reg IDiffH = IRB.fmul(IDiff, Half);
+    IRB.store(IAAddr, 0, ISumH);
+    IRB.store(IBAddr, 0, IDiffH);
+    endLoop(IRB, L);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Loop Rounds = beginLoop(IRB, 2 * Scale, "round");
+    // Strides 1, 2, 4, ..., 2048.
+    Reg Stride = IRB.movImm(1);
+    Loop Passes = beginLoop(IRB, 12, "pass");
+    IRB.call(Butterfly, {Stride});
+    Reg Doubled = IRB.shlImm(Stride, 1);
+    IRB.movRegInto(Stride, Doubled);
+    endLoop(IRB, Passes);
+    endLoop(IRB, Rounds);
+    Reg Sample = IRB.loadAbs(static_cast<int64_t>(Re), 8);
+    Reg AsInt = IRB.fpToInt(Sample);
+    IRB.ret(AsInt);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 141.apsi — several sequential kernels with a conditional deposition step.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildApsi(int Scale) {
+  constexpr int64_t N = 48;
+  auto M = std::make_unique<Module>();
+  uint64_t Temp = addRandomFpGlobal(*M, "temp", N * N, 0x801);
+  uint64_t Wind = addRandomFpGlobal(*M, "wind", N * N, 0x802);
+  uint64_t Conc = addZeroGlobal(*M, "conc", N * N * 8);
+
+  // advect(): upwind update chosen by the wind's sign.
+  Function *Advect = M->addFunction("advect", 0);
+  {
+    IRBuilder IRB(Advect, Advect->addBlock("entry"));
+    Reg Zero = IRB.movFpImm(0.0);
+    Reg Dt = IRB.movFpImm(0.1);
+    Loop RL = beginLoop(IRB, N - 2, "row");
+    Loop CL = beginLoop(IRB, N - 2, "col");
+    Reg Row = IRB.addImm(RL.Index, 1);
+    Reg Col = IRB.addImm(CL.Index, 1);
+    Reg RowOff = IRB.mulImm(Row, N);
+    Reg Index = IRB.add(RowOff, Col);
+    Reg COff = IRB.shlImm(Index, 3);
+    Reg WAddr = IRB.addImm(COff, static_cast<int64_t>(Wind));
+    Reg W = IRB.load(WAddr, 0);
+    Reg TAddr = IRB.addImm(COff, static_cast<int64_t>(Temp));
+    BasicBlock *FromLeft = Advect->addBlock("left");
+    BasicBlock *FromRight = Advect->addBlock("right");
+    BasicBlock *Deposit = Advect->addBlock("deposit");
+    Reg Upwind = Advect->freshReg();
+    Reg Positive = IRB.fcmpLt(Zero, W);
+    IRB.condBr(Positive, FromLeft, FromRight);
+    IRB.setBlock(FromLeft);
+    Reg TL = IRB.load(TAddr, -8);
+    IRB.movRegInto(Upwind, TL);
+    IRB.br(Deposit);
+    IRB.setBlock(FromRight);
+    Reg TR = IRB.load(TAddr, 8);
+    IRB.movRegInto(Upwind, TR);
+    IRB.br(Deposit);
+    IRB.setBlock(Deposit);
+    Reg Tc = IRB.load(TAddr, 0);
+    Reg Delta = IRB.fsub(Upwind, Tc);
+    Reg Scaled = IRB.fmul(Delta, Dt);
+    Reg NewT = IRB.fadd(Tc, Scaled);
+    IRB.store(TAddr, 0, NewT);
+    Reg CAddr = IRB.addImm(COff, static_cast<int64_t>(Conc));
+    Reg Old = IRB.load(CAddr, 0);
+    Reg Deposited = IRB.fadd(Old, Scaled);
+    IRB.store(CAddr, 0, Deposited);
+    endLoop(IRB, CL);
+    endLoop(IRB, RL);
+    IRB.retImm(0);
+  }
+
+  // diffuse(): 1D vertical smoothing.
+  Function *Diffuse = M->addFunction("diffuse", 0);
+  {
+    IRBuilder IRB(Diffuse, Diffuse->addBlock("entry"));
+    Reg Third = IRB.movFpImm(1.0 / 3.0);
+    Loop L = beginLoop(IRB, N * (N - 2), "diff");
+    Reg Index = IRB.addImm(L.Index, N);
+    Reg COff = IRB.shlImm(Index, 3);
+    Reg CAddr = IRB.addImm(COff, static_cast<int64_t>(Conc));
+    Reg Above = IRB.load(CAddr, -8 * N);
+    Reg Here = IRB.load(CAddr, 0);
+    Reg Below = IRB.load(CAddr, 8 * N);
+    Reg S1 = IRB.fadd(Above, Below);
+    Reg S2 = IRB.fadd(S1, Here);
+    Reg Smoothed = IRB.fmul(S2, Third);
+    IRB.store(CAddr, 0, Smoothed);
+    endLoop(IRB, L);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Loop Steps = beginLoop(IRB, 4 * Scale, "step");
+    IRB.call(Advect, {});
+    IRB.call(Diffuse, {});
+    endLoop(IRB, Steps);
+    Reg Sample = IRB.loadAbs(static_cast<int64_t>(Conc) + 8 * (N + 1), 8);
+    Reg AsInt = IRB.fpToInt(Sample);
+    IRB.ret(AsInt);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 145.fpppp — one enormous straight-line FP block (a single hot path).
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildFpppp(int Scale) {
+  constexpr int64_t Size = 256;
+  auto M = std::make_unique<Module>();
+  uint64_t Data = addRandomFpGlobal(*M, "fdata", Size, 0x901);
+
+  // integrals(): ~300 dependent FP operations, no branches — the paper's
+  // fpppp is famous for gigantic basic blocks.
+  Function *Integrals = M->addFunction("integrals", 1);
+  {
+    IRBuilder IRB(Integrals, Integrals->addBlock("entry"));
+    Reg Base = 0;
+    Reg Acc = IRB.movFpImm(1.0);
+    for (int Term = 0; Term != 48; ++Term) {
+      Reg Index = IRB.addImm(Base, Term * 5 % Size);
+      Reg Masked = IRB.andImm(Index, Size - 1);
+      Reg Addr = elemAddr(IRB, Data, Masked);
+      Reg V0 = IRB.load(Addr, 0);
+      Reg V1 = IRB.load(Addr, 8 * ((Term % 7) + 1));
+      Reg P = IRB.fmul(V0, V1);
+      Reg S = IRB.fadd(Acc, P);
+      Reg Q = IRB.fmul(S, V0);
+      Reg R2 = IRB.fadd(Q, V1);
+      IRB.movRegInto(Acc, R2);
+    }
+    Reg AsInt = IRB.fpToInt(Acc);
+    Reg Masked = IRB.andImm(AsInt, 0xffff);
+    IRB.ret(Masked);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Acc = IRB.movImm(0);
+    Loop L = beginLoop(IRB, 120 * Scale, "shell");
+    Reg Masked = IRB.andImm(L.Index, 63);
+    Reg V = IRB.call(Integrals, {Masked});
+    Reg NewAcc = IRB.add(Acc, V);
+    IRB.movRegInto(Acc, NewAcc);
+    endLoop(IRB, L);
+    Reg Final = IRB.andImm(Acc, 0x7fffffff);
+    IRB.ret(Final);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 146.wave5 — particle push with indexed gather/scatter.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildWave5(int Scale) {
+  constexpr int64_t Cells = 8192;   // 64 KB field
+  constexpr int64_t Particles = 2048;
+  auto M = std::make_unique<Module>();
+  uint64_t Field = addRandomFpGlobal(*M, "field", Cells, 0xa01);
+  uint64_t Pos = addRandomGlobal(*M, "pos", Particles, 0xa02, Cells);
+  uint64_t Vel = addRandomFpGlobal(*M, "velocity", Particles, 0xa03);
+
+  Function *Push = M->addFunction("push_particles", 0);
+  {
+    IRBuilder IRB(Push, Push->addBlock("entry"));
+    Reg Dt = IRB.movFpImm(0.5);
+    Reg Sixteen = IRB.movImm(16);
+    Loop L = beginLoop(IRB, Particles, "push");
+    Reg PAddr = elemAddr(IRB, Pos, L.Index);
+    Reg Cell = IRB.load(PAddr, 0);
+    // Gather the field at the particle's cell (random index: misses).
+    Reg FAddr = elemAddr(IRB, Field, Cell);
+    Reg E = IRB.load(FAddr, 0);
+    Reg VAddr = elemAddr(IRB, Vel, L.Index);
+    Reg V = IRB.load(VAddr, 0);
+    Reg Kick = IRB.fmul(E, Dt);
+    Reg NewV = IRB.fadd(V, Kick);
+    IRB.store(VAddr, 0, NewV);
+    // Move the particle: cell += int(v * 16) (mod Cells).
+    Reg Scaled = IRB.fmul(NewV, Dt);
+    Reg Step = IRB.fpToInt(Scaled);
+    Reg StepScaled = IRB.mul(Step, Sixteen);
+    Reg NewCell = IRB.add(Cell, StepScaled);
+    Reg Wrapped = IRB.andImm(NewCell, Cells - 1);
+    IRB.store(PAddr, 0, Wrapped);
+    // Scatter charge back.
+    Reg NewFAddr = elemAddr(IRB, Field, Wrapped);
+    Reg Old = IRB.load(NewFAddr, 0);
+    Reg Deposited = IRB.fadd(Old, Kick);
+    IRB.store(NewFAddr, 0, Deposited);
+    endLoop(IRB, L);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Loop Steps = beginLoop(IRB, 8 * Scale, "step");
+    IRB.call(Push, {});
+    endLoop(IRB, Steps);
+    Reg Sample = IRB.loadAbs(static_cast<int64_t>(Field), 8);
+    Reg AsInt = IRB.fpToInt(Sample);
+    Reg Masked = IRB.andImm(AsInt, 0xffff);
+    IRB.ret(Masked);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}

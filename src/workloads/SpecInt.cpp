@@ -1,0 +1,1231 @@
+//===- workloads/SpecInt.cpp - CINT95-shaped synthetic workloads -------------===//
+//
+// The integer half of the suite. Shapes that matter for the reproduction:
+// go and gcc execute an order of magnitude more distinct paths than the
+// rest (branchy evaluation over random data / wide dispatch over a token
+// stream); li and vortex are call-heavy (deep recursion / layered
+// accessors); compress and perl hammer hash tables (data-dependent misses
+// concentrated on probe paths).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "workloads/Spec.h"
+#include "workloads/Util.h"
+
+using namespace pp;
+using namespace pp::workloads;
+using namespace pp::ir;
+
+namespace {
+
+/// Emits x = x * A + C (a 64-bit LCG step) in-place.
+void emitLcgStep(IRBuilder &IRB, Reg X) {
+  Reg Mul = IRB.mulImm(X, 6364136223846793005LL);
+  Reg Next = IRB.addImm(Mul, 1442695040888963407LL);
+  IRB.movRegInto(X, Next);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// 099.go — branchy board evaluation with shallow search.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildGo(int Scale) {
+  auto M = std::make_unique<Module>();
+  uint64_t Board = addRandomGlobal(*M, "board", 1024, 0x60, 3);
+  uint64_t Scores = addZeroGlobal(*M, "scores", 1024 * 8);
+
+  // eval_point(pos): chained three-way branches over the point and four
+  // neighbours -> dozens of acyclic paths, selected by board data.
+  Function *Eval = M->addFunction("eval_point", 1);
+  {
+    BasicBlock *Entry = Eval->addBlock("entry");
+    IRBuilder IRB(Eval, Entry);
+    Reg Pos = 0;
+    Reg Score = IRB.movImm(0);
+
+    // Load the point and its +-1, +-32 neighbours (masked into range).
+    Reg Offsets[5];
+    int64_t Deltas[5] = {0, 1, -1, 32, -32};
+    BasicBlock *Cursor = Entry;
+    for (int N = 0; N != 5; ++N) {
+      IRB.setBlock(Cursor);
+      Reg Shifted = IRB.addImm(Pos, Deltas[N]);
+      Reg Masked = IRB.andImm(Shifted, 1023);
+      Reg Slot = IRB.shlImm(Masked, 3);
+      Reg Addr = IRB.addImm(Slot, static_cast<int64_t>(Board));
+      Offsets[N] = IRB.load(Addr, 0);
+
+      // Three-way branch: empty (0), mine (1), theirs (2).
+      BasicBlock *Empty = Eval->addBlock("empty" + std::to_string(N));
+      BasicBlock *NotEmpty = Eval->addBlock("ne" + std::to_string(N));
+      BasicBlock *Mine = Eval->addBlock("mine" + std::to_string(N));
+      BasicBlock *Theirs = Eval->addBlock("theirs" + std::to_string(N));
+      BasicBlock *Join = Eval->addBlock("join" + std::to_string(N));
+      Reg IsEmpty = IRB.cmpEqImm(Offsets[N], 0);
+      IRB.condBr(IsEmpty, Empty, NotEmpty);
+      IRB.setBlock(Empty);
+      Reg E = IRB.addImm(Score, 1);
+      IRB.movRegInto(Score, E);
+      IRB.br(Join);
+      IRB.setBlock(NotEmpty);
+      Reg IsMine = IRB.cmpEqImm(Offsets[N], 1);
+      IRB.condBr(IsMine, Mine, Theirs);
+      IRB.setBlock(Mine);
+      Reg Ml = IRB.addImm(Score, 5);
+      IRB.movRegInto(Score, Ml);
+      IRB.br(Join);
+      IRB.setBlock(Theirs);
+      Reg T = IRB.subImm(Score, 3);
+      IRB.movRegInto(Score, T);
+      IRB.br(Join);
+      Cursor = Join;
+    }
+    IRB.setBlock(Cursor);
+    IRB.ret(Score);
+  }
+
+  // scan_region(start): evaluate 32 points, fold scores with a branch.
+  Function *Scan = M->addFunction("scan_region", 1);
+  {
+    IRBuilder IRB(Scan, Scan->addBlock("entry"));
+    Reg Start = 0;
+    Reg Total = IRB.movImm(0);
+    Loop L = beginLoop(IRB, 32, "scan");
+    Reg Pos = IRB.add(Start, L.Index);
+    Reg Masked = IRB.andImm(Pos, 1023);
+    Reg Score = IRB.call(Eval, {Masked});
+    BasicBlock *Good = Scan->addBlock("good");
+    BasicBlock *Bad = Scan->addBlock("bad");
+    BasicBlock *Next = Scan->addBlock("next");
+    Reg IsGood = IRB.cmpLtImm(Score, 0);
+    IRB.condBr(IsGood, Bad, Good);
+    IRB.setBlock(Good);
+    Reg G = IRB.add(Total, Score);
+    IRB.movRegInto(Total, G);
+    // Record the good point's score.
+    Reg Slot = IRB.shlImm(Masked, 3);
+    Reg Addr = IRB.addImm(Slot, static_cast<int64_t>(Scores));
+    IRB.store(Addr, 0, Score);
+    IRB.br(Next);
+    IRB.setBlock(Bad);
+    Reg B = IRB.subImm(Total, 1);
+    IRB.movRegInto(Total, B);
+    IRB.br(Next);
+    IRB.setBlock(Next);
+    endLoop(IRB, L);
+    IRB.ret(Total);
+  }
+
+  // search(depth, pos): shallow recursion over candidate regions.
+  Function *Search = M->addFunction("search", 2);
+  {
+    BasicBlock *Entry = Search->addBlock("entry");
+    BasicBlock *Leaf = Search->addBlock("leaf");
+    BasicBlock *Inner = Search->addBlock("inner");
+    IRBuilder IRB(Search, Entry);
+    Reg Depth = 0, Pos = 1;
+    Reg AtLeaf = IRB.cmpLeImm(Depth, 0);
+    IRB.condBr(AtLeaf, Leaf, Inner);
+    IRB.setBlock(Leaf);
+    Reg LeafScore = IRB.call(Scan, {Pos});
+    IRB.ret(LeafScore);
+    IRB.setBlock(Inner);
+    Reg Here = IRB.call(Scan, {Pos});
+    Reg NextDepth = IRB.subImm(Depth, 1);
+    Reg Left = IRB.addImm(Pos, 64);
+    Reg LeftMasked = IRB.andImm(Left, 1023);
+    Reg LeftScore = IRB.call(Search, {NextDepth, LeftMasked});
+    Reg Right = IRB.addImm(Pos, 512);
+    Reg RightMasked = IRB.andImm(Right, 1023);
+    Reg RightScore = IRB.call(Search, {NextDepth, RightMasked});
+    Reg Sum = IRB.add(LeftScore, RightScore);
+    Reg Total = IRB.add(Sum, Here);
+    IRB.ret(Total);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Rng = IRB.movImm(0x12345);
+    Reg Acc = IRB.movImm(0);
+    Loop L = beginLoop(IRB, 6 * Scale, "game");
+    emitLcgStep(IRB, Rng);
+    Reg Pos = IRB.shrImm(Rng, 13);
+    Reg Masked = IRB.andImm(Pos, 1023);
+    Reg Two = IRB.movImm(2);
+    Reg Score = IRB.call(Search, {Two, Masked});
+    Reg NewAcc = IRB.add(Acc, Score);
+    IRB.movRegInto(Acc, NewAcc);
+    endLoop(IRB, L);
+    IRB.ret(Acc);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 124.m88ksim — a fetch/decode/execute CPU simulator.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildM88ksim(int Scale) {
+  auto M = std::make_unique<Module>();
+  uint64_t Imem = addRandomGlobal(*M, "imem", 4096, 0x88, 0);
+  uint64_t Regs = addZeroGlobal(*M, "regs", 32 * 8);
+  uint64_t Dmem = addZeroGlobal(*M, "dmem", 2048 * 8);
+
+  // read_reg(r) / write_reg(r, v): the register-file accessors.
+  Function *ReadReg = M->addFunction("read_reg", 1);
+  {
+    IRBuilder IRB(ReadReg, ReadReg->addBlock("entry"));
+    Reg Slot = IRB.andImm(0, 31);
+    Reg Offset = IRB.shlImm(Slot, 3);
+    Reg Addr = IRB.addImm(Offset, static_cast<int64_t>(Regs));
+    Reg Value = IRB.load(Addr, 0);
+    IRB.ret(Value);
+  }
+  Function *WriteReg = M->addFunction("write_reg", 2);
+  {
+    IRBuilder IRB(WriteReg, WriteReg->addBlock("entry"));
+    Reg Slot = IRB.andImm(0, 31);
+    Reg Offset = IRB.shlImm(Slot, 3);
+    Reg Addr = IRB.addImm(Offset, static_cast<int64_t>(Regs));
+    IRB.store(Addr, 0, 1);
+    IRB.retImm(0);
+  }
+
+  // step(pc): decode imem[pc] and execute one instruction; returns new pc.
+  Function *Step = M->addFunction("step", 1);
+  {
+    BasicBlock *Entry = Step->addBlock("entry");
+    IRBuilder IRB(Step, Entry);
+    Reg Pc = 0;
+    Reg Masked = IRB.andImm(Pc, 4095);
+    Reg Slot = IRB.shlImm(Masked, 3);
+    Reg IAddr = IRB.addImm(Slot, static_cast<int64_t>(Imem));
+    Reg Word = IRB.load(IAddr, 0);
+    Reg Op = IRB.andImm(Word, 7);
+    Reg Rs1 = IRB.shrImm(Word, 3);
+    Reg Rs1M = IRB.andImm(Rs1, 31);
+    Reg Rs2 = IRB.shrImm(Word, 8);
+    Reg Rs2M = IRB.andImm(Rs2, 31);
+    Reg Rd = IRB.shrImm(Word, 13);
+    Reg RdM = IRB.andImm(Rd, 31);
+    Reg A = IRB.call(ReadReg, {Rs1M});
+    Reg B = IRB.call(ReadReg, {Rs2M});
+
+    BasicBlock *Default = Step->addBlock("op.default");
+    std::vector<BasicBlock *> Cases;
+    for (int Index = 0; Index != 8; ++Index)
+      Cases.push_back(Step->addBlock("op" + std::to_string(Index)));
+    IRB.switchOn(Op, Default, Cases);
+
+    BasicBlock *Commit = Step->addBlock("commit");
+    Reg Result = Step->freshReg();
+    Reg NextPc = Step->freshReg();
+
+    auto Finish = [&](Reg Value) {
+      IRB.movRegInto(Result, Value);
+      Reg Bumped = IRB.addImm(Pc, 1);
+      IRB.movRegInto(NextPc, Bumped);
+      IRB.br(Commit);
+    };
+
+    IRB.setBlock(Cases[0]); // add
+    Finish(IRB.add(A, B));
+    IRB.setBlock(Cases[1]); // sub
+    Finish(IRB.sub(A, B));
+    IRB.setBlock(Cases[2]); // and
+    Finish(IRB.andOp(A, B));
+    IRB.setBlock(Cases[3]); // xor
+    Finish(IRB.xorOp(A, B));
+    IRB.setBlock(Cases[4]); // mul (slower)
+    Finish(IRB.mul(A, B));
+    IRB.setBlock(Cases[5]); // load
+    {
+      Reg DSlot = IRB.andImm(A, 2047);
+      Reg DOff = IRB.shlImm(DSlot, 3);
+      Reg DAddr = IRB.addImm(DOff, static_cast<int64_t>(Dmem));
+      Finish(IRB.load(DAddr, 0));
+    }
+    IRB.setBlock(Cases[6]); // store
+    {
+      Reg DSlot = IRB.andImm(A, 2047);
+      Reg DOff = IRB.shlImm(DSlot, 3);
+      Reg DAddr = IRB.addImm(DOff, static_cast<int64_t>(Dmem));
+      IRB.store(DAddr, 0, B);
+      Finish(IRB.movImm(0));
+    }
+    IRB.setBlock(Cases[7]); // conditional branch on A == 0
+    {
+      BasicBlock *Taken = Step->addBlock("br.taken");
+      BasicBlock *NotTaken = Step->addBlock("br.not");
+      Reg IsZero = IRB.cmpEqImm(A, 0);
+      IRB.condBr(IsZero, Taken, NotTaken);
+      IRB.setBlock(Taken);
+      Reg Target = IRB.andImm(B, 4095);
+      IRB.movRegInto(NextPc, Target);
+      IRB.movInto(Result, 0);
+      IRB.br(Commit);
+      IRB.setBlock(NotTaken);
+      Reg Fall = IRB.addImm(Pc, 1);
+      IRB.movRegInto(NextPc, Fall);
+      IRB.movInto(Result, 1);
+      IRB.br(Commit);
+    }
+    IRB.setBlock(Default);
+    Finish(IRB.movImm(0));
+
+    IRB.setBlock(Commit);
+    IRB.call(WriteReg, {RdM, Result});
+    IRB.ret(NextPc);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Pc = IRB.movImm(0);
+    Loop L = beginLoop(IRB, 2500 * Scale, "run");
+    Reg NewPc = IRB.call(Step, {Pc});
+    IRB.movRegInto(Pc, NewPc);
+    endLoop(IRB, L);
+    IRB.ret(Pc);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 126.gcc — wide dispatch over a token stream through many small handlers.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildGcc(int Scale) {
+  auto M = std::make_unique<Module>();
+  uint64_t Tokens = addRandomGlobal(*M, "tokens", 4096, 0xcc, 12);
+  uint64_t Table = addZeroGlobal(*M, "fold_table", 1024 * 8);
+
+  // fold(a, b): shared utility with value-dependent branches.
+  Function *Fold = M->addFunction("fold", 2);
+  {
+    BasicBlock *Entry = Fold->addBlock("entry");
+    BasicBlock *Small = Fold->addBlock("small");
+    BasicBlock *Big = Fold->addBlock("big");
+    BasicBlock *Join = Fold->addBlock("join");
+    IRBuilder IRB(Fold, Entry);
+    Reg Sum = IRB.add(0, 1);
+    Reg IsSmall = IRB.cmpLtImm(Sum, 100);
+    Reg Out = Fold->freshReg();
+    IRB.condBr(IsSmall, Small, Big);
+    IRB.setBlock(Small);
+    Reg S = IRB.mulImm(Sum, 3);
+    IRB.movRegInto(Out, S);
+    IRB.br(Join);
+    IRB.setBlock(Big);
+    Reg G = IRB.andImm(Sum, 1023);
+    IRB.movRegInto(Out, G);
+    IRB.br(Join);
+    IRB.setBlock(Join);
+    Reg Slot = IRB.andImm(Out, 1023);
+    Reg Off = IRB.shlImm(Slot, 3);
+    Reg Addr = IRB.addImm(Off, static_cast<int64_t>(Table));
+    Reg Memo = IRB.load(Addr, 0);
+    Reg Bumped = IRB.add(Memo, Out);
+    IRB.store(Addr, 0, Bumped);
+    IRB.ret(Bumped);
+  }
+
+  // emit(v): record a "generated instruction" with a size branch.
+  Function *Emit = M->addFunction("emit", 1);
+  {
+    BasicBlock *Entry = Emit->addBlock("entry");
+    BasicBlock *Narrow = Emit->addBlock("narrow");
+    BasicBlock *Wide = Emit->addBlock("wide");
+    BasicBlock *Out = Emit->addBlock("out");
+    IRBuilder IRB(Emit, Entry);
+    Reg V = 0;
+    Reg Enc = Emit->freshReg();
+    Reg Fits = IRB.cmpLtImm(V, 256);
+    IRB.condBr(Fits, Narrow, Wide);
+    IRB.setBlock(Narrow);
+    Reg N = IRB.orImm(V, 0x100);
+    IRB.movRegInto(Enc, N);
+    IRB.br(Out);
+    IRB.setBlock(Wide);
+    Reg W = IRB.shlImm(V, 2);
+    Reg W2 = IRB.orImm(W, 3);
+    IRB.movRegInto(Enc, W2);
+    IRB.br(Out);
+    IRB.setBlock(Out);
+    Reg Slot = IRB.andImm(Enc, 1023);
+    Reg Off = IRB.shlImm(Slot, 3);
+    Reg Addr = IRB.addImm(Off, static_cast<int64_t>(Table));
+    IRB.store(Addr, 0, Enc);
+    IRB.ret(Enc);
+  }
+
+  // simplify(v): constant-fold flavoured peephole with two paths.
+  Function *Simplify = M->addFunction("simplify", 1);
+  {
+    BasicBlock *Entry = Simplify->addBlock("entry");
+    BasicBlock *Even = Simplify->addBlock("even");
+    BasicBlock *Odd = Simplify->addBlock("odd");
+    IRBuilder IRB(Simplify, Entry);
+    Reg V = 0;
+    Reg Bit = IRB.andImm(V, 1);
+    Reg IsEven = IRB.cmpEqImm(Bit, 0);
+    IRB.condBr(IsEven, Even, Odd);
+    IRB.setBlock(Even);
+    Reg Halved = IRB.shrImm(V, 1);
+    IRB.ret(Halved);
+    IRB.setBlock(Odd);
+    Reg Tripled = IRB.mulImm(V, 3);
+    Reg Bumped = IRB.addImm(Tripled, 1);
+    IRB.ret(Bumped);
+  }
+
+  // Twelve handlers, each with its own small branch structure and calls
+  // into the shared utilities from several sites (the context fan-out of
+  // a compiler's fold/emit helpers). Handlers 0..5 branch three ways on
+  // the operand and nest a second dispatch; 6..11 loop a few times.
+  std::vector<Function *> Handlers;
+  for (int H = 0; H != 12; ++H) {
+    Function *Handler =
+        M->addFunction("handle_" + std::to_string(H), 1);
+    Handlers.push_back(Handler);
+    IRBuilder IRB(Handler, Handler->addBlock("entry"));
+    Reg Arg = 0;
+    if (H < 6) {
+      BasicBlock *Lo = Handler->addBlock("lo");
+      BasicBlock *Mid = Handler->addBlock("mid");
+      BasicBlock *Hi = Handler->addBlock("hi");
+      BasicBlock *NotLo = Handler->addBlock("notlo");
+      Reg IsLo = IRB.cmpLtImm(Arg, 300);
+      IRB.condBr(IsLo, Lo, NotLo);
+      IRB.setBlock(NotLo);
+      Reg IsMid = IRB.cmpLtImm(Arg, 700);
+      IRB.condBr(IsMid, Mid, Hi);
+      IRB.setBlock(Lo);
+      Reg L = IRB.addImm(Arg, H);
+      Reg LF = IRB.call(Fold, {L, Arg});
+      Reg LS = IRB.call(Simplify, {LF});
+      IRB.ret(LS);
+      IRB.setBlock(Mid);
+      // Nested dispatch: a second-level branch tree over the operand's
+      // low bits (gcc-like case analysis depth -> many distinct paths).
+      Reg Low = IRB.andImm(Arg, 3);
+      BasicBlock *MDefault = Handler->addBlock("m.def");
+      std::vector<BasicBlock *> MCases;
+      for (int Sub = 0; Sub != 4; ++Sub)
+        MCases.push_back(Handler->addBlock("m" + std::to_string(Sub)));
+      IRB.switchOn(Low, MDefault, MCases);
+      for (int Sub = 0; Sub != 4; ++Sub) {
+        IRB.setBlock(MCases[Sub]);
+        if (Sub % 2 == 0) {
+          Reg MV = IRB.mulImm(Arg, Sub + 2);
+          Reg ME = IRB.call(Emit, {MV});
+          IRB.ret(ME);
+        } else {
+          Reg MV = IRB.xorImm(Arg, Sub * 0x111);
+          Reg MS = IRB.call(Simplify, {MV});
+          IRB.ret(MS);
+        }
+      }
+      IRB.setBlock(MDefault);
+      Reg Md = IRB.mulImm(Arg, H + 2);
+      IRB.ret(Md);
+      IRB.setBlock(Hi);
+      Reg HiV = IRB.xorImm(Arg, 0x5555);
+      Reg HF = IRB.call(Fold, {HiV, Arg});
+      Reg HE = IRB.call(Emit, {HF});
+      IRB.ret(HE);
+    } else {
+      Reg Acc = IRB.movImm(H);
+      Loop L = beginLoop(IRB, 2 + H % 3, "spin");
+      Reg T = IRB.add(Acc, L.Index);
+      Reg T2 = IRB.mulImm(T, 5);
+      Reg T3 = IRB.andImm(T2, 0xffff);
+      IRB.movRegInto(Acc, T3);
+      endLoop(IRB, L);
+      Reg Folded = IRB.call(Fold, {Acc, Acc});
+      Reg Final = IRB.call(Emit, {Folded});
+      IRB.ret(Final);
+    }
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Rng = IRB.movImm(0x777);
+    Reg Acc = IRB.movImm(0);
+    Loop L = beginLoop(IRB, 2200 * Scale, "drive");
+    Reg Masked = IRB.andImm(L.Index, 4095);
+    Reg Slot = IRB.shlImm(Masked, 3);
+    Reg Addr = IRB.addImm(Slot, static_cast<int64_t>(Tokens));
+    Reg Token = IRB.load(Addr, 0);
+    emitLcgStep(IRB, Rng);
+    Reg Operand = IRB.shrImm(Rng, 23);
+    Reg OperandM = IRB.andImm(Operand, 1023);
+
+    BasicBlock *Default = Main->addBlock("tok.default");
+    std::vector<BasicBlock *> Cases;
+    for (int H = 0; H != 12; ++H)
+      Cases.push_back(Main->addBlock("tok" + std::to_string(H)));
+    BasicBlock *Merge = Main->addBlock("merge");
+    Reg Out = Main->freshReg();
+    IRB.switchOn(Token, Default, Cases);
+    for (int H = 0; H != 12; ++H) {
+      IRB.setBlock(Cases[H]);
+      Reg V = IRB.call(Handlers[H], {OperandM});
+      IRB.movRegInto(Out, V);
+      IRB.br(Merge);
+    }
+    IRB.setBlock(Default);
+    IRB.movInto(Out, 0);
+    IRB.br(Merge);
+    IRB.setBlock(Merge);
+    Reg NewAcc = IRB.add(Acc, Out);
+    IRB.movRegInto(Acc, NewAcc);
+    endLoop(IRB, L);
+    IRB.ret(Acc);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 129.compress — LZW-style hash probing over semi-repetitive input.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildCompress(int Scale) {
+  auto M = std::make_unique<Module>();
+  // Input: repetitive "text" (PRNG over a small alphabet so prefixes
+  // recur, exercising the hit path).
+  Prng R(0x2920);
+  uint64_t InputCount = 16384;
+  std::vector<uint8_t> Text;
+  Text.reserve(InputCount * 8);
+  for (uint64_t Index = 0; Index != InputCount; ++Index) {
+    uint64_t Byte = R.nextBool(0.7) ? R.nextBelow(8) : R.nextBelow(64);
+    for (int B = 0; B != 8; ++B)
+      Text.push_back(B == 0 ? static_cast<uint8_t>(Byte) : 0);
+  }
+  size_t InputIndex = M->addGlobal("input", InputCount * 8, std::move(Text));
+  uint64_t Input = M->global(InputIndex).Addr;
+  uint64_t HashKeys = addZeroGlobal(*M, "hash_keys", 8192 * 8);
+  uint64_t HashCodes = addZeroGlobal(*M, "hash_codes", 8192 * 8);
+  uint64_t Output = addZeroGlobal(*M, "output", 32768 * 8);
+
+  // probe(key): open-addressed search; returns code or 0.
+  Function *Probe = M->addFunction("probe", 1);
+  {
+    BasicBlock *Entry = Probe->addBlock("entry");
+    BasicBlock *Loop = Probe->addBlock("loop");
+    BasicBlock *CheckKey = Probe->addBlock("check");
+    BasicBlock *Found = Probe->addBlock("found");
+    BasicBlock *Miss = Probe->addBlock("miss");
+    BasicBlock *Again = Probe->addBlock("again");
+    IRBuilder IRB(Probe, Entry);
+    Reg Key = 0;
+    Reg Hash = IRB.mulImm(Key, 0x9e3779b9);
+    Reg Hash2 = IRB.shrImm(Hash, 7);
+    Reg Index = IRB.andImm(Hash2, 8191);
+    Reg Cursor = IRB.mov(Index);
+    IRB.br(Loop);
+    IRB.setBlock(Loop);
+    Reg Off = IRB.shlImm(Cursor, 3);
+    Reg KeyAddr = IRB.addImm(Off, static_cast<int64_t>(HashKeys));
+    Reg Stored = IRB.load(KeyAddr, 0);
+    Reg Empty = IRB.cmpEqImm(Stored, 0);
+    IRB.condBr(Empty, Miss, CheckKey);
+    IRB.setBlock(CheckKey);
+    Reg Same = IRB.cmpEq(Stored, Key);
+    IRB.condBr(Same, Found, Again);
+    IRB.setBlock(Again);
+    Reg Next = IRB.addImm(Cursor, 1);
+    Reg Wrapped = IRB.andImm(Next, 8191);
+    IRB.movRegInto(Cursor, Wrapped);
+    IRB.br(Loop);
+    IRB.setBlock(Found);
+    Reg Off2 = IRB.shlImm(Cursor, 3);
+    Reg CodeAddr = IRB.addImm(Off2, static_cast<int64_t>(HashCodes));
+    Reg Code = IRB.load(CodeAddr, 0);
+    IRB.ret(Code);
+    IRB.setBlock(Miss);
+    IRB.retImm(0);
+  }
+
+  // insert(key, code).
+  Function *Insert = M->addFunction("insert", 2);
+  {
+    BasicBlock *Entry = Insert->addBlock("entry");
+    BasicBlock *Loop = Insert->addBlock("loop");
+    BasicBlock *Slot = Insert->addBlock("slot");
+    BasicBlock *Again = Insert->addBlock("again");
+    IRBuilder IRB(Insert, Entry);
+    Reg Key = 0, Code = 1;
+    Reg Hash = IRB.mulImm(Key, 0x9e3779b9);
+    Reg Hash2 = IRB.shrImm(Hash, 7);
+    Reg Index = IRB.andImm(Hash2, 8191);
+    Reg Cursor = IRB.mov(Index);
+    IRB.br(Loop);
+    IRB.setBlock(Loop);
+    Reg Off = IRB.shlImm(Cursor, 3);
+    Reg KeyAddr = IRB.addImm(Off, static_cast<int64_t>(HashKeys));
+    Reg Stored = IRB.load(KeyAddr, 0);
+    Reg Empty = IRB.cmpEqImm(Stored, 0);
+    IRB.condBr(Empty, Slot, Again);
+    IRB.setBlock(Again);
+    Reg Next = IRB.addImm(Cursor, 1);
+    Reg Wrapped = IRB.andImm(Next, 8191);
+    IRB.movRegInto(Cursor, Wrapped);
+    IRB.br(Loop);
+    IRB.setBlock(Slot);
+    IRB.store(KeyAddr, 0, Key);
+    Reg CodeAddr = IRB.addImm(Off, static_cast<int64_t>(HashCodes));
+    IRB.store(CodeAddr, 0, Code);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Prefix = IRB.movImm(0);
+    Reg NextCode = IRB.movImm(256);
+    Reg OutCursor = IRB.movImm(0);
+    int64_t Limit = std::min<int64_t>(16384, 3000 * Scale);
+    Loop L = beginLoop(IRB, Limit, "scan");
+    Reg Off = IRB.shlImm(L.Index, 3);
+    Reg InAddr = IRB.addImm(Off, static_cast<int64_t>(Input));
+    Reg Byte = IRB.load(InAddr, 0);
+    Reg ByteP1 = IRB.addImm(Byte, 1); // keys are nonzero
+    Reg Shift = IRB.shlImm(Prefix, 7);
+    Reg Key = IRB.xorOp(Shift, ByteP1);
+    Reg KeyMasked = IRB.andImm(Key, 0x3fffff);
+    Reg Code = IRB.call(Probe, {KeyMasked});
+
+    BasicBlock *Hit = Main->addBlock("hit");
+    BasicBlock *MissBlock = Main->addBlock("miss");
+    BasicBlock *Continue = Main->addBlock("cont");
+    Reg WasHit = IRB.cmpNeImm(Code, 0);
+    IRB.condBr(WasHit, Hit, MissBlock);
+
+    IRB.setBlock(Hit);
+    IRB.movRegInto(Prefix, Code);
+    IRB.br(Continue);
+
+    IRB.setBlock(MissBlock);
+    IRB.call(Insert, {KeyMasked, NextCode});
+    Reg Bumped = IRB.addImm(NextCode, 1);
+    Reg Capped = IRB.andImm(Bumped, 0xffff);
+    IRB.movRegInto(NextCode, Capped);
+    // Emit the prefix code.
+    Reg OutOff = IRB.shlImm(OutCursor, 3);
+    Reg OutMask = IRB.andImm(OutOff, 32767 * 8);
+    Reg OutAddr = IRB.addImm(OutMask, static_cast<int64_t>(Output));
+    IRB.store(OutAddr, 0, Prefix);
+    Reg NewCursor = IRB.addImm(OutCursor, 1);
+    IRB.movRegInto(OutCursor, NewCursor);
+    IRB.movRegInto(Prefix, ByteP1);
+    IRB.br(Continue);
+
+    IRB.setBlock(Continue);
+    endLoop(IRB, L);
+    IRB.ret(OutCursor);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 130.li — a recursive expression-tree interpreter over heap cons cells.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildLi(int Scale) {
+  auto M = std::make_unique<Module>();
+  uint64_t Env = addZeroGlobal(*M, "env", 64 * 8);
+
+  // build(depth, seed): allocates an expression tree. Cell layout:
+  // [tag, left/value, right]. Tags: 0 const, 1 var, 2 add, 3 mul, 4 sub.
+  Function *Build = M->addFunction("build_tree", 2);
+  {
+    BasicBlock *Entry = Build->addBlock("entry");
+    BasicBlock *LeafBlock = Build->addBlock("leaf");
+    BasicBlock *LeafConst = Build->addBlock("leaf.const");
+    BasicBlock *LeafVar = Build->addBlock("leaf.var");
+    BasicBlock *Inner = Build->addBlock("inner");
+    IRBuilder IRB(Build, Entry);
+    Reg Depth = 0, Seed = 1;
+    Reg AtLeaf = IRB.cmpLeImm(Depth, 0);
+    IRB.condBr(AtLeaf, LeafBlock, Inner);
+
+    IRB.setBlock(LeafBlock);
+    Reg Cell = IRB.allocImm(24);
+    Reg Bit = IRB.andImm(Seed, 1);
+    Reg IsConst = IRB.cmpEqImm(Bit, 0);
+    IRB.condBr(IsConst, LeafConst, LeafVar);
+    IRB.setBlock(LeafConst);
+    Reg Zero = IRB.movImm(0);
+    IRB.store(Cell, 0, Zero);
+    Reg CVal = IRB.andImm(Seed, 255);
+    IRB.store(Cell, 8, CVal);
+    IRB.ret(Cell);
+    IRB.setBlock(LeafVar);
+    Reg One = IRB.movImm(1);
+    IRB.store(Cell, 0, One);
+    Reg VIndex = IRB.andImm(Seed, 63);
+    IRB.store(Cell, 8, VIndex);
+    IRB.ret(Cell);
+
+    IRB.setBlock(Inner);
+    Reg ICell = IRB.allocImm(24);
+    Reg OpBits = IRB.remImm(Seed, 3);
+    Reg Tag = IRB.addImm(OpBits, 2);
+    IRB.store(ICell, 0, Tag);
+    Reg NextDepth = IRB.subImm(Depth, 1);
+    Reg SeedL = IRB.mulImm(Seed, 2654435761LL);
+    Reg SeedL2 = IRB.shrImm(SeedL, 5);
+    Reg LeftCell = IRB.call(Build, {NextDepth, SeedL2});
+    IRB.store(ICell, 8, LeftCell);
+    Reg SeedR = IRB.addImm(SeedL2, 0x9e37);
+    Reg RightCell = IRB.call(Build, {NextDepth, SeedR});
+    IRB.store(ICell, 16, RightCell);
+    IRB.ret(ICell);
+  }
+
+  // eval(cell): recursive interpreter with a tag switch.
+  Function *Eval = M->addFunction("eval", 1);
+  {
+    BasicBlock *Entry = Eval->addBlock("entry");
+    IRBuilder IRB(Eval, Entry);
+    Reg Cell = 0;
+    Reg Tag = IRB.load(Cell, 0);
+    BasicBlock *Default = Eval->addBlock("t.default");
+    BasicBlock *TConst = Eval->addBlock("t.const");
+    BasicBlock *TVar = Eval->addBlock("t.var");
+    BasicBlock *TAdd = Eval->addBlock("t.add");
+    BasicBlock *TMul = Eval->addBlock("t.mul");
+    BasicBlock *TSub = Eval->addBlock("t.sub");
+    IRB.switchOn(Tag, Default, {TConst, TVar, TAdd, TMul, TSub});
+
+    IRB.setBlock(TConst);
+    Reg CV = IRB.load(Cell, 8);
+    IRB.ret(CV);
+
+    IRB.setBlock(TVar);
+    Reg VI = IRB.load(Cell, 8);
+    Reg VOff = IRB.shlImm(VI, 3);
+    Reg VAddr = IRB.addImm(VOff, static_cast<int64_t>(Env));
+    Reg VV = IRB.load(VAddr, 0);
+    IRB.ret(VV);
+
+    auto Binary = [&](BasicBlock *BB, auto Combine) {
+      IRB.setBlock(BB);
+      Reg LeftCell = IRB.load(Cell, 8);
+      Reg LeftV = IRB.call(Eval, {LeftCell});
+      Reg RightCell = IRB.load(Cell, 16);
+      Reg RightV = IRB.call(Eval, {RightCell});
+      Reg Out = Combine(LeftV, RightV);
+      IRB.ret(Out);
+    };
+    Binary(TAdd, [&](Reg A, Reg B) { return IRB.add(A, B); });
+    Binary(TMul, [&](Reg A, Reg B) {
+      Reg P = IRB.mul(A, B);
+      return IRB.andImm(P, 0xffffff);
+    });
+    Binary(TSub, [&](Reg A, Reg B) { return IRB.sub(A, B); });
+
+    IRB.setBlock(Default);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    // Populate the environment.
+    Loop Init = beginLoop(IRB, 64, "init");
+    Reg Off = IRB.shlImm(Init.Index, 3);
+    Reg Addr = IRB.addImm(Off, static_cast<int64_t>(Env));
+    Reg Val = IRB.mulImm(Init.Index, 17);
+    IRB.store(Addr, 0, Val);
+    endLoop(IRB, Init);
+
+    Reg Depth = IRB.movImm(7);
+    Reg Seed = IRB.movImm(0xabcdef);
+    Reg Tree = IRB.call(Build, {Depth, Seed});
+    Reg Acc = IRB.movImm(0);
+    Loop L = beginLoop(IRB, 45 * Scale, "evals");
+    // Mutate one env slot so evaluations differ.
+    Reg Slot = IRB.andImm(L.Index, 63);
+    Reg SOff = IRB.shlImm(Slot, 3);
+    Reg SAddr = IRB.addImm(SOff, static_cast<int64_t>(Env));
+    IRB.store(SAddr, 0, L.Index);
+    Reg V = IRB.call(Eval, {Tree});
+    Reg NewAcc = IRB.add(Acc, V);
+    Reg Masked = IRB.andImm(NewAcc, 0xffffffff);
+    IRB.movRegInto(Acc, Masked);
+    endLoop(IRB, L);
+    IRB.ret(Acc);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 132.ijpeg — 8x8 integer transform blocks over an image.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildIjpeg(int Scale) {
+  auto M = std::make_unique<Module>();
+  uint64_t Image = addRandomGlobal(*M, "image", 64 * 64, 0x1, 256);
+  uint64_t Coeffs = addRandomGlobal(*M, "coeffs", 64, 0x2, 16);
+  uint64_t Out = addZeroGlobal(*M, "out", 64 * 64 * 8);
+
+  // transform_block(bx, by): the 8x8 integer kernel with quantisation.
+  Function *Block = M->addFunction("transform_block", 2);
+  {
+    IRBuilder IRB(Block, Block->addBlock("entry"));
+    Reg Bx = 0, By = 1;
+    Reg BaseCol = IRB.shlImm(Bx, 3);
+    Reg RowStart = IRB.shlImm(By, 3);
+
+    Loop RowLoop = beginLoop(IRB, 8, "row");
+    Loop ColLoop = beginLoop(IRB, 8, "col");
+    // Accumulate sum over k of image[row, k] * coeff[k, col].
+    Reg Acc = IRB.movImm(0);
+    Loop KLoop = beginLoop(IRB, 8, "k");
+    Reg Row = IRB.add(RowStart, RowLoop.Index);
+    Reg RowOff = IRB.shlImm(Row, 6); // *64
+    Reg Col = IRB.add(BaseCol, KLoop.Index);
+    Reg Pixel0 = IRB.add(RowOff, Col);
+    Reg POff = IRB.shlImm(Pixel0, 3);
+    Reg PAddr = IRB.addImm(POff, static_cast<int64_t>(Image));
+    Reg Pixel = IRB.load(PAddr, 0);
+    Reg CIndex = IRB.shlImm(KLoop.Index, 3);
+    Reg CIndex2 = IRB.add(CIndex, ColLoop.Index);
+    Reg CMask = IRB.andImm(CIndex2, 63);
+    Reg COff = IRB.shlImm(CMask, 3);
+    Reg CAddr = IRB.addImm(COff, static_cast<int64_t>(Coeffs));
+    Reg Coeff = IRB.load(CAddr, 0);
+    Reg Prod = IRB.mul(Pixel, Coeff);
+    Reg NewAcc = IRB.add(Acc, Prod);
+    IRB.movRegInto(Acc, NewAcc);
+    endLoop(IRB, KLoop);
+
+    // Quantise: divide and clamp (a data-dependent branch).
+    Reg Quant = IRB.divImm(Acc, 13);
+    BasicBlock *Clamp = Block->addBlock("clamp");
+    BasicBlock *Keep = Block->addBlock("keep");
+    BasicBlock *StoreBlock = Block->addBlock("store");
+    Reg Final = Block->freshReg();
+    Reg TooBig = IRB.cmpLtImm(Quant, 2048);
+    IRB.condBr(TooBig, Keep, Clamp);
+    IRB.setBlock(Keep);
+    IRB.movRegInto(Final, Quant);
+    IRB.br(StoreBlock);
+    IRB.setBlock(Clamp);
+    IRB.movInto(Final, 2047);
+    IRB.br(StoreBlock);
+    IRB.setBlock(StoreBlock);
+    Reg ORow = IRB.add(RowStart, RowLoop.Index);
+    Reg OROff = IRB.shlImm(ORow, 6);
+    Reg OCol = IRB.add(BaseCol, ColLoop.Index);
+    Reg OIndex = IRB.add(OROff, OCol);
+    Reg OOff = IRB.shlImm(OIndex, 3);
+    Reg OAddr = IRB.addImm(OOff, static_cast<int64_t>(Out));
+    IRB.store(OAddr, 0, Final);
+    endLoop(IRB, ColLoop);
+    endLoop(IRB, RowLoop);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Loop Frames = beginLoop(IRB, 2 * Scale, "frame");
+    Loop ByLoop = beginLoop(IRB, 8, "by");
+    Loop BxLoop = beginLoop(IRB, 8, "bx");
+    IRB.call(Block, {BxLoop.Index, ByLoop.Index});
+    endLoop(IRB, BxLoop);
+    endLoop(IRB, ByLoop);
+    endLoop(IRB, Frames);
+    Reg Sample = IRB.loadAbs(static_cast<int64_t>(Out), 8);
+    IRB.ret(Sample);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 134.perl — stack-machine interpreter with an associative array.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildPerl(int Scale) {
+  auto M = std::make_unique<Module>();
+  uint64_t Program = addRandomGlobal(*M, "program", 2048, 0x99, 6);
+  uint64_t Operands = addRandomGlobal(*M, "operands", 2048, 0x9a, 0);
+  uint64_t Stack = addZeroGlobal(*M, "stack", 256 * 8);
+  uint64_t HashK = addZeroGlobal(*M, "hk", 4096 * 8);
+  uint64_t HashV = addZeroGlobal(*M, "hv", 4096 * 8);
+
+  // assoc_put(key, value) / assoc_get(key): open addressing.
+  Function *Put = M->addFunction("assoc_put", 2);
+  {
+    BasicBlock *Entry = Put->addBlock("entry");
+    BasicBlock *Loop = Put->addBlock("loop");
+    BasicBlock *Write = Put->addBlock("write");
+    BasicBlock *Again = Put->addBlock("again");
+    BasicBlock *CheckSame = Put->addBlock("same");
+    IRBuilder IRB(Put, Entry);
+    Reg Key = 0, Value = 1;
+    Reg H = IRB.mulImm(Key, 0x85ebca6b);
+    Reg H2 = IRB.shrImm(H, 9);
+    Reg Cursor = IRB.andImm(H2, 4095);
+    IRB.br(Loop);
+    IRB.setBlock(Loop);
+    Reg Off = IRB.shlImm(Cursor, 3);
+    Reg KAddr = IRB.addImm(Off, static_cast<int64_t>(HashK));
+    Reg Stored = IRB.load(KAddr, 0);
+    Reg Empty = IRB.cmpEqImm(Stored, 0);
+    IRB.condBr(Empty, Write, CheckSame);
+    IRB.setBlock(CheckSame);
+    Reg Same = IRB.cmpEq(Stored, Key);
+    IRB.condBr(Same, Write, Again);
+    IRB.setBlock(Again);
+    Reg Next = IRB.addImm(Cursor, 1);
+    Reg Wrapped = IRB.andImm(Next, 4095);
+    IRB.movRegInto(Cursor, Wrapped);
+    IRB.br(Loop);
+    IRB.setBlock(Write);
+    IRB.store(KAddr, 0, Key);
+    Reg VAddr = IRB.addImm(Off, static_cast<int64_t>(HashV));
+    IRB.store(VAddr, 0, Value);
+    IRB.retImm(0);
+  }
+  Function *Get = M->addFunction("assoc_get", 1);
+  {
+    BasicBlock *Entry = Get->addBlock("entry");
+    BasicBlock *Loop = Get->addBlock("loop");
+    BasicBlock *Found = Get->addBlock("found");
+    BasicBlock *Missing = Get->addBlock("missing");
+    BasicBlock *Again = Get->addBlock("again");
+    BasicBlock *CheckSame = Get->addBlock("same");
+    IRBuilder IRB(Get, Entry);
+    Reg Key = 0;
+    Reg H = IRB.mulImm(Key, 0x85ebca6b);
+    Reg H2 = IRB.shrImm(H, 9);
+    Reg Cursor = IRB.andImm(H2, 4095);
+    IRB.br(Loop);
+    IRB.setBlock(Loop);
+    Reg Off = IRB.shlImm(Cursor, 3);
+    Reg KAddr = IRB.addImm(Off, static_cast<int64_t>(HashK));
+    Reg Stored = IRB.load(KAddr, 0);
+    Reg Empty = IRB.cmpEqImm(Stored, 0);
+    IRB.condBr(Empty, Missing, CheckSame);
+    IRB.setBlock(CheckSame);
+    Reg Same = IRB.cmpEq(Stored, Key);
+    IRB.condBr(Same, Found, Again);
+    IRB.setBlock(Again);
+    Reg Next = IRB.addImm(Cursor, 1);
+    Reg Wrapped = IRB.andImm(Next, 4095);
+    IRB.movRegInto(Cursor, Wrapped);
+    IRB.br(Loop);
+    IRB.setBlock(Found);
+    Reg VAddr = IRB.addImm(Off, static_cast<int64_t>(HashV));
+    Reg Value = IRB.load(VAddr, 0);
+    IRB.ret(Value);
+    IRB.setBlock(Missing);
+    IRB.retImm(0);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Sp = IRB.movImm(0);
+    Reg Acc = IRB.movImm(0);
+    Loop L = beginLoop(IRB, 3000 * Scale, "interp");
+    Reg PIndex = IRB.andImm(L.Index, 2047);
+    Reg POff = IRB.shlImm(PIndex, 3);
+    Reg PAddr = IRB.addImm(POff, static_cast<int64_t>(Program));
+    Reg Op = IRB.load(PAddr, 0);
+    Reg OAddr = IRB.addImm(POff, static_cast<int64_t>(Operands));
+    Reg Operand = IRB.load(OAddr, 0);
+    Reg OperandM = IRB.andImm(Operand, 0xffff);
+    Reg OperandK = IRB.addImm(OperandM, 1); // keys nonzero
+
+    BasicBlock *Default = Main->addBlock("op.default");
+    std::vector<BasicBlock *> Cases;
+    for (int Index = 0; Index != 6; ++Index)
+      Cases.push_back(Main->addBlock("op" + std::to_string(Index)));
+    BasicBlock *Merge = Main->addBlock("merge");
+    IRB.switchOn(Op, Default, Cases);
+
+    auto StackAddr = [&](Reg Slot) {
+      Reg Masked = IRB.andImm(Slot, 255);
+      Reg Off = IRB.shlImm(Masked, 3);
+      return IRB.addImm(Off, static_cast<int64_t>(Stack));
+    };
+
+    IRB.setBlock(Cases[0]); // push operand
+    {
+      Reg Addr = StackAddr(Sp);
+      IRB.store(Addr, 0, OperandK);
+      Reg NewSp = IRB.addImm(Sp, 1);
+      IRB.movRegInto(Sp, NewSp);
+      IRB.br(Merge);
+    }
+    IRB.setBlock(Cases[1]); // pop into acc
+    {
+      Reg NewSp = IRB.subImm(Sp, 1);
+      Reg Clamped = IRB.andImm(NewSp, 255);
+      IRB.movRegInto(Sp, Clamped);
+      Reg Addr = StackAddr(Sp);
+      Reg Top = IRB.load(Addr, 0);
+      Reg NewAcc = IRB.add(Acc, Top);
+      IRB.movRegInto(Acc, NewAcc);
+      IRB.br(Merge);
+    }
+    IRB.setBlock(Cases[2]); // add top two
+    {
+      Reg Top1 = IRB.subImm(Sp, 1);
+      Reg A1 = StackAddr(Top1);
+      Reg V1 = IRB.load(A1, 0);
+      Reg Top2 = IRB.subImm(Sp, 2);
+      Reg A2 = StackAddr(Top2);
+      Reg V2 = IRB.load(A2, 0);
+      Reg Sum = IRB.add(V1, V2);
+      IRB.store(A2, 0, Sum);
+      Reg Clamped = IRB.andImm(Top1, 255);
+      IRB.movRegInto(Sp, Clamped);
+      IRB.br(Merge);
+    }
+    IRB.setBlock(Cases[3]); // hash put
+    {
+      IRB.call(Put, {OperandK, L.Index});
+      IRB.br(Merge);
+    }
+    IRB.setBlock(Cases[4]); // hash get
+    {
+      Reg Value = IRB.call(Get, {OperandK});
+      Reg NewAcc = IRB.add(Acc, Value);
+      IRB.movRegInto(Acc, NewAcc);
+      IRB.br(Merge);
+    }
+    IRB.setBlock(Cases[5]); // xor accumulate
+    {
+      Reg X = IRB.xorOp(Acc, OperandK);
+      IRB.movRegInto(Acc, X);
+      IRB.br(Merge);
+    }
+    IRB.setBlock(Default);
+    IRB.br(Merge);
+    IRB.setBlock(Merge);
+    endLoop(IRB, L);
+    Reg Masked = IRB.andImm(Acc, 0x7fffffff);
+    IRB.ret(Masked);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// 147.vortex — layered object accessors over linked records (call heavy).
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> workloads::buildVortex(int Scale) {
+  auto M = std::make_unique<Module>();
+  // Object store: slots of [type, a, b, next]; heads per type.
+  uint64_t Heads = addZeroGlobal(*M, "heads", 8 * 8);
+
+  Function *GetType = M->addFunction("obj_type", 1);
+  {
+    IRBuilder IRB(GetType, GetType->addBlock("entry"));
+    Reg T = IRB.load(0, 0);
+    IRB.ret(T);
+  }
+  Function *GetA = M->addFunction("obj_a", 1);
+  {
+    IRBuilder IRB(GetA, GetA->addBlock("entry"));
+    Reg A = IRB.load(0, 8);
+    IRB.ret(A);
+  }
+  Function *SetB = M->addFunction("obj_set_b", 2);
+  {
+    IRBuilder IRB(SetB, SetB->addBlock("entry"));
+    IRB.store(0, 16, 1);
+    IRB.retImm(0);
+  }
+  Function *GetNext = M->addFunction("obj_next", 1);
+  {
+    IRBuilder IRB(GetNext, GetNext->addBlock("entry"));
+    Reg N = IRB.load(0, 24);
+    IRB.ret(N);
+  }
+
+  // validate(obj): per-type checks through the accessors.
+  Function *Validate = M->addFunction("validate", 1);
+  {
+    BasicBlock *Entry = Validate->addBlock("entry");
+    IRBuilder IRB(Validate, Entry);
+    Reg Obj = 0;
+    Reg Type = IRB.call(GetType, {Obj});
+    BasicBlock *Default = Validate->addBlock("v.default");
+    std::vector<BasicBlock *> Cases;
+    for (int T = 0; T != 4; ++T)
+      Cases.push_back(Validate->addBlock("v" + std::to_string(T)));
+    IRB.switchOn(Type, Default, Cases);
+    for (int T = 0; T != 4; ++T) {
+      IRB.setBlock(Cases[T]);
+      Reg A = IRB.call(GetA, {Obj});
+      Reg Adj = IRB.addImm(A, T * 3 + 1);
+      IRB.call(SetB, {Obj, Adj});
+      IRB.ret(Adj);
+    }
+    IRB.setBlock(Default);
+    IRB.retImm(0);
+  }
+
+  // insert(obj, type): push onto the per-type list.
+  Function *Insert = M->addFunction("insert", 2);
+  {
+    IRBuilder IRB(Insert, Insert->addBlock("entry"));
+    Reg Obj = 0, Type = 1;
+    Reg TMask = IRB.andImm(Type, 7);
+    Reg HOff = IRB.shlImm(TMask, 3);
+    Reg HAddr = IRB.addImm(HOff, static_cast<int64_t>(Heads));
+    Reg Head = IRB.load(HAddr, 0);
+    IRB.store(Obj, 24, Head);
+    IRB.store(HAddr, 0, Obj);
+    IRB.retImm(0);
+  }
+
+  // walk(type): traverse a type's list, validating each object.
+  Function *Walk = M->addFunction("walk", 1);
+  {
+    BasicBlock *Entry = Walk->addBlock("entry");
+    BasicBlock *Head = Walk->addBlock("head");
+    BasicBlock *Body = Walk->addBlock("body");
+    BasicBlock *Done = Walk->addBlock("done");
+    IRBuilder IRB(Walk, Entry);
+    Reg Type = 0;
+    Reg TMask = IRB.andImm(Type, 7);
+    Reg HOff = IRB.shlImm(TMask, 3);
+    Reg HAddr = IRB.addImm(HOff, static_cast<int64_t>(Heads));
+    Reg Cursor = IRB.load(HAddr, 0);
+    Reg Acc = IRB.movImm(0);
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg NonNull = IRB.cmpNeImm(Cursor, 0);
+    IRB.condBr(NonNull, Body, Done);
+    IRB.setBlock(Body);
+    Reg Score = IRB.call(Validate, {Cursor});
+    Reg NewAcc = IRB.add(Acc, Score);
+    IRB.movRegInto(Acc, NewAcc);
+    Reg Next = IRB.call(GetNext, {Cursor});
+    IRB.movRegInto(Cursor, Next);
+    IRB.br(Head);
+    IRB.setBlock(Done);
+    IRB.ret(Acc);
+  }
+
+  // Transaction layer: three operations that each traverse through the
+  // shared machinery from their own call sites — the layered-accessor
+  // context fan-out that makes vortex's CCT the suite's largest.
+  Function *TxnQuery = M->addFunction("txn_query", 1);
+  {
+    IRBuilder IRB(TxnQuery, TxnQuery->addBlock("entry"));
+    Reg Type = 0;
+    Reg First = IRB.call(Walk, {Type});
+    Reg Next = IRB.addImm(Type, 1);
+    Reg NextMasked = IRB.andImm(Next, 3);
+    Reg Second = IRB.call(Walk, {NextMasked});
+    Reg Sum = IRB.add(First, Second);
+    IRB.ret(Sum);
+  }
+  Function *TxnUpdate = M->addFunction("txn_update", 1);
+  {
+    IRBuilder IRB(TxnUpdate, TxnUpdate->addBlock("entry"));
+    Reg Type = 0;
+    Reg Score = IRB.call(Walk, {Type});
+    // Append one fresh object per update.
+    Reg Obj = IRB.allocImm(32);
+    IRB.store(Obj, 0, Type);
+    Reg Seed = IRB.andImm(Score, 1023);
+    IRB.store(Obj, 8, Seed);
+    IRB.call(Insert, {Obj, Type});
+    IRB.ret(Score);
+  }
+  Function *TxnAudit = M->addFunction("txn_audit", 1);
+  {
+    IRBuilder IRB(TxnAudit, TxnAudit->addBlock("entry"));
+    Reg Acc = IRB.movImm(0);
+    Loop All = beginLoop(IRB, 4, "audit");
+    Reg Score = IRB.call(Walk, {All.Index});
+    Reg NewAcc = IRB.add(Acc, Score);
+    IRB.movRegInto(Acc, NewAcc);
+    endLoop(IRB, All);
+    IRB.ret(Acc);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Rng = IRB.movImm(0xbeef);
+    // Create objects.
+    Loop Create = beginLoop(IRB, 300, "create");
+    Reg Obj = IRB.allocImm(32);
+    emitLcgStep(IRB, Rng);
+    Reg Type = IRB.shrImm(Rng, 17);
+    Reg TMask = IRB.andImm(Type, 3);
+    IRB.store(Obj, 0, TMask);
+    Reg AVal = IRB.andImm(Rng, 1023);
+    IRB.store(Obj, 8, AVal);
+    IRB.call(Insert, {Obj, TMask});
+    endLoop(IRB, Create);
+
+    // Repeated transactions, dispatched over the three kinds.
+    Reg Acc = IRB.movImm(0);
+    Loop Txn = beginLoop(IRB, 24 * Scale, "txn");
+    Reg TypeSel = IRB.andImm(Txn.Index, 3);
+    Reg Kind = IRB.remImm(Txn.Index, 3);
+    BasicBlock *KindDefault = Main->addBlock("k.def");
+    BasicBlock *KQuery = Main->addBlock("k.query");
+    BasicBlock *KUpdate = Main->addBlock("k.update");
+    BasicBlock *KAudit = Main->addBlock("k.audit");
+    BasicBlock *KMerge = Main->addBlock("k.merge");
+    Reg Score = Main->freshReg();
+    IRB.switchOn(Kind, KindDefault, {KQuery, KUpdate, KAudit});
+    IRB.setBlock(KQuery);
+    Reg Q = IRB.call(TxnQuery, {TypeSel});
+    IRB.movRegInto(Score, Q);
+    IRB.br(KMerge);
+    IRB.setBlock(KUpdate);
+    Reg U = IRB.call(TxnUpdate, {TypeSel});
+    IRB.movRegInto(Score, U);
+    IRB.br(KMerge);
+    IRB.setBlock(KAudit);
+    Reg A = IRB.call(TxnAudit, {TypeSel});
+    IRB.movRegInto(Score, A);
+    IRB.br(KMerge);
+    IRB.setBlock(KindDefault);
+    IRB.movInto(Score, 0);
+    IRB.br(KMerge);
+    IRB.setBlock(KMerge);
+    Reg NewAcc = IRB.add(Acc, Score);
+    Reg Masked = IRB.andImm(NewAcc, 0xffffffff);
+    IRB.movRegInto(Acc, Masked);
+    endLoop(IRB, Txn);
+    IRB.ret(Acc);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}

@@ -1,0 +1,40 @@
+//===- workloads/Util.cpp - Workload construction helpers --------------------===//
+
+#include "workloads/Util.h"
+
+#include <bit>
+#include <cstring>
+
+using namespace pp;
+using namespace pp::workloads;
+
+uint64_t workloads::addRandomGlobal(ir::Module &M, const std::string &Name,
+                                    uint64_t Count, uint64_t Seed,
+                                    uint64_t Bound) {
+  Prng R(Seed);
+  std::vector<uint8_t> Init(Count * 8);
+  for (uint64_t Index = 0; Index != Count; ++Index) {
+    uint64_t Value = Bound == 0 ? R.next() : R.nextBelow(Bound);
+    std::memcpy(&Init[Index * 8], &Value, 8);
+  }
+  size_t GlobalIndex = M.addGlobal(Name, Count * 8, std::move(Init));
+  return M.global(GlobalIndex).Addr;
+}
+
+uint64_t workloads::addRandomFpGlobal(ir::Module &M, const std::string &Name,
+                                      uint64_t Count, uint64_t Seed) {
+  Prng R(Seed);
+  std::vector<uint8_t> Init(Count * 8);
+  for (uint64_t Index = 0; Index != Count; ++Index) {
+    uint64_t Bits = std::bit_cast<uint64_t>(R.nextDouble());
+    std::memcpy(&Init[Index * 8], &Bits, 8);
+  }
+  size_t GlobalIndex = M.addGlobal(Name, Count * 8, std::move(Init));
+  return M.global(GlobalIndex).Addr;
+}
+
+uint64_t workloads::addZeroGlobal(ir::Module &M, const std::string &Name,
+                                  uint64_t Bytes) {
+  size_t GlobalIndex = M.addGlobal(Name, Bytes);
+  return M.global(GlobalIndex).Addr;
+}

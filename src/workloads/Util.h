@@ -1,0 +1,91 @@
+//===- workloads/Util.h - Workload construction helpers --------*- C++ -*-===//
+///
+/// \file
+/// Shared scaffolding for the synthetic SPEC95-shaped workloads: counted
+/// loop emission, PRNG-initialised data globals, and the workload registry
+/// entry type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_WORKLOADS_UTIL_H
+#define PP_WORKLOADS_UTIL_H
+
+#include "ir/IRBuilder.h"
+#include "support/Prng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace workloads {
+
+/// An in-construction counted loop: `for (Index = 0; Index < Count; ++Index)`.
+struct Loop {
+  ir::BasicBlock *Head = nullptr;
+  ir::BasicBlock *Body = nullptr;
+  ir::BasicBlock *Done = nullptr;
+  ir::Reg Index = ir::NoReg;
+};
+
+/// Emits the loop header and positions the builder at the body. The bound
+/// may be an immediate (beginLoop) or a register (beginLoopReg).
+inline Loop beginLoop(ir::IRBuilder &IRB, int64_t Count,
+                      const std::string &Name) {
+  Loop L;
+  ir::Function *F = IRB.function();
+  L.Head = F->addBlock(Name + ".head");
+  L.Body = F->addBlock(Name + ".body");
+  L.Done = F->addBlock(Name + ".done");
+  L.Index = IRB.movImm(0);
+  IRB.br(L.Head);
+  IRB.setBlock(L.Head);
+  ir::Reg More = IRB.cmpLtImm(L.Index, Count);
+  IRB.condBr(More, L.Body, L.Done);
+  IRB.setBlock(L.Body);
+  return L;
+}
+
+inline Loop beginLoopReg(ir::IRBuilder &IRB, ir::Reg Count,
+                         const std::string &Name) {
+  Loop L;
+  ir::Function *F = IRB.function();
+  L.Head = F->addBlock(Name + ".head");
+  L.Body = F->addBlock(Name + ".body");
+  L.Done = F->addBlock(Name + ".done");
+  L.Index = IRB.movImm(0);
+  IRB.br(L.Head);
+  IRB.setBlock(L.Head);
+  ir::Reg More = IRB.cmpLt(L.Index, Count);
+  IRB.condBr(More, L.Body, L.Done);
+  IRB.setBlock(L.Body);
+  return L;
+}
+
+/// Emits the index increment and back edge, then positions the builder at
+/// the loop exit.
+inline void endLoop(ir::IRBuilder &IRB, Loop &L) {
+  ir::Reg Next = IRB.addImm(L.Index, 1);
+  IRB.movRegInto(L.Index, Next);
+  IRB.br(L.Head);
+  IRB.setBlock(L.Done);
+}
+
+/// Declares a global of \p Count 64-bit slots filled with PRNG values below
+/// \p Bound (or raw 64-bit values when Bound is 0); returns its address.
+uint64_t addRandomGlobal(ir::Module &M, const std::string &Name,
+                         uint64_t Count, uint64_t Seed, uint64_t Bound);
+
+/// Declares a global of \p Count doubles uniform in [0, 1); returns its
+/// address.
+uint64_t addRandomFpGlobal(ir::Module &M, const std::string &Name,
+                           uint64_t Count, uint64_t Seed);
+
+/// Declares a zeroed global of \p Bytes bytes; returns its address.
+uint64_t addZeroGlobal(ir::Module &M, const std::string &Name,
+                       uint64_t Bytes);
+
+} // namespace workloads
+} // namespace pp
+
+#endif // PP_WORKLOADS_UTIL_H

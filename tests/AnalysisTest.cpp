@@ -1,0 +1,213 @@
+//===- tests/AnalysisTest.cpp - hot path / procedure classification -----------===//
+
+#include "analysis/HotPaths.h"
+#include "analysis/Perturbation.h"
+#include "analysis/SiteStats.h"
+#include "workloads/Examples.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+using namespace pp::analysis;
+
+namespace {
+
+PathRecord makeRecord(unsigned Func, uint64_t Sum, uint64_t Freq,
+                      uint64_t Insts, uint64_t Misses) {
+  PathRecord Record;
+  Record.FuncId = Func;
+  Record.PathSum = Sum;
+  Record.Freq = Freq;
+  Record.Insts = Insts;
+  Record.Misses = Misses;
+  return Record;
+}
+
+} // namespace
+
+TEST(HotPaths, ClassifiesAgainstThreshold) {
+  // Total misses 1000; threshold 1% = 10 misses.
+  std::vector<PathRecord> Records = {
+      makeRecord(0, 0, 10, 1000, 800), // hot, dense (0.8 >> avg)
+      makeRecord(0, 1, 10, 9000, 150), // hot, sparse-ish
+      makeRecord(0, 2, 10, 100, 41),   // hot, dense
+      makeRecord(0, 3, 10, 500, 9),    // cold (below 10)
+      makeRecord(1, 0, 10, 400, 0),    // cold (no misses)
+  };
+  HotPathAnalysis A = analyzeHotPaths(Records, 0.01);
+  EXPECT_EQ(A.TotalPaths, 5u);
+  EXPECT_EQ(A.TotalMisses, 1000u);
+  EXPECT_EQ(A.TotalInsts, 11000u);
+  EXPECT_EQ(A.Hot.Num, 3u);
+  EXPECT_EQ(A.Cold.Num, 2u);
+  EXPECT_EQ(A.Hot.Misses, 991u);
+  // Average miss ratio = 1000/11000 ~ 0.091. Path 0 (0.8) and path 2
+  // (0.41) are dense; path 1 (150/9000 ~ 0.017) is sparse.
+  EXPECT_EQ(A.Dense.Num, 2u);
+  EXPECT_EQ(A.Sparse.Num, 1u);
+  // Hot indices are sorted densest-miss first.
+  ASSERT_EQ(A.HotIndices.size(), 3u);
+  EXPECT_EQ(A.HotIndices[0], 0u);
+  EXPECT_EQ(A.HotIndices[1], 1u);
+  EXPECT_EQ(A.HotIndices[2], 2u);
+}
+
+TEST(HotPaths, ZeroMissProgramHasNoHotPaths) {
+  std::vector<PathRecord> Records = {makeRecord(0, 0, 5, 100, 0),
+                                     makeRecord(0, 1, 5, 100, 0)};
+  HotPathAnalysis A = analyzeHotPaths(Records, 0.01);
+  EXPECT_EQ(A.Hot.Num, 0u);
+  EXPECT_EQ(A.Cold.Num, 2u);
+  EXPECT_EQ(A.TotalMisses, 0u);
+}
+
+TEST(HotPaths, LowerThresholdPromotesPaths) {
+  std::vector<PathRecord> Records;
+  // 100 paths with 1..100 misses each (total 5050).
+  for (unsigned Index = 0; Index != 100; ++Index)
+    Records.push_back(makeRecord(0, Index, 1, 100, Index + 1));
+  HotPathAnalysis Strict = analyzeHotPaths(Records, 0.01); // cut 50.5
+  HotPathAnalysis Loose = analyzeHotPaths(Records, 0.001); // cut 5.05
+  EXPECT_LT(Strict.Hot.Num, Loose.Hot.Num);
+  EXPECT_EQ(Strict.Hot.Num + Strict.Cold.Num, 100u);
+  EXPECT_EQ(Loose.Hot.Num, 95u); // paths with 6..100 misses
+}
+
+TEST(HotProcs, AggregationSumsPerFunction) {
+  std::vector<PathRecord> Records = {
+      makeRecord(3, 0, 5, 100, 10), makeRecord(3, 1, 7, 200, 20),
+      makeRecord(8, 0, 1, 50, 5),
+  };
+  std::vector<ProcRecord> Procs = aggregateByProcedure(Records);
+  ASSERT_EQ(Procs.size(), 2u);
+  EXPECT_EQ(Procs[0].FuncId, 3u);
+  EXPECT_EQ(Procs[0].NumPathsExecuted, 2u);
+  EXPECT_EQ(Procs[0].Freq, 12u);
+  EXPECT_EQ(Procs[0].Insts, 300u);
+  EXPECT_EQ(Procs[0].Misses, 30u);
+  EXPECT_EQ(Procs[1].FuncId, 8u);
+}
+
+TEST(HotProcs, PathsPerProcAverages) {
+  std::vector<PathRecord> Records;
+  // Function 0: 10 paths, massive misses (hot). Function 1: 2 paths,
+  // no misses (cold).
+  for (unsigned Index = 0; Index != 10; ++Index)
+    Records.push_back(makeRecord(0, Index, 1, 100, 50));
+  Records.push_back(makeRecord(1, 0, 1, 100, 0));
+  Records.push_back(makeRecord(1, 1, 1, 100, 0));
+  HotProcAnalysis A =
+      analyzeHotProcs(aggregateByProcedure(Records), 0.01);
+  EXPECT_EQ(A.Hot.Num, 1u);
+  EXPECT_EQ(A.Cold.Num, 1u);
+  EXPECT_DOUBLE_EQ(A.HotPathsPerProc, 10.0);
+  EXPECT_DOUBLE_EQ(A.ColdPathsPerProc, 2.0);
+}
+
+TEST(SiteStats, OnePathSitesCountedFromRealRun) {
+  // fig4: straight-line functions; every used call site is reached by the
+  // single path of its function.
+  auto M = workloads::buildFig4Module();
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::ContextFlow;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Run.Result.Ok);
+  SitePathStats Stats = computeSitePathStats(*Run.Tree, *M, Run.Instr);
+  EXPECT_GT(Stats.TotalSites, 0u);
+  EXPECT_EQ(Stats.UsedSites, Stats.OnePathSites)
+      << "straight-line code: every used site has exactly one path";
+}
+
+TEST(SiteStats, MultiPathSitesAreNotOnePath) {
+  // fig1's main calls fig1 from its loop body; the body block executes on
+  // multiple distinct paths (loop-entry vs loop-iteration), so the site
+  // must not be classified one-path.
+  auto M = workloads::buildFig1Module();
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::ContextFlow;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Run.Result.Ok);
+  SitePathStats Stats = computeSitePathStats(*Run.Tree, *M, Run.Instr);
+  EXPECT_EQ(Stats.TotalSites, 1u); // main's call to fig1
+  EXPECT_EQ(Stats.UsedSites, 1u);
+  EXPECT_EQ(Stats.OnePathSites, 0u);
+}
+
+TEST(Analysis, EndToEndTable4Invariants) {
+  // Invariants the Table 4 pipeline must satisfy on a real workload.
+  auto M = workloads::buildWorkload("129.compress", 1);
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::FlowHw;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Run.Result.Ok);
+  std::vector<PathRecord> Records = collectPathRecords(Run);
+  HotPathAnalysis A = analyzeHotPaths(Records, 0.01);
+
+  EXPECT_EQ(A.Hot.Num + A.Cold.Num, A.TotalPaths);
+  EXPECT_EQ(A.Dense.Num + A.Sparse.Num, A.Hot.Num);
+  EXPECT_EQ(A.Hot.Misses + A.Cold.Misses, A.TotalMisses);
+  EXPECT_EQ(A.Dense.Misses + A.Sparse.Misses, A.Hot.Misses);
+  EXPECT_EQ(A.Hot.Insts + A.Cold.Insts, A.TotalInsts);
+  // Classification is monotone: every hot path has >= misses than any
+  // cold path... not necessarily (threshold is absolute), but each hot
+  // path must clear the cut.
+  double Cut = 0.01 * double(A.TotalMisses);
+  for (size_t Index : A.HotIndices)
+    EXPECT_GE(double(Records[Index].Misses), Cut);
+}
+
+TEST(Perturbation, DerivedCountsUndoInstrumentation) {
+  // §3.2: instruction counts are derivable from path frequencies; the
+  // measured PIC values carry the instrumentation's own instructions, the
+  // derived values do not.
+  auto M = workloads::buildLoopModule(200);
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::FlowHw;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Run.Result.Ok);
+  unsigned MainId = M->main()->id();
+  std::vector<CorrectedPath> Corrected = correctInstructionCounts(
+      *M, MainId, Run.PathProfiles[MainId]);
+  ASSERT_FALSE(Corrected.empty());
+
+  uint64_t DerivedTotal = 0;
+  for (const CorrectedPath &Path : Corrected) {
+    EXPECT_EQ(Path.CallsOnPath, 0u);
+    EXPECT_GT(Path.MeasuredInsts, Path.DerivedInsts)
+        << "measurement must include instrumentation overhead";
+    DerivedTotal += Path.DerivedInsts;
+  }
+  // The derived counts reconstruct the uninstrumented program: its whole
+  // execution is main's paths plus nothing else, so the derived total
+  // must equal the baseline instruction count.
+  prof::SessionOptions BaseOptions;
+  BaseOptions.Config.M = prof::Mode::None;
+  prof::RunOutcome Base = prof::runProfile(*M, BaseOptions);
+  EXPECT_EQ(DerivedTotal, Base.total(hw::Event::Insts));
+}
+
+TEST(Perturbation, DerivationIsInstrumentationInvariant) {
+  // Different probe placements perturb measurements differently, but the
+  // derived counts are identical: they depend only on frequencies.
+  auto M = workloads::buildFig1Module();
+  unsigned Fig1Id = M->findFunction("fig1")->id();
+
+  prof::SessionOptions Folded;
+  Folded.Config.M = prof::Mode::FlowHw;
+  prof::RunOutcome FoldedRun = prof::runProfile(*M, Folded);
+
+  prof::SessionOptions Simple = Folded;
+  Simple.Config.Plan.FoldFinalValues = false;
+  prof::RunOutcome SimpleRun = prof::runProfile(*M, Simple);
+
+  std::vector<CorrectedPath> A = correctInstructionCounts(
+      *M, Fig1Id, FoldedRun.PathProfiles[Fig1Id]);
+  std::vector<CorrectedPath> B = correctInstructionCounts(
+      *M, Fig1Id, SimpleRun.PathProfiles[Fig1Id]);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t Index = 0; Index != A.size(); ++Index) {
+    EXPECT_EQ(A[Index].PathSum, B[Index].PathSum);
+    EXPECT_EQ(A[Index].DerivedInsts, B[Index].DerivedInsts);
+  }
+}

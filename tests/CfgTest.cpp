@@ -1,0 +1,172 @@
+//===- tests/CfgTest.cpp - CFG snapshot, back edges, topo order ---------------===//
+
+#include "cfg/Cfg.h"
+#include "ir/IRBuilder.h"
+#include "workloads/Examples.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace pp;
+using namespace pp::ir;
+
+TEST(Cfg, Fig1GraphShape) {
+  auto M = workloads::buildFig1Module();
+  Function *F = M->findFunction("fig1");
+  ASSERT_NE(F, nullptr);
+  cfg::Cfg G(*F);
+
+  // 6 blocks + virtual EXIT.
+  EXPECT_EQ(G.numNodes(), 7u);
+  EXPECT_EQ(G.entryNode(), 0u);
+  EXPECT_EQ(G.exitNode(), 6u);
+  EXPECT_EQ(G.block(G.exitNode()), nullptr);
+
+  // Edges: A->{C,B}, B->{C,D}, C->D, D->{F,E}, E->F, F->EXIT = 9.
+  EXPECT_EQ(G.numEdges(), 9u);
+  EXPECT_EQ(G.numBackedges(), 0u);
+  for (unsigned Node = 0; Node != G.numNodes(); ++Node)
+    EXPECT_TRUE(G.isReachable(Node));
+
+  // The synthetic exit edge of the return block carries SuccIndex -1.
+  unsigned RetNode = F->numBlocks() - 1; // block F
+  ASSERT_EQ(G.outEdges(RetNode).size(), 1u);
+  EXPECT_EQ(G.edge(G.outEdges(RetNode)[0]).SuccIndex, -1);
+  EXPECT_EQ(G.edge(G.outEdges(RetNode)[0]).To, G.exitNode());
+}
+
+TEST(Cfg, LoopHasOneBackedge) {
+  auto M = workloads::buildLoopModule(10);
+  cfg::Cfg G(*M->main());
+  EXPECT_EQ(G.numBackedges(), 1u);
+  // The back edge is body -> head.
+  unsigned Found = 0;
+  for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId) {
+    if (!G.isBackedge(EdgeId))
+      continue;
+    ++Found;
+    EXPECT_EQ(G.block(G.edge(EdgeId).From)->name(), "body");
+    EXPECT_EQ(G.block(G.edge(EdgeId).To)->name(), "head");
+  }
+  EXPECT_EQ(Found, 1u);
+}
+
+TEST(Cfg, ReverseTopoOrderRespectsEdges) {
+  auto M = workloads::buildFig1Module();
+  cfg::Cfg G(*M->findFunction("fig1"));
+  const std::vector<unsigned> &Order = G.reverseTopoOrder();
+  ASSERT_EQ(Order.size(), G.numNodes());
+  std::vector<size_t> Position(G.numNodes());
+  for (size_t Index = 0; Index != Order.size(); ++Index)
+    Position[Order[Index]] = Index;
+  // Every non-back edge must point from later to earlier in the order.
+  for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId) {
+    if (G.isBackedge(EdgeId))
+      continue;
+    const cfg::Edge &E = G.edge(EdgeId);
+    EXPECT_LT(Position[E.To], Position[E.From])
+        << "edge " << E.From << "->" << E.To;
+  }
+}
+
+TEST(Cfg, UnreachableBlockDetected) {
+  Module M;
+  Function *F = M.addFunction("main", 0);
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Dead = F->addBlock("dead");
+  IRBuilder IRB(F, Entry);
+  IRB.retImm(0);
+  IRB.setBlock(Dead);
+  IRB.retImm(1);
+  M.setMain(F);
+  cfg::Cfg G(*F);
+  EXPECT_TRUE(G.isReachable(0));
+  EXPECT_FALSE(G.isReachable(1));
+  EXPECT_TRUE(G.isReachable(G.exitNode()));
+}
+
+TEST(Cfg, IrreducibleGraphBackedgeRemovalLeavesAcyclic) {
+  // Classic irreducible shape: entry branches into the middle of a cycle
+  // between X and Y.
+  Module M;
+  Function *F = M.addFunction("main", 0);
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *X = F->addBlock("x");
+  BasicBlock *Y = F->addBlock("y");
+  BasicBlock *Out = F->addBlock("out");
+  IRBuilder IRB(F, Entry);
+  Reg C = IRB.movImm(1);
+  IRB.condBr(C, X, Y);
+  IRB.setBlock(X);
+  Reg CX = IRB.movImm(0);
+  IRB.condBr(CX, Y, Out);
+  IRB.setBlock(Y);
+  Reg CY = IRB.movImm(0);
+  IRB.condBr(CY, X, Out);
+  IRB.setBlock(Out);
+  IRB.retImm(0);
+  M.setMain(F);
+
+  cfg::Cfg G(*F);
+  EXPECT_GE(G.numBackedges(), 1u);
+
+  // Removing back edges must leave the graph acyclic: verify via the
+  // reverse topo positions, as above.
+  const std::vector<unsigned> &Order = G.reverseTopoOrder();
+  std::vector<size_t> Position(G.numNodes(), ~size_t(0));
+  for (size_t Index = 0; Index != Order.size(); ++Index)
+    Position[Order[Index]] = Index;
+  for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId) {
+    if (G.isBackedge(EdgeId))
+      continue;
+    const cfg::Edge &E = G.edge(EdgeId);
+    EXPECT_LT(Position[E.To], Position[E.From]);
+  }
+}
+
+TEST(Cfg, SelfLoopIsBackedge) {
+  Module M;
+  Function *F = M.addFunction("main", 0);
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Spin = F->addBlock("spin");
+  BasicBlock *Done = F->addBlock("done");
+  IRBuilder IRB(F, Entry);
+  IRB.br(Spin);
+  IRB.setBlock(Spin);
+  Reg C = IRB.movImm(0);
+  IRB.condBr(C, Spin, Done);
+  IRB.setBlock(Done);
+  IRB.retImm(0);
+  M.setMain(F);
+  cfg::Cfg G(*F);
+  EXPECT_EQ(G.numBackedges(), 1u);
+  for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId) {
+    if (G.isBackedge(EdgeId)) {
+      EXPECT_EQ(G.edge(EdgeId).From, G.edge(EdgeId).To);
+    }
+  }
+}
+
+TEST(Cfg, SwitchEdgesInCanonicalOrder) {
+  Module M;
+  Function *F = M.addFunction("main", 0);
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Default = F->addBlock("default");
+  BasicBlock *Case0 = F->addBlock("case0");
+  BasicBlock *Case1 = F->addBlock("case1");
+  IRBuilder IRB(F, Entry);
+  Reg Sel = IRB.movImm(1);
+  IRB.switchOn(Sel, Default, {Case0, Case1});
+  for (BasicBlock *BB : {Default, Case0, Case1}) {
+    IRB.setBlock(BB);
+    IRB.retImm(0);
+  }
+  M.setMain(F);
+  cfg::Cfg G(*F);
+  const auto &OutIds = G.outEdges(0);
+  ASSERT_EQ(OutIds.size(), 3u);
+  EXPECT_EQ(G.edge(OutIds[0]).To, Default->id()); // default first
+  EXPECT_EQ(G.edge(OutIds[1]).To, Case0->id());
+  EXPECT_EQ(G.edge(OutIds[2]).To, Case1->id());
+}

@@ -1,0 +1,274 @@
+//===- tests/CrossModeTest.cpp - whole-pipeline property tests -----------------===//
+//
+// Generates random multi-function programs (loops, recursion, indirect
+// calls, switches, memory traffic — all fuel-bounded so they terminate)
+// and checks that every profiling mode reports mutually consistent,
+// oracle-exact results. This is the repository's strongest end-to-end
+// property: instrumentation must never change behaviour, and every
+// measured frequency must equal the traced truth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/EdgeProjection.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "prof/Oracle.h"
+#include "prof/Session.h"
+#include "support/Prng.h"
+#include "workloads/Examples.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace pp;
+using namespace pp::ir;
+using prof::Mode;
+
+namespace {
+
+/// Builds a random program with NumFuncs functions. Function k may call
+/// functions with larger indices directly, any function indirectly or
+/// recursively — every loop and call is guarded by a shared fuel counter
+/// in memory, so execution always terminates.
+std::unique_ptr<Module> makeProgram(uint64_t Seed) {
+  Prng R(Seed);
+  auto M = std::make_unique<Module>();
+  size_t FuelIndex = M->addGlobal("fuel", 8);
+  uint64_t FuelAddr = M->global(FuelIndex).Addr;
+  size_t DataIndex = M->addGlobal("data", 32 * 1024);
+  uint64_t DataAddr = M->global(DataIndex).Addr;
+
+  unsigned NumFuncs = 3 + static_cast<unsigned>(R.nextBelow(3));
+  std::vector<Function *> Funcs;
+  for (unsigned Id = 0; Id != NumFuncs; ++Id)
+    Funcs.push_back(M->addFunction("f" + std::to_string(Id), 1));
+
+  for (unsigned Id = 0; Id != NumFuncs; ++Id) {
+    Function *F = Funcs[Id];
+    BasicBlock *Entry = F->addBlock("entry");
+    BasicBlock *Work = F->addBlock("work");
+    BasicBlock *Out = F->addBlock("out");
+    IRBuilder IRB(F, Entry);
+    Reg Arg = 0;
+
+    // Fuel gate: decrement shared fuel; bail out when exhausted.
+    Reg Fuel = IRB.loadAbs(static_cast<int64_t>(FuelAddr));
+    Reg Less = IRB.subImm(Fuel, 1);
+    IRB.storeAbs(static_cast<int64_t>(FuelAddr), Less);
+    Reg HasFuel = IRB.cmpLtImm(Less, 0);
+    IRB.condBr(HasFuel, Out, Work);
+
+    IRB.setBlock(Out);
+    IRB.ret(Arg);
+
+    IRB.setBlock(Work);
+    Reg Acc = IRB.mov(Arg);
+    unsigned NumOps = 2 + static_cast<unsigned>(R.nextBelow(5));
+    for (unsigned Op = 0; Op != NumOps; ++Op) {
+      switch (R.nextBelow(6)) {
+      case 0: { // memory traffic
+        Reg Slot = IRB.andImm(Acc, 4095);
+        Reg Off = IRB.shlImm(Slot, 3);
+        Reg Addr = IRB.addImm(Off, static_cast<int64_t>(DataAddr));
+        Reg Val = IRB.load(Addr, 0);
+        Reg Sum = IRB.add(Val, Acc);
+        IRB.store(Addr, 0, Sum);
+        Acc = Sum;
+        break;
+      }
+      case 1: { // direct call (possibly self-recursive; fuel bounds it)
+        Function *Callee = Funcs[R.nextBelow(NumFuncs)];
+        Reg Masked = IRB.andImm(Acc, 1023);
+        Acc = IRB.call(Callee, {Masked});
+        break;
+      }
+      case 2: { // indirect call
+        Reg Sel = IRB.remImm(Acc, static_cast<int64_t>(NumFuncs));
+        Reg Id0 = IRB.andImm(Sel, 0x7fffffff);
+        Reg Masked = IRB.andImm(Acc, 1023);
+        Acc = IRB.icall(Id0, {Masked});
+        break;
+      }
+      case 3: { // a small diamond
+        BasicBlock *Left = F->addBlock("l" + std::to_string(Op));
+        BasicBlock *Right = F->addBlock("r" + std::to_string(Op));
+        BasicBlock *Join = F->addBlock("j" + std::to_string(Op));
+        Reg Bit = IRB.andImm(Acc, 1);
+        IRB.condBr(Bit, Left, Right);
+        Reg Merged = F->freshReg();
+        IRB.setBlock(Left);
+        Reg L = IRB.mulImm(Acc, 3);
+        IRB.movRegInto(Merged, L);
+        IRB.br(Join);
+        IRB.setBlock(Right);
+        Reg Rv = IRB.addImm(Acc, 7);
+        IRB.movRegInto(Merged, Rv);
+        IRB.br(Join);
+        IRB.setBlock(Join);
+        Acc = Merged;
+        break;
+      }
+      case 4: { // a switch
+        BasicBlock *Default = F->addBlock("sd" + std::to_string(Op));
+        BasicBlock *Case0 = F->addBlock("s0" + std::to_string(Op));
+        BasicBlock *Case1 = F->addBlock("s1" + std::to_string(Op));
+        BasicBlock *Join = F->addBlock("sj" + std::to_string(Op));
+        Reg Sel = IRB.andImm(Acc, 3);
+        Reg Merged = F->freshReg();
+        IRB.switchOn(Sel, Default, {Case0, Case1});
+        for (BasicBlock *BB : {Case0, Case1, Default}) {
+          IRB.setBlock(BB);
+          Reg V = IRB.xorImm(Acc, BB == Default ? 0x55 : 0x11);
+          IRB.movRegInto(Merged, V);
+          IRB.br(Join);
+        }
+        IRB.setBlock(Join);
+        Acc = Merged;
+        break;
+      }
+      default: { // plain arithmetic
+        Reg T = IRB.mulImm(Acc, 13);
+        Acc = IRB.andImm(T, 0xffffff);
+        break;
+      }
+      }
+    }
+    IRB.ret(Acc);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Budget = IRB.movImm(2000 + static_cast<int64_t>(R.nextBelow(2000)));
+    IRB.storeAbs(static_cast<int64_t>(FuelAddr), Budget);
+    Reg Seed = IRB.movImm(static_cast<int64_t>(R.nextBelow(1024)));
+    Reg Result = IRB.call(Funcs[0], {Seed});
+    Reg Masked = IRB.andImm(Result, 0xffffff);
+    IRB.ret(Masked);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+std::map<std::pair<unsigned, uint64_t>, uint64_t>
+allPathFreqs(const prof::RunOutcome &Run) {
+  std::map<std::pair<unsigned, uint64_t>, uint64_t> Out;
+  for (const prof::FunctionPathProfile &Profile : Run.PathProfiles)
+    for (const prof::PathEntry &Entry : Profile.Paths)
+      Out[{Profile.FuncId, Entry.PathSum}] = Entry.Freq;
+  return Out;
+}
+
+class CrossModeTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(CrossModeTest, AllModesAgreeWithTheOracle) {
+  auto M = makeProgram(GetParam());
+
+  // Oracle run on the pristine module.
+  hw::Machine Machine;
+  prof::OracleProfiler Oracle(*M);
+  vm::Vm VM(*M, Machine);
+  VM.setTracer(&Oracle);
+  vm::RunResult Truth = VM.run();
+  ASSERT_TRUE(Truth.Ok) << Truth.Error;
+
+  prof::SessionOptions Options;
+
+  // --- Flow: exact oracle match per function -------------------------------
+  Options.Config.M = Mode::Flow;
+  prof::RunOutcome Flow = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Flow.Result.Ok) << Flow.Result.Error;
+  EXPECT_EQ(Flow.Result.ExitValue, Truth.ExitValue);
+  for (size_t Id = 0; Id != M->numFunctions(); ++Id) {
+    if (!Flow.PathProfiles[Id].HasProfile)
+      continue;
+    std::map<uint64_t, uint64_t> Measured;
+    for (const prof::PathEntry &Entry : Flow.PathProfiles[Id].Paths)
+      Measured[Entry.PathSum] = Entry.Freq;
+    std::map<uint64_t, uint64_t> Expected(Oracle.pathFreqs(Id).begin(),
+                                          Oracle.pathFreqs(Id).end());
+    EXPECT_EQ(Measured, Expected)
+        << "function " << M->function(Id)->name() << " seed " << GetParam();
+  }
+
+  // --- FlowHw: same frequencies as Flow ------------------------------------
+  Options.Config.M = Mode::FlowHw;
+  prof::RunOutcome FlowHw = prof::runProfile(*M, Options);
+  ASSERT_TRUE(FlowHw.Result.Ok);
+  EXPECT_EQ(allPathFreqs(Flow), allPathFreqs(FlowHw));
+
+  // --- Edge: reconstruction matches oracle edge counts ----------------------
+  Options.Config.M = Mode::Edge;
+  prof::RunOutcome Edge = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Edge.Result.Ok);
+  for (size_t Id = 0; Id != M->numFunctions(); ++Id) {
+    if (!Edge.EdgeProfiles[Id].HasProfile)
+      continue;
+    EXPECT_EQ(Edge.EdgeProfiles[Id].EdgeCounts, Oracle.edgeCounts(Id))
+        << "function " << M->function(Id)->name() << " seed " << GetParam();
+  }
+
+  // --- Context: per-function call counts match ------------------------------
+  Options.Config.M = Mode::Context;
+  prof::RunOutcome Ctx = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Ctx.Result.Ok);
+  std::map<unsigned, uint64_t> CtxCounts;
+  for (const auto &R : Ctx.Tree->records())
+    if (R->procId() != cct::RootProcId)
+      CtxCounts[R->procId()] += R->Metrics[0];
+  for (size_t Id = 0; Id != M->numFunctions(); ++Id)
+    EXPECT_EQ(CtxCounts[Id], Oracle.callCount(Id))
+        << M->function(Id)->name() << " seed " << GetParam();
+
+  // --- ContextFlow: per-record path tables sum to the flow profile ----------
+  Options.Config.M = Mode::ContextFlow;
+  prof::RunOutcome CtxFlow = prof::runProfile(*M, Options);
+  ASSERT_TRUE(CtxFlow.Result.Ok);
+  std::map<std::pair<unsigned, uint64_t>, uint64_t> Summed;
+  for (const auto &R : CtxFlow.Tree->records()) {
+    if (R->procId() == cct::RootProcId)
+      continue;
+    for (const auto &[Sum, Cell] : R->PathTable)
+      Summed[{R->procId(), Sum}] += Cell.Freq;
+  }
+  EXPECT_EQ(Summed, allPathFreqs(Flow)) << "seed " << GetParam();
+
+  // --- ContextFlowHw: same frequencies again, now with metrics --------------
+  Options.Config.M = Mode::ContextFlowHw;
+  prof::RunOutcome CtxFlowHw = prof::runProfile(*M, Options);
+  ASSERT_TRUE(CtxFlowHw.Result.Ok);
+  std::map<std::pair<unsigned, uint64_t>, uint64_t> SummedHw;
+  for (const auto &R : CtxFlowHw.Tree->records()) {
+    if (R->procId() == cct::RootProcId)
+      continue;
+    for (const auto &[Sum, Cell] : R->PathTable) {
+      SummedHw[{R->procId(), Sum}] += Cell.Freq;
+      EXPECT_GE(Cell.Metric0, Cell.Freq) << "PIC0=Insts per execution";
+    }
+  }
+  EXPECT_EQ(SummedHw, allPathFreqs(Flow)) << "seed " << GetParam();
+
+  // --- Projection theorem: paths refine edges --------------------------------
+  // Summing path frequencies over each path's edges must reproduce the
+  // exact per-edge counts that both the oracle and Edge mode report.
+  for (size_t Id = 0; Id != M->numFunctions(); ++Id) {
+    if (!Flow.PathProfiles[Id].HasProfile)
+      continue;
+    std::vector<uint64_t> Projected =
+        analysis::edgeCountsFromPaths(*M, static_cast<unsigned>(Id),
+                                      Flow.PathProfiles[Id]);
+    EXPECT_EQ(Projected, Oracle.edgeCounts(Id))
+        << "projection mismatch in " << M->function(Id)->name() << " seed "
+        << GetParam();
+    EXPECT_EQ(Projected, Edge.EdgeProfiles[Id].EdgeCounts)
+        << "projection vs chord reconstruction in "
+        << M->function(Id)->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossModeTest,
+                         ::testing::Range<uint64_t>(0, 10));

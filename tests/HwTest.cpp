@@ -1,0 +1,185 @@
+//===- tests/HwTest.cpp - caches, predictor, counters, machine ----------------===//
+
+#include "hw/BranchPredictor.h"
+#include "hw/CacheSim.h"
+#include "hw/Machine.h"
+#include "hw/MemoryImage.h"
+#include "hw/PerfCounters.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+using namespace pp::hw;
+
+TEST(CacheSim, DirectMappedConflicts) {
+  CacheSim Cache(dcacheDefault()); // 16 KB direct-mapped, 32 B lines
+  // Two addresses 16 KB apart map to the same set and evict each other.
+  EXPECT_TRUE(Cache.access(0x1000, 8));  // cold miss
+  EXPECT_FALSE(Cache.access(0x1000, 8)); // hit
+  EXPECT_TRUE(Cache.access(0x1000 + 16 * 1024, 8));
+  EXPECT_TRUE(Cache.access(0x1000, 8)) << "conflict must evict";
+}
+
+TEST(CacheSim, TwoWayAvoidsPingPong) {
+  CacheSim Cache(icacheDefault()); // 2-way
+  EXPECT_TRUE(Cache.access(0x1000, 4));
+  EXPECT_TRUE(Cache.access(0x1000 + 8 * 1024, 4)); // same set, other way
+  EXPECT_FALSE(Cache.access(0x1000, 4));
+  EXPECT_FALSE(Cache.access(0x1000 + 8 * 1024, 4));
+  // A third conflicting line evicts the LRU way (0x1000 was used more
+  // recently than its neighbour? both touched; LRU is the +8K line).
+  EXPECT_TRUE(Cache.access(0x1000 + 16 * 1024, 4));
+}
+
+TEST(CacheSim, SpatialLocalityWithinLine) {
+  CacheSim Cache(dcacheDefault());
+  EXPECT_TRUE(Cache.access(0x2000, 8));
+  EXPECT_FALSE(Cache.access(0x2008, 8));
+  EXPECT_FALSE(Cache.access(0x201f, 1));
+  EXPECT_TRUE(Cache.access(0x2020, 1)) << "next line is cold";
+}
+
+TEST(CacheSim, StraddlingAccessTouchesBothLines) {
+  CacheSim Cache(dcacheDefault());
+  EXPECT_TRUE(Cache.access(0x2000 + 30, 8)); // spans 0x2000 and 0x2020 lines
+  EXPECT_FALSE(Cache.access(0x2000, 1));
+  EXPECT_FALSE(Cache.access(0x2020, 1));
+}
+
+TEST(CacheSim, CountersTrackAccessesAndMisses) {
+  CacheSim Cache(dcacheDefault());
+  Cache.access(0, 8);
+  Cache.access(0, 8);
+  Cache.access(64, 8);
+  EXPECT_EQ(Cache.accesses(), 3u);
+  EXPECT_EQ(Cache.misses(), 2u);
+  Cache.reset();
+  EXPECT_EQ(Cache.accesses(), 0u);
+  EXPECT_TRUE(Cache.access(0, 8));
+}
+
+TEST(BranchPredictor, LearnsABias) {
+  BranchPredictor Predictor;
+  // Initially weakly not-taken: an always-taken branch mispredicts at most
+  // twice, then stays correct.
+  int Wrong = 0;
+  for (int Round = 0; Round != 100; ++Round)
+    if (!Predictor.predictConditional(0x4000, true))
+      ++Wrong;
+  EXPECT_LE(Wrong, 2);
+  // Alternating branches are hard.
+  int AltWrong = 0;
+  for (int Round = 0; Round != 100; ++Round)
+    if (!Predictor.predictConditional(0x5000, Round % 2 == 0))
+      ++AltWrong;
+  EXPECT_GE(AltWrong, 40);
+}
+
+TEST(BranchPredictor, IndirectTargetCache) {
+  BranchPredictor Predictor;
+  EXPECT_FALSE(Predictor.predictIndirect(0x6000, 0x100));
+  EXPECT_TRUE(Predictor.predictIndirect(0x6000, 0x100));
+  EXPECT_FALSE(Predictor.predictIndirect(0x6000, 0x200));
+  EXPECT_TRUE(Predictor.predictIndirect(0x6000, 0x200));
+}
+
+TEST(PerfCounters, PicsWrapAt32Bits) {
+  PerfCounters Counters;
+  Counters.selectPicEvents(Event::Insts, Event::Cycles);
+  Counters.count(Event::Insts, 0xffffffffULL);
+  Counters.count(Event::Insts, 3);
+  // PIC0 wrapped; the 64-bit total did not.
+  EXPECT_EQ(Counters.readPics() & 0xffffffff, 2u);
+  EXPECT_EQ(Counters.total(Event::Insts), 0x100000002ULL);
+}
+
+TEST(PerfCounters, WriteSetsBothPics) {
+  PerfCounters Counters;
+  Counters.selectPicEvents(Event::Insts, Event::Cycles);
+  Counters.writePics((uint64_t(7) << 32) | 9);
+  EXPECT_EQ(Counters.readPics(), (uint64_t(7) << 32) | 9);
+  Counters.writePics(0);
+  EXPECT_EQ(Counters.readPics(), 0u);
+}
+
+TEST(PerfCounters, UnselectedEventsDoNotTickPics) {
+  PerfCounters Counters;
+  Counters.selectPicEvents(Event::Insts, Event::Cycles);
+  Counters.count(Event::FpStall, 10);
+  EXPECT_EQ(Counters.readPics(), 0u);
+  EXPECT_EQ(Counters.total(Event::FpStall), 10u);
+}
+
+TEST(MemoryImage, PeekPokeRoundTrip) {
+  MemoryImage Mem;
+  Mem.poke(0x1234, 8, 0x1122334455667788ULL);
+  EXPECT_EQ(Mem.peek(0x1234, 8), 0x1122334455667788ULL);
+  EXPECT_EQ(Mem.peek(0x1234, 4), 0x55667788u); // little endian
+  EXPECT_EQ(Mem.peek(0x1238, 4), 0x11223344u);
+  EXPECT_EQ(Mem.peek(0x9999, 8), 0u); // untouched memory reads zero
+}
+
+TEST(MemoryImage, CrossPageAccess) {
+  MemoryImage Mem;
+  uint64_t Addr = MemoryImage::PageBytes - 3;
+  Mem.poke(Addr, 8, 0xa1b2c3d4e5f60718ULL);
+  EXPECT_EQ(Mem.peek(Addr, 8), 0xa1b2c3d4e5f60718ULL);
+  EXPECT_EQ(Mem.numPages(), 2u);
+}
+
+TEST(MemoryImage, PokeBytes) {
+  MemoryImage Mem;
+  uint8_t Data[] = {1, 2, 3, 4};
+  Mem.pokeBytes(0x500, Data, 4);
+  EXPECT_EQ(Mem.peek(0x500, 4), 0x04030201u);
+}
+
+TEST(Machine, InstAccountingAndICache) {
+  Machine M;
+  M.beginInst(0x1000);
+  EXPECT_EQ(M.counters().total(Event::Insts), 1u);
+  EXPECT_EQ(M.counters().total(Event::ICacheMiss), 1u);
+  // Same line: no new I-miss.
+  M.beginInst(0x1004);
+  EXPECT_EQ(M.counters().total(Event::ICacheMiss), 1u);
+  EXPECT_EQ(M.counters().total(Event::Insts), 2u);
+}
+
+TEST(Machine, LoadMissPenaltyAddsCycles) {
+  Machine M;
+  uint64_t Before = M.now();
+  M.load(0x8000, 8); // cold miss
+  uint64_t Penalty = M.cost().DCacheMissPenalty;
+  EXPECT_EQ(M.now(), Before + Penalty);
+  EXPECT_EQ(M.counters().total(Event::DCacheReadMiss), 1u);
+  M.load(0x8000, 8); // hit: no cycles (loads pipeline)
+  EXPECT_EQ(M.counters().total(Event::DCacheReadMiss), 1u);
+}
+
+TEST(Machine, StoreBufferStallsUnderBursts) {
+  Machine M;
+  // Repeated stores to one line with no intervening cycles eventually
+  // exceed the buffer's drain rate.
+  M.store(0x8000, 8, 1);
+  for (int Round = 0; Round != 64; ++Round)
+    M.store(0x8000, 8, Round);
+  EXPECT_GT(M.counters().total(Event::StoreBufferStall), 0u);
+}
+
+TEST(Machine, TouchDataPerturbsTheCache) {
+  Machine M;
+  M.load(0x8000, 8); // warm the line
+  EXPECT_EQ(M.counters().total(Event::DCacheReadMiss), 1u);
+  // A charge-only touch to the conflicting address evicts it.
+  M.touchData(0x8000 + 16 * 1024, 8, false);
+  M.load(0x8000, 8);
+  EXPECT_EQ(M.counters().total(Event::DCacheReadMiss), 3u);
+}
+
+TEST(Machine, MispredictStallsAccrue) {
+  Machine M;
+  uint64_t Before = M.counters().total(Event::MispredictStall);
+  for (int Round = 0; Round != 10; ++Round)
+    M.condBranch(0x1000, Round % 2 == 0);
+  EXPECT_GT(M.counters().total(Event::MispredictStall), Before);
+}

@@ -1,0 +1,218 @@
+//===- tests/InstrumenterTest.cpp - instrumentation mechanics ------------------===//
+//
+// White-box tests of the EEL-role editor: where probes land, critical-edge
+// splitting, table allocation, the PIC save/zero/read protocol, and the
+// instruction-count claims the paper makes about the commit sequence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "prof/Instrumenter.h"
+#include "prof/Session.h"
+#include "workloads/Examples.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+using namespace pp::ir;
+using prof::Mode;
+
+namespace {
+
+unsigned countOps(const Function &F, Opcode Op) {
+  unsigned Count = 0;
+  for (const auto &BB : F.blocks())
+    for (const Inst &I : BB->insts())
+      Count += I.Op == Op;
+  return Count;
+}
+
+prof::ProfileConfig config(Mode M) {
+  prof::ProfileConfig Config;
+  Config.M = M;
+  return Config;
+}
+
+} // namespace
+
+TEST(Instrumenter, FlowAddsTableAndRegisters) {
+  auto M = workloads::buildFig1Module();
+  size_t GlobalsBefore = M->numGlobals();
+  unsigned RegsBefore = M->findFunction("fig1")->numRegs();
+
+  prof::Instrumented Instr = prof::instrument(*M, config(Mode::Flow));
+  // One counter table per instrumented function with a path profile.
+  EXPECT_EQ(Instr.M->numGlobals(), GlobalsBefore + 2); // fig1 + main
+  const ir::Global *Table = Instr.M->findGlobal("__pp.paths.fig1");
+  ASSERT_NE(Table, nullptr);
+  EXPECT_EQ(Table->Size, 6u * 8u); // 6 paths, 8-byte frequency cells
+  // Fresh registers were allocated (path register + scratch).
+  EXPECT_GT(Instr.M->findFunction("fig1")->numRegs(), RegsBefore + 4);
+  // The original module is untouched.
+  EXPECT_EQ(M->numGlobals(), GlobalsBefore);
+  EXPECT_EQ(M->findFunction("fig1")->numRegs(), RegsBefore);
+}
+
+TEST(Instrumenter, FlowHwUsesWiderCells) {
+  auto M = workloads::buildFig1Module();
+  prof::Instrumented Instr = prof::instrument(*M, config(Mode::FlowHw));
+  const ir::Global *Table = Instr.M->findGlobal("__pp.paths.fig1");
+  ASSERT_NE(Table, nullptr);
+  EXPECT_EQ(Table->Size, 6u * 24u); // freq + two metric accumulators
+}
+
+TEST(Instrumenter, CriticalEdgesGetSplitBlocks) {
+  // fig1's A->C edge is critical (A has 2 succs, C has 2 preds) and
+  // carries value 0; A->B carries 2. B->D carries 2 and is critical.
+  auto M = workloads::buildFig1Module();
+  size_t BlocksBefore = M->findFunction("fig1")->numBlocks();
+  prof::Instrumented Instr = prof::instrument(*M, config(Mode::Flow));
+  const Function &F = *Instr.M->findFunction("fig1");
+  EXPECT_GT(F.numBlocks(), BlocksBefore) << "splits must add blocks";
+  // Split blocks end in an unconditional branch and contain the increment.
+  bool FoundSplit = false;
+  for (const auto &BB : F.blocks()) {
+    if (BB->name().find(".split") == std::string::npos)
+      continue;
+    FoundSplit = true;
+    EXPECT_EQ(BB->terminator().Op, Opcode::Br);
+    EXPECT_GE(BB->insts().size(), 2u);
+  }
+  EXPECT_TRUE(FoundSplit);
+}
+
+TEST(Instrumenter, FlowHwCommitIsThirteenInstructions) {
+  // §3.1: "our instrumentation requires thirteen or more instructions to
+  // increment two accumulators and a frequency metric for a path."
+  auto M = workloads::buildFig4Module(); // straight-line C: one commit
+  prof::Instrumented Instr = prof::instrument(*M, config(Mode::FlowHw));
+  const Function &C = *Instr.M->findFunction("C");
+  // Entry: rdpic save + mov r,0 + wrpic + rdpic = 4; body original 2;
+  // commit 13; restore wrpic + rdpic = 2; ret.
+  unsigned Total = 0;
+  for (const auto &BB : C.blocks())
+    Total += BB->insts().size();
+  EXPECT_GE(Total, 2u + 4u + 13u + 2u + 1u);
+  // save, forced read after zero, commit read, forced read after restore.
+  EXPECT_EQ(countOps(C, Opcode::RdPic), 4u);
+  EXPECT_EQ(countOps(C, Opcode::WrPic), 2u); // zero, restore
+}
+
+TEST(Instrumenter, ContextInsertsTheCctProtocolOps) {
+  auto M = workloads::buildFig4Module();
+  prof::Instrumented Instr = prof::instrument(*M, config(Mode::Context));
+  const Function &MProc = *Instr.M->findFunction("M");
+  EXPECT_EQ(countOps(MProc, Opcode::CctEnter), 1u);
+  EXPECT_EQ(countOps(MProc, Opcode::CctExit), 1u);
+  EXPECT_EQ(countOps(MProc, Opcode::CctCall), 2u); // calls A and D
+  // cct.call must immediately precede its call.
+  for (const auto &BB : MProc.blocks()) {
+    const auto &Insts = BB->insts();
+    for (size_t Index = 0; Index != Insts.size(); ++Index)
+      if (Insts[Index].Op == Opcode::CctCall) {
+        ASSERT_LT(Index + 1, Insts.size());
+        EXPECT_TRUE(isCall(Insts[Index + 1].Op));
+      }
+  }
+  // Site indices are dense and in order.
+  std::vector<int64_t> Sites;
+  for (const auto &BB : MProc.blocks())
+    for (const Inst &I : BB->insts())
+      if (I.Op == Opcode::CctCall)
+        Sites.push_back(I.Imm);
+  EXPECT_EQ(Sites, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(Instrumenter, ContextHwProbesEntryBackedgesAndExit) {
+  auto M = workloads::buildLoopModule(5);
+  prof::Instrumented Instr = prof::instrument(*M, config(Mode::ContextHw));
+  const Function &Main = *Instr.M->main();
+  // Probe kinds: one entry (0), one per back edge (1), one per ret (2).
+  int Entry = 0, Loop = 0, Exit = 0;
+  for (const auto &BB : Main.blocks())
+    for (const Inst &I : BB->insts())
+      if (I.Op == Opcode::CctHwProbe) {
+        if (I.Imm == 0)
+          ++Entry;
+        else if (I.Imm == 1)
+          ++Loop;
+        else
+          ++Exit;
+      }
+  EXPECT_EQ(Entry, 1);
+  EXPECT_EQ(Loop, 1);
+  EXPECT_EQ(Exit, 1);
+}
+
+TEST(Instrumenter, EdgeModeAllocatesChordSlots) {
+  auto M = workloads::buildLoopModule(5);
+  prof::Instrumented Instr = prof::instrument(*M, config(Mode::Edge));
+  const prof::FunctionInstrInfo &Info =
+      Instr.Functions[Instr.M->main()->id()];
+  cfg::Cfg G(*M->main());
+  // A spanning tree over V nodes uses V-1 edges; the rest are chords.
+  unsigned Reachable = 0;
+  for (unsigned Node = 0; Node != G.numNodes(); ++Node)
+    Reachable += G.isReachable(Node);
+  EXPECT_EQ(Info.ChordEdges.size(), G.numEdges() - (Reachable - 1));
+  const ir::Global *Table = Instr.M->findGlobal("__pp.edges.main");
+  ASSERT_NE(Table, nullptr);
+  EXPECT_EQ(Table->Size, (Info.ChordEdges.size() + 1) * 8);
+}
+
+TEST(Instrumenter, SkipsFunctionsByPredicate) {
+  auto M = workloads::buildFig4Module();
+  prof::ProfileConfig Config = config(Mode::Flow);
+  Config.ShouldInstrument = [](const Function &F) {
+    return F.name() == "C";
+  };
+  prof::Instrumented Instr = prof::instrument(*M, Config);
+  EXPECT_TRUE(Instr.M->findFunction("C")->isInstrumented());
+  EXPECT_FALSE(Instr.M->findFunction("M")->isInstrumented());
+  EXPECT_FALSE(Instr.Functions[M->findFunction("M")->id()].HasPathProfile);
+  EXPECT_TRUE(Instr.Functions[M->findFunction("C")->id()].HasPathProfile);
+}
+
+TEST(Instrumenter, ModeNoneIsIdentityPlusMetadata) {
+  auto M = workloads::buildFig1Module();
+  prof::Instrumented Instr = prof::instrument(*M, config(Mode::None));
+  EXPECT_EQ(ir::printModule(*Instr.M), ir::printModule(*M));
+  for (const prof::FunctionInstrInfo &Info : Instr.Functions) {
+    EXPECT_FALSE(Info.Instrumented);
+    EXPECT_NE(Info.F, nullptr);
+  }
+}
+
+TEST(Instrumenter, PathOverflowFallsBackGracefully) {
+  // 70 chained diamonds overflow the path count; instrumentation must
+  // still produce a runnable module without a path profile.
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("main", 0);
+  BasicBlock *Prev = F->addBlock("entry");
+  IRBuilder IRB(F, Prev);
+  Reg C = IRB.movImm(1);
+  for (int Step = 0; Step != 70; ++Step) {
+    BasicBlock *Left = F->addBlock("l" + std::to_string(Step));
+    BasicBlock *Right = F->addBlock("r" + std::to_string(Step));
+    BasicBlock *Join = F->addBlock("j" + std::to_string(Step));
+    IRB.setBlock(Prev);
+    IRB.condBr(C, Left, Right);
+    IRB.setBlock(Left);
+    IRB.br(Join);
+    IRB.setBlock(Right);
+    IRB.br(Join);
+    Prev = Join;
+  }
+  IRB.setBlock(Prev);
+  IRB.retImm(0);
+  M->setMain(F);
+
+  prof::SessionOptions Options;
+  Options.Config.M = Mode::Flow;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+  EXPECT_FALSE(Run.PathProfiles[F->id()].HasProfile);
+}

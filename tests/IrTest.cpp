@@ -1,0 +1,197 @@
+//===- tests/IrTest.cpp - IR construction, verifier, printer, clone ----------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+using namespace pp::ir;
+
+namespace {
+
+std::unique_ptr<Module> makeDiamond() {
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("main", 0);
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Left = F->addBlock("left");
+  BasicBlock *Right = F->addBlock("right");
+  BasicBlock *Join = F->addBlock("join");
+  IRBuilder IRB(F, Entry);
+  Reg C = IRB.movImm(1);
+  IRB.condBr(C, Left, Right);
+  IRB.setBlock(Left);
+  IRB.br(Join);
+  IRB.setBlock(Right);
+  IRB.br(Join);
+  IRB.setBlock(Join);
+  IRB.retImm(0);
+  M->setMain(F);
+  return M;
+}
+
+} // namespace
+
+TEST(Ir, BuilderProducesVerifiableModule) {
+  auto M = makeDiamond();
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(*M, Errors)) << Errors.front();
+}
+
+TEST(Ir, SuccessorOrderIsCanonical) {
+  auto M = makeDiamond();
+  BasicBlock *Entry = M->main()->entry();
+  ASSERT_EQ(Entry->numSuccessors(), 2u);
+  EXPECT_EQ(Entry->successor(0)->name(), "left");  // taken edge first
+  EXPECT_EQ(Entry->successor(1)->name(), "right");
+  EXPECT_EQ(M->main()->block(1)->numSuccessors(), 1u);
+  EXPECT_EQ(M->main()->block(3)->numSuccessors(), 0u);
+}
+
+TEST(Ir, SetSuccessorRedirects) {
+  auto M = makeDiamond();
+  Function *F = M->main();
+  BasicBlock *NewBlock = F->addBlock("interposed");
+  IRBuilder IRB(F, NewBlock);
+  IRB.br(F->block(3));
+  F->entry()->setSuccessor(0, NewBlock);
+  EXPECT_EQ(F->entry()->successor(0), NewBlock);
+}
+
+TEST(Ir, VerifierCatchesMissingTerminator) {
+  Module M;
+  Function *F = M.addFunction("main", 0);
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder IRB(F, Entry);
+  IRB.movImm(1); // no terminator
+  M.setMain(F);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+  EXPECT_NE(Errors.front().find("terminator"), std::string::npos);
+}
+
+TEST(Ir, VerifierCatchesCrossFunctionBranch) {
+  Module M;
+  Function *F = M.addFunction("main", 0);
+  Function *G = M.addFunction("other", 0);
+  BasicBlock *GEntry = G->addBlock("gentry");
+  IRBuilder GB(G, GEntry);
+  GB.retImm(0);
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder IRB(F, Entry);
+  IRB.br(GEntry); // branch into another function
+  M.setMain(F);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+}
+
+TEST(Ir, VerifierCatchesArityMismatch) {
+  Module M;
+  Function *Callee = M.addFunction("callee", 2);
+  IRBuilder CB(Callee, Callee->addBlock("entry"));
+  CB.retImm(0);
+  Function *F = M.addFunction("main", 0);
+  IRBuilder IRB(F, F->addBlock("entry"));
+  Inst BadCall;
+  BadCall.Op = Opcode::Call;
+  BadCall.Callee = Callee;
+  BadCall.Dst = F->freshReg();
+  BadCall.Args = {}; // expects 2
+  IRB.append(BadCall);
+  IRB.retImm(0);
+  M.setMain(F);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+}
+
+TEST(Ir, VerifierCatchesRegisterOutOfRange) {
+  Module M;
+  Function *F = M.addFunction("main", 0);
+  IRBuilder IRB(F, F->addBlock("entry"));
+  Inst Bad;
+  Bad.Op = Opcode::Add;
+  Bad.Dst = F->freshReg();
+  Bad.A = 999; // out of range
+  Bad.BIsImm = true;
+  Bad.Imm = 1;
+  IRB.append(Bad);
+  IRB.retImm(0);
+  M.setMain(F);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+}
+
+TEST(Ir, GlobalsGetDistinctAlignedAddresses) {
+  Module M;
+  size_t A = M.addGlobal("a", 100);
+  size_t B = M.addGlobal("b", 8);
+  EXPECT_GE(M.global(A).Addr, layout::GlobalBase);
+  EXPECT_EQ(M.global(A).Addr % 16, 0u);
+  EXPECT_GE(M.global(B).Addr, M.global(A).Addr + 100);
+  EXPECT_EQ(M.global(B).Addr % 16, 0u);
+}
+
+TEST(Ir, CloneIsDeepAndRemapped) {
+  auto M = makeDiamond();
+  M->addGlobal("table", 64);
+  auto Clone = M->clone();
+
+  ASSERT_EQ(Clone->numFunctions(), M->numFunctions());
+  ASSERT_TRUE(Clone->main());
+  EXPECT_NE(Clone->main(), M->main());
+  EXPECT_EQ(Clone->main()->name(), "main");
+  EXPECT_EQ(Clone->numGlobals(), 1u);
+  EXPECT_EQ(Clone->global(0).Addr, M->global(0).Addr);
+
+  // Branch targets must point into the clone, not the original.
+  BasicBlock *CloneEntry = Clone->main()->entry();
+  EXPECT_EQ(CloneEntry->successor(0)->parent(), Clone->main());
+
+  // Mutating the clone leaves the original untouched.
+  Clone->main()->addBlock("extra");
+  EXPECT_EQ(M->main()->numBlocks(), 4u);
+  EXPECT_EQ(Clone->main()->numBlocks(), 5u);
+
+  // New globals in the clone do not collide with original addresses.
+  size_t NewIndex = Clone->addGlobal("after", 8);
+  EXPECT_GT(Clone->global(NewIndex).Addr, M->global(0).Addr);
+}
+
+TEST(Ir, PrinterMentionsStructure) {
+  auto M = makeDiamond();
+  std::string Text = printModule(*M);
+  EXPECT_NE(Text.find("func @main(0)"), std::string::npos);
+  EXPECT_NE(Text.find("entry:"), std::string::npos);
+  EXPECT_NE(Text.find("condbr"), std::string::npos);
+  EXPECT_NE(Text.find("@left"), std::string::npos);
+  EXPECT_NE(Text.find("main @main"), std::string::npos);
+}
+
+TEST(Ir, PrinterRendersCallsAndMemory) {
+  Module M;
+  Function *Callee = M.addFunction("f", 1);
+  IRBuilder CB(Callee, Callee->addBlock("entry"));
+  CB.retImm(0);
+  Function *F = M.addFunction("main", 0);
+  IRBuilder IRB(F, F->addBlock("entry"));
+  Reg X = IRB.movImm(7);
+  Reg Addr = IRB.movImm(0x1000);
+  IRB.store(Addr, 8, X);
+  Reg L = IRB.load(Addr, 8);
+  IRB.call(Callee, {L});
+  IRB.retImm(0);
+  M.setMain(F);
+  std::string Text = printFunction(*F);
+  EXPECT_NE(Text.find("store8 ["), std::string::npos);
+  EXPECT_NE(Text.find("load8 "), std::string::npos);
+  EXPECT_NE(Text.find("call "), std::string::npos);
+  EXPECT_NE(Text.find("@f ("), std::string::npos);
+}
+
+TEST(Ir, FunctionCodeSizeCounts) {
+  auto M = makeDiamond();
+  EXPECT_EQ(M->main()->numInsts(), M->numInsts());
+  EXPECT_EQ(M->main()->numInsts(), 5u); // mov, condbr, br, br, ret
+}

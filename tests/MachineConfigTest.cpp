@@ -1,0 +1,200 @@
+//===- tests/MachineConfigTest.cpp - cost model and cache geometry ------------===//
+//
+// The machine is configurable (cache geometry, penalties); these tests pin
+// the knobs' effects: different geometries change miss counts the way
+// cache theory says they should, and cost-model changes move cycles
+// without changing architectural results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "prof/Session.h"
+#include "workloads/Examples.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+
+namespace {
+
+prof::RunOutcome runWith(ir::Module &M, hw::MachineConfig Config) {
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::None;
+  Options.MachineCfg = Config;
+  return prof::runProfile(M, Options);
+}
+
+} // namespace
+
+TEST(MachineConfig, BiggerDCacheMissesLess) {
+  auto M = workloads::buildTurb3d(1); // 64 KB of strided data
+  hw::MachineConfig Small;
+  Small.DCache = hw::CacheConfig{16 * 1024, 32, 1};
+  hw::MachineConfig Big;
+  Big.DCache = hw::CacheConfig{128 * 1024, 32, 1};
+
+  prof::RunOutcome SmallRun = runWith(*M, Small);
+  prof::RunOutcome BigRun = runWith(*M, Big);
+  ASSERT_TRUE(SmallRun.Result.Ok && BigRun.Result.Ok);
+  uint64_t SmallMisses = SmallRun.total(hw::Event::DCacheReadMiss) +
+                         SmallRun.total(hw::Event::DCacheWriteMiss);
+  uint64_t BigMisses = BigRun.total(hw::Event::DCacheReadMiss) +
+                       BigRun.total(hw::Event::DCacheWriteMiss);
+  EXPECT_LT(BigMisses, SmallMisses / 2);
+  // Architectural results are identical.
+  EXPECT_EQ(SmallRun.Result.ExitValue, BigRun.Result.ExitValue);
+  EXPECT_EQ(SmallRun.Result.ExecutedInsts, BigRun.Result.ExecutedInsts);
+  EXPECT_EQ(SmallRun.total(hw::Event::Insts), BigRun.total(hw::Event::Insts));
+}
+
+TEST(MachineConfig, AssociativityCutsConflictMisses) {
+  // The cache_conflict scenario: two arrays one cache-size apart. Direct
+  // mapped ping-pongs; 2-way holds both.
+  auto M = std::make_unique<ir::Module>();
+  size_t A = M->addGlobal("a", 16 * 1024);
+  size_t B = M->addGlobal("b", 8 * 1024);
+  uint64_t AAddr = M->global(A).Addr;
+  uint64_t BAddr = M->global(B).Addr; // 16 KB after a
+  ir::Function *Main = M->addFunction("main", 0);
+  ir::IRBuilder IRB(Main, Main->addBlock("entry"));
+  ir::BasicBlock *Head = Main->addBlock("head");
+  ir::BasicBlock *Body = Main->addBlock("body");
+  ir::BasicBlock *Done = Main->addBlock("done");
+  ir::Reg I = IRB.movImm(0);
+  IRB.br(Head);
+  IRB.setBlock(Head);
+  ir::Reg More = IRB.cmpLtImm(I, 4000);
+  IRB.condBr(More, Body, Done);
+  IRB.setBlock(Body);
+  ir::Reg Slot = IRB.andImm(I, 255);
+  ir::Reg Off = IRB.shlImm(Slot, 3);
+  ir::Reg APtr = IRB.addImm(Off, static_cast<int64_t>(AAddr));
+  IRB.load(APtr, 0);
+  ir::Reg BPtr = IRB.addImm(Off, static_cast<int64_t>(BAddr));
+  IRB.load(BPtr, 0);
+  ir::Reg Next = IRB.addImm(I, 1);
+  IRB.movRegInto(I, Next);
+  IRB.br(Head);
+  IRB.setBlock(Done);
+  IRB.retImm(0);
+  M->setMain(Main);
+
+  hw::MachineConfig Direct;
+  Direct.DCache = hw::CacheConfig{16 * 1024, 32, 1};
+  hw::MachineConfig TwoWay;
+  TwoWay.DCache = hw::CacheConfig{16 * 1024, 32, 2};
+  prof::RunOutcome DirectRun = runWith(*M, Direct);
+  prof::RunOutcome TwoWayRun = runWith(*M, TwoWay);
+  uint64_t DirectMisses = DirectRun.total(hw::Event::DCacheReadMiss);
+  uint64_t TwoWayMisses = TwoWayRun.total(hw::Event::DCacheReadMiss);
+  EXPECT_GT(DirectMisses, 4000u) << "ping-pong every iteration";
+  EXPECT_LT(TwoWayMisses, 300u) << "both arrays fit with 2 ways";
+}
+
+TEST(MachineConfig, MissPenaltyScalesCycles) {
+  auto M = workloads::buildWave5(1); // miss heavy
+  hw::MachineConfig Cheap;
+  Cheap.Cost.DCacheMissPenalty = 1;
+  hw::MachineConfig Dear;
+  Dear.Cost.DCacheMissPenalty = 50;
+  prof::RunOutcome CheapRun = runWith(*M, Cheap);
+  prof::RunOutcome DearRun = runWith(*M, Dear);
+  EXPECT_GT(DearRun.total(hw::Event::Cycles),
+            CheapRun.total(hw::Event::Cycles));
+  // Miss *counts* must be invariant under penalty changes.
+  EXPECT_EQ(DearRun.total(hw::Event::DCacheReadMiss),
+            CheapRun.total(hw::Event::DCacheReadMiss));
+}
+
+TEST(MachineConfig, FpLatencyDrivesFpStalls) {
+  auto M = workloads::buildFpppp(1);
+  hw::MachineConfig Fast;
+  Fast.Cost.FpLatency = 1;
+  hw::MachineConfig Slow;
+  Slow.Cost.FpLatency = 8;
+  prof::RunOutcome FastRun = runWith(*M, Fast);
+  prof::RunOutcome SlowRun = runWith(*M, Slow);
+  EXPECT_GT(SlowRun.total(hw::Event::FpStall),
+            2 * FastRun.total(hw::Event::FpStall));
+}
+
+TEST(MachineConfig, ProfilesAreStableAcrossCostModels) {
+  // Path *frequencies* are architectural: changing the cost model must not
+  // change them (only the metrics measured in cycles).
+  auto M = workloads::buildLoopModule(500);
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::Flow;
+  prof::RunOutcome Normal = prof::runProfile(*M, Options);
+  Options.MachineCfg.Cost.DCacheMissPenalty = 100;
+  Options.MachineCfg.Cost.MispredictPenalty = 40;
+  prof::RunOutcome Expensive = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Normal.Result.Ok && Expensive.Result.Ok);
+  unsigned MainId = M->main()->id();
+  ASSERT_EQ(Normal.PathProfiles[MainId].Paths.size(),
+            Expensive.PathProfiles[MainId].Paths.size());
+  for (size_t Index = 0; Index != Normal.PathProfiles[MainId].Paths.size();
+       ++Index) {
+    EXPECT_EQ(Normal.PathProfiles[MainId].Paths[Index].PathSum,
+              Expensive.PathProfiles[MainId].Paths[Index].PathSum);
+    EXPECT_EQ(Normal.PathProfiles[MainId].Paths[Index].Freq,
+              Expensive.PathProfiles[MainId].Paths[Index].Freq);
+  }
+}
+
+TEST(Reorder, BlockReorderPreservesBehaviour) {
+  auto M = workloads::buildFig1Module();
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::None;
+  prof::RunOutcome Before = prof::runProfile(*M, Options);
+
+  // Reverse every function's non-entry blocks.
+  for (const auto &F : M->functions()) {
+    std::vector<ir::BasicBlock *> Order;
+    Order.push_back(F->entry());
+    for (size_t Index = F->numBlocks(); Index-- > 1;)
+      Order.push_back(F->block(Index));
+    F->reorderBlocks(Order);
+  }
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(ir::verifyModule(*M, Errors)) << Errors.front();
+
+  prof::RunOutcome After = prof::runProfile(*M, Options);
+  ASSERT_TRUE(After.Result.Ok) << After.Result.Error;
+  EXPECT_EQ(After.Result.ExitValue, Before.Result.ExitValue);
+  EXPECT_EQ(After.Result.ExecutedInsts, Before.Result.ExecutedInsts);
+}
+
+TEST(Reorder, IdsStayDenseAndOrdered) {
+  auto M = workloads::buildLoopModule(1);
+  ir::Function *F = M->main();
+  std::vector<ir::BasicBlock *> Order;
+  Order.push_back(F->entry());
+  for (size_t Index = F->numBlocks(); Index-- > 1;)
+    Order.push_back(F->block(Index));
+  F->reorderBlocks(Order);
+  for (unsigned Index = 0; Index != F->numBlocks(); ++Index)
+    EXPECT_EQ(F->block(Index)->id(), Index);
+  EXPECT_EQ(F->entry()->name(), "entry");
+}
+
+TEST(Reorder, PathProfilesStillMatchOracleAfterReorder) {
+  // Reordering renumbers blocks, so the numbering changes — but the
+  // instrumented profile must still agree with the oracle on the
+  // reordered module.
+  auto M = workloads::buildLoopModule(50);
+  ir::Function *F = M->main();
+  std::vector<ir::BasicBlock *> Order = {F->entry(), F->block(2),
+                                         F->block(1), F->block(3)};
+  F->reorderBlocks(Order);
+
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::Flow;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Run.Result.Ok);
+  uint64_t Total = 0;
+  for (const prof::PathEntry &Entry : Run.PathProfiles[F->id()].Paths)
+    Total += Entry.Freq;
+  EXPECT_EQ(Total, 51u); // 50 iterations + final exit
+}

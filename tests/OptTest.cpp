@@ -1,0 +1,84 @@
+//===- tests/OptTest.cpp - profile-guided layout pass --------------------------===//
+
+#include "opt/Layout.h"
+
+#include "ir/Verifier.h"
+#include "prof/Session.h"
+#include "workloads/Examples.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+using prof::Mode;
+
+namespace {
+
+prof::RunOutcome profileOf(ir::Module &M) {
+  prof::SessionOptions Options;
+  Options.Config.M = Mode::FlowHw;
+  return prof::runProfile(M, Options);
+}
+
+prof::RunOutcome baselineOf(ir::Module &M) {
+  prof::SessionOptions Options;
+  Options.Config.M = Mode::None;
+  return prof::runProfile(M, Options);
+}
+
+} // namespace
+
+TEST(OptLayout, PreservesBehaviourAcrossTheSuite) {
+  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+    auto M = Spec.Build(1);
+    prof::RunOutcome Before = baselineOf(*M);
+    prof::RunOutcome Profile = profileOf(*M);
+    ASSERT_TRUE(Profile.Result.Ok) << Spec.Name;
+
+    opt::LayoutResult Result = opt::layoutHotPathsFirst(*M, Profile);
+    std::vector<std::string> Errors;
+    ASSERT_TRUE(ir::verifyModule(*M, Errors)) << Spec.Name << ": "
+                                              << Errors.front();
+    prof::RunOutcome After = baselineOf(*M);
+    ASSERT_TRUE(After.Result.Ok) << Spec.Name;
+    EXPECT_EQ(After.Result.ExitValue, Before.Result.ExitValue) << Spec.Name;
+    EXPECT_EQ(After.Result.ExecutedInsts, Before.Result.ExecutedInsts)
+        << Spec.Name;
+    EXPECT_GT(Result.FunctionsConsidered, 0u) << Spec.Name;
+  }
+}
+
+TEST(OptLayout, IsIdempotent) {
+  auto M = workloads::buildWorkload("129.compress", 1);
+  prof::RunOutcome Profile = profileOf(*M);
+  opt::layoutHotPathsFirst(*M, Profile);
+
+  // Re-profile the already-laid-out module: the hottest paths now lead,
+  // so a second pass must change nothing.
+  prof::RunOutcome Second = profileOf(*M);
+  opt::LayoutResult Again = opt::layoutHotPathsFirst(*M, Second);
+  EXPECT_EQ(Again.FunctionsReordered, 0u);
+}
+
+TEST(OptLayout, SingleFunctionReorderPutsHotPathAtFront) {
+  auto M = workloads::buildFig1Module();
+  prof::RunOutcome Profile = profileOf(*M);
+  ir::Function &Fig1 = *M->findFunction("fig1");
+  unsigned Fig1Id = Fig1.id();
+
+  // fig1's most frequent paths are ACDF/ACDEF (selectors land on C twice
+  // as often); after layout the C block must come right after A.
+  bool Changed = opt::layoutHotPathFirst(Fig1, Profile.PathProfiles[Fig1Id]);
+  EXPECT_TRUE(Changed);
+  EXPECT_EQ(Fig1.entry()->name(), "A");
+  EXPECT_EQ(Fig1.block(1)->name(), "C");
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(ir::verifyModule(*M, Errors)) << Errors.front();
+}
+
+TEST(OptLayout, NoProfileMeansNoChange) {
+  auto M = workloads::buildFig1Module();
+  prof::FunctionPathProfile Empty;
+  EXPECT_FALSE(
+      opt::layoutHotPathFirst(*M->findFunction("fig1"), Empty));
+}

@@ -1,0 +1,264 @@
+//===- tests/PathNumberingTest.cpp - Ball-Larus numbering tests ---------------===//
+
+#include "bl/InstrumentationPlan.h"
+#include "bl/PathNumbering.h"
+#include "ir/IRBuilder.h"
+#include "support/Prng.h"
+#include "workloads/Examples.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace pp;
+using namespace pp::ir;
+
+namespace {
+
+/// Renders a regenerated path as block names, e.g. "ACDF".
+std::string pathString(const cfg::Cfg &G, const bl::RegeneratedPath &Path) {
+  std::string Out;
+  for (unsigned Node : Path.Nodes)
+    Out += G.block(Node)->name();
+  return Out;
+}
+
+} // namespace
+
+TEST(PathNumbering, Fig1SumsMatchThePaper) {
+  auto M = workloads::buildFig1Module();
+  cfg::Cfg G(*M->findFunction("fig1"));
+  bl::PathNumbering PN(G);
+
+  ASSERT_TRUE(PN.valid());
+  EXPECT_EQ(PN.numPaths(), 6u);
+
+  // Figure 1(b): the exact sum of every path.
+  std::map<std::string, uint64_t> Expected = {
+      {"ACDF", 0}, {"ACDEF", 1}, {"ABCDF", 2},
+      {"ABCDEF", 3}, {"ABDF", 4}, {"ABDEF", 5},
+  };
+  for (uint64_t Sum = 0; Sum != PN.numPaths(); ++Sum) {
+    bl::RegeneratedPath Path = PN.regenerate(Sum);
+    EXPECT_FALSE(Path.StartsAfterBackedge);
+    EXPECT_FALSE(Path.EndsWithBackedge);
+    std::string Name = pathString(G, Path);
+    ASSERT_TRUE(Expected.count(Name)) << "unexpected path " << Name;
+    EXPECT_EQ(Expected[Name], Sum) << "wrong sum for " << Name;
+  }
+}
+
+TEST(PathNumbering, Fig1NumPathsFromMatchesHandComputation) {
+  auto M = workloads::buildFig1Module();
+  const Function &F = *M->findFunction("fig1");
+  cfg::Cfg G(F);
+  bl::PathNumbering PN(G);
+  // NP: F=1, E=1, D=2, C=2, B=4, A=6 (blocks were created in order A..F).
+  EXPECT_EQ(PN.numPathsFrom(0), 6u); // A
+  EXPECT_EQ(PN.numPathsFrom(1), 4u); // B
+  EXPECT_EQ(PN.numPathsFrom(2), 2u); // C
+  EXPECT_EQ(PN.numPathsFrom(3), 2u); // D
+  EXPECT_EQ(PN.numPathsFrom(4), 1u); // E
+  EXPECT_EQ(PN.numPathsFrom(5), 1u); // F
+  EXPECT_EQ(PN.numPathsFrom(G.exitNode()), 1u);
+}
+
+TEST(PathNumbering, LoopHasTheFourPathCategories) {
+  auto M = workloads::buildLoopModule(10);
+  cfg::Cfg G(*M->main());
+  bl::PathNumbering PN(G);
+  ASSERT_TRUE(PN.valid());
+  // entry->head->body (ends with back edge), entry->head->done,
+  // head->body after back edge (ends with back edge), head->done after
+  // back edge: exactly the paper's four categories.
+  EXPECT_EQ(PN.numPaths(), 4u);
+
+  int StartsAfter = 0, EndsWith = 0, Plain = 0, Full = 0;
+  for (uint64_t Sum = 0; Sum != 4; ++Sum) {
+    bl::RegeneratedPath Path = PN.regenerate(Sum);
+    if (Path.StartsAfterBackedge && Path.EndsWithBackedge)
+      ++Full;
+    else if (Path.StartsAfterBackedge)
+      ++StartsAfter;
+    else if (Path.EndsWithBackedge)
+      ++EndsWith;
+    else
+      ++Plain;
+  }
+  EXPECT_EQ(Plain, 1);      // ENTRY to EXIT, no back edge
+  EXPECT_EQ(EndsWith, 1);   // ENTRY to back edge
+  EXPECT_EQ(Full, 1);       // back edge to back edge
+  EXPECT_EQ(StartsAfter, 1); // back edge to EXIT
+}
+
+TEST(PathNumbering, LoopBackedgeValues) {
+  auto M = workloads::buildLoopModule(10);
+  cfg::Cfg G(*M->main());
+  bl::PathNumbering PN(G);
+  unsigned Backedge = ~0u;
+  for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId)
+    if (G.isBackedge(EdgeId))
+      Backedge = EdgeId;
+  ASSERT_NE(Backedge, ~0u);
+  uint64_t End = PN.backedgeEndValue(Backedge);
+  uint64_t Start = PN.backedgeStartValue(Backedge);
+  // Committing r+End and restarting at Start must stay within range and
+  // regenerate paths with the right flags.
+  EXPECT_LT(Start, PN.numPaths());
+  bl::RegeneratedPath Restarted = PN.regenerate(Start);
+  EXPECT_TRUE(Restarted.StartsAfterBackedge);
+  bl::RegeneratedPath Ending = PN.regenerate(End);
+  EXPECT_TRUE(Ending.EndsWithBackedge);
+}
+
+TEST(PathNumbering, PlanFoldsExitValuesAndSeparatesBackedges) {
+  auto M = workloads::buildLoopModule(10);
+  cfg::Cfg G(*M->main());
+  bl::PathNumbering PN(G);
+  bl::PlanOptions Options;
+  bl::PathPlan Plan = bl::buildPathPlan(PN, Options);
+  ASSERT_TRUE(Plan.Valid);
+  EXPECT_EQ(Plan.NumPaths, 4u);
+  EXPECT_FALSE(Plan.UseHashTable);
+  EXPECT_EQ(Plan.Backedges.size(), 1u);
+  EXPECT_EQ(Plan.ExitCommits.size(), 1u);
+  // No increment may target a back edge.
+  for (const bl::EdgeIncrement &Incr : Plan.Increments)
+    EXPECT_FALSE(G.isBackedge(Incr.CfgEdgeId));
+}
+
+TEST(PathNumbering, HashThresholdSelectsHashTables) {
+  auto M = workloads::buildFig1Module();
+  cfg::Cfg G(*M->findFunction("fig1"));
+  bl::PathNumbering PN(G);
+  bl::PlanOptions Options;
+  Options.ArrayThreshold = 4; // force hashing (6 paths > 4)
+  bl::PathPlan Plan = bl::buildPathPlan(PN, Options);
+  EXPECT_TRUE(Plan.UseHashTable);
+}
+
+TEST(PathNumbering, OverflowDetected) {
+  // A long chain of diamonds doubles the path count each step; 70 of them
+  // exceed 2^62.
+  Module M;
+  Function *F = M.addFunction("main", 0);
+  BasicBlock *Prev = F->addBlock("entry");
+  IRBuilder IRB(F, Prev);
+  Reg C = IRB.movImm(1);
+  for (int Step = 0; Step != 70; ++Step) {
+    BasicBlock *Left = F->addBlock("l" + std::to_string(Step));
+    BasicBlock *Right = F->addBlock("r" + std::to_string(Step));
+    BasicBlock *Join = F->addBlock("j" + std::to_string(Step));
+    IRB.setBlock(Prev);
+    IRB.condBr(C, Left, Right);
+    IRB.setBlock(Left);
+    IRB.br(Join);
+    IRB.setBlock(Right);
+    IRB.br(Join);
+    Prev = Join;
+  }
+  IRB.setBlock(Prev);
+  IRB.retImm(0);
+  M.setMain(F);
+
+  cfg::Cfg G(*F);
+  bl::PathNumbering PN(G);
+  EXPECT_FALSE(PN.valid());
+  bl::PathPlan Plan = bl::buildPathPlan(PN, bl::PlanOptions());
+  EXPECT_FALSE(Plan.Valid);
+}
+
+// --- Property tests over random CFGs -----------------------------------------
+
+namespace {
+
+/// Builds a random function: every block ends in ret / br / condbr with
+/// random targets, giving a mix of DAGs, nested and irreducible loops.
+std::unique_ptr<Module> makeRandomCfg(uint64_t Seed, unsigned NumBlocks) {
+  Prng R(Seed);
+  auto M = std::make_unique<Module>();
+  Function *F = M->addFunction("main", 0);
+  std::vector<BasicBlock *> Blocks;
+  for (unsigned Index = 0; Index != NumBlocks; ++Index)
+    Blocks.push_back(F->addBlock("b" + std::to_string(Index)));
+  IRBuilder IRB(F);
+  for (unsigned Index = 0; Index != NumBlocks; ++Index) {
+    IRB.setBlock(Blocks[Index]);
+    uint64_t Kind = R.nextBelow(10);
+    if (Kind < 2 || NumBlocks == 1) {
+      IRB.retImm(0);
+      continue;
+    }
+    Reg C = IRB.movImm(static_cast<int64_t>(R.nextBelow(2)));
+    if (Kind < 5) {
+      IRB.br(Blocks[R.nextBelow(NumBlocks)]);
+    } else {
+      BasicBlock *T1 = Blocks[R.nextBelow(NumBlocks)];
+      BasicBlock *T2 = Blocks[R.nextBelow(NumBlocks)];
+      IRB.condBr(C, T1, T2);
+    }
+  }
+  M->setMain(F);
+  return M;
+}
+
+/// Enumerates every ENTRY->EXIT path of the transformed graph and its sum.
+void enumerateSums(const bl::PathNumbering &PN, unsigned Node, uint64_t Sum,
+                   std::multiset<uint64_t> &Sums, size_t Cap) {
+  const cfg::Cfg &G = PN.graph();
+  if (Sums.size() >= Cap)
+    return;
+  if (Node == G.exitNode()) {
+    Sums.insert(Sum);
+    return;
+  }
+  for (unsigned Index : PN.transformedOutEdges(Node)) {
+    const bl::TEdge &E = PN.transformedEdges()[Index];
+    enumerateSums(PN, E.To, Sum + E.Val, Sums, Cap);
+  }
+}
+
+class RandomCfgPathTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(RandomCfgPathTest, SumsAreCompactAndUnique) {
+  auto M = makeRandomCfg(GetParam(), 3 + GetParam() % 9);
+  cfg::Cfg G(*M->main());
+  bl::PathNumbering PN(G);
+  ASSERT_TRUE(PN.valid());
+  if (PN.numPaths() > 5000)
+    GTEST_SKIP() << "too many paths for exhaustive enumeration";
+
+  // Exhaustive enumeration of the transformed graph must produce every sum
+  // in [0, numPaths()) exactly once.
+  std::multiset<uint64_t> Sums;
+  enumerateSums(PN, G.entryNode(), 0, Sums, 100000);
+  ASSERT_EQ(Sums.size(), PN.numPaths());
+  uint64_t ExpectedSum = 0;
+  for (uint64_t Sum : Sums)
+    EXPECT_EQ(Sum, ExpectedSum++);
+}
+
+TEST_P(RandomCfgPathTest, RegenerationIsInjective) {
+  auto M = makeRandomCfg(GetParam() * 31 + 7, 4 + GetParam() % 8);
+  cfg::Cfg G(*M->main());
+  bl::PathNumbering PN(G);
+  ASSERT_TRUE(PN.valid());
+  uint64_t Limit = std::min<uint64_t>(PN.numPaths(), 2000);
+  std::set<std::string> Seen;
+  for (uint64_t Sum = 0; Sum != Limit; ++Sum) {
+    bl::RegeneratedPath Path = PN.regenerate(Sum);
+    ASSERT_FALSE(Path.Nodes.empty());
+    std::string Key = "S" + std::to_string(Path.EntryBackedge) + "E" +
+                      std::to_string(Path.ExitBackedge);
+    for (unsigned EdgeId : Path.Edges)
+      Key += "." + std::to_string(EdgeId);
+    EXPECT_TRUE(Seen.insert(Key).second)
+        << "duplicate path for sum " << Sum << ": " << Key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCfgPathTest,
+                         ::testing::Range<uint64_t>(0, 24));

@@ -1,0 +1,537 @@
+//===- tests/ProfTest.cpp - end-to-end instrumentation tests ------------------===//
+//
+// Integration tests: instrument a program, run it on the simulated machine,
+// and check the measured profiles against the oracle tracer run on the
+// pristine module — the instrumented program must report exactly the path,
+// edge, and context frequencies the program actually executed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "prof/Oracle.h"
+#include "prof/Runtime.h"
+#include "prof/Session.h"
+#include "support/Prng.h"
+#include "workloads/Examples.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace pp;
+using namespace pp::ir;
+using prof::Mode;
+
+namespace {
+
+/// Runs the pristine module with the oracle tracer attached.
+struct OracleRun {
+  explicit OracleRun(ir::Module &M) : Oracle(M) {
+    hw::Machine Machine;
+    vm::Vm VM(M, Machine);
+    VM.setTracer(&Oracle);
+    Result = VM.run();
+  }
+  prof::OracleProfiler Oracle;
+  vm::RunResult Result;
+};
+
+prof::SessionOptions options(Mode M) {
+  prof::SessionOptions Options;
+  Options.Config.M = M;
+  return Options;
+}
+
+std::map<uint64_t, uint64_t>
+measuredFreqs(const prof::FunctionPathProfile &Profile) {
+  std::map<uint64_t, uint64_t> Out;
+  for (const prof::PathEntry &Entry : Profile.Paths)
+    Out[Entry.PathSum] = Entry.Freq;
+  return Out;
+}
+
+/// A random but always-terminating single-function program: every block
+/// decrements a fuel register and bails to the exit when it runs out, with
+/// array loads/stores sprinkled in for cache traffic.
+std::unique_ptr<ir::Module> makeRandomProgram(uint64_t Seed,
+                                              unsigned NumBlocks,
+                                              int64_t Fuel) {
+  Prng R(Seed);
+  auto M = std::make_unique<Module>();
+  size_t DataIndex = M->addGlobal("data", 64 * 1024);
+  uint64_t DataAddr = M->global(DataIndex).Addr;
+
+  Function *F = M->addFunction("main", 0);
+  BasicBlock *Entry = F->addBlock("entry");
+  std::vector<BasicBlock *> Blocks;
+  for (unsigned Index = 0; Index != NumBlocks; ++Index)
+    Blocks.push_back(F->addBlock("b" + std::to_string(Index)));
+  BasicBlock *Exit = F->addBlock("exit");
+
+  IRBuilder IRB(F, Entry);
+  Reg FuelReg = IRB.movImm(Fuel);
+  Reg Acc = IRB.movImm(0);
+  IRB.br(Blocks[0]);
+
+  for (unsigned Index = 0; Index != NumBlocks; ++Index) {
+    IRB.setBlock(Blocks[Index]);
+    // Some memory traffic.
+    if (R.nextBool(0.6)) {
+      Reg Slot = IRB.andImm(FuelReg, 8191);
+      Reg Offset = IRB.shlImm(Slot, 3);
+      Reg Addr = IRB.addImm(Offset, static_cast<int64_t>(DataAddr));
+      Reg Value = IRB.load(Addr, 0);
+      Reg Bumped = IRB.add(Value, FuelReg);
+      IRB.store(Addr, 0, Bumped);
+      Reg NewAcc = IRB.add(Acc, Bumped);
+      IRB.movRegInto(Acc, NewAcc);
+    }
+    Reg Next = IRB.subImm(FuelReg, 1);
+    IRB.movRegInto(FuelReg, Next);
+    Reg HasFuel = IRB.cmpLtImm(FuelReg, 0);
+    // HasFuel==1 means exhausted (fuel < 0).
+    BasicBlock *T1 = Blocks[R.nextBelow(NumBlocks)];
+    BasicBlock *T2 = Blocks[R.nextBelow(NumBlocks)];
+    BasicBlock *Continue = R.nextBool(0.5) ? T1 : T2;
+    IRB.condBr(HasFuel, Exit, Continue);
+  }
+  IRB.setBlock(Exit);
+  IRB.ret(Acc);
+  M->setMain(F);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+} // namespace
+
+TEST(Prof, InstrumentedModuleStaysWellFormed) {
+  auto M = workloads::buildFig1Module();
+  for (Mode Mo : {Mode::Edge, Mode::Flow, Mode::FlowHw, Mode::Context,
+                  Mode::ContextHw, Mode::ContextFlow, Mode::ContextFlowHw}) {
+    prof::Instrumented Instr = prof::instrument(*M, options(Mo).Config);
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyModule(*Instr.M, Errors))
+        << prof::modeName(Mo) << ": " << Errors.front();
+  }
+}
+
+TEST(Prof, InstrumentationPreservesProgramBehaviour) {
+  auto M = workloads::buildFig1Module();
+  prof::RunOutcome Base = prof::runProfile(*M, options(Mode::None));
+  ASSERT_TRUE(Base.Result.Ok);
+  for (Mode Mo : {Mode::Edge, Mode::Flow, Mode::FlowHw, Mode::Context,
+                  Mode::ContextHw, Mode::ContextFlow, Mode::ContextFlowHw}) {
+    prof::RunOutcome Run = prof::runProfile(*M, options(Mo));
+    ASSERT_TRUE(Run.Result.Ok) << prof::modeName(Mo) << ": "
+                               << Run.Result.Error;
+    EXPECT_EQ(Run.Result.ExitValue, Base.Result.ExitValue)
+        << prof::modeName(Mo);
+  }
+}
+
+TEST(Prof, Fig1PathFrequenciesExact) {
+  auto M = workloads::buildFig1Module();
+  prof::RunOutcome Run = prof::runProfile(*M, options(Mode::Flow));
+  ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+
+  unsigned Fig1Id = M->findFunction("fig1")->id();
+  const prof::FunctionPathProfile &Profile = Run.PathProfiles[Fig1Id];
+  ASSERT_TRUE(Profile.HasProfile);
+  EXPECT_EQ(Profile.NumPaths, 6u);
+
+  // Selectors 0..7: ACDF x2 (sum 0), ACDEF x2 (sum 1), and one each of
+  // sums 2..5.
+  std::map<uint64_t, uint64_t> Expected = {{0, 2}, {1, 2}, {2, 1},
+                                           {3, 1}, {4, 1}, {5, 1}};
+  EXPECT_EQ(measuredFreqs(Profile), Expected);
+}
+
+TEST(Prof, LoopPathFrequenciesExact) {
+  auto M = workloads::buildLoopModule(10);
+  prof::RunOutcome Run = prof::runProfile(*M, options(Mode::Flow));
+  ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+  const prof::FunctionPathProfile &Profile =
+      Run.PathProfiles[M->main()->id()];
+  ASSERT_TRUE(Profile.HasProfile);
+  // entry,head,body ends-with-backedge: once. head,body between backedges:
+  // 9 times. head,done after final backedge: once.
+  std::map<uint64_t, uint64_t> Freqs = measuredFreqs(Profile);
+  ASSERT_EQ(Freqs.size(), 3u);
+  uint64_t Total = 0;
+  for (const auto &[Sum, Freq] : Freqs)
+    Total += Freq;
+  EXPECT_EQ(Total, 11u);
+}
+
+TEST(Prof, FlowMatchesOracleOnRandomPrograms) {
+  for (uint64_t Seed = 0; Seed != 8; ++Seed) {
+    auto M = makeRandomProgram(Seed, 4 + Seed % 5, 300);
+    OracleRun Oracle(*M);
+    ASSERT_TRUE(Oracle.Result.Ok) << Oracle.Result.Error;
+
+    prof::RunOutcome Run = prof::runProfile(*M, options(Mode::Flow));
+    ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+    EXPECT_EQ(Run.Result.ExitValue, Oracle.Result.ExitValue);
+
+    unsigned MainId = M->main()->id();
+    ASSERT_TRUE(Run.PathProfiles[MainId].HasProfile);
+    std::map<uint64_t, uint64_t> Measured =
+        measuredFreqs(Run.PathProfiles[MainId]);
+    std::map<uint64_t, uint64_t> Expected(
+        Oracle.Oracle.pathFreqs(MainId).begin(),
+        Oracle.Oracle.pathFreqs(MainId).end());
+    EXPECT_EQ(Measured, Expected) << "seed " << Seed;
+  }
+}
+
+TEST(Prof, HashedTablesAgreeWithArrayTables) {
+  auto M = makeRandomProgram(3, 8, 500);
+  prof::SessionOptions ArrayOptions = options(Mode::Flow);
+  prof::RunOutcome ArrayRun = prof::runProfile(*M, ArrayOptions);
+  ASSERT_TRUE(ArrayRun.Result.Ok);
+
+  prof::SessionOptions HashOptions = options(Mode::Flow);
+  HashOptions.Config.Plan.ArrayThreshold = 1; // force hashing
+  prof::RunOutcome HashRun = prof::runProfile(*M, HashOptions);
+  ASSERT_TRUE(HashRun.Result.Ok) << HashRun.Result.Error;
+
+  unsigned MainId = M->main()->id();
+  EXPECT_TRUE(HashRun.PathProfiles[MainId].Hashed);
+  EXPECT_EQ(measuredFreqs(ArrayRun.PathProfiles[MainId]),
+            measuredFreqs(HashRun.PathProfiles[MainId]));
+}
+
+TEST(Prof, FlowHwMeasuresPlausibleMetrics) {
+  auto M = workloads::buildLoopModule(2000);
+  prof::RunOutcome Run = prof::runProfile(*M, options(Mode::FlowHw));
+  ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+  const prof::FunctionPathProfile &Profile =
+      Run.PathProfiles[M->main()->id()];
+  ASSERT_TRUE(Profile.HasProfile);
+
+  uint64_t PathInsts = 0, PathMisses = 0, Freq = 0;
+  for (const prof::PathEntry &Entry : Profile.Paths) {
+    EXPECT_GT(Entry.Metric0, 0u) << "every executed path runs instructions";
+    EXPECT_GE(Entry.Metric0, Entry.Freq)
+        << "at least one instruction per execution";
+    PathInsts += Entry.Metric0;
+    PathMisses += Entry.Metric1;
+    Freq += Entry.Freq;
+  }
+  EXPECT_EQ(Freq, 2001u);
+  // Path-attributed instructions cannot exceed the whole run's.
+  EXPECT_LE(PathInsts, Run.total(hw::Event::Insts));
+  EXPECT_GT(PathInsts, 2000u * 5);
+  // The loop walks an 8 KB array through a 16 KB cache: few misses after
+  // warmup, but the cold misses must be attributed to paths.
+  EXPECT_LE(PathMisses, Run.total(hw::Event::DCacheReadMiss));
+}
+
+TEST(Prof, FlowHwFrequenciesMatchFlow) {
+  auto M = makeRandomProgram(11, 6, 400);
+  prof::RunOutcome Flow = prof::runProfile(*M, options(Mode::Flow));
+  prof::RunOutcome FlowHw = prof::runProfile(*M, options(Mode::FlowHw));
+  ASSERT_TRUE(Flow.Result.Ok);
+  ASSERT_TRUE(FlowHw.Result.Ok);
+  unsigned MainId = M->main()->id();
+  EXPECT_EQ(measuredFreqs(Flow.PathProfiles[MainId]),
+            measuredFreqs(FlowHw.PathProfiles[MainId]));
+}
+
+TEST(Prof, InstrumentationCostsCycles) {
+  auto M = workloads::buildLoopModule(5000);
+  prof::RunOutcome Base = prof::runProfile(*M, options(Mode::None));
+  prof::RunOutcome Flow = prof::runProfile(*M, options(Mode::Flow));
+  prof::RunOutcome FlowHw = prof::runProfile(*M, options(Mode::FlowHw));
+  ASSERT_TRUE(Base.Result.Ok && Flow.Result.Ok && FlowHw.Result.Ok);
+  EXPECT_GT(Flow.total(hw::Event::Cycles), Base.total(hw::Event::Cycles));
+  EXPECT_GT(FlowHw.total(hw::Event::Cycles), Flow.total(hw::Event::Cycles))
+      << "hardware-metric instrumentation is strictly heavier";
+  EXPECT_GT(FlowHw.total(hw::Event::Insts), Base.total(hw::Event::Insts));
+}
+
+TEST(Prof, EdgeProfileMatchesOracle) {
+  for (uint64_t Seed : {1u, 5u, 9u}) {
+    auto M = makeRandomProgram(Seed, 5 + Seed % 4, 250);
+    OracleRun Oracle(*M);
+    ASSERT_TRUE(Oracle.Result.Ok);
+
+    prof::RunOutcome Run = prof::runProfile(*M, options(Mode::Edge));
+    ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+    unsigned MainId = M->main()->id();
+    const prof::EdgeProfile &Profile = Run.EdgeProfiles[MainId];
+    ASSERT_TRUE(Profile.HasProfile);
+    EXPECT_EQ(Profile.Invocations, 1u);
+    EXPECT_EQ(Profile.EdgeCounts, Oracle.Oracle.edgeCounts(MainId))
+        << "seed " << Seed;
+  }
+}
+
+TEST(Prof, EdgeProfilingIsCheaperThanPathProfiling) {
+  auto M = workloads::buildLoopModule(5000);
+  prof::RunOutcome Base = prof::runProfile(*M, options(Mode::None));
+  prof::RunOutcome Edge = prof::runProfile(*M, options(Mode::Edge));
+  prof::RunOutcome Flow = prof::runProfile(*M, options(Mode::Flow));
+  ASSERT_TRUE(Edge.Result.Ok && Flow.Result.Ok);
+  uint64_t BaseCycles = Base.total(hw::Event::Cycles);
+  uint64_t EdgeOver = Edge.total(hw::Event::Cycles) - BaseCycles;
+  uint64_t FlowOver = Flow.total(hw::Event::Cycles) - BaseCycles;
+  EXPECT_LE(EdgeOver, FlowOver)
+      << "chord counting must not cost more than path profiling";
+}
+
+TEST(Prof, ContextCountsMatchOracle) {
+  auto M = workloads::buildFig4Module();
+  OracleRun Oracle(*M);
+  ASSERT_TRUE(Oracle.Result.Ok);
+
+  prof::RunOutcome Run = prof::runProfile(*M, options(Mode::Context));
+  ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+  ASSERT_TRUE(Run.Tree);
+
+  // Records (minus root) must equal the DCT's distinct contexts: the
+  // program is recursion-free.
+  EXPECT_EQ(Run.Tree->numRecords() - 1,
+            Oracle.Oracle.dct().numDistinctContexts());
+
+  // Per-function invocation counts: sum of Metrics[0] over that function's
+  // records equals the oracle call count.
+  std::map<unsigned, uint64_t> PerFunc;
+  for (const auto &R : Run.Tree->records())
+    if (R->procId() != cct::RootProcId)
+      PerFunc[R->procId()] += R->Metrics[0];
+  for (size_t Id = 0; Id != M->numFunctions(); ++Id)
+    EXPECT_EQ(PerFunc[Id], Oracle.Oracle.callCount(Id))
+        << M->function(Id)->name();
+
+  // C must have exactly two records (the two contexts of Figure 4).
+  unsigned CId = M->findFunction("C")->id();
+  unsigned CRecords = 0;
+  for (const auto &R : Run.Tree->records())
+    if (R->procId() == CId)
+      ++CRecords;
+  EXPECT_EQ(CRecords, 2u);
+}
+
+TEST(Prof, RecursionBoundsTheTree) {
+  auto M = workloads::buildFig5Module();
+  prof::RunOutcome Run = prof::runProfile(*M, options(Mode::Context));
+  ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+  ASSERT_TRUE(Run.Tree);
+  // Depth 4 mutual recursion must still give one A and one B record below
+  // M: root, main, M, A, B = 5 records.
+  EXPECT_EQ(Run.Tree->numRecords(), 5u);
+  cct::CctStats Stats = Run.Tree->computeStats();
+  EXPECT_GE(Stats.BackedgeSlots, 1u);
+  // A ran 5 times (n = 4..0), B 4 times, all onto the same records.
+  unsigned AId = M->findFunction("A")->id();
+  unsigned BId = M->findFunction("B")->id();
+  for (const auto &R : Run.Tree->records()) {
+    if (R->procId() == AId) {
+      EXPECT_EQ(R->Metrics[0], 5u);
+    }
+    if (R->procId() == BId) {
+      EXPECT_EQ(R->Metrics[0], 4u);
+    }
+  }
+}
+
+TEST(Prof, UninstrumentedCalleesAttributeThroughGcsp) {
+  // Skip instrumentation of B: C must appear as a child of A's record (the
+  // gCSP set by A at its call to B survives through uninstrumented B).
+  auto M = workloads::buildFig4Module();
+  prof::SessionOptions Options = options(Mode::Context);
+  Options.Config.ShouldInstrument = [](const ir::Function &F) {
+    return F.name() != "B";
+  };
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+  ASSERT_TRUE(Run.Tree);
+
+  unsigned AId = M->findFunction("A")->id();
+  unsigned BId = M->findFunction("B")->id();
+  unsigned CId = M->findFunction("C")->id();
+  bool FoundCUnderA = false;
+  for (const auto &R : Run.Tree->records()) {
+    EXPECT_NE(R->procId(), BId) << "uninstrumented B must have no record";
+    if (R->procId() == CId && R->parent() &&
+        R->parent()->procId() == AId)
+      FoundCUnderA = true;
+  }
+  EXPECT_TRUE(FoundCUnderA);
+}
+
+TEST(Prof, ContextFlowPerRecordPathsSumToFlowProfile) {
+  auto M = workloads::buildFig1Module();
+  prof::RunOutcome Flow = prof::runProfile(*M, options(Mode::Flow));
+  prof::RunOutcome Combined = prof::runProfile(*M, options(Mode::ContextFlow));
+  ASSERT_TRUE(Flow.Result.Ok);
+  ASSERT_TRUE(Combined.Result.Ok) << Combined.Result.Error;
+  ASSERT_TRUE(Combined.Tree);
+
+  unsigned Fig1Id = M->findFunction("fig1")->id();
+  std::map<uint64_t, uint64_t> Summed;
+  for (const auto &R : Combined.Tree->records()) {
+    if (R->procId() != Fig1Id)
+      continue;
+    for (const auto &[Sum, Cell] : R->PathTable)
+      Summed[Sum] += Cell.Freq;
+  }
+  EXPECT_EQ(Summed, measuredFreqs(Flow.PathProfiles[Fig1Id]));
+}
+
+TEST(Prof, ContextFlowHwMeasuresPerContextPathMetrics) {
+  // The full combination: hardware metrics at (context, path) precision.
+  auto M = workloads::buildFig4Module();
+  prof::RunOutcome Plain = prof::runProfile(*M, options(Mode::ContextFlow));
+  prof::RunOutcome Full = prof::runProfile(*M, options(Mode::ContextFlowHw));
+  ASSERT_TRUE(Plain.Result.Ok && Full.Result.Ok) << Full.Result.Error;
+  ASSERT_TRUE(Full.Tree);
+
+  // Frequencies agree with the metric-free combined mode...
+  auto Freqs = [](const cct::CallingContextTree &Tree) {
+    std::map<std::pair<unsigned, uint64_t>, uint64_t> Out;
+    for (const auto &R : Tree.records())
+      for (const auto &[Sum, Cell] : R->PathTable)
+        Out[{R->procId(), Sum}] += Cell.Freq;
+    return Out;
+  };
+  EXPECT_EQ(Freqs(*Plain.Tree), Freqs(*Full.Tree));
+
+  // ...and every (context, path) cell carries instruction counts: at
+  // least one instruction per execution, and C's two contexts measure
+  // independently.
+  unsigned CId = M->findFunction("C")->id();
+  unsigned CellsWithMetrics = 0, CRecords = 0;
+  for (const auto &R : Full.Tree->records()) {
+    for (const auto &[Sum, Cell] : R->PathTable) {
+      EXPECT_GE(Cell.Metric0, Cell.Freq)
+          << "PIC0=Insts: every execution runs instructions";
+      ++CellsWithMetrics;
+    }
+    if (R->procId() == CId) {
+      ++CRecords;
+      ASSERT_EQ(R->PathTable.size(), 1u);
+      EXPECT_GT(R->PathTable.begin()->second.Metric0, 0u);
+    }
+  }
+  EXPECT_EQ(CRecords, 2u);
+  EXPECT_GT(CellsWithMetrics, 4u);
+  // ContextFlowHw costs more cycles than ContextFlow (the PIC traffic).
+  EXPECT_GT(Full.total(hw::Event::Cycles), Plain.total(hw::Event::Cycles));
+}
+
+TEST(Prof, ContextHwAccumulatesInclusiveMetrics) {
+  auto M = workloads::buildFig4Module();
+  prof::RunOutcome Run = prof::runProfile(*M, options(Mode::ContextHw));
+  ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+  ASSERT_TRUE(Run.Tree);
+  // Every record must have accumulated instructions (PIC0 = Insts), and a
+  // parent's inclusive count is at least each child's.
+  for (const auto &R : Run.Tree->records()) {
+    if (R->procId() == cct::RootProcId)
+      continue;
+    EXPECT_GT(R->Metrics[1], 0u);
+    if (R->parent() && R->parent()->procId() != cct::RootProcId) {
+      EXPECT_GE(R->parent()->Metrics[1], R->Metrics[1]);
+    }
+  }
+}
+
+TEST(Prof, LongjmpUnwindKeepsCctConsistent) {
+  // main -> hop -> deep(3) -> longjmp back to main's setjmp; then main
+  // calls leaf() normally. leaf must attach under main, not under any
+  // unwound frame.
+  auto M = std::make_unique<Module>();
+  Function *Leaf = M->addFunction("leaf", 0);
+  {
+    IRBuilder IRB(Leaf, Leaf->addBlock("entry"));
+    IRB.retImm(5);
+  }
+  Function *Deep = M->addFunction("deep", 1);
+  {
+    BasicBlock *Entry = Deep->addBlock("entry");
+    BasicBlock *Down = Deep->addBlock("down");
+    BasicBlock *Jump = Deep->addBlock("jump");
+    IRBuilder IRB(Deep, Entry);
+    Reg AtBottom = IRB.cmpLeImm(0, 0);
+    IRB.condBr(AtBottom, Jump, Down);
+    IRB.setBlock(Down);
+    Reg Next = IRB.subImm(0, 1);
+    IRB.call(Deep, {Next});
+    IRB.retImm(0);
+    IRB.setBlock(Jump);
+    Reg V = IRB.movImm(9);
+    IRB.longjmp(2, V);
+  }
+  Function *Hop = M->addFunction("hop", 0);
+  {
+    IRBuilder IRB(Hop, Hop->addBlock("entry"));
+    Reg N = IRB.movImm(3);
+    Reg R = IRB.call(Deep, {N});
+    IRB.ret(R);
+  }
+  Function *Main = M->addFunction("main", 0);
+  {
+    BasicBlock *Entry = Main->addBlock("entry");
+    BasicBlock *First = Main->addBlock("first");
+    BasicBlock *After = Main->addBlock("after");
+    IRBuilder IRB(Main, Entry);
+    Reg Jumped = IRB.setjmp(2);
+    Reg IsZero = IRB.cmpEqImm(Jumped, 0);
+    IRB.condBr(IsZero, First, After);
+    IRB.setBlock(First);
+    IRB.call(Hop, {});
+    IRB.retImm(0);
+    IRB.setBlock(After);
+    Reg FromLeaf = IRB.call(Leaf, {});
+    Reg Sum = IRB.add(Jumped, FromLeaf);
+    IRB.ret(Sum);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+
+  prof::RunOutcome Run = prof::runProfile(*M, options(Mode::Context));
+  ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+  EXPECT_EQ(Run.Result.ExitValue, 14u);
+  ASSERT_TRUE(Run.Tree);
+
+  unsigned LeafId = M->findFunction("leaf")->id();
+  unsigned MainId = Main->id();
+  bool LeafUnderMain = false;
+  for (const auto &R : Run.Tree->records())
+    if (R->procId() == LeafId && R->parent() &&
+        R->parent()->procId() == MainId)
+      LeafUnderMain = true;
+  EXPECT_TRUE(LeafUnderMain)
+      << "after the longjmp, leaf must attach under main";
+}
+
+TEST(Prof, PerProcedureAggregationShrinksTheTree) {
+  // A function called from two sites in the same caller: per-site CCTs
+  // give two records; per-procedure aggregation gives one.
+  auto M = std::make_unique<Module>();
+  Function *Callee = M->addFunction("callee", 0);
+  {
+    IRBuilder IRB(Callee, Callee->addBlock("entry"));
+    IRB.retImm(1);
+  }
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg A = IRB.call(Callee, {});
+    Reg B = IRB.call(Callee, {});
+    Reg Sum = IRB.add(A, B);
+    IRB.ret(Sum);
+  }
+  M->setMain(Main);
+
+  prof::RunOutcome PerSite = prof::runProfile(*M, options(Mode::Context));
+  prof::SessionOptions Aggregated = options(Mode::Context);
+  Aggregated.Config.DistinguishCallSites = false;
+  prof::RunOutcome PerProc = prof::runProfile(*M, Aggregated);
+  ASSERT_TRUE(PerSite.Result.Ok && PerProc.Result.Ok);
+  EXPECT_EQ(PerSite.Tree->numRecords(), 4u);  // root main callee callee'
+  EXPECT_EQ(PerProc.Tree->numRecords(), 3u);  // root main callee
+}

@@ -1,0 +1,109 @@
+//===- tests/SamplingTest.cpp - the §7.2 sampling baseline ---------------------===//
+
+#include "prof/SamplingProfiler.h"
+#include "prof/Session.h"
+#include "workloads/Examples.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+
+namespace {
+
+struct SampledRun {
+  vm::RunResult Result;
+  std::unique_ptr<prof::SamplingProfiler> Sampler;
+};
+
+SampledRun runSampled(ir::Module &M, uint64_t Interval) {
+  SampledRun Out;
+  hw::Machine Machine;
+  Out.Sampler = std::make_unique<prof::SamplingProfiler>(Machine, Interval);
+  vm::Vm VM(M, Machine);
+  VM.setTracer(Out.Sampler.get());
+  Out.Result = VM.run();
+  return Out;
+}
+
+} // namespace
+
+TEST(Sampling, SampleCountTracksRunLengthAndInterval) {
+  auto Short = workloads::buildLoopModule(1000);
+  auto Long = workloads::buildLoopModule(4000);
+  SampledRun ShortRun = runSampled(*Short, 500);
+  SampledRun LongRun = runSampled(*Long, 500);
+  ASSERT_TRUE(ShortRun.Result.Ok && LongRun.Result.Ok);
+  // The log is unbounded: it grows with execution length.
+  EXPECT_GT(LongRun.Sampler->numSamples(),
+            2 * ShortRun.Sampler->numSamples());
+
+  SampledRun Sparse = runSampled(*Long, 5000);
+  EXPECT_LT(Sparse.Sampler->numSamples(), LongRun.Sampler->numSamples());
+}
+
+TEST(Sampling, SamplesObserveRealContexts) {
+  auto M = workloads::buildFig4Module();
+  SampledRun Run = runSampled(*M, 5);
+  ASSERT_TRUE(Run.Result.Ok);
+  ASSERT_GT(Run.Sampler->numSamples(), 0u);
+
+  // Every sampled stack must be a prefix-consistent real context:
+  // main at the bottom, no empty frames.
+  unsigned MainId = M->findFunction("main")->id();
+  for (const std::vector<uint32_t> &Sample : Run.Sampler->samples()) {
+    if (Sample.empty())
+      continue; // interrupt before main entered
+    EXPECT_EQ(Sample.front(), MainId);
+    EXPECT_LE(Sample.size(), 5u); // main M A B C is the deepest chain
+  }
+}
+
+TEST(Sampling, DenseSamplingFindsAllContextsOfTinyProgram) {
+  auto M = workloads::buildFig4Module();
+  SampledRun Run = runSampled(*M, 1);
+  ASSERT_TRUE(Run.Result.Ok);
+
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::Context;
+  prof::RunOutcome Ctx = prof::runProfile(*M, Options);
+  // Sampling every cycle sees every context that is ever on the stack,
+  // minus the empty pre-main context.
+  EXPECT_GE(Run.Sampler->numDistinctContexts() + 1,
+            Ctx.Tree->numRecords() - 1);
+}
+
+TEST(Sampling, SparseSamplingMissesContextsTheCctKeeps) {
+  // The statistical failure the CCT avoids: rarely-active contexts fall
+  // between samples.
+  auto M = workloads::buildWorkload("130.li", 1);
+  SampledRun Run = runSampled(*M, 50000);
+  ASSERT_TRUE(Run.Result.Ok);
+
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::Context;
+  prof::RunOutcome Ctx = prof::runProfile(*M, Options);
+  size_t Total = Ctx.Tree->numRecords() - 1;
+  EXPECT_LT(Run.Sampler->numDistinctContexts(), Total)
+      << "sparse sampling should miss some contexts";
+}
+
+TEST(Sampling, LogGrowsWhileCctStaysBounded) {
+  // Double the run length: the sample log roughly doubles, the CCT does
+  // not grow at all (same program structure).
+  auto Small = workloads::buildWorkload("102.swim", 1);
+  auto Big = workloads::buildWorkload("102.swim", 2);
+
+  SampledRun SmallRun = runSampled(*Small, 2000);
+  SampledRun BigRun = runSampled(*Big, 2000);
+  ASSERT_TRUE(SmallRun.Result.Ok && BigRun.Result.Ok);
+  EXPECT_GT(BigRun.Sampler->logBytes(),
+            SmallRun.Sampler->logBytes() * 3 / 2);
+
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::Context;
+  prof::RunOutcome SmallCtx = prof::runProfile(*Small, Options);
+  prof::RunOutcome BigCtx = prof::runProfile(*Big, Options);
+  EXPECT_EQ(SmallCtx.Tree->numRecords(), BigCtx.Tree->numRecords());
+  EXPECT_EQ(SmallCtx.Tree->heapBytes(), BigCtx.Tree->heapBytes());
+}

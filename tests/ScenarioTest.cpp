@@ -1,0 +1,276 @@
+//===- tests/ScenarioTest.cpp - the examples' claims, pinned -------------------===//
+//
+// The three scenario examples make quantitative claims (conflict paths
+// dominate misses; call-count attribution inverts the truth; hot-path
+// layout slashes I-cache misses). These tests pin smaller versions of
+// each so the claims cannot silently rot.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bl/PathNumbering.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "opt/Layout.h"
+#include "prof/Session.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+using namespace pp::ir;
+
+TEST(Scenario, ConflictPathOwnsTheMisses) {
+  // Two arrays one cache-size apart; one path touches both (ping-pong),
+  // the other touches one. Flow profiling must attribute the conflict.
+  auto M = std::make_unique<Module>();
+  size_t A = M->addGlobal("a", 16 * 1024);
+  size_t B = M->addGlobal("b", 8 * 1024);
+  uint64_t AAddr = M->global(A).Addr;
+  uint64_t BAddr = M->global(B).Addr;
+
+  Function *Process = M->addFunction("process", 2);
+  {
+    BasicBlock *Entry = Process->addBlock("entry");
+    BasicBlock *Both = Process->addBlock("both");
+    BasicBlock *OnlyA = Process->addBlock("onlyA");
+    BasicBlock *Done = Process->addBlock("done");
+    IRBuilder IRB(Process, Entry);
+    // One cache line per slot, so consecutive calls (which alternate
+    // paths) touch different lines and only the conflict evicts.
+    Reg Slot = IRB.andImm(0, 255);
+    Reg Off = IRB.shlImm(Slot, 5);
+    Reg APtr = IRB.addImm(Off, static_cast<int64_t>(AAddr));
+    Reg AVal = IRB.load(APtr, 0);
+    Reg Out = Process->freshReg();
+    IRB.condBr(1, Both, OnlyA);
+    IRB.setBlock(OnlyA);
+    IRB.movRegInto(Out, AVal);
+    IRB.br(Done);
+    IRB.setBlock(Both);
+    Reg BPtr = IRB.addImm(Off, static_cast<int64_t>(BAddr));
+    Reg BVal = IRB.load(BPtr, 0);
+    Reg Sum = IRB.add(AVal, BVal);
+    IRB.movRegInto(Out, Sum);
+    IRB.br(Done);
+    IRB.setBlock(Done);
+    IRB.ret(Out);
+  }
+  Function *Main = M->addFunction("main", 0);
+  {
+    BasicBlock *Entry = Main->addBlock("entry");
+    BasicBlock *Head = Main->addBlock("head");
+    BasicBlock *Body = Main->addBlock("body");
+    BasicBlock *Done = Main->addBlock("done");
+    IRBuilder IRB(Main, Entry);
+    Reg I = IRB.movImm(0);
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg More = IRB.cmpLtImm(I, 4000);
+    IRB.condBr(More, Body, Done);
+    IRB.setBlock(Body);
+    Reg Mod = IRB.andImm(I, 1);
+    IRB.call(Process, {I, Mod});
+    Reg Next = IRB.addImm(I, 1);
+    IRB.movRegInto(I, Next);
+    IRB.br(Head);
+    IRB.setBlock(Done);
+    IRB.retImm(0);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::FlowHw;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Run.Result.Ok);
+
+  cfg::Cfg G(*M->function(Process->id()));
+  bl::PathNumbering PN(G);
+  double ConflictRate = 0, CleanRate = 0;
+  for (const prof::PathEntry &Entry :
+       Run.PathProfiles[Process->id()].Paths) {
+    bl::RegeneratedPath Path = PN.regenerate(Entry.PathSum);
+    bool IsBoth = false;
+    for (unsigned Node : Path.Nodes)
+      IsBoth |= G.block(Node)->name() == "both";
+    double Rate = double(Entry.Metric1) / double(Entry.Freq);
+    (IsBoth ? ConflictRate : CleanRate) = Rate;
+  }
+  EXPECT_GT(ConflictRate, 3 * CleanRate + 0.5)
+      << "the conflict path must miss far more per execution";
+}
+
+TEST(Scenario, CallCountAttributionInverts) {
+  // work(n) costs ~n; cheap caller makes 20x the calls with 1/100 the
+  // argument. The CCT's measured cycles must invert the call-count story.
+  auto M = std::make_unique<Module>();
+  Function *Work = M->addFunction("work", 1);
+  {
+    BasicBlock *Entry = Work->addBlock("entry");
+    BasicBlock *Head = Work->addBlock("head");
+    BasicBlock *Body = Work->addBlock("body");
+    BasicBlock *Done = Work->addBlock("done");
+    IRBuilder IRB(Work, Entry);
+    Reg Acc = IRB.movImm(0);
+    Reg I = IRB.movImm(0);
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg More = IRB.cmpLt(I, 0);
+    IRB.condBr(More, Body, Done);
+    IRB.setBlock(Body);
+    Reg T = IRB.addImm(Acc, 3);
+    IRB.movRegInto(Acc, T);
+    Reg Next = IRB.addImm(I, 1);
+    IRB.movRegInto(I, Next);
+    IRB.br(Head);
+    IRB.setBlock(Done);
+    IRB.ret(Acc);
+  }
+  auto MakeCaller = [&](const char *Name, int64_t Calls, int64_t Arg) {
+    Function *Caller = M->addFunction(Name, 0);
+    BasicBlock *Entry = Caller->addBlock("entry");
+    BasicBlock *Head = Caller->addBlock("head");
+    BasicBlock *Body = Caller->addBlock("body");
+    BasicBlock *Done = Caller->addBlock("done");
+    IRBuilder IRB(Caller, Entry);
+    Reg I = IRB.movImm(0);
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg More = IRB.cmpLtImm(I, Calls);
+    IRB.condBr(More, Body, Done);
+    IRB.setBlock(Body);
+    Reg N = IRB.movImm(Arg);
+    IRB.call(Work, {N});
+    Reg Next = IRB.addImm(I, 1);
+    IRB.movRegInto(I, Next);
+    IRB.br(Head);
+    IRB.setBlock(Done);
+    IRB.retImm(0);
+    return Caller;
+  };
+  Function *Cheap = MakeCaller("cheap", 400, 5);
+  Function *Expensive = MakeCaller("expensive", 20, 500);
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    IRB.call(Cheap, {});
+    IRB.call(Expensive, {});
+    IRB.retImm(0);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::ContextHw;
+  Options.Config.Pic0 = hw::Event::Cycles;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Run.Result.Ok);
+
+  uint64_t CheapCalls = 0, CheapCycles = 0, ExpCalls = 0, ExpCycles = 0;
+  for (const auto &R : Run.Tree->records()) {
+    if (R->procId() != Work->id() || !R->parent())
+      continue;
+    if (R->parent()->procId() == Cheap->id()) {
+      CheapCalls = R->Metrics[0];
+      CheapCycles = R->Metrics[1];
+    } else if (R->parent()->procId() == Expensive->id()) {
+      ExpCalls = R->Metrics[0];
+      ExpCycles = R->Metrics[1];
+    }
+  }
+  EXPECT_GT(CheapCalls, 10 * ExpCalls) << "call counts favour cheap";
+  EXPECT_GT(ExpCycles, 3 * CheapCycles) << "cycles favour expensive";
+}
+
+TEST(Scenario, HotPathLayoutCutsICacheMisses) {
+  // One function with the hot path interleaved between fat cold blocks,
+  // run alternately with a copy so the two overflow the I-cache together.
+  auto M = std::make_unique<Module>();
+  size_t DataIndex = M->addGlobal("data", 4096 * 8);
+  uint64_t Data = M->global(DataIndex).Addr;
+  // Mirrors examples/hot_path_optimizer.cpp: hot blocks (with a data
+  // load) interleaved with fat straight-line cold blocks.
+  auto MakeStage = [&](const char *Name, int Seed) {
+    Function *F = M->addFunction(Name, 1);
+    BasicBlock *Cursor = F->addBlock("entry");
+    IRBuilder IRB(F, Cursor);
+    Reg Value = 0;
+    Reg Acc = IRB.movImm(Seed);
+    for (int Stage = 0; Stage != 8; ++Stage) {
+      BasicBlock *Hot = F->addBlock("hot" + std::to_string(Stage));
+      BasicBlock *Cold = F->addBlock("cold" + std::to_string(Stage));
+      BasicBlock *Join = F->addBlock("join" + std::to_string(Stage));
+      IRB.setBlock(Cursor);
+      Reg Masked = IRB.andImm(Value, 1023);
+      Reg IsError = IRB.cmpEqImm(Masked, 999 - Stage);
+      IRB.condBr(IsError, Cold, Hot);
+      IRB.setBlock(Hot);
+      Reg Slot = IRB.andImm(Acc, 511);
+      Reg Offset = IRB.shlImm(Slot, 3);
+      Reg Addr = IRB.addImm(Offset, static_cast<int64_t>(Data));
+      Reg Loaded = IRB.load(Addr, 0);
+      Reg Mixed = IRB.add(Acc, Loaded);
+      Reg Rotated = IRB.mulImm(Mixed, 33);
+      Reg Clipped = IRB.andImm(Rotated, 0xfffff);
+      IRB.movRegInto(Acc, Clipped);
+      IRB.br(Join);
+      IRB.setBlock(Cold);
+      Reg C = IRB.movImm(Stage);
+      for (int Filler = 0; Filler != 220; ++Filler) {
+        Reg T = IRB.addImm(C, Filler);
+        C = IRB.xorImm(T, 0x5a5a);
+      }
+      IRB.movRegInto(Acc, C);
+      IRB.br(Join);
+      Cursor = Join;
+    }
+    IRB.setBlock(Cursor);
+    IRB.ret(Acc);
+    return F;
+  };
+  Function *StageA = MakeStage("stage_a", 17);
+  Function *StageB = MakeStage("stage_b", 71);
+  Function *StageC = MakeStage("stage_c", 131);
+  Function *Main = M->addFunction("main", 0);
+  {
+    BasicBlock *Entry = Main->addBlock("entry");
+    BasicBlock *Head = Main->addBlock("head");
+    BasicBlock *Body = Main->addBlock("body");
+    BasicBlock *Done = Main->addBlock("done");
+    IRBuilder IRB(Main, Entry);
+    Reg I = IRB.movImm(0);
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg More = IRB.cmpLtImm(I, 1200);
+    IRB.condBr(More, Body, Done);
+    IRB.setBlock(Body);
+    Reg A = IRB.call(StageA, {I});
+    Reg B = IRB.call(StageB, {A});
+    IRB.call(StageC, {B});
+    Reg Next = IRB.addImm(I, 1);
+    IRB.movRegInto(I, Next);
+    IRB.br(Head);
+    IRB.setBlock(Done);
+    IRB.retImm(0);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  ASSERT_GT(M->numInsts() * 4, 16u * 1024) << "must overflow the I-cache";
+
+  prof::SessionOptions Base;
+  Base.Config.M = prof::Mode::None;
+  prof::RunOutcome Before = prof::runProfile(*M, Base);
+
+  prof::SessionOptions FlowOptions;
+  FlowOptions.Config.M = prof::Mode::FlowHw;
+  prof::RunOutcome Profile = prof::runProfile(*M, FlowOptions);
+  opt::layoutHotPathsFirst(*M, Profile);
+
+  prof::RunOutcome After = prof::runProfile(*M, Base);
+  ASSERT_TRUE(After.Result.Ok);
+  EXPECT_EQ(After.Result.ExitValue, Before.Result.ExitValue);
+  EXPECT_LT(After.total(hw::Event::ICacheMiss),
+            Before.total(hw::Event::ICacheMiss) / 2)
+      << "hot-path-first layout must at least halve I-cache misses";
+  EXPECT_LT(After.total(hw::Event::Cycles),
+            Before.total(hw::Event::Cycles));
+}

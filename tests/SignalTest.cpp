@@ -1,0 +1,181 @@
+//===- tests/SignalTest.cpp - simulated signals and multiple CCT roots ---------===//
+//
+// The paper notes (§4.2) that handling signals would require the CCT to
+// have multiple roots, since handlers are additional entry points. These
+// tests cover the extension: handlers run with resumption semantics, the
+// CCT hangs them off the root's signal slot (never off the interrupted
+// procedure), and flow profiles of interrupted code stay exact because
+// the handler's own instrumentation saves and restores the PICs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "prof/Session.h"
+#include "workloads/Examples.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+using namespace pp::ir;
+using prof::Mode;
+
+namespace {
+
+/// Adds a "tick" signal handler that bumps a counter global.
+Function *addTickHandler(Module &M) {
+  size_t TickIndex = M.addGlobal("ticks", 8);
+  uint64_t Ticks = M.global(TickIndex).Addr;
+  Function *Handler = M.addFunction("on_tick", 0);
+  IRBuilder IRB(Handler, Handler->addBlock("entry"));
+  Reg Old = IRB.loadAbs(static_cast<int64_t>(Ticks));
+  Reg New = IRB.addImm(Old, 1);
+  IRB.storeAbs(static_cast<int64_t>(Ticks), New);
+  IRB.retImm(0);
+  return Handler;
+}
+
+} // namespace
+
+TEST(Signals, HandlerRunsAndProgramResumes) {
+  auto M = workloads::buildLoopModule(1000);
+  addTickHandler(*M);
+  verifyModuleOrDie(*M);
+
+  hw::Machine Machine;
+  vm::Vm VM(*M, Machine);
+  VM.setSignal(M->findFunction("on_tick"), 500);
+  vm::RunResult Result = VM.run();
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  // Program behaviour is unchanged by the interruptions.
+  EXPECT_EQ(Result.ExitValue, 499500u);
+  EXPECT_GT(VM.signalsDelivered(), 10u);
+  // The handler's global recorded every delivery.
+  uint64_t Ticks = Machine.peek(M->findGlobal("ticks")->Addr, 8);
+  EXPECT_EQ(Ticks, VM.signalsDelivered());
+}
+
+TEST(Signals, DeterministicDeliveryCount) {
+  auto Run = [](uint64_t Interval) {
+    auto M = workloads::buildLoopModule(2000);
+    addTickHandler(*M);
+    hw::Machine Machine;
+    vm::Vm VM(*M, Machine);
+    VM.setSignal(M->findFunction("on_tick"), Interval);
+    vm::RunResult Result = VM.run();
+    EXPECT_TRUE(Result.Ok);
+    return VM.signalsDelivered();
+  };
+  EXPECT_EQ(Run(400), Run(400));
+  EXPECT_GT(Run(200), Run(400));
+}
+
+TEST(Signals, CctHandlersHangOffTheRoot) {
+  auto M = workloads::buildFig4Module();
+  addTickHandler(*M);
+  verifyModuleOrDie(*M);
+
+  prof::SessionOptions Options;
+  Options.Config.M = Mode::Context;
+  Options.SignalHandler = "on_tick";
+  Options.SignalInterval = 7; // interrupt inside many different frames
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Run.Result.Ok) << Run.Result.Error;
+  ASSERT_TRUE(Run.Tree);
+
+  unsigned HandlerId = M->findFunction("on_tick")->id();
+  unsigned HandlerRecords = 0;
+  uint64_t HandlerCalls = 0;
+  for (const auto &R : Run.Tree->records()) {
+    if (R->procId() != HandlerId)
+      continue;
+    ++HandlerRecords;
+    HandlerCalls += R->Metrics[0];
+    // The whole point: the handler's parent is the root, regardless of
+    // which procedure each signal interrupted.
+    ASSERT_NE(R->parent(), nullptr);
+    EXPECT_EQ(R->parent()->procId(), cct::RootProcId);
+    EXPECT_EQ(R->depth(), 1u);
+  }
+  EXPECT_EQ(HandlerRecords, 1u)
+      << "all activations collapse onto one root-child record";
+  EXPECT_GT(HandlerCalls, 3u);
+
+  // The root's signal slot is a list containing the handler.
+  const cct::CallRecord::Slot &S = Run.Tree->root()->slot(cct::SignalSlot);
+  EXPECT_EQ(S.K, cct::CallRecord::Slot::Kind::List);
+  ASSERT_EQ(S.List.size(), 1u);
+  EXPECT_EQ(S.List.front().first->procId(), HandlerId);
+}
+
+TEST(Signals, InterruptedContextsStayCorrect) {
+  // Signals must not corrupt the gCSP protocol: after many interruptions,
+  // per-function call counts still match an undisturbed run.
+  auto M = workloads::buildFig4Module();
+  addTickHandler(*M);
+
+  prof::SessionOptions Quiet;
+  Quiet.Config.M = Mode::Context;
+  prof::RunOutcome QuietRun = prof::runProfile(*M, Quiet);
+
+  prof::SessionOptions Noisy = Quiet;
+  Noisy.SignalHandler = "on_tick";
+  Noisy.SignalInterval = 5;
+  prof::RunOutcome NoisyRun = prof::runProfile(*M, Noisy);
+  ASSERT_TRUE(NoisyRun.Result.Ok) << NoisyRun.Result.Error;
+  EXPECT_EQ(NoisyRun.Result.ExitValue, QuietRun.Result.ExitValue);
+
+  unsigned HandlerId = M->findFunction("on_tick")->id();
+  auto CountsOf = [HandlerId](const prof::RunOutcome &Run) {
+    std::map<unsigned, uint64_t> Counts;
+    for (const auto &R : Run.Tree->records())
+      if (R->procId() != cct::RootProcId && R->procId() != HandlerId)
+        Counts[R->procId()] += R->Metrics[0];
+    return Counts;
+  };
+  EXPECT_EQ(CountsOf(QuietRun), CountsOf(NoisyRun));
+}
+
+TEST(Signals, FlowProfilesUnperturbedByHandlers) {
+  // The handler's instrumentation saves/restores the PICs, so the
+  // interrupted function's per-path frequencies are exact.
+  auto M = workloads::buildLoopModule(500);
+  addTickHandler(*M);
+
+  prof::SessionOptions Quiet;
+  Quiet.Config.M = Mode::Flow;
+  prof::RunOutcome QuietRun = prof::runProfile(*M, Quiet);
+
+  prof::SessionOptions Noisy = Quiet;
+  Noisy.SignalHandler = "on_tick";
+  Noisy.SignalInterval = 37;
+  prof::RunOutcome NoisyRun = prof::runProfile(*M, Noisy);
+  ASSERT_TRUE(NoisyRun.Result.Ok);
+
+  unsigned MainId = M->main()->id();
+  ASSERT_EQ(QuietRun.PathProfiles[MainId].Paths.size(),
+            NoisyRun.PathProfiles[MainId].Paths.size());
+  for (size_t Index = 0;
+       Index != QuietRun.PathProfiles[MainId].Paths.size(); ++Index) {
+    EXPECT_EQ(QuietRun.PathProfiles[MainId].Paths[Index].PathSum,
+              NoisyRun.PathProfiles[MainId].Paths[Index].PathSum);
+    EXPECT_EQ(QuietRun.PathProfiles[MainId].Paths[Index].Freq,
+              NoisyRun.PathProfiles[MainId].Paths[Index].Freq);
+  }
+}
+
+TEST(Signals, HandlerPathsAreProfiledToo) {
+  auto M = workloads::buildLoopModule(1000);
+  addTickHandler(*M);
+  prof::SessionOptions Options;
+  Options.Config.M = Mode::Flow;
+  Options.SignalHandler = "on_tick";
+  Options.SignalInterval = 100;
+  prof::RunOutcome Run = prof::runProfile(*M, Options);
+  ASSERT_TRUE(Run.Result.Ok);
+  unsigned HandlerId = M->findFunction("on_tick")->id();
+  const prof::FunctionPathProfile &Profile = Run.PathProfiles[HandlerId];
+  ASSERT_TRUE(Profile.HasProfile);
+  ASSERT_EQ(Profile.Paths.size(), 1u); // straight-line handler
+  EXPECT_GT(Profile.Paths[0].Freq, 5u);
+}

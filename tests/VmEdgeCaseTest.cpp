@@ -1,0 +1,274 @@
+//===- tests/VmEdgeCaseTest.cpp - interpreter corner cases ---------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "vm/Vm.h"
+#include "workloads/Examples.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+using namespace pp::ir;
+
+namespace {
+
+vm::RunResult runModule(Module &M, uint64_t MaxInsts = 1 << 24) {
+  hw::Machine Machine;
+  vm::Vm VM(M, Machine);
+  VM.setMaxInsts(MaxInsts);
+  return VM.run();
+}
+
+} // namespace
+
+TEST(VmEdge, SubWordAccessesZeroExtendAndTruncate) {
+  Module M;
+  M.addGlobal("buf", 64);
+  uint64_t Buf = M.global(0).Addr;
+  Function *Main = M.addFunction("main", 0);
+  IRBuilder IRB(Main, Main->addBlock("entry"));
+  Reg Value = IRB.movImm(0x1234567890abcdefLL);
+  IRB.storeAbs(static_cast<int64_t>(Buf), Value, 2); // stores 0xcdef
+  Reg Wide = IRB.loadAbs(static_cast<int64_t>(Buf), 8);
+  Reg Narrow = IRB.loadAbs(static_cast<int64_t>(Buf), 1); // 0xef
+  Reg Sum = IRB.add(Wide, Narrow);
+  IRB.ret(Sum);
+  M.setMain(Main);
+  vm::RunResult Result = runModule(M);
+  ASSERT_TRUE(Result.Ok);
+  EXPECT_EQ(Result.ExitValue, 0xcdefu + 0xefu);
+}
+
+TEST(VmEdge, NegativeLoadOffsets) {
+  Module M;
+  M.addGlobal("buf", 64);
+  uint64_t Buf = M.global(0).Addr;
+  Function *Main = M.addFunction("main", 0);
+  IRBuilder IRB(Main, Main->addBlock("entry"));
+  Reg V = IRB.movImm(99);
+  IRB.storeAbs(static_cast<int64_t>(Buf) + 8, V);
+  Reg End = IRB.movImm(static_cast<int64_t>(Buf) + 16);
+  Reg Loaded = IRB.load(End, -8);
+  IRB.ret(Loaded);
+  M.setMain(Main);
+  vm::RunResult Result = runModule(M);
+  ASSERT_TRUE(Result.Ok);
+  EXPECT_EQ(Result.ExitValue, 99u);
+}
+
+TEST(VmEdge, SwitchWithNoCasesAlwaysDefaults) {
+  Module M;
+  Function *Main = M.addFunction("main", 0);
+  BasicBlock *Entry = Main->addBlock("entry");
+  BasicBlock *Default = Main->addBlock("default");
+  IRBuilder IRB(Main, Entry);
+  Reg Sel = IRB.movImm(7);
+  IRB.switchOn(Sel, Default, {});
+  IRB.setBlock(Default);
+  IRB.retImm(42);
+  M.setMain(Main);
+  vm::RunResult Result = runModule(M);
+  ASSERT_TRUE(Result.Ok);
+  EXPECT_EQ(Result.ExitValue, 42u);
+}
+
+TEST(VmEdge, ShiftCountsAreMasked) {
+  Module M;
+  Function *Main = M.addFunction("main", 0);
+  IRBuilder IRB(Main, Main->addBlock("entry"));
+  Reg One = IRB.movImm(1);
+  Reg ShiftBy65 = IRB.shlImm(One, 65); // masked to 1 -> 2
+  Reg Big = IRB.movImm(0x100);
+  Reg ShiftBy64 = IRB.shrImm(Big, 64); // masked to 0 -> 0x100
+  Reg Sum = IRB.add(ShiftBy65, ShiftBy64);
+  IRB.ret(Sum);
+  M.setMain(Main);
+  vm::RunResult Result = runModule(M);
+  ASSERT_TRUE(Result.Ok);
+  EXPECT_EQ(Result.ExitValue, 0x102u);
+}
+
+TEST(VmEdge, FpNanComparesFalse) {
+  Module M;
+  Function *Main = M.addFunction("main", 0);
+  IRBuilder IRB(Main, Main->addBlock("entry"));
+  Reg Zero = IRB.movFpImm(0.0);
+  Reg Nan = IRB.fdiv(Zero, Zero);
+  Reg EqSelf = IRB.fcmpEq(Nan, Nan);     // false
+  Reg LtZero = IRB.fcmpLt(Nan, Zero);    // false
+  Reg Sum = IRB.add(EqSelf, LtZero);
+  IRB.ret(Sum);
+  M.setMain(Main);
+  vm::RunResult Result = runModule(M);
+  ASSERT_TRUE(Result.Ok);
+  EXPECT_EQ(Result.ExitValue, 0u);
+}
+
+TEST(VmEdge, IntMinDivMinusOneIsDefined) {
+  Module M;
+  Function *Main = M.addFunction("main", 0);
+  IRBuilder IRB(Main, Main->addBlock("entry"));
+  Reg Min = IRB.movImm(std::numeric_limits<int64_t>::min());
+  Reg Quot = IRB.divImm(Min, -1); // defined as INT64_MIN (wraps)
+  Reg Rem = IRB.remImm(Min, -1);  // defined as 0
+  Reg Check = IRB.cmpEq(Quot, Min);
+  Reg Sum = IRB.add(Check, Rem);
+  IRB.ret(Sum);
+  M.setMain(Main);
+  vm::RunResult Result = runModule(M);
+  ASSERT_TRUE(Result.Ok);
+  EXPECT_EQ(Result.ExitValue, 1u);
+}
+
+TEST(VmEdge, SetjmpReusedAcrossIterations) {
+  // setjmp in a loop; each iteration longjmps back once: the buffer must
+  // stay valid as long as the frame lives.
+  Module M;
+  Function *Thrower = M.addFunction("thrower", 1);
+  {
+    IRBuilder IRB(Thrower, Thrower->addBlock("entry"));
+    Reg Bumped = IRB.addImm(0, 1);
+    IRB.longjmp(9, Bumped);
+  }
+  Function *Main = M.addFunction("main", 0);
+  {
+    BasicBlock *Entry = Main->addBlock("entry");
+    BasicBlock *Loop = Main->addBlock("loop");
+    BasicBlock *Again = Main->addBlock("again");
+    BasicBlock *Done = Main->addBlock("done");
+    IRBuilder IRB(Main, Entry);
+    Reg Count = IRB.movImm(0);
+    IRB.br(Loop);
+    IRB.setBlock(Loop);
+    Reg Jumped = IRB.setjmp(9);
+    Reg First = IRB.cmpEqImm(Jumped, 0);
+    IRB.condBr(First, Again, Done);
+    IRB.setBlock(Again);
+    Reg NewCount = IRB.addImm(Count, 1);
+    IRB.movRegInto(Count, NewCount);
+    IRB.call(Thrower, {Count});
+    IRB.retImm(0); // unreachable
+    IRB.setBlock(Done);
+    // Jumped = Count + 1 delivered by the longjmp.
+    IRB.ret(Jumped);
+  }
+  M.setMain(Main);
+  verifyModuleOrDie(M);
+  vm::RunResult Result = runModule(M);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_EQ(Result.ExitValue, 2u); // Count became 1; thrower returned 1+1
+}
+
+TEST(VmEdge, LongjmpFromSignalHandlerResetsSignalState) {
+  // A handler that longjmps out: the VM must clear the in-signal flag so
+  // later signals still deliver.
+  auto M = std::make_unique<Module>();
+  Function *Handler = M->addFunction("handler", 0);
+  {
+    BasicBlock *Entry = Handler->addBlock("entry");
+    BasicBlock *Jump = Handler->addBlock("jump");
+    BasicBlock *Normal = Handler->addBlock("normal");
+    IRBuilder IRB(Handler, Entry);
+    uint64_t FlagAddr = layout::GlobalBase; // the "armed" global below
+    Reg Armed = IRB.loadAbs(static_cast<int64_t>(FlagAddr));
+    IRB.condBr(Armed, Jump, Normal);
+    IRB.setBlock(Jump);
+    Reg V = IRB.movImm(123);
+    IRB.longjmp(4, V);
+    IRB.setBlock(Normal);
+    IRB.retImm(0);
+  }
+  Function *Main = M->addFunction("main", 0);
+  {
+    BasicBlock *Entry = Main->addBlock("entry");
+    BasicBlock *First = Main->addBlock("first");
+    BasicBlock *Spin = Main->addBlock("spin");
+    BasicBlock *After = Main->addBlock("after");
+    BasicBlock *Done = Main->addBlock("done");
+    IRBuilder IRB(Main, Entry);
+    uint64_t FlagAddr = layout::GlobalBase;
+    Reg One = IRB.movImm(1);
+    IRB.storeAbs(static_cast<int64_t>(FlagAddr), One); // arm the handler
+    Reg Jumped = IRB.setjmp(4);
+    Reg IsZero = IRB.cmpEqImm(Jumped, 0);
+    IRB.condBr(IsZero, First, After);
+    IRB.setBlock(First);
+    // Spin until a signal fires and the handler longjmps here.
+    IRB.br(Spin);
+    IRB.setBlock(Spin);
+    IRB.br(Spin);
+    IRB.setBlock(After);
+    // Disarm; now count a few more deliveries by spinning a bounded loop.
+    Reg Zero = IRB.movImm(0);
+    IRB.storeAbs(static_cast<int64_t>(FlagAddr), Zero);
+    Reg I = IRB.movImm(0);
+    BasicBlock *Head = Main->addBlock("head");
+    BasicBlock *Body = Main->addBlock("body");
+    IRB.br(Head);
+    IRB.setBlock(Head);
+    Reg More = IRB.cmpLtImm(I, 4000);
+    IRB.condBr(More, Body, Done);
+    IRB.setBlock(Body);
+    Reg Next = IRB.addImm(I, 1);
+    IRB.movRegInto(I, Next);
+    IRB.br(Head);
+    IRB.setBlock(Done);
+    IRB.ret(Jumped);
+  }
+  auto *MainPtr = Main;
+  M->addGlobal("armed", 8); // note: address == layout::GlobalBase
+  M->setMain(MainPtr);
+
+  hw::Machine Machine;
+  vm::Vm VM(*M, Machine);
+  VM.setSignal(Handler, 300);
+  VM.setMaxInsts(1 << 22);
+  vm::RunResult Result = VM.run();
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_EQ(Result.ExitValue, 123u);
+  // Deliveries continued after the longjmp escape.
+  EXPECT_GT(VM.signalsDelivered(), 5u);
+}
+
+TEST(VmEdge, GlobalInitializersBeyondOnePage) {
+  Module M;
+  std::vector<uint8_t> Init(20000);
+  for (size_t Index = 0; Index != Init.size(); ++Index)
+    Init[Index] = static_cast<uint8_t>(Index * 7);
+  M.addGlobal("big", Init.size(), std::move(Init));
+  uint64_t Base = M.global(0).Addr;
+
+  Function *Main = M.addFunction("main", 0);
+  IRBuilder IRB(Main, Main->addBlock("entry"));
+  Reg A = IRB.loadAbs(static_cast<int64_t>(Base) + 9999, 1);
+  Reg B = IRB.loadAbs(static_cast<int64_t>(Base) + 19999, 1);
+  Reg Sum = IRB.add(A, B);
+  IRB.ret(Sum);
+  M.setMain(Main);
+  vm::RunResult Result = runModule(M);
+  ASSERT_TRUE(Result.Ok);
+  EXPECT_EQ(Result.ExitValue,
+            ((9999u * 7) & 0xff) + ((19999u * 7) & 0xff));
+}
+
+TEST(VmEdge, DeepCallChainOverflowsGracefully) {
+  Module M;
+  Function *Recurse = M.addFunction("recurse", 1);
+  {
+    IRBuilder IRB(Recurse, Recurse->addBlock("entry"));
+    Reg Next = IRB.addImm(0, 1);
+    Reg Result = IRB.call(Recurse, {Next}); // unbounded recursion
+    IRB.ret(Result);
+  }
+  Function *Main = M.addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Zero = IRB.movImm(0);
+    IRB.call(Recurse, {Zero});
+    IRB.retImm(0);
+  }
+  M.setMain(Main);
+  vm::RunResult Result = runModule(M, 1 << 26);
+  EXPECT_FALSE(Result.Ok);
+  EXPECT_NE(Result.Error.find("stack overflow"), std::string::npos);
+}

@@ -1,0 +1,169 @@
+//===- tests/WorkloadTest.cpp - SPEC95-shaped workload validation -------------===//
+//
+// Every workload must build verifiably, run to completion deterministically,
+// and exhibit the control-flow shape its SPEC95 counterpart contributes to
+// the paper's results (path-count contrasts, call-heaviness, FP pressure).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "prof/Session.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+using prof::Mode;
+
+namespace {
+
+class WorkloadRunTest : public ::testing::TestWithParam<size_t> {};
+
+prof::SessionOptions options(Mode M) {
+  prof::SessionOptions Options;
+  Options.Config.M = M;
+  return Options;
+}
+
+} // namespace
+
+TEST_P(WorkloadRunTest, BuildsVerifiesAndRuns) {
+  const workloads::WorkloadSpec &Spec = workloads::spec95Suite()[GetParam()];
+  auto M = Spec.Build(1);
+  ASSERT_TRUE(M);
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(ir::verifyModule(*M, Errors)) << Spec.Name << ": "
+                                            << Errors.front();
+
+  prof::RunOutcome Run = prof::runProfile(*M, options(Mode::None));
+  ASSERT_TRUE(Run.Result.Ok) << Spec.Name << ": " << Run.Result.Error;
+  // Big enough to be interesting, small enough for the bench suite.
+  EXPECT_GT(Run.Result.ExecutedInsts, 50000u) << Spec.Name;
+  EXPECT_LT(Run.Result.ExecutedInsts, 30000000u) << Spec.Name;
+}
+
+TEST_P(WorkloadRunTest, DeterministicAcrossRuns) {
+  const workloads::WorkloadSpec &Spec = workloads::spec95Suite()[GetParam()];
+  auto M1 = Spec.Build(1);
+  auto M2 = Spec.Build(1);
+  prof::RunOutcome Run1 = prof::runProfile(*M1, options(Mode::None));
+  prof::RunOutcome Run2 = prof::runProfile(*M2, options(Mode::None));
+  ASSERT_TRUE(Run1.Result.Ok && Run2.Result.Ok) << Spec.Name;
+  EXPECT_EQ(Run1.Result.ExitValue, Run2.Result.ExitValue) << Spec.Name;
+  EXPECT_EQ(Run1.Totals, Run2.Totals) << Spec.Name;
+}
+
+TEST_P(WorkloadRunTest, ScaleGrowsTheRun) {
+  const workloads::WorkloadSpec &Spec = workloads::spec95Suite()[GetParam()];
+  auto Small = Spec.Build(1);
+  auto Large = Spec.Build(2);
+  prof::RunOutcome RunSmall = prof::runProfile(*Small, options(Mode::None));
+  prof::RunOutcome RunLarge = prof::runProfile(*Large, options(Mode::None));
+  ASSERT_TRUE(RunSmall.Result.Ok && RunLarge.Result.Ok) << Spec.Name;
+  EXPECT_GT(RunLarge.Result.ExecutedInsts,
+            RunSmall.Result.ExecutedInsts + 1000)
+      << Spec.Name;
+}
+
+TEST_P(WorkloadRunTest, SurvivesFlowHwInstrumentation) {
+  const workloads::WorkloadSpec &Spec = workloads::spec95Suite()[GetParam()];
+  auto M = Spec.Build(1);
+  prof::RunOutcome Base = prof::runProfile(*M, options(Mode::None));
+  prof::RunOutcome Run = prof::runProfile(*M, options(Mode::FlowHw));
+  ASSERT_TRUE(Run.Result.Ok) << Spec.Name << ": " << Run.Result.Error;
+  EXPECT_EQ(Run.Result.ExitValue, Base.Result.ExitValue) << Spec.Name;
+  EXPECT_GT(Run.total(hw::Event::Cycles), Base.total(hw::Event::Cycles))
+      << Spec.Name;
+
+  uint64_t ExecutedPaths = 0;
+  for (const prof::FunctionPathProfile &Profile : Run.PathProfiles)
+    ExecutedPaths += Profile.Paths.size();
+  EXPECT_GT(ExecutedPaths, 0u) << Spec.Name;
+}
+
+TEST_P(WorkloadRunTest, SurvivesContextFlowInstrumentation) {
+  const workloads::WorkloadSpec &Spec = workloads::spec95Suite()[GetParam()];
+  auto M = Spec.Build(1);
+  prof::RunOutcome Base = prof::runProfile(*M, options(Mode::None));
+  prof::RunOutcome Run = prof::runProfile(*M, options(Mode::ContextFlow));
+  ASSERT_TRUE(Run.Result.Ok) << Spec.Name << ": " << Run.Result.Error;
+  EXPECT_EQ(Run.Result.ExitValue, Base.Result.ExitValue) << Spec.Name;
+  ASSERT_TRUE(Run.Tree) << Spec.Name;
+  EXPECT_GT(Run.Tree->numRecords(), 1u) << Spec.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadRunTest, ::testing::Range<size_t>(0, 18),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = workloads::spec95Suite()[Info.param].Name;
+      for (char &C : Name)
+        if (C == '.')
+          C = '_';
+      return Name;
+    });
+
+TEST(WorkloadShape, GoAndGccExecuteManyMorePathsThanFpCodes) {
+  auto CountPaths = [](const std::string &Name) {
+    auto M = workloads::buildWorkload(Name, 1);
+    prof::SessionOptions Options;
+    Options.Config.M = Mode::Flow;
+    prof::RunOutcome Run = prof::runProfile(*M, Options);
+    EXPECT_TRUE(Run.Result.Ok) << Name;
+    uint64_t Paths = 0;
+    for (const prof::FunctionPathProfile &Profile : Run.PathProfiles)
+      Paths += Profile.Paths.size();
+    return Paths;
+  };
+  uint64_t Go = CountPaths("099.go");
+  uint64_t Gcc = CountPaths("126.gcc");
+  uint64_t Tomcatv = CountPaths("101.tomcatv");
+  uint64_t Fpppp = CountPaths("145.fpppp");
+  EXPECT_GT(Go, 4 * Tomcatv) << "go must execute many more paths";
+  EXPECT_GT(Gcc, 4 * Tomcatv);
+  EXPECT_LE(Fpppp, 24u) << "fpppp is nearly straight-line";
+}
+
+TEST(WorkloadShape, FpCodesStallTheFpPipeline) {
+  auto FpStallShare = [](const std::string &Name) {
+    auto M = workloads::buildWorkload(Name, 1);
+    prof::SessionOptions Options;
+    prof::RunOutcome Run = prof::runProfile(*M, Options);
+    EXPECT_TRUE(Run.Result.Ok) << Name;
+    return double(Run.total(hw::Event::FpStall)) /
+           double(Run.total(hw::Event::Cycles));
+  };
+  EXPECT_GT(FpStallShare("145.fpppp"), FpStallShare("129.compress"));
+  EXPECT_GT(FpStallShare("101.tomcatv"), FpStallShare("134.perl"));
+}
+
+TEST(WorkloadShape, VortexAndLiAreCallHeavy) {
+  auto CallsPerKiloInst = [](const std::string &Name) {
+    auto M = workloads::buildWorkload(Name, 1);
+    prof::SessionOptions Options;
+    Options.Config.M = Mode::Context;
+    prof::RunOutcome Run = prof::runProfile(*M, Options);
+    EXPECT_TRUE(Run.Result.Ok) << Name;
+    uint64_t Calls = 0;
+    for (const auto &R : Run.Tree->records())
+      if (R->procId() != cct::RootProcId)
+        Calls += R->Metrics[0];
+    return 1000.0 * double(Calls) / double(Run.Result.ExecutedInsts);
+  };
+  EXPECT_GT(CallsPerKiloInst("147.vortex"), CallsPerKiloInst("101.tomcatv"));
+  EXPECT_GT(CallsPerKiloInst("130.li"), CallsPerKiloInst("102.swim"));
+}
+
+TEST(WorkloadShape, CacheMissRatesDiffer) {
+  // The strided/gather codes must miss more than the tiny-footprint ones.
+  auto MissRate = [](const std::string &Name) {
+    auto M = workloads::buildWorkload(Name, 1);
+    prof::SessionOptions Options;
+    prof::RunOutcome Run = prof::runProfile(*M, Options);
+    EXPECT_TRUE(Run.Result.Ok) << Name;
+    uint64_t Misses = Run.total(hw::Event::DCacheReadMiss) +
+                      Run.total(hw::Event::DCacheWriteMiss);
+    return double(Misses) / double(Run.total(hw::Event::Insts));
+  };
+  EXPECT_GT(MissRate("146.wave5"), MissRate("132.ijpeg"));
+  EXPECT_GT(MissRate("125.turb3d"), MissRate("145.fpppp"));
+}

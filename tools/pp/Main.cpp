@@ -1,0 +1,451 @@
+//===- tools/pp/Main.cpp - the PP command-line driver --------------------------===//
+//
+// The command-line face of the library, mirroring the paper's PP tool:
+// load a program (a .ppir file or a built-in SPEC95-shaped workload),
+// instrument it for the requested mode, run it on the simulated machine,
+// and report — whole-run metrics with overhead against an uninstrumented
+// run, hot paths with their block sequences, per-procedure aggregates,
+// and calling-context-tree statistics or Graphviz dumps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/HotPaths.h"
+#include "bl/PathNumbering.h"
+#include "cct/Export.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "prof/Session.h"
+#include "support/Format.h"
+#include "support/TableWriter.h"
+#include "workloads/Spec.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace pp;
+
+namespace {
+
+struct Options {
+  std::string Input;
+  prof::Mode M = prof::Mode::FlowHw;
+  hw::Event Pic0 = hw::Event::Insts;
+  hw::Event Pic1 = hw::Event::DCacheReadMiss;
+  int Scale = 1;
+  double HotThreshold = 0.01;
+  bool DumpIr = false;
+  bool DumpInstrumented = false;
+  bool ListWorkloads = false;
+  unsigned MaxPathsShown = 10;
+  bool Coverage = false;
+  std::string DotFile;
+  std::string CctFile;
+  std::string SignalSpec;
+};
+
+void printUsage() {
+  std::printf(
+      "usage: pp [options] <file.ppir | workload name>\n"
+      "\n"
+      "Flow and context sensitive profiling on a simulated machine\n"
+      "(reproduction of Ammons/Ball/Larus, PLDI 1997).\n"
+      "\n"
+      "options:\n"
+      "  --mode=<m>        none|edge|flow|flowhw|context|contexthw|"
+      "contextflow|\n"
+      "                    contextflowhw (default flowhw)\n"
+      "  --events=<a>,<b>  the two events routed to the PICs:\n"
+      "                    cycles,insts,dcrmiss,dcwmiss,icmiss,mispredict,\n"
+      "                    storebuf,fpstall (default insts,dcrmiss)\n"
+      "  --scale=<n>       workload scale factor (default 1)\n"
+      "  --hot=<frac>      hot-path threshold as a miss fraction "
+      "(default 0.01)\n"
+      "  --paths=<n>       hot paths to list (default 10)\n"
+      "  --coverage        report path coverage per function (flow modes)\n"
+      "  --signal=<f>:<n>  run function f as a signal handler every n\n"
+      "                    executed instructions\n"
+      "  --dot=<file>      write the CCT as Graphviz\n"
+      "  --cct-out=<file>  write the serialised CCT profile\n"
+      "  --dump-ir         print the program and exit\n"
+      "  --dump-instrumented  print the instrumented program and exit\n"
+      "  --list-workloads  list the built-in SPEC95-shaped workloads\n");
+}
+
+bool parseEvent(const std::string &Name, hw::Event &Out) {
+  static const std::map<std::string, hw::Event> Table = {
+      {"cycles", hw::Event::Cycles},
+      {"insts", hw::Event::Insts},
+      {"dcrmiss", hw::Event::DCacheReadMiss},
+      {"dcwmiss", hw::Event::DCacheWriteMiss},
+      {"icmiss", hw::Event::ICacheMiss},
+      {"mispredict", hw::Event::MispredictStall},
+      {"storebuf", hw::Event::StoreBufferStall},
+      {"fpstall", hw::Event::FpStall},
+  };
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+bool parseMode(const std::string &Name, prof::Mode &Out) {
+  static const std::map<std::string, prof::Mode> Table = {
+      {"none", prof::Mode::None},
+      {"edge", prof::Mode::Edge},
+      {"flow", prof::Mode::Flow},
+      {"flowhw", prof::Mode::FlowHw},
+      {"context", prof::Mode::Context},
+      {"contexthw", prof::Mode::ContextHw},
+      {"contextflow", prof::Mode::ContextFlow},
+      {"contextflowhw", prof::Mode::ContextFlowHw},
+  };
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int Index = 1; Index != Argc; ++Index) {
+    std::string Arg = Argv[Index];
+    auto Value = [&Arg](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else if (Arg == "--dump-ir") {
+      Opts.DumpIr = true;
+    } else if (Arg == "--dump-instrumented") {
+      Opts.DumpInstrumented = true;
+    } else if (Arg == "--list-workloads") {
+      Opts.ListWorkloads = true;
+    } else if (const char *V = Value("--mode=")) {
+      if (!parseMode(V, Opts.M)) {
+        std::fprintf(stderr, "pp: unknown mode '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--events=")) {
+      std::string Text = V;
+      size_t Comma = Text.find(',');
+      if (Comma == std::string::npos ||
+          !parseEvent(Text.substr(0, Comma), Opts.Pic0) ||
+          !parseEvent(Text.substr(Comma + 1), Opts.Pic1)) {
+        std::fprintf(stderr, "pp: bad --events '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--scale=")) {
+      Opts.Scale = std::atoi(V);
+      if (Opts.Scale < 1) {
+        std::fprintf(stderr, "pp: bad scale\n");
+        return false;
+      }
+    } else if (const char *V = Value("--hot=")) {
+      Opts.HotThreshold = std::atof(V);
+    } else if (const char *V = Value("--paths=")) {
+      Opts.MaxPathsShown = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--coverage") {
+      Opts.Coverage = true;
+    } else if (const char *V = Value("--signal=")) {
+      Opts.SignalSpec = V;
+    } else if (const char *V = Value("--dot=")) {
+      Opts.DotFile = V;
+    } else if (const char *V = Value("--cct-out=")) {
+      Opts.CctFile = V;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "pp: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else if (Opts.Input.empty()) {
+      Opts.Input = Arg;
+    } else {
+      std::fprintf(stderr, "pp: multiple inputs\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<ir::Module> loadInput(const Options &Opts) {
+  // Built-in workload name?
+  if (auto M = workloads::buildWorkload(Opts.Input, Opts.Scale))
+    return M;
+  // Otherwise a .ppir file.
+  std::ifstream File(Opts.Input);
+  if (!File) {
+    std::fprintf(stderr, "pp: cannot open '%s' (and it is not a built-in "
+                         "workload; see --list-workloads)\n",
+                 Opts.Input.c_str());
+    return nullptr;
+  }
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+  ir::ParseResult Parsed = ir::parseModule(Buffer.str());
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "pp: %s: %s\n", Opts.Input.c_str(),
+                 Parsed.Error.c_str());
+    return nullptr;
+  }
+  return std::move(Parsed.M);
+}
+
+void reportSummary(const prof::RunOutcome &Base,
+                   const prof::RunOutcome &Run) {
+  TableWriter Table;
+  Table.setHeader({"Metric", "Base", "Instrumented", "Ratio"});
+  for (unsigned E = 0; E != hw::NumEvents; ++E) {
+    uint64_t BaseVal = Base.Totals[E];
+    uint64_t RunVal = Run.Totals[E];
+    Table.addRow({hw::eventName(static_cast<hw::Event>(E)),
+                  std::to_string(BaseVal), std::to_string(RunVal),
+                  formatRatio(double(RunVal), double(BaseVal))});
+  }
+  std::printf("%s\n", Table.render().c_str());
+}
+
+void reportHotPaths(const ir::Module &M, const prof::RunOutcome &Run,
+                    const Options &Opts) {
+  std::vector<analysis::PathRecord> Records =
+      analysis::collectPathRecords(Run);
+  analysis::HotPathAnalysis A =
+      analysis::analyzeHotPaths(Records, Opts.HotThreshold);
+  std::printf("%llu executed paths; %llu hot (>= %.2f%% of misses) cover "
+              "%s of misses\n\n",
+              (unsigned long long)A.TotalPaths,
+              (unsigned long long)A.Hot.Num, 100.0 * Opts.HotThreshold,
+              formatPercent(double(A.Hot.Misses), double(A.TotalMisses))
+                  .c_str());
+
+  TableWriter Table;
+  Table.setHeader({"Function", "Path", "Freq", "PIC0", "PIC1", "Blocks"});
+  unsigned Shown = 0;
+  for (size_t Index : A.HotIndices) {
+    if (Shown++ == Opts.MaxPathsShown)
+      break;
+    const analysis::PathRecord &Record = Records[Index];
+    const ir::Function &F = *M.function(Record.FuncId);
+    cfg::Cfg G(F);
+    bl::PathNumbering PN(G);
+    std::string Blocks;
+    if (PN.valid()) {
+      bl::RegeneratedPath Path = PN.regenerate(Record.PathSum);
+      if (Path.StartsAfterBackedge)
+        Blocks += "(loop) ";
+      for (size_t N = 0; N != Path.Nodes.size(); ++N) {
+        if (N)
+          Blocks += " ";
+        Blocks += G.block(Path.Nodes[N])->name();
+      }
+      if (Path.EndsWithBackedge)
+        Blocks += " (back edge)";
+    }
+    Table.addRow({F.name(), std::to_string(Record.PathSum),
+                  std::to_string(Record.Freq), std::to_string(Record.Insts),
+                  std::to_string(Record.Misses), Blocks});
+  }
+  std::printf("%s\n", Table.render().c_str());
+}
+
+void reportProcedures(const ir::Module &M, const prof::RunOutcome &Run,
+                      const Options &Opts) {
+  std::vector<analysis::PathRecord> Records =
+      analysis::collectPathRecords(Run);
+  std::vector<analysis::ProcRecord> Procs =
+      analysis::aggregateByProcedure(Records);
+  std::sort(Procs.begin(), Procs.end(),
+            [](const analysis::ProcRecord &A, const analysis::ProcRecord &B) {
+              return A.Misses > B.Misses;
+            });
+  TableWriter Table;
+  Table.setHeader({"Function", "Paths", "Calls+Loops", "PIC0", "PIC1"});
+  for (const analysis::ProcRecord &Proc : Procs)
+    Table.addRow({M.function(Proc.FuncId)->name(),
+                  std::to_string(Proc.NumPathsExecuted),
+                  std::to_string(Proc.Freq), std::to_string(Proc.Insts),
+                  std::to_string(Proc.Misses)});
+  std::printf("%s\n", Table.render().c_str());
+}
+
+/// Path coverage (the program-testing application the paper cites
+/// [WHH80, RBDL97]): executed paths vs the statically possible ones.
+void reportCoverage(const ir::Module &M, const prof::RunOutcome &Run) {
+  TableWriter Table;
+  Table.setHeader({"Function", "Potential", "Executed", "Coverage"});
+  uint64_t TotalPotential = 0, TotalExecuted = 0;
+  for (const prof::FunctionPathProfile &Profile : Run.PathProfiles) {
+    if (!Profile.HasProfile)
+      continue;
+    uint64_t Executed = Profile.Paths.size();
+    Table.addRow({M.function(Profile.FuncId)->name(),
+                  std::to_string(Profile.NumPaths),
+                  std::to_string(Executed),
+                  formatPercent(double(Executed),
+                                double(Profile.NumPaths))});
+    TotalPotential += Profile.NumPaths;
+    TotalExecuted += Executed;
+  }
+  Table.addSeparator();
+  Table.addRow({"total", std::to_string(TotalPotential),
+                std::to_string(TotalExecuted),
+                formatPercent(double(TotalExecuted),
+                              double(TotalPotential))});
+  std::printf("path coverage:\n%s\n", Table.render().c_str());
+}
+
+void reportCct(const prof::RunOutcome &Run, const Options &Opts) {
+  const cct::CallingContextTree &Tree = *Run.Tree;
+  cct::CctStats Stats = Tree.computeStats();
+  std::printf("CCT: %llu records, %llu heap bytes, avg out-degree %.1f, "
+              "height avg %.1f / max %llu, max replication %llu, "
+              "%llu recursion backedges\n\n",
+              (unsigned long long)Stats.NumRecords,
+              (unsigned long long)Stats.TotalBytes, Stats.AvgOutDegree,
+              Stats.AvgLeafDepth, (unsigned long long)Stats.MaxDepth,
+              (unsigned long long)Stats.MaxReplication,
+              (unsigned long long)Stats.BackedgeSlots);
+
+  // The most-visited contexts.
+  std::vector<const cct::CallRecord *> Sorted;
+  for (const auto &R : Tree.records())
+    if (R->procId() != cct::RootProcId)
+      Sorted.push_back(R.get());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const cct::CallRecord *A, const cct::CallRecord *B) {
+              return A->Metrics[0] > B->Metrics[0];
+            });
+  TableWriter Table;
+  Table.setHeader({"Context", "Calls", "Paths", "PIC0", "PIC1"});
+  unsigned Shown = 0;
+  for (const cct::CallRecord *R : Sorted) {
+    if (Shown++ == Opts.MaxPathsShown)
+      break;
+    std::string Context;
+    std::vector<const cct::CallRecord *> Chain;
+    for (const cct::CallRecord *Cursor = R;
+         Cursor && Cursor->procId() != cct::RootProcId;
+         Cursor = Cursor->parent())
+      Chain.push_back(Cursor);
+    for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+      if (!Context.empty())
+        Context += " > ";
+      Context += Tree.procDesc((*It)->procId()).Name;
+    }
+    // Metrics live in the record for Context+HW, or summed over the
+    // per-record path cells for the combined flow modes.
+    uint64_t Pic0 = R->Metrics[1], Pic1 = R->Metrics[2];
+    for (const auto &[Sum, Cell] : R->PathTable) {
+      Pic0 += Cell.Metric0;
+      Pic1 += Cell.Metric1;
+    }
+    Table.addRow({Context, std::to_string(R->Metrics[0]),
+                  std::to_string(R->PathTable.size()),
+                  std::to_string(Pic0), std::to_string(Pic1)});
+  }
+  std::printf("%s\n", Table.render().c_str());
+
+  if (!Opts.DotFile.empty()) {
+    std::ofstream Out(Opts.DotFile);
+    Out << cct::exportDot(Tree);
+    std::printf("wrote %s\n", Opts.DotFile.c_str());
+  }
+  if (!Opts.CctFile.empty()) {
+    std::vector<uint8_t> Bytes = cct::serialize(Tree);
+    std::ofstream Out(Opts.CctFile, std::ios::binary);
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              static_cast<std::streamsize>(Bytes.size()));
+    std::printf("wrote %s (%zu bytes)\n", Opts.CctFile.c_str(),
+                Bytes.size());
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+  if (Opts.ListWorkloads) {
+    for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite())
+      std::printf("%-14s (%s)\n", Spec.Name.c_str(),
+                  Spec.IsFloat ? "CFP95" : "CINT95");
+    return 0;
+  }
+  if (Opts.Input.empty()) {
+    printUsage();
+    return 1;
+  }
+
+  std::unique_ptr<ir::Module> M = loadInput(Opts);
+  if (!M)
+    return 1;
+  if (Opts.DumpIr) {
+    std::printf("%s", ir::printModule(*M).c_str());
+    return 0;
+  }
+
+  prof::SessionOptions Session;
+  Session.Config.M = Opts.M;
+  Session.Config.Pic0 = Opts.Pic0;
+  Session.Config.Pic1 = Opts.Pic1;
+  if (!Opts.SignalSpec.empty()) {
+    size_t Colon = Opts.SignalSpec.find(':');
+    if (Colon == std::string::npos) {
+      std::fprintf(stderr, "pp: --signal wants <function>:<interval>\n");
+      return 1;
+    }
+    Session.SignalHandler = Opts.SignalSpec.substr(0, Colon);
+    Session.SignalInterval =
+        std::strtoull(Opts.SignalSpec.c_str() + Colon + 1, nullptr, 10);
+    if (Session.SignalInterval == 0 ||
+        !M->findFunction(Session.SignalHandler)) {
+      std::fprintf(stderr, "pp: bad --signal '%s'\n",
+                   Opts.SignalSpec.c_str());
+      return 1;
+    }
+  }
+
+  if (Opts.DumpInstrumented) {
+    prof::Instrumented Instr = prof::instrument(*M, Session.Config);
+    std::printf("%s", ir::printModule(*Instr.M).c_str());
+    return 0;
+  }
+
+  prof::SessionOptions BaseSession = Session;
+  BaseSession.Config.M = prof::Mode::None;
+  prof::RunOutcome Base = prof::runProfile(*M, BaseSession);
+  if (!Base.Result.Ok) {
+    std::fprintf(stderr, "pp: program failed: %s\n",
+                 Base.Result.Error.c_str());
+    return 1;
+  }
+
+  prof::RunOutcome Run = prof::runProfile(*M, Session);
+  if (!Run.Result.Ok) {
+    std::fprintf(stderr, "pp: instrumented program failed: %s\n",
+                 Run.Result.Error.c_str());
+    return 1;
+  }
+
+  std::printf("== %s under %s (PIC0=%s, PIC1=%s) ==\n", Opts.Input.c_str(),
+              prof::modeName(Opts.M), hw::eventName(Opts.Pic0),
+              hw::eventName(Opts.Pic1));
+  std::printf("exit value %llu; %llu instructions executed\n\n",
+              (unsigned long long)Run.Result.ExitValue,
+              (unsigned long long)Run.Result.ExecutedInsts);
+  reportSummary(Base, Run);
+
+  if (Opts.M == prof::Mode::Flow || Opts.M == prof::Mode::FlowHw) {
+    reportHotPaths(*M, Run, Opts);
+    reportProcedures(*M, Run, Opts);
+    if (Opts.Coverage)
+      reportCoverage(*M, Run);
+  }
+  if (Run.Tree)
+    reportCct(Run, Opts);
+  return 0;
+}
