@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_assoc.dir/ablation_cache_assoc.cpp.o"
+  "CMakeFiles/ablation_cache_assoc.dir/ablation_cache_assoc.cpp.o.d"
+  "ablation_cache_assoc"
+  "ablation_cache_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cct_sites.dir/ablation_cct_sites.cpp.o"
+  "CMakeFiles/ablation_cct_sites.dir/ablation_cct_sites.cpp.o.d"
+  "ablation_cct_sites"
+  "ablation_cct_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cct_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_cct_sites.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_edge_vs_path.dir/ablation_edge_vs_path.cpp.o"
+  "CMakeFiles/ablation_edge_vs_path.dir/ablation_edge_vs_path.cpp.o.d"
+  "ablation_edge_vs_path"
+  "ablation_edge_vs_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edge_vs_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pgo_layout.dir/ablation_pgo_layout.cpp.o"
+  "CMakeFiles/ablation_pgo_layout.dir/ablation_pgo_layout.cpp.o.d"
+  "ablation_pgo_layout"
+  "ablation_pgo_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pgo_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

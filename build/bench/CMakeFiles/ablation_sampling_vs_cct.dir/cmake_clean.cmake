@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sampling_vs_cct.dir/ablation_sampling_vs_cct.cpp.o"
+  "CMakeFiles/ablation_sampling_vs_cct.dir/ablation_sampling_vs_cct.cpp.o.d"
+  "ablation_sampling_vs_cct"
+  "ablation_sampling_vs_cct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampling_vs_cct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

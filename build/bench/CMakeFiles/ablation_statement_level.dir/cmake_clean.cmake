@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_statement_level.dir/ablation_statement_level.cpp.o"
+  "CMakeFiles/ablation_statement_level.dir/ablation_statement_level.cpp.o.d"
+  "ablation_statement_level"
+  "ablation_statement_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_statement_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_path_encoding.dir/fig1_path_encoding.cpp.o"
+  "CMakeFiles/fig1_path_encoding.dir/fig1_path_encoding.cpp.o.d"
+  "fig1_path_encoding"
+  "fig1_path_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_path_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_metric_instrumentation.dir/fig3_metric_instrumentation.cpp.o"
+  "CMakeFiles/fig3_metric_instrumentation.dir/fig3_metric_instrumentation.cpp.o.d"
+  "fig3_metric_instrumentation"
+  "fig3_metric_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_metric_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cct_shapes.dir/fig4_cct_shapes.cpp.o"
+  "CMakeFiles/fig4_cct_shapes.dir/fig4_cct_shapes.cpp.o.d"
+  "fig4_cct_shapes"
+  "fig4_cct_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cct_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_perturbation.dir/table2_perturbation.cpp.o"
+  "CMakeFiles/table2_perturbation.dir/table2_perturbation.cpp.o.d"
+  "table2_perturbation"
+  "table2_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hot_paths.dir/table4_hot_paths.cpp.o"
+  "CMakeFiles/table4_hot_paths.dir/table4_hot_paths.cpp.o.d"
+  "table4_hot_paths"
+  "table4_hot_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hot_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_hot_paths.
+# This may be replaced when dependencies are built.

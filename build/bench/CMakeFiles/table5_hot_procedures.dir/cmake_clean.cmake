@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_hot_procedures.dir/table5_hot_procedures.cpp.o"
+  "CMakeFiles/table5_hot_procedures.dir/table5_hot_procedures.cpp.o.d"
+  "table5_hot_procedures"
+  "table5_hot_procedures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_hot_procedures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_conflict.dir/cache_conflict.cpp.o"
+  "CMakeFiles/cache_conflict.dir/cache_conflict.cpp.o.d"
+  "cache_conflict"
+  "cache_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

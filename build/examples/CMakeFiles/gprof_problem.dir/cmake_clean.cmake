@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprof_problem.dir/gprof_problem.cpp.o"
+  "CMakeFiles/gprof_problem.dir/gprof_problem.cpp.o.d"
+  "gprof_problem"
+  "gprof_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprof_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_path_optimizer.dir/hot_path_optimizer.cpp.o"
+  "CMakeFiles/hot_path_optimizer.dir/hot_path_optimizer.cpp.o.d"
+  "hot_path_optimizer"
+  "hot_path_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_path_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

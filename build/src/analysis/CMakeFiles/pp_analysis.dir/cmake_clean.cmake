@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_analysis.dir/BlockPaths.cpp.o"
+  "CMakeFiles/pp_analysis.dir/BlockPaths.cpp.o.d"
+  "CMakeFiles/pp_analysis.dir/EdgeProjection.cpp.o"
+  "CMakeFiles/pp_analysis.dir/EdgeProjection.cpp.o.d"
+  "CMakeFiles/pp_analysis.dir/HotPaths.cpp.o"
+  "CMakeFiles/pp_analysis.dir/HotPaths.cpp.o.d"
+  "CMakeFiles/pp_analysis.dir/Perturbation.cpp.o"
+  "CMakeFiles/pp_analysis.dir/Perturbation.cpp.o.d"
+  "CMakeFiles/pp_analysis.dir/SiteStats.cpp.o"
+  "CMakeFiles/pp_analysis.dir/SiteStats.cpp.o.d"
+  "libpp_analysis.a"
+  "libpp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

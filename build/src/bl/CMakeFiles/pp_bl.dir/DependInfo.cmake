@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bl/InstrumentationPlan.cpp" "src/bl/CMakeFiles/pp_bl.dir/InstrumentationPlan.cpp.o" "gcc" "src/bl/CMakeFiles/pp_bl.dir/InstrumentationPlan.cpp.o.d"
+  "/root/repo/src/bl/PathNumbering.cpp" "src/bl/CMakeFiles/pp_bl.dir/PathNumbering.cpp.o" "gcc" "src/bl/CMakeFiles/pp_bl.dir/PathNumbering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/pp_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_bl.dir/InstrumentationPlan.cpp.o"
+  "CMakeFiles/pp_bl.dir/InstrumentationPlan.cpp.o.d"
+  "CMakeFiles/pp_bl.dir/PathNumbering.cpp.o"
+  "CMakeFiles/pp_bl.dir/PathNumbering.cpp.o.d"
+  "libpp_bl.a"
+  "libpp_bl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_bl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cct/CallingContextTree.cpp" "src/cct/CMakeFiles/pp_cct.dir/CallingContextTree.cpp.o" "gcc" "src/cct/CMakeFiles/pp_cct.dir/CallingContextTree.cpp.o.d"
+  "/root/repo/src/cct/DynamicCallTree.cpp" "src/cct/CMakeFiles/pp_cct.dir/DynamicCallTree.cpp.o" "gcc" "src/cct/CMakeFiles/pp_cct.dir/DynamicCallTree.cpp.o.d"
+  "/root/repo/src/cct/Export.cpp" "src/cct/CMakeFiles/pp_cct.dir/Export.cpp.o" "gcc" "src/cct/CMakeFiles/pp_cct.dir/Export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_cct.dir/CallingContextTree.cpp.o"
+  "CMakeFiles/pp_cct.dir/CallingContextTree.cpp.o.d"
+  "CMakeFiles/pp_cct.dir/DynamicCallTree.cpp.o"
+  "CMakeFiles/pp_cct.dir/DynamicCallTree.cpp.o.d"
+  "CMakeFiles/pp_cct.dir/Export.cpp.o"
+  "CMakeFiles/pp_cct.dir/Export.cpp.o.d"
+  "libpp_cct.a"
+  "libpp_cct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_cct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

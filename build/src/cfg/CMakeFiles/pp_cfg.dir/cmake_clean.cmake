@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/pp_cfg.dir/Cfg.cpp.o.d"
+  "libpp_cfg.a"
+  "libpp_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_hw.dir/CacheSim.cpp.o"
+  "CMakeFiles/pp_hw.dir/CacheSim.cpp.o.d"
+  "CMakeFiles/pp_hw.dir/Event.cpp.o"
+  "CMakeFiles/pp_hw.dir/Event.cpp.o.d"
+  "libpp_hw.a"
+  "libpp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

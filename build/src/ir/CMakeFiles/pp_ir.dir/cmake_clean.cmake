@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_ir.dir/Module.cpp.o"
+  "CMakeFiles/pp_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/pp_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/Parser.cpp.o"
+  "CMakeFiles/pp_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/Printer.cpp.o"
+  "CMakeFiles/pp_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/pp_ir.dir/Verifier.cpp.o.d"
+  "libpp_ir.a"
+  "libpp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

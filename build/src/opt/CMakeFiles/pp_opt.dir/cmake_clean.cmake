@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_opt.dir/Layout.cpp.o"
+  "CMakeFiles/pp_opt.dir/Layout.cpp.o.d"
+  "libpp_opt.a"
+  "libpp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_prof.dir/CallSites.cpp.o"
+  "CMakeFiles/pp_prof.dir/CallSites.cpp.o.d"
+  "CMakeFiles/pp_prof.dir/Instrumenter.cpp.o"
+  "CMakeFiles/pp_prof.dir/Instrumenter.cpp.o.d"
+  "CMakeFiles/pp_prof.dir/Mode.cpp.o"
+  "CMakeFiles/pp_prof.dir/Mode.cpp.o.d"
+  "CMakeFiles/pp_prof.dir/Oracle.cpp.o"
+  "CMakeFiles/pp_prof.dir/Oracle.cpp.o.d"
+  "CMakeFiles/pp_prof.dir/Runtime.cpp.o"
+  "CMakeFiles/pp_prof.dir/Runtime.cpp.o.d"
+  "CMakeFiles/pp_prof.dir/Session.cpp.o"
+  "CMakeFiles/pp_prof.dir/Session.cpp.o.d"
+  "libpp_prof.a"
+  "libpp_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

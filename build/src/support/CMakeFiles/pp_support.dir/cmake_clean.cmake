@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_support.dir/Error.cpp.o"
+  "CMakeFiles/pp_support.dir/Error.cpp.o.d"
+  "CMakeFiles/pp_support.dir/Format.cpp.o"
+  "CMakeFiles/pp_support.dir/Format.cpp.o.d"
+  "CMakeFiles/pp_support.dir/TableWriter.cpp.o"
+  "CMakeFiles/pp_support.dir/TableWriter.cpp.o.d"
+  "libpp_support.a"
+  "libpp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

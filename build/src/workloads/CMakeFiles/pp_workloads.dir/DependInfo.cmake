@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Examples.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/Examples.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/Examples.cpp.o.d"
+  "/root/repo/src/workloads/Spec.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/Spec.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/Spec.cpp.o.d"
+  "/root/repo/src/workloads/SpecFp.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/SpecFp.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/SpecFp.cpp.o.d"
+  "/root/repo/src/workloads/SpecInt.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/SpecInt.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/SpecInt.cpp.o.d"
+  "/root/repo/src/workloads/Util.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/Util.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/Util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

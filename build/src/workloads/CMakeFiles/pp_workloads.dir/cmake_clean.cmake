@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_workloads.dir/Examples.cpp.o"
+  "CMakeFiles/pp_workloads.dir/Examples.cpp.o.d"
+  "CMakeFiles/pp_workloads.dir/Spec.cpp.o"
+  "CMakeFiles/pp_workloads.dir/Spec.cpp.o.d"
+  "CMakeFiles/pp_workloads.dir/SpecFp.cpp.o"
+  "CMakeFiles/pp_workloads.dir/SpecFp.cpp.o.d"
+  "CMakeFiles/pp_workloads.dir/SpecInt.cpp.o"
+  "CMakeFiles/pp_workloads.dir/SpecInt.cpp.o.d"
+  "CMakeFiles/pp_workloads.dir/Util.cpp.o"
+  "CMakeFiles/pp_workloads.dir/Util.cpp.o.d"
+  "libpp_workloads.a"
+  "libpp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_mode_test.dir/CrossModeTest.cpp.o"
+  "CMakeFiles/cross_mode_test.dir/CrossModeTest.cpp.o.d"
+  "cross_mode_test"
+  "cross_mode_test.pdb"
+  "cross_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_config_test.dir/MachineConfigTest.cpp.o"
+  "CMakeFiles/machine_config_test.dir/MachineConfigTest.cpp.o.d"
+  "machine_config_test"
+  "machine_config_test.pdb"
+  "machine_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

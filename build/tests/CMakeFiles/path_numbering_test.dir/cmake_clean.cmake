@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_numbering_test.dir/PathNumberingTest.cpp.o"
+  "CMakeFiles/path_numbering_test.dir/PathNumberingTest.cpp.o.d"
+  "path_numbering_test"
+  "path_numbering_test.pdb"
+  "path_numbering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_numbering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

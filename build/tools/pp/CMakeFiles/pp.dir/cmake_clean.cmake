@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp.dir/Main.cpp.o"
+  "CMakeFiles/pp.dir/Main.cpp.o.d"
+  "pp"
+  "pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
