@@ -1,22 +1,28 @@
 //===- bench/Common.h - Shared experiment-harness helpers ------*- C++ -*-===//
 ///
 /// \file
-/// Helpers shared by the table/figure regeneration binaries: running a
-/// workload under a mode, the CINT/CFP/SPEC averaging rows of the paper's
-/// tables, and simulated-seconds formatting (the paper reports wall-clock
-/// seconds of a 167 MHz UltraSPARC; we report simulated cycles scaled the
-/// same way so the tables read alike).
+/// Helpers shared by the table/figure regeneration binaries: declaring
+/// workload runs on the shared experiment driver (which executes them on
+/// a worker pool and memoizes them across binaries), the CINT/CFP/SPEC
+/// averaging rows of the paper's tables, and simulated-seconds formatting
+/// (the paper reports wall-clock seconds of a 167 MHz UltraSPARC; we
+/// report simulated cycles scaled the same way so the tables read alike).
+///
+/// The idiomatic bench shape is two loops: submit every run up front,
+/// then collect and render in submission order. Workers execute the whole
+/// run set behind the first get().
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PP_BENCH_COMMON_H
 #define PP_BENCH_COMMON_H
 
-#include "prof/Session.h"
+#include "driver/Driver.h"
 #include "support/Format.h"
 #include "support/TableWriter.h"
 #include "workloads/Spec.h"
 
+#include <cassert>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -31,21 +37,36 @@ inline double simSeconds(uint64_t Cycles) {
   return double(Cycles) / ClockHz;
 }
 
-/// Runs \p Name at \p Scale under \p M with default options; aborts the
-/// bench on failure so broken runs cannot masquerade as results.
-inline prof::RunOutcome runWorkload(const workloads::WorkloadSpec &Spec,
-                                    prof::Mode M, int Scale = 1) {
-  auto Module = Spec.Build(Scale);
-  prof::SessionOptions Options;
-  Options.Config.M = M;
-  prof::RunOutcome Run = prof::runProfile(*Module, Options);
-  if (!Run.Result.Ok) {
-    std::fprintf(stderr, "workload %s failed under %s: %s\n",
-                 Spec.Name.c_str(), prof::modeName(M),
-                 Run.Result.Error.c_str());
+/// Declares \p Name at \p Scale under \p M on the shared driver and
+/// returns the ticket.
+inline size_t submitWorkload(const workloads::WorkloadSpec &Spec,
+                             prof::Mode M, int Scale = 1) {
+  driver::RunPlan Plan;
+  Plan.Workload = Spec.Name;
+  Plan.Scale = Scale;
+  Plan.Options.Config.M = M;
+  return driver::defaultDriver().submit(std::move(Plan));
+}
+
+/// Collects a declared run; aborts the bench on failure so broken runs
+/// cannot masquerade as results.
+inline driver::OutcomePtr getRun(size_t Ticket, const std::string &Name,
+                                 prof::Mode M) {
+  driver::OutcomePtr Run = driver::defaultDriver().get(Ticket);
+  if (!Run || !Run->Result.Ok) {
+    std::fprintf(stderr, "workload %s failed under %s: %s\n", Name.c_str(),
+                 prof::modeName(M),
+                 Run ? Run->Result.Error.c_str() : "no outcome");
     std::abort();
   }
   return Run;
+}
+
+/// Runs \p Spec at \p Scale under \p M with default options; aborts the
+/// bench on failure. One-off convenience; prefer submit-all-then-get.
+inline driver::OutcomePtr runWorkload(const workloads::WorkloadSpec &Spec,
+                                      prof::Mode M, int Scale = 1) {
+  return getRun(submitWorkload(Spec, M, Scale), Spec.Name, M);
 }
 
 /// Accumulates per-benchmark values and emits the paper's three averaging
@@ -69,6 +90,8 @@ public:
         continue;
       if (Sums.empty())
         Sums.assign(R.Values.size(), 0);
+      assert(R.Values.size() == Sums.size() &&
+             "SuiteAverager rows must all have the same number of values");
       for (size_t Index = 0; Index != R.Values.size(); ++Index)
         Sums[Index] += R.Values[Index];
       ++Count;

@@ -25,21 +25,33 @@ int main() {
                    "Miss 4-way", "Hot%"});
   SuiteAverager Averager;
 
-  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+  const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
+  std::vector<std::vector<size_t>> Declared;
+  for (const workloads::WorkloadSpec &Spec : Suite) {
+    std::vector<size_t> PerAssoc;
+    for (unsigned Assoc : {1u, 2u, 4u}) {
+      driver::RunPlan Plan;
+      Plan.Workload = Spec.Name;
+      Plan.Options.Config.M = Mode::FlowHw;
+      Plan.Options.MachineCfg.DCache = hw::CacheConfig{16 * 1024, 32, Assoc};
+      PerAssoc.push_back(driver::defaultDriver().submit(std::move(Plan)));
+    }
+    Declared.push_back(std::move(PerAssoc));
+  }
+
+  for (size_t Index = 0; Index != Suite.size(); ++Index) {
+    const workloads::WorkloadSpec &Spec = Suite[Index];
     std::vector<std::string> Row{Spec.Name};
     std::vector<double> Values;
-    for (unsigned Assoc : {1u, 2u, 4u}) {
-      auto Module = Spec.Build(1);
-      prof::SessionOptions Options;
-      Options.Config.M = Mode::FlowHw;
-      Options.MachineCfg.DCache = hw::CacheConfig{16 * 1024, 32, Assoc};
-      prof::RunOutcome Run = prof::runProfile(*Module, Options);
-      if (!Run.Result.Ok) {
+    for (size_t Variant = 0; Variant != 3; ++Variant) {
+      driver::OutcomePtr Run =
+          driver::defaultDriver().get(Declared[Index][Variant]);
+      if (!Run || !Run->Result.Ok) {
         std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
         return 1;
       }
       std::vector<analysis::PathRecord> Records =
-          analysis::collectPathRecords(Run);
+          analysis::collectPathRecords(*Run);
       analysis::HotPathAnalysis A = analysis::analyzeHotPaths(Records, 0.01);
       double HotShare = A.TotalMisses == 0
                             ? 0

@@ -23,28 +23,44 @@ int main() {
                    "Bytes/proc", "Size ratio"});
   SuiteAverager Averager;
 
-  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
-    auto BySite = Spec.Build(1);
-    prof::SessionOptions SiteOptions;
-    SiteOptions.Config.M = Mode::Context;
-    prof::RunOutcome SiteRun = prof::runProfile(*BySite, SiteOptions);
+  const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
+  struct Tickets {
+    size_t BySite, ByProc;
+  };
+  std::vector<Tickets> Declared;
+  for (const workloads::WorkloadSpec &Spec : Suite) {
+    driver::RunPlan SitePlan;
+    SitePlan.Workload = Spec.Name;
+    SitePlan.Options.Config.M = Mode::Context;
 
-    auto ByProc = Spec.Build(1);
-    prof::SessionOptions ProcOptions;
-    ProcOptions.Config.M = Mode::Context;
-    ProcOptions.Config.DistinguishCallSites = false;
-    prof::RunOutcome ProcRun = prof::runProfile(*ByProc, ProcOptions);
+    driver::RunPlan ProcPlan;
+    ProcPlan.Workload = Spec.Name;
+    ProcPlan.Options.Config.M = Mode::Context;
+    ProcPlan.Options.Config.DistinguishCallSites = false;
 
-    if (!SiteRun.Result.Ok || !ProcRun.Result.Ok) {
+    Declared.push_back(
+        {driver::defaultDriver().submit(std::move(SitePlan)),
+         driver::defaultDriver().submit(std::move(ProcPlan))});
+  }
+
+  for (size_t Index = 0; Index != Suite.size(); ++Index) {
+    const workloads::WorkloadSpec &Spec = Suite[Index];
+    driver::OutcomePtr SiteRun =
+        driver::defaultDriver().get(Declared[Index].BySite);
+    driver::OutcomePtr ProcRun =
+        driver::defaultDriver().get(Declared[Index].ByProc);
+
+    if (!SiteRun || !SiteRun->Result.Ok || !ProcRun ||
+        !ProcRun->Result.Ok) {
       std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
       return 1;
     }
-    double Ratio = double(SiteRun.Tree->heapBytes()) /
-                   double(ProcRun.Tree->heapBytes());
-    Table.addRow({Spec.Name, std::to_string(SiteRun.Tree->numRecords()),
-                  std::to_string(ProcRun.Tree->numRecords()),
-                  std::to_string(SiteRun.Tree->heapBytes()),
-                  std::to_string(ProcRun.Tree->heapBytes()),
+    double Ratio = double(SiteRun->Tree->heapBytes()) /
+                   double(ProcRun->Tree->heapBytes());
+    Table.addRow({Spec.Name, std::to_string(SiteRun->Tree->numRecords()),
+                  std::to_string(ProcRun->Tree->numRecords()),
+                  std::to_string(SiteRun->Tree->heapBytes()),
+                  std::to_string(ProcRun->Tree->heapBytes()),
                   formatString("%.2f", Ratio)});
     Averager.add(Spec.Name, Spec.IsFloat, {Ratio});
   }

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Driver.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
 #include "prof/Session.h"
@@ -69,18 +70,25 @@ int main() {
   // Scale the divide so the run exceeds 2^32 cycles (the equivalent of a
   // ~30 s wall-clock run on the paper's 167 MHz machine).
   Options.MachineCfg.Cost.DivCycles = 40000;
-  prof::RunOutcome Run = prof::runProfile(*M, Options);
-  if (!Run.Result.Ok) {
-    std::fprintf(stderr, "run failed: %s\n", Run.Result.Error.c_str());
+
+  driver::RunPlan Plan;
+  Plan.Workload = "bench/divloop";
+  Plan.Scale = 200000;
+  Plan.Options = Options;
+  Plan.Build = [] { return buildDivLoop(200000); };
+  driver::OutcomePtr Run = driver::defaultDriver().run(std::move(Plan));
+  if (!Run || !Run->Result.Ok) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 Run ? Run->Result.Error.c_str() : "no outcome");
     return 1;
   }
 
-  uint64_t TrueCycles = Run.total(hw::Event::Cycles);
+  uint64_t TrueCycles = Run->total(hw::Event::Cycles);
   uint64_t Wrapped = TrueCycles & 0xffffffffu;
 
   uint64_t PerPathCycles = 0;
   for (const prof::PathEntry &Entry :
-       Run.PathProfiles[M->main()->id()].Paths)
+       Run->PathProfiles[M->main()->id()].Paths)
     PerPathCycles += Entry.Metric0;
 
   std::printf("whole-run cycles (64-bit truth):     %20" PRIu64 "\n",

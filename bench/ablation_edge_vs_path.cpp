@@ -21,14 +21,28 @@ int main() {
   Table.setHeader({"Benchmark", "Base", "Edge x", "Flow x", "Flow/Edge"});
   SuiteAverager Averager;
 
-  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
-    prof::RunOutcome Base = runWorkload(Spec, Mode::None);
-    prof::RunOutcome Edge = runWorkload(Spec, Mode::Edge);
-    prof::RunOutcome Flow = runWorkload(Spec, Mode::Flow);
+  const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
+  struct Tickets {
+    size_t Base, Edge, Flow;
+  };
+  std::vector<Tickets> Declared;
+  for (const workloads::WorkloadSpec &Spec : Suite)
+    Declared.push_back({submitWorkload(Spec, Mode::None),
+                        submitWorkload(Spec, Mode::Edge),
+                        submitWorkload(Spec, Mode::Flow)});
 
-    double BaseCycles = double(Base.total(hw::Event::Cycles));
-    double EdgeX = double(Edge.total(hw::Event::Cycles)) / BaseCycles;
-    double FlowX = double(Flow.total(hw::Event::Cycles)) / BaseCycles;
+  for (size_t Index = 0; Index != Suite.size(); ++Index) {
+    const workloads::WorkloadSpec &Spec = Suite[Index];
+    driver::OutcomePtr Base =
+        getRun(Declared[Index].Base, Spec.Name, Mode::None);
+    driver::OutcomePtr Edge =
+        getRun(Declared[Index].Edge, Spec.Name, Mode::Edge);
+    driver::OutcomePtr Flow =
+        getRun(Declared[Index].Flow, Spec.Name, Mode::Flow);
+
+    double BaseCycles = double(Base->total(hw::Event::Cycles));
+    double EdgeX = double(Edge->total(hw::Event::Cycles)) / BaseCycles;
+    double FlowX = double(Flow->total(hw::Event::Cycles)) / BaseCycles;
     double EdgeOver = EdgeX - 1.0, FlowOver = FlowX - 1.0;
     double Ratio = EdgeOver > 0 ? FlowOver / EdgeOver : 0;
 

@@ -25,7 +25,15 @@ int main() {
                    "CtxFound", "CtxTotal", "Found%", "FramesWalked"});
   SuiteAverager Averager;
 
-  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+  // Declare the CCT runs first; workers overlap them with the sampling
+  // loop below (which drives its own tracer-attached VM serially).
+  const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
+  std::vector<size_t> Declared;
+  for (const workloads::WorkloadSpec &Spec : Suite)
+    Declared.push_back(submitWorkload(Spec, prof::Mode::Context));
+
+  for (size_t Index = 0; Index != Suite.size(); ++Index) {
+    const workloads::WorkloadSpec &Spec = Suite[Index];
     // Sampling run: uninstrumented program + sampling tracer.
     auto Module = Spec.Build(1);
     hw::Machine Machine;
@@ -40,21 +48,22 @@ int main() {
     }
 
     // CCT run for the ground-truth context set.
-    prof::RunOutcome Ctx = runWorkload(Spec, prof::Mode::Context);
-    size_t CtxTotal = Ctx.Tree->numRecords() - 1; // root excluded
+    driver::OutcomePtr Ctx =
+        getRun(Declared[Index], Spec.Name, prof::Mode::Context);
+    size_t CtxTotal = Ctx->Tree->numRecords() - 1; // root excluded
     size_t CtxFound = Sampler.numDistinctContexts();
     double FoundShare =
         CtxTotal == 0 ? 0 : 100.0 * double(CtxFound) / double(CtxTotal);
 
     Table.addRow({Spec.Name, std::to_string(Sampler.numSamples()),
                   std::to_string(Sampler.logBytes()),
-                  std::to_string(Ctx.Tree->heapBytes()),
+                  std::to_string(Ctx->Tree->heapBytes()),
                   std::to_string(CtxFound), std::to_string(CtxTotal),
                   formatString("%.0f%%", FoundShare),
                   std::to_string(Sampler.framesWalked())});
     Averager.add(Spec.Name, Spec.IsFloat,
                  {double(Sampler.logBytes()),
-                  double(Ctx.Tree->heapBytes()), FoundShare});
+                  double(Ctx->Tree->heapBytes()), FoundShare});
   }
   Table.addSeparator();
   std::vector<double> Avg = Averager.average(true, true);

@@ -27,17 +27,23 @@ int main() {
                    "MaxPaths/Block"});
   SuiteAverager Averager;
 
-  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+  const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
+  std::vector<size_t> Declared;
+  for (const workloads::WorkloadSpec &Spec : Suite)
+    Declared.push_back(submitWorkload(Spec, Mode::FlowHw));
+
+  for (size_t Index = 0; Index != Suite.size(); ++Index) {
+    const workloads::WorkloadSpec &Spec = Suite[Index];
+    // The block-to-path ambiguity is computed against the uninstrumented
+    // module's CFGs, so build it locally.
     auto Module = Spec.Build(1);
-    prof::SessionOptions Options;
-    Options.Config.M = Mode::FlowHw;
-    prof::RunOutcome Run = prof::runProfile(*Module, Options);
-    if (!Run.Result.Ok) {
+    driver::OutcomePtr Run = driver::defaultDriver().get(Declared[Index]);
+    if (!Run || !Run->Result.Ok) {
       std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
       return 1;
     }
     std::vector<analysis::PathRecord> Records =
-        analysis::collectPathRecords(Run);
+        analysis::collectPathRecords(*Run);
     analysis::HotPathAnalysis A = analysis::analyzeHotPaths(Records, 0.01);
     analysis::BlockPathStats Stats =
         analysis::computeBlockPathStats(*Module, Records, A);

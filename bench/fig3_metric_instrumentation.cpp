@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Driver.h"
 #include "ir/Printer.h"
 #include "prof/Session.h"
 #include "support/TableWriter.h"
@@ -37,10 +38,15 @@ int main() {
   std::printf("%s\n", ir::printFunction(*Instr.M->main()).c_str());
 
   // Run and report per-path metrics.
-  prof::RunOutcome Run = prof::runProfile(*M, Options);
-  assert(Run.Result.Ok);
+  driver::RunPlan Plan;
+  Plan.Workload = "examples/loop";
+  Plan.Scale = 1000;
+  Plan.Options = Options;
+  Plan.Build = [] { return workloads::buildLoopModule(1000); };
+  driver::OutcomePtr Run = driver::defaultDriver().run(std::move(Plan));
+  assert(Run && Run->Result.Ok);
   const prof::FunctionPathProfile &Profile =
-      Run.PathProfiles[M->main()->id()];
+      Run->PathProfiles[M->main()->id()];
 
   std::printf("Measured per-path metrics:\n");
   TableWriter Table;
@@ -51,7 +57,7 @@ int main() {
                   std::to_string(Entry.Metric1)});
   std::printf("%s", Table.render().c_str());
   std::printf("\nWhole-run ground truth: %llu insts, %llu DC read misses\n",
-              (unsigned long long)Run.total(hw::Event::Insts),
-              (unsigned long long)Run.total(hw::Event::DCacheReadMiss));
+              (unsigned long long)Run->total(hw::Event::Insts),
+              (unsigned long long)Run->total(hw::Event::DCacheReadMiss));
   return 0;
 }

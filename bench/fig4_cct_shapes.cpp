@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cct/Export.h"
+#include "driver/Driver.h"
 #include "prof/Oracle.h"
 #include "prof/Session.h"
 #include "workloads/Examples.h"
@@ -16,7 +17,10 @@
 
 using namespace pp;
 
-static void report(const char *Title, ir::Module &M) {
+static void report(const char *Title, const char *Tag,
+                   std::unique_ptr<ir::Module> (*Build)()) {
+  std::unique_ptr<ir::Module> Owned = Build();
+  ir::Module &M = *Owned;
   std::printf("%s\n", Title);
   for (size_t Dash = 0; Dash != 60; ++Dash)
     std::printf("=");
@@ -38,59 +42,56 @@ static void report(const char *Title, ir::Module &M) {
   std::printf("(b) dynamic call graph: %zu procedures, %zu edges\n",
               Oracle.dcg().numProcs(), Oracle.dcg().numEdges());
 
-  prof::SessionOptions Options;
-  Options.Config.M = prof::Mode::Context;
-  prof::RunOutcome Run = prof::runProfile(M, Options);
-  assert(Run.Result.Ok && Run.Tree);
-  cct::CctStats Stats = Run.Tree->computeStats();
+  driver::RunPlan Plan;
+  Plan.Workload = Tag;
+  Plan.Options.Config.M = prof::Mode::Context;
+  Plan.Build = [Build] { return Build(); };
+  driver::OutcomePtr Run = driver::defaultDriver().run(std::move(Plan));
+  assert(Run && Run->Result.Ok && Run->Tree);
+  cct::CctStats Stats = Run->Tree->computeStats();
   std::printf("(c) calling context tree: %zu records (root included), "
               "max depth %llu, %llu recursion backedges\n\n",
-              Run.Tree->numRecords(), (unsigned long long)Stats.MaxDepth,
+              Run->Tree->numRecords(), (unsigned long long)Stats.MaxDepth,
               (unsigned long long)Stats.BackedgeSlots);
-  std::printf("%s\n", cct::exportDot(*Run.Tree).c_str());
+  std::printf("%s\n", cct::exportDot(*Run->Tree).c_str());
 }
 
 int main() {
-  {
-    auto M = workloads::buildFig4Module();
-    report("Figure 4: M calls A and D; A->B->C; D->C (C keeps two contexts)",
-           *M);
-  }
-  {
-    auto M = workloads::buildFig5Module();
-    report("Figure 5: recursive A<->B (collapsed onto ancestor records)",
-           *M);
-  }
+  report("Figure 4: M calls A and D; A->B->C; D->C (C keeps two contexts)",
+         "examples/fig4", workloads::buildFig4Module);
+  report("Figure 5: recursive A<->B (collapsed onto ancestor records)",
+         "examples/fig5", workloads::buildFig5Module);
 
   // Figures 6/7: the record layout.
   std::printf("Figures 6/7: CallRecord layout in the CCT heap\n");
   for (size_t Dash = 0; Dash != 60; ++Dash)
     std::printf("=");
   std::printf("\n");
-  auto M = workloads::buildFig4Module();
-  prof::SessionOptions Options;
-  Options.Config.M = prof::Mode::Context;
-  prof::RunOutcome Run = prof::runProfile(*M, Options);
-  assert(Run.Result.Ok);
+  driver::RunPlan Plan;
+  Plan.Workload = "examples/fig4";
+  Plan.Options.Config.M = prof::Mode::Context;
+  Plan.Build = [] { return workloads::buildFig4Module(); };
+  driver::OutcomePtr Run = driver::defaultDriver().run(std::move(Plan));
+  assert(Run && Run->Result.Ok);
   std::printf("record := { ID(8) | parent(8) | metrics[3]x8 | "
               "children[sites]x8 }\n\n");
-  for (const auto &R : Run.Tree->records()) {
+  for (const auto &R : Run->Tree->records()) {
     std::string Name = R->procId() == cct::RootProcId
                            ? "T"
-                           : Run.Tree->procDesc(R->procId()).Name;
+                           : Run->Tree->procDesc(R->procId()).Name;
     std::printf("  %-4s at 0x%llx  (%llu bytes, %u slots, %llu calls)\n",
                 Name.c_str(), (unsigned long long)R->addr(),
-                (unsigned long long)Run.Tree->recordBytes(R->procId()),
+                (unsigned long long)Run->Tree->recordBytes(R->procId()),
                 R->numSlots(), (unsigned long long)R->Metrics[0]);
   }
   std::printf("\nCCT heap bytes: %llu\n",
-              (unsigned long long)Run.Tree->heapBytes());
+              (unsigned long long)Run->Tree->heapBytes());
 
   // Program-exit serialisation round trip ("writes the heap to a file").
-  std::vector<uint8_t> Bytes = cct::serialize(*Run.Tree);
+  std::vector<uint8_t> Bytes = cct::serialize(*Run->Tree);
   std::vector<cct::LoadedRecord> Loaded;
   bool LoadedOk = cct::deserialize(Bytes, Loaded);
-  assert(LoadedOk && Loaded.size() == Run.Tree->numRecords());
+  assert(LoadedOk && Loaded.size() == Run->Tree->numRecords());
   (void)LoadedOk;
   std::printf("serialised profile: %zu bytes, reloads to %zu records\n",
               Bytes.size(), Loaded.size());

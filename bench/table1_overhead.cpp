@@ -23,16 +23,33 @@ int main() {
                    "x base", "Ctx+Flow", "x base"});
   SuiteAverager Averager;
 
-  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
-    prof::RunOutcome Base = runWorkload(Spec, Mode::None);
-    prof::RunOutcome FlowHw = runWorkload(Spec, Mode::FlowHw);
-    prof::RunOutcome CtxHw = runWorkload(Spec, Mode::ContextHw);
-    prof::RunOutcome CtxFlow = runWorkload(Spec, Mode::ContextFlow);
+  // Declare the whole run set, then collect in submission order.
+  const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
+  struct Tickets {
+    size_t Base, FlowHw, CtxHw, CtxFlow;
+  };
+  std::vector<Tickets> Declared;
+  for (const workloads::WorkloadSpec &Spec : Suite)
+    Declared.push_back({submitWorkload(Spec, Mode::None),
+                        submitWorkload(Spec, Mode::FlowHw),
+                        submitWorkload(Spec, Mode::ContextHw),
+                        submitWorkload(Spec, Mode::ContextFlow)});
 
-    double BaseSecs = simSeconds(Base.total(hw::Event::Cycles));
-    double FlowSecs = simSeconds(FlowHw.total(hw::Event::Cycles));
-    double CtxSecs = simSeconds(CtxHw.total(hw::Event::Cycles));
-    double CfSecs = simSeconds(CtxFlow.total(hw::Event::Cycles));
+  for (size_t Index = 0; Index != Suite.size(); ++Index) {
+    const workloads::WorkloadSpec &Spec = Suite[Index];
+    driver::OutcomePtr Base =
+        getRun(Declared[Index].Base, Spec.Name, Mode::None);
+    driver::OutcomePtr FlowHw =
+        getRun(Declared[Index].FlowHw, Spec.Name, Mode::FlowHw);
+    driver::OutcomePtr CtxHw =
+        getRun(Declared[Index].CtxHw, Spec.Name, Mode::ContextHw);
+    driver::OutcomePtr CtxFlow =
+        getRun(Declared[Index].CtxFlow, Spec.Name, Mode::ContextFlow);
+
+    double BaseSecs = simSeconds(Base->total(hw::Event::Cycles));
+    double FlowSecs = simSeconds(FlowHw->total(hw::Event::Cycles));
+    double CtxSecs = simSeconds(CtxHw->total(hw::Event::Cycles));
+    double CfSecs = simSeconds(CtxFlow->total(hw::Event::Cycles));
 
     Table.addRow({Spec.Name, formatString("%.4f", BaseSecs),
                   formatString("%.4f", FlowSecs),

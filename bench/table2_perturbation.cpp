@@ -37,17 +37,31 @@ int main() {
   }
   SuiteAverager Averager;
 
-  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
-    prof::RunOutcome Base = runWorkload(Spec, Mode::None);
-    prof::RunOutcome Flow = runWorkload(Spec, Mode::FlowHw);
-    prof::RunOutcome Ctx = runWorkload(Spec, Mode::ContextHw);
+  const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
+  struct Tickets {
+    size_t Base, Flow, Ctx;
+  };
+  std::vector<Tickets> Declared;
+  for (const workloads::WorkloadSpec &Spec : Suite)
+    Declared.push_back({submitWorkload(Spec, Mode::None),
+                        submitWorkload(Spec, Mode::FlowHw),
+                        submitWorkload(Spec, Mode::ContextHw)});
+
+  for (size_t Index = 0; Index != Suite.size(); ++Index) {
+    const workloads::WorkloadSpec &Spec = Suite[Index];
+    driver::OutcomePtr Base =
+        getRun(Declared[Index].Base, Spec.Name, Mode::None);
+    driver::OutcomePtr Flow =
+        getRun(Declared[Index].Flow, Spec.Name, Mode::FlowHw);
+    driver::OutcomePtr Ctx =
+        getRun(Declared[Index].Ctx, Spec.Name, Mode::ContextHw);
 
     std::vector<std::string> Row{Spec.Name};
     std::vector<double> Values;
     for (hw::Event E : Events) {
-      double BaseVal = double(Base.total(E));
-      double FRatio = BaseVal == 0 ? 0 : double(Flow.total(E)) / BaseVal;
-      double CRatio = BaseVal == 0 ? 0 : double(Ctx.total(E)) / BaseVal;
+      double BaseVal = double(Base->total(E));
+      double FRatio = BaseVal == 0 ? 0 : double(Flow->total(E)) / BaseVal;
+      double CRatio = BaseVal == 0 ? 0 : double(Ctx->total(E)) / BaseVal;
       Row.push_back(BaseVal == 0 ? "-" : formatString("%.2f", FRatio));
       Row.push_back(BaseVal == 0 ? "-" : formatString("%.2f", CRatio));
       Values.push_back(FRatio);

@@ -27,20 +27,26 @@ int main() {
                    "Ht avg", "Ht max", "MaxRepl", "Sites", "Used",
                    "OnePath"});
 
-  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
+  const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
+  std::vector<size_t> Declared;
+  for (const workloads::WorkloadSpec &Spec : Suite)
+    Declared.push_back(submitWorkload(Spec, Mode::ContextFlow));
+
+  for (size_t Index = 0; Index != Suite.size(); ++Index) {
+    const workloads::WorkloadSpec &Spec = Suite[Index];
+    // The site statistics compare the CCT against the uninstrumented
+    // module's static call sites, so build it locally.
     auto Module = Spec.Build(1);
-    prof::SessionOptions Options;
-    Options.Config.M = Mode::ContextFlow;
-    prof::RunOutcome Run = prof::runProfile(*Module, Options);
-    if (!Run.Result.Ok || !Run.Tree) {
+    driver::OutcomePtr Run = driver::defaultDriver().get(Declared[Index]);
+    if (!Run || !Run->Result.Ok || !Run->Tree) {
       std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
       return 1;
     }
-    cct::CctStats Stats = Run.Tree->computeStats();
+    cct::CctStats Stats = Run->Tree->computeStats();
     analysis::SitePathStats Sites =
-        analysis::computeSitePathStats(*Run.Tree, *Module, Run.Instr);
+        analysis::computeSitePathStats(*Run->Tree, *Module, Run->Instr);
     uint64_t ProfileBytes =
-        cct::serialize(*Run.Tree).size() + Run.Tree->heapBytes();
+        cct::serialize(*Run->Tree).size() + Run->Tree->heapBytes();
 
     Table.addRow({Spec.Name, formatEng(double(ProfileBytes)),
                   std::to_string(Stats.NumRecords),

@@ -29,10 +29,17 @@ int main() {
   std::vector<std::pair<std::string, std::vector<analysis::PathRecord>>>
       GoGccRecords;
 
-  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
-    prof::RunOutcome Run = runWorkload(Spec, Mode::FlowHw);
+  const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
+  std::vector<size_t> Declared;
+  for (const workloads::WorkloadSpec &Spec : Suite)
+    Declared.push_back(submitWorkload(Spec, Mode::FlowHw));
+
+  for (size_t Index = 0; Index != Suite.size(); ++Index) {
+    const workloads::WorkloadSpec &Spec = Suite[Index];
+    driver::OutcomePtr Run =
+        getRun(Declared[Index], Spec.Name, Mode::FlowHw);
     std::vector<analysis::PathRecord> Records =
-        analysis::collectPathRecords(Run);
+        analysis::collectPathRecords(*Run);
     analysis::HotPathAnalysis A = analysis::analyzeHotPaths(Records, 0.01);
 
     Table.addRow({Spec.Name, std::to_string(A.TotalPaths),

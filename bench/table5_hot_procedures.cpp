@@ -26,10 +26,17 @@ int main() {
                    "Path/Proc", "Miss%"});
   SuiteAverager Averager;
 
-  for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
-    prof::RunOutcome Run = runWorkload(Spec, Mode::FlowHw);
+  const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
+  std::vector<size_t> Declared;
+  for (const workloads::WorkloadSpec &Spec : Suite)
+    Declared.push_back(submitWorkload(Spec, Mode::FlowHw));
+
+  for (size_t Index = 0; Index != Suite.size(); ++Index) {
+    const workloads::WorkloadSpec &Spec = Suite[Index];
+    driver::OutcomePtr Run =
+        getRun(Declared[Index], Spec.Name, Mode::FlowHw);
     std::vector<analysis::PathRecord> Records =
-        analysis::collectPathRecords(Run);
+        analysis::collectPathRecords(*Run);
     std::vector<analysis::ProcRecord> Procs =
         analysis::aggregateByProcedure(Records);
     analysis::HotProcAnalysis A = analysis::analyzeHotProcs(Procs, 0.01);

@@ -1,0 +1,33 @@
+//===- driver/Driver.cpp - The experiment-driver facade -----------------------===//
+
+#include "driver/Driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pp;
+using namespace pp::driver;
+
+Driver::~Driver() {
+  const char *Stats = std::getenv("PP_DRIVER_STATS");
+  if (!Stats || Stats[0] != '1')
+    return;
+  RunCache::Stats C = Cache.stats();
+  std::fprintf(stderr,
+               "pp-driver: %zu tickets, %llu runs executed on %u threads; "
+               "cache: %llu memory hits, %llu disk hits, %llu misses, "
+               "%llu stores%s\n",
+               Scheduler.numTickets(),
+               static_cast<unsigned long long>(Scheduler.runsExecuted()),
+               Scheduler.numThreads(),
+               static_cast<unsigned long long>(C.MemoryHits),
+               static_cast<unsigned long long>(C.DiskHits),
+               static_cast<unsigned long long>(C.Misses),
+               static_cast<unsigned long long>(C.Stores),
+               Cache.hasDiskLayer() ? " (disk layer on)" : "");
+}
+
+Driver &pp::driver::defaultDriver() {
+  static Driver Instance;
+  return Instance;
+}

@@ -1,0 +1,59 @@
+//===- driver/Driver.h - The experiment-driver facade ----------*- C++ -*-===//
+///
+/// \file
+/// Ties the driver layer together: one RunCache (optionally disk-backed
+/// via $PP_RUN_CACHE_DIR) feeding one RunScheduler. Benches and the PP
+/// tool declare their full run set through submit(), then collect
+/// outcomes with get() while workers execute in parallel behind the
+/// scenes.
+///
+/// defaultDriver() is the process-wide instance every table/figure binary
+/// shares; with PP_DRIVER_STATS=1 it reports scheduling and cache counts
+/// to stderr at exit (stdout stays reserved for the tables themselves).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_DRIVER_DRIVER_H
+#define PP_DRIVER_DRIVER_H
+
+#include "driver/RunCache.h"
+#include "driver/RunPlan.h"
+#include "driver/RunScheduler.h"
+
+namespace pp {
+namespace driver {
+
+class Driver {
+public:
+  explicit Driver(std::string DiskDir = RunCache::diskDirFromEnv(),
+                  unsigned Threads = RunScheduler::defaultWorkerThreads())
+      : Cache(std::move(DiskDir)), Scheduler(&Cache, Threads) {}
+  ~Driver();
+
+  Driver(const Driver &) = delete;
+  Driver &operator=(const Driver &) = delete;
+
+  /// Declares a run; workers start on it immediately.
+  size_t submit(RunPlan Plan) { return Scheduler.submit(std::move(Plan)); }
+
+  /// Blocks until the run behind \p Ticket finished.
+  OutcomePtr get(size_t Ticket) { return Scheduler.get(Ticket); }
+
+  /// Convenience for one-off runs: submit and wait.
+  OutcomePtr run(RunPlan Plan) { return get(submit(std::move(Plan))); }
+
+  RunCache &cache() { return Cache; }
+  RunScheduler &scheduler() { return Scheduler; }
+
+private:
+  RunCache Cache;
+  RunScheduler Scheduler;
+};
+
+/// The process-wide driver (constructed on first use).
+Driver &defaultDriver();
+
+} // namespace driver
+} // namespace pp
+
+#endif // PP_DRIVER_DRIVER_H

@@ -1,0 +1,345 @@
+//===- driver/OutcomeIO.cpp - RunOutcome (de)serialisation --------------------===//
+
+#include "driver/OutcomeIO.h"
+
+#include "cct/CallingContextTree.h"
+
+#include <cstring>
+
+using namespace pp;
+using namespace pp::driver;
+
+namespace {
+
+constexpr uint64_t Magic = 0x5050524f; // "PPRO"
+constexpr uint64_t Version = 1;
+
+class Writer {
+public:
+  std::vector<uint8_t> Bytes;
+
+  void u8(uint8_t Value) { Bytes.push_back(Value); }
+  void u64(uint64_t Value) {
+    for (unsigned Index = 0; Index != 8; ++Index)
+      Bytes.push_back(static_cast<uint8_t>(Value >> (8 * Index)));
+  }
+  void str(const std::string &Value) {
+    u64(Value.size());
+    Bytes.insert(Bytes.end(), Value.begin(), Value.end());
+  }
+  void bytes(const std::vector<uint8_t> &Value) {
+    u64(Value.size());
+    Bytes.insert(Bytes.end(), Value.begin(), Value.end());
+  }
+};
+
+class Reader {
+public:
+  explicit Reader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool u8(uint8_t &Value) {
+    if (Cursor + 1 > Bytes.size())
+      return false;
+    Value = Bytes[Cursor++];
+    return true;
+  }
+  bool u64(uint64_t &Value) {
+    if (Cursor + 8 > Bytes.size())
+      return false;
+    Value = 0;
+    for (unsigned Index = 0; Index != 8; ++Index)
+      Value |= uint64_t(Bytes[Cursor + Index]) << (8 * Index);
+    Cursor += 8;
+    return true;
+  }
+  bool str(std::string &Value) {
+    uint64_t Size;
+    if (!u64(Size) || Cursor + Size > Bytes.size())
+      return false;
+    Value.assign(reinterpret_cast<const char *>(Bytes.data()) + Cursor, Size);
+    Cursor += Size;
+    return true;
+  }
+  bool bytes(std::vector<uint8_t> &Value) {
+    uint64_t Size;
+    if (!u64(Size) || Cursor + Size > Bytes.size())
+      return false;
+    Value.assign(Bytes.begin() + static_cast<long>(Cursor),
+                 Bytes.begin() + static_cast<long>(Cursor + Size));
+    Cursor += Size;
+    return true;
+  }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t Cursor = 0;
+};
+
+void writeTree(Writer &W, const cct::CallingContextTree &Tree) {
+  cct::TreeImage Image = Tree.image();
+  W.u64(Image.Procs.size());
+  for (const cct::ProcDesc &Proc : Image.Procs) {
+    W.str(Proc.Name);
+    W.u64(Proc.NumSites);
+    W.bytes(Proc.SiteIsIndirect);
+    W.u64(Proc.NumPaths);
+  }
+  W.u64(Image.NumMetrics);
+  W.u64(Image.PathCellBytes);
+  W.u64(Image.HashThreshold);
+  W.u64(Image.HeapBytes);
+  W.u64(Image.ListCells);
+  W.u64(Image.Records.size());
+  for (const cct::TreeImage::Record &Rec : Image.Records) {
+    W.u64(Rec.Proc);
+    W.u64(static_cast<uint64_t>(Rec.Parent));
+    W.u64(Rec.Addr);
+    W.u64(Rec.PathTableAddr);
+    W.u64(Rec.Metrics.size());
+    for (uint64_t Metric : Rec.Metrics)
+      W.u64(Metric);
+    W.u64(Rec.PathCells.size());
+    for (const auto &[Sum, Cell] : Rec.PathCells) {
+      W.u64(Sum);
+      W.u64(Cell.Freq);
+      W.u64(Cell.Metric0);
+      W.u64(Cell.Metric1);
+    }
+    W.u64(Rec.Slots.size());
+    for (const cct::TreeImage::Slot &Slot : Rec.Slots) {
+      W.u8(Slot.Kind);
+      W.u64(Slot.Targets.size());
+      for (const auto &[Target, CellAddr] : Slot.Targets) {
+        W.u64(Target);
+        W.u64(CellAddr);
+      }
+    }
+  }
+}
+
+bool readTree(Reader &R, std::unique_ptr<cct::CallingContextTree> &Out) {
+  cct::TreeImage Image;
+  uint64_t NumProcs;
+  if (!R.u64(NumProcs))
+    return false;
+  Image.Procs.resize(NumProcs);
+  for (cct::ProcDesc &Proc : Image.Procs) {
+    uint64_t Sites, Paths;
+    if (!R.str(Proc.Name) || !R.u64(Sites) || !R.bytes(Proc.SiteIsIndirect) ||
+        !R.u64(Paths))
+      return false;
+    Proc.NumSites = static_cast<unsigned>(Sites);
+    Proc.NumPaths = Paths;
+  }
+  uint64_t NumMetrics, CellBytes, NumRecords;
+  if (!R.u64(NumMetrics) || !R.u64(CellBytes) || !R.u64(Image.HashThreshold) ||
+      !R.u64(Image.HeapBytes) || !R.u64(Image.ListCells) ||
+      !R.u64(NumRecords))
+    return false;
+  Image.NumMetrics = static_cast<unsigned>(NumMetrics);
+  Image.PathCellBytes = static_cast<unsigned>(CellBytes);
+  Image.Records.resize(NumRecords);
+  for (cct::TreeImage::Record &Rec : Image.Records) {
+    uint64_t Proc, Parent, NumRecMetrics, NumCells, NumSlots;
+    if (!R.u64(Proc) || !R.u64(Parent) || !R.u64(Rec.Addr) ||
+        !R.u64(Rec.PathTableAddr) || !R.u64(NumRecMetrics))
+      return false;
+    Rec.Proc = static_cast<cct::ProcId>(Proc);
+    Rec.Parent = static_cast<int64_t>(Parent);
+    Rec.Metrics.resize(NumRecMetrics);
+    for (uint64_t &Metric : Rec.Metrics)
+      if (!R.u64(Metric))
+        return false;
+    if (!R.u64(NumCells))
+      return false;
+    Rec.PathCells.resize(NumCells);
+    for (auto &[Sum, Cell] : Rec.PathCells)
+      if (!R.u64(Sum) || !R.u64(Cell.Freq) || !R.u64(Cell.Metric0) ||
+          !R.u64(Cell.Metric1))
+        return false;
+    if (!R.u64(NumSlots))
+      return false;
+    Rec.Slots.resize(NumSlots);
+    for (cct::TreeImage::Slot &Slot : Rec.Slots) {
+      uint64_t NumTargets;
+      if (!R.u8(Slot.Kind) || !R.u64(NumTargets))
+        return false;
+      Slot.Targets.resize(NumTargets);
+      for (auto &[Target, CellAddr] : Slot.Targets)
+        if (!R.u64(Target) || !R.u64(CellAddr))
+          return false;
+    }
+  }
+  Out = cct::CallingContextTree::fromImage(Image);
+  return Out != nullptr;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+driver::serializeOutcome(const prof::RunOutcome &Outcome,
+                         const std::string &Fingerprint) {
+  Writer W;
+  W.u64(Magic);
+  W.u64(Version);
+  W.str(Fingerprint);
+
+  W.u8(Outcome.Result.Ok ? 1 : 0);
+  W.u64(Outcome.Result.ExitValue);
+  W.u64(Outcome.Result.ExecutedInsts);
+  W.str(Outcome.Result.Error);
+
+  W.u64(hw::NumEvents);
+  for (uint64_t Total : Outcome.Totals)
+    W.u64(Total);
+
+  W.u64(Outcome.PathProfiles.size());
+  for (const prof::FunctionPathProfile &Profile : Outcome.PathProfiles) {
+    W.u64(Profile.FuncId);
+    W.u8(Profile.HasProfile ? 1 : 0);
+    W.u64(Profile.NumPaths);
+    W.u8(Profile.Hashed ? 1 : 0);
+    W.u64(Profile.Paths.size());
+    for (const prof::PathEntry &Entry : Profile.Paths) {
+      W.u64(Entry.PathSum);
+      W.u64(Entry.Freq);
+      W.u64(Entry.Metric0);
+      W.u64(Entry.Metric1);
+    }
+  }
+
+  W.u64(Outcome.EdgeProfiles.size());
+  for (const prof::EdgeProfile &Profile : Outcome.EdgeProfiles) {
+    W.u64(Profile.FuncId);
+    W.u8(Profile.HasProfile ? 1 : 0);
+    W.u64(Profile.Invocations);
+    W.u64(Profile.EdgeCounts.size());
+    for (uint64_t Count : Profile.EdgeCounts)
+      W.u64(Count);
+  }
+
+  // Instrumentation metadata (the module itself is not persisted).
+  W.u64(Outcome.Instr.Functions.size());
+  for (const prof::FunctionInstrInfo &Info : Outcome.Instr.Functions) {
+    W.u8(Info.Instrumented ? 1 : 0);
+    W.u8(Info.HasPathProfile ? 1 : 0);
+    W.u64(Info.NumPaths);
+    W.u8(Info.Hashed ? 1 : 0);
+    W.u64(Info.TableAddr);
+    W.u64(Info.Stride);
+    W.u64(Info.EdgeTableAddr);
+    W.u64(Info.ChordEdges.size());
+    for (unsigned Edge : Info.ChordEdges)
+      W.u64(Edge);
+    W.u64(Info.NumSites);
+    W.bytes(Info.SiteIsIndirect);
+  }
+
+  W.u8(Outcome.Tree ? 1 : 0);
+  if (Outcome.Tree)
+    writeTree(W, *Outcome.Tree);
+  return std::move(W.Bytes);
+}
+
+bool driver::deserializeOutcome(const std::vector<uint8_t> &Bytes,
+                                const std::string &ExpectedFingerprint,
+                                prof::RunOutcome &Out) {
+  Reader R(Bytes);
+  uint64_t Header, FileVersion;
+  std::string Fingerprint;
+  if (!R.u64(Header) || Header != Magic || !R.u64(FileVersion) ||
+      FileVersion != Version || !R.str(Fingerprint) ||
+      Fingerprint != ExpectedFingerprint)
+    return false;
+
+  uint8_t Ok;
+  if (!R.u8(Ok) || !R.u64(Out.Result.ExitValue) ||
+      !R.u64(Out.Result.ExecutedInsts) || !R.str(Out.Result.Error))
+    return false;
+  Out.Result.Ok = Ok != 0;
+
+  uint64_t NumTotals;
+  if (!R.u64(NumTotals) || NumTotals != hw::NumEvents)
+    return false;
+  for (uint64_t &Total : Out.Totals)
+    if (!R.u64(Total))
+      return false;
+
+  uint64_t NumPathProfiles;
+  if (!R.u64(NumPathProfiles))
+    return false;
+  Out.PathProfiles.resize(NumPathProfiles);
+  for (prof::FunctionPathProfile &Profile : Out.PathProfiles) {
+    uint64_t FuncId, NumEntries;
+    uint8_t HasProfile, Hashed;
+    if (!R.u64(FuncId) || !R.u8(HasProfile) || !R.u64(Profile.NumPaths) ||
+        !R.u8(Hashed) || !R.u64(NumEntries))
+      return false;
+    Profile.FuncId = static_cast<unsigned>(FuncId);
+    Profile.HasProfile = HasProfile != 0;
+    Profile.Hashed = Hashed != 0;
+    Profile.Paths.resize(NumEntries);
+    for (prof::PathEntry &Entry : Profile.Paths)
+      if (!R.u64(Entry.PathSum) || !R.u64(Entry.Freq) ||
+          !R.u64(Entry.Metric0) || !R.u64(Entry.Metric1))
+        return false;
+  }
+
+  uint64_t NumEdgeProfiles;
+  if (!R.u64(NumEdgeProfiles))
+    return false;
+  Out.EdgeProfiles.resize(NumEdgeProfiles);
+  for (prof::EdgeProfile &Profile : Out.EdgeProfiles) {
+    uint64_t FuncId, NumCounts;
+    uint8_t HasProfile;
+    if (!R.u64(FuncId) || !R.u8(HasProfile) || !R.u64(Profile.Invocations) ||
+        !R.u64(NumCounts))
+      return false;
+    Profile.FuncId = static_cast<unsigned>(FuncId);
+    Profile.HasProfile = HasProfile != 0;
+    Profile.EdgeCounts.resize(NumCounts);
+    for (uint64_t &Count : Profile.EdgeCounts)
+      if (!R.u64(Count))
+        return false;
+  }
+
+  uint64_t NumFunctions;
+  if (!R.u64(NumFunctions))
+    return false;
+  Out.Instr.M = nullptr;
+  Out.Instr.Functions.resize(NumFunctions);
+  for (prof::FunctionInstrInfo &Info : Out.Instr.Functions) {
+    uint8_t Instrumented, HasPathProfile, Hashed;
+    uint64_t Stride, NumChords, NumSites;
+    if (!R.u8(Instrumented) || !R.u8(HasPathProfile) ||
+        !R.u64(Info.NumPaths) || !R.u8(Hashed) || !R.u64(Info.TableAddr) ||
+        !R.u64(Stride) || !R.u64(Info.EdgeTableAddr) || !R.u64(NumChords))
+      return false;
+    Info.F = nullptr;
+    Info.Instrumented = Instrumented != 0;
+    Info.HasPathProfile = HasPathProfile != 0;
+    Info.Hashed = Hashed != 0;
+    Info.Stride = static_cast<unsigned>(Stride);
+    Info.ChordEdges.resize(NumChords);
+    for (unsigned &Edge : Info.ChordEdges) {
+      uint64_t Value;
+      if (!R.u64(Value))
+        return false;
+      Edge = static_cast<unsigned>(Value);
+    }
+    if (!R.u64(NumSites) || !R.bytes(Info.SiteIsIndirect))
+      return false;
+    Info.NumSites = static_cast<unsigned>(NumSites);
+  }
+
+  uint8_t HasTree;
+  if (!R.u8(HasTree))
+    return false;
+  if (HasTree) {
+    std::unique_ptr<cct::CallingContextTree> Tree;
+    if (!readTree(R, Tree))
+      return false;
+    Out.Tree = std::move(Tree);
+  }
+  return true;
+}

@@ -1,0 +1,41 @@
+//===- driver/OutcomeIO.h - RunOutcome (de)serialisation -------*- C++ -*-===//
+///
+/// \file
+/// The byte format of the on-disk run cache: a complete RunOutcome —
+/// result, event totals, path and edge profiles, instrumentation metadata,
+/// and a full-fidelity CCT image — so a later bench binary can reuse a
+/// run another one already executed. The instrumented module itself is
+/// not persisted: no table consumer needs it, and it is cheap to recreate
+/// from the workload registry when one does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_DRIVER_OUTCOMEIO_H
+#define PP_DRIVER_OUTCOMEIO_H
+
+#include "prof/Session.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace driver {
+
+/// Serialises \p Outcome, embedding \p Fingerprint so a reader can detect
+/// hash-collision mismatches.
+std::vector<uint8_t> serializeOutcome(const prof::RunOutcome &Outcome,
+                                      const std::string &Fingerprint);
+
+/// Reads back what serializeOutcome wrote. Returns false on malformed
+/// bytes or when \p ExpectedFingerprint does not match the embedded one.
+/// On success \p Out has no instrumented module (Instr.M is null); see
+/// driver::OutcomePtr.
+bool deserializeOutcome(const std::vector<uint8_t> &Bytes,
+                        const std::string &ExpectedFingerprint,
+                        prof::RunOutcome &Out);
+
+} // namespace driver
+} // namespace pp
+
+#endif // PP_DRIVER_OUTCOMEIO_H

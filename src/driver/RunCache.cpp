@@ -1,0 +1,98 @@
+//===- driver/RunCache.cpp - Memoized run outcomes ----------------------------===//
+
+#include "driver/RunCache.h"
+
+#include "driver/OutcomeIO.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace pp;
+using namespace pp::driver;
+
+RunCache::RunCache(std::string DiskDir) : DiskDir(std::move(DiskDir)) {}
+
+std::string RunCache::diskDirFromEnv() {
+  const char *Dir = std::getenv("PP_RUN_CACHE_DIR");
+  return Dir ? Dir : "";
+}
+
+std::string RunCache::diskPath(const RunKey &Key) const {
+  return DiskDir + "/" + Key.fileStem() + ".ppo";
+}
+
+OutcomePtr RunCache::lookup(const RunKey &Key) {
+  if (!Key.Cacheable)
+    return nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Memory.find(Key.Fingerprint);
+    if (It != Memory.end()) {
+      ++Counts.MemoryHits;
+      return It->second;
+    }
+  }
+
+  if (!DiskDir.empty()) {
+    std::ifstream File(diskPath(Key), std::ios::binary);
+    if (File) {
+      std::vector<uint8_t> Bytes(std::istreambuf_iterator<char>(File), {});
+      auto Outcome = std::make_shared<prof::RunOutcome>();
+      if (deserializeOutcome(Bytes, Key.Fingerprint, *Outcome)) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        ++Counts.DiskHits;
+        // Another thread may have raced the file read; first one wins so
+        // every consumer shares one object.
+        auto [It, Inserted] = Memory.emplace(Key.Fingerprint, Outcome);
+        return It->second;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Counts.Misses;
+  return nullptr;
+}
+
+void RunCache::insert(const RunKey &Key, const OutcomePtr &Outcome) {
+  if (!Key.Cacheable || !Outcome)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Memory.emplace(Key.Fingerprint, Outcome).second)
+      return; // already memoized (and, if configured, already on disk)
+    ++Counts.Stores;
+  }
+
+  if (DiskDir.empty())
+    return;
+  ::mkdir(DiskDir.c_str(), 0755);
+  // Write-to-temp + rename, so concurrent bench processes sharing the
+  // cache directory only ever observe complete files.
+  std::vector<uint8_t> Bytes = serializeOutcome(*Outcome, Key.Fingerprint);
+  std::string Final = diskPath(Key);
+  std::string Temp =
+      Final + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream File(Temp, std::ios::binary | std::ios::trunc);
+    if (!File)
+      return; // cache directory not writable; memory layer still works
+    File.write(reinterpret_cast<const char *>(Bytes.data()),
+               static_cast<std::streamsize>(Bytes.size()));
+    if (!File.good()) {
+      File.close();
+      std::remove(Temp.c_str());
+      return;
+    }
+  }
+  if (std::rename(Temp.c_str(), Final.c_str()) != 0)
+    std::remove(Temp.c_str());
+}
+
+RunCache::Stats RunCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counts;
+}

@@ -1,0 +1,66 @@
+//===- driver/RunCache.h - Memoized run outcomes ---------------*- C++ -*-===//
+///
+/// \file
+/// Two-level memoization of run outcomes keyed by RunKey: an in-process
+/// table shared by every consumer in a binary, and an optional on-disk
+/// layer (one file per run, atomic writes) that lets consecutive bench
+/// binaries reuse each other's runs — measurement once, reporting many
+/// times, in the gprof tradition of persisting profile data for many
+/// consumers. Thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_DRIVER_RUNCACHE_H
+#define PP_DRIVER_RUNCACHE_H
+
+#include "driver/RunKey.h"
+#include "driver/RunPlan.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace pp {
+namespace driver {
+
+class RunCache {
+public:
+  /// \p DiskDir enables the on-disk layer when non-empty; the directory is
+  /// created on first store.
+  explicit RunCache(std::string DiskDir = std::string());
+
+  /// Reads $PP_RUN_CACHE_DIR; empty means memory-only caching.
+  static std::string diskDirFromEnv();
+
+  /// Returns the memoized outcome for \p Key, consulting memory first and
+  /// then disk (a disk hit is promoted into memory). Null on miss or for
+  /// uncacheable keys.
+  OutcomePtr lookup(const RunKey &Key);
+
+  /// Memoizes \p Outcome under \p Key in both layers. No-op for
+  /// uncacheable keys.
+  void insert(const RunKey &Key, const OutcomePtr &Outcome);
+
+  bool hasDiskLayer() const { return !DiskDir.empty(); }
+
+  struct Stats {
+    uint64_t MemoryHits = 0;
+    uint64_t DiskHits = 0;
+    uint64_t Misses = 0;
+    uint64_t Stores = 0;
+  };
+  Stats stats() const;
+
+private:
+  std::string diskPath(const RunKey &Key) const;
+
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, OutcomePtr> Memory;
+  std::string DiskDir;
+  Stats Counts;
+};
+
+} // namespace driver
+} // namespace pp
+
+#endif // PP_DRIVER_RUNCACHE_H

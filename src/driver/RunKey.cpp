@@ -1,0 +1,70 @@
+//===- driver/RunKey.cpp - Canonical run fingerprints ------------------------===//
+
+#include "driver/RunKey.h"
+
+#include "hw/Event.h"
+#include "prof/Mode.h"
+#include "support/Format.h"
+
+using namespace pp;
+using namespace pp::driver;
+
+namespace {
+
+void appendCache(std::string &Out, const char *Label,
+                 const hw::CacheConfig &Config) {
+  Out += formatString(";%s=%llu/%llu/%u", Label,
+                      (unsigned long long)Config.SizeBytes,
+                      (unsigned long long)Config.LineBytes,
+                      Config.Associativity);
+}
+
+} // namespace
+
+RunKey RunKey::of(const RunPlan &Plan) {
+  RunKey Key;
+  const prof::SessionOptions &O = Plan.Options;
+  const prof::ProfileConfig &C = O.Config;
+  const hw::CostModel &Cost = O.MachineCfg.Cost;
+
+  // An instrumentation-filter callback selects functions in ways no
+  // fingerprint can name; such runs must re-execute.
+  Key.Cacheable = Plan.Cacheable && !C.ShouldInstrument;
+
+  std::string &F = Key.Fingerprint;
+  F = "v1;wl=" + Plan.Workload;
+  F += formatString(";scale=%d;mode=%s;pic0=%s;pic1=%s;sites=%d", Plan.Scale,
+                    prof::modeName(C.M), hw::eventName(C.Pic0),
+                    hw::eventName(C.Pic1), C.DistinguishCallSites ? 1 : 0);
+  F += formatString(";fold=%d;arr=%llu", C.Plan.FoldFinalValues ? 1 : 0,
+                    (unsigned long long)C.Plan.ArrayThreshold);
+  F += formatString(
+      ";cost=%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu",
+      (unsigned long long)Cost.DCacheMissPenalty,
+      (unsigned long long)Cost.ICacheMissPenalty,
+      (unsigned long long)Cost.MispredictPenalty,
+      (unsigned long long)Cost.DivCycles, (unsigned long long)Cost.FpLatency,
+      (unsigned long long)Cost.FpDivLatency,
+      (unsigned long long)Cost.LoadLatency,
+      (unsigned long long)Cost.StoreBufferDepth,
+      (unsigned long long)Cost.StoreDrainCycles);
+  appendCache(F, "dc", O.MachineCfg.DCache);
+  appendCache(F, "ic", O.MachineCfg.ICache);
+  F += formatString(";max=%llu;sig=%s:%llu",
+                    (unsigned long long)O.MaxInsts, O.SignalHandler.c_str(),
+                    (unsigned long long)O.SignalInterval);
+  return Key;
+}
+
+uint64_t RunKey::hash() const {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (char Ch : Fingerprint) {
+    Hash ^= static_cast<uint8_t>(Ch);
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+std::string RunKey::fileStem() const {
+  return formatString("pp-%016llx", (unsigned long long)hash());
+}

@@ -1,0 +1,157 @@
+//===- driver/RunScheduler.cpp - Parallel run execution -----------------------===//
+
+#include "driver/RunScheduler.h"
+
+#include "driver/RunCache.h"
+#include "support/Error.h"
+#include "workloads/Spec.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace pp;
+using namespace pp::driver;
+
+unsigned RunScheduler::defaultWorkerThreads() {
+  const char *Serial = std::getenv("PP_DRIVER_SERIAL");
+  if (Serial && Serial[0] == '1')
+    return 0;
+  if (const char *Threads = std::getenv("PP_DRIVER_THREADS")) {
+    long Value = std::atol(Threads);
+    if (Value <= 0)
+      return 0;
+    return static_cast<unsigned>(std::min(Value, 64L));
+  }
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return std::clamp(Hardware ? Hardware : 4u, 4u, 16u);
+}
+
+RunScheduler::RunScheduler(RunCache *Cache, unsigned Threads) : Cache(Cache) {
+  Workers.reserve(Threads);
+  for (unsigned Index = 0; Index != Threads; ++Index)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+RunScheduler::~RunScheduler() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+size_t RunScheduler::submit(RunPlan Plan) {
+  RunKey Key = RunKey::of(Plan);
+  std::lock_guard<std::mutex> Lock(Mu);
+
+  size_t TaskIndex;
+  auto Folded = Key.Cacheable ? TaskOfKey.find(Key.Fingerprint)
+                              : TaskOfKey.end();
+  if (Folded != TaskOfKey.end()) {
+    TaskIndex = Folded->second;
+  } else {
+    TaskIndex = Tasks.size();
+    auto T = std::make_unique<Task>();
+    T->Plan = std::move(Plan);
+    T->Key = std::move(Key);
+    Tasks.push_back(std::move(T));
+    if (Tasks.back()->Key.Cacheable)
+      TaskOfKey.emplace(Tasks.back()->Key.Fingerprint, TaskIndex);
+    WorkReady.notify_one();
+  }
+
+  size_t Ticket = TicketToTask.size();
+  TicketToTask.push_back(TaskIndex);
+  return Ticket;
+}
+
+OutcomePtr RunScheduler::get(size_t Ticket) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  assert(Ticket < TicketToTask.size() && "unknown ticket");
+  size_t TaskIndex = TicketToTask[Ticket];
+  Task &T = *Tasks[TaskIndex];
+  if (T.Done)
+    return T.Outcome;
+
+  if (Workers.empty()) {
+    // Serial mode: execute on the calling thread (unless a previous get()
+    // already claimed it — impossible serially, but cheap to honour).
+    if (!T.Claimed) {
+      T.Claimed = true;
+      Lock.unlock();
+      executeTask(T);
+      Lock.lock();
+    }
+  }
+  TaskDone.wait(Lock, [&T] { return T.Done; });
+  return T.Outcome;
+}
+
+size_t RunScheduler::numTickets() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return TicketToTask.size();
+}
+
+uint64_t RunScheduler::runsExecuted() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Executed;
+}
+
+void RunScheduler::workerLoop() {
+  for (;;) {
+    Task *Claimed;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkReady.wait(Lock, [this] {
+        while (NextUnclaimed != Tasks.size() && Tasks[NextUnclaimed]->Claimed)
+          ++NextUnclaimed;
+        return ShuttingDown || NextUnclaimed != Tasks.size();
+      });
+      if (NextUnclaimed == Tasks.size())
+        return; // shutting down with no work left
+      Claimed = Tasks[NextUnclaimed++].get();
+      Claimed->Claimed = true;
+    }
+    executeTask(*Claimed);
+  }
+}
+
+void RunScheduler::executeTask(Task &T) {
+  // The Task lives on the heap and the claiming thread owns it until Done,
+  // so the plan and key are safe to read without the lock. (The Tasks
+  // vector itself is not: submit() may be reallocating it concurrently.)
+  OutcomePtr Outcome = executePlan(T.Plan, T.Key);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    T.Outcome = std::move(Outcome);
+    T.Done = true;
+  }
+  TaskDone.notify_all();
+}
+
+OutcomePtr RunScheduler::executePlan(const RunPlan &Plan, const RunKey &Key) {
+  if (Cache)
+    if (OutcomePtr Hit = Cache->lookup(Key))
+      return Hit;
+
+  std::unique_ptr<ir::Module> M =
+      Plan.Build ? Plan.Build()
+                 : workloads::buildWorkload(Plan.Workload, Plan.Scale);
+  if (!M)
+    reportFatalError("driver: unknown workload '" + Plan.Workload + "'");
+
+  prof::RunStager Stager(*M, Plan.Options);
+  Stager.instrument();
+  Stager.load();
+  Stager.execute();
+  auto Outcome = std::make_shared<prof::RunOutcome>(Stager.extract());
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Executed;
+  }
+  if (Cache)
+    Cache->insert(Key, Outcome);
+  return Outcome;
+}

@@ -107,38 +107,73 @@ void reconstructEdgeCounts(const ir::Function &OriginalF,
 
 } // namespace
 
-RunOutcome prof::runProfile(const ir::Module &M,
-                            const SessionOptions &Options) {
+/// The stager's mutable cross-stage state: the partially built outcome plus
+/// the execution apparatus (machine, VM, runtime) stages 2-4 share.
+struct RunStager::State {
   RunOutcome Outcome;
-  Outcome.Instr = instrument(M, Options.Config);
+  std::unique_ptr<hw::Machine> Machine;
+  std::unique_ptr<vm::Vm> VM;
+  std::unique_ptr<Runtime> RT;
+  bool Instrumented = false;
+  bool Loaded = false;
+  bool Executed = false;
+};
 
-  hw::Machine Machine(Options.MachineCfg);
-  Machine.counters().selectPicEvents(Options.Config.Pic0,
-                                     Options.Config.Pic1);
+RunStager::RunStager(const ir::Module &M, const SessionOptions &Options)
+    : M(M), Options(Options), S(std::make_unique<State>()) {}
 
-  vm::Vm VM(*Outcome.Instr.M, Machine);
-  VM.setMaxInsts(Options.MaxInsts);
+RunStager::~RunStager() = default;
+
+void RunStager::instrument() {
+  assert(!S->Instrumented && "instrument() runs once");
+  S->Outcome.Instr = prof::instrument(M, Options.Config);
+  S->Instrumented = true;
+}
+
+void RunStager::load() {
+  assert(S->Instrumented && !S->Loaded && "load() follows instrument()");
+  S->Machine = std::make_unique<hw::Machine>(Options.MachineCfg);
+  S->Machine->counters().selectPicEvents(Options.Config.Pic0,
+                                         Options.Config.Pic1);
+
+  S->VM = std::make_unique<vm::Vm>(*S->Outcome.Instr.M, *S->Machine);
+  S->VM->setMaxInsts(Options.MaxInsts);
   if (!Options.SignalHandler.empty()) {
     ir::Function *Handler =
-        Outcome.Instr.M->findFunction(Options.SignalHandler);
+        S->Outcome.Instr.M->findFunction(Options.SignalHandler);
     if (!Handler)
       reportFatalError("signal handler '" + Options.SignalHandler +
                        "' not found");
-    VM.setSignal(Handler, Options.SignalInterval);
+    S->VM->setSignal(Handler, Options.SignalInterval);
   }
 
-  std::unique_ptr<Runtime> RT;
   if (Options.Config.M != Mode::None) {
-    RT = std::make_unique<Runtime>(Outcome.Instr, Machine);
-    VM.setRuntime(RT.get());
+    S->RT = std::make_unique<Runtime>(S->Outcome.Instr, *S->Machine);
+    S->VM->setRuntime(S->RT.get());
   }
+  S->Loaded = true;
+}
 
-  Outcome.Result = VM.run();
+void RunStager::execute() {
+  assert(S->Loaded && !S->Executed && "execute() follows load()");
+  S->Outcome.Result = S->VM->run();
+  S->Executed = true;
+}
+
+const Instrumented &RunStager::instrumented() const {
+  assert(S->Instrumented && "no instrumented module before instrument()");
+  return S->Outcome.Instr;
+}
+
+RunOutcome RunStager::extract() {
+  assert(S->Executed && "extract() follows execute()");
+  RunOutcome &Outcome = S->Outcome;
+  hw::Machine &Machine = *S->Machine;
+  Runtime *RT = S->RT.get();
 
   for (unsigned E = 0; E != hw::NumEvents; ++E)
     Outcome.Totals[E] = Machine.counters().total(static_cast<hw::Event>(E));
 
-  // --- Read profiles back ---------------------------------------------------
   Mode ActiveMode = Options.Config.M;
   if (ActiveMode == Mode::Flow || ActiveMode == Mode::FlowHw) {
     Outcome.PathProfiles.resize(Outcome.Instr.Functions.size());
@@ -186,5 +221,14 @@ RunOutcome prof::runProfile(const ir::Module &M,
   if (RT && modeUsesCct(ActiveMode))
     Outcome.Tree = RT->takeTree();
 
-  return Outcome;
+  return std::move(S->Outcome);
+}
+
+RunOutcome prof::runProfile(const ir::Module &M,
+                            const SessionOptions &Options) {
+  RunStager Stager(M, Options);
+  Stager.instrument();
+  Stager.load();
+  Stager.execute();
+  return Stager.extract();
 }

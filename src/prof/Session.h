@@ -79,6 +79,47 @@ struct RunOutcome {
   }
 };
 
+/// The decomposed pipeline of one profiling run. runProfile() drives the
+/// four stages in order; callers that need to observe or reuse
+/// intermediate state (the driver layer, the figure benches) can step
+/// through them one at a time instead:
+///
+///   RunStager Stager(M, Options);
+///   Stager.instrument();   // clone + edit the module
+///   Stager.load();         // machine, VM, runtime, signal wiring
+///   Stager.execute();      // run main() to completion
+///   RunOutcome Out = Stager.extract();  // read the profiles back
+///
+/// A stager is single-use and keeps references to \p M and \p Options,
+/// which must outlive it. Each stage requires the previous one; extract()
+/// consumes the stager's state.
+class RunStager {
+public:
+  RunStager(const ir::Module &M, const SessionOptions &Options);
+  ~RunStager();
+
+  /// Stage 1: clone \p M and splice in the instrumentation for the
+  /// configured mode.
+  void instrument();
+  /// Stage 2: build the machine, lay the instrumented module out in its
+  /// address space, and attach the profiling runtime and signal handler.
+  void load();
+  /// Stage 3: execute main() to completion on the simulated machine.
+  void execute();
+  /// Stage 4: read counters, path tables, edge counters, and the CCT back
+  /// out of the machine and runtime. Consumes the stager.
+  RunOutcome extract();
+
+  /// The instrumented module (valid after instrument()).
+  const Instrumented &instrumented() const;
+
+private:
+  const ir::Module &M;
+  const SessionOptions &Options;
+  struct State;
+  std::unique_ptr<State> S;
+};
+
 /// Runs \p M under \p Options (Mode::None = uninstrumented baseline).
 RunOutcome runProfile(const ir::Module &M, const SessionOptions &Options);
 

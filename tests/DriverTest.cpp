@@ -1,0 +1,287 @@
+//===- tests/DriverTest.cpp - experiment-driver layer tests --------------------===//
+//
+// The driver layer's contract: a cached outcome is bitwise the outcome of
+// a fresh run (totals, path profiles, edge profiles, CCT), parallel
+// execution produces exactly the serial results, duplicate submissions
+// fold onto one execution, and the on-disk cache round-trips outcomes
+// across driver instances.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "driver/OutcomeIO.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <unistd.h>
+
+using namespace pp;
+using namespace pp::driver;
+
+namespace {
+
+RunPlan makePlan(const std::string &Workload, prof::Mode M, int Scale = 1) {
+  RunPlan Plan;
+  Plan.Workload = Workload;
+  Plan.Scale = Scale;
+  Plan.Options.Config.M = M;
+  return Plan;
+}
+
+void expectTreesEqual(const cct::CallingContextTree &A,
+                      const cct::CallingContextTree &B) {
+  cct::TreeImage IA = A.image(), IB = B.image();
+  ASSERT_EQ(IA.Records.size(), IB.Records.size());
+  EXPECT_EQ(IA.Procs.size(), IB.Procs.size());
+  EXPECT_EQ(IA.NumMetrics, IB.NumMetrics);
+  EXPECT_EQ(IA.PathCellBytes, IB.PathCellBytes);
+  EXPECT_EQ(IA.HashThreshold, IB.HashThreshold);
+  EXPECT_EQ(IA.HeapBytes, IB.HeapBytes);
+  EXPECT_EQ(IA.ListCells, IB.ListCells);
+  for (size_t R = 0; R != IA.Records.size(); ++R) {
+    const cct::TreeImage::Record &RA = IA.Records[R];
+    const cct::TreeImage::Record &RB = IB.Records[R];
+    EXPECT_EQ(RA.Proc, RB.Proc) << "record " << R;
+    EXPECT_EQ(RA.Parent, RB.Parent) << "record " << R;
+    EXPECT_EQ(RA.Addr, RB.Addr) << "record " << R;
+    EXPECT_EQ(RA.PathTableAddr, RB.PathTableAddr) << "record " << R;
+    EXPECT_EQ(RA.Metrics, RB.Metrics) << "record " << R;
+    ASSERT_EQ(RA.PathCells.size(), RB.PathCells.size()) << "record " << R;
+    for (size_t C = 0; C != RA.PathCells.size(); ++C) {
+      EXPECT_EQ(RA.PathCells[C].first, RB.PathCells[C].first);
+      EXPECT_EQ(RA.PathCells[C].second.Freq, RB.PathCells[C].second.Freq);
+      EXPECT_EQ(RA.PathCells[C].second.Metric0,
+                RB.PathCells[C].second.Metric0);
+      EXPECT_EQ(RA.PathCells[C].second.Metric1,
+                RB.PathCells[C].second.Metric1);
+    }
+    ASSERT_EQ(RA.Slots.size(), RB.Slots.size()) << "record " << R;
+    for (size_t S = 0; S != RA.Slots.size(); ++S) {
+      EXPECT_EQ(RA.Slots[S].Kind, RB.Slots[S].Kind);
+      EXPECT_EQ(RA.Slots[S].Targets, RB.Slots[S].Targets);
+    }
+  }
+}
+
+/// Bitwise equality of everything a consumer can read from an outcome
+/// (the instrumented module itself is deliberately not part of the
+/// contract — disk-restored outcomes do not carry one).
+void expectOutcomesEqual(const prof::RunOutcome &A,
+                         const prof::RunOutcome &B) {
+  EXPECT_EQ(A.Result.Ok, B.Result.Ok);
+  EXPECT_EQ(A.Result.ExitValue, B.Result.ExitValue);
+  EXPECT_EQ(A.Result.ExecutedInsts, B.Result.ExecutedInsts);
+  EXPECT_EQ(A.Totals, B.Totals);
+
+  ASSERT_EQ(A.PathProfiles.size(), B.PathProfiles.size());
+  for (size_t F = 0; F != A.PathProfiles.size(); ++F) {
+    const prof::FunctionPathProfile &PA = A.PathProfiles[F];
+    const prof::FunctionPathProfile &PB = B.PathProfiles[F];
+    EXPECT_EQ(PA.FuncId, PB.FuncId);
+    EXPECT_EQ(PA.HasProfile, PB.HasProfile);
+    EXPECT_EQ(PA.NumPaths, PB.NumPaths);
+    EXPECT_EQ(PA.Hashed, PB.Hashed);
+    ASSERT_EQ(PA.Paths.size(), PB.Paths.size()) << "function " << F;
+    for (size_t P = 0; P != PA.Paths.size(); ++P) {
+      EXPECT_EQ(PA.Paths[P].PathSum, PB.Paths[P].PathSum);
+      EXPECT_EQ(PA.Paths[P].Freq, PB.Paths[P].Freq);
+      EXPECT_EQ(PA.Paths[P].Metric0, PB.Paths[P].Metric0);
+      EXPECT_EQ(PA.Paths[P].Metric1, PB.Paths[P].Metric1);
+    }
+  }
+
+  ASSERT_EQ(A.EdgeProfiles.size(), B.EdgeProfiles.size());
+  for (size_t F = 0; F != A.EdgeProfiles.size(); ++F) {
+    EXPECT_EQ(A.EdgeProfiles[F].FuncId, B.EdgeProfiles[F].FuncId);
+    EXPECT_EQ(A.EdgeProfiles[F].HasProfile, B.EdgeProfiles[F].HasProfile);
+    EXPECT_EQ(A.EdgeProfiles[F].EdgeCounts, B.EdgeProfiles[F].EdgeCounts);
+    EXPECT_EQ(A.EdgeProfiles[F].Invocations, B.EdgeProfiles[F].Invocations);
+  }
+
+  ASSERT_EQ(A.Instr.Functions.size(), B.Instr.Functions.size());
+  for (size_t F = 0; F != A.Instr.Functions.size(); ++F)
+    EXPECT_EQ(A.Instr.Functions[F].HasPathProfile,
+              B.Instr.Functions[F].HasPathProfile);
+
+  ASSERT_EQ(A.Tree != nullptr, B.Tree != nullptr);
+  if (A.Tree && B.Tree)
+    expectTreesEqual(*A.Tree, *B.Tree);
+}
+
+std::string makeTempDir() {
+  char Template[] = "/tmp/pp-driver-test-XXXXXX";
+  const char *Dir = mkdtemp(Template);
+  EXPECT_NE(Dir, nullptr);
+  return Dir ? Dir : "";
+}
+
+TEST(RunKeyTest, FingerprintSeparatesPlans) {
+  RunKey Base = RunKey::of(makePlan("124.m88ksim", prof::Mode::FlowHw));
+  EXPECT_TRUE(Base.Cacheable);
+
+  EXPECT_NE(Base.Fingerprint,
+            RunKey::of(makePlan("124.m88ksim", prof::Mode::ContextFlow))
+                .Fingerprint);
+  EXPECT_NE(Base.Fingerprint,
+            RunKey::of(makePlan("099.go", prof::Mode::FlowHw)).Fingerprint);
+  EXPECT_NE(
+      Base.Fingerprint,
+      RunKey::of(makePlan("124.m88ksim", prof::Mode::FlowHw, 2)).Fingerprint);
+
+  RunPlan Tweaked = makePlan("124.m88ksim", prof::Mode::FlowHw);
+  Tweaked.Options.MachineCfg.DCache.Associativity *= 2;
+  EXPECT_NE(Base.Fingerprint, RunKey::of(Tweaked).Fingerprint);
+
+  EXPECT_EQ(Base.Fingerprint,
+            RunKey::of(makePlan("124.m88ksim", prof::Mode::FlowHw))
+                .Fingerprint);
+}
+
+TEST(RunKeyTest, PredicatePlansAreUncacheable) {
+  RunPlan Plan = makePlan("124.m88ksim", prof::Mode::FlowHw);
+  Plan.Options.Config.ShouldInstrument = [](const ir::Function &) {
+    return true;
+  };
+  EXPECT_FALSE(RunKey::of(Plan).Cacheable);
+}
+
+TEST(DriverTest, MemoizedRunEqualsFreshRun) {
+  Driver Memoized(/*DiskDir=*/"", /*Threads=*/2);
+  OutcomePtr First =
+      Memoized.run(makePlan("124.m88ksim", prof::Mode::ContextFlow));
+  ASSERT_TRUE(First && First->Result.Ok);
+  OutcomePtr Second =
+      Memoized.run(makePlan("124.m88ksim", prof::Mode::ContextFlow));
+  // The repeat is a memory hit: literally the same object.
+  EXPECT_EQ(First.get(), Second.get());
+  EXPECT_EQ(Memoized.scheduler().runsExecuted(), 1u);
+
+  // And it equals a run from a driver that has never seen the plan.
+  Driver Fresh(/*DiskDir=*/"", /*Threads=*/1);
+  OutcomePtr Clean =
+      Fresh.run(makePlan("124.m88ksim", prof::Mode::ContextFlow));
+  ASSERT_TRUE(Clean && Clean->Result.Ok);
+  expectOutcomesEqual(*Clean, *First);
+}
+
+TEST(DriverTest, ParallelMatchesSerial) {
+  const char *Workloads[] = {"124.m88ksim", "130.li", "107.mgrid"};
+  const prof::Mode Modes[] = {prof::Mode::None, prof::Mode::FlowHw,
+                              prof::Mode::ContextFlow};
+
+  Driver Parallel(/*DiskDir=*/"", /*Threads=*/4);
+  Driver Serial(/*DiskDir=*/"", /*Threads=*/0);
+  ASSERT_EQ(Parallel.scheduler().numThreads(), 4u);
+  ASSERT_EQ(Serial.scheduler().numThreads(), 0u);
+
+  std::vector<size_t> ParallelTickets, SerialTickets;
+  for (const char *Workload : Workloads)
+    for (prof::Mode M : Modes) {
+      ParallelTickets.push_back(Parallel.submit(makePlan(Workload, M)));
+      SerialTickets.push_back(Serial.submit(makePlan(Workload, M)));
+    }
+  for (size_t Index = 0; Index != ParallelTickets.size(); ++Index) {
+    OutcomePtr P = Parallel.get(ParallelTickets[Index]);
+    OutcomePtr S = Serial.get(SerialTickets[Index]);
+    ASSERT_TRUE(P && S);
+    expectOutcomesEqual(*S, *P);
+  }
+}
+
+TEST(DriverTest, DuplicateSubmissionsFoldOntoOneExecution) {
+  Driver D(/*DiskDir=*/"", /*Threads=*/2);
+  size_t A = D.submit(makePlan("130.li", prof::Mode::FlowHw));
+  size_t B = D.submit(makePlan("130.li", prof::Mode::FlowHw));
+  EXPECT_NE(A, B);
+  OutcomePtr OA = D.get(A), OB = D.get(B);
+  EXPECT_EQ(OA.get(), OB.get());
+  EXPECT_EQ(D.scheduler().runsExecuted(), 1u);
+}
+
+TEST(DriverTest, UncacheablePlansRunEveryTime) {
+  Driver D(/*DiskDir=*/"", /*Threads=*/2);
+  RunPlan Plan = makePlan("130.li", prof::Mode::None);
+  Plan.Cacheable = false;
+  size_t A = D.submit(Plan);
+  size_t B = D.submit(Plan);
+  OutcomePtr OA = D.get(A), OB = D.get(B);
+  ASSERT_TRUE(OA && OB);
+  EXPECT_NE(OA.get(), OB.get());
+  EXPECT_EQ(D.scheduler().runsExecuted(), 2u);
+  expectOutcomesEqual(*OA, *OB);
+}
+
+TEST(DriverTest, DiskCacheRoundTripsAcrossDrivers) {
+  std::string Dir = makeTempDir();
+  ASSERT_FALSE(Dir.empty());
+
+  OutcomePtr Stored;
+  {
+    Driver Writer(Dir, /*Threads=*/2);
+    Stored = Writer.run(makePlan("124.m88ksim", prof::Mode::ContextFlow));
+    ASSERT_TRUE(Stored && Stored->Result.Ok);
+    EXPECT_EQ(Writer.cache().stats().Stores, 1u);
+  }
+
+  Driver Reader(Dir, /*Threads=*/2);
+  OutcomePtr Restored =
+      Reader.run(makePlan("124.m88ksim", prof::Mode::ContextFlow));
+  ASSERT_TRUE(Restored && Restored->Result.Ok);
+  EXPECT_EQ(Reader.scheduler().runsExecuted(), 0u);
+  EXPECT_EQ(Reader.cache().stats().DiskHits, 1u);
+  // Restored outcomes drop the instrumented module, nothing else.
+  EXPECT_EQ(Restored->Instr.M, nullptr);
+  expectOutcomesEqual(*Stored, *Restored);
+
+  std::string Cmd = "rm -rf " + Dir;
+  (void)std::system(Cmd.c_str());
+}
+
+TEST(OutcomeIOTest, RejectsMismatchedFingerprint) {
+  Driver D(/*DiskDir=*/"", /*Threads=*/1);
+  OutcomePtr Run = D.run(makePlan("130.li", prof::Mode::Flow));
+  ASSERT_TRUE(Run && Run->Result.Ok);
+
+  std::vector<uint8_t> Bytes = serializeOutcome(*Run, "fingerprint-a");
+  prof::RunOutcome Out;
+  EXPECT_FALSE(deserializeOutcome(Bytes, "fingerprint-b", Out));
+  EXPECT_TRUE(deserializeOutcome(Bytes, "fingerprint-a", Out));
+  expectOutcomesEqual(*Run, Out);
+}
+
+TEST(OutcomeIOTest, RejectsTruncatedBytes) {
+  Driver D(/*DiskDir=*/"", /*Threads=*/1);
+  OutcomePtr Run = D.run(makePlan("130.li", prof::Mode::ContextFlow));
+  ASSERT_TRUE(Run && Run->Result.Ok);
+
+  std::vector<uint8_t> Bytes = serializeOutcome(*Run, "fp");
+  for (size_t Cut : {size_t(0), size_t(7), Bytes.size() / 2,
+                     Bytes.size() - 1}) {
+    std::vector<uint8_t> Truncated(Bytes.begin(), Bytes.begin() + Cut);
+    prof::RunOutcome Out;
+    EXPECT_FALSE(deserializeOutcome(Truncated, "fp", Out))
+        << "accepted " << Cut << " bytes";
+  }
+}
+
+TEST(TreeImageTest, ImageRoundTripPreservesTheTree) {
+  Driver D(/*DiskDir=*/"", /*Threads=*/1);
+  OutcomePtr Run = D.run(makePlan("124.m88ksim", prof::Mode::ContextFlow));
+  ASSERT_TRUE(Run && Run->Result.Ok && Run->Tree);
+
+  std::unique_ptr<cct::CallingContextTree> Rebuilt =
+      cct::CallingContextTree::fromImage(Run->Tree->image());
+  ASSERT_TRUE(Rebuilt);
+  expectTreesEqual(*Run->Tree, *Rebuilt);
+
+  cct::CctStats A = Run->Tree->computeStats();
+  cct::CctStats B = Rebuilt->computeStats();
+  EXPECT_EQ(A.NumRecords, B.NumRecords);
+  EXPECT_EQ(A.MaxDepth, B.MaxDepth);
+  EXPECT_EQ(A.MaxReplication, B.MaxReplication);
+  EXPECT_EQ(A.BackedgeSlots, B.BackedgeSlots);
+  EXPECT_EQ(Run->Tree->heapBytes(), Rebuilt->heapBytes());
+}
+
+} // namespace

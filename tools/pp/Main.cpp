@@ -12,6 +12,7 @@
 #include "analysis/HotPaths.h"
 #include "bl/PathNumbering.h"
 #include "cct/Export.h"
+#include "driver/Driver.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "prof/Session.h"
@@ -415,19 +416,37 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // Declare both runs up front on the shared driver; a disk cache
+  // ($PP_RUN_CACHE_DIR) lets repeat invocations skip the measurement.
+  // File inputs bypass the cache — their contents are not named by the
+  // input path, unlike registry workloads.
+  bool IsBuiltin = workloads::buildWorkload(Opts.Input, Opts.Scale) != nullptr;
+  auto MakePlan = [&Opts, IsBuiltin](const prof::SessionOptions &Options) {
+    driver::RunPlan Plan;
+    Plan.Workload = Opts.Input;
+    Plan.Scale = Opts.Scale;
+    Plan.Options = Options;
+    Plan.Build = [Opts] { return loadInput(Opts); };
+    Plan.Cacheable = IsBuiltin;
+    return Plan;
+  };
   prof::SessionOptions BaseSession = Session;
   BaseSession.Config.M = prof::Mode::None;
-  prof::RunOutcome Base = prof::runProfile(*M, BaseSession);
-  if (!Base.Result.Ok) {
+  driver::Driver &D = driver::defaultDriver();
+  size_t BaseTicket = D.submit(MakePlan(BaseSession));
+  size_t RunTicket = D.submit(MakePlan(Session));
+
+  driver::OutcomePtr Base = D.get(BaseTicket);
+  if (!Base || !Base->Result.Ok) {
     std::fprintf(stderr, "pp: program failed: %s\n",
-                 Base.Result.Error.c_str());
+                 Base ? Base->Result.Error.c_str() : "no outcome");
     return 1;
   }
 
-  prof::RunOutcome Run = prof::runProfile(*M, Session);
-  if (!Run.Result.Ok) {
+  driver::OutcomePtr Run = D.get(RunTicket);
+  if (!Run || !Run->Result.Ok) {
     std::fprintf(stderr, "pp: instrumented program failed: %s\n",
-                 Run.Result.Error.c_str());
+                 Run ? Run->Result.Error.c_str() : "no outcome");
     return 1;
   }
 
@@ -435,17 +454,17 @@ int main(int Argc, char **Argv) {
               prof::modeName(Opts.M), hw::eventName(Opts.Pic0),
               hw::eventName(Opts.Pic1));
   std::printf("exit value %llu; %llu instructions executed\n\n",
-              (unsigned long long)Run.Result.ExitValue,
-              (unsigned long long)Run.Result.ExecutedInsts);
-  reportSummary(Base, Run);
+              (unsigned long long)Run->Result.ExitValue,
+              (unsigned long long)Run->Result.ExecutedInsts);
+  reportSummary(*Base, *Run);
 
   if (Opts.M == prof::Mode::Flow || Opts.M == prof::Mode::FlowHw) {
-    reportHotPaths(*M, Run, Opts);
-    reportProcedures(*M, Run, Opts);
+    reportHotPaths(*M, *Run, Opts);
+    reportProcedures(*M, *Run, Opts);
     if (Opts.Coverage)
-      reportCoverage(*M, Run);
+      reportCoverage(*M, *Run);
   }
-  if (Run.Tree)
-    reportCct(Run, Opts);
+  if (Run->Tree)
+    reportCct(*Run, Opts);
   return 0;
 }

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Regenerates the paper's five tables through the shared run cache: every
+# unique (workload, mode, machine) run executes at most once across all
+# five binaries, on the driver's worker pool, and later tables reuse the
+# runs of earlier ones from disk.
+#
+# usage: tools/run_all_tables.sh [build-dir] [output-dir]
+#
+# Environment:
+#   PP_RUN_CACHE_DIR   cache directory (default: a fresh temp dir)
+#   PP_DRIVER_THREADS  worker threads (default: hardware, clamped to 4-16)
+#   PP_DRIVER_SERIAL=1 force serial in-order execution
+#   PP_DRIVER_STATS=1  per-binary scheduling/cache stats on stderr (set
+#                      below unless already set)
+
+set -e
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-}
+
+if [ ! -x "$BUILD_DIR/bench/table1_overhead" ]; then
+  echo "run_all_tables.sh: no bench binaries under '$BUILD_DIR'" \
+       "(build first: cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+if [ -z "${PP_RUN_CACHE_DIR:-}" ]; then
+  PP_RUN_CACHE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/pp-run-cache.XXXXXX")
+  export PP_RUN_CACHE_DIR
+  echo "run_all_tables.sh: caching runs in $PP_RUN_CACHE_DIR" >&2
+fi
+PP_DRIVER_STATS=${PP_DRIVER_STATS:-1}
+export PP_DRIVER_STATS
+
+for table in table1_overhead table2_perturbation table3_cct_stats \
+             table4_hot_paths table5_hot_procedures; do
+  if [ -n "$OUT_DIR" ]; then
+    mkdir -p "$OUT_DIR"
+    "$BUILD_DIR/bench/$table" > "$OUT_DIR/$table.txt"
+    echo "wrote $OUT_DIR/$table.txt" >&2
+  else
+    "$BUILD_DIR/bench/$table"
+    echo
+  fi
+done
