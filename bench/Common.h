@@ -48,22 +48,35 @@ inline size_t submitWorkload(const workloads::WorkloadSpec &Spec,
   return driver::defaultDriver().submit(std::move(Plan));
 }
 
-/// Collects a declared run; aborts the bench on failure so broken runs
-/// cannot masquerade as results.
+/// Collects a declared run. A failed run is reported on stderr and comes
+/// back null: the bench skips that row (marking it degraded) and every
+/// other row renders from its own run — one bad run degrades one table
+/// entry instead of killing the whole regeneration.
 inline driver::OutcomePtr getRun(size_t Ticket, const std::string &Name,
                                  prof::Mode M) {
   driver::OutcomePtr Run = driver::defaultDriver().get(Ticket);
   if (!Run || !Run->Result.Ok) {
     std::fprintf(stderr, "workload %s failed under %s: %s\n", Name.c_str(),
                  prof::modeName(M),
-                 Run ? Run->Result.Error.c_str() : "no outcome");
-    std::abort();
+                 Run && !Run->Result.Error.empty()
+                     ? Run->Result.Error.c_str()
+                     : "no outcome");
+    return nullptr;
   }
   return Run;
 }
 
-/// Runs \p Spec at \p Scale under \p M with default options; aborts the
-/// bench on failure. One-off convenience; prefer submit-all-then-get.
+/// Marks a skipped table row on stderr; use with `continue` when getRun
+/// returned null for any of a row's runs.
+inline void noteDegradedRow(const std::string &Name) {
+  std::fprintf(stderr, "row %s skipped (run failed); remaining rows are "
+                       "unaffected\n",
+               Name.c_str());
+}
+
+/// Runs \p Spec at \p Scale under \p M with default options; null on
+/// failure (already reported). One-off convenience; prefer
+/// submit-all-then-get.
 inline driver::OutcomePtr runWorkload(const workloads::WorkloadSpec &Spec,
                                       prof::Mode M, int Scale = 1) {
   return getRun(submitWorkload(Spec, M, Scale), Spec.Name, M);

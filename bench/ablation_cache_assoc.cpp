@@ -43,12 +43,14 @@ int main() {
     const workloads::WorkloadSpec &Spec = Suite[Index];
     std::vector<std::string> Row{Spec.Name};
     std::vector<double> Values;
-    for (size_t Variant = 0; Variant != 3; ++Variant) {
+    bool RowOk = true;
+    for (size_t Variant = 0; Variant != 3 && RowOk; ++Variant) {
       driver::OutcomePtr Run =
           driver::defaultDriver().get(Declared[Index][Variant]);
       if (!Run || !Run->Result.Ok) {
         std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
-        return 1;
+        RowOk = false;
+        break;
       }
       std::vector<analysis::PathRecord> Records =
           analysis::collectPathRecords(*Run);
@@ -61,6 +63,10 @@ int main() {
       Row.push_back(formatString("%.0f%%", HotShare));
       Values.push_back(double(A.TotalMisses));
       Values.push_back(HotShare);
+    }
+    if (!RowOk) {
+      noteDegradedRow(Spec.Name);
+      continue;
     }
     Table.addRow(Row);
     Averager.add(Spec.Name, Spec.IsFloat, Values);

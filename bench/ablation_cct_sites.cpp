@@ -51,9 +51,10 @@ int main() {
         driver::defaultDriver().get(Declared[Index].ByProc);
 
     if (!SiteRun || !SiteRun->Result.Ok || !ProcRun ||
-        !ProcRun->Result.Ok) {
+        !ProcRun->Result.Ok || !SiteRun->Tree || !ProcRun->Tree) {
       std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
-      return 1;
+      noteDegradedRow(Spec.Name);
+      continue;
     }
     double Ratio = double(SiteRun->Tree->heapBytes()) /
                    double(ProcRun->Tree->heapBytes());

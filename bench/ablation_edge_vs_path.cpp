@@ -39,6 +39,10 @@ int main() {
         getRun(Declared[Index].Edge, Spec.Name, Mode::Edge);
     driver::OutcomePtr Flow =
         getRun(Declared[Index].Flow, Spec.Name, Mode::Flow);
+    if (!Base || !Edge || !Flow) {
+      noteDegradedRow(Spec.Name);
+      continue;
+    }
 
     double BaseCycles = double(Base->total(hw::Event::Cycles));
     double EdgeX = double(Edge->total(hw::Event::Cycles)) / BaseCycles;

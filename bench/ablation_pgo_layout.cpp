@@ -49,9 +49,11 @@ int main() {
         getRun(Declared[Index].Before, Spec.Name, Mode::None);
     driver::OutcomePtr Profile = driver::defaultDriver().get(
         Declared[Index].Profile);
-    if (!Profile || !Profile->Result.Ok) {
+    if (!Before || !Profile || !Profile->Result.Ok) {
       std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
-      return 1;
+      noteDegradedRow(Spec.Name);
+      Reruns.push_back({nullptr, opt::LayoutResult(), 0});
+      continue;
     }
     auto M = Spec.Build(1);
     opt::LayoutResult Layout = opt::layoutHotPathsFirst(*M, *Profile);
@@ -73,6 +75,8 @@ int main() {
   for (size_t Index = 0; Index != Suite.size(); ++Index) {
     const workloads::WorkloadSpec &Spec = Suite[Index];
     const driver::OutcomePtr &Before = Reruns[Index].Before;
+    if (!Before)
+      continue; // row already reported as degraded in phase 1
     const opt::LayoutResult &Layout = Reruns[Index].Layout;
     driver::OutcomePtr After =
         driver::defaultDriver().get(Reruns[Index].After);

@@ -50,6 +50,10 @@ int main() {
     // CCT run for the ground-truth context set.
     driver::OutcomePtr Ctx =
         getRun(Declared[Index], Spec.Name, prof::Mode::Context);
+    if (!Ctx || !Ctx->Tree) {
+      noteDegradedRow(Spec.Name);
+      continue;
+    }
     size_t CtxTotal = Ctx->Tree->numRecords() - 1; // root excluded
     size_t CtxFound = Sampler.numDistinctContexts();
     double FoundShare =

@@ -40,7 +40,8 @@ int main() {
     driver::OutcomePtr Run = driver::defaultDriver().get(Declared[Index]);
     if (!Run || !Run->Result.Ok) {
       std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
-      return 1;
+      noteDegradedRow(Spec.Name);
+      continue;
     }
     std::vector<analysis::PathRecord> Records =
         analysis::collectPathRecords(*Run);

@@ -45,6 +45,10 @@ int main() {
         getRun(Declared[Index].CtxHw, Spec.Name, Mode::ContextHw);
     driver::OutcomePtr CtxFlow =
         getRun(Declared[Index].CtxFlow, Spec.Name, Mode::ContextFlow);
+    if (!Base || !FlowHw || !CtxHw || !CtxFlow) {
+      noteDegradedRow(Spec.Name);
+      continue;
+    }
 
     double BaseSecs = simSeconds(Base->total(hw::Event::Cycles));
     double FlowSecs = simSeconds(FlowHw->total(hw::Event::Cycles));

@@ -55,6 +55,10 @@ int main() {
         getRun(Declared[Index].Flow, Spec.Name, Mode::FlowHw);
     driver::OutcomePtr Ctx =
         getRun(Declared[Index].Ctx, Spec.Name, Mode::ContextHw);
+    if (!Base || !Flow || !Ctx) {
+      noteDegradedRow(Spec.Name);
+      continue;
+    }
 
     std::vector<std::string> Row{Spec.Name};
     std::vector<double> Values;

@@ -39,8 +39,12 @@ int main() {
     auto Module = Spec.Build(1);
     driver::OutcomePtr Run = driver::defaultDriver().get(Declared[Index]);
     if (!Run || !Run->Result.Ok || !Run->Tree) {
-      std::fprintf(stderr, "%s failed\n", Spec.Name.c_str());
-      return 1;
+      std::fprintf(stderr, "%s failed: %s\n", Spec.Name.c_str(),
+                   Run && !Run->Result.Error.empty()
+                       ? Run->Result.Error.c_str()
+                       : "no outcome");
+      noteDegradedRow(Spec.Name);
+      continue;
     }
     cct::CctStats Stats = Run->Tree->computeStats();
     analysis::SitePathStats Sites =

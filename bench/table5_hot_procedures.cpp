@@ -35,6 +35,10 @@ int main() {
     const workloads::WorkloadSpec &Spec = Suite[Index];
     driver::OutcomePtr Run =
         getRun(Declared[Index], Spec.Name, Mode::FlowHw);
+    if (!Run) {
+      noteDegradedRow(Spec.Name);
+      continue;
+    }
     std::vector<analysis::PathRecord> Records =
         analysis::collectPathRecords(*Run);
     std::vector<analysis::ProcRecord> Procs =

@@ -1,0 +1,125 @@
+//===- driver/FaultInjector.cpp - Deterministic fault injection ---------------===//
+
+#include "driver/FaultInjector.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pp;
+using namespace pp::driver;
+
+namespace {
+
+/// Reads env var \p Name as a strict unsigned count; a malformed value
+/// warns and reads as 0 (seam disabled) rather than silently arming or
+/// disarming anything else.
+unsigned envCount(const char *Name) {
+  const char *Text = std::getenv(Name);
+  if (!Text || !*Text)
+    return 0;
+  uint64_t Value;
+  if (!parseUint64(Text, Value)) {
+    std::fprintf(stderr,
+                 "pp-driver: warning: ignoring non-numeric %s='%s'\n", Name,
+                 Text);
+    return 0;
+  }
+  return static_cast<unsigned>(Value > UINT32_MAX ? UINT32_MAX : Value);
+}
+
+} // namespace
+
+FaultInjector::Config FaultInjector::configFromEnv() {
+  Config C;
+  if (const char *Seed = std::getenv("PP_FAULT_SEED")) {
+    uint64_t Value;
+    if (parseUint64(Seed, Value))
+      C.Seed = Value;
+    else
+      std::fprintf(stderr,
+                   "pp-driver: warning: ignoring non-numeric "
+                   "PP_FAULT_SEED='%s'\n",
+                   Seed);
+  }
+  C.FlipEveryNthRead = envCount("PP_FAULT_READ_FLIP");
+  C.TruncateEveryNthRead = envCount("PP_FAULT_READ_TRUNCATE");
+  C.FailEveryNthWrite = envCount("PP_FAULT_WRITE_FAIL");
+  C.FailEveryNthRun = envCount("PP_FAULT_RUN_FAIL");
+  if (const char *Match = std::getenv("PP_FAULT_RUN_FAIL_MATCH"))
+    C.FailRunMatching = Match;
+  return C;
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector Injector(configFromEnv());
+  return Injector;
+}
+
+void FaultInjector::configure(const Config &C) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Cfg = C;
+  Rng = Prng(C.Seed);
+  Reads = Writes = Runs = 0;
+  Injected = Counts();
+}
+
+bool FaultInjector::enabled() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Cfg.FlipEveryNthRead || Cfg.TruncateEveryNthRead ||
+         Cfg.FailEveryNthWrite || Cfg.FailEveryNthRun;
+}
+
+bool FaultInjector::mutateCacheRead(std::vector<uint8_t> &Bytes) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Bytes.empty() || (!Cfg.FlipEveryNthRead && !Cfg.TruncateEveryNthRead))
+    return false;
+  ++Reads;
+  bool Mutated = false;
+  if (Cfg.FlipEveryNthRead && Reads % Cfg.FlipEveryNthRead == 0) {
+    size_t Offset = static_cast<size_t>(Rng.nextBelow(Bytes.size()));
+    Bytes[Offset] ^= uint8_t(1) << Rng.nextBelow(8); // always a real change
+    Mutated = true;
+  }
+  if (Cfg.TruncateEveryNthRead && Reads % Cfg.TruncateEveryNthRead == 0) {
+    Bytes.resize(static_cast<size_t>(Rng.nextBelow(Bytes.size())));
+    Mutated = true;
+  }
+  if (Mutated)
+    ++Injected.ReadsCorrupted;
+  return Mutated;
+}
+
+bool FaultInjector::shouldFailCacheWrite() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Cfg.FailEveryNthWrite)
+    return false;
+  ++Writes;
+  if (Writes % Cfg.FailEveryNthWrite != 0)
+    return false;
+  ++Injected.WritesFailed;
+  return true;
+}
+
+bool FaultInjector::shouldFailRun(const std::string &Fingerprint,
+                                  std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Cfg.FailEveryNthRun)
+    return false;
+  if (!Cfg.FailRunMatching.empty() &&
+      Fingerprint.find(Cfg.FailRunMatching) == std::string::npos)
+    return false;
+  ++Runs;
+  if (Runs % Cfg.FailEveryNthRun != 0)
+    return false;
+  ++Injected.RunsFailed;
+  Error = formatString("injected fault (run %llu)",
+                       static_cast<unsigned long long>(Runs));
+  return true;
+}
+
+FaultInjector::Counts FaultInjector::counts() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Injected;
+}

@@ -3,6 +3,8 @@
 #include "driver/OutcomeIO.h"
 
 #include "cct/CallingContextTree.h"
+#include "support/AddressLayout.h"
+#include "support/Checksum.h"
 
 #include <cstring>
 
@@ -12,7 +14,17 @@ using namespace pp::driver;
 namespace {
 
 constexpr uint64_t Magic = 0x5050524f; // "PPRO"
-constexpr uint64_t Version = 1;
+constexpr uint64_t Version = 2;        // 2: CRC32 trailer appended
+
+// Sanity ceilings for decoded tree geometry. Real images sit far below
+// them; a corrupt file that exceeds one is rejected as malformed instead
+// of driving the CCT allocator (which treats exhaustion as fatal) or the
+// host allocator into the ground.
+constexpr uint64_t MaxTreeMetrics = 1024;
+constexpr uint64_t MaxPathCellBytes = 4096;
+constexpr uint64_t MaxProcSites = uint64_t(1) << 20;
+constexpr uint64_t MaxCctHeapBytes =
+    layout::ProfStackBase - layout::CctHeapBase;
 
 class Writer {
 public:
@@ -33,47 +45,79 @@ public:
   }
 };
 
+/// Bounds-checked reads over an untrusted byte span. Every length and
+/// count is validated against the bytes actually *remaining* — never with
+/// `Cursor + Size > total` arithmetic, which wraps for Size near
+/// UINT64_MAX and lets a corrupt file read out of bounds.
 class Reader {
 public:
-  explicit Reader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+  Reader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  size_t remaining() const { return Size - Cursor; }
+  bool atEnd() const { return Cursor == Size; }
 
   bool u8(uint8_t &Value) {
-    if (Cursor + 1 > Bytes.size())
+    if (remaining() < 1)
       return false;
-    Value = Bytes[Cursor++];
+    Value = Data[Cursor++];
     return true;
   }
   bool u64(uint64_t &Value) {
-    if (Cursor + 8 > Bytes.size())
+    if (remaining() < 8)
       return false;
     Value = 0;
     for (unsigned Index = 0; Index != 8; ++Index)
-      Value |= uint64_t(Bytes[Cursor + Index]) << (8 * Index);
+      Value |= uint64_t(Data[Cursor + Index]) << (8 * Index);
     Cursor += 8;
     return true;
   }
   bool str(std::string &Value) {
-    uint64_t Size;
-    if (!u64(Size) || Cursor + Size > Bytes.size())
+    uint64_t Length;
+    if (!u64(Length) || Length > remaining())
       return false;
-    Value.assign(reinterpret_cast<const char *>(Bytes.data()) + Cursor, Size);
-    Cursor += Size;
+    Value.assign(reinterpret_cast<const char *>(Data) + Cursor,
+                 static_cast<size_t>(Length));
+    Cursor += static_cast<size_t>(Length);
     return true;
   }
   bool bytes(std::vector<uint8_t> &Value) {
-    uint64_t Size;
-    if (!u64(Size) || Cursor + Size > Bytes.size())
+    uint64_t Length;
+    if (!u64(Length) || Length > remaining())
       return false;
-    Value.assign(Bytes.begin() + static_cast<long>(Cursor),
-                 Bytes.begin() + static_cast<long>(Cursor + Size));
-    Cursor += Size;
+    Value.assign(Data + Cursor, Data + Cursor + Length);
+    Cursor += static_cast<size_t>(Length);
     return true;
+  }
+  /// Reads an element count that precedes \p MinElemBytes-byte-minimum
+  /// elements. A count no honest writer could have produced — more
+  /// elements than the remaining bytes can encode — fails here, before
+  /// any resize(), so a corrupt count of 10^18 cannot trigger a
+  /// pathological allocation.
+  bool count(uint64_t &Value, size_t MinElemBytes) {
+    if (!u64(Value))
+      return false;
+    return Value <= remaining() / MinElemBytes;
   }
 
 private:
-  const std::vector<uint8_t> &Bytes;
+  const uint8_t *Data;
+  size_t Size;
   size_t Cursor = 0;
 };
+
+// Minimum encoded sizes (bytes) of variable-count elements, used to bound
+// counts before allocation.
+constexpr size_t MinProcBytes = 8 + 8 + 8 + 8;     // name, sites, mask, paths
+constexpr size_t MinRecordBytes = 5 * 8 + 2 * 8;   // fixed fields + 2 counts
+constexpr size_t MinPathCellBytes = 4 * 8;
+constexpr size_t MinSlotBytes = 1 + 8;
+constexpr size_t MinTargetBytes = 2 * 8;
+constexpr size_t MinPathProfileBytes = 8 + 1 + 8 + 1 + 8;
+constexpr size_t MinPathEntryBytes = 4 * 8;
+constexpr size_t MinEdgeProfileBytes = 8 + 1 + 8 + 8;
+// 3 flag bytes + NumPaths, TableAddr, Stride, EdgeTableAddr, chord count,
+// NumSites, and the SiteIsIndirect length: 7 u64 fields.
+constexpr size_t MinInstrInfoBytes = 3 + 7 * 8;
 
 void writeTree(Writer &W, const cct::CallingContextTree &Tree) {
   cct::TreeImage Image = Tree.image();
@@ -117,64 +161,200 @@ void writeTree(Writer &W, const cct::CallingContextTree &Tree) {
   }
 }
 
-bool readTree(Reader &R, std::unique_ptr<cct::CallingContextTree> &Out) {
+DecodeStatus readTree(Reader &R,
+                      std::unique_ptr<cct::CallingContextTree> &Out) {
   cct::TreeImage Image;
   uint64_t NumProcs;
-  if (!R.u64(NumProcs))
-    return false;
+  if (!R.count(NumProcs, MinProcBytes))
+    return DecodeStatus::Truncated;
   Image.Procs.resize(NumProcs);
   for (cct::ProcDesc &Proc : Image.Procs) {
     uint64_t Sites, Paths;
     if (!R.str(Proc.Name) || !R.u64(Sites) || !R.bytes(Proc.SiteIsIndirect) ||
         !R.u64(Paths))
-      return false;
+      return DecodeStatus::Truncated;
+    if (Sites > MaxProcSites)
+      return DecodeStatus::Malformed;
     Proc.NumSites = static_cast<unsigned>(Sites);
     Proc.NumPaths = Paths;
   }
   uint64_t NumMetrics, CellBytes, NumRecords;
   if (!R.u64(NumMetrics) || !R.u64(CellBytes) || !R.u64(Image.HashThreshold) ||
-      !R.u64(Image.HeapBytes) || !R.u64(Image.ListCells) ||
-      !R.u64(NumRecords))
-    return false;
+      !R.u64(Image.HeapBytes) || !R.u64(Image.ListCells))
+    return DecodeStatus::Truncated;
+  // The tree constructor allocates per-record metric arrays and simulated
+  // heap space up front; insane geometry would abort inside it, so reject
+  // it here.
+  if (NumMetrics > MaxTreeMetrics || CellBytes > MaxPathCellBytes ||
+      Image.HeapBytes > MaxCctHeapBytes)
+    return DecodeStatus::Malformed;
+  if (!R.count(NumRecords, MinRecordBytes))
+    return DecodeStatus::Truncated;
   Image.NumMetrics = static_cast<unsigned>(NumMetrics);
   Image.PathCellBytes = static_cast<unsigned>(CellBytes);
   Image.Records.resize(NumRecords);
   for (cct::TreeImage::Record &Rec : Image.Records) {
     uint64_t Proc, Parent, NumRecMetrics, NumCells, NumSlots;
     if (!R.u64(Proc) || !R.u64(Parent) || !R.u64(Rec.Addr) ||
-        !R.u64(Rec.PathTableAddr) || !R.u64(NumRecMetrics))
-      return false;
+        !R.u64(Rec.PathTableAddr) || !R.count(NumRecMetrics, 8))
+      return DecodeStatus::Truncated;
     Rec.Proc = static_cast<cct::ProcId>(Proc);
     Rec.Parent = static_cast<int64_t>(Parent);
+    if (Rec.Proc != cct::RootProcId && Rec.Proc >= Image.Procs.size())
+      return DecodeStatus::Malformed;
     Rec.Metrics.resize(NumRecMetrics);
     for (uint64_t &Metric : Rec.Metrics)
       if (!R.u64(Metric))
-        return false;
-    if (!R.u64(NumCells))
-      return false;
+        return DecodeStatus::Truncated;
+    if (!R.count(NumCells, MinPathCellBytes))
+      return DecodeStatus::Truncated;
     Rec.PathCells.resize(NumCells);
     for (auto &[Sum, Cell] : Rec.PathCells)
       if (!R.u64(Sum) || !R.u64(Cell.Freq) || !R.u64(Cell.Metric0) ||
           !R.u64(Cell.Metric1))
-        return false;
-    if (!R.u64(NumSlots))
-      return false;
+        return DecodeStatus::Truncated;
+    if (!R.count(NumSlots, MinSlotBytes))
+      return DecodeStatus::Truncated;
     Rec.Slots.resize(NumSlots);
     for (cct::TreeImage::Slot &Slot : Rec.Slots) {
       uint64_t NumTargets;
-      if (!R.u8(Slot.Kind) || !R.u64(NumTargets))
-        return false;
+      if (!R.u8(Slot.Kind) || !R.count(NumTargets, MinTargetBytes))
+        return DecodeStatus::Truncated;
+      if (Slot.Kind >
+          static_cast<uint8_t>(cct::CallRecord::Slot::Kind::List))
+        return DecodeStatus::Malformed;
       Slot.Targets.resize(NumTargets);
       for (auto &[Target, CellAddr] : Slot.Targets)
         if (!R.u64(Target) || !R.u64(CellAddr))
-          return false;
+          return DecodeStatus::Truncated;
     }
   }
   Out = cct::CallingContextTree::fromImage(Image);
-  return Out != nullptr;
+  return Out ? DecodeStatus::Ok : DecodeStatus::Malformed;
+}
+
+DecodeStatus decodePayload(Reader &R, prof::RunOutcome &Out) {
+  uint8_t Ok;
+  if (!R.u8(Ok) || !R.u64(Out.Result.ExitValue) ||
+      !R.u64(Out.Result.ExecutedInsts) || !R.str(Out.Result.Error))
+    return DecodeStatus::Truncated;
+  Out.Result.Ok = Ok != 0;
+
+  uint64_t NumTotals;
+  if (!R.u64(NumTotals))
+    return DecodeStatus::Truncated;
+  if (NumTotals != hw::NumEvents)
+    return DecodeStatus::Malformed;
+  for (uint64_t &Total : Out.Totals)
+    if (!R.u64(Total))
+      return DecodeStatus::Truncated;
+
+  uint64_t NumPathProfiles;
+  if (!R.count(NumPathProfiles, MinPathProfileBytes))
+    return DecodeStatus::Truncated;
+  Out.PathProfiles.resize(NumPathProfiles);
+  for (prof::FunctionPathProfile &Profile : Out.PathProfiles) {
+    uint64_t FuncId, NumEntries;
+    uint8_t HasProfile, Hashed;
+    if (!R.u64(FuncId) || !R.u8(HasProfile) || !R.u64(Profile.NumPaths) ||
+        !R.u8(Hashed) || !R.count(NumEntries, MinPathEntryBytes))
+      return DecodeStatus::Truncated;
+    Profile.FuncId = static_cast<unsigned>(FuncId);
+    Profile.HasProfile = HasProfile != 0;
+    Profile.Hashed = Hashed != 0;
+    Profile.Paths.resize(NumEntries);
+    for (prof::PathEntry &Entry : Profile.Paths)
+      if (!R.u64(Entry.PathSum) || !R.u64(Entry.Freq) ||
+          !R.u64(Entry.Metric0) || !R.u64(Entry.Metric1))
+        return DecodeStatus::Truncated;
+  }
+
+  uint64_t NumEdgeProfiles;
+  if (!R.count(NumEdgeProfiles, MinEdgeProfileBytes))
+    return DecodeStatus::Truncated;
+  Out.EdgeProfiles.resize(NumEdgeProfiles);
+  for (prof::EdgeProfile &Profile : Out.EdgeProfiles) {
+    uint64_t FuncId, NumCounts;
+    uint8_t HasProfile;
+    if (!R.u64(FuncId) || !R.u8(HasProfile) || !R.u64(Profile.Invocations) ||
+        !R.count(NumCounts, 8))
+      return DecodeStatus::Truncated;
+    Profile.FuncId = static_cast<unsigned>(FuncId);
+    Profile.HasProfile = HasProfile != 0;
+    Profile.EdgeCounts.resize(NumCounts);
+    for (uint64_t &Count : Profile.EdgeCounts)
+      if (!R.u64(Count))
+        return DecodeStatus::Truncated;
+  }
+
+  uint64_t NumFunctions;
+  if (!R.count(NumFunctions, MinInstrInfoBytes))
+    return DecodeStatus::Truncated;
+  Out.Instr.M = nullptr;
+  Out.Instr.Functions.resize(NumFunctions);
+  for (prof::FunctionInstrInfo &Info : Out.Instr.Functions) {
+    uint8_t Instrumented, HasPathProfile, Hashed;
+    uint64_t Stride, NumChords, NumSites;
+    if (!R.u8(Instrumented) || !R.u8(HasPathProfile) ||
+        !R.u64(Info.NumPaths) || !R.u8(Hashed) || !R.u64(Info.TableAddr) ||
+        !R.u64(Stride) || !R.u64(Info.EdgeTableAddr) ||
+        !R.count(NumChords, 8))
+      return DecodeStatus::Truncated;
+    Info.F = nullptr;
+    Info.Instrumented = Instrumented != 0;
+    Info.HasPathProfile = HasPathProfile != 0;
+    Info.Hashed = Hashed != 0;
+    Info.Stride = static_cast<unsigned>(Stride);
+    Info.ChordEdges.resize(NumChords);
+    for (unsigned &Edge : Info.ChordEdges) {
+      uint64_t Value;
+      if (!R.u64(Value))
+        return DecodeStatus::Truncated;
+      Edge = static_cast<unsigned>(Value);
+    }
+    if (!R.u64(NumSites) || !R.bytes(Info.SiteIsIndirect))
+      return DecodeStatus::Truncated;
+    Info.NumSites = static_cast<unsigned>(NumSites);
+  }
+
+  uint8_t HasTree;
+  if (!R.u8(HasTree))
+    return DecodeStatus::Truncated;
+  if (HasTree) {
+    std::unique_ptr<cct::CallingContextTree> Tree;
+    DecodeStatus Status = readTree(R, Tree);
+    if (Status != DecodeStatus::Ok)
+      return Status;
+    Out.Tree = std::move(Tree);
+  }
+  return R.atEnd() ? DecodeStatus::Ok : DecodeStatus::TrailingBytes;
 }
 
 } // namespace
+
+const char *driver::decodeStatusName(DecodeStatus Status) {
+  switch (Status) {
+  case DecodeStatus::Ok:
+    return "ok";
+  case DecodeStatus::TooShort:
+    return "too-short";
+  case DecodeStatus::BadMagic:
+    return "bad-magic";
+  case DecodeStatus::BadVersion:
+    return "bad-version";
+  case DecodeStatus::BadChecksum:
+    return "bad-checksum";
+  case DecodeStatus::FingerprintMismatch:
+    return "fingerprint-mismatch";
+  case DecodeStatus::Truncated:
+    return "truncated";
+  case DecodeStatus::Malformed:
+    return "malformed";
+  case DecodeStatus::TrailingBytes:
+    return "trailing-bytes";
+  }
+  return "unknown";
+}
 
 std::vector<uint8_t>
 driver::serializeOutcome(const prof::RunOutcome &Outcome,
@@ -238,108 +418,53 @@ driver::serializeOutcome(const prof::RunOutcome &Outcome,
   W.u8(Outcome.Tree ? 1 : 0);
   if (Outcome.Tree)
     writeTree(W, *Outcome.Tree);
+
+  // Integrity trailer over everything above.
+  uint32_t Crc = crc32(W.Bytes.data(), W.Bytes.size());
+  for (unsigned Index = 0; Index != 4; ++Index)
+    W.u8(static_cast<uint8_t>(Crc >> (8 * Index)));
   return std::move(W.Bytes);
+}
+
+DecodeStatus driver::decodeOutcome(const std::vector<uint8_t> &Bytes,
+                                   const std::string &ExpectedFingerprint,
+                                   prof::RunOutcome &Out) {
+  // Fixed header (magic + version + fingerprint length) plus CRC trailer.
+  if (Bytes.size() < 3 * 8 + 4)
+    return DecodeStatus::TooShort;
+
+  // Identify the format before checksumming: a version-1 file (no
+  // trailer) or a foreign file reports its real problem, not a CRC error.
+  Reader Header(Bytes.data(), Bytes.size());
+  uint64_t FileMagic, FileVersion;
+  (void)Header.u64(FileMagic);
+  (void)Header.u64(FileVersion);
+  if (FileMagic != Magic)
+    return DecodeStatus::BadMagic;
+  if (FileVersion != Version)
+    return DecodeStatus::BadVersion;
+
+  size_t PayloadSize = Bytes.size() - 4;
+  uint32_t Stored = 0;
+  for (unsigned Index = 0; Index != 4; ++Index)
+    Stored |= uint32_t(Bytes[PayloadSize + Index]) << (8 * Index);
+  if (crc32(Bytes.data(), PayloadSize) != Stored)
+    return DecodeStatus::BadChecksum;
+
+  Reader R(Bytes.data(), PayloadSize);
+  uint64_t Skip;
+  (void)R.u64(Skip); // magic, validated above
+  (void)R.u64(Skip); // version, validated above
+  std::string Fingerprint;
+  if (!R.str(Fingerprint))
+    return DecodeStatus::Truncated;
+  if (Fingerprint != ExpectedFingerprint)
+    return DecodeStatus::FingerprintMismatch;
+  return decodePayload(R, Out);
 }
 
 bool driver::deserializeOutcome(const std::vector<uint8_t> &Bytes,
                                 const std::string &ExpectedFingerprint,
                                 prof::RunOutcome &Out) {
-  Reader R(Bytes);
-  uint64_t Header, FileVersion;
-  std::string Fingerprint;
-  if (!R.u64(Header) || Header != Magic || !R.u64(FileVersion) ||
-      FileVersion != Version || !R.str(Fingerprint) ||
-      Fingerprint != ExpectedFingerprint)
-    return false;
-
-  uint8_t Ok;
-  if (!R.u8(Ok) || !R.u64(Out.Result.ExitValue) ||
-      !R.u64(Out.Result.ExecutedInsts) || !R.str(Out.Result.Error))
-    return false;
-  Out.Result.Ok = Ok != 0;
-
-  uint64_t NumTotals;
-  if (!R.u64(NumTotals) || NumTotals != hw::NumEvents)
-    return false;
-  for (uint64_t &Total : Out.Totals)
-    if (!R.u64(Total))
-      return false;
-
-  uint64_t NumPathProfiles;
-  if (!R.u64(NumPathProfiles))
-    return false;
-  Out.PathProfiles.resize(NumPathProfiles);
-  for (prof::FunctionPathProfile &Profile : Out.PathProfiles) {
-    uint64_t FuncId, NumEntries;
-    uint8_t HasProfile, Hashed;
-    if (!R.u64(FuncId) || !R.u8(HasProfile) || !R.u64(Profile.NumPaths) ||
-        !R.u8(Hashed) || !R.u64(NumEntries))
-      return false;
-    Profile.FuncId = static_cast<unsigned>(FuncId);
-    Profile.HasProfile = HasProfile != 0;
-    Profile.Hashed = Hashed != 0;
-    Profile.Paths.resize(NumEntries);
-    for (prof::PathEntry &Entry : Profile.Paths)
-      if (!R.u64(Entry.PathSum) || !R.u64(Entry.Freq) ||
-          !R.u64(Entry.Metric0) || !R.u64(Entry.Metric1))
-        return false;
-  }
-
-  uint64_t NumEdgeProfiles;
-  if (!R.u64(NumEdgeProfiles))
-    return false;
-  Out.EdgeProfiles.resize(NumEdgeProfiles);
-  for (prof::EdgeProfile &Profile : Out.EdgeProfiles) {
-    uint64_t FuncId, NumCounts;
-    uint8_t HasProfile;
-    if (!R.u64(FuncId) || !R.u8(HasProfile) || !R.u64(Profile.Invocations) ||
-        !R.u64(NumCounts))
-      return false;
-    Profile.FuncId = static_cast<unsigned>(FuncId);
-    Profile.HasProfile = HasProfile != 0;
-    Profile.EdgeCounts.resize(NumCounts);
-    for (uint64_t &Count : Profile.EdgeCounts)
-      if (!R.u64(Count))
-        return false;
-  }
-
-  uint64_t NumFunctions;
-  if (!R.u64(NumFunctions))
-    return false;
-  Out.Instr.M = nullptr;
-  Out.Instr.Functions.resize(NumFunctions);
-  for (prof::FunctionInstrInfo &Info : Out.Instr.Functions) {
-    uint8_t Instrumented, HasPathProfile, Hashed;
-    uint64_t Stride, NumChords, NumSites;
-    if (!R.u8(Instrumented) || !R.u8(HasPathProfile) ||
-        !R.u64(Info.NumPaths) || !R.u8(Hashed) || !R.u64(Info.TableAddr) ||
-        !R.u64(Stride) || !R.u64(Info.EdgeTableAddr) || !R.u64(NumChords))
-      return false;
-    Info.F = nullptr;
-    Info.Instrumented = Instrumented != 0;
-    Info.HasPathProfile = HasPathProfile != 0;
-    Info.Hashed = Hashed != 0;
-    Info.Stride = static_cast<unsigned>(Stride);
-    Info.ChordEdges.resize(NumChords);
-    for (unsigned &Edge : Info.ChordEdges) {
-      uint64_t Value;
-      if (!R.u64(Value))
-        return false;
-      Edge = static_cast<unsigned>(Value);
-    }
-    if (!R.u64(NumSites) || !R.bytes(Info.SiteIsIndirect))
-      return false;
-    Info.NumSites = static_cast<unsigned>(NumSites);
-  }
-
-  uint8_t HasTree;
-  if (!R.u8(HasTree))
-    return false;
-  if (HasTree) {
-    std::unique_ptr<cct::CallingContextTree> Tree;
-    if (!readTree(R, Tree))
-      return false;
-    Out.Tree = std::move(Tree);
-  }
-  return true;
+  return decodeOutcome(Bytes, ExpectedFingerprint, Out) == DecodeStatus::Ok;
 }

@@ -8,6 +8,17 @@
 /// not persisted: no table consumer needs it, and it is cheap to recreate
 /// from the workload registry when one does.
 ///
+/// Version 2 layout (all integers little-endian):
+///
+///   u64 magic "PPRO" | u64 version | str fingerprint | <payload> | u32 crc
+///
+/// where the trailing CRC32 covers every preceding byte. A reader verifies
+/// magic, version, and checksum before trusting a single length field, and
+/// every length field inside the payload is validated against the bytes
+/// actually remaining, so a corrupt or adversarial file can never read out
+/// of bounds or force a pathological allocation — it is simply rejected
+/// with a typed reason and the run re-executes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PP_DRIVER_OUTCOMEIO_H
@@ -22,15 +33,47 @@
 namespace pp {
 namespace driver {
 
+/// Why a cache file was rejected (or that it was not).
+enum class DecodeStatus : unsigned {
+  Ok = 0,
+  /// Shorter than the fixed header + checksum trailer.
+  TooShort,
+  /// The magic number does not match (not a cache file at all).
+  BadMagic,
+  /// A different format version (e.g. a stale Version-1 file).
+  BadVersion,
+  /// The CRC32 trailer does not match the bytes (torn write, bit rot).
+  BadChecksum,
+  /// The embedded fingerprint is not the expected one (hash collision).
+  FingerprintMismatch,
+  /// A length or count field exceeds the bytes remaining.
+  Truncated,
+  /// A field holds a structurally impossible value (e.g. a totals array
+  /// sized unlike hw::NumEvents, or a CCT image the tree rejects).
+  Malformed,
+  /// Decoding finished but bytes were left over.
+  TrailingBytes,
+};
+constexpr unsigned NumDecodeStatuses =
+    static_cast<unsigned>(DecodeStatus::TrailingBytes) + 1;
+
+/// Short stable name of \p Status ("ok", "bad-checksum", ...).
+const char *decodeStatusName(DecodeStatus Status);
+
 /// Serialises \p Outcome, embedding \p Fingerprint so a reader can detect
-/// hash-collision mismatches.
+/// hash-collision mismatches, and appending a CRC32 trailer.
 std::vector<uint8_t> serializeOutcome(const prof::RunOutcome &Outcome,
                                       const std::string &Fingerprint);
 
-/// Reads back what serializeOutcome wrote. Returns false on malformed
-/// bytes or when \p ExpectedFingerprint does not match the embedded one.
-/// On success \p Out has no instrumented module (Instr.M is null); see
-/// driver::OutcomePtr.
+/// Reads back what serializeOutcome wrote, reporting the typed reason on
+/// failure. On success \p Out has no instrumented module (Instr.M is
+/// null); see driver::OutcomePtr. On failure \p Out is unspecified and
+/// must be discarded.
+DecodeStatus decodeOutcome(const std::vector<uint8_t> &Bytes,
+                           const std::string &ExpectedFingerprint,
+                           prof::RunOutcome &Out);
+
+/// Convenience wrapper: true iff decodeOutcome returns DecodeStatus::Ok.
 bool deserializeOutcome(const std::vector<uint8_t> &Bytes,
                         const std::string &ExpectedFingerprint,
                         prof::RunOutcome &Out);

@@ -2,6 +2,7 @@
 
 #include "driver/RunCache.h"
 
+#include "driver/FaultInjector.h"
 #include "driver/OutcomeIO.h"
 
 #include <cstdio>
@@ -37,11 +38,14 @@ OutcomePtr RunCache::lookup(const RunKey &Key) {
   }
 
   if (!DiskDir.empty()) {
-    std::ifstream File(diskPath(Key), std::ios::binary);
+    std::string Path = diskPath(Key);
+    std::ifstream File(Path, std::ios::binary);
     if (File) {
       std::vector<uint8_t> Bytes(std::istreambuf_iterator<char>(File), {});
+      FaultInjector::instance().mutateCacheRead(Bytes);
       auto Outcome = std::make_shared<prof::RunOutcome>();
-      if (deserializeOutcome(Bytes, Key.Fingerprint, *Outcome)) {
+      DecodeStatus Status = decodeOutcome(Bytes, Key.Fingerprint, *Outcome);
+      if (Status == DecodeStatus::Ok) {
         std::lock_guard<std::mutex> Lock(Mu);
         ++Counts.DiskHits;
         // Another thread may have raced the file read; first one wins so
@@ -49,6 +53,13 @@ OutcomePtr RunCache::lookup(const RunKey &Key) {
         auto [It, Inserted] = Memory.emplace(Key.Fingerprint, Outcome);
         return It->second;
       }
+      // The file is unusable whatever the reason (stale version, torn
+      // write, bit rot, collision): count it, drop it so the re-executed
+      // run can store a fresh copy, and fall through to a miss.
+      std::remove(Path.c_str());
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Counts.DecodeFailures;
+      ++Counts.DecodeFailuresBy[static_cast<unsigned>(Status)];
     }
   }
 
@@ -67,8 +78,16 @@ void RunCache::insert(const RunKey &Key, const OutcomePtr &Outcome) {
     ++Counts.Stores;
   }
 
-  if (DiskDir.empty())
+  // Failed runs stay memory-only: persisting them would make a transient
+  // failure (an injected fault, a scheduler-synthesised error) permanent
+  // for every later process sharing the cache directory.
+  if (DiskDir.empty() || !Outcome->Result.Ok)
     return;
+  if (FaultInjector::instance().shouldFailCacheWrite()) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Counts.WriteFailures;
+    return;
+  }
   ::mkdir(DiskDir.c_str(), 0755);
   // Write-to-temp + rename, so concurrent bench processes sharing the
   // cache directory only ever observe complete files.
@@ -76,20 +95,22 @@ void RunCache::insert(const RunKey &Key, const OutcomePtr &Outcome) {
   std::string Final = diskPath(Key);
   std::string Temp =
       Final + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  bool Written = false;
   {
     std::ofstream File(Temp, std::ios::binary | std::ios::trunc);
-    if (!File)
-      return; // cache directory not writable; memory layer still works
-    File.write(reinterpret_cast<const char *>(Bytes.data()),
-               static_cast<std::streamsize>(Bytes.size()));
-    if (!File.good()) {
-      File.close();
-      std::remove(Temp.c_str());
-      return;
+    if (File) {
+      File.write(reinterpret_cast<const char *>(Bytes.data()),
+                 static_cast<std::streamsize>(Bytes.size()));
+      Written = File.good();
     }
   }
-  if (std::rename(Temp.c_str(), Final.c_str()) != 0)
-    std::remove(Temp.c_str());
+  if (Written && std::rename(Temp.c_str(), Final.c_str()) == 0)
+    return;
+  // Cache directory not writable or short write; the memory layer still
+  // works, so degrade to uncached-on-disk instead of failing the run.
+  std::remove(Temp.c_str());
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Counts.WriteFailures;
 }
 
 RunCache::Stats RunCache::stats() const {

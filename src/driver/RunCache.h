@@ -8,14 +8,23 @@
 /// times, in the gprof tradition of persisting profile data for many
 /// consumers. Thread-safe.
 ///
+/// The disk layer trusts nothing it reads: files carry a CRC32 trailer
+/// and bounded length fields (see OutcomeIO.h), and a file that fails to
+/// decode for any reason is counted, deleted, and treated as a miss — the
+/// run simply re-executes and the next store rewrites the file. Failed
+/// writes (permissions, disk full, injected faults) likewise degrade to
+/// memory-only caching instead of erroring.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PP_DRIVER_RUNCACHE_H
 #define PP_DRIVER_RUNCACHE_H
 
+#include "driver/OutcomeIO.h"
 #include "driver/RunKey.h"
 #include "driver/RunPlan.h"
 
+#include <array>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -33,12 +42,14 @@ public:
   static std::string diskDirFromEnv();
 
   /// Returns the memoized outcome for \p Key, consulting memory first and
-  /// then disk (a disk hit is promoted into memory). Null on miss or for
-  /// uncacheable keys.
+  /// then disk (a disk hit is promoted into memory). Null on miss, for
+  /// uncacheable keys, and for disk files that fail to decode — those are
+  /// counted per reason, removed, and re-executed by the caller.
   OutcomePtr lookup(const RunKey &Key);
 
   /// Memoizes \p Outcome under \p Key in both layers. No-op for
-  /// uncacheable keys.
+  /// uncacheable keys; failed outcomes (Result.Ok == false) are memoized
+  /// in memory only, never persisted.
   void insert(const RunKey &Key, const OutcomePtr &Outcome);
 
   bool hasDiskLayer() const { return !DiskDir.empty(); }
@@ -48,6 +59,13 @@ public:
     uint64_t DiskHits = 0;
     uint64_t Misses = 0;
     uint64_t Stores = 0;
+    /// Disk files rejected by the decoder (and removed), total and by
+    /// DecodeStatus.
+    uint64_t DecodeFailures = 0;
+    std::array<uint64_t, NumDecodeStatuses> DecodeFailuresBy{};
+    /// Disk writes that could not complete (unwritable directory, short
+    /// write, injected fault); the memory layer still holds the outcome.
+    uint64_t WriteFailures = 0;
   };
   Stats stats() const;
 

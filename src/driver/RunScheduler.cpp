@@ -2,11 +2,13 @@
 
 #include "driver/RunScheduler.h"
 
+#include "driver/FaultInjector.h"
 #include "driver/RunCache.h"
-#include "support/Error.h"
+#include "support/Format.h"
 #include "workloads/Spec.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 using namespace pp;
@@ -16,14 +18,22 @@ unsigned RunScheduler::defaultWorkerThreads() {
   const char *Serial = std::getenv("PP_DRIVER_SERIAL");
   if (Serial && Serial[0] == '1')
     return 0;
-  if (const char *Threads = std::getenv("PP_DRIVER_THREADS")) {
-    long Value = std::atol(Threads);
-    if (Value <= 0)
-      return 0;
-    return static_cast<unsigned>(std::min(Value, 64L));
-  }
   unsigned Hardware = std::thread::hardware_concurrency();
-  return std::clamp(Hardware ? Hardware : 4u, 4u, 16u);
+  unsigned Default = std::clamp(Hardware ? Hardware : 4u, 4u, 16u);
+  if (const char *Threads = std::getenv("PP_DRIVER_THREADS")) {
+    uint64_t Value;
+    if (!parseUint64(Threads, Value)) {
+      // A typo must not silently drop the suite into serial mode (atol
+      // would read "max" as 0); warn and keep the hardware default.
+      std::fprintf(stderr,
+                   "pp-driver: warning: ignoring non-numeric "
+                   "PP_DRIVER_THREADS='%s'; using %u threads\n",
+                   Threads, Default);
+      return Default;
+    }
+    return static_cast<unsigned>(std::min<uint64_t>(Value, 64));
+  }
+  return Default;
 }
 
 RunScheduler::RunScheduler(RunCache *Cache, unsigned Threads) : Cache(Cache) {
@@ -99,6 +109,11 @@ uint64_t RunScheduler::runsExecuted() const {
   return Executed;
 }
 
+uint64_t RunScheduler::runsFailed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Failed;
+}
+
 void RunScheduler::workerLoop() {
   for (;;) {
     Task *Claimed;
@@ -125,10 +140,19 @@ void RunScheduler::executeTask(Task &T) {
   OutcomePtr Outcome = executePlan(T.Plan, T.Key);
   {
     std::lock_guard<std::mutex> Lock(Mu);
+    if (!Outcome || !Outcome->Result.Ok)
+      ++Failed;
     T.Outcome = std::move(Outcome);
     T.Done = true;
   }
   TaskDone.notify_all();
+}
+
+OutcomePtr RunScheduler::failedOutcome(std::string Error) {
+  auto Outcome = std::make_shared<prof::RunOutcome>();
+  Outcome->Result.Ok = false;
+  Outcome->Result.Error = std::move(Error);
+  return Outcome;
 }
 
 OutcomePtr RunScheduler::executePlan(const RunPlan &Plan, const RunKey &Key) {
@@ -136,11 +160,19 @@ OutcomePtr RunScheduler::executePlan(const RunPlan &Plan, const RunKey &Key) {
     if (OutcomePtr Hit = Cache->lookup(Key))
       return Hit;
 
+  // One bad run degrades one result, never the suite: failures come back
+  // as structured outcomes (Ok = false, Error set) that are not cached,
+  // while every other submitted run proceeds untouched.
+  std::string InjectedError;
+  if (FaultInjector::instance().shouldFailRun(Key.Fingerprint,
+                                              InjectedError))
+    return failedOutcome(std::move(InjectedError));
+
   std::unique_ptr<ir::Module> M =
       Plan.Build ? Plan.Build()
                  : workloads::buildWorkload(Plan.Workload, Plan.Scale);
   if (!M)
-    reportFatalError("driver: unknown workload '" + Plan.Workload + "'");
+    return failedOutcome("unknown workload '" + Plan.Workload + "'");
 
   prof::RunStager Stager(*M, Plan.Options);
   Stager.instrument();

@@ -9,8 +9,16 @@
 /// RunCache (when attached) is consulted before executing and updated
 /// after.
 ///
-/// Environment knobs: PP_DRIVER_THREADS sets the worker count,
-/// PP_DRIVER_SERIAL=1 forces in-order execution on the calling thread.
+/// Failure isolation: a run that cannot execute (unknown workload,
+/// injected fault) resolves to a structured outcome with Result.Ok ==
+/// false and Result.Error set, is never cached to disk, and leaves every
+/// other submitted run untouched — one bad run degrades one table cell
+/// instead of aborting the suite.
+///
+/// Environment knobs: PP_DRIVER_THREADS sets the worker count (a
+/// non-numeric value warns and keeps the hardware default; 0 means
+/// serial), PP_DRIVER_SERIAL=1 forces in-order execution on the calling
+/// thread.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,6 +66,9 @@ public:
   }
   /// Runs actually executed (cache hits and folded duplicates excluded).
   uint64_t runsExecuted() const;
+  /// Runs that resolved to a failed outcome (Result.Ok == false), whether
+  /// executed or synthesised (unknown workload, injected fault).
+  uint64_t runsFailed() const;
 
   /// PP_DRIVER_SERIAL / PP_DRIVER_THREADS, defaulting to the hardware
   /// concurrency clamped to [4, 16].
@@ -75,6 +86,8 @@ private:
   void workerLoop();
   void executeTask(Task &T);
   OutcomePtr executePlan(const RunPlan &Plan, const RunKey &Key);
+  /// A structured failure outcome (Ok = false, \p Error attached).
+  static OutcomePtr failedOutcome(std::string Error);
 
   RunCache *Cache;
   std::vector<std::thread> Workers;
@@ -89,6 +102,7 @@ private:
   std::unordered_map<std::string, size_t> TaskOfKey;
   size_t NextUnclaimed = 0;
   uint64_t Executed = 0;
+  uint64_t Failed = 0;
   bool ShuttingDown = false;
 };
 

@@ -26,17 +26,17 @@ void CacheSim::reset() {
   Misses = 0;
 }
 
-bool CacheSim::access(uint64_t Addr, uint64_t Size) {
+unsigned CacheSim::access(uint64_t Addr, uint64_t Size) {
   assert(Size >= 1);
   ++Accesses;
   uint64_t FirstLine = Addr >> LineShift;
   uint64_t LastLine = (Addr + Size - 1) >> LineShift;
-  bool Miss = false;
+  unsigned MissedLines = 0;
   for (uint64_t Line = FirstLine; Line <= LastLine; ++Line)
-    Miss |= touchLine(Line);
-  if (Miss)
-    ++Misses;
-  return Miss;
+    if (touchLine(Line))
+      ++MissedLines;
+  Misses += MissedLines;
+  return MissedLines;
 }
 
 bool CacheSim::touchLine(uint64_t LineAddr) {

@@ -45,10 +45,12 @@ public:
 
   const CacheConfig &config() const { return Config; }
 
-  /// Touches the line containing \p Addr; returns true on a miss. An access
-  /// that straddles a line boundary touches both lines (a miss in either
-  /// reports a miss).
-  bool access(uint64_t Addr, uint64_t Size);
+  /// Touches every line the [Addr, Addr + Size) access covers and returns
+  /// the number of lines that missed (0 = all hit). An access that
+  /// straddles a line boundary touches both lines, and each missing line
+  /// counts — two cold lines are two misses, exactly as the hardware's
+  /// miss counter would see them.
+  unsigned access(uint64_t Addr, uint64_t Size);
 
   /// Empties the cache.
   void reset();

@@ -48,20 +48,21 @@ public:
     }
   }
 
-  /// Counted data read.
+  /// Counted data read. A line-straddling access that misses both touched
+  /// lines counts (and pays for) both misses.
   uint64_t load(uint64_t Addr, unsigned Size) {
-    if (DCache.access(Addr, Size)) {
-      Counters.count(Event::DCacheReadMiss, 1);
-      Counters.count(Event::Cycles, Cost.DCacheMissPenalty);
+    if (unsigned MissedLines = DCache.access(Addr, Size)) {
+      Counters.count(Event::DCacheReadMiss, MissedLines);
+      Counters.count(Event::Cycles, MissedLines * Cost.DCacheMissPenalty);
     }
     return Mem.peek(Addr, Size);
   }
 
   /// Counted data write, including store-buffer modelling.
   void store(uint64_t Addr, unsigned Size, uint64_t Value) {
-    if (DCache.access(Addr, Size)) {
-      Counters.count(Event::DCacheWriteMiss, 1);
-      Counters.count(Event::Cycles, Cost.DCacheMissPenalty);
+    if (unsigned MissedLines = DCache.access(Addr, Size)) {
+      Counters.count(Event::DCacheWriteMiss, MissedLines);
+      Counters.count(Event::Cycles, MissedLines * Cost.DCacheMissPenalty);
     }
     noteStoreIssued();
     Mem.poke(Addr, Size, Value);
@@ -72,11 +73,11 @@ public:
   /// machine the memory traffic of a pseudo-op's inline expansion (the
   /// data itself lives in host-side structures).
   void touchData(uint64_t Addr, unsigned Size, bool IsWrite) {
-    if (DCache.access(Addr, Size)) {
+    if (unsigned MissedLines = DCache.access(Addr, Size)) {
       Counters.count(IsWrite ? Event::DCacheWriteMiss
                              : Event::DCacheReadMiss,
-                     1);
-      Counters.count(Event::Cycles, Cost.DCacheMissPenalty);
+                     MissedLines);
+      Counters.count(Event::Cycles, MissedLines * Cost.DCacheMissPenalty);
     }
     if (IsWrite)
       noteStoreIssued();

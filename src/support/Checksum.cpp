@@ -1,0 +1,30 @@
+//===- support/Checksum.cpp - CRC32 checksums --------------------------------===//
+
+#include "support/Checksum.h"
+
+#include <array>
+
+using namespace pp;
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t Index = 0; Index != 256; ++Index) {
+    uint32_t Value = Index;
+    for (unsigned Bit = 0; Bit != 8; ++Bit)
+      Value = (Value >> 1) ^ ((Value & 1) ? 0xedb88320u : 0);
+    Table[Index] = Value;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t pp::crc32(const uint8_t *Data, size_t Size, uint32_t Seed) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  uint32_t Crc = ~Seed;
+  for (size_t Index = 0; Index != Size; ++Index)
+    Crc = (Crc >> 8) ^ Table[(Crc ^ Data[Index]) & 0xff];
+  return ~Crc;
+}

@@ -1,0 +1,26 @@
+//===- support/Checksum.h - CRC32 checksums --------------------*- C++ -*-===//
+///
+/// \file
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) for integrity
+/// trailers on persisted binary data. The on-disk run cache appends a CRC
+/// of the whole payload so a reader can reject torn, truncated, or
+/// bit-rotted files before parsing a single length field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_SUPPORT_CHECKSUM_H
+#define PP_SUPPORT_CHECKSUM_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pp {
+
+/// Returns the CRC32 of \p Size bytes at \p Data. \p Seed allows
+/// incremental computation: pass a previous result to continue it over a
+/// subsequent chunk; 0 for a fresh checksum.
+uint32_t crc32(const uint8_t *Data, size_t Size, uint32_t Seed = 0);
+
+} // namespace pp
+
+#endif // PP_SUPPORT_CHECKSUM_H

@@ -47,3 +47,19 @@ std::string pp::formatRatio(double Value, double Base) {
     return "-";
   return formatString("%.2f", Value / Base);
 }
+
+bool pp::parseUint64(const char *Text, uint64_t &Out) {
+  if (!Text || !*Text)
+    return false;
+  uint64_t Value = 0;
+  for (const char *P = Text; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      return false;
+    unsigned Digit = static_cast<unsigned>(*P - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return false; // overflow
+    Value = Value * 10 + Digit;
+  }
+  Out = Value;
+  return true;
+}

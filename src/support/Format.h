@@ -28,6 +28,13 @@ std::string formatPercent(double Numerator, double Denominator);
 /// Formats a ratio with two decimals ("1.23"); "-" when the base is zero.
 std::string formatRatio(double Value, double Base);
 
+/// Strictly parses \p Text as an unsigned decimal integer: the whole string
+/// must be digits (no sign, no whitespace, no trailing characters) and the
+/// value must fit in 64 bits. Returns false otherwise, leaving \p Out
+/// untouched. Environment knobs use this so a typo degrades to the default
+/// with a warning instead of silently parsing as 0.
+bool parseUint64(const char *Text, uint64_t &Out);
+
 } // namespace pp
 
 #endif // PP_SUPPORT_FORMAT_H

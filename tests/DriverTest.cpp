@@ -14,6 +14,8 @@
 #include "gtest/gtest.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
 #include <unistd.h>
 
 using namespace pp;
@@ -248,6 +250,109 @@ TEST(OutcomeIOTest, RejectsMismatchedFingerprint) {
   EXPECT_FALSE(deserializeOutcome(Bytes, "fingerprint-b", Out));
   EXPECT_TRUE(deserializeOutcome(Bytes, "fingerprint-a", Out));
   expectOutcomesEqual(*Run, Out);
+}
+
+TEST(OutcomeIOTest, RejectsMismatchedVersion) {
+  Driver D(/*DiskDir=*/"", /*Threads=*/1);
+  OutcomePtr Run = D.run(makePlan("130.li", prof::Mode::Flow));
+  ASSERT_TRUE(Run && Run->Result.Ok);
+
+  // A future format bump leaves old files behind; they must be rejected
+  // as BadVersion (and re-executed), not misparsed. The version gate
+  // fires before the checksum, so even a checksum-consistent file of
+  // another version is refused.
+  std::vector<uint8_t> Bytes = serializeOutcome(*Run, "fp");
+  Bytes[8] += 1; // version field, little-endian low byte
+  prof::RunOutcome Out;
+  EXPECT_EQ(decodeOutcome(Bytes, "fp", Out), DecodeStatus::BadVersion);
+  EXPECT_FALSE(deserializeOutcome(Bytes, "fp", Out));
+}
+
+TEST(DriverTest, StaleVersionFileOnDiskIsReplacedByReexecution) {
+  std::string Dir = makeTempDir();
+  ASSERT_FALSE(Dir.empty());
+  {
+    Driver Writer(Dir, /*Threads=*/1);
+    OutcomePtr Run = Writer.run(makePlan("130.li", prof::Mode::Flow));
+    ASSERT_TRUE(Run && Run->Result.Ok);
+  }
+
+  // Regress the version field of the file on disk, as if a format bump
+  // left an old cache directory behind.
+  std::string FindCmd = "ls " + Dir + "/*.ppo";
+  FILE *Pipe = popen(FindCmd.c_str(), "r");
+  ASSERT_NE(Pipe, nullptr);
+  char PathBuf[256] = {};
+  ASSERT_NE(std::fgets(PathBuf, sizeof(PathBuf), Pipe), nullptr);
+  pclose(Pipe);
+  std::string Path(PathBuf);
+  while (!Path.empty() && Path.back() == '\n')
+    Path.pop_back();
+  {
+    std::FILE *File = std::fopen(Path.c_str(), "r+b");
+    ASSERT_NE(File, nullptr);
+    std::fseek(File, 8, SEEK_SET);
+    std::fputc(1, File); // version 1
+    std::fclose(File);
+  }
+
+  Driver Reader(Dir, /*Threads=*/1);
+  OutcomePtr Run = Reader.run(makePlan("130.li", prof::Mode::Flow));
+  ASSERT_TRUE(Run && Run->Result.Ok);
+  EXPECT_EQ(Reader.scheduler().runsExecuted(), 1u);
+  RunCache::Stats Stats = Reader.cache().stats();
+  EXPECT_EQ(Stats.DiskHits, 0u);
+  EXPECT_EQ(Stats.DecodeFailures, 1u);
+  EXPECT_EQ(Stats.DecodeFailuresBy[static_cast<unsigned>(
+                DecodeStatus::BadVersion)],
+            1u);
+
+  std::string Cmd = "rm -rf " + Dir;
+  (void)std::system(Cmd.c_str());
+}
+
+TEST(DriverTest, UnwritableCacheDirDegradesToUncached) {
+  // A cache "directory" that is actually a file: mkdir and every write
+  // under it fail unconditionally (even for root, where a read-only
+  // directory would not).
+  std::string Dir = makeTempDir();
+  ASSERT_FALSE(Dir.empty());
+  std::string NotADir = Dir + "/cache";
+  { std::fclose(std::fopen(NotADir.c_str(), "w")); }
+
+  {
+    Driver D(NotADir, /*Threads=*/1);
+    OutcomePtr Run = D.run(makePlan("130.li", prof::Mode::Flow));
+    // The run still succeeds; only the persistence degraded.
+    ASSERT_TRUE(Run && Run->Result.Ok);
+    EXPECT_EQ(D.cache().stats().WriteFailures, 1u);
+    // The memory layer still memoizes.
+    OutcomePtr Again = D.run(makePlan("130.li", prof::Mode::Flow));
+    EXPECT_EQ(Run.get(), Again.get());
+    EXPECT_EQ(D.scheduler().runsExecuted(), 1u);
+  }
+
+  // Nothing was persisted: a fresh driver re-executes.
+  Driver Fresh(NotADir, /*Threads=*/1);
+  OutcomePtr Rerun = Fresh.run(makePlan("130.li", prof::Mode::Flow));
+  ASSERT_TRUE(Rerun && Rerun->Result.Ok);
+  EXPECT_EQ(Fresh.scheduler().runsExecuted(), 1u);
+  EXPECT_EQ(Fresh.cache().stats().DiskHits, 0u);
+
+  std::string Cmd = "rm -rf " + Dir;
+  (void)std::system(Cmd.c_str());
+}
+
+TEST(SchedulerTest, NonNumericThreadsEnvKeepsParallelDefault) {
+  setenv("PP_DRIVER_THREADS", "max", 1);
+  // A typo must warn and keep the hardware default, not silently fall to
+  // serial (atol("max") == 0).
+  EXPECT_GE(RunScheduler::defaultWorkerThreads(), 4u);
+  setenv("PP_DRIVER_THREADS", "2", 1);
+  EXPECT_EQ(RunScheduler::defaultWorkerThreads(), 2u);
+  setenv("PP_DRIVER_THREADS", "0", 1);
+  EXPECT_EQ(RunScheduler::defaultWorkerThreads(), 0u);
+  unsetenv("PP_DRIVER_THREADS");
 }
 
 TEST(OutcomeIOTest, RejectsTruncatedBytes) {

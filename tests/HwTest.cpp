@@ -46,6 +46,21 @@ TEST(CacheSim, StraddlingAccessTouchesBothLines) {
   EXPECT_FALSE(Cache.access(0x2020, 1));
 }
 
+TEST(CacheSim, StraddlingAccessCountsEachMissedLine) {
+  // Regression: a line-straddling access with both lines cold used to be
+  // charged as one miss; the hardware's miss counter sees two line fills.
+  CacheSim Cache(dcacheDefault());
+  EXPECT_EQ(Cache.access(0x2000 + 30, 8), 2u);
+  EXPECT_EQ(Cache.misses(), 2u);
+  EXPECT_EQ(Cache.accesses(), 1u);
+  // Now one line is warm, one cold: exactly one miss is charged.
+  EXPECT_TRUE(Cache.access(0x203e, 4)); // spans 0x2020 (warm) and 0x2040
+  EXPECT_EQ(Cache.access(0x205e, 4), 1u) << "0x2040 warm, 0x2060 cold";
+  EXPECT_EQ(Cache.misses(), 4u);
+  // Fully warm straddle: no misses.
+  EXPECT_EQ(Cache.access(0x201e, 4), 0u);
+}
+
 TEST(CacheSim, CountersTrackAccessesAndMisses) {
   CacheSim Cache(dcacheDefault());
   Cache.access(0, 8);

@@ -1,12 +1,53 @@
 //===- tests/SupportTest.cpp - support library tests -------------------------===//
 
+#include "support/Checksum.h"
 #include "support/Format.h"
 #include "support/Prng.h"
 #include "support/TableWriter.h"
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 using namespace pp;
+
+TEST(Format, ParseUint64Strict) {
+  uint64_t Value = 77;
+  EXPECT_TRUE(parseUint64("0", Value));
+  EXPECT_EQ(Value, 0u);
+  EXPECT_TRUE(parseUint64("18446744073709551615", Value));
+  EXPECT_EQ(Value, UINT64_MAX);
+
+  // Rejections leave the output untouched.
+  Value = 77;
+  EXPECT_FALSE(parseUint64("", Value));
+  EXPECT_FALSE(parseUint64("max", Value));
+  EXPECT_FALSE(parseUint64("12x", Value));
+  EXPECT_FALSE(parseUint64(" 12", Value));
+  EXPECT_FALSE(parseUint64("-1", Value));
+  EXPECT_FALSE(parseUint64("18446744073709551616", Value)) << "overflow";
+  EXPECT_EQ(Value, 77u);
+}
+
+TEST(Checksum, Crc32KnownVectors) {
+  // The IEEE 802.3 check value: crc32("123456789") == 0xCBF43926.
+  const uint8_t Digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(Digits, sizeof(Digits)), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+
+  // Seeded continuation equals one-shot over the concatenation.
+  uint32_t Split = crc32(Digits + 4, 5, crc32(Digits, 4));
+  EXPECT_EQ(Split, 0xCBF43926u);
+
+  // Any single-bit flip changes the checksum.
+  uint8_t Flipped[sizeof(Digits)];
+  for (size_t Byte = 0; Byte != sizeof(Digits); ++Byte)
+    for (unsigned Bit = 0; Bit != 8; ++Bit) {
+      std::memcpy(Flipped, Digits, sizeof(Digits));
+      Flipped[Byte] ^= uint8_t(1) << Bit;
+      EXPECT_NE(crc32(Flipped, sizeof(Flipped)), 0xCBF43926u);
+    }
+}
 
 TEST(Format, FormatString) {
   EXPECT_EQ(formatString("x=%d y=%s", 42, "hi"), "x=42 y=hi");
