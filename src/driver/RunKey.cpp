@@ -32,7 +32,7 @@ RunKey RunKey::of(const RunPlan &Plan) {
   Key.Cacheable = Plan.Cacheable && !C.ShouldInstrument;
 
   std::string &F = Key.Fingerprint;
-  F = "v1;wl=" + Plan.Workload;
+  F = "v2;wl=" + Plan.Workload;
   F += formatString(";scale=%d;mode=%s;pic0=%s;pic1=%s;sites=%d", Plan.Scale,
                     prof::modeName(C.M), hw::eventName(C.Pic0),
                     hw::eventName(C.Pic1), C.DistinguishCallSites ? 1 : 0);
@@ -53,6 +53,7 @@ RunKey RunKey::of(const RunPlan &Plan) {
   F += formatString(";max=%llu;sig=%s:%llu",
                     (unsigned long long)O.MaxInsts, O.SignalHandler.c_str(),
                     (unsigned long long)O.SignalInterval);
+  F += formatString(";eng=%s", vm::engineName(O.Engine));
   return Key;
 }
 

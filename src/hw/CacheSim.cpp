@@ -14,23 +14,26 @@ CacheSim::CacheSim(const CacheConfig &Config) : Config(Config) {
   assert(NumSets >= 1 && std::has_single_bit(NumSets) &&
          "set count must be a power of two");
   LineShift = static_cast<uint64_t>(std::countr_zero(Config.LineBytes));
+  TagShift = static_cast<uint64_t>(std::countr_zero(NumSets));
+  DirectMapped = Config.Associativity == 1;
   Tags.assign(NumSets * Config.Associativity, 0);
   Stamps.assign(NumSets * Config.Associativity, 0);
 }
 
-void CacheSim::reset() {
-  Tags.assign(Tags.size(), 0);
-  Stamps.assign(Stamps.size(), 0);
-  Clock = 0;
-  Accesses = 0;
-  Misses = 0;
+unsigned CacheSim::accessNewLine(uint64_t Line) {
+  PrevTouched = LastTouched;
+  LastTouched = Line;
+  if (!touchLine(Line))
+    return 0;
+  ++Misses;
+  return 1;
 }
 
-unsigned CacheSim::access(uint64_t Addr, uint64_t Size) {
-  assert(Size >= 1);
-  ++Accesses;
-  uint64_t FirstLine = Addr >> LineShift;
-  uint64_t LastLine = (Addr + Size - 1) >> LineShift;
+unsigned CacheSim::accessStraddle(uint64_t FirstLine, uint64_t LastLine) {
+  // Lines are touched in ascending order, so the second-most-recent
+  // distinct line after this access is LastLine - 1.
+  PrevTouched = LastLine - 1;
+  LastTouched = LastLine;
   unsigned MissedLines = 0;
   for (uint64_t Line = FirstLine; Line <= LastLine; ++Line)
     if (touchLine(Line))
@@ -39,23 +42,12 @@ unsigned CacheSim::access(uint64_t Addr, uint64_t Size) {
   return MissedLines;
 }
 
-bool CacheSim::touchLine(uint64_t LineAddr) {
-  uint64_t Set = LineAddr & (NumSets - 1);
-  // Shift so a valid tag can never collide with the 0 invalid marker.
-  uint64_t Tag = (LineAddr >> std::countr_zero(NumSets)) + 1;
-  uint64_t *SetTags = &Tags[Set * Config.Associativity];
-  uint64_t *SetStamps = &Stamps[Set * Config.Associativity];
-  ++Clock;
-  unsigned Victim = 0;
-  for (unsigned Way = 0; Way != Config.Associativity; ++Way) {
-    if (SetTags[Way] == Tag) {
-      SetStamps[Way] = Clock;
-      return false; // hit
-    }
-    if (SetStamps[Way] < SetStamps[Victim])
-      Victim = Way;
-  }
-  SetTags[Victim] = Tag;
-  SetStamps[Victim] = Clock;
-  return true; // miss
+void CacheSim::reset() {
+  Tags.assign(Tags.size(), 0);
+  Stamps.assign(Stamps.size(), 0);
+  LastTouched = ~uint64_t(0);
+  PrevTouched = ~uint64_t(0);
+  Clock = 0;
+  Accesses = 0;
+  Misses = 0;
 }

@@ -11,6 +11,8 @@
 #ifndef PP_HW_CACHESIM_H
 #define PP_HW_CACHESIM_H
 
+#include "support/Compiler.h"
+
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -50,7 +52,54 @@ public:
   /// straddles a line boundary touches both lines, and each missing line
   /// counts — two cold lines are two misses, exactly as the hardware's
   /// miss counter would see them.
-  unsigned access(uint64_t Addr, uint64_t Size);
+  ///
+  /// Inline: this runs once per simulated instruction (the I-cache probe
+  /// in Machine::beginInst) plus once per memory access, so the call is
+  /// the hottest edge in the whole simulator.
+  PP_ALWAYS_INLINE unsigned access(uint64_t Addr, uint64_t Size) {
+    assert(Size >= 1);
+    ++Accesses;
+    uint64_t FirstLine = Addr >> LineShift;
+    uint64_t LastLine = (Addr + Size - 1) >> LineShift;
+    if (FirstLine == LastLine) {
+      // A repeat of the immediately-preceding line is always a hit, and
+      // skipping the LRU update is sound: consecutive touches of one line
+      // cannot reorder it relative to any other line in the set, so every
+      // future victim choice is unchanged. This catches the long
+      // straight-line runs of the I-cache (eight 4-byte fetches per line).
+      if (FirstLine == LastTouched)
+        return 0;
+      // Second MRU entry: if the line before that repeats AND it maps to a
+      // different set than the intervening line, its set has not been
+      // touched since, so it is still resident and still the most recent
+      // in its set — the touch can be skipped without changing any future
+      // victim choice. This catches two-line ping-pong patterns: a loop
+      // body spanning a line boundary, or alternating-array data streams.
+      if (FirstLine == PrevTouched &&
+          (FirstLine & (NumSets - 1)) != (LastTouched & (NumSets - 1))) {
+        PrevTouched = LastTouched;
+        LastTouched = FirstLine;
+        return 0;
+      }
+      if (DirectMapped) {
+        // Direct-mapped probe: one tag compare, no LRU state to maintain.
+        PrevTouched = LastTouched;
+        LastTouched = FirstLine;
+        uint64_t Set = FirstLine & (NumSets - 1);
+        uint64_t Tag = (FirstLine >> TagShift) + 1;
+        if (Tags[Set] == Tag)
+          return 0;
+        Tags[Set] = Tag;
+        ++Misses;
+        return 1;
+      }
+      // The set-associative tag/LRU walk lives out of line so the
+      // per-instruction footprint inlined into the interpreters stays a
+      // few compares and predictable branches.
+      return accessNewLine(FirstLine);
+    }
+    return accessStraddle(FirstLine, LastLine);
+  }
 
   /// Empties the cache.
   void reset();
@@ -59,16 +108,48 @@ public:
   uint64_t misses() const { return Misses; }
 
 private:
-  bool touchLine(uint64_t LineAddr);
+  /// Single-line access that changed lines: LRU-touch it, count a miss if
+  /// it was not resident.
+  unsigned accessNewLine(uint64_t Line);
+
+  /// Line-straddling access: touch every covered line, count each miss.
+  unsigned accessStraddle(uint64_t FirstLine, uint64_t LastLine);
+
+  bool touchLine(uint64_t LineAddr) {
+    uint64_t Set = LineAddr & (NumSets - 1);
+    // Shift so a valid tag can never collide with the 0 invalid marker.
+    uint64_t Tag = (LineAddr >> TagShift) + 1;
+    uint64_t *SetTags = &Tags[Set * Config.Associativity];
+    uint64_t *SetStamps = &Stamps[Set * Config.Associativity];
+    ++Clock;
+    unsigned Victim = 0;
+    for (unsigned Way = 0; Way != Config.Associativity; ++Way) {
+      if (SetTags[Way] == Tag) {
+        SetStamps[Way] = Clock;
+        return false; // hit
+      }
+      if (SetStamps[Way] < SetStamps[Victim])
+        Victim = Way;
+    }
+    SetTags[Victim] = Tag;
+    SetStamps[Victim] = Clock;
+    return true; // miss
+  }
 
   CacheConfig Config;
   uint64_t NumSets;
   uint64_t LineShift;
+  uint64_t TagShift;
   /// Tags[set * Assoc + way]; 0 is "invalid" (tag values are shifted so a
   /// real tag is never 0).
   std::vector<uint64_t> Tags;
   /// LRU stamps parallel to Tags.
   std::vector<uint64_t> Stamps;
+  /// The last two distinct lines touched, most recent first (MRU filter).
+  uint64_t LastTouched = ~uint64_t(0);
+  uint64_t PrevTouched = ~uint64_t(0);
+  /// Associativity == 1: the probe needs no LRU bookkeeping at all.
+  bool DirectMapped = false;
   uint64_t Clock = 0;
   uint64_t Accesses = 0;
   uint64_t Misses = 0;

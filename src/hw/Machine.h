@@ -18,6 +18,7 @@
 #include "hw/CostModel.h"
 #include "hw/MemoryImage.h"
 #include "hw/PerfCounters.h"
+#include "support/Compiler.h"
 
 namespace pp {
 namespace hw {
@@ -39,7 +40,7 @@ public:
 
   /// Fetch + issue of one instruction: I-cache access, one instruction, one
   /// base cycle.
-  void beginInst(uint64_t Addr) {
+  PP_ALWAYS_INLINE void beginInst(uint64_t Addr) {
     Counters.count(Event::Insts, 1);
     Counters.count(Event::Cycles, 1);
     if (ICache.access(Addr, 4)) {
@@ -50,7 +51,7 @@ public:
 
   /// Counted data read. A line-straddling access that misses both touched
   /// lines counts (and pays for) both misses.
-  uint64_t load(uint64_t Addr, unsigned Size) {
+  PP_ALWAYS_INLINE uint64_t load(uint64_t Addr, unsigned Size) {
     if (unsigned MissedLines = DCache.access(Addr, Size)) {
       Counters.count(Event::DCacheReadMiss, MissedLines);
       Counters.count(Event::Cycles, MissedLines * Cost.DCacheMissPenalty);
@@ -59,7 +60,7 @@ public:
   }
 
   /// Counted data write, including store-buffer modelling.
-  void store(uint64_t Addr, unsigned Size, uint64_t Value) {
+  PP_ALWAYS_INLINE void store(uint64_t Addr, unsigned Size, uint64_t Value) {
     if (unsigned MissedLines = DCache.access(Addr, Size)) {
       Counters.count(Event::DCacheWriteMiss, MissedLines);
       Counters.count(Event::Cycles, MissedLines * Cost.DCacheMissPenalty);

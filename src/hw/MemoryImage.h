@@ -10,6 +10,8 @@
 #ifndef PP_HW_MEMORYIMAGE_H
 #define PP_HW_MEMORYIMAGE_H
 
+#include "support/Compiler.h"
+
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -23,32 +25,80 @@ class MemoryImage {
 public:
   static constexpr uint64_t PageBytes = 4096;
 
-  /// Reads \p Size bytes (1-8) at \p Addr, zero-extended.
-  uint64_t peek(uint64_t Addr, unsigned Size) const {
+  /// Reads \p Size bytes (1-8) at \p Addr, zero-extended. The common
+  /// within-one-page case is inline with a one-entry page cache in front
+  /// of the hash lookup (the cached data pointer stays valid across map
+  /// rehashes — the page buffers themselves never move).
+  PP_ALWAYS_INLINE uint64_t peek(uint64_t Addr, unsigned Size) const {
     uint64_t Offset = Addr & (PageBytes - 1);
     if (Offset + Size <= PageBytes) {
-      const uint8_t *Page = findPage(Addr);
-      if (!Page)
-        return 0;
+      uint64_t PageIdx = Addr / PageBytes;
+      const uint8_t *Page;
+      if (PageIdx == CachedPageIdx) {
+        Page = CachedPage;
+      } else {
+        Page = findPage(Addr);
+        if (!Page)
+          return 0;
+        CachedPageIdx = PageIdx;
+        CachedPage = const_cast<uint8_t *>(Page);
+      }
+      // Dispatch on the access width so each memcpy has a constant size
+      // (one host load/store) instead of a variable-length copy.
       uint64_t Value = 0;
-      std::memcpy(&Value, Page + Offset, Size);
+      switch (Size) {
+      case 8:
+        std::memcpy(&Value, Page + Offset, 8);
+        break;
+      case 4:
+        std::memcpy(&Value, Page + Offset, 4);
+        break;
+      case 2:
+        std::memcpy(&Value, Page + Offset, 2);
+        break;
+      case 1:
+        std::memcpy(&Value, Page + Offset, 1);
+        break;
+      default:
+        std::memcpy(&Value, Page + Offset, Size);
+      }
       return Value;
     }
-    uint64_t Value = 0;
-    for (unsigned Index = 0; Index != Size; ++Index)
-      Value |= peek(Addr + Index, 1) << (8 * Index);
-    return Value;
+    return peekSlow(Addr, Size);
   }
 
   /// Writes the low \p Size bytes of \p Value at \p Addr.
-  void poke(uint64_t Addr, unsigned Size, uint64_t Value) {
+  PP_ALWAYS_INLINE void poke(uint64_t Addr, unsigned Size, uint64_t Value) {
     uint64_t Offset = Addr & (PageBytes - 1);
     if (Offset + Size <= PageBytes) {
-      std::memcpy(getPage(Addr) + Offset, &Value, Size);
+      uint64_t PageIdx = Addr / PageBytes;
+      uint8_t *Page;
+      if (PageIdx == CachedPageIdx) {
+        Page = CachedPage;
+      } else {
+        Page = getPage(Addr);
+        CachedPageIdx = PageIdx;
+        CachedPage = Page;
+      }
+      switch (Size) {
+      case 8:
+        std::memcpy(Page + Offset, &Value, 8);
+        break;
+      case 4:
+        std::memcpy(Page + Offset, &Value, 4);
+        break;
+      case 2:
+        std::memcpy(Page + Offset, &Value, 2);
+        break;
+      case 1:
+        std::memcpy(Page + Offset, &Value, 1);
+        break;
+      default:
+        std::memcpy(Page + Offset, &Value, Size);
+      }
       return;
     }
-    for (unsigned Index = 0; Index != Size; ++Index)
-      poke(Addr + Index, 1, (Value >> (8 * Index)) & 0xff);
+    pokeSlow(Addr, Size, Value);
   }
 
   /// Copies \p Size bytes from \p Data to \p Addr.
@@ -60,9 +110,27 @@ public:
   /// Number of pages materialised so far (the image's footprint).
   size_t numPages() const { return Pages.size(); }
 
-  void clear() { Pages.clear(); }
+  void clear() {
+    Pages.clear();
+    CachedPageIdx = ~uint64_t(0);
+    CachedPage = nullptr;
+  }
 
 private:
+  /// Page-straddling accesses decompose into byte accesses (each of which
+  /// is within one page and takes the fast path above).
+  uint64_t peekSlow(uint64_t Addr, unsigned Size) const {
+    uint64_t Value = 0;
+    for (unsigned Index = 0; Index != Size; ++Index)
+      Value |= peek(Addr + Index, 1) << (8 * Index);
+    return Value;
+  }
+
+  void pokeSlow(uint64_t Addr, unsigned Size, uint64_t Value) {
+    for (unsigned Index = 0; Index != Size; ++Index)
+      poke(Addr + Index, 1, (Value >> (8 * Index)) & 0xff);
+  }
+
   const uint8_t *findPage(uint64_t Addr) const {
     auto It = Pages.find(Addr / PageBytes);
     return It == Pages.end() ? nullptr : It->second.get();
@@ -78,6 +146,10 @@ private:
   }
 
   std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> Pages;
+  /// One-entry MRU page cache (mutable: a cache refresh during a const
+  /// peek does not change observable state).
+  mutable uint64_t CachedPageIdx = ~uint64_t(0);
+  mutable uint8_t *CachedPage = nullptr;
 };
 
 } // namespace hw

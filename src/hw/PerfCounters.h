@@ -18,6 +18,7 @@
 #define PP_HW_PERFCOUNTERS_H
 
 #include "hw/Event.h"
+#include "support/Compiler.h"
 
 #include <array>
 #include <cstdint>
@@ -33,21 +34,27 @@ public:
   /// Selects which events the two PICs observe (the PCR write on a real
   /// UltraSPARC, performed by the profiler before the run).
   void selectPicEvents(Event Pic0, Event Pic1) {
+    // Re-anchor so each PIC keeps its current value but follows the new
+    // event from here on.
+    Pic0Base = pic0();
+    Pic1Base = pic1();
     Pic0Event = Pic0;
     Pic1Event = Pic1;
+    Pic0Snap = total(Pic0Event);
+    Pic1Snap = total(Pic1Event);
   }
 
   Event pic0Event() const { return Pic0Event; }
   Event pic1Event() const { return Pic1Event; }
 
-  /// Adds \p N occurrences of \p E.
-  void count(Event E, uint64_t N) {
+  /// Adds \p N occurrences of \p E. This is the hottest operation in the
+  /// whole simulator (several calls per simulated instruction), so the
+  /// PICs are not maintained here: each PIC is materialised on read from
+  /// its event's 64-bit total relative to a snapshot taken at the last
+  /// write. Truncating the difference to 32 bits yields exactly the
+  /// wrap-at-32-bits behaviour of incrementing a 32-bit register.
+  PP_ALWAYS_INLINE void count(Event E, uint64_t N) {
     Totals[static_cast<unsigned>(E)] += N;
-    // The PICs wrap at 32 bits, as on the UltraSPARC.
-    if (E == Pic0Event)
-      Pic0 = static_cast<uint32_t>(Pic0 + N);
-    if (E == Pic1Event)
-      Pic1 = static_cast<uint32_t>(Pic1 + N);
   }
 
   /// Full-width ground-truth total for \p E.
@@ -56,23 +63,43 @@ public:
   /// The rd-of-both-PICs instruction: PIC0 in the low, PIC1 in the high
   /// 32 bits.
   uint64_t readPics() const {
-    return uint64_t(Pic0) | (uint64_t(Pic1) << 32);
+    return uint64_t(pic0()) | (uint64_t(pic1()) << 32);
   }
 
   /// The wr-of-both-PICs instruction.
   void writePics(uint64_t Value) {
-    Pic0 = static_cast<uint32_t>(Value);
-    Pic1 = static_cast<uint32_t>(Value >> 32);
+    Pic0Base = static_cast<uint32_t>(Value);
+    Pic1Base = static_cast<uint32_t>(Value >> 32);
+    Pic0Snap = total(Pic0Event);
+    Pic1Snap = total(Pic1Event);
   }
 
-  void resetTotals() { Totals.fill(0); }
+  void resetTotals() {
+    // Keep the program-visible PIC values across the reset, as before.
+    Pic0Base = pic0();
+    Pic1Base = pic1();
+    Totals.fill(0);
+    Pic0Snap = 0;
+    Pic1Snap = 0;
+  }
 
 private:
+  uint32_t pic0() const {
+    return static_cast<uint32_t>(Pic0Base + (total(Pic0Event) - Pic0Snap));
+  }
+  uint32_t pic1() const {
+    return static_cast<uint32_t>(Pic1Base + (total(Pic1Event) - Pic1Snap));
+  }
+
   std::array<uint64_t, NumEvents> Totals;
   Event Pic0Event = Event::Cycles;
   Event Pic1Event = Event::Insts;
-  uint32_t Pic0 = 0;
-  uint32_t Pic1 = 0;
+  /// PIC value at the last write/select/reset anchor point...
+  uint32_t Pic0Base = 0;
+  uint32_t Pic1Base = 0;
+  /// ...and the observed event's total at that same moment.
+  uint64_t Pic0Snap = 0;
+  uint64_t Pic1Snap = 0;
 };
 
 } // namespace hw

@@ -75,6 +75,42 @@ void Runtime::execOp(vm::Vm &VM, const ir::Inst &I) {
   }
 }
 
+vm::ProfRuntime::HookFn Runtime::bindOp(const ir::Inst &I) {
+  // One captureless trampoline per opcode; the bodies mirror execOp's cases
+  // exactly so both engines charge the machine identically.
+  switch (I.Op) {
+  case ir::Opcode::CctEnter:
+    return [](vm::ProfRuntime &RT, vm::Vm &VM, const ir::Inst &) {
+      static_cast<Runtime &>(RT).doCctEnter(VM);
+    };
+  case ir::Opcode::CctCall:
+    return [](vm::ProfRuntime &RT, vm::Vm &, const ir::Inst &I) {
+      Runtime &Self = static_cast<Runtime &>(RT);
+      Self.GcspRecord = Self.currentRecord();
+      Self.GcspSlot = static_cast<unsigned>(I.Imm);
+      Self.Machine.chargeInsts(1);
+    };
+  case ir::Opcode::CctExit:
+    return [](vm::ProfRuntime &RT, vm::Vm &VM, const ir::Inst &) {
+      static_cast<Runtime &>(RT).doCctExit(VM);
+    };
+  case ir::Opcode::CctHwProbe:
+    return [](vm::ProfRuntime &RT, vm::Vm &VM, const ir::Inst &I) {
+      static_cast<Runtime &>(RT).doHwProbe(VM, static_cast<int>(I.Imm));
+    };
+  case ir::Opcode::CctPathCommit:
+    return [](vm::ProfRuntime &RT, vm::Vm &VM, const ir::Inst &I) {
+      static_cast<Runtime &>(RT).doCctPathCommit(VM, I);
+    };
+  case ir::Opcode::PathHashCommit:
+    return [](vm::ProfRuntime &RT, vm::Vm &VM, const ir::Inst &I) {
+      static_cast<Runtime &>(RT).doPathHashCommit(VM, I);
+    };
+  default:
+    unreachable("not a profiling runtime op");
+  }
+}
+
 void Runtime::doCctEnter(vm::Vm &VM) {
   assert(Tree && "cct op without a context mode");
   const ir::Function *F = VM.currentFunction();

@@ -43,6 +43,10 @@ public:
 
   // --- vm::ProfRuntime ----------------------------------------------------
   void execOp(vm::Vm &VM, const ir::Inst &I) override;
+  /// Per-opcode trampolines for the predecoded engine: each pseudo-op is
+  /// resolved to its handler once at predecode time, so executing one skips
+  /// execOp's switch.
+  HookFn bindOp(const ir::Inst &I) override;
   void onFrameUnwound(vm::Vm &VM, const ir::Function &F) override;
   void onSignalDeliver(vm::Vm &VM) override;
   void onSignalReturn(vm::Vm &VM) override;

@@ -137,6 +137,7 @@ void RunStager::load() {
                                          Options.Config.Pic1);
 
   S->VM = std::make_unique<vm::Vm>(*S->Outcome.Instr.M, *S->Machine);
+  S->VM->setEngine(Options.Engine);
   S->VM->setMaxInsts(Options.MaxInsts);
   if (!Options.SignalHandler.empty()) {
     ir::Function *Handler =

@@ -27,6 +27,10 @@ struct SessionOptions {
   ProfileConfig Config;
   hw::MachineConfig MachineCfg;
   uint64_t MaxInsts = uint64_t(1) << 32;
+  /// Which VM engine executes the run. Both engines are bit-identical (see
+  /// tests/EngineEquivalenceTest.cpp), but the choice is still part of the
+  /// run's identity so cached results never mix engines.
+  vm::Engine Engine = vm::defaultEngine();
   /// When non-empty, the named zero-argument function runs as a simulated
   /// signal handler every SignalInterval executed instructions.
   std::string SignalHandler;

@@ -1,0 +1,21 @@
+//===- support/Compiler.h - Compiler portability macros --------*- C++ -*-===//
+///
+/// \file
+/// Small portability macros for compiler-specific attributes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_SUPPORT_COMPILER_H
+#define PP_SUPPORT_COMPILER_H
+
+/// Forces inlining of per-simulated-instruction helpers (cache probe,
+/// counter tick, memory access). These run several times per simulated
+/// instruction; an out-of-line call there is the single largest cost in
+/// the whole simulator, and -O2 alone does not reliably inline them.
+#if defined(__GNUC__) || defined(__clang__)
+#define PP_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define PP_ALWAYS_INLINE inline
+#endif
+
+#endif // PP_SUPPORT_COMPILER_H

@@ -2,11 +2,16 @@
 
 #include "vm/Vm.h"
 
+#include "vm/Predecoder.h"
+
 #include "support/Error.h"
 #include "support/Format.h"
 
 #include <bit>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
 using namespace pp;
@@ -17,8 +22,40 @@ using ir::Opcode;
 ProfRuntime::~ProfRuntime() = default;
 Tracer::~Tracer() = default;
 
+ProfRuntime::HookFn ProfRuntime::bindOp(const ir::Inst &) {
+  // Generic binding: route through the virtual execOp. The profiling
+  // runtime overrides bindOp with per-opcode trampolines.
+  return [](ProfRuntime &RT, Vm &VM, const ir::Inst &I) { RT.execOp(VM, I); };
+}
+
+const char *pp::vm::engineName(Engine E) {
+  return E == Engine::Reference ? "reference" : "threaded";
+}
+
+Engine pp::vm::defaultEngine() {
+  static Engine Choice = [] {
+    const char *Env = std::getenv("PP_VM_ENGINE");
+    if (!Env || !*Env || std::strcmp(Env, "threaded") == 0)
+      return Engine::Threaded;
+    if (std::strcmp(Env, "reference") == 0)
+      return Engine::Reference;
+    std::fprintf(stderr,
+                 "pp-vm: warning: ignoring unknown PP_VM_ENGINE='%s' "
+                 "(want reference|threaded); using threaded\n",
+                 Env);
+    return Engine::Threaded;
+  }();
+  return Choice;
+}
+
 Vm::Vm(ir::Module &M, hw::Machine &Machine) : M(M), Machine(Machine) {
   layout();
+}
+
+Vm::~Vm() = default;
+
+RunResult Vm::run() {
+  return Eng == Engine::Threaded ? runThreaded() : runReference();
 }
 
 void Vm::layout() {
@@ -71,12 +108,14 @@ void Vm::fail(RunResult &Result, const std::string &Message) {
 
 void Vm::pushFrame(ir::Function *Callee, const Frame &Caller,
                    const Inst &CallInst) {
-  Frame NewFrame;
+  Frame NewFrame = takePooledFrame();
   NewFrame.F = Callee;
   NewFrame.BB = Callee->entry();
   NewFrame.InstIdx = 0;
+  NewFrame.DF = nullptr;
   NewFrame.Serial = NextSerial++;
   NewFrame.RetDst = CallInst.Dst;
+  NewFrame.IsSignal = false;
   NewFrame.Regs.assign(Callee->numRegs(), 0);
   NewFrame.Ready.assign(Callee->numRegs(), 0);
   assert(CallInst.Args.size() == Callee->numParams() && "arity mismatch");
@@ -93,7 +132,7 @@ void Vm::takeEdge(Frame &FR, const ir::BasicBlock &From, int SuccIndex,
   FR.InstIdx = 0;
 }
 
-RunResult Vm::run() {
+RunResult Vm::runReference() {
   RunResult Result;
   ir::Function *Main = M.main();
   if (!Main) {
@@ -121,25 +160,34 @@ RunResult Vm::run() {
     // Signal delivery at instruction boundaries (resumption semantics,
     // non-nesting): the handler runs as a fresh frame and the interrupted
     // instruction executes after it returns.
-    if (SignalHandler && !InSignal && SignalCountdown == 0) {
-      ++SignalsDelivered;
-      SignalCountdown = SignalInterval;
-      InSignal = true;
-      if (Runtime)
-        Runtime->onSignalDeliver(*this);
-      if (TracerHook)
-        TracerHook->onEnterFunction(*SignalHandler);
-      Frame HandlerFrame;
-      HandlerFrame.F = SignalHandler;
-      HandlerFrame.BB = SignalHandler->entry();
-      HandlerFrame.InstIdx = 0;
-      HandlerFrame.Serial = NextSerial++;
-      HandlerFrame.RetDst = ir::NoReg;
-      HandlerFrame.IsSignal = true;
-      HandlerFrame.Regs.assign(SignalHandler->numRegs(), 0);
-      HandlerFrame.Ready.assign(SignalHandler->numRegs(), 0);
-      Frames.push_back(std::move(HandlerFrame));
-      continue;
+    if (SignalHandler && !InSignal) {
+      if (SignalCountdown == 0) {
+        ++SignalsDelivered;
+        SignalCountdown = SignalInterval;
+        InSignal = true;
+        if (Runtime)
+          Runtime->onSignalDeliver(*this);
+        if (TracerHook)
+          TracerHook->onEnterFunction(*SignalHandler);
+        Frame HandlerFrame;
+        HandlerFrame.F = SignalHandler;
+        HandlerFrame.BB = SignalHandler->entry();
+        HandlerFrame.InstIdx = 0;
+        HandlerFrame.Serial = NextSerial++;
+        HandlerFrame.RetDst = ir::NoReg;
+        HandlerFrame.IsSignal = true;
+        HandlerFrame.Regs.assign(SignalHandler->numRegs(), 0);
+        HandlerFrame.Ready.assign(SignalHandler->numRegs(), 0);
+        Frames.push_back(std::move(HandlerFrame));
+        continue;
+      }
+      // Tick the interval timer before the instruction executes (the
+      // threaded engine's prologue agrees): delivery points are identical
+      // either way, since the countdown decrements exactly once per
+      // executed instruction between boundary checks. The timer pauses
+      // while the handler runs, so a handler longer than the interval
+      // cannot livelock the program.
+      --SignalCountdown;
     }
 
     Frame &FR = Frames.back();
@@ -147,10 +195,6 @@ RunResult Vm::run() {
     const Inst &I = FR.BB->insts()[FR.InstIdx];
 
     Machine.beginInst(I.Addr);
-    // The interval timer pauses while the handler runs, so a handler
-    // longer than the interval cannot livelock the program.
-    if (SignalCountdown > 0 && !InSignal)
-      --SignalCountdown;
     if (++Result.ExecutedInsts > MaxInsts) {
       fail(Result, "instruction budget exhausted (likely an infinite loop)");
       break;
@@ -340,7 +384,7 @@ RunResult Vm::run() {
       }
       ir::Reg Dst = FR.RetDst;
       bool WasSignal = FR.IsSignal;
-      Frames.pop_back();
+      recycleFrame();
       if (WasSignal) {
         // Resume the interrupted instruction stream exactly where it was.
         InSignal = false;
@@ -424,7 +468,7 @@ RunResult Vm::run() {
           Runtime->onFrameUnwound(*this, Dead);
         if (TracerHook)
           TracerHook->onUnwindFunction(Dead);
-        Frames.pop_back();
+        recycleFrame();
         if (DeadWasSignal) {
           InSignal = false;
           if (Runtime)

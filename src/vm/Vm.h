@@ -7,6 +7,14 @@
 /// ProfRuntime; an optional Tracer observes control flow (tests use it to
 /// build oracle profiles the instrumented measurements must match).
 ///
+/// Two execution engines share one set of semantics: the reference
+/// switch-on-Opcode interpreter (the semantic oracle) and a predecoded,
+/// direct-threaded engine that lowers each function once into a flat
+/// DecodedInst stream (see Predecoder.h). Both drive the Machine through
+/// identical event sequences, so every RunResult, counter vector, path
+/// profile, and CCT export is bit-identical between them —
+/// tests/EngineEquivalenceTest.cpp enforces exactly that.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PP_VM_VM_H
@@ -15,6 +23,7 @@
 #include "hw/Machine.h"
 #include "ir/Module.h"
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +32,25 @@ namespace pp {
 namespace vm {
 
 class Vm;
+struct DecodedFunction;
+class Predecoder;
+
+/// Which interpretation engine a Vm runs.
+enum class Engine : uint8_t {
+  /// The original switch-dispatch interpreter; kept as the semantic oracle.
+  Reference,
+  /// The predecoded threaded-dispatch engine (computed goto on GCC/Clang,
+  /// portable switch fallback elsewhere).
+  Threaded,
+};
+
+/// Short engine label ("reference"/"threaded") for fingerprints and logs.
+const char *engineName(Engine E);
+
+/// The process-wide engine choice: $PP_VM_ENGINE=reference|threaded,
+/// default threaded. Parsed once; an unknown value warns on stderr and
+/// falls back to the default.
+Engine defaultEngine();
 
 /// Callbacks the profiling runtime implements (src/prof). The VM invokes
 /// execOp for every Opcode with isProfRuntimeOp(); onFrameUnwound fires for
@@ -30,8 +58,17 @@ class Vm;
 /// the way the paper's exception discussion requires (§4.2).
 class ProfRuntime {
 public:
+  /// A pre-bound pseudo-op handler: the predecoder resolves each profiling
+  /// pseudo-op to one of these once, so the threaded engine's dispatch
+  /// skips the runtime's per-execution opcode switch.
+  using HookFn = void (*)(ProfRuntime &RT, Vm &VM, const ir::Inst &I);
+
   virtual ~ProfRuntime();
   virtual void execOp(Vm &VM, const ir::Inst &I) = 0;
+  /// Resolves the handler for \p I at predecode time. The default binding
+  /// is a thunk that calls execOp; src/prof overrides it with per-opcode
+  /// trampolines.
+  virtual HookFn bindOp(const ir::Inst &I);
   virtual void onFrameUnwound(Vm &VM, const ir::Function &F) = 0;
   /// A signal handler is about to run / has returned. The CCT gives signal
   /// handlers their own root slot ("the CCT would need multiple roots",
@@ -71,9 +108,14 @@ struct RunResult {
 class Vm {
 public:
   Vm(ir::Module &M, hw::Machine &Machine);
+  ~Vm();
 
   void setRuntime(ProfRuntime *R) { Runtime = R; }
   void setTracer(Tracer *T) { TracerHook = T; }
+  /// Selects the execution engine (default: defaultEngine(), i.e. the
+  /// $PP_VM_ENGINE choice). Must be called before run().
+  void setEngine(Engine E) { Eng = E; }
+  Engine engine() const { return Eng; }
   /// Aborts the run with an error after this many executed instructions.
   void setMaxInsts(uint64_t Max) { MaxInsts = Max; }
 
@@ -122,7 +164,11 @@ private:
   struct Frame {
     ir::Function *F;
     ir::BasicBlock *BB;
+    /// Reference engine: index into BB's instruction vector. Threaded
+    /// engine: index into DF's flat decoded stream (BB stays null there).
     size_t InstIdx;
+    /// The function's decoded stream (threaded engine only).
+    const DecodedFunction *DF = nullptr;
     uint64_t Serial;
     /// Return continuation in the caller.
     ir::Reg RetDst;
@@ -143,12 +189,30 @@ private:
   };
 
   void layout();
+  /// The two engine bodies behind run().
+  RunResult runReference();
+  RunResult runThreaded();
   void fail(RunResult &Result, const std::string &Message);
   uint64_t operandB(const Frame &FR, const ir::Inst &I) const {
     return I.BIsImm ? static_cast<uint64_t>(I.Imm) : FR.Regs[I.B];
   }
   void pushFrame(ir::Function *Callee, const Frame &Caller,
                  const ir::Inst &CallInst);
+  /// Takes a frame shell from the pool (register vectors keep their heap
+  /// buffers) or default-constructs one; pushFrame overwrites every field.
+  Frame takePooledFrame() {
+    if (FramePool.empty())
+      return Frame();
+    Frame Shell = std::move(FramePool.back());
+    FramePool.pop_back();
+    return Shell;
+  }
+  /// Pops the current frame, parking its allocations for reuse — calls are
+  /// hot enough that two heap round-trips per call/return pair matter.
+  void recycleFrame() {
+    FramePool.push_back(std::move(Frames.back()));
+    Frames.pop_back();
+  }
   void takeEdge(Frame &FR, const ir::BasicBlock &From, int SuccIndex,
                 ir::BasicBlock *To);
 
@@ -156,8 +220,14 @@ private:
   hw::Machine &Machine;
   ProfRuntime *Runtime = nullptr;
   Tracer *TracerHook = nullptr;
+  Engine Eng = defaultEngine();
   uint64_t MaxInsts = uint64_t(1) << 34;
   std::vector<Frame> Frames;
+  /// Popped frames, kept for their register-vector allocations.
+  std::vector<Frame> FramePool;
+  /// The decoded module, built on first threaded run (owned here so frame
+  /// DF pointers stay valid for the Vm's lifetime).
+  std::unique_ptr<Predecoder> Decoded;
   std::unordered_map<int64_t, JmpBuf> JmpBufs;
   std::vector<uint64_t> EntryAddrs;
   uint64_t HeapNext = layout::HeapBase;

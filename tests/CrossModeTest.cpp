@@ -10,12 +10,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/EdgeProjection.h"
-#include "ir/IRBuilder.h"
-#include "ir/Verifier.h"
 #include "prof/Oracle.h"
 #include "prof/Session.h"
-#include "support/Prng.h"
 #include "workloads/Examples.h"
+
+#include "RandomProgram.h"
 
 #include <gtest/gtest.h>
 
@@ -27,129 +26,8 @@ using prof::Mode;
 
 namespace {
 
-/// Builds a random program with NumFuncs functions. Function k may call
-/// functions with larger indices directly, any function indirectly or
-/// recursively — every loop and call is guarded by a shared fuel counter
-/// in memory, so execution always terminates.
 std::unique_ptr<Module> makeProgram(uint64_t Seed) {
-  Prng R(Seed);
-  auto M = std::make_unique<Module>();
-  size_t FuelIndex = M->addGlobal("fuel", 8);
-  uint64_t FuelAddr = M->global(FuelIndex).Addr;
-  size_t DataIndex = M->addGlobal("data", 32 * 1024);
-  uint64_t DataAddr = M->global(DataIndex).Addr;
-
-  unsigned NumFuncs = 3 + static_cast<unsigned>(R.nextBelow(3));
-  std::vector<Function *> Funcs;
-  for (unsigned Id = 0; Id != NumFuncs; ++Id)
-    Funcs.push_back(M->addFunction("f" + std::to_string(Id), 1));
-
-  for (unsigned Id = 0; Id != NumFuncs; ++Id) {
-    Function *F = Funcs[Id];
-    BasicBlock *Entry = F->addBlock("entry");
-    BasicBlock *Work = F->addBlock("work");
-    BasicBlock *Out = F->addBlock("out");
-    IRBuilder IRB(F, Entry);
-    Reg Arg = 0;
-
-    // Fuel gate: decrement shared fuel; bail out when exhausted.
-    Reg Fuel = IRB.loadAbs(static_cast<int64_t>(FuelAddr));
-    Reg Less = IRB.subImm(Fuel, 1);
-    IRB.storeAbs(static_cast<int64_t>(FuelAddr), Less);
-    Reg HasFuel = IRB.cmpLtImm(Less, 0);
-    IRB.condBr(HasFuel, Out, Work);
-
-    IRB.setBlock(Out);
-    IRB.ret(Arg);
-
-    IRB.setBlock(Work);
-    Reg Acc = IRB.mov(Arg);
-    unsigned NumOps = 2 + static_cast<unsigned>(R.nextBelow(5));
-    for (unsigned Op = 0; Op != NumOps; ++Op) {
-      switch (R.nextBelow(6)) {
-      case 0: { // memory traffic
-        Reg Slot = IRB.andImm(Acc, 4095);
-        Reg Off = IRB.shlImm(Slot, 3);
-        Reg Addr = IRB.addImm(Off, static_cast<int64_t>(DataAddr));
-        Reg Val = IRB.load(Addr, 0);
-        Reg Sum = IRB.add(Val, Acc);
-        IRB.store(Addr, 0, Sum);
-        Acc = Sum;
-        break;
-      }
-      case 1: { // direct call (possibly self-recursive; fuel bounds it)
-        Function *Callee = Funcs[R.nextBelow(NumFuncs)];
-        Reg Masked = IRB.andImm(Acc, 1023);
-        Acc = IRB.call(Callee, {Masked});
-        break;
-      }
-      case 2: { // indirect call
-        Reg Sel = IRB.remImm(Acc, static_cast<int64_t>(NumFuncs));
-        Reg Id0 = IRB.andImm(Sel, 0x7fffffff);
-        Reg Masked = IRB.andImm(Acc, 1023);
-        Acc = IRB.icall(Id0, {Masked});
-        break;
-      }
-      case 3: { // a small diamond
-        BasicBlock *Left = F->addBlock("l" + std::to_string(Op));
-        BasicBlock *Right = F->addBlock("r" + std::to_string(Op));
-        BasicBlock *Join = F->addBlock("j" + std::to_string(Op));
-        Reg Bit = IRB.andImm(Acc, 1);
-        IRB.condBr(Bit, Left, Right);
-        Reg Merged = F->freshReg();
-        IRB.setBlock(Left);
-        Reg L = IRB.mulImm(Acc, 3);
-        IRB.movRegInto(Merged, L);
-        IRB.br(Join);
-        IRB.setBlock(Right);
-        Reg Rv = IRB.addImm(Acc, 7);
-        IRB.movRegInto(Merged, Rv);
-        IRB.br(Join);
-        IRB.setBlock(Join);
-        Acc = Merged;
-        break;
-      }
-      case 4: { // a switch
-        BasicBlock *Default = F->addBlock("sd" + std::to_string(Op));
-        BasicBlock *Case0 = F->addBlock("s0" + std::to_string(Op));
-        BasicBlock *Case1 = F->addBlock("s1" + std::to_string(Op));
-        BasicBlock *Join = F->addBlock("sj" + std::to_string(Op));
-        Reg Sel = IRB.andImm(Acc, 3);
-        Reg Merged = F->freshReg();
-        IRB.switchOn(Sel, Default, {Case0, Case1});
-        for (BasicBlock *BB : {Case0, Case1, Default}) {
-          IRB.setBlock(BB);
-          Reg V = IRB.xorImm(Acc, BB == Default ? 0x55 : 0x11);
-          IRB.movRegInto(Merged, V);
-          IRB.br(Join);
-        }
-        IRB.setBlock(Join);
-        Acc = Merged;
-        break;
-      }
-      default: { // plain arithmetic
-        Reg T = IRB.mulImm(Acc, 13);
-        Acc = IRB.andImm(T, 0xffffff);
-        break;
-      }
-      }
-    }
-    IRB.ret(Acc);
-  }
-
-  Function *Main = M->addFunction("main", 0);
-  {
-    IRBuilder IRB(Main, Main->addBlock("entry"));
-    Reg Budget = IRB.movImm(2000 + static_cast<int64_t>(R.nextBelow(2000)));
-    IRB.storeAbs(static_cast<int64_t>(FuelAddr), Budget);
-    Reg Seed = IRB.movImm(static_cast<int64_t>(R.nextBelow(1024)));
-    Reg Result = IRB.call(Funcs[0], {Seed});
-    Reg Masked = IRB.andImm(Result, 0xffffff);
-    IRB.ret(Masked);
-  }
-  M->setMain(Main);
-  verifyModuleOrDie(*M);
-  return M;
+  return testutil::makeRandomProgram(Seed);
 }
 
 std::map<std::pair<unsigned, uint64_t>, uint64_t>
@@ -270,5 +148,8 @@ TEST_P(CrossModeTest, AllModesAgreeWithTheOracle) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, CrossModeTest,
-                         ::testing::Range<uint64_t>(0, 10));
+// $PP_CROSSMODE_SEEDS widens the sweep for soak runs (default: 10 seeds).
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CrossModeTest,
+    ::testing::Range<uint64_t>(
+        0, testutil::seedCountFromEnv("PP_CROSSMODE_SEEDS", 10)));

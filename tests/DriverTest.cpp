@@ -140,6 +140,16 @@ TEST(RunKeyTest, FingerprintSeparatesPlans) {
                 .Fingerprint);
 }
 
+TEST(RunKeyTest, FingerprintSeparatesEngines) {
+  // Cached outcomes must never cross engines: the engine is part of the
+  // run's identity even though the engines are proven bit-identical.
+  RunPlan Ref = makePlan("124.m88ksim", prof::Mode::FlowHw);
+  Ref.Options.Engine = vm::Engine::Reference;
+  RunPlan Thr = makePlan("124.m88ksim", prof::Mode::FlowHw);
+  Thr.Options.Engine = vm::Engine::Threaded;
+  EXPECT_NE(RunKey::of(Ref).Fingerprint, RunKey::of(Thr).Fingerprint);
+}
+
 TEST(RunKeyTest, PredicatePlansAreUncacheable) {
   RunPlan Plan = makePlan("124.m88ksim", prof::Mode::FlowHw);
   Plan.Options.Config.ShouldInstrument = [](const ir::Function &) {

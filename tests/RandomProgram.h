@@ -1,0 +1,251 @@
+//===- tests/RandomProgram.h - Shared random-program generator -*- C++ -*-===//
+//
+// The random multi-function program generator behind the whole-pipeline
+// property tests (CrossModeTest) and the engine-equivalence differential
+// harness (EngineEquivalenceTest). Programs have loops, recursion, direct
+// and indirect calls, diamonds, switches, and memory traffic, all bounded
+// by a shared fuel counter in simulated memory so they terminate.
+//
+// With default options the generated module is byte-for-byte the program
+// CrossModeTest has always used for a given seed (the option-gated extras
+// draw no randomness unless enabled). EngineEquivalenceTest turns on the
+// extras to also cover the FP scoreboard, setjmp/longjmp unwinding, and
+// signal delivery.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_TESTS_RANDOM_PROGRAM_H
+#define PP_TESTS_RANDOM_PROGRAM_H
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/Prng.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace testutil {
+
+struct RandomProgramOptions {
+  /// Adds an FP op-mix case (intToFp/fadd/fmul/fdiv/fcmp/fpToInt chains),
+  /// exercising the FP scoreboard's stall accounting.
+  bool WithFp = false;
+  /// main() arms setjmp buffer 1, and work blocks may longjmp back to it,
+  /// unwinding whatever frames are live at that point.
+  bool WithSetjmp = false;
+  /// Adds a zero-argument "sighandler" function (bumping a dedicated
+  /// global) for callers that wire up SessionOptions::SignalHandler.
+  bool WithSignalHandler = false;
+};
+
+/// The longjmp buffer key main() arms when WithSetjmp is set.
+inline constexpr int64_t RandomProgramJmpBuf = 1;
+
+/// Builds a random program with NumFuncs functions. Function k may call
+/// functions with larger indices directly, any function indirectly or
+/// recursively — every loop and call is guarded by a shared fuel counter
+/// in memory, so execution always terminates.
+inline std::unique_ptr<ir::Module>
+makeRandomProgram(uint64_t Seed, const RandomProgramOptions &Opts = {}) {
+  using namespace ir;
+  Prng R(Seed);
+  auto M = std::make_unique<Module>();
+  size_t FuelIndex = M->addGlobal("fuel", 8);
+  uint64_t FuelAddr = M->global(FuelIndex).Addr;
+  size_t DataIndex = M->addGlobal("data", 32 * 1024);
+  uint64_t DataAddr = M->global(DataIndex).Addr;
+
+  unsigned NumFuncs = 3 + static_cast<unsigned>(R.nextBelow(3));
+  std::vector<Function *> Funcs;
+  for (unsigned Id = 0; Id != NumFuncs; ++Id)
+    Funcs.push_back(M->addFunction("f" + std::to_string(Id), 1));
+
+  // Op-mix cases 0-5 are the historical fixed set; the option-gated extras
+  // append so default-option programs are unchanged for a given seed.
+  unsigned NumCases = 6;
+  int FpCase = Opts.WithFp ? static_cast<int>(NumCases++) : -1;
+  int LongjmpCase = Opts.WithSetjmp ? static_cast<int>(NumCases++) : -1;
+
+  for (unsigned Id = 0; Id != NumFuncs; ++Id) {
+    Function *F = Funcs[Id];
+    BasicBlock *Entry = F->addBlock("entry");
+    BasicBlock *Work = F->addBlock("work");
+    BasicBlock *Out = F->addBlock("out");
+    IRBuilder IRB(F, Entry);
+    Reg Arg = 0;
+
+    // Fuel gate: decrement shared fuel; bail out when exhausted.
+    Reg Fuel = IRB.loadAbs(static_cast<int64_t>(FuelAddr));
+    Reg Less = IRB.subImm(Fuel, 1);
+    IRB.storeAbs(static_cast<int64_t>(FuelAddr), Less);
+    Reg HasFuel = IRB.cmpLtImm(Less, 0);
+    IRB.condBr(HasFuel, Out, Work);
+
+    IRB.setBlock(Out);
+    IRB.ret(Arg);
+
+    IRB.setBlock(Work);
+    Reg Acc = IRB.mov(Arg);
+    unsigned NumOps = 2 + static_cast<unsigned>(R.nextBelow(5));
+    for (unsigned Op = 0; Op != NumOps; ++Op) {
+      int Case = static_cast<int>(R.nextBelow(NumCases));
+      if (Case == FpCase) {
+        // Bounded FP chain: every intermediate stays small enough that
+        // fpToInt is well defined.
+        Reg Ai = IRB.andImm(Acc, 0xfffff);
+        Reg Bi = IRB.addImm(Ai, 3);
+        Reg Fa = IRB.intToFp(Ai);
+        Reg Fb = IRB.intToFp(Bi);
+        Reg Prod = IRB.fmul(Fa, Fb);
+        Reg Quot = IRB.fdiv(Prod, Fb);
+        Reg Sum = IRB.fadd(Quot, Fb);
+        Reg Lt = IRB.fcmpLt(Fa, Sum);
+        Reg Int = IRB.fpToInt(Sum);
+        Reg Mixed = IRB.add(Int, Lt);
+        Acc = IRB.andImm(Mixed, 0xffffff);
+        continue;
+      }
+      if (Case == LongjmpCase) {
+        // Rare non-local exit straight back to main's setjmp.
+        BasicBlock *Jump = F->addBlock("lj" + std::to_string(Op));
+        BasicBlock *Cont = F->addBlock("lc" + std::to_string(Op));
+        Reg Bits = IRB.andImm(Acc, 63);
+        Reg IsHit = IRB.cmpEqImm(Bits, 42);
+        IRB.condBr(IsHit, Jump, Cont);
+        IRB.setBlock(Jump);
+        Reg Payload = IRB.orImm(Acc, 1); // longjmp value must be non-zero
+        IRB.longjmp(RandomProgramJmpBuf, Payload);
+        IRB.setBlock(Cont);
+        continue;
+      }
+      switch (Case) {
+      case 0: { // memory traffic
+        Reg Slot = IRB.andImm(Acc, 4095);
+        Reg Off = IRB.shlImm(Slot, 3);
+        Reg Addr = IRB.addImm(Off, static_cast<int64_t>(DataAddr));
+        Reg Val = IRB.load(Addr, 0);
+        Reg Sum = IRB.add(Val, Acc);
+        IRB.store(Addr, 0, Sum);
+        Acc = Sum;
+        break;
+      }
+      case 1: { // direct call (possibly self-recursive; fuel bounds it)
+        Function *Callee = Funcs[R.nextBelow(NumFuncs)];
+        Reg Masked = IRB.andImm(Acc, 1023);
+        Acc = IRB.call(Callee, {Masked});
+        break;
+      }
+      case 2: { // indirect call
+        Reg Sel = IRB.remImm(Acc, static_cast<int64_t>(NumFuncs));
+        Reg Id0 = IRB.andImm(Sel, 0x7fffffff);
+        Reg Masked = IRB.andImm(Acc, 1023);
+        Acc = IRB.icall(Id0, {Masked});
+        break;
+      }
+      case 3: { // a small diamond
+        BasicBlock *Left = F->addBlock("l" + std::to_string(Op));
+        BasicBlock *Right = F->addBlock("r" + std::to_string(Op));
+        BasicBlock *Join = F->addBlock("j" + std::to_string(Op));
+        Reg Bit = IRB.andImm(Acc, 1);
+        IRB.condBr(Bit, Left, Right);
+        Reg Merged = F->freshReg();
+        IRB.setBlock(Left);
+        Reg L = IRB.mulImm(Acc, 3);
+        IRB.movRegInto(Merged, L);
+        IRB.br(Join);
+        IRB.setBlock(Right);
+        Reg Rv = IRB.addImm(Acc, 7);
+        IRB.movRegInto(Merged, Rv);
+        IRB.br(Join);
+        IRB.setBlock(Join);
+        Acc = Merged;
+        break;
+      }
+      case 4: { // a switch
+        BasicBlock *Default = F->addBlock("sd" + std::to_string(Op));
+        BasicBlock *Case0 = F->addBlock("s0" + std::to_string(Op));
+        BasicBlock *Case1 = F->addBlock("s1" + std::to_string(Op));
+        BasicBlock *Join = F->addBlock("sj" + std::to_string(Op));
+        Reg Sel = IRB.andImm(Acc, 3);
+        Reg Merged = F->freshReg();
+        IRB.switchOn(Sel, Default, {Case0, Case1});
+        for (BasicBlock *BB : {Case0, Case1, Default}) {
+          IRB.setBlock(BB);
+          Reg V = IRB.xorImm(Acc, BB == Default ? 0x55 : 0x11);
+          IRB.movRegInto(Merged, V);
+          IRB.br(Join);
+        }
+        IRB.setBlock(Join);
+        Acc = Merged;
+        break;
+      }
+      default: { // plain arithmetic
+        Reg T = IRB.mulImm(Acc, 13);
+        Acc = IRB.andImm(T, 0xffffff);
+        break;
+      }
+      }
+    }
+    IRB.ret(Acc);
+  }
+
+  if (Opts.WithSignalHandler) {
+    size_t SigIndex = M->addGlobal("sigcount", 8);
+    uint64_t SigAddr = M->global(SigIndex).Addr;
+    Function *Handler = M->addFunction("sighandler", 0);
+    IRBuilder IRB(Handler, Handler->addBlock("entry"));
+    Reg Count = IRB.loadAbs(static_cast<int64_t>(SigAddr));
+    Reg Bumped = IRB.addImm(Count, 1);
+    IRB.storeAbs(static_cast<int64_t>(SigAddr), Bumped);
+    Reg Zero = IRB.movImm(0);
+    IRB.ret(Zero);
+  }
+
+  Function *Main = M->addFunction("main", 0);
+  {
+    IRBuilder IRB(Main, Main->addBlock("entry"));
+    Reg Budget = IRB.movImm(2000 + static_cast<int64_t>(R.nextBelow(2000)));
+    IRB.storeAbs(static_cast<int64_t>(FuelAddr), Budget);
+    if (Opts.WithSetjmp) {
+      // Direct execution leaves 0 in Jumped; a longjmp from anywhere in
+      // the call tree resumes here with the (non-zero) payload.
+      BasicBlock *CallPath = Main->addBlock("go");
+      BasicBlock *JumpPath = Main->addBlock("jumped");
+      Reg Jumped = IRB.setjmp(RandomProgramJmpBuf);
+      Reg Took = IRB.cmpNeImm(Jumped, 0);
+      IRB.condBr(Took, JumpPath, CallPath);
+      IRB.setBlock(JumpPath);
+      Reg JMasked = IRB.andImm(Jumped, 0xffffff);
+      IRB.ret(JMasked);
+      IRB.setBlock(CallPath);
+    }
+    Reg Seed0 = IRB.movImm(static_cast<int64_t>(R.nextBelow(1024)));
+    Reg Result = IRB.call(Funcs[0], {Seed0});
+    Reg Masked = IRB.andImm(Result, 0xffffff);
+    IRB.ret(Masked);
+  }
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}
+
+/// Seed-count knob shared by the parameterised suites: reads \p Var as a
+/// positive integer, falling back to \p Default when unset or malformed.
+inline uint64_t seedCountFromEnv(const char *Var, uint64_t Default) {
+  const char *Env = std::getenv(Var);
+  if (!Env || !*Env)
+    return Default;
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Env, &End, 10);
+  if (End == Env || *End != '\0' || Value == 0)
+    return Default;
+  return Value;
+}
+
+} // namespace testutil
+} // namespace pp
+
+#endif // PP_TESTS_RANDOM_PROGRAM_H
