@@ -17,6 +17,7 @@
 #ifndef PP_BENCH_COMMON_H
 #define PP_BENCH_COMMON_H
 
+#include "analysis/PaperTables.h"
 #include "driver/Driver.h"
 #include "support/Format.h"
 #include "support/TableWriter.h"
@@ -82,46 +83,9 @@ inline driver::OutcomePtr runWorkload(const workloads::WorkloadSpec &Spec,
   return getRun(submitWorkload(Spec, M, Scale), Spec.Name, M);
 }
 
-/// Accumulates per-benchmark values and emits the paper's three averaging
-/// rows (CINT95 Avg, CFP95 Avg, SPEC95 Avg), plus the "without go and gcc"
-/// row used by Tables 4 and 5.
-class SuiteAverager {
-public:
-  void add(const std::string &Name, bool IsFloat,
-           std::vector<double> Values) {
-    Rows.push_back(Row{Name, IsFloat, std::move(Values)});
-  }
-
-  std::vector<double> average(bool IncludeInt, bool IncludeFloat,
-                              bool ExcludeGoGcc = false) const {
-    std::vector<double> Sums;
-    size_t Count = 0;
-    for (const Row &R : Rows) {
-      if ((R.IsFloat && !IncludeFloat) || (!R.IsFloat && !IncludeInt))
-        continue;
-      if (ExcludeGoGcc && (R.Name == "099.go" || R.Name == "126.gcc"))
-        continue;
-      if (Sums.empty())
-        Sums.assign(R.Values.size(), 0);
-      assert(R.Values.size() == Sums.size() &&
-             "SuiteAverager rows must all have the same number of values");
-      for (size_t Index = 0; Index != R.Values.size(); ++Index)
-        Sums[Index] += R.Values[Index];
-      ++Count;
-    }
-    for (double &Sum : Sums)
-      Sum /= Count ? double(Count) : 1.0;
-    return Sums;
-  }
-
-private:
-  struct Row {
-    std::string Name;
-    bool IsFloat;
-    std::vector<double> Values;
-  };
-  std::vector<Row> Rows;
-};
+/// The suite averaging rows now live beside the table renderers; keep the
+/// historical bench-namespace name working.
+using analysis::SuiteAverager;
 
 } // namespace bench
 } // namespace pp

@@ -7,10 +7,14 @@
 // (average over leaves / max), max replication of a single procedure, and
 // the call-site columns including "reached by exactly one path".
 //
+// The rendering lives in analysis::renderTable3 so that tools/pp-report
+// regenerates the same table, byte for byte, from stored artifacts.
+//
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
 
+#include "analysis/PaperTables.h"
 #include "analysis/SiteStats.h"
 #include "cct/Export.h"
 
@@ -19,19 +23,12 @@ using namespace pp::bench;
 using prof::Mode;
 
 int main() {
-  std::printf("Table 3: statistics for a CCT with intraprocedural path "
-              "information\n\n");
-
-  TableWriter Table;
-  Table.setHeader({"Benchmark", "Size", "Nodes", "AvgNode", "AvgOut",
-                   "Ht avg", "Ht max", "MaxRepl", "Sites", "Used",
-                   "OnePath"});
-
   const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
   std::vector<size_t> Declared;
   for (const workloads::WorkloadSpec &Spec : Suite)
     Declared.push_back(submitWorkload(Spec, Mode::ContextFlow));
 
+  std::vector<analysis::Table3Row> Rows;
   for (size_t Index = 0; Index != Suite.size(); ++Index) {
     const workloads::WorkloadSpec &Spec = Suite[Index];
     // The site statistics compare the CCT against the uninstrumented
@@ -46,30 +43,16 @@ int main() {
       noteDegradedRow(Spec.Name);
       continue;
     }
-    cct::CctStats Stats = Run->Tree->computeStats();
-    analysis::SitePathStats Sites =
-        analysis::computeSitePathStats(*Run->Tree, *Module, Run->Instr);
-    uint64_t ProfileBytes =
+    analysis::Table3Row Row;
+    Row.Name = Spec.Name;
+    Row.Stats = Run->Tree->computeStats();
+    Row.Sites = analysis::computeSitePathStats(*Run->Tree, *Module,
+                                               Run->Instr);
+    Row.ProfileBytes =
         cct::serialize(*Run->Tree).size() + Run->Tree->heapBytes();
-
-    Table.addRow({Spec.Name, formatEng(double(ProfileBytes)),
-                  std::to_string(Stats.NumRecords),
-                  formatString("%.1f", Stats.AvgNodeBytes),
-                  formatString("%.1f", Stats.AvgOutDegree),
-                  formatString("%.1f", Stats.AvgLeafDepth),
-                  std::to_string(Stats.MaxDepth),
-                  std::to_string(Stats.MaxReplication),
-                  std::to_string(Sites.TotalSites),
-                  std::to_string(Sites.UsedSites),
-                  std::to_string(Sites.OnePathSites)});
+    Rows.push_back(std::move(Row));
   }
 
-  std::printf("%s", Table.render().c_str());
-  std::printf("\nPaper's shape: CCTs are bushy rather than tall (out-degree\n"
-              "well above 1, height bounded by the procedure count); call-\n"
-              "heavy codes (vortex-like) dominate node counts; a sizeable\n"
-              "fraction of used call sites is reached by exactly one path,\n"
-              "where flow+context profiling equals full interprocedural\n"
-              "path profiling.\n");
+  std::printf("%s", analysis::renderTable3(Rows).c_str());
   return 0;
 }

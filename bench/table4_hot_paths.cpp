@@ -7,33 +7,27 @@
 // 3-28 hot paths cover 59-98% of the misses (go and gcc need a 0.1%
 // threshold, reported separately below).
 //
+// The rendering lives in analysis::renderTable4 so that tools/pp-report
+// regenerates the same table, byte for byte, from stored artifacts.
+//
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
 
 #include "analysis/HotPaths.h"
+#include "analysis/PaperTables.h"
 
 using namespace pp;
 using namespace pp::bench;
 using prof::Mode;
 
 int main() {
-  std::printf("Table 4: L1 data cache misses by path "
-              "(hot threshold = 1%% of misses)\n\n");
-
-  TableWriter Table;
-  Table.setHeader({"Benchmark", "Paths", "Inst", "Miss", "Hot", "Inst%",
-                   "Miss%", "Dense", "Inst%", "Miss%", "Sparse", "Cold",
-                   "Miss%"});
-  SuiteAverager Averager;
-  std::vector<std::pair<std::string, std::vector<analysis::PathRecord>>>
-      GoGccRecords;
-
   const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
   std::vector<size_t> Declared;
   for (const workloads::WorkloadSpec &Spec : Suite)
     Declared.push_back(submitWorkload(Spec, Mode::FlowHw));
 
+  std::vector<analysis::SuitePathRows> Rows;
   for (size_t Index = 0; Index != Suite.size(); ++Index) {
     const workloads::WorkloadSpec &Spec = Suite[Index];
     driver::OutcomePtr Run =
@@ -42,66 +36,10 @@ int main() {
       noteDegradedRow(Spec.Name);
       continue;
     }
-    std::vector<analysis::PathRecord> Records =
-        analysis::collectPathRecords(*Run);
-    analysis::HotPathAnalysis A = analysis::analyzeHotPaths(Records, 0.01);
-
-    Table.addRow({Spec.Name, std::to_string(A.TotalPaths),
-                  formatEng(double(A.TotalInsts)),
-                  formatEng(double(A.TotalMisses)),
-                  std::to_string(A.Hot.Num),
-                  formatPercent(double(A.Hot.Insts), double(A.TotalInsts)),
-                  formatPercent(double(A.Hot.Misses), double(A.TotalMisses)),
-                  std::to_string(A.Dense.Num),
-                  formatPercent(double(A.Dense.Insts), double(A.TotalInsts)),
-                  formatPercent(double(A.Dense.Misses),
-                                double(A.TotalMisses)),
-                  std::to_string(A.Sparse.Num), std::to_string(A.Cold.Num),
-                  formatPercent(double(A.Cold.Misses),
-                                double(A.TotalMisses))});
-    Averager.add(Spec.Name, Spec.IsFloat,
-                 {double(A.TotalPaths), double(A.Hot.Num),
-                  100.0 * double(A.Hot.Misses) / double(A.TotalMisses),
-                  double(A.Dense.Num), double(A.Sparse.Num),
-                  double(A.Cold.Num)});
-    if (Spec.Name == "099.go" || Spec.Name == "126.gcc")
-      GoGccRecords.push_back({Spec.Name, std::move(Records)});
+    Rows.push_back({Spec.Name, Spec.IsFloat,
+                    analysis::collectPathRecords(*Run)});
   }
 
-  auto AddAverage = [&](const char *Label, bool Int, bool Float,
-                        bool NoGoGcc) {
-    std::vector<double> Avg = Averager.average(Int, Float, NoGoGcc);
-    Table.addRow({Label, formatString("%.1f", Avg[0]), "", "",
-                  formatString("%.1f", Avg[1]), "",
-                  formatString("%.1f%%", Avg[2]),
-                  formatString("%.1f", Avg[3]), "", "",
-                  formatString("%.1f", Avg[4]), formatString("%.1f", Avg[5]),
-                  ""});
-  };
-  Table.addSeparator();
-  AddAverage("CINT95 Avg", true, false, false);
-  AddAverage("CFP95 Avg", false, true, false);
-  AddAverage("SPEC95 Avg", true, true, false);
-  AddAverage("SPEC95 Avg - go,gcc", true, true, true);
-  std::printf("%s", Table.render().c_str());
-
-  // The paper's go/gcc follow-up: lower the threshold to 0.1%.
-  std::printf("\nOutliers rerun with a 0.1%% threshold (the paper finds "
-              "~1%% of executed\npaths then cover roughly half the "
-              "misses):\n\n");
-  TableWriter Outliers;
-  Outliers.setHeader({"Benchmark", "Paths", "Hot@0.1%", "Hot paths/all",
-                      "Miss%"});
-  for (auto &[Name, Records] : GoGccRecords) {
-    analysis::HotPathAnalysis A = analysis::analyzeHotPaths(Records, 0.001);
-    Outliers.addRow(
-        {Name, std::to_string(A.TotalPaths), std::to_string(A.Hot.Num),
-         formatPercent(double(A.Hot.Num), double(A.TotalPaths)),
-         formatPercent(double(A.Hot.Misses), double(A.TotalMisses))});
-  }
-  std::printf("%s", Outliers.render().c_str());
-  std::printf("\nPaper's shape: a handful of hot paths (3-28) covers most "
-              "misses, most\nhot paths are dense, and go/gcc execute an "
-              "order of magnitude more\npaths with a flatter distribution.\n");
+  std::printf("%s", analysis::renderTable4(Rows).c_str());
   return 0;
 }

@@ -6,31 +6,27 @@
 // averages behind the paper's argument that procedure-level reporting
 // cannot isolate the paths that miss.
 //
+// The rendering lives in analysis::renderTable5 so that tools/pp-report
+// regenerates the same table, byte for byte, from stored artifacts.
+//
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
 
 #include "analysis/HotPaths.h"
+#include "analysis/PaperTables.h"
 
 using namespace pp;
 using namespace pp::bench;
 using prof::Mode;
 
 int main() {
-  std::printf("Table 5: L1 data cache misses per procedure "
-              "(hot threshold = 1%%)\n\n");
-
-  TableWriter Table;
-  Table.setHeader({"Benchmark", "Hot", "Path/Proc", "Miss%", "Dense",
-                   "Path/Proc", "Miss%", "Sparse", "Path/Proc", "Cold",
-                   "Path/Proc", "Miss%"});
-  SuiteAverager Averager;
-
   const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
   std::vector<size_t> Declared;
   for (const workloads::WorkloadSpec &Spec : Suite)
     Declared.push_back(submitWorkload(Spec, Mode::FlowHw));
 
+  std::vector<analysis::SuitePathRows> Rows;
   for (size_t Index = 0; Index != Suite.size(); ++Index) {
     const workloads::WorkloadSpec &Spec = Suite[Index];
     driver::OutcomePtr Run =
@@ -39,53 +35,10 @@ int main() {
       noteDegradedRow(Spec.Name);
       continue;
     }
-    std::vector<analysis::PathRecord> Records =
-        analysis::collectPathRecords(*Run);
-    std::vector<analysis::ProcRecord> Procs =
-        analysis::aggregateByProcedure(Records);
-    analysis::HotProcAnalysis A = analysis::analyzeHotProcs(Procs, 0.01);
-
-    Table.addRow(
-        {Spec.Name, std::to_string(A.Hot.Num),
-         formatString("%.1f", A.HotPathsPerProc),
-         formatPercent(double(A.Hot.Misses), double(A.TotalMisses)),
-         std::to_string(A.Dense.Num),
-         formatString("%.1f", A.DensePathsPerProc),
-         formatPercent(double(A.Dense.Misses), double(A.TotalMisses)),
-         std::to_string(A.Sparse.Num),
-         formatString("%.1f", A.SparsePathsPerProc),
-         std::to_string(A.Cold.Num),
-         formatString("%.1f", A.ColdPathsPerProc),
-         formatPercent(double(A.Cold.Misses), double(A.TotalMisses))});
-    Averager.add(
-        Spec.Name, Spec.IsFloat,
-        {double(A.Hot.Num), A.HotPathsPerProc,
-         100.0 * double(A.Hot.Misses) / double(A.TotalMisses),
-         double(A.Dense.Num), A.DensePathsPerProc, double(A.Sparse.Num),
-         A.SparsePathsPerProc, double(A.Cold.Num), A.ColdPathsPerProc});
+    Rows.push_back({Spec.Name, Spec.IsFloat,
+                    analysis::collectPathRecords(*Run)});
   }
 
-  auto AddAverage = [&](const char *Label, bool Int, bool Float,
-                        bool NoGoGcc) {
-    std::vector<double> Avg = Averager.average(Int, Float, NoGoGcc);
-    Table.addRow({Label, formatString("%.1f", Avg[0]),
-                  formatString("%.1f", Avg[1]),
-                  formatString("%.1f%%", Avg[2]),
-                  formatString("%.1f", Avg[3]), formatString("%.1f", Avg[4]),
-                  "", formatString("%.1f", Avg[5]),
-                  formatString("%.1f", Avg[6]), formatString("%.1f", Avg[7]),
-                  formatString("%.1f", Avg[8]), ""});
-  };
-  Table.addSeparator();
-  AddAverage("CINT95 Avg", true, false, false);
-  AddAverage("CFP95 Avg", false, true, false);
-  AddAverage("SPEC95 Avg", true, true, false);
-  AddAverage("SPEC95 Avg - go,gcc", true, true, true);
-
-  std::printf("%s", Table.render().c_str());
-  std::printf("\nPaper's shape: a few procedures (1-24) absorb most misses, "
-              "but hot\nprocedures execute roughly ten times as many paths "
-              "as cold ones, so\nknowing the procedure does not isolate the "
-              "misses -- the argument for\npath-level attribution.\n");
+  std::printf("%s", analysis::renderTable5(Rows).c_str());
   return 0;
 }

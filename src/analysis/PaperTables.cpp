@@ -1,0 +1,173 @@
+//===- analysis/PaperTables.cpp - Tables 3-5 rendering --------------------===//
+
+#include "analysis/PaperTables.h"
+
+#include "support/Format.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+
+using namespace pp;
+using namespace pp::analysis;
+
+std::string analysis::renderTable3(const std::vector<Table3Row> &Rows) {
+  std::string Out = "Table 3: statistics for a CCT with intraprocedural path "
+                    "information\n\n";
+
+  TableWriter Table;
+  Table.setHeader({"Benchmark", "Size", "Nodes", "AvgNode", "AvgOut",
+                   "Ht avg", "Ht max", "MaxRepl", "Sites", "Used",
+                   "OnePath"});
+  for (const Table3Row &Row : Rows)
+    Table.addRow({Row.Name, formatEng(double(Row.ProfileBytes)),
+                  std::to_string(Row.Stats.NumRecords),
+                  formatString("%.1f", Row.Stats.AvgNodeBytes),
+                  formatString("%.1f", Row.Stats.AvgOutDegree),
+                  formatString("%.1f", Row.Stats.AvgLeafDepth),
+                  std::to_string(Row.Stats.MaxDepth),
+                  std::to_string(Row.Stats.MaxReplication),
+                  std::to_string(Row.Sites.TotalSites),
+                  std::to_string(Row.Sites.UsedSites),
+                  std::to_string(Row.Sites.OnePathSites)});
+
+  Out += Table.render();
+  Out += "\nPaper's shape: CCTs are bushy rather than tall (out-degree\n"
+         "well above 1, height bounded by the procedure count); call-\n"
+         "heavy codes (vortex-like) dominate node counts; a sizeable\n"
+         "fraction of used call sites is reached by exactly one path,\n"
+         "where flow+context profiling equals full interprocedural\n"
+         "path profiling.\n";
+  return Out;
+}
+
+std::string analysis::renderTable4(const std::vector<SuitePathRows> &Rows) {
+  std::string Out = "Table 4: L1 data cache misses by path "
+                    "(hot threshold = 1% of misses)\n\n";
+
+  TableWriter Table;
+  Table.setHeader({"Benchmark", "Paths", "Inst", "Miss", "Hot", "Inst%",
+                   "Miss%", "Dense", "Inst%", "Miss%", "Sparse", "Cold",
+                   "Miss%"});
+  SuiteAverager Averager;
+  std::vector<const SuitePathRows *> GoGcc;
+
+  for (const SuitePathRows &Row : Rows) {
+    HotPathAnalysis A = analyzeHotPaths(Row.Records, 0.01);
+    Table.addRow({Row.Name, std::to_string(A.TotalPaths),
+                  formatEng(double(A.TotalInsts)),
+                  formatEng(double(A.TotalMisses)),
+                  std::to_string(A.Hot.Num),
+                  formatPercent(double(A.Hot.Insts), double(A.TotalInsts)),
+                  formatPercent(double(A.Hot.Misses), double(A.TotalMisses)),
+                  std::to_string(A.Dense.Num),
+                  formatPercent(double(A.Dense.Insts), double(A.TotalInsts)),
+                  formatPercent(double(A.Dense.Misses),
+                                double(A.TotalMisses)),
+                  std::to_string(A.Sparse.Num), std::to_string(A.Cold.Num),
+                  formatPercent(double(A.Cold.Misses),
+                                double(A.TotalMisses))});
+    Averager.add(Row.Name, Row.IsFloat,
+                 {double(A.TotalPaths), double(A.Hot.Num),
+                  100.0 * double(A.Hot.Misses) / double(A.TotalMisses),
+                  double(A.Dense.Num), double(A.Sparse.Num),
+                  double(A.Cold.Num)});
+    if (Row.Name == "099.go" || Row.Name == "126.gcc")
+      GoGcc.push_back(&Row);
+  }
+
+  auto AddAverage = [&](const char *Label, bool Int, bool Float,
+                        bool NoGoGcc) {
+    std::vector<double> Avg = Averager.average(Int, Float, NoGoGcc);
+    Table.addRow({Label, formatString("%.1f", Avg[0]), "", "",
+                  formatString("%.1f", Avg[1]), "",
+                  formatString("%.1f%%", Avg[2]),
+                  formatString("%.1f", Avg[3]), "", "",
+                  formatString("%.1f", Avg[4]), formatString("%.1f", Avg[5]),
+                  ""});
+  };
+  Table.addSeparator();
+  AddAverage("CINT95 Avg", true, false, false);
+  AddAverage("CFP95 Avg", false, true, false);
+  AddAverage("SPEC95 Avg", true, true, false);
+  AddAverage("SPEC95 Avg - go,gcc", true, true, true);
+  Out += Table.render();
+
+  // The paper's go/gcc follow-up: lower the threshold to 0.1%.
+  Out += "\nOutliers rerun with a 0.1% threshold (the paper finds "
+         "~1% of executed\npaths then cover roughly half the "
+         "misses):\n\n";
+  TableWriter Outliers;
+  Outliers.setHeader({"Benchmark", "Paths", "Hot@0.1%", "Hot paths/all",
+                      "Miss%"});
+  for (const SuitePathRows *Row : GoGcc) {
+    HotPathAnalysis A = analyzeHotPaths(Row->Records, 0.001);
+    Outliers.addRow(
+        {Row->Name, std::to_string(A.TotalPaths), std::to_string(A.Hot.Num),
+         formatPercent(double(A.Hot.Num), double(A.TotalPaths)),
+         formatPercent(double(A.Hot.Misses), double(A.TotalMisses))});
+  }
+  Out += Outliers.render();
+  Out += "\nPaper's shape: a handful of hot paths (3-28) covers most "
+         "misses, most\nhot paths are dense, and go/gcc execute an "
+         "order of magnitude more\npaths with a flatter distribution.\n";
+  return Out;
+}
+
+std::string analysis::renderTable5(const std::vector<SuitePathRows> &Rows) {
+  std::string Out = "Table 5: L1 data cache misses per procedure "
+                    "(hot threshold = 1%)\n\n";
+
+  TableWriter Table;
+  Table.setHeader({"Benchmark", "Hot", "Path/Proc", "Miss%", "Dense",
+                   "Path/Proc", "Miss%", "Sparse", "Path/Proc", "Cold",
+                   "Path/Proc", "Miss%"});
+  SuiteAverager Averager;
+
+  for (const SuitePathRows &Row : Rows) {
+    std::vector<ProcRecord> Procs = aggregateByProcedure(Row.Records);
+    HotProcAnalysis A = analyzeHotProcs(Procs, 0.01);
+
+    Table.addRow(
+        {Row.Name, std::to_string(A.Hot.Num),
+         formatString("%.1f", A.HotPathsPerProc),
+         formatPercent(double(A.Hot.Misses), double(A.TotalMisses)),
+         std::to_string(A.Dense.Num),
+         formatString("%.1f", A.DensePathsPerProc),
+         formatPercent(double(A.Dense.Misses), double(A.TotalMisses)),
+         std::to_string(A.Sparse.Num),
+         formatString("%.1f", A.SparsePathsPerProc),
+         std::to_string(A.Cold.Num),
+         formatString("%.1f", A.ColdPathsPerProc),
+         formatPercent(double(A.Cold.Misses), double(A.TotalMisses))});
+    Averager.add(
+        Row.Name, Row.IsFloat,
+        {double(A.Hot.Num), A.HotPathsPerProc,
+         100.0 * double(A.Hot.Misses) / double(A.TotalMisses),
+         double(A.Dense.Num), A.DensePathsPerProc, double(A.Sparse.Num),
+         A.SparsePathsPerProc, double(A.Cold.Num), A.ColdPathsPerProc});
+  }
+
+  auto AddAverage = [&](const char *Label, bool Int, bool Float,
+                        bool NoGoGcc) {
+    std::vector<double> Avg = Averager.average(Int, Float, NoGoGcc);
+    Table.addRow({Label, formatString("%.1f", Avg[0]),
+                  formatString("%.1f", Avg[1]),
+                  formatString("%.1f%%", Avg[2]),
+                  formatString("%.1f", Avg[3]), formatString("%.1f", Avg[4]),
+                  "", formatString("%.1f", Avg[5]),
+                  formatString("%.1f", Avg[6]), formatString("%.1f", Avg[7]),
+                  formatString("%.1f", Avg[8]), ""});
+  };
+  Table.addSeparator();
+  AddAverage("CINT95 Avg", true, false, false);
+  AddAverage("CFP95 Avg", false, true, false);
+  AddAverage("SPEC95 Avg", true, true, false);
+  AddAverage("SPEC95 Avg - go,gcc", true, true, true);
+
+  Out += Table.render();
+  Out += "\nPaper's shape: a few procedures (1-24) absorb most misses, "
+         "but hot\nprocedures execute roughly ten times as many paths "
+         "as cold ones, so\nknowing the procedure does not isolate the "
+         "misses -- the argument for\npath-level attribution.\n";
+  return Out;
+}

@@ -1,0 +1,100 @@
+//===- analysis/PaperTables.h - Tables 3-5 rendering -----------*- C++ -*-===//
+///
+/// \file
+/// The complete stdout rendering of the paper's Tables 3, 4, and 5,
+/// factored out of the bench binaries so that live runs (bench/) and
+/// stored profile artifacts (tools/pp-report) format their rows through
+/// the same code and are byte-comparable: the acceptance check for the
+/// profile repository is that a report regenerated from artifacts equals
+/// the live table exactly.
+///
+/// Also home of SuiteAverager, the CINT95/CFP95/SPEC95 averaging rows
+/// shared by every suite-wide table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_ANALYSIS_PAPERTABLES_H
+#define PP_ANALYSIS_PAPERTABLES_H
+
+#include "analysis/HotPaths.h"
+#include "analysis/SiteStats.h"
+#include "cct/CallingContextTree.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace analysis {
+
+/// Accumulates per-benchmark values and emits the paper's three averaging
+/// rows (CINT95 Avg, CFP95 Avg, SPEC95 Avg), plus the "without go and
+/// gcc" row used by Tables 4 and 5.
+class SuiteAverager {
+public:
+  void add(const std::string &Name, bool IsFloat,
+           std::vector<double> Values) {
+    Rows.push_back(Row{Name, IsFloat, std::move(Values)});
+  }
+
+  std::vector<double> average(bool IncludeInt, bool IncludeFloat,
+                              bool ExcludeGoGcc = false) const {
+    std::vector<double> Sums;
+    size_t Count = 0;
+    for (const Row &R : Rows) {
+      if ((R.IsFloat && !IncludeFloat) || (!R.IsFloat && !IncludeInt))
+        continue;
+      if (ExcludeGoGcc && (R.Name == "099.go" || R.Name == "126.gcc"))
+        continue;
+      if (Sums.empty())
+        Sums.assign(R.Values.size(), 0);
+      assert(R.Values.size() == Sums.size() &&
+             "SuiteAverager rows must all have the same number of values");
+      for (size_t Index = 0; Index != R.Values.size(); ++Index)
+        Sums[Index] += R.Values[Index];
+      ++Count;
+    }
+    for (double &Sum : Sums)
+      Sum /= Count ? double(Count) : 1.0;
+    return Sums;
+  }
+
+private:
+  struct Row {
+    std::string Name;
+    bool IsFloat;
+    std::vector<double> Values;
+  };
+  std::vector<Row> Rows;
+};
+
+/// One benchmark's row of Table 3 (CCT statistics from a Context-and-Flow
+/// profile).
+struct Table3Row {
+  std::string Name;
+  /// Serialised profile size plus simulated CCT heap bytes.
+  uint64_t ProfileBytes = 0;
+  cct::CctStats Stats;
+  SitePathStats Sites;
+};
+
+/// One benchmark's flattened Flow-and-HW path records, the raw material
+/// of Tables 4 and 5.
+struct SuitePathRows {
+  std::string Name;
+  bool IsFloat = false;
+  std::vector<PathRecord> Records;
+};
+
+/// Renders the complete stdout of the Table 3 / 4 / 5 binaries (title,
+/// table, averaging rows, outlier follow-ups, and commentary). Rows for
+/// failed runs are simply absent from the input; the renderers print
+/// whatever rows they are given.
+std::string renderTable3(const std::vector<Table3Row> &Rows);
+std::string renderTable4(const std::vector<SuitePathRows> &Rows);
+std::string renderTable5(const std::vector<SuitePathRows> &Rows);
+
+} // namespace analysis
+} // namespace pp
+
+#endif // PP_ANALYSIS_PAPERTABLES_H

@@ -3,7 +3,8 @@
 #include "driver/OutcomeIO.h"
 
 #include "cct/CallingContextTree.h"
-#include "support/AddressLayout.h"
+#include "cct/ImageIO.h"
+#include "support/BinaryIO.h"
 #include "support/Checksum.h"
 
 #include <cstring>
@@ -16,102 +17,8 @@ namespace {
 constexpr uint64_t Magic = 0x5050524f; // "PPRO"
 constexpr uint64_t Version = 2;        // 2: CRC32 trailer appended
 
-// Sanity ceilings for decoded tree geometry. Real images sit far below
-// them; a corrupt file that exceeds one is rejected as malformed instead
-// of driving the CCT allocator (which treats exhaustion as fatal) or the
-// host allocator into the ground.
-constexpr uint64_t MaxTreeMetrics = 1024;
-constexpr uint64_t MaxPathCellBytes = 4096;
-constexpr uint64_t MaxProcSites = uint64_t(1) << 20;
-constexpr uint64_t MaxCctHeapBytes =
-    layout::ProfStackBase - layout::CctHeapBase;
-
-class Writer {
-public:
-  std::vector<uint8_t> Bytes;
-
-  void u8(uint8_t Value) { Bytes.push_back(Value); }
-  void u64(uint64_t Value) {
-    for (unsigned Index = 0; Index != 8; ++Index)
-      Bytes.push_back(static_cast<uint8_t>(Value >> (8 * Index)));
-  }
-  void str(const std::string &Value) {
-    u64(Value.size());
-    Bytes.insert(Bytes.end(), Value.begin(), Value.end());
-  }
-  void bytes(const std::vector<uint8_t> &Value) {
-    u64(Value.size());
-    Bytes.insert(Bytes.end(), Value.begin(), Value.end());
-  }
-};
-
-/// Bounds-checked reads over an untrusted byte span. Every length and
-/// count is validated against the bytes actually *remaining* — never with
-/// `Cursor + Size > total` arithmetic, which wraps for Size near
-/// UINT64_MAX and lets a corrupt file read out of bounds.
-class Reader {
-public:
-  Reader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
-
-  size_t remaining() const { return Size - Cursor; }
-  bool atEnd() const { return Cursor == Size; }
-
-  bool u8(uint8_t &Value) {
-    if (remaining() < 1)
-      return false;
-    Value = Data[Cursor++];
-    return true;
-  }
-  bool u64(uint64_t &Value) {
-    if (remaining() < 8)
-      return false;
-    Value = 0;
-    for (unsigned Index = 0; Index != 8; ++Index)
-      Value |= uint64_t(Data[Cursor + Index]) << (8 * Index);
-    Cursor += 8;
-    return true;
-  }
-  bool str(std::string &Value) {
-    uint64_t Length;
-    if (!u64(Length) || Length > remaining())
-      return false;
-    Value.assign(reinterpret_cast<const char *>(Data) + Cursor,
-                 static_cast<size_t>(Length));
-    Cursor += static_cast<size_t>(Length);
-    return true;
-  }
-  bool bytes(std::vector<uint8_t> &Value) {
-    uint64_t Length;
-    if (!u64(Length) || Length > remaining())
-      return false;
-    Value.assign(Data + Cursor, Data + Cursor + Length);
-    Cursor += static_cast<size_t>(Length);
-    return true;
-  }
-  /// Reads an element count that precedes \p MinElemBytes-byte-minimum
-  /// elements. A count no honest writer could have produced — more
-  /// elements than the remaining bytes can encode — fails here, before
-  /// any resize(), so a corrupt count of 10^18 cannot trigger a
-  /// pathological allocation.
-  bool count(uint64_t &Value, size_t MinElemBytes) {
-    if (!u64(Value))
-      return false;
-    return Value <= remaining() / MinElemBytes;
-  }
-
-private:
-  const uint8_t *Data;
-  size_t Size;
-  size_t Cursor = 0;
-};
-
 // Minimum encoded sizes (bytes) of variable-count elements, used to bound
 // counts before allocation.
-constexpr size_t MinProcBytes = 8 + 8 + 8 + 8;     // name, sites, mask, paths
-constexpr size_t MinRecordBytes = 5 * 8 + 2 * 8;   // fixed fields + 2 counts
-constexpr size_t MinPathCellBytes = 4 * 8;
-constexpr size_t MinSlotBytes = 1 + 8;
-constexpr size_t MinTargetBytes = 2 * 8;
 constexpr size_t MinPathProfileBytes = 8 + 1 + 8 + 1 + 8;
 constexpr size_t MinPathEntryBytes = 4 * 8;
 constexpr size_t MinEdgeProfileBytes = 8 + 1 + 8 + 8;
@@ -119,121 +26,22 @@ constexpr size_t MinEdgeProfileBytes = 8 + 1 + 8 + 8;
 // NumSites, and the SiteIsIndirect length: 7 u64 fields.
 constexpr size_t MinInstrInfoBytes = 3 + 7 * 8;
 
-void writeTree(Writer &W, const cct::CallingContextTree &Tree) {
-  cct::TreeImage Image = Tree.image();
-  W.u64(Image.Procs.size());
-  for (const cct::ProcDesc &Proc : Image.Procs) {
-    W.str(Proc.Name);
-    W.u64(Proc.NumSites);
-    W.bytes(Proc.SiteIsIndirect);
-    W.u64(Proc.NumPaths);
-  }
-  W.u64(Image.NumMetrics);
-  W.u64(Image.PathCellBytes);
-  W.u64(Image.HashThreshold);
-  W.u64(Image.HeapBytes);
-  W.u64(Image.ListCells);
-  W.u64(Image.Records.size());
-  for (const cct::TreeImage::Record &Rec : Image.Records) {
-    W.u64(Rec.Proc);
-    W.u64(static_cast<uint64_t>(Rec.Parent));
-    W.u64(Rec.Addr);
-    W.u64(Rec.PathTableAddr);
-    W.u64(Rec.Metrics.size());
-    for (uint64_t Metric : Rec.Metrics)
-      W.u64(Metric);
-    W.u64(Rec.PathCells.size());
-    for (const auto &[Sum, Cell] : Rec.PathCells) {
-      W.u64(Sum);
-      W.u64(Cell.Freq);
-      W.u64(Cell.Metric0);
-      W.u64(Cell.Metric1);
-    }
-    W.u64(Rec.Slots.size());
-    for (const cct::TreeImage::Slot &Slot : Rec.Slots) {
-      W.u8(Slot.Kind);
-      W.u64(Slot.Targets.size());
-      for (const auto &[Target, CellAddr] : Slot.Targets) {
-        W.u64(Target);
-        W.u64(CellAddr);
-      }
-    }
-  }
-}
-
-DecodeStatus readTree(Reader &R,
+DecodeStatus readTree(ByteReader &R,
                       std::unique_ptr<cct::CallingContextTree> &Out) {
   cct::TreeImage Image;
-  uint64_t NumProcs;
-  if (!R.count(NumProcs, MinProcBytes))
+  switch (cct::readTreeImage(R, Image)) {
+  case cct::ImageDecodeStatus::Ok:
+    break;
+  case cct::ImageDecodeStatus::Truncated:
     return DecodeStatus::Truncated;
-  Image.Procs.resize(NumProcs);
-  for (cct::ProcDesc &Proc : Image.Procs) {
-    uint64_t Sites, Paths;
-    if (!R.str(Proc.Name) || !R.u64(Sites) || !R.bytes(Proc.SiteIsIndirect) ||
-        !R.u64(Paths))
-      return DecodeStatus::Truncated;
-    if (Sites > MaxProcSites)
-      return DecodeStatus::Malformed;
-    Proc.NumSites = static_cast<unsigned>(Sites);
-    Proc.NumPaths = Paths;
-  }
-  uint64_t NumMetrics, CellBytes, NumRecords;
-  if (!R.u64(NumMetrics) || !R.u64(CellBytes) || !R.u64(Image.HashThreshold) ||
-      !R.u64(Image.HeapBytes) || !R.u64(Image.ListCells))
-    return DecodeStatus::Truncated;
-  // The tree constructor allocates per-record metric arrays and simulated
-  // heap space up front; insane geometry would abort inside it, so reject
-  // it here.
-  if (NumMetrics > MaxTreeMetrics || CellBytes > MaxPathCellBytes ||
-      Image.HeapBytes > MaxCctHeapBytes)
+  case cct::ImageDecodeStatus::Malformed:
     return DecodeStatus::Malformed;
-  if (!R.count(NumRecords, MinRecordBytes))
-    return DecodeStatus::Truncated;
-  Image.NumMetrics = static_cast<unsigned>(NumMetrics);
-  Image.PathCellBytes = static_cast<unsigned>(CellBytes);
-  Image.Records.resize(NumRecords);
-  for (cct::TreeImage::Record &Rec : Image.Records) {
-    uint64_t Proc, Parent, NumRecMetrics, NumCells, NumSlots;
-    if (!R.u64(Proc) || !R.u64(Parent) || !R.u64(Rec.Addr) ||
-        !R.u64(Rec.PathTableAddr) || !R.count(NumRecMetrics, 8))
-      return DecodeStatus::Truncated;
-    Rec.Proc = static_cast<cct::ProcId>(Proc);
-    Rec.Parent = static_cast<int64_t>(Parent);
-    if (Rec.Proc != cct::RootProcId && Rec.Proc >= Image.Procs.size())
-      return DecodeStatus::Malformed;
-    Rec.Metrics.resize(NumRecMetrics);
-    for (uint64_t &Metric : Rec.Metrics)
-      if (!R.u64(Metric))
-        return DecodeStatus::Truncated;
-    if (!R.count(NumCells, MinPathCellBytes))
-      return DecodeStatus::Truncated;
-    Rec.PathCells.resize(NumCells);
-    for (auto &[Sum, Cell] : Rec.PathCells)
-      if (!R.u64(Sum) || !R.u64(Cell.Freq) || !R.u64(Cell.Metric0) ||
-          !R.u64(Cell.Metric1))
-        return DecodeStatus::Truncated;
-    if (!R.count(NumSlots, MinSlotBytes))
-      return DecodeStatus::Truncated;
-    Rec.Slots.resize(NumSlots);
-    for (cct::TreeImage::Slot &Slot : Rec.Slots) {
-      uint64_t NumTargets;
-      if (!R.u8(Slot.Kind) || !R.count(NumTargets, MinTargetBytes))
-        return DecodeStatus::Truncated;
-      if (Slot.Kind >
-          static_cast<uint8_t>(cct::CallRecord::Slot::Kind::List))
-        return DecodeStatus::Malformed;
-      Slot.Targets.resize(NumTargets);
-      for (auto &[Target, CellAddr] : Slot.Targets)
-        if (!R.u64(Target) || !R.u64(CellAddr))
-          return DecodeStatus::Truncated;
-    }
   }
   Out = cct::CallingContextTree::fromImage(Image);
   return Out ? DecodeStatus::Ok : DecodeStatus::Malformed;
 }
 
-DecodeStatus decodePayload(Reader &R, prof::RunOutcome &Out) {
+DecodeStatus decodePayload(ByteReader &R, prof::RunOutcome &Out) {
   uint8_t Ok;
   if (!R.u8(Ok) || !R.u64(Out.Result.ExitValue) ||
       !R.u64(Out.Result.ExecutedInsts) || !R.str(Out.Result.Error))
@@ -359,7 +167,7 @@ const char *driver::decodeStatusName(DecodeStatus Status) {
 std::vector<uint8_t>
 driver::serializeOutcome(const prof::RunOutcome &Outcome,
                          const std::string &Fingerprint) {
-  Writer W;
+  ByteWriter W;
   W.u64(Magic);
   W.u64(Version);
   W.str(Fingerprint);
@@ -417,7 +225,7 @@ driver::serializeOutcome(const prof::RunOutcome &Outcome,
 
   W.u8(Outcome.Tree ? 1 : 0);
   if (Outcome.Tree)
-    writeTree(W, *Outcome.Tree);
+    cct::writeTreeImage(W, Outcome.Tree->image());
 
   // Integrity trailer over everything above.
   uint32_t Crc = crc32(W.Bytes.data(), W.Bytes.size());
@@ -435,7 +243,7 @@ DecodeStatus driver::decodeOutcome(const std::vector<uint8_t> &Bytes,
 
   // Identify the format before checksumming: a version-1 file (no
   // trailer) or a foreign file reports its real problem, not a CRC error.
-  Reader Header(Bytes.data(), Bytes.size());
+  ByteReader Header(Bytes.data(), Bytes.size());
   uint64_t FileMagic, FileVersion;
   (void)Header.u64(FileMagic);
   (void)Header.u64(FileVersion);
@@ -451,7 +259,7 @@ DecodeStatus driver::decodeOutcome(const std::vector<uint8_t> &Bytes,
   if (crc32(Bytes.data(), PayloadSize) != Stored)
     return DecodeStatus::BadChecksum;
 
-  Reader R(Bytes.data(), PayloadSize);
+  ByteReader R(Bytes.data(), PayloadSize);
   uint64_t Skip;
   (void)R.u64(Skip); // magic, validated above
   (void)R.u64(Skip); // version, validated above

@@ -4,12 +4,15 @@
 
 #include "driver/FaultInjector.h"
 #include "driver/RunCache.h"
+#include "profdb/Store.h"
 #include "support/Format.h"
 #include "workloads/Spec.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+
+#include <sys/stat.h>
 
 using namespace pp;
 using namespace pp::driver;
@@ -36,7 +39,8 @@ unsigned RunScheduler::defaultWorkerThreads() {
   return Default;
 }
 
-RunScheduler::RunScheduler(RunCache *Cache, unsigned Threads) : Cache(Cache) {
+RunScheduler::RunScheduler(RunCache *Cache, unsigned Threads)
+    : Cache(Cache), ProfileOutDir(profdb::profileOutDirFromEnv()) {
   Workers.reserve(Threads);
   for (unsigned Index = 0; Index != Threads; ++Index)
     Workers.emplace_back([this] { workerLoop(); });
@@ -114,6 +118,11 @@ uint64_t RunScheduler::runsFailed() const {
   return Failed;
 }
 
+void RunScheduler::setProfileOutDir(std::string Dir) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ProfileOutDir = std::move(Dir);
+}
+
 void RunScheduler::workerLoop() {
   for (;;) {
     Task *Claimed;
@@ -155,10 +164,47 @@ OutcomePtr RunScheduler::failedOutcome(std::string Error) {
   return Outcome;
 }
 
+void RunScheduler::maybeEmitArtifact(const RunPlan &Plan, const RunKey &Key,
+                                     const OutcomePtr &Outcome) {
+  std::string Dir;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Dir = ProfileOutDir;
+  }
+  if (Dir.empty() || !Outcome || !Outcome->Result.Ok)
+    return;
+  std::string Path = Dir + "/" + profdb::artifactFileName(Key.Fingerprint);
+  struct stat St;
+  if (::stat(Path.c_str(), &St) == 0)
+    return; // the fingerprint names the content; an existing file is it
+  // The artifact carries function names, which live in the module, not
+  // the outcome — rebuild it (cache hits skipped the build entirely).
+  std::unique_ptr<ir::Module> M =
+      Plan.Build ? Plan.Build()
+                 : workloads::buildWorkload(Plan.Workload, Plan.Scale);
+  if (!M) {
+    std::fprintf(stderr,
+                 "pp-driver: warning: cannot rebuild workload '%s' for "
+                 "artifact emission\n",
+                 Plan.Workload.c_str());
+    return;
+  }
+  profdb::Artifact A = profdb::artifactFromOutcome(
+      *Outcome, *M, Key.Fingerprint, Plan.Workload,
+      static_cast<uint64_t>(Plan.Scale), Plan.Options.Config);
+  std::string Error;
+  if (!profdb::writeArtifactFile(Path, A, Error))
+    std::fprintf(stderr,
+                 "pp-driver: warning: profile artifact not written: %s\n",
+                 Error.c_str());
+}
+
 OutcomePtr RunScheduler::executePlan(const RunPlan &Plan, const RunKey &Key) {
   if (Cache)
-    if (OutcomePtr Hit = Cache->lookup(Key))
+    if (OutcomePtr Hit = Cache->lookup(Key)) {
+      maybeEmitArtifact(Plan, Key, Hit);
       return Hit;
+    }
 
   // One bad run degrades one result, never the suite: failures come back
   // as structured outcomes (Ok = false, Error set) that are not cached,
@@ -185,5 +231,6 @@ OutcomePtr RunScheduler::executePlan(const RunPlan &Plan, const RunKey &Key) {
   }
   if (Cache)
     Cache->insert(Key, Outcome);
+  maybeEmitArtifact(Plan, Key, Outcome);
   return Outcome;
 }

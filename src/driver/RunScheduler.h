@@ -18,7 +18,9 @@
 /// Environment knobs: PP_DRIVER_THREADS sets the worker count (a
 /// non-numeric value warns and keeps the hardware default; 0 means
 /// serial), PP_DRIVER_SERIAL=1 forces in-order execution on the calling
-/// thread.
+/// thread, and PP_PROFILE_OUT names a directory every successful run
+/// (fresh or cache-hit) deposits a profile artifact into (see
+/// profdb/Store.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +32,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -74,6 +77,10 @@ public:
   /// concurrency clamped to [4, 16].
   static unsigned defaultWorkerThreads();
 
+  /// Redirects artifact emission ("" disables it). Initialised from
+  /// $PP_PROFILE_OUT; tools/pp's --profile-out flag overrides it.
+  void setProfileOutDir(std::string Dir);
+
 private:
   struct Task {
     RunPlan Plan;
@@ -86,10 +93,17 @@ private:
   void workerLoop();
   void executeTask(Task &T);
   OutcomePtr executePlan(const RunPlan &Plan, const RunKey &Key);
+  /// Deposits \p Outcome as a profile artifact when a profile-out
+  /// directory is configured, the run succeeded, and the artifact is not
+  /// already on disk. Emission failures warn on stderr; they never fail
+  /// the run itself.
+  void maybeEmitArtifact(const RunPlan &Plan, const RunKey &Key,
+                         const OutcomePtr &Outcome);
   /// A structured failure outcome (Ok = false, \p Error attached).
   static OutcomePtr failedOutcome(std::string Error);
 
   RunCache *Cache;
+  std::string ProfileOutDir;
   std::vector<std::thread> Workers;
 
   mutable std::mutex Mu;

@@ -1,0 +1,58 @@
+//===- profdb/Report.h - Textual reports over artifacts --------*- C++ -*-===//
+///
+/// \file
+/// Rendering of single-artifact queries for tools/pp-report: the hottest
+/// Ball-Larus paths and procedures by PIC1, CCT aggregate statistics, the
+/// diff report, and a Brendan-Gregg collapsed-stack export of the CCT
+/// ("main;f;g 42" lines) weighted by any counter, so stored profiles feed
+/// standard flamegraph tooling directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_PROFDB_REPORT_H
+#define PP_PROFDB_REPORT_H
+
+#include "profdb/Artifact.h"
+#include "profdb/Diff.h"
+
+#include <string>
+
+namespace pp {
+namespace profdb {
+
+/// "== <workload> (scale N, <mode>, PIC0=..., PIC1=..., runs=N) ==\n".
+std::string reportHeader(const Artifact &A);
+
+/// The \p Limit hottest executed paths by PIC1 (ties broken by PIC0,
+/// then function id, then path sum).
+std::string reportTopPaths(const Artifact &A, size_t Limit);
+
+/// Per-procedure aggregation of the path profiles, hottest \p Limit by
+/// PIC1.
+std::string reportTopProcs(const Artifact &A, size_t Limit);
+
+/// The Table 3 raw material for one artifact's CCT; an explanatory line
+/// when the artifact has none.
+std::string reportCctStats(const Artifact &A);
+
+/// Which counter weighs the collapsed stacks.
+enum class CollapsedCounter { Calls, Pic0, Pic1 };
+
+/// Parses "calls" / "pic0" / "pic1"; false on anything else.
+bool parseCollapsedCounter(const std::string &Text, CollapsedCounter &Out);
+
+/// One "name;name;... weight" line per CCT record with a non-zero weight,
+/// sorted lexicographically. Records fold their path-cell metric sums
+/// into Pic0/Pic1 alongside the per-record accumulators. Empty string
+/// (with \p Error set) when the artifact has no CCT.
+std::string collapsedStacks(const Artifact &A, CollapsedCounter Counter,
+                            std::string &Error);
+
+/// Renders a diff (see Diff.h) limited to the top \p Limit rows per
+/// section.
+std::string renderDiff(const ArtifactDiff &Diff, size_t Limit);
+
+} // namespace profdb
+} // namespace pp
+
+#endif // PP_PROFDB_REPORT_H

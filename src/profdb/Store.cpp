@@ -1,0 +1,95 @@
+//===- profdb/Store.cpp - Artifact files on disk ------------------------------===//
+
+#include "profdb/Store.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <dirent.h>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace pp;
+using namespace pp::profdb;
+
+std::string profdb::artifactFileName(const std::string &Fingerprint) {
+  return formatString("ppa-%016llx.ppa",
+                      static_cast<unsigned long long>(fnv1a(Fingerprint)));
+}
+
+std::string profdb::profileOutDirFromEnv() {
+  const char *Dir = std::getenv("PP_PROFILE_OUT");
+  return Dir ? Dir : "";
+}
+
+bool profdb::writeArtifactFile(const std::string &Path, const Artifact &A,
+                               std::string &Error) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash != std::string::npos && Slash != 0) {
+    std::string Dir = Path.substr(0, Slash);
+    if (mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      Error = "cannot create directory '" + Dir + "'";
+      return false;
+    }
+  }
+
+  std::vector<uint8_t> Bytes = encodeArtifact(A);
+  // Write-to-temp + rename: a crash or concurrent writer never leaves a
+  // torn file under the final name (identical inputs produce identical
+  // bytes, so racing writers are harmless).
+  std::string Temp = Path + ".tmp." + std::to_string(getpid());
+  {
+    std::ofstream Out(Temp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      Error = "cannot open '" + Temp + "' for writing";
+      return false;
+    }
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              static_cast<std::streamsize>(Bytes.size()));
+    if (!Out) {
+      Out.close();
+      std::remove(Temp.c_str());
+      Error = "short write to '" + Temp + "'";
+      return false;
+    }
+  }
+  if (std::rename(Temp.c_str(), Path.c_str()) != 0) {
+    std::remove(Temp.c_str());
+    Error = "cannot rename '" + Temp + "' to '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+DecodeStatus profdb::readArtifactFile(const std::string &Path,
+                                      Artifact &Out) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0 || !S_ISREG(St.st_mode))
+    return DecodeStatus::Unreadable;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return DecodeStatus::Unreadable;
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+  if (In.bad())
+    return DecodeStatus::Unreadable;
+  return decodeArtifact(Bytes, Out);
+}
+
+std::vector<std::string> profdb::listArtifactFiles(const std::string &Dir) {
+  std::vector<std::string> Paths;
+  DIR *D = opendir(Dir.c_str());
+  if (!D)
+    return Paths;
+  while (dirent *Entry = readdir(D)) {
+    std::string Name = Entry->d_name;
+    if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".ppa") == 0)
+      Paths.push_back(Dir + "/" + Name);
+  }
+  closedir(D);
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}

@@ -1,0 +1,47 @@
+//===- profdb/Store.h - Artifact files on disk -----------------*- C++ -*-===//
+///
+/// \file
+/// The on-disk side of the profile repository: artifact file naming
+/// ("ppa-<fnv1a-of-fingerprint>.ppa"), atomic writes (temp file + rename,
+/// the run cache's torn-write discipline), reads that fold I/O failures
+/// into the decoder's typed DecodeStatus, and directory listing for
+/// repository-wide queries. The PP_PROFILE_OUT environment knob names the
+/// directory every driver run deposits its artifact into.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_PROFDB_STORE_H
+#define PP_PROFDB_STORE_H
+
+#include "profdb/Artifact.h"
+
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace profdb {
+
+/// "ppa-<16 hex digits>.ppa" derived from the run fingerprint.
+std::string artifactFileName(const std::string &Fingerprint);
+
+/// $PP_PROFILE_OUT, or "" when unset (emission disabled).
+std::string profileOutDirFromEnv();
+
+/// Serialises \p A to \p Path atomically (temp file + rename; the
+/// directory is created if missing). Returns false with \p Error set on
+/// any failure; a half-written file is never left at \p Path.
+bool writeArtifactFile(const std::string &Path, const Artifact &A,
+                       std::string &Error);
+
+/// Reads and decodes \p Path. I/O failures report Unreadable; everything
+/// else is the decoder's verdict.
+DecodeStatus readArtifactFile(const std::string &Path, Artifact &Out);
+
+/// All "*.ppa" files directly inside \p Dir, as full paths, sorted — the
+/// listing order never depends on directory enumeration order.
+std::vector<std::string> listArtifactFiles(const std::string &Dir);
+
+} // namespace profdb
+} // namespace pp
+
+#endif // PP_PROFDB_STORE_H

@@ -13,7 +13,10 @@
 #include "driver/Driver.h"
 #include "driver/FaultInjector.h"
 #include "driver/OutcomeIO.h"
+#include "profdb/Artifact.h"
+#include "profdb/Store.h"
 #include "support/Checksum.h"
+#include "workloads/Spec.h"
 
 #include "gtest/gtest.h"
 
@@ -146,6 +149,95 @@ TEST(FaultSweepTest, NoCorruptionCrashesOrIsAccepted) {
   }
 
   EXPECT_GE(Corruptions, 200u);
+}
+
+// The same three-sweep harness, pointed at the profile repository's
+// artifact decoder: artifacts are durable, travel between machines, and
+// are therefore just as untrusted as cache files.
+TEST(FaultSweepTest, NoArtifactCorruptionCrashesOrIsAccepted) {
+  Driver D(/*DiskDir=*/"", /*Threads=*/1);
+  RunPlan Plan = makePlan("130.li", prof::Mode::ContextFlowHw);
+  OutcomePtr Run = D.run(Plan);
+  ASSERT_TRUE(Run && Run->Result.Ok);
+
+  auto Module = workloads::buildWorkload("130.li", 1);
+  ASSERT_NE(Module, nullptr);
+  profdb::Artifact A = profdb::artifactFromOutcome(
+      *Run, *Module, "fault-fp", "130.li", 1, Plan.Options.Config);
+  const std::vector<uint8_t> Bytes = profdb::encodeArtifact(A);
+  ASSERT_GT(Bytes.size(), 16u);
+  {
+    profdb::Artifact Out;
+    ASSERT_EQ(profdb::decodeArtifact(Bytes, Out), profdb::DecodeStatus::Ok);
+  }
+
+  // Sweep A: single-bit flips with a stale checksum — CRC32 catches every
+  // one of them.
+  constexpr unsigned NumFlips = 160;
+  for (unsigned I = 0; I != NumFlips; ++I) {
+    std::vector<uint8_t> Flipped = Bytes;
+    size_t Offset = size_t(I) * Flipped.size() / NumFlips;
+    Flipped[Offset] ^= uint8_t(1) << (I % 8);
+    profdb::Artifact Out;
+    profdb::DecodeStatus Status = profdb::decodeArtifact(Flipped, Out);
+    EXPECT_NE(Status, profdb::DecodeStatus::Ok)
+        << "accepted a bit flip at offset " << Offset;
+  }
+
+  // Sweep B: truncations at every scale.
+  constexpr unsigned NumCuts = 60;
+  for (unsigned I = 0; I != NumCuts; ++I) {
+    size_t Cut = size_t(I) * Bytes.size() / NumCuts;
+    std::vector<uint8_t> Truncated(Bytes.begin(), Bytes.begin() + Cut);
+    profdb::Artifact Out;
+    EXPECT_NE(profdb::decodeArtifact(Truncated, Out),
+              profdb::DecodeStatus::Ok)
+        << "accepted " << Cut << " bytes";
+  }
+
+  // Sweep C: 0xFF stomps with a recomputed trailer, defeating the CRC so
+  // the interior bounds checks face worst-case field values. Typed
+  // rejection or a clean decode of stomped metric payload — never a
+  // crash, never BadChecksum (the trailer is valid by construction).
+  constexpr unsigned NumStomps = 100;
+  for (unsigned I = 0; I != NumStomps; ++I) {
+    std::vector<uint8_t> Stomped = Bytes;
+    size_t Limit = Stomped.size() - 4;
+    size_t Offset = size_t(I) * Limit / NumStomps;
+    for (size_t B = Offset; B != std::min(Offset + 8, Limit); ++B)
+      Stomped[B] = 0xFF;
+    uint32_t Crc = crc32(Stomped.data(), Stomped.size() - 4);
+    for (unsigned B = 0; B != 4; ++B)
+      Stomped[Stomped.size() - 4 + B] = uint8_t(Crc >> (8 * B));
+    profdb::Artifact Out;
+    EXPECT_NE(profdb::decodeArtifact(Stomped, Out),
+              profdb::DecodeStatus::BadChecksum)
+        << "trailer fixup failed at offset " << Offset;
+  }
+
+  // Trailing garbage after a valid payload is its own typed status.
+  {
+    std::vector<uint8_t> Extended = Bytes;
+    std::vector<uint8_t> Payload(Bytes.begin(), Bytes.end() - 4);
+    Payload.push_back(0xAB);
+    uint32_t Crc = crc32(Payload.data(), Payload.size());
+    Extended = Payload;
+    for (unsigned B = 0; B != 4; ++B)
+      Extended.push_back(uint8_t(Crc >> (8 * B)));
+    profdb::Artifact Out;
+    EXPECT_EQ(profdb::decodeArtifact(Extended, Out),
+              profdb::DecodeStatus::TrailingBytes);
+  }
+}
+
+TEST(FaultSweepTest, ArtifactFileReadFoldsIoIntoStatus) {
+  // A directory path and a missing path both fold into Unreadable rather
+  // than a crash or a zero-length "success".
+  profdb::Artifact Out;
+  EXPECT_EQ(profdb::readArtifactFile("/tmp", Out),
+            profdb::DecodeStatus::Unreadable);
+  EXPECT_EQ(profdb::readArtifactFile("/tmp/pp-no-such-artifact.ppa", Out),
+            profdb::DecodeStatus::Unreadable);
 }
 
 TEST(FaultSweepTest, StaleVersionReportsBadVersion) {

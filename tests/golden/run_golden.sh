@@ -12,9 +12,10 @@ golden="$1"
 shift
 
 # Neutralise every knob that could perturb output: engine choice, disk
-# cache reuse, worker-pool stats, fault injection.
+# cache reuse, worker-pool stats, fault injection, artifact emission.
 unset PP_VM_ENGINE PP_RUN_CACHE_DIR PP_DRIVER_STATS PP_DRIVER_SERIAL \
-      PP_DRIVER_THREADS PP_FAULT_SEED PP_FAULT_RUN_FAIL_MATCH 2>/dev/null
+      PP_DRIVER_THREADS PP_FAULT_SEED PP_FAULT_RUN_FAIL_MATCH \
+      PP_PROFILE_OUT PP_PROFDB_THREADS 2>/dev/null
 
 tmp="${TMPDIR:-/tmp}/golden.$$"
 "$@" > "$tmp"

@@ -8,8 +8,9 @@
 #
 # usage: tools/check.sh [asan|tsan|all]   (default: asan)
 #
-# The ASan pass runs the full suite; the TSan pass runs the driver and
-# fault-injection tests, which exercise every concurrent component.
+# The ASan pass runs the full suite; the TSan pass runs the driver,
+# fault-injection, and profile-repository tests, which exercise every
+# concurrent component (worker pool, run cache, parallel artifact merge).
 
 set -e
 
@@ -27,9 +28,9 @@ run_tsan() {
   echo "== check.sh: thread-sanitizer pass ==" >&2
   cmake -B build-tsan -S . -DPP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target driver_test \
-        --target fault_injection_test
+        --target fault_injection_test --target profdb_test
   (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-        -R 'DriverTest|RunKeyTest|OutcomeIOTest|SchedulerTest|Fault')
+        -R 'DriverTest|RunKeyTest|OutcomeIOTest|SchedulerTest|Fault|ProfDb')
 }
 
 case "$MODE" in

@@ -45,6 +45,7 @@ struct Options {
   std::string DotFile;
   std::string CctFile;
   std::string SignalSpec;
+  std::string ProfileOutDir;
 };
 
 void printUsage() {
@@ -70,6 +71,8 @@ void printUsage() {
       "                    executed instructions\n"
       "  --dot=<file>      write the CCT as Graphviz\n"
       "  --cct-out=<file>  write the serialised CCT profile\n"
+      "  --profile-out=<dir>  deposit a profile artifact per run into dir\n"
+      "                    (overrides $PP_PROFILE_OUT; see pp-report)\n"
       "  --dump-ir         print the program and exit\n"
       "  --dump-instrumented  print the instrumented program and exit\n"
       "  --list-workloads  list the built-in SPEC95-shaped workloads\n");
@@ -159,6 +162,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.DotFile = V;
     } else if (const char *V = Value("--cct-out=")) {
       Opts.CctFile = V;
+    } else if (const char *V = Value("--profile-out=")) {
+      Opts.ProfileOutDir = V;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "pp: unknown option '%s'\n", Arg.c_str());
       return false;
@@ -433,6 +438,8 @@ int main(int Argc, char **Argv) {
   prof::SessionOptions BaseSession = Session;
   BaseSession.Config.M = prof::Mode::None;
   driver::Driver &D = driver::defaultDriver();
+  if (!Opts.ProfileOutDir.empty())
+    D.scheduler().setProfileOutDir(Opts.ProfileOutDir);
   size_t BaseTicket = D.submit(MakePlan(BaseSession));
   size_t RunTicket = D.submit(MakePlan(Session));
 
