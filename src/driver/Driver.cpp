@@ -2,6 +2,8 @@
 
 #include "driver/Driver.h"
 
+#include "support/Env.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,8 +11,7 @@ using namespace pp;
 using namespace pp::driver;
 
 Driver::~Driver() {
-  const char *Stats = std::getenv("PP_DRIVER_STATS");
-  if (!Stats || Stats[0] != '1')
+  if (!envFlag("PP_DRIVER_STATS"))
     return;
   RunCache::Stats C = Cache.stats();
   std::fprintf(stderr,

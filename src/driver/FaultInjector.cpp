@@ -2,6 +2,8 @@
 
 #include "driver/FaultInjector.h"
 
+#include "obs/Obs.h"
+#include "support/Env.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -13,19 +15,10 @@ using namespace pp::driver;
 namespace {
 
 /// Reads env var \p Name as a strict unsigned count; a malformed value
-/// warns and reads as 0 (seam disabled) rather than silently arming or
-/// disarming anything else.
+/// warns (via the shared Env helper) and reads as 0 (seam disabled)
+/// rather than silently arming or disarming anything else.
 unsigned envCount(const char *Name) {
-  const char *Text = std::getenv(Name);
-  if (!Text || !*Text)
-    return 0;
-  uint64_t Value;
-  if (!parseUint64(Text, Value)) {
-    std::fprintf(stderr,
-                 "pp-driver: warning: ignoring non-numeric %s='%s'\n", Name,
-                 Text);
-    return 0;
-  }
+  uint64_t Value = envUint64Or(Name, "pp-driver", 0);
   return static_cast<unsigned>(Value > UINT32_MAX ? UINT32_MAX : Value);
 }
 
@@ -33,16 +26,9 @@ unsigned envCount(const char *Name) {
 
 FaultInjector::Config FaultInjector::configFromEnv() {
   Config C;
-  if (const char *Seed = std::getenv("PP_FAULT_SEED")) {
-    uint64_t Value;
-    if (parseUint64(Seed, Value))
-      C.Seed = Value;
-    else
-      std::fprintf(stderr,
-                   "pp-driver: warning: ignoring non-numeric "
-                   "PP_FAULT_SEED='%s'\n",
-                   Seed);
-  }
+  uint64_t Seed;
+  if (envUint64("PP_FAULT_SEED", "pp-driver", Seed) == EnvParse::Ok)
+    C.Seed = Seed;
   C.FlipEveryNthRead = envCount("PP_FAULT_READ_FLIP");
   C.TruncateEveryNthRead = envCount("PP_FAULT_READ_TRUNCATE");
   C.FailEveryNthWrite = envCount("PP_FAULT_WRITE_FAIL");
@@ -86,8 +72,10 @@ bool FaultInjector::mutateCacheRead(std::vector<uint8_t> &Bytes) {
     Bytes.resize(static_cast<size_t>(Rng.nextBelow(Bytes.size())));
     Mutated = true;
   }
-  if (Mutated)
+  if (Mutated) {
     ++Injected.ReadsCorrupted;
+    obs::add(obs::Counter::FaultReadsCorrupted);
+  }
   return Mutated;
 }
 
@@ -99,6 +87,7 @@ bool FaultInjector::shouldFailCacheWrite() {
   if (Writes % Cfg.FailEveryNthWrite != 0)
     return false;
   ++Injected.WritesFailed;
+  obs::add(obs::Counter::FaultWritesFailed);
   return true;
 }
 
@@ -114,6 +103,7 @@ bool FaultInjector::shouldFailRun(const std::string &Fingerprint,
   if (Runs % Cfg.FailEveryNthRun != 0)
     return false;
   ++Injected.RunsFailed;
+  obs::add(obs::Counter::FaultRunsFailed);
   Error = formatString("injected fault (run %llu)",
                        static_cast<unsigned long long>(Runs));
   return true;

@@ -4,6 +4,7 @@
 
 #include "driver/FaultInjector.h"
 #include "driver/OutcomeIO.h"
+#include "obs/Obs.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +34,7 @@ OutcomePtr RunCache::lookup(const RunKey &Key) {
     auto It = Memory.find(Key.Fingerprint);
     if (It != Memory.end()) {
       ++Counts.MemoryHits;
+      obs::add(obs::Counter::CacheMemoryHits);
       return It->second;
     }
   }
@@ -46,6 +48,7 @@ OutcomePtr RunCache::lookup(const RunKey &Key) {
       auto Outcome = std::make_shared<prof::RunOutcome>();
       DecodeStatus Status = decodeOutcome(Bytes, Key.Fingerprint, *Outcome);
       if (Status == DecodeStatus::Ok) {
+        obs::add(obs::Counter::CacheDiskHits);
         std::lock_guard<std::mutex> Lock(Mu);
         ++Counts.DiskHits;
         // Another thread may have raced the file read; first one wins so
@@ -57,12 +60,14 @@ OutcomePtr RunCache::lookup(const RunKey &Key) {
       // write, bit rot, collision): count it, drop it so the re-executed
       // run can store a fresh copy, and fall through to a miss.
       std::remove(Path.c_str());
+      obs::add(obs::Counter::CacheCorruptEvictions);
       std::lock_guard<std::mutex> Lock(Mu);
       ++Counts.DecodeFailures;
       ++Counts.DecodeFailuresBy[static_cast<unsigned>(Status)];
     }
   }
 
+  obs::add(obs::Counter::CacheMisses);
   std::lock_guard<std::mutex> Lock(Mu);
   ++Counts.Misses;
   return nullptr;
@@ -76,6 +81,7 @@ void RunCache::insert(const RunKey &Key, const OutcomePtr &Outcome) {
     if (!Memory.emplace(Key.Fingerprint, Outcome).second)
       return; // already memoized (and, if configured, already on disk)
     ++Counts.Stores;
+    obs::add(obs::Counter::CacheStores);
   }
 
   // Failed runs stay memory-only: persisting them would make a transient
@@ -84,6 +90,7 @@ void RunCache::insert(const RunKey &Key, const OutcomePtr &Outcome) {
   if (DiskDir.empty() || !Outcome->Result.Ok)
     return;
   if (FaultInjector::instance().shouldFailCacheWrite()) {
+    obs::add(obs::Counter::CacheWriteFailures);
     std::lock_guard<std::mutex> Lock(Mu);
     ++Counts.WriteFailures;
     return;
@@ -109,6 +116,7 @@ void RunCache::insert(const RunKey &Key, const OutcomePtr &Outcome) {
   // Cache directory not writable or short write; the memory layer still
   // works, so degrade to uncached-on-disk instead of failing the run.
   std::remove(Temp.c_str());
+  obs::add(obs::Counter::CacheWriteFailures);
   std::lock_guard<std::mutex> Lock(Mu);
   ++Counts.WriteFailures;
 }

@@ -4,7 +4,11 @@
 
 #include "driver/FaultInjector.h"
 #include "driver/RunCache.h"
+#include "hw/Event.h"
+#include "obs/Obs.h"
+#include "prof/Mode.h"
 #include "profdb/Store.h"
+#include "support/Env.h"
 #include "support/Format.h"
 #include "workloads/Spec.h"
 
@@ -18,29 +22,34 @@ using namespace pp;
 using namespace pp::driver;
 
 unsigned RunScheduler::defaultWorkerThreads() {
-  const char *Serial = std::getenv("PP_DRIVER_SERIAL");
-  if (Serial && Serial[0] == '1')
+  if (envFlag("PP_DRIVER_SERIAL"))
     return 0;
   unsigned Hardware = std::thread::hardware_concurrency();
   unsigned Default = std::clamp(Hardware ? Hardware : 4u, 4u, 16u);
-  if (const char *Threads = std::getenv("PP_DRIVER_THREADS")) {
-    uint64_t Value;
-    if (!parseUint64(Threads, Value)) {
-      // A typo must not silently drop the suite into serial mode (atol
-      // would read "max" as 0); warn and keep the hardware default.
-      std::fprintf(stderr,
-                   "pp-driver: warning: ignoring non-numeric "
-                   "PP_DRIVER_THREADS='%s'; using %u threads\n",
-                   Threads, Default);
-      return Default;
-    }
+  uint64_t Value;
+  switch (envUint64("PP_DRIVER_THREADS", "pp-driver", Value)) {
+  case EnvParse::Ok:
     return static_cast<unsigned>(std::min<uint64_t>(Value, 64));
+  case EnvParse::Malformed:
+    // A typo must not silently drop the suite into serial mode (atol
+    // would read "max" as 0); the shared helper warned, keep the
+    // hardware default.
+    std::fprintf(stderr, "pp-driver: using %u threads\n", Default);
+    return Default;
+  case EnvParse::Unset:
+    break;
   }
   return Default;
 }
 
 RunScheduler::RunScheduler(RunCache *Cache, unsigned Threads)
     : Cache(Cache), ProfileOutDir(profdb::profileOutDirFromEnv()) {
+  // Touch the obs collector before spawning any worker: function-local
+  // statics are destroyed in reverse construction order, so this
+  // guarantees the collector outlives a static Driver — its destructor
+  // (which joins the workers) runs before the collector flushes the
+  // report, and no worker can append to a destroyed ring buffer.
+  (void)obs::enabled();
   Workers.reserve(Threads);
   for (unsigned Index = 0; Index != Threads; ++Index)
     Workers.emplace_back([this] { workerLoop(); });
@@ -60,10 +69,12 @@ size_t RunScheduler::submit(RunPlan Plan) {
   RunKey Key = RunKey::of(Plan);
   std::lock_guard<std::mutex> Lock(Mu);
 
+  obs::add(obs::Counter::SchedulerSubmitted);
   size_t TaskIndex;
   auto Folded = Key.Cacheable ? TaskOfKey.find(Key.Fingerprint)
                               : TaskOfKey.end();
   if (Folded != TaskOfKey.end()) {
+    obs::add(obs::Counter::SchedulerFolded);
     TaskIndex = Folded->second;
   } else {
     TaskIndex = Tasks.size();
@@ -73,6 +84,8 @@ size_t RunScheduler::submit(RunPlan Plan) {
     Tasks.push_back(std::move(T));
     if (Tasks.back()->Key.Cacheable)
       TaskOfKey.emplace(Tasks.back()->Key.Fingerprint, TaskIndex);
+    obs::gauge("scheduler.queue_depth",
+               static_cast<int64_t>(Tasks.size() - NextUnclaimed));
     WorkReady.notify_one();
   }
 
@@ -124,6 +137,9 @@ void RunScheduler::setProfileOutDir(std::string Dir) {
 }
 
 void RunScheduler::workerLoop() {
+  // Per-worker run tally; a trace-only gauge (the sample lands in this
+  // worker's trace lane), never part of the deterministic report.
+  uint64_t WorkerRuns = 0;
   for (;;) {
     Task *Claimed;
     {
@@ -137,8 +153,11 @@ void RunScheduler::workerLoop() {
         return; // shutting down with no work left
       Claimed = Tasks[NextUnclaimed++].get();
       Claimed->Claimed = true;
+      obs::gauge("scheduler.queue_depth",
+                 static_cast<int64_t>(Tasks.size() - NextUnclaimed));
     }
     executeTask(*Claimed);
+    obs::gauge("scheduler.worker_runs", static_cast<int64_t>(++WorkerRuns));
   }
 }
 
@@ -147,6 +166,8 @@ void RunScheduler::executeTask(Task &T) {
   // so the plan and key are safe to read without the lock. (The Tasks
   // vector itself is not: submit() may be reallocating it concurrently.)
   OutcomePtr Outcome = executePlan(T.Plan, T.Key);
+  if (!Outcome || !Outcome->Result.Ok)
+    obs::add(obs::Counter::SchedulerFailed);
   {
     std::lock_guard<std::mutex> Lock(Mu);
     if (!Outcome || !Outcome->Result.Ok)
@@ -189,6 +210,9 @@ void RunScheduler::maybeEmitArtifact(const RunPlan &Plan, const RunKey &Key,
                  Plan.Workload.c_str());
     return;
   }
+  obs::SpanScope Deposit("driver", "artifact_deposit",
+                         Plan.Workload + "@" + std::to_string(Plan.Scale) +
+                             "/" + prof::modeName(Plan.Options.Config.M));
   profdb::Artifact A = profdb::artifactFromOutcome(
       *Outcome, *M, Key.Fingerprint, Plan.Workload,
       static_cast<uint64_t>(Plan.Scale), Plan.Options.Config);
@@ -200,11 +224,18 @@ void RunScheduler::maybeEmitArtifact(const RunPlan &Plan, const RunKey &Key,
 }
 
 OutcomePtr RunScheduler::executePlan(const RunPlan &Plan, const RunKey &Key) {
-  if (Cache)
+  // One span label per run, shared by all of its stage spans, so the
+  // report aggregates by run identity: "workload@scale/mode".
+  std::string Label = Plan.Workload + "@" + std::to_string(Plan.Scale) +
+                      "/" + prof::modeName(Plan.Options.Config.M);
+
+  if (Cache) {
+    obs::SpanScope Probe("driver", "cache_probe", Label);
     if (OutcomePtr Hit = Cache->lookup(Key)) {
       maybeEmitArtifact(Plan, Key, Hit);
       return Hit;
     }
+  }
 
   // One bad run degrades one result, never the suite: failures come back
   // as structured outcomes (Ok = false, Error set) that are not cached,
@@ -214,17 +245,35 @@ OutcomePtr RunScheduler::executePlan(const RunPlan &Plan, const RunKey &Key) {
                                               InjectedError))
     return failedOutcome(std::move(InjectedError));
 
-  std::unique_ptr<ir::Module> M =
-      Plan.Build ? Plan.Build()
-                 : workloads::buildWorkload(Plan.Workload, Plan.Scale);
+  std::unique_ptr<ir::Module> M;
+  {
+    obs::SpanScope Build("driver", "build", Label);
+    M = Plan.Build ? Plan.Build()
+                   : workloads::buildWorkload(Plan.Workload, Plan.Scale);
+  }
   if (!M)
     return failedOutcome("unknown workload '" + Plan.Workload + "'");
 
   prof::RunStager Stager(*M, Plan.Options);
-  Stager.instrument();
-  Stager.load();
-  Stager.execute();
-  auto Outcome = std::make_shared<prof::RunOutcome>(Stager.extract());
+  {
+    obs::SpanScope S("driver", "instrument", Label);
+    Stager.instrument();
+  }
+  {
+    obs::SpanScope S("driver", "load", Label);
+    Stager.load();
+  }
+  OutcomePtr Outcome;
+  {
+    // Work = the run's simulated cycle total: deterministic for a given
+    // plan, and the dominant cost of the stage — it becomes the span's
+    // share of virtual time in the report.
+    obs::SpanScope S("driver", "execute", Label);
+    Stager.execute();
+    Outcome = std::make_shared<prof::RunOutcome>(Stager.extract());
+    S.setWork(Outcome->total(hw::Event::Cycles));
+  }
+  obs::add(obs::Counter::SchedulerExecuted);
   {
     std::lock_guard<std::mutex> Lock(Mu);
     ++Executed;

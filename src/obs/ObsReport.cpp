@@ -1,0 +1,361 @@
+//===- obs/ObsReport.cpp - Reading and diffing obs run reports ----------------===//
+
+#include "obs/ObsReport.h"
+
+#include "support/Format.h"
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+using namespace pp;
+using namespace pp::obs;
+
+namespace {
+
+/// A minimal recursive-descent JSON reader, sufficient for (a superset
+/// of) what obs::renderJsonReport emits: objects, arrays, strings,
+/// unsigned integers, and the literals true/false/null. No floats, no
+/// \uXXXX beyond the control range the emitter writes.
+class JsonReader {
+public:
+  JsonReader(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool atEnd() {
+    skipSpace();
+    return Pos == Text.size();
+  }
+
+  bool enterObject() { return expect('{'); }
+  bool leaveObject() { return expect('}'); }
+  bool enterArray() { return expect('['); }
+
+  /// True when the next non-space char is \p C (consumed when matched).
+  bool accept(char C) {
+    skipSpace();
+    if (Pos != Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char C) {
+    if (accept(C))
+      return true;
+    fail(formatString("expected '%c'", C));
+    return false;
+  }
+
+  bool readString(std::string &Out) {
+    skipSpace();
+    if (!expect('"'))
+      return false;
+    Out.clear();
+    while (Pos != Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C == '\\') {
+        if (Pos == Text.size())
+          break;
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+        case '\\':
+        case '/':
+          Out += E;
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return fail("truncated \\u escape"), false;
+          unsigned Value = 0;
+          for (int Nibble = 0; Nibble != 4; ++Nibble) {
+            char H = Text[Pos++];
+            Value <<= 4;
+            if (H >= '0' && H <= '9')
+              Value |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Value |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Value |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("bad \\u escape"), false;
+          }
+          Out += static_cast<char>(Value & 0x7f);
+          break;
+        }
+        default:
+          return fail("unknown escape"), false;
+        }
+        continue;
+      }
+      Out += C;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool readUint(uint64_t &Out) {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos != Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == Start) {
+      fail("expected a number");
+      return false;
+    }
+    return parseUint64(Text.substr(Start, Pos - Start).c_str(), Out) ||
+           (fail("number out of range"), false);
+  }
+
+  void fail(const std::string &Why) {
+    if (Error.empty())
+      Error = formatString("at byte %zu: %s", Pos, Why.c_str());
+  }
+
+private:
+  void skipSpace() {
+    while (Pos != Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+std::string spanKey(const ObsReport::Span &S) {
+  return S.Cat + "/" + S.Name + (S.Label.empty() ? "" : " " + S.Label);
+}
+
+} // namespace
+
+bool obs::parseObsReport(const std::string &Json, ObsReport &Out,
+                         std::string &Error) {
+  Error.clear();
+  Out = ObsReport();
+  JsonReader R(Json, Error);
+  if (!R.enterObject())
+    return false;
+  bool FirstKey = true;
+  while (!R.accept('}')) {
+    if (!FirstKey && !R.expect(','))
+      return false;
+    FirstKey = false;
+    std::string Key;
+    if (!R.readString(Key) || !R.expect(':'))
+      return false;
+    if (Key == "pp_obs_version") {
+      if (!R.readUint(Out.Version))
+        return false;
+    } else if (Key == "dropped_records") {
+      if (!R.readUint(Out.DroppedRecords))
+        return false;
+    } else if (Key == "counters") {
+      if (!R.enterObject())
+        return false;
+      bool First = true;
+      while (!R.accept('}')) {
+        if (!First && !R.expect(','))
+          return false;
+        First = false;
+        std::string Name;
+        uint64_t Value;
+        if (!R.readString(Name) || !R.expect(':') || !R.readUint(Value))
+          return false;
+        Out.Counters.emplace_back(std::move(Name), Value);
+      }
+    } else if (Key == "spans") {
+      if (!R.enterArray())
+        return false;
+      bool First = true;
+      while (!R.accept(']')) {
+        if (!First && !R.expect(','))
+          return false;
+        First = false;
+        if (!R.enterObject())
+          return false;
+        ObsReport::Span S;
+        bool FirstField = true;
+        while (!R.accept('}')) {
+          if (!FirstField && !R.expect(','))
+            return false;
+          FirstField = false;
+          std::string Field;
+          if (!R.readString(Field) || !R.expect(':'))
+            return false;
+          bool Ok = true;
+          if (Field == "cat")
+            Ok = R.readString(S.Cat);
+          else if (Field == "name")
+            Ok = R.readString(S.Name);
+          else if (Field == "label")
+            Ok = R.readString(S.Label);
+          else if (Field == "count")
+            Ok = R.readUint(S.Count);
+          else if (Field == "items")
+            Ok = R.readUint(S.Items);
+          else if (Field == "work")
+            Ok = R.readUint(S.Work);
+          else if (Field == "vt0")
+            Ok = R.readUint(S.Vt0);
+          else if (Field == "vt1")
+            Ok = R.readUint(S.Vt1);
+          else {
+            R.fail("unknown span field '" + Field + "'");
+            Ok = false;
+          }
+          if (!Ok)
+            return false;
+        }
+        Out.Spans.push_back(std::move(S));
+      }
+    } else {
+      R.fail("unknown top-level key '" + Key + "'");
+      return false;
+    }
+  }
+  if (Out.Version != 1) {
+    Error = formatString("unsupported pp_obs_version %llu",
+                         static_cast<unsigned long long>(Out.Version));
+    return false;
+  }
+  return R.atEnd() || (R.fail("trailing bytes after the report"), false);
+}
+
+bool obs::readObsReportFile(const std::string &Path, ObsReport &Out,
+                            std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  if (!parseObsReport(Buffer.str(), Out, Error)) {
+    Error = Path + ": " + Error;
+    return false;
+  }
+  return true;
+}
+
+std::string obs::renderObsReport(const ObsReport &R) {
+  std::string Out = formatString(
+      "obs report (version %llu, %llu dropped records)\n\n",
+      static_cast<unsigned long long>(R.Version),
+      static_cast<unsigned long long>(R.DroppedRecords));
+
+  TableWriter Counters;
+  Counters.setHeader({"Counter", "Value"});
+  for (const auto &[Name, Value] : R.Counters)
+    Counters.addRow({Name, std::to_string(Value)});
+  Out += Counters.render();
+  Out += "\n";
+
+  std::vector<const ObsReport::Span *> Sorted;
+  for (const ObsReport::Span &S : R.Spans)
+    Sorted.push_back(&S);
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const ObsReport::Span *A, const ObsReport::Span *B) {
+                     return A->Work > B->Work;
+                   });
+  TableWriter Spans;
+  Spans.setHeader({"Span", "Count", "Items", "Work", "VT"});
+  for (const ObsReport::Span *S : Sorted)
+    Spans.addRow({spanKey(*S), std::to_string(S->Count),
+                  std::to_string(S->Items), std::to_string(S->Work),
+                  formatString("[%llu, %llu)",
+                               static_cast<unsigned long long>(S->Vt0),
+                               static_cast<unsigned long long>(S->Vt1))});
+  Out += Spans.render();
+  return Out;
+}
+
+std::string obs::diffObsReports(const ObsReport &A, const ObsReport &B) {
+  std::string Out;
+
+  TableWriter Counters;
+  Counters.setHeader({"Counter", "A", "B", "Delta"});
+  std::map<std::string, uint64_t> CountersA(A.Counters.begin(),
+                                            A.Counters.end());
+  std::map<std::string, uint64_t> CountersB(B.Counters.begin(),
+                                            B.Counters.end());
+  auto SignedDelta = [](uint64_t From, uint64_t To) {
+    return To >= From ? formatString("+%llu", static_cast<unsigned long long>(
+                                                  To - From))
+                      : formatString("-%llu", static_cast<unsigned long long>(
+                                                  From - To));
+  };
+  for (const auto &[Name, ValueA] : CountersA) {
+    auto It = CountersB.find(Name);
+    uint64_t ValueB = It == CountersB.end() ? 0 : It->second;
+    if (ValueB != ValueA)
+      Counters.addRow({Name, std::to_string(ValueA),
+                       std::to_string(ValueB), SignedDelta(ValueA, ValueB)});
+  }
+  for (const auto &[Name, ValueB] : CountersB)
+    if (!CountersA.count(Name))
+      Counters.addRow({Name, "0", std::to_string(ValueB),
+                       SignedDelta(0, ValueB)});
+
+  using Key = std::tuple<std::string, std::string, std::string>;
+  std::map<Key, const ObsReport::Span *> SpansA, SpansB;
+  for (const ObsReport::Span &S : A.Spans)
+    SpansA[{S.Cat, S.Name, S.Label}] = &S;
+  for (const ObsReport::Span &S : B.Spans)
+    SpansB[{S.Cat, S.Name, S.Label}] = &S;
+  TableWriter Spans;
+  Spans.setHeader({"Span", "Count A", "Count B", "Work A", "Work B",
+                   "Work delta"});
+  ObsReport::Span Zero;
+  auto AddSpanRow = [&](const Key &K, const ObsReport::Span &SA,
+                        const ObsReport::Span &SB) {
+    if (SA.Count == SB.Count && SA.Work == SB.Work)
+      return;
+    ObsReport::Span Named;
+    Named.Cat = std::get<0>(K);
+    Named.Name = std::get<1>(K);
+    Named.Label = std::get<2>(K);
+    Spans.addRow({spanKey(Named), std::to_string(SA.Count),
+                  std::to_string(SB.Count), std::to_string(SA.Work),
+                  std::to_string(SB.Work), SignedDelta(SA.Work, SB.Work)});
+  };
+  for (const auto &[K, SA] : SpansA) {
+    auto It = SpansB.find(K);
+    AddSpanRow(K, *SA, It == SpansB.end() ? Zero : *It->second);
+  }
+  for (const auto &[K, SB] : SpansB)
+    if (!SpansA.count(K))
+      AddSpanRow(K, Zero, *SB);
+
+  if (!Counters.numRows() && !Spans.numRows())
+    return "no differences\n";
+  if (Counters.numRows()) {
+    Out += "counter deltas (B - A):\n";
+    Out += Counters.render();
+  }
+  if (Spans.numRows()) {
+    if (!Out.empty())
+      Out += "\n";
+    Out += "span deltas (B - A):\n";
+    Out += Spans.render();
+  }
+  return Out;
+}

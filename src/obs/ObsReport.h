@@ -1,0 +1,65 @@
+//===- obs/ObsReport.h - Reading and diffing obs run reports ---*- C++ -*-===//
+///
+/// \file
+/// The consumer side of the observability JSON report (obs/Obs.h):
+/// parsing a report file back into a structure, pretty-printing it as
+/// tables, and diffing two reports counter by counter and span by span —
+/// the workflow behind `pp-report obs a.json [b.json]`. Because reports
+/// are byte-stable for identical RunPlans, a non-empty diff is a real
+/// behaviour change (different work executed, different cache hit
+/// pattern), never schedule noise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_OBS_OBSREPORT_H
+#define PP_OBS_OBSREPORT_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pp {
+namespace obs {
+
+/// A parsed observability report.
+struct ObsReport {
+  uint64_t Version = 0;
+  uint64_t DroppedRecords = 0;
+  /// Counters in file (= enum) order.
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  struct Span {
+    std::string Cat;
+    std::string Name;
+    std::string Label;
+    uint64_t Count = 0;
+    uint64_t Items = 0;
+    uint64_t Work = 0;
+    uint64_t Vt0 = 0;
+    uint64_t Vt1 = 0;
+  };
+  std::vector<Span> Spans;
+};
+
+/// Parses \p Json (the bytes of a PP_OBS_OUT file). False + \p Error on
+/// malformed input.
+bool parseObsReport(const std::string &Json, ObsReport &Out,
+                    std::string &Error);
+
+/// Reads and parses the report file at \p Path.
+bool readObsReportFile(const std::string &Path, ObsReport &Out,
+                       std::string &Error);
+
+/// Pretty-prints one report: a counter table and a span table sorted by
+/// descending work.
+std::string renderObsReport(const ObsReport &R);
+
+/// Diffs two reports (B - A): counter deltas and per-span work/count
+/// deltas, omitting rows that did not change. Reports "no differences"
+/// when the reports agree.
+std::string diffObsReports(const ObsReport &A, const ObsReport &B);
+
+} // namespace obs
+} // namespace pp
+
+#endif // PP_OBS_OBSREPORT_H

@@ -42,9 +42,17 @@ public:
   }
   void onExitFunction(const ir::Function &F) override {
     maybeSample();
-    Stack.pop_back();
+    // A non-local return (longjmp, possibly out of a signal handler) may
+    // have unwound frames this tracer never saw entered — e.g. when it
+    // was attached after frames existed. An unmatched exit must not
+    // underflow the shadow stack (pop_back on empty is UB); drop it.
+    if (!Stack.empty())
+      Stack.pop_back();
   }
-  void onUnwindFunction(const ir::Function &F) override { Stack.pop_back(); }
+  void onUnwindFunction(const ir::Function &F) override {
+    if (!Stack.empty())
+      Stack.pop_back();
+  }
   void onEdgeTaken(const ir::BasicBlock &From, int SuccIndex) override {
     maybeSample();
   }
@@ -63,12 +71,7 @@ public:
 
   /// Distinct contexts observed (for comparing against the CCT's record
   /// count, which is the *complete* set).
-  size_t numDistinctContexts() const {
-    std::map<std::vector<uint32_t>, uint64_t> Distinct;
-    for (const std::vector<uint32_t> &Sample : Samples)
-      ++Distinct[Sample];
-    return Distinct.size();
-  }
+  size_t numDistinctContexts() const { return histogram().size(); }
 
   /// Sample count per context, aggregated.
   std::map<std::vector<uint32_t>, uint64_t> histogram() const {

@@ -3,6 +3,7 @@
 #include "profdb/Artifact.h"
 
 #include "cct/ImageIO.h"
+#include "obs/Obs.h"
 #include "ir/Module.h"
 #include "support/BinaryIO.h"
 #include "support/Checksum.h"
@@ -101,11 +102,13 @@ std::vector<uint8_t> profdb::encodeArtifact(const Artifact &A) {
   uint32_t Crc = crc32(W.Bytes.data(), W.Bytes.size());
   for (unsigned Index = 0; Index != 4; ++Index)
     W.u8(static_cast<uint8_t>(Crc >> (8 * Index)));
+  obs::add(obs::Counter::ProfDbBytesEncoded, W.Bytes.size());
   return std::move(W.Bytes);
 }
 
 DecodeStatus profdb::decodeArtifact(const std::vector<uint8_t> &Bytes,
                                     Artifact &Out) {
+  obs::add(obs::Counter::ProfDbBytesDecoded, Bytes.size());
   // Fixed header (magic + version + fingerprint length) plus CRC trailer.
   if (Bytes.size() < 3 * 8 + 4)
     return DecodeStatus::TooShort;

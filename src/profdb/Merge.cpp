@@ -2,6 +2,8 @@
 
 #include "profdb/Merge.h"
 
+#include "obs/Obs.h"
+#include "support/Env.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -15,25 +17,18 @@ using namespace pp;
 using namespace pp::profdb;
 
 unsigned profdb::mergeThreadsFromEnv() {
-  if (const char *Threads = std::getenv("PP_PROFDB_THREADS")) {
-    uint64_t Value;
-    if (parseUint64(Threads, Value))
-      return static_cast<unsigned>(
-          std::max<uint64_t>(1, std::min<uint64_t>(Value, 64)));
-    std::fprintf(stderr,
-                 "pp-profdb: warning: ignoring non-numeric "
-                 "PP_PROFDB_THREADS='%s'\n",
-                 Threads);
-  }
-  const char *Serial = std::getenv("PP_DRIVER_SERIAL");
-  if (Serial && Serial[0] == '1')
+  uint64_t Value;
+  if (envUint64("PP_PROFDB_THREADS", "pp-profdb", Value) == EnvParse::Ok)
+    return static_cast<unsigned>(
+        std::max<uint64_t>(1, std::min<uint64_t>(Value, 64)));
+  if (envFlag("PP_DRIVER_SERIAL"))
     return 1;
-  if (const char *Threads = std::getenv("PP_DRIVER_THREADS")) {
-    uint64_t Value;
-    if (parseUint64(Threads, Value))
-      return static_cast<unsigned>(
-          std::max<uint64_t>(1, std::min<uint64_t>(Value, 64)));
-  }
+  // The driver fallback parses just as strictly: a malformed
+  // PP_DRIVER_THREADS used to be skipped silently here while the
+  // scheduler warned about the same variable — now both warn.
+  if (envUint64("PP_DRIVER_THREADS", "pp-profdb", Value) == EnvParse::Ok)
+    return static_cast<unsigned>(
+        std::max<uint64_t>(1, std::min<uint64_t>(Value, 64)));
   unsigned Hardware = std::thread::hardware_concurrency();
   return std::clamp(Hardware ? Hardware : 4u, 4u, 16u);
 }
@@ -416,8 +411,18 @@ bool profdb::mergeAll(std::vector<Artifact> Shards, Artifact &Out,
     Error = "no artifacts to merge";
     return false;
   }
+  unsigned Wave = 0;
   while (Shards.size() > 1) {
     size_t Pairs = Shards.size() / 2;
+    // One span per reduction wave; work = runs folded this wave, which
+    // depends only on the shard list, never on Threads.
+    obs::SpanScope WaveSpan("profdb", "merge_wave",
+                            "wave" + std::to_string(Wave++), 0, Pairs);
+    uint64_t WaveRuns = 0;
+    for (size_t Pair = 0; Pair != Pairs; ++Pair)
+      WaveRuns += Shards[2 * Pair].RunCount + Shards[2 * Pair + 1].RunCount;
+    WaveSpan.setWork(WaveRuns);
+    obs::add(obs::Counter::ProfDbMerges, Pairs);
     std::vector<Artifact> Next(Pairs + Shards.size() % 2);
     std::vector<std::string> Errors(Pairs);
     std::vector<uint8_t> Failed(Pairs, 0);

@@ -4,6 +4,7 @@
 
 #include "vm/Predecoder.h"
 
+#include "obs/Obs.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
@@ -55,7 +56,14 @@ Vm::Vm(ir::Module &M, hw::Machine &Machine) : M(M), Machine(Machine) {
 Vm::~Vm() = default;
 
 RunResult Vm::run() {
-  return Eng == Engine::Threaded ? runThreaded() : runReference();
+  RunResult Result =
+      Eng == Engine::Threaded ? runThreaded() : runReference();
+  // One add per run, not per instruction: the dispatch loops stay
+  // untouched and the pipeline report still sees per-engine totals.
+  obs::add(Eng == Engine::Threaded ? obs::Counter::VmInstsThreaded
+                                   : obs::Counter::VmInstsReference,
+           Result.ExecutedInsts);
+  return Result;
 }
 
 void Vm::layout() {

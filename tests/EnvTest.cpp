@@ -1,0 +1,195 @@
+//===- tests/EnvTest.cpp - strict environment-knob parsing ---------------------===//
+//
+// Every numeric knob goes through support/Env.h's strict parser: a typo
+// like PP_DRIVER_THREADS=max must warn and fall back to the knob's
+// default, never silently parse as 0 (which would mean "serial" for
+// thread counts and "disarmed" for fault seams). These tests drive the
+// shared helpers and then each knob's consumer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/FaultInjector.h"
+#include "driver/RunScheduler.h"
+#include "profdb/Merge.h"
+#include "support/Env.h"
+
+#include "RandomProgram.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace pp;
+
+namespace {
+
+/// Sets (or unsets, for nullptr) an environment variable for one test and
+/// restores the previous state on destruction.
+class EnvGuard {
+public:
+  EnvGuard(const char *Name, const char *Value) : Name(Name) {
+    const char *Previous = std::getenv(Name);
+    Had = Previous != nullptr;
+    if (Previous)
+      Old = Previous;
+    if (Value)
+      ::setenv(Name, Value, 1);
+    else
+      ::unsetenv(Name);
+  }
+  ~EnvGuard() {
+    if (Had)
+      ::setenv(Name.c_str(), Old.c_str(), 1);
+    else
+      ::unsetenv(Name.c_str());
+  }
+
+private:
+  std::string Name;
+  std::string Old;
+  bool Had;
+};
+
+} // namespace
+
+TEST(Env, StrictUint64Parsing) {
+  struct Case {
+    const char *Text; // nullptr = unset
+    EnvParse Want;
+    uint64_t Value;
+  };
+  const Case Cases[] = {
+      {nullptr, EnvParse::Unset, 0},
+      {"", EnvParse::Unset, 0},
+      {"0", EnvParse::Ok, 0},
+      {"123", EnvParse::Ok, 123},
+      {"18446744073709551615", EnvParse::Ok, UINT64_MAX},
+      {"banana", EnvParse::Malformed, 0},
+      {"12x", EnvParse::Malformed, 0},
+      {"x12", EnvParse::Malformed, 0},
+      {" 5", EnvParse::Malformed, 0},
+      {"-1", EnvParse::Malformed, 0},
+      {"99999999999999999999", EnvParse::Malformed, 0}, // overflow
+  };
+  for (const Case &C : Cases) {
+    EnvGuard Guard("PP_ENV_TEST_KNOB", C.Text);
+    uint64_t Out = 777; // sentinel: must survive non-Ok outcomes
+    EXPECT_EQ(envUint64("PP_ENV_TEST_KNOB", "pp-tests", Out), C.Want)
+        << (C.Text ? C.Text : "<unset>");
+    EXPECT_EQ(Out, C.Want == EnvParse::Ok ? C.Value : 777u)
+        << (C.Text ? C.Text : "<unset>");
+  }
+}
+
+TEST(Env, Uint64OrKeepsTheDefaultOnBadInput) {
+  {
+    EnvGuard Guard("PP_ENV_TEST_KNOB", "42");
+    EXPECT_EQ(envUint64Or("PP_ENV_TEST_KNOB", "pp-tests", 7), 42u);
+  }
+  {
+    EnvGuard Guard("PP_ENV_TEST_KNOB", "banana");
+    EXPECT_EQ(envUint64Or("PP_ENV_TEST_KNOB", "pp-tests", 7), 7u);
+  }
+  {
+    EnvGuard Guard("PP_ENV_TEST_KNOB", nullptr);
+    EXPECT_EQ(envUint64Or("PP_ENV_TEST_KNOB", "pp-tests", 7), 7u);
+  }
+}
+
+TEST(Env, FlagChecksTheFirstCharacter) {
+  {
+    EnvGuard Guard("PP_ENV_TEST_FLAG", "1");
+    EXPECT_TRUE(envFlag("PP_ENV_TEST_FLAG"));
+  }
+  {
+    EnvGuard Guard("PP_ENV_TEST_FLAG", "0");
+    EXPECT_FALSE(envFlag("PP_ENV_TEST_FLAG"));
+  }
+  {
+    EnvGuard Guard("PP_ENV_TEST_FLAG", nullptr);
+    EXPECT_FALSE(envFlag("PP_ENV_TEST_FLAG"));
+  }
+}
+
+TEST(Env, DriverThreadsKnobRejectsNonNumeric) {
+  EnvGuard Serial("PP_DRIVER_SERIAL", nullptr);
+  {
+    EnvGuard Guard("PP_DRIVER_THREADS", "3");
+    EXPECT_EQ(driver::RunScheduler::defaultWorkerThreads(), 3u);
+  }
+  {
+    // The original bug: atol("max") == 0 silently dropped the whole suite
+    // into serial mode. Now: warn, keep the hardware default.
+    EnvGuard Guard("PP_DRIVER_THREADS", "max");
+    unsigned Threads = driver::RunScheduler::defaultWorkerThreads();
+    EXPECT_GE(Threads, 4u);
+    EXPECT_LE(Threads, 16u);
+  }
+  {
+    EnvGuard Guard("PP_DRIVER_THREADS", nullptr);
+    EnvGuard SerialOn("PP_DRIVER_SERIAL", "1");
+    EXPECT_EQ(driver::RunScheduler::defaultWorkerThreads(), 0u);
+  }
+}
+
+TEST(Env, ProfDbThreadsKnobRejectsNonNumeric) {
+  EnvGuard DriverThreads("PP_DRIVER_THREADS", nullptr);
+  {
+    EnvGuard Guard("PP_PROFDB_THREADS", "5");
+    EXPECT_EQ(profdb::mergeThreadsFromEnv(), 5u);
+  }
+  {
+    // Malformed merge-pool knob falls through to the next default, here
+    // PP_DRIVER_SERIAL=1 -> one merge thread.
+    EnvGuard Guard("PP_PROFDB_THREADS", "banana");
+    EnvGuard SerialOn("PP_DRIVER_SERIAL", "1");
+    EXPECT_EQ(profdb::mergeThreadsFromEnv(), 1u);
+  }
+  {
+    // And the driver-threads fallback is parsed just as strictly.
+    EnvGuard Guard("PP_PROFDB_THREADS", nullptr);
+    EnvGuard SerialOff("PP_DRIVER_SERIAL", nullptr);
+    EnvGuard Bad("PP_DRIVER_THREADS", "many");
+    unsigned Threads = profdb::mergeThreadsFromEnv();
+    EXPECT_GE(Threads, 4u);
+    EXPECT_LE(Threads, 16u);
+  }
+}
+
+TEST(Env, FaultKnobsRejectNonNumeric) {
+  EnvGuard Seed("PP_FAULT_SEED", nullptr);
+  {
+    EnvGuard Guard("PP_FAULT_READ_FLIP", "7");
+    EXPECT_EQ(driver::FaultInjector::configFromEnv().FlipEveryNthRead, 7u);
+  }
+  {
+    // A typo'd seam must stay disarmed (0 = never), with a warning,
+    // instead of arming at some accidental period.
+    EnvGuard Guard("PP_FAULT_READ_FLIP", "banana");
+    EXPECT_EQ(driver::FaultInjector::configFromEnv().FlipEveryNthRead, 0u);
+  }
+  {
+    EnvGuard Guard("PP_FAULT_SEED", "42");
+    EXPECT_EQ(driver::FaultInjector::configFromEnv().Seed, 42u);
+  }
+  {
+    EnvGuard Guard("PP_FAULT_SEED", "banana");
+    EXPECT_EQ(driver::FaultInjector::configFromEnv().Seed,
+              driver::FaultInjector::Config().Seed);
+  }
+}
+
+TEST(Env, CrossModeSeedsKnobRejectsNonNumeric) {
+  {
+    EnvGuard Guard("PP_CROSSMODE_SEEDS", "4");
+    EXPECT_EQ(testutil::seedCountFromEnv("PP_CROSSMODE_SEEDS", 6), 4u);
+  }
+  {
+    EnvGuard Guard("PP_CROSSMODE_SEEDS", "banana");
+    EXPECT_EQ(testutil::seedCountFromEnv("PP_CROSSMODE_SEEDS", 6), 6u);
+  }
+  {
+    // Zero seeds would run nothing; it reads as "use the default".
+    EnvGuard Guard("PP_CROSSMODE_SEEDS", "0");
+    EXPECT_EQ(testutil::seedCountFromEnv("PP_CROSSMODE_SEEDS", 6), 6u);
+  }
+}

@@ -1,0 +1,180 @@
+//===- tests/ObsTest.cpp - the pipeline's self-observability layer -------------===//
+//
+// The contract under test is the determinism split: the JSON run report
+// must be byte-identical for identical RunPlans whatever the worker-pool
+// size (counters are schedule-independent sums, spans aggregate by
+// identity, timestamps are virtual), while the Chrome trace carries the
+// host-time, per-thread data the report deliberately excludes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/RunCache.h"
+#include "driver/RunScheduler.h"
+#include "obs/Obs.h"
+#include "obs/ObsReport.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+
+namespace {
+
+driver::RunPlan makePlan(const char *Workload, prof::Mode M) {
+  driver::RunPlan Plan;
+  Plan.Workload = Workload;
+  Plan.Scale = 1;
+  Plan.Options.Config.M = M;
+  // Pin the engine: the report records per-engine instruction totals, and
+  // the test must not depend on an inherited PP_VM_ENGINE.
+  Plan.Options.Engine = vm::Engine::Threaded;
+  return Plan;
+}
+
+/// Executes a fixed plan set (three workloads, three modes each, plus one
+/// duplicate submission) on a fresh cache and a pool of \p Threads
+/// workers, and returns the JSON report of exactly that work.
+std::string runSuiteReport(unsigned Threads) {
+  obs::resetForTesting();
+  {
+    driver::RunCache Cache("");
+    driver::RunScheduler Sched(&Cache, Threads);
+    std::vector<size_t> Tickets;
+    for (const char *Workload : {"130.li", "129.compress", "102.swim"})
+      for (prof::Mode M :
+           {prof::Mode::None, prof::Mode::FlowHw, prof::Mode::ContextFlow})
+        Tickets.push_back(Sched.submit(makePlan(Workload, M)));
+    Tickets.push_back(Sched.submit(makePlan("130.li", prof::Mode::FlowHw)));
+    for (size_t Ticket : Tickets) {
+      driver::OutcomePtr Outcome = Sched.get(Ticket);
+      EXPECT_TRUE(Outcome && Outcome->Result.Ok);
+    }
+  }
+  return obs::renderJsonReport();
+}
+
+} // namespace
+
+TEST(Obs, ReportByteIdenticalAcrossThreadCounts) {
+  std::string Serial = runSuiteReport(0);
+  EXPECT_EQ(Serial, runSuiteReport(1));
+  EXPECT_EQ(Serial, runSuiteReport(4));
+  EXPECT_EQ(Serial, runSuiteReport(13));
+  // And across repeated runs of the same plan at the same pool size.
+  EXPECT_EQ(Serial, runSuiteReport(4));
+}
+
+TEST(Obs, CountersAreExactForAKnownPlanSet) {
+  obs::resetForTesting();
+  driver::RunCache Cache("");
+  {
+    driver::RunScheduler Sched(&Cache, 0);
+    size_t A = Sched.submit(makePlan("130.li", prof::Mode::FlowHw));
+    size_t B = Sched.submit(makePlan("130.li", prof::Mode::FlowHw));
+    size_t C = Sched.submit(makePlan("129.compress", prof::Mode::None));
+    for (size_t Ticket : {A, B, C}) {
+      driver::OutcomePtr Outcome = Sched.get(Ticket);
+      ASSERT_TRUE(Outcome && Outcome->Result.Ok);
+    }
+    using obs::Counter;
+    EXPECT_EQ(obs::counterValue(Counter::SchedulerSubmitted), 3u);
+    EXPECT_EQ(obs::counterValue(Counter::SchedulerFolded), 1u);
+    EXPECT_EQ(obs::counterValue(Counter::SchedulerExecuted), 2u);
+    EXPECT_EQ(obs::counterValue(Counter::SchedulerFailed), 0u);
+    EXPECT_EQ(obs::counterValue(Counter::CacheMisses), 2u);
+    EXPECT_EQ(obs::counterValue(Counter::CacheStores), 2u);
+    EXPECT_EQ(obs::counterValue(Counter::CacheMemoryHits), 0u);
+  }
+  // A second scheduler sharing the cache resolves the same plan from
+  // memory: one hit, nothing new executed.
+  {
+    driver::RunScheduler Sched(&Cache, 0);
+    driver::OutcomePtr Outcome =
+        Sched.get(Sched.submit(makePlan("130.li", prof::Mode::FlowHw)));
+    ASSERT_TRUE(Outcome && Outcome->Result.Ok);
+  }
+  EXPECT_EQ(obs::counterValue(obs::Counter::CacheMemoryHits), 1u);
+  EXPECT_EQ(obs::counterValue(obs::Counter::SchedulerExecuted), 2u);
+}
+
+TEST(Obs, VmCounterMatchesExecutedInstructions) {
+  obs::resetForTesting();
+  driver::RunCache Cache("");
+  driver::RunScheduler Sched(&Cache, 0);
+  driver::OutcomePtr Outcome =
+      Sched.get(Sched.submit(makePlan("129.compress", prof::Mode::FlowHw)));
+  ASSERT_TRUE(Outcome && Outcome->Result.Ok);
+  EXPECT_EQ(obs::counterValue(obs::Counter::VmInstsThreaded),
+            Outcome->Result.ExecutedInsts);
+  EXPECT_EQ(obs::counterValue(obs::Counter::VmInstsReference), 0u);
+}
+
+TEST(Obs, FailedRunsAreCounted) {
+  obs::resetForTesting();
+  driver::RunScheduler Sched(nullptr, 0);
+  driver::OutcomePtr Outcome =
+      Sched.get(Sched.submit(makePlan("no-such-workload", prof::Mode::None)));
+  ASSERT_TRUE(Outcome);
+  EXPECT_FALSE(Outcome->Result.Ok);
+  EXPECT_EQ(obs::counterValue(obs::Counter::SchedulerFailed), 1u);
+  EXPECT_EQ(obs::counterValue(obs::Counter::SchedulerExecuted), 0u);
+}
+
+TEST(Obs, DisabledCollectorRecordsNothing) {
+  obs::resetForTesting();
+  obs::setEnabled(false);
+  {
+    driver::RunCache Cache("");
+    driver::RunScheduler Sched(&Cache, 0);
+    driver::OutcomePtr Outcome =
+        Sched.get(Sched.submit(makePlan("129.compress", prof::Mode::None)));
+    ASSERT_TRUE(Outcome && Outcome->Result.Ok);
+  }
+  obs::setEnabled(true);
+  for (unsigned Index = 0;
+       Index != static_cast<unsigned>(obs::Counter::NumCounters); ++Index)
+    EXPECT_EQ(obs::counterValue(static_cast<obs::Counter>(Index)), 0u)
+        << obs::counterName(static_cast<obs::Counter>(Index));
+  obs::ObsReport R;
+  std::string Error;
+  ASSERT_TRUE(obs::parseObsReport(obs::renderJsonReport(), R, Error))
+      << Error;
+  EXPECT_TRUE(R.Spans.empty());
+}
+
+TEST(Obs, ReportParsesAndVirtualTimeIsContiguous) {
+  std::string Json = runSuiteReport(4);
+  obs::ObsReport R;
+  std::string Error;
+  ASSERT_TRUE(obs::parseObsReport(Json, R, Error)) << Error;
+  EXPECT_EQ(R.Version, 1u);
+  EXPECT_EQ(R.DroppedRecords, 0u);
+  EXPECT_EQ(R.Counters.size(),
+            static_cast<size_t>(obs::Counter::NumCounters));
+  ASSERT_FALSE(R.Spans.empty());
+
+  // Gauges are host-time data; they must never leak into the report.
+  EXPECT_EQ(Json.find("queue_depth"), std::string::npos);
+
+  // Virtual time lays the aggregated spans end to end: each interval is
+  // exactly the span's work, and the timeline has no gaps.
+  uint64_t Cursor = 0;
+  for (const obs::ObsReport::Span &S : R.Spans) {
+    EXPECT_EQ(S.Vt0, Cursor);
+    EXPECT_EQ(S.Vt1, S.Vt0 + S.Work);
+    Cursor = S.Vt1;
+  }
+
+  EXPECT_EQ(obs::diffObsReports(R, R), "no differences\n");
+  std::string Rendered = obs::renderObsReport(R);
+  EXPECT_NE(Rendered.find("scheduler.submitted"), std::string::npos);
+  EXPECT_NE(Rendered.find("driver/execute"), std::string::npos);
+}
+
+TEST(Obs, ChromeTraceCarriesGaugesAndSpans) {
+  runSuiteReport(2);
+  std::string Trace = obs::renderChromeTrace();
+  EXPECT_NE(Trace.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(Trace.find("scheduler.queue_depth"), std::string::npos);
+  EXPECT_NE(Trace.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(Trace.find("driver"), std::string::npos);
+}

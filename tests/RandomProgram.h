@@ -19,6 +19,7 @@
 
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
+#include "support/Env.h"
 #include "support/Prng.h"
 
 #include <cstdlib>
@@ -233,16 +234,12 @@ makeRandomProgram(uint64_t Seed, const RandomProgramOptions &Opts = {}) {
 }
 
 /// Seed-count knob shared by the parameterised suites: reads \p Var as a
-/// positive integer, falling back to \p Default when unset or malformed.
+/// positive integer, falling back to \p Default when unset; a malformed
+/// value (PP_CROSSMODE_SEEDS=lots) warns via the shared strict Env
+/// helper instead of silently shrinking the sweep.
 inline uint64_t seedCountFromEnv(const char *Var, uint64_t Default) {
-  const char *Env = std::getenv(Var);
-  if (!Env || !*Env)
-    return Default;
-  char *End = nullptr;
-  unsigned long long Value = std::strtoull(Env, &End, 10);
-  if (End == Env || *End != '\0' || Value == 0)
-    return Default;
-  return Value;
+  uint64_t Value = envUint64Or(Var, "pp-tests", Default);
+  return Value ? Value : Default;
 }
 
 } // namespace testutil

@@ -1,5 +1,7 @@
 //===- tests/SamplingTest.cpp - the §7.2 sampling baseline ---------------------===//
 
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
 #include "prof/SamplingProfiler.h"
 #include "prof/Session.h"
 #include "workloads/Examples.h"
@@ -106,4 +108,88 @@ TEST(Sampling, LogGrowsWhileCctStaysBounded) {
   prof::RunOutcome BigCtx = prof::runProfile(*Big, Options);
   EXPECT_EQ(SmallCtx.Tree->numRecords(), BigCtx.Tree->numRecords());
   EXPECT_EQ(SmallCtx.Tree->heapBytes(), BigCtx.Tree->heapBytes());
+}
+
+TEST(Sampling, UnmatchedExitAndUnwindDoNotUnderflow) {
+  // A tracer attached mid-execution (or a longjmp past frames it never
+  // saw entered) delivers exits with no matching enter. The shadow stack
+  // must absorb them instead of popping an empty vector (UB).
+  auto M = workloads::buildFig4Module();
+  const ir::Function &Main = *M->findFunction("main");
+  hw::Machine Machine;
+  prof::SamplingProfiler Sampler(Machine, 1000);
+
+  Sampler.onExitFunction(Main);   // unmatched: stack is empty
+  Sampler.onUnwindFunction(Main); // unmatched: still empty
+  EXPECT_EQ(Sampler.numDistinctContexts(), 0u);
+
+  Sampler.onEnterFunction(Main);
+  Sampler.onExitFunction(Main); // matched
+  Sampler.onExitFunction(Main); // unmatched again — still safe
+  Sampler.onUnwindFunction(Main);
+  EXPECT_EQ(Sampler.numSamples(), 0u); // interval never elapsed
+}
+
+TEST(Sampling, SurvivesLongjmpOutOfSignalHandler) {
+  // The end-to-end shape behind the guard: a signal handler longjmps back
+  // into main, unwinding handler/caller frames non-locally while the
+  // sampler's shadow stack tracks them. The run must finish and every
+  // sampled stack must still be rooted at main.
+  auto M = std::make_unique<ir::Module>();
+  ir::Function *Handler = M->addFunction("handler", 0);
+  {
+    ir::BasicBlock *Entry = Handler->addBlock("entry");
+    ir::BasicBlock *Jump = Handler->addBlock("jump");
+    ir::BasicBlock *Normal = Handler->addBlock("normal");
+    ir::IRBuilder IRB(Handler, Entry);
+    uint64_t FlagAddr = layout::GlobalBase;
+    ir::Reg Armed = IRB.loadAbs(static_cast<int64_t>(FlagAddr));
+    IRB.condBr(Armed, Jump, Normal);
+    IRB.setBlock(Jump);
+    ir::Reg V = IRB.movImm(123);
+    IRB.longjmp(4, V);
+    IRB.setBlock(Normal);
+    IRB.retImm(0);
+  }
+  ir::Function *Main = M->addFunction("main", 0);
+  {
+    ir::BasicBlock *Entry = Main->addBlock("entry");
+    ir::BasicBlock *First = Main->addBlock("first");
+    ir::BasicBlock *Spin = Main->addBlock("spin");
+    ir::BasicBlock *After = Main->addBlock("after");
+    ir::IRBuilder IRB(Main, Entry);
+    uint64_t FlagAddr = layout::GlobalBase;
+    ir::Reg One = IRB.movImm(1);
+    IRB.storeAbs(static_cast<int64_t>(FlagAddr), One); // arm the handler
+    ir::Reg Jumped = IRB.setjmp(4);
+    ir::Reg IsZero = IRB.cmpEqImm(Jumped, 0);
+    IRB.condBr(IsZero, First, After);
+    IRB.setBlock(First);
+    IRB.br(Spin);
+    IRB.setBlock(Spin);
+    IRB.br(Spin); // spin until the handler longjmps out
+    IRB.setBlock(After);
+    IRB.ret(Jumped);
+  }
+  M->setMain(Main);
+  ir::verifyModuleOrDie(*M);
+
+  hw::Machine Machine;
+  prof::SamplingProfiler Sampler(Machine, 25);
+  vm::Vm VM(*M, Machine);
+  VM.setTracer(&Sampler);
+  VM.setSignal(Handler, 50);
+  VM.setMaxInsts(1 << 20);
+  vm::RunResult Result = VM.run();
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_EQ(Result.ExitValue, 123u);
+  EXPECT_GT(VM.signalsDelivered(), 0u);
+
+  unsigned MainId = Main->id();
+  for (const std::vector<uint32_t> &Sample : Sampler.samples()) {
+    if (Sample.empty())
+      continue; // interrupt before main entered
+    EXPECT_EQ(Sample.front(), MainId);
+    EXPECT_LE(Sample.size(), 2u); // main, possibly the handler
+  }
 }

@@ -15,7 +15,8 @@ shift
 # cache reuse, worker-pool stats, fault injection, artifact emission.
 unset PP_VM_ENGINE PP_RUN_CACHE_DIR PP_DRIVER_STATS PP_DRIVER_SERIAL \
       PP_DRIVER_THREADS PP_FAULT_SEED PP_FAULT_RUN_FAIL_MATCH \
-      PP_PROFILE_OUT PP_PROFDB_THREADS 2>/dev/null
+      PP_PROFILE_OUT PP_PROFDB_THREADS \
+      PP_OBS PP_OBS_OUT PP_OBS_TRACE 2>/dev/null
 
 tmp="${TMPDIR:-/tmp}/golden.$$"
 "$@" > "$tmp"

@@ -9,8 +9,9 @@
 # usage: tools/check.sh [asan|tsan|all]   (default: asan)
 #
 # The ASan pass runs the full suite; the TSan pass runs the driver,
-# fault-injection, and profile-repository tests, which exercise every
-# concurrent component (worker pool, run cache, parallel artifact merge).
+# fault-injection, profile-repository, and observability tests, which
+# exercise every concurrent component (worker pool, run cache, parallel
+# artifact merge, per-thread obs ring buffers).
 
 set -e
 
@@ -28,9 +29,10 @@ run_tsan() {
   echo "== check.sh: thread-sanitizer pass ==" >&2
   cmake -B build-tsan -S . -DPP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target driver_test \
-        --target fault_injection_test --target profdb_test
+        --target fault_injection_test --target profdb_test \
+        --target obs_test
   (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-        -R 'DriverTest|RunKeyTest|OutcomeIOTest|SchedulerTest|Fault|ProfDb')
+        -R 'DriverTest|RunKeyTest|OutcomeIOTest|SchedulerTest|Fault|ProfDb|Obs')
 }
 
 case "$MODE" in

@@ -15,10 +15,13 @@
 //   pp-report top-procs --repo DIR          (Table 5)
 //   pp-report cct-stats [--collapsed=calls|pic0|pic1] <a.ppa...>
 //   pp-report cct-stats --repo DIR          (Table 3)
+//   pp-report obs <report.json>             (pretty-print an obs report)
+//   pp-report obs <a.json> <b.json>         (diff two obs reports)
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/HotPaths.h"
+#include "obs/ObsReport.h"
 #include "analysis/PaperTables.h"
 #include "analysis/SiteStats.h"
 #include "cct/Export.h"
@@ -55,6 +58,9 @@ void printUsage() {
       "  top-paths         hottest Ball-Larus paths by PIC1\n"
       "  top-procs         hottest procedures by PIC1\n"
       "  cct-stats         calling-context-tree statistics\n"
+      "  obs <a.json> [b.json]  pretty-print a pipeline observability\n"
+      "                    report (pp --obs-out / $PP_OBS_OUT), or diff\n"
+      "                    two of them (B - A)\n"
       "\n"
       "options:\n"
       "  --repo=<dir>      render the paper table (3/4/5 for cct-stats/\n"
@@ -247,6 +253,30 @@ int runMerge(const std::string &OutPath,
   return 0;
 }
 
+int runObs(const std::vector<std::string> &Inputs) {
+  if (Inputs.empty() || Inputs.size() > 2) {
+    std::fprintf(stderr, "pp-report: obs wants one or two report files\n");
+    return 1;
+  }
+  obs::ObsReport A;
+  std::string Error;
+  if (!obs::readObsReportFile(Inputs[0], A, Error)) {
+    std::fprintf(stderr, "pp-report: %s\n", Error.c_str());
+    return 1;
+  }
+  if (Inputs.size() == 1) {
+    std::printf("%s", obs::renderObsReport(A).c_str());
+    return 0;
+  }
+  obs::ObsReport B;
+  if (!obs::readObsReportFile(Inputs[1], B, Error)) {
+    std::fprintf(stderr, "pp-report: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("%s", obs::diffObsReports(A, B).c_str());
+  return 0;
+}
+
 int runDiff(const std::vector<std::string> &Inputs, size_t Limit) {
   if (Inputs.size() != 2) {
     std::fprintf(stderr, "pp-report: diff wants exactly two artifacts\n");
@@ -321,6 +351,8 @@ int main(int Argc, char **Argv) {
     return runMerge(OutPath, Inputs);
   if (Cmd == "diff")
     return runDiff(Inputs, Limit);
+  if (Cmd == "obs")
+    return runObs(Inputs);
 
   if (Cmd != "top-paths" && Cmd != "top-procs" && Cmd != "cct-stats") {
     std::fprintf(stderr, "pp-report: unknown command '%s'\n", Cmd.c_str());

@@ -14,6 +14,7 @@
 #include "cct/Export.h"
 #include "driver/Driver.h"
 #include "ir/Parser.h"
+#include "obs/Obs.h"
 #include "ir/Printer.h"
 #include "prof/Session.h"
 #include "support/Format.h"
@@ -46,6 +47,7 @@ struct Options {
   std::string CctFile;
   std::string SignalSpec;
   std::string ProfileOutDir;
+  std::string ObsOutFile;
 };
 
 void printUsage() {
@@ -73,6 +75,9 @@ void printUsage() {
       "  --cct-out=<file>  write the serialised CCT profile\n"
       "  --profile-out=<dir>  deposit a profile artifact per run into dir\n"
       "                    (overrides $PP_PROFILE_OUT; see pp-report)\n"
+      "  --obs-out=<file>  write the pipeline observability report as JSON\n"
+      "                    at exit (overrides $PP_OBS_OUT; see pp-report "
+      "obs)\n"
       "  --dump-ir         print the program and exit\n"
       "  --dump-instrumented  print the instrumented program and exit\n"
       "  --list-workloads  list the built-in SPEC95-shaped workloads\n");
@@ -164,6 +169,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.CctFile = V;
     } else if (const char *V = Value("--profile-out=")) {
       Opts.ProfileOutDir = V;
+    } else if (const char *V = Value("--obs-out=")) {
+      Opts.ObsOutFile = V;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "pp: unknown option '%s'\n", Arg.c_str());
       return false;
@@ -440,6 +447,8 @@ int main(int Argc, char **Argv) {
   driver::Driver &D = driver::defaultDriver();
   if (!Opts.ProfileOutDir.empty())
     D.scheduler().setProfileOutDir(Opts.ProfileOutDir);
+  if (!Opts.ObsOutFile.empty())
+    obs::setReportPath(Opts.ObsOutFile);
   size_t BaseTicket = D.submit(MakePlan(BaseSession));
   size_t RunTicket = D.submit(MakePlan(Session));
 

@@ -19,6 +19,11 @@
 #   PP_DRIVER_SERIAL=1 force serial in-order execution
 #   PP_DRIVER_STATS=1  per-binary scheduling/cache stats on stderr (set
 #                      below unless already set)
+#   PP_OBS=0           disable the observability collector entirely
+#
+# Each table binary also writes a pipeline observability report
+# (<output-dir>/<table>.obs.json; see pp-report obs) unless PP_OBS_OUT
+# is already set by the caller.
 
 set -e
 
@@ -59,9 +64,10 @@ mkdir -p "$LIVE_DIR"
 
 for table in table1_overhead table2_perturbation table3_cct_stats \
              table4_hot_paths table5_hot_procedures; do
-  "$BUILD_DIR/bench/$table" > "$LIVE_DIR/$table.txt"
+  PP_OBS_OUT=${PP_OBS_OUT:-$LIVE_DIR/$table.obs.json} \
+    "$BUILD_DIR/bench/$table" > "$LIVE_DIR/$table.txt"
   if [ -n "$OUT_DIR" ]; then
-    echo "wrote $OUT_DIR/$table.txt" >&2
+    echo "wrote $OUT_DIR/$table.txt (obs: $table.obs.json)" >&2
   else
     cat "$LIVE_DIR/$table.txt"
     echo
