@@ -7,18 +7,23 @@
 // bytes vs CCT heap bytes, contexts discovered vs contexts that exist,
 // and the stack frames walked.
 //
+// The sampler is the real overflow-sampling acquisition engine: PIC0 is
+// routed to Cycles and armed to trap every 2000 of them, so each sample
+// is a counter-overflow trap walking the shadow stack — the same
+// machinery `pp --acquisition=overflow` uses, not a bench-local stub.
+//
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
 
-#include "prof/SamplingProfiler.h"
+#include "prof/OverflowSampling.h"
 
 using namespace pp;
 using namespace pp::bench;
 
 int main() {
   std::printf("Ablation: call-path sampling (Goldberg/Hall, §7.2) vs the "
-              "CCT\n(sampling interval: 2000 simulated cycles)\n\n");
+              "CCT\n(overflow traps every 2000 simulated cycles)\n\n");
 
   TableWriter Table;
   Table.setHeader({"Benchmark", "Samples", "LogBytes", "CctBytes",
@@ -26,7 +31,7 @@ int main() {
   SuiteAverager Averager;
 
   // Declare the CCT runs first; workers overlap them with the sampling
-  // loop below (which drives its own tracer-attached VM serially).
+  // loop below (which drives its own engine-attached VM serially).
   const std::vector<workloads::WorkloadSpec> &Suite = workloads::spec95Suite();
   std::vector<size_t> Declared;
   for (const workloads::WorkloadSpec &Spec : Suite)
@@ -34,12 +39,22 @@ int main() {
 
   for (size_t Index = 0; Index != Suite.size(); ++Index) {
     const workloads::WorkloadSpec &Spec = Suite[Index];
-    // Sampling run: uninstrumented program + sampling tracer.
+    // Sampling run: pristine program + the overflow acquisition engine,
+    // standalone (construct, prepare, attach to a VM, run).
     auto Module = Spec.Build(1);
+    prof::ProfileConfig Config;
+    Config.M = prof::Mode::Context;
+    Config.Pic0 = hw::Event::Cycles;
+    prof::AcquisitionOptions Acq;
+    Acq.Kind = prof::Acquisition::Overflow;
+    Acq.Pic = 0;
+    Acq.Period = 2000;
+    prof::OverflowSampling Sampler(*Module, Config, Acq);
+    prof::Instrumented Instr = Sampler.prepare();
     hw::Machine Machine;
-    prof::SamplingProfiler Sampler(Machine, 2000);
-    vm::Vm VM(*Module, Machine);
-    VM.setTracer(&Sampler);
+    Machine.counters().selectPicEvents(Config.Pic0, Config.Pic1);
+    vm::Vm VM(*Instr.M, Machine);
+    Sampler.attach(Machine, VM, Instr);
     vm::RunResult Result = VM.run();
     if (!Result.Ok) {
       std::fprintf(stderr, "%s failed: %s\n", Spec.Name.c_str(),

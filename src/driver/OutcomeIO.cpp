@@ -15,7 +15,7 @@ using namespace pp::driver;
 namespace {
 
 constexpr uint64_t Magic = 0x5050524f; // "PPRO"
-constexpr uint64_t Version = 2;        // 2: CRC32 trailer appended
+constexpr uint64_t Version = 3;        // 2: CRC32 trailer; 3: acquisition stats
 
 // Minimum encoded sizes (bytes) of variable-count elements, used to bound
 // counts before allocation.
@@ -56,6 +56,10 @@ DecodeStatus decodePayload(ByteReader &R, prof::RunOutcome &Out) {
   for (uint64_t &Total : Out.Totals)
     if (!R.u64(Total))
       return DecodeStatus::Truncated;
+
+  if (!R.u64(Out.Acq.Traps) || !R.u64(Out.Acq.Samples) ||
+      !R.u64(Out.Acq.FramesWalked) || !R.u64(Out.Acq.LogBytes))
+    return DecodeStatus::Truncated;
 
   uint64_t NumPathProfiles;
   if (!R.count(NumPathProfiles, MinPathProfileBytes))
@@ -180,6 +184,11 @@ driver::serializeOutcome(const prof::RunOutcome &Outcome,
   W.u64(hw::NumEvents);
   for (uint64_t Total : Outcome.Totals)
     W.u64(Total);
+
+  W.u64(Outcome.Acq.Traps);
+  W.u64(Outcome.Acq.Samples);
+  W.u64(Outcome.Acq.FramesWalked);
+  W.u64(Outcome.Acq.LogBytes);
 
   W.u64(Outcome.PathProfiles.size());
   for (const prof::FunctionPathProfile &Profile : Outcome.PathProfiles) {

@@ -3,6 +3,7 @@
 #include "driver/RunKey.h"
 
 #include "hw/Event.h"
+#include "prof/Acquisition.h"
 #include "prof/Mode.h"
 #include "support/Format.h"
 
@@ -54,6 +55,17 @@ RunKey RunKey::of(const RunPlan &Plan) {
                     (unsigned long long)O.MaxInsts, O.SignalHandler.c_str(),
                     (unsigned long long)O.SignalInterval);
   F += formatString(";eng=%s", vm::engineName(O.Engine));
+  // The acquisition dimension. Appended only for non-exact runs so every
+  // pre-seam fingerprint — all of which were implicitly exact — keeps its
+  // exact byte string, hash, and cache file. The trap-delivery cost joins
+  // here rather than in the cost tuple for the same reason: it cannot
+  // affect an exact run.
+  if (O.Acq.Kind != prof::Acquisition::Exact)
+    F += formatString(";acq=%s:p%u:n%llu:s%llu:t%llu",
+                      prof::acquisitionName(O.Acq.Kind), O.Acq.Pic,
+                      (unsigned long long)O.Acq.Period,
+                      (unsigned long long)O.Acq.Seed,
+                      (unsigned long long)Cost.TrapDeliveryCycles);
   return Key;
 }
 

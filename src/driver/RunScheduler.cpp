@@ -6,6 +6,7 @@
 #include "driver/RunCache.h"
 #include "hw/Event.h"
 #include "obs/Obs.h"
+#include "prof/Acquisition.h"
 #include "prof/Mode.h"
 #include "profdb/Store.h"
 #include "support/Env.h"
@@ -215,7 +216,8 @@ void RunScheduler::maybeEmitArtifact(const RunPlan &Plan, const RunKey &Key,
                              "/" + prof::modeName(Plan.Options.Config.M));
   profdb::Artifact A = profdb::artifactFromOutcome(
       *Outcome, *M, Key.Fingerprint, Plan.Workload,
-      static_cast<uint64_t>(Plan.Scale), Plan.Options.Config);
+      static_cast<uint64_t>(Plan.Scale), Plan.Options.Config,
+      prof::acquisitionName(Plan.Options.Acq.Kind));
   std::string Error;
   if (!profdb::writeArtifactFile(Path, A, Error))
     std::fprintf(stderr,

@@ -35,6 +35,10 @@ struct CostModel {
   uint64_t StoreBufferDepth = 8;
   /// Cycles for one store-buffer entry to drain.
   uint64_t StoreDrainCycles = 2;
+  /// Cycles to deliver a counter-overflow trap (pipeline flush plus the
+  /// entry into the trap handler), charged once per trap like the
+  /// rdpic/wrpic costs are charged per instrumented access.
+  uint64_t TrapDeliveryCycles = 24;
 };
 
 } // namespace hw

@@ -42,6 +42,7 @@ public:
     Pic1Event = Pic1;
     Pic0Snap = total(Pic0Event);
     Pic1Snap = total(Pic1Event);
+    refreshTrapThreshold();
   }
 
   Event pic0Event() const { return Pic0Event; }
@@ -72,6 +73,7 @@ public:
     Pic1Base = static_cast<uint32_t>(Value >> 32);
     Pic0Snap = total(Pic0Event);
     Pic1Snap = total(Pic1Event);
+    refreshTrapThreshold();
   }
 
   void resetTotals() {
@@ -81,9 +83,64 @@ public:
     Totals.fill(0);
     Pic0Snap = 0;
     Pic1Snap = 0;
+    refreshTrapThreshold();
+  }
+
+  // --- Counter-overflow traps (the PCR.OVF programming the paper's §3
+  // machine exposes but its instrumentation never needed) -------------------
+
+  /// Arms an overflow trap on PIC \p Pic: the register is written to
+  /// 2^32 - Period, so after \p Period more occurrences of its event the
+  /// 32-bit value wraps past zero and a trap becomes pending. The VM
+  /// delivers pending traps at the next instruction boundary. Arming is a
+  /// privileged register write, not a new counting mechanism: the PIC
+  /// value really changes, exactly as wrpic would change it.
+  void armOverflowTrap(unsigned Pic, uint32_t Period) {
+    TrapPic = Pic;
+    TrapArmed = true;
+    uint32_t Start = static_cast<uint32_t>(0) - Period;
+    if (Pic == 0) {
+      Pic0Base = Start;
+      Pic0Snap = total(Pic0Event);
+    } else {
+      Pic1Base = Start;
+      Pic1Snap = total(Pic1Event);
+    }
+    refreshTrapThreshold();
+  }
+
+  /// Drops the armed trap (delivery does this implicitly; the handler
+  /// re-arms to keep sampling).
+  void disarmOverflowTrap() {
+    TrapArmed = false;
+    TrapThreshold = UINT64_MAX;
+  }
+
+  bool overflowArmed() const { return TrapArmed; }
+  unsigned overflowPic() const { return TrapPic; }
+  Event overflowEvent() const { return TrapPic == 0 ? Pic0Event : Pic1Event; }
+
+  /// True once the armed PIC has wrapped. One load and one compare — when
+  /// disarmed the threshold is UINT64_MAX, so the hot path needs no
+  /// separate armed flag.
+  PP_ALWAYS_INLINE bool overflowPending() const {
+    return Totals[TrapEventIdx] >= TrapThreshold;
   }
 
 private:
+  /// Re-derives the trap-fire point after anything that moves the armed
+  /// PIC's value or event: the trap fires when the register wraps, i.e.
+  /// after (2^32 - current value) more events.
+  void refreshTrapThreshold() {
+    if (!TrapArmed)
+      return;
+    Event E = TrapPic == 0 ? Pic0Event : Pic1Event;
+    uint32_t Cur = TrapPic == 0 ? pic0() : pic1();
+    uint64_t Remaining = (uint64_t(1) << 32) - Cur;
+    TrapEventIdx = static_cast<unsigned>(E);
+    TrapThreshold = total(E) + Remaining;
+  }
+
   uint32_t pic0() const {
     return static_cast<uint32_t>(Pic0Base + (total(Pic0Event) - Pic0Snap));
   }
@@ -100,6 +157,13 @@ private:
   /// ...and the observed event's total at that same moment.
   uint64_t Pic0Snap = 0;
   uint64_t Pic1Snap = 0;
+  /// Overflow-trap state: the armed PIC's event total at which the 32-bit
+  /// register wraps (UINT64_MAX while disarmed, so overflowPending() stays
+  /// a single compare), and which PIC/event is armed.
+  uint64_t TrapThreshold = UINT64_MAX;
+  unsigned TrapEventIdx = 0;
+  unsigned TrapPic = 0;
+  bool TrapArmed = false;
 };
 
 } // namespace hw

@@ -2,6 +2,8 @@
 
 #include "obs/Obs.h"
 
+#include "support/Env.h"
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -31,6 +33,7 @@ const char *const CounterNames[] = {
     "profdb.bytes_encoded",   "profdb.bytes_decoded",
     "profdb.merges",          "fault.reads_corrupted",
     "fault.writes_failed",    "fault.runs_failed",
+    "acq.traps_delivered",    "acq.samples_recorded",
 };
 static_assert(sizeof(CounterNames) / sizeof(CounterNames[0]) ==
                   static_cast<size_t>(Counter::NumCounters),
@@ -56,12 +59,19 @@ struct Record {
   bool IsGauge = false;
 };
 
+/// The env-configured ring capacity, read once at first buffer
+/// allocation (every buffer in a process has the same capacity).
+size_t cachedRingCapacity() {
+  static const size_t Cap = configuredRingCapacity();
+  return Cap;
+}
+
 /// A fixed-capacity single-writer ring. The owning thread appends with a
 /// release store of Count; any reader that loads Count with acquire sees
 /// every record below it fully written. Appends never lock and never
 /// block: a full ring counts the drop and moves on.
 struct ThreadBuffer {
-  static constexpr size_t Capacity = size_t(1) << 14;
+  const size_t Capacity = cachedRingCapacity();
   std::vector<Record> Ring{Capacity};
   std::atomic<size_t> Count{0};
   std::atomic<uint64_t> Dropped{0};
@@ -318,6 +328,18 @@ std::string Collector::renderTrace() {
 
 const char *obs::counterName(Counter C) {
   return CounterNames[static_cast<size_t>(C)];
+}
+
+size_t obs::configuredRingCapacity() {
+  uint64_t Cap =
+      envUint64Or("PP_OBS_RING_CAPACITY", "pp-obs", uint64_t(1) << 14);
+  // Below 64 records a ring cannot hold even one run's spans; above 2^20
+  // the report pass would allocate gigabytes across a wide worker pool.
+  if (Cap < 64)
+    Cap = 64;
+  if (Cap > (uint64_t(1) << 20))
+    Cap = uint64_t(1) << 20;
+  return static_cast<size_t>(Cap);
 }
 
 bool obs::enabled() {

@@ -76,6 +76,8 @@ enum class Counter : unsigned {
   FaultReadsCorrupted,   ///< fault-injector cache-read corruptions
   FaultWritesFailed,     ///< fault-injector cache-write failures
   FaultRunsFailed,       ///< fault-injector run failures
+  AcqTrapsDelivered,     ///< counter-overflow traps delivered to samplers
+  AcqSamplesRecorded,    ///< stack samples recorded by overflow sampling
   NumCounters
 };
 
@@ -142,6 +144,12 @@ void setReportPath(const std::string &Path);
 /// Where the Chrome trace is written at process exit ("" disables).
 /// Initialised from $PP_OBS_TRACE.
 void setTracePath(const std::string &Path);
+
+/// Per-thread ring capacity in records: $PP_OBS_RING_CAPACITY via the
+/// strict env path (support/Env.h), default 2^14, clamped to [64, 2^20].
+/// Re-reads the environment on every call so tests can exercise the
+/// parsing; the collector reads it once, at the first buffer allocation.
+size_t configuredRingCapacity();
 
 /// Drops every recorded span, gauge, and counter (tests only; callers
 /// must ensure no recording thread is running).

@@ -1,0 +1,216 @@
+//===- prof/Acquisition.cpp - How profiles are acquired ---------------------===//
+
+#include "prof/Acquisition.h"
+
+#include "cfg/Cfg.h"
+#include "prof/OverflowSampling.h"
+#include "prof/Runtime.h"
+#include "prof/Session.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pp;
+using namespace pp::prof;
+
+AcquisitionEngine::~AcquisitionEngine() = default;
+
+const char *prof::acquisitionName(Acquisition A) {
+  return A == Acquisition::Exact ? "exact" : "overflow";
+}
+
+bool prof::parseAcquisition(const std::string &Name, Acquisition &Out) {
+  if (Name == "exact") {
+    Out = Acquisition::Exact;
+    return true;
+  }
+  if (Name == "overflow") {
+    Out = Acquisition::Overflow;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Reads a function's array-mode path counters back out of simulated
+/// memory.
+void readArrayTable(const FunctionInstrInfo &Info, const hw::Machine &Machine,
+                    FunctionPathProfile &Profile) {
+  for (uint64_t Sum = 0; Sum != Info.NumPaths; ++Sum) {
+    uint64_t Addr = Info.TableAddr + Sum * Info.Stride;
+    uint64_t Freq = Machine.peek(Addr, 8);
+    if (Freq == 0)
+      continue;
+    PathEntry Entry;
+    Entry.PathSum = Sum;
+    Entry.Freq = Freq;
+    if (Info.Stride >= 24) {
+      Entry.Metric0 = Machine.peek(Addr + 8, 8);
+      Entry.Metric1 = Machine.peek(Addr + 16, 8);
+    }
+    Profile.Paths.push_back(Entry);
+  }
+}
+
+/// Reconstructs full edge counts from chord counters by flow conservation
+/// over the spanning tree (Knuth's method).
+void reconstructEdgeCounts(const ir::Function &OriginalF,
+                           const FunctionInstrInfo &Info,
+                           const hw::Machine &Machine, EdgeProfile &Profile) {
+  cfg::Cfg G(OriginalF);
+  Profile.EdgeCounts.assign(G.numEdges(), 0);
+
+  std::vector<bool> Known(G.numEdges(), false);
+  for (size_t Slot = 0; Slot != Info.ChordEdges.size(); ++Slot) {
+    unsigned EdgeId = Info.ChordEdges[Slot];
+    Profile.EdgeCounts[EdgeId] =
+        Machine.peek(Info.EdgeTableAddr + Slot * 8, 8);
+    Known[EdgeId] = true;
+  }
+  Profile.Invocations =
+      Machine.peek(Info.EdgeTableAddr + Info.ChordEdges.size() * 8, 8);
+
+  // Mark edges from unreachable sources as known zeros.
+  for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId)
+    if (!G.isReachable(G.edge(EdgeId).From))
+      Known[EdgeId] = true;
+
+  // Flow conservation per node, with the virtual EXIT -> ENTRY edge
+  // carrying the invocation count: repeatedly solve any node with exactly
+  // one unknown incident edge.
+  auto VirtualIn = [&](unsigned Node) -> uint64_t {
+    return Node == G.entryNode() ? Profile.Invocations : 0;
+  };
+  auto VirtualOut = [&](unsigned Node) -> uint64_t {
+    return Node == G.exitNode() ? Profile.Invocations : 0;
+  };
+
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (unsigned Node = 0; Node != G.numNodes(); ++Node) {
+      if (Node != G.exitNode() && !G.isReachable(Node))
+        continue;
+      int UnknownEdge = -1;
+      bool UnknownIsIn = false;
+      unsigned UnknownCount = 0;
+      uint64_t InSum = VirtualIn(Node), OutSum = VirtualOut(Node);
+      for (unsigned EdgeId : G.inEdges(Node)) {
+        if (Known[EdgeId]) {
+          InSum += Profile.EdgeCounts[EdgeId];
+        } else {
+          ++UnknownCount;
+          UnknownEdge = static_cast<int>(EdgeId);
+          UnknownIsIn = true;
+        }
+      }
+      for (unsigned EdgeId : G.outEdges(Node)) {
+        if (Known[EdgeId]) {
+          OutSum += Profile.EdgeCounts[EdgeId];
+        } else {
+          ++UnknownCount;
+          UnknownEdge = static_cast<int>(EdgeId);
+          UnknownIsIn = false;
+        }
+      }
+      if (UnknownCount != 1)
+        continue;
+      uint64_t Value = UnknownIsIn ? OutSum - InSum : InSum - OutSum;
+      Profile.EdgeCounts[static_cast<unsigned>(UnknownEdge)] = Value;
+      Known[static_cast<unsigned>(UnknownEdge)] = true;
+      Progress = true;
+    }
+  }
+}
+
+/// The historical acquisition path, extracted from Session.cpp unchanged:
+/// instrument the clone, attach the profiling runtime, read counter
+/// arrays / hash tables / chord counters / the CCT back out.
+class ExactInstrumentation final : public AcquisitionEngine {
+public:
+  ExactInstrumentation(const ir::Module &M, const SessionOptions &Options)
+      : M(M), Options(Options) {}
+
+  Instrumented prepare() override {
+    return prof::instrument(M, Options.Config);
+  }
+
+  void attach(hw::Machine &Machine, vm::Vm &VM, Instrumented &Instr) override {
+    if (Options.Config.M != Mode::None) {
+      RT = std::make_unique<Runtime>(Instr, Machine);
+      VM.setRuntime(RT.get());
+    }
+  }
+
+  void extract(RunOutcome &Outcome, hw::Machine &Machine) override {
+    Mode ActiveMode = Options.Config.M;
+    if (ActiveMode == Mode::Flow || ActiveMode == Mode::FlowHw) {
+      Outcome.PathProfiles.resize(Outcome.Instr.Functions.size());
+      for (size_t Id = 0; Id != Outcome.Instr.Functions.size(); ++Id) {
+        const FunctionInstrInfo &Info = Outcome.Instr.Functions[Id];
+        FunctionPathProfile &Profile = Outcome.PathProfiles[Id];
+        Profile.FuncId = static_cast<unsigned>(Id);
+        if (!Info.HasPathProfile)
+          continue;
+        Profile.HasProfile = true;
+        Profile.NumPaths = Info.NumPaths;
+        Profile.Hashed = Info.Hashed;
+        if (!Info.Hashed) {
+          readArrayTable(Info, Machine, Profile);
+        } else {
+          for (const auto &[Key, Cell] : RT->hashTable(Profile.FuncId)) {
+            PathEntry Entry;
+            Entry.PathSum = Key;
+            Entry.Freq = Cell.Freq;
+            Entry.Metric0 = Cell.Metric0;
+            Entry.Metric1 = Cell.Metric1;
+            Profile.Paths.push_back(Entry);
+          }
+          std::sort(Profile.Paths.begin(), Profile.Paths.end(),
+                    [](const PathEntry &A, const PathEntry &B) {
+                      return A.PathSum < B.PathSum;
+                    });
+        }
+      }
+    }
+
+    if (ActiveMode == Mode::Edge) {
+      Outcome.EdgeProfiles.resize(Outcome.Instr.Functions.size());
+      for (size_t Id = 0; Id != Outcome.Instr.Functions.size(); ++Id) {
+        const FunctionInstrInfo &Info = Outcome.Instr.Functions[Id];
+        EdgeProfile &Profile = Outcome.EdgeProfiles[Id];
+        Profile.FuncId = static_cast<unsigned>(Id);
+        if (!Info.Instrumented)
+          continue;
+        Profile.HasProfile = true;
+        reconstructEdgeCounts(*M.function(Id), Info, Machine, Profile);
+      }
+    }
+
+    if (RT && modeUsesCct(ActiveMode))
+      Outcome.Tree = RT->takeTree();
+  }
+
+  const char *name() const override { return "exact"; }
+
+private:
+  const ir::Module &M;
+  const SessionOptions &Options;
+  std::unique_ptr<Runtime> RT;
+};
+
+} // namespace
+
+std::unique_ptr<AcquisitionEngine>
+prof::makeAcquisitionEngine(const ir::Module &M,
+                            const SessionOptions &Options) {
+  switch (Options.Acq.Kind) {
+  case Acquisition::Exact:
+    return std::make_unique<ExactInstrumentation>(M, Options);
+  case Acquisition::Overflow:
+    return std::make_unique<OverflowSampling>(M, Options.Config, Options.Acq);
+  }
+  assert(false && "unknown acquisition kind");
+  return nullptr;
+}

@@ -1,0 +1,120 @@
+//===- prof/Acquisition.h - How profiles are acquired ----------*- C++ -*-===//
+///
+/// \file
+/// The acquisition seam: *how* a run's profiles are obtained, independent
+/// of *what* is profiled (the Mode). The paper's instrumentation reads the
+/// PICs exactly at path ends; the same UltraSPARC counters also support
+/// trap-on-overflow, the acquisition every sampling profiler builds on.
+/// Each strategy is an AcquisitionEngine the RunStager drives through its
+/// fixed four-stage pipeline:
+///
+///   prepare()  - produce the module to execute (instrumented clone for
+///                exact acquisition, pristine clone for sampling)
+///   attach()   - wire the engine to the loaded machine/VM (profiling
+///                runtime vs. tracer + armed overflow trap)
+///   extract()  - read the engine's profiles back into the RunOutcome
+///
+/// Engines are single-use, like the stager that owns them. The exact
+/// engine reproduces the historical Session behaviour byte for byte; the
+/// overflow engine reconstructs approximate path and CCT profiles from
+/// sampled PCs plus a shadow call stack, with zero instrumentation in the
+/// simulated program (its only simulated cost is trap delivery).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_PROF_ACQUISITION_H
+#define PP_PROF_ACQUISITION_H
+
+#include "prof/Instrumenter.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pp {
+namespace hw {
+class Machine;
+} // namespace hw
+namespace vm {
+class Vm;
+} // namespace vm
+
+namespace prof {
+
+struct SessionOptions;
+struct RunOutcome;
+
+/// The acquisition strategies a run can use.
+enum class Acquisition : uint8_t {
+  /// Spliced-in instrumentation reading the PICs exactly (the paper's
+  /// scheme; the only strategy prior to the seam).
+  Exact,
+  /// Counter-overflow traps sampling the PC and shadow call stack.
+  Overflow,
+};
+
+/// Short label ("exact"/"overflow") for fingerprints, schemas, and flags.
+const char *acquisitionName(Acquisition A);
+
+/// Parses an acquisition label; returns false on an unknown name.
+bool parseAcquisition(const std::string &Name, Acquisition &Out);
+
+/// Acquisition knobs of a run. Defaults reproduce historical behaviour
+/// (exact instrumentation); the sampling fields are ignored unless
+/// Kind == Overflow.
+struct AcquisitionOptions {
+  Acquisition Kind = Acquisition::Exact;
+  /// Which PIC's overflow drives sampling (0 or 1); the sampled event is
+  /// whatever ProfileConfig routes to that PIC.
+  unsigned Pic = 0;
+  /// Events per sample (the armed PIC starts at 2^32 - Period).
+  uint64_t Period = 1 << 16;
+  /// 0 = fixed period. Nonzero seeds a deterministic PRNG that jitters
+  /// each period uniformly in [Period/2, 3*Period/2), de-correlating the
+  /// sample clock from loop periods.
+  uint64_t Seed = 0;
+};
+
+/// What acquiring the profiles cost, in the currencies the paper uses to
+/// argue against stack sampling (§7.2): trap count, samples, stack frames
+/// walked per sample, and the unbounded raw log the samples would occupy.
+/// All zero for exact acquisition.
+struct AcquisitionStats {
+  uint64_t Traps = 0;
+  uint64_t Samples = 0;
+  uint64_t FramesWalked = 0;
+  uint64_t LogBytes = 0;
+};
+
+/// One acquisition strategy, driven by RunStager. Stage order is fixed:
+/// prepare, attach, extract; each is called exactly once.
+class AcquisitionEngine {
+public:
+  virtual ~AcquisitionEngine();
+
+  /// Stage 1 (instrument): the module the VM will execute.
+  virtual Instrumented prepare() = 0;
+
+  /// Stage 2 (load): attach runtime/tracer/trap wiring to the machine and
+  /// VM the stager built. Called after engine/budget/signal configuration,
+  /// immediately before execution.
+  virtual void attach(hw::Machine &Machine, vm::Vm &VM,
+                      Instrumented &Instr) = 0;
+
+  /// Stage 4 (extract): read profiles back into \p Outcome. The stager
+  /// has already copied the ground-truth event totals.
+  virtual void extract(RunOutcome &Outcome, hw::Machine &Machine) = 0;
+
+  /// The engine's acquisition label (= acquisitionName of its kind).
+  virtual const char *name() const = 0;
+};
+
+/// Builds the engine \p Options selects for a run over \p M. Both
+/// references must outlive the engine.
+std::unique_ptr<AcquisitionEngine>
+makeAcquisitionEngine(const ir::Module &M, const SessionOptions &Options);
+
+} // namespace prof
+} // namespace pp
+
+#endif // PP_PROF_ACQUISITION_H

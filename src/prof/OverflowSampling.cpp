@@ -1,0 +1,260 @@
+//===- prof/OverflowSampling.cpp - Counter-overflow sampling ----------------===//
+
+#include "prof/OverflowSampling.h"
+
+#include "ir/Function.h"
+#include "obs/Obs.h"
+#include "prof/CallSites.h"
+#include "prof/Session.h"
+
+#include <set>
+
+using namespace pp;
+using namespace pp::prof;
+
+OverflowSampling::OverflowSampling(const ir::Module &M,
+                                   const ProfileConfig &Config,
+                                   const AcquisitionOptions &Acq)
+    : M(M), Config(Config), Acq(Acq), Jitter(Acq.Seed) {
+  this->Acq.Pic = this->Acq.Pic ? 1 : 0;
+
+  // Structural facts come from the pristine module; the executed clone
+  // preserves block and edge order, so ids and path sums line up.
+  size_t NumFuncs = M.numFunctions();
+  Cfgs.resize(NumFuncs);
+  Numberings.resize(NumFuncs);
+  SampledPaths.resize(NumFuncs);
+  for (size_t Id = 0; Id != NumFuncs; ++Id) {
+    const ir::Function &F = *M.function(Id);
+    if (F.numBlocks() == 0)
+      continue;
+    Cfgs[Id] = std::make_unique<cfg::Cfg>(F);
+    Numberings[Id] = std::make_unique<bl::PathNumbering>(*Cfgs[Id]);
+  }
+
+  if (modeUsesCct(Config.M)) {
+    std::vector<cct::ProcDesc> Procs(NumFuncs);
+    for (size_t Id = 0; Id != NumFuncs; ++Id) {
+      const ir::Function &F = *M.function(Id);
+      Procs[Id].Name = F.name();
+      std::vector<CallSite> Sites = enumerateCallSites(F);
+      Procs[Id].NumSites = static_cast<unsigned>(Sites.size());
+      Procs[Id].SiteIsIndirect.resize(Sites.size());
+      for (size_t I = 0; I != Sites.size(); ++I)
+        Procs[Id].SiteIsIndirect[I] = Sites[I].Indirect;
+    }
+    // Metrics per record: [0] samples landing in the context, [1]/[2] the
+    // event weight those samples represent on PIC0/PIC1 — the sampled
+    // estimate of the exact CCT's invocations + two metric accumulators.
+    // No MemCharger: the tree is built by the trap handler (host code),
+    // not by instrumentation in the simulated program.
+    Tree = std::make_unique<cct::CallingContextTree>(std::move(Procs), 3);
+  }
+}
+
+OverflowSampling::~OverflowSampling() = default;
+
+Instrumented OverflowSampling::prepare() {
+  // Sampling executes an uninstrumented clone: acquisition is free of
+  // program perturbation except for trap delivery itself.
+  ProfileConfig NoInstr = Config;
+  NoInstr.M = Mode::None;
+  return prof::instrument(M, NoInstr);
+}
+
+void OverflowSampling::attach(hw::Machine &Machine, vm::Vm &VM,
+                              Instrumented &Instr) {
+  // Map call-instruction code addresses (assigned by the VM's layout of
+  // the executed clone) to their call-site indices, mirroring
+  // enumerateCallSites' canonical order — the slot the CCT walk uses.
+  for (size_t Id = 0; Id != Instr.M->numFunctions(); ++Id) {
+    const ir::Function &F = *Instr.M->function(Id);
+    unsigned Index = 0;
+    for (const auto &BB : F.blocks())
+      for (const ir::Inst &I : BB->insts())
+        if (ir::isCall(I.Op))
+          SiteIndexByAddr[I.Addr] = Index++;
+  }
+
+  VM.setTracer(this);
+  VM.setTrapHandler(this);
+  AttachedMachine = &Machine;
+  ArmedPeriod = nextPeriod();
+  Machine.counters().armOverflowTrap(Acq.Pic,
+                                     static_cast<uint32_t>(ArmedPeriod));
+}
+
+uint32_t OverflowSampling::nextPeriod() {
+  uint64_t P = Acq.Period ? Acq.Period : 1;
+  if (Acq.Seed)
+    P = P / 2 + Jitter.next() % P;
+  if (P == 0)
+    P = 1;
+  if (P > 0xffffffffULL)
+    P = 0xffffffffULL;
+  return static_cast<uint32_t>(P);
+}
+
+void OverflowSampling::onCall(const ir::Function &Caller,
+                              const ir::Inst &CallInst,
+                              const ir::Function &Callee) {
+  auto It = SiteIndexByAddr.find(CallInst.Addr);
+  PendingCallSite = It == SiteIndexByAddr.end() ? -1 : static_cast<int>(It->second);
+}
+
+void OverflowSampling::onEnterFunction(const ir::Function &F) {
+  FrameState FS;
+  FS.FuncId = F.id();
+  if (PendingCallSite >= 0) {
+    FS.Slot = static_cast<unsigned>(PendingCallSite);
+  } else if (!Stack.empty()) {
+    // An enter with no traced call and a live stack is signal delivery:
+    // the frame re-roots at the CCT's signal slot ("the CCT would need
+    // multiple roots", §4.2).
+    FS.IsSignal = true;
+  }
+  PendingCallSite = -1;
+  Stack.push_back(FS);
+}
+
+void OverflowSampling::onExitFunction(const ir::Function &F) {
+  // A tracer attached mid-execution (or a longjmp past frames it never
+  // saw entered) delivers exits with no matching enter; absorb them
+  // instead of underflowing the shadow stack.
+  if (!Stack.empty())
+    Stack.pop_back();
+}
+
+void OverflowSampling::onUnwindFunction(const ir::Function &F) {
+  // Longjmp discards the frame: its in-flight path — and any samples
+  // pending on it — is abandoned, exactly as the exact engine's commit
+  // never runs.
+  if (!Stack.empty())
+    Stack.pop_back();
+}
+
+void OverflowSampling::commitPath(FrameState &Frame, unsigned Fid,
+                                  uint64_t PathSum) {
+  if (!Frame.PendingSamples)
+    return;
+  auto &Cell = SampledPaths[Fid][PathSum];
+  Cell.first += Frame.PendingSamples;
+  Cell.second += Frame.PendingWeight;
+  Frame.PendingSamples = 0;
+  Frame.PendingWeight = 0;
+}
+
+void OverflowSampling::onEdgeTaken(const ir::BasicBlock &From, int SuccIndex) {
+  if (Stack.empty())
+    return;
+  FrameState &Frame = Stack.back();
+  unsigned Fid = Frame.FuncId;
+  if (Fid >= Cfgs.size() || From.parent()->id() != Fid)
+    return;
+  const cfg::Cfg *G = Cfgs[Fid].get();
+  const bl::PathNumbering *PN = Numberings[Fid].get();
+  if (!G || !PN->valid())
+    return;
+
+  const auto &OutIds = G->outEdges(From.id());
+  unsigned EdgeId =
+      SuccIndex < 0 ? OutIds[0] : OutIds[static_cast<unsigned>(SuccIndex)];
+  if (G->isBackedge(EdgeId)) {
+    commitPath(Frame, Fid, Frame.PathSum + PN->backedgeEndValue(EdgeId));
+    Frame.PathSum = PN->backedgeStartValue(EdgeId);
+    return;
+  }
+  uint64_t Val = PN->valueForCfgEdge(EdgeId);
+  if (G->edge(EdgeId).SuccIndex < 0) {
+    commitPath(Frame, Fid, Frame.PathSum + Val);
+    Frame.PathSum = 0;
+    return;
+  }
+  Frame.PathSum += Val;
+}
+
+void OverflowSampling::onOverflowTrap(vm::Vm &VM, uint64_t Pc) {
+  ++Stats.Traps;
+  ++Stats.Samples;
+  Stats.FramesWalked += Stack.size();
+  // The raw log: the interrupted PC plus the whole stack, per sample.
+  Stats.LogBytes += 8 * (Stack.size() + 1);
+  Log.emplace_back();
+  Log.back().reserve(Stack.size());
+  for (const FrameState &FS : Stack)
+    Log.back().push_back(FS.FuncId);
+
+  if (Tree) {
+    // Establish the context by walking the sampled stack through the CCT
+    // from the root — the per-sample cost the paper charges against stack
+    // sampling, surfaced in Stats.FramesWalked.
+    cct::CallRecord *Cur = Tree->root();
+    for (const FrameState &FS : Stack) {
+      cct::CallRecord *Base = FS.IsSignal ? Tree->root() : Cur;
+      unsigned Slot = FS.IsSignal ? cct::SignalSlot : FS.Slot;
+      if (Slot >= Base->numSlots()) {
+        Cur = nullptr; // inconsistent shadow stack (attached mid-run)
+        break;
+      }
+      Cur = Tree->enter(Base, Slot, FS.FuncId);
+    }
+    if (Cur && Cur != Tree->root()) {
+      cct::CallingContextTree::bumpMetric(Cur, 0, 1);
+      cct::CallingContextTree::bumpMetric(Cur, 1 + Acq.Pic, ArmedPeriod);
+    }
+  }
+
+  // Path attribution is deferred: the sample rides on the frame until its
+  // in-flight Ball-Larus path completes, then lands on that path's sum.
+  if (!Stack.empty()) {
+    Stack.back().PendingSamples += 1;
+    Stack.back().PendingWeight += ArmedPeriod;
+  }
+
+  ArmedPeriod = nextPeriod();
+  VM.machine().counters().armOverflowTrap(Acq.Pic,
+                                          static_cast<uint32_t>(ArmedPeriod));
+}
+
+size_t OverflowSampling::numDistinctContexts() const {
+  // The sampled CCT folds recursion exactly as the exhaustive CCT does,
+  // so its record count compares apples-to-apples; the raw log does not
+  // (it keeps every recursion depth distinct) and is only used when no
+  // tree was built.
+  if (Tree)
+    return Tree->numRecords() - 1; // root excluded
+  std::set<std::vector<uint32_t>> Distinct(Log.begin(), Log.end());
+  return Distinct.size();
+}
+
+void OverflowSampling::extract(RunOutcome &Outcome, hw::Machine &Machine) {
+  if (modeUsesPaths(Config.M)) {
+    Outcome.PathProfiles.resize(SampledPaths.size());
+    for (size_t Id = 0; Id != SampledPaths.size(); ++Id) {
+      FunctionPathProfile &Profile = Outcome.PathProfiles[Id];
+      Profile.FuncId = static_cast<unsigned>(Id);
+      const bl::PathNumbering *PN = Numberings[Id].get();
+      if (!PN || !PN->valid())
+        continue;
+      Profile.HasProfile = true;
+      Profile.NumPaths = PN->numPaths();
+      Profile.Hashed = true; // sampled tables are sparse maps, never arrays
+      for (const auto &[Sum, Cell] : SampledPaths[Id]) {
+        PathEntry Entry;
+        Entry.PathSum = Sum;
+        Entry.Freq = Cell.first;
+        // Each sample stands for ArmedPeriod events of the armed PIC's
+        // event; the other PIC is not observed by this acquisition.
+        (Acq.Pic == 0 ? Entry.Metric0 : Entry.Metric1) = Cell.second;
+        Profile.Paths.push_back(Entry);
+      }
+    }
+  }
+
+  if (Tree && modeUsesCct(Config.M))
+    Outcome.Tree = std::move(Tree);
+
+  Outcome.Acq = Stats;
+  obs::add(obs::Counter::AcqTrapsDelivered, Stats.Traps);
+  obs::add(obs::Counter::AcqSamplesRecorded, Stats.Samples);
+}

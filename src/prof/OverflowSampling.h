@@ -1,0 +1,140 @@
+//===- prof/OverflowSampling.h - Counter-overflow sampling -----*- C++ -*-===//
+///
+/// \file
+/// The sampling acquisition engine: a PIC is armed to trap after Period
+/// events (hw::PerfCounters::armOverflowTrap) and every trap samples the
+/// interrupted PC plus a shadow call stack maintained from VM trace
+/// callbacks. From the samples it reconstructs the approximate analogues
+/// of the exact profiles — per-function Ball-Larus path tables (each
+/// sample is attributed to the path in flight when the trap fired) and a
+/// sampled CCT (each trap walks the shadow stack through cct::enter from
+/// the root, which is "every sample requires walking the call stack to
+/// establish the context", §7.2). It also keeps the raw sample log whose
+/// unbounded growth the paper holds against stack sampling; the ablation
+/// bench weighs both costs against the CCT.
+///
+/// The engine is instrumentation-free: the executed module is a pristine
+/// clone and the only simulated cost is CostModel::TrapDeliveryCycles per
+/// trap. It subsumes the earlier cycle-polling SamplingProfiler, which it
+/// replaces. Runs are deterministic for a fixed (seed, period, workload):
+/// trap points depend only on event totals, which are engine-invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_PROF_OVERFLOWSAMPLING_H
+#define PP_PROF_OVERFLOWSAMPLING_H
+
+#include "bl/PathNumbering.h"
+#include "cct/CallingContextTree.h"
+#include "cfg/Cfg.h"
+#include "prof/Acquisition.h"
+#include "support/Prng.h"
+#include "vm/Vm.h"
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace pp {
+namespace prof {
+
+/// Sampling acquisition over counter-overflow traps. Usable through the
+/// RunStager (makeAcquisitionEngine) or standalone: construct, prepare(),
+/// build a VM over the prepared module, attach(), run, extract().
+class OverflowSampling final : public AcquisitionEngine,
+                               public vm::Tracer,
+                               public vm::TrapHandler {
+public:
+  /// \p M is the pristine module; \p Config supplies the mode (which
+  /// profiles to reconstruct) and the PIC event routing; \p Acq the
+  /// sampling knobs. All referenced objects must outlive the engine.
+  OverflowSampling(const ir::Module &M, const ProfileConfig &Config,
+                   const AcquisitionOptions &Acq);
+  ~OverflowSampling() override;
+
+  // --- AcquisitionEngine ---------------------------------------------------
+  Instrumented prepare() override;
+  void attach(hw::Machine &Machine, vm::Vm &VM, Instrumented &Instr) override;
+  void extract(RunOutcome &Outcome, hw::Machine &Machine) override;
+  const char *name() const override { return "overflow"; }
+
+  // --- vm::Tracer ----------------------------------------------------------
+  void onEdgeTaken(const ir::BasicBlock &From, int SuccIndex) override;
+  void onEnterFunction(const ir::Function &F) override;
+  void onExitFunction(const ir::Function &F) override;
+  void onUnwindFunction(const ir::Function &F) override;
+  void onCall(const ir::Function &Caller, const ir::Inst &CallInst,
+              const ir::Function &Callee) override;
+
+  // --- vm::TrapHandler -----------------------------------------------------
+  void onOverflowTrap(vm::Vm &VM, uint64_t Pc) override;
+
+  // --- Results (tests and the ablation bench read these directly) ---------
+  const AcquisitionStats &stats() const { return Stats; }
+  size_t numSamples() const { return Log.size(); }
+  uint64_t framesWalked() const { return Stats.FramesWalked; }
+  /// Bytes of the raw sample log: the interrupted PC plus one word per
+  /// stack frame per sample ("each sample is recorded along with its call
+  /// stack").
+  uint64_t logBytes() const { return Stats.LogBytes; }
+  /// Distinct sampled contexts (for comparison with the CCT's complete
+  /// record count).
+  size_t numDistinctContexts() const;
+  /// The raw log: one sampled stack (function ids, bottom to top) per trap.
+  const std::vector<std::vector<uint32_t>> &samples() const { return Log; }
+
+private:
+  struct FrameState {
+    unsigned FuncId = 0;
+    /// In-flight Ball-Larus path sum (the Oracle's tracking, reused).
+    uint64_t PathSum = 0;
+    /// Traps taken while the current path was in flight, and the event
+    /// weight they represent; both are attributed when the path commits.
+    uint64_t PendingSamples = 0;
+    uint64_t PendingWeight = 0;
+    /// Caller slot this frame was entered through (call-site index, or 0
+    /// for main).
+    unsigned Slot = 0;
+    /// Entered by signal delivery: re-roots at cct::SignalSlot.
+    bool IsSignal = false;
+  };
+
+  /// Flushes the top frame's pending samples into \p Fid's path table at
+  /// the just-completed \p PathSum.
+  void commitPath(FrameState &Frame, unsigned Fid, uint64_t PathSum);
+  /// The next sampling period: fixed, or jittered by the seeded PRNG.
+  uint32_t nextPeriod();
+
+  const ir::Module &M;
+  ProfileConfig Config;
+  AcquisitionOptions Acq;
+  Prng Jitter;
+
+  // Structural facts of the executed (pristine) module, built in attach().
+  std::vector<std::unique_ptr<cfg::Cfg>> Cfgs;
+  std::vector<std::unique_ptr<bl::PathNumbering>> Numberings;
+  /// Code address of a call instruction -> its call-site index (the CCT
+  /// slot) within its function.
+  std::unordered_map<uint64_t, unsigned> SiteIndexByAddr;
+
+  std::vector<FrameState> Stack;
+  /// Call-site slot of a just-traced onCall, claimed by the next
+  /// onEnterFunction; -1 when the next enter is main or a signal handler.
+  int PendingCallSite = -1;
+
+  /// Sampled path tables: path sum -> (samples, event weight) per function.
+  std::vector<std::map<uint64_t, std::pair<uint64_t, uint64_t>>> SampledPaths;
+  /// The sampled CCT (context modes only).
+  std::unique_ptr<cct::CallingContextTree> Tree;
+  std::vector<std::vector<uint32_t>> Log;
+  AcquisitionStats Stats;
+  /// Period the currently armed trap was programmed with (its weight).
+  uint64_t ArmedPeriod = 0;
+  hw::Machine *AttachedMachine = nullptr;
+};
+
+} // namespace prof
+} // namespace pp
+
+#endif // PP_PROF_OVERFLOWSAMPLING_H

@@ -2,136 +2,50 @@
 
 #include "prof/Session.h"
 
-#include "cfg/Cfg.h"
-#include "prof/Runtime.h"
+#include "obs/Obs.h"
 #include "support/Error.h"
 
-#include <algorithm>
 #include <cassert>
 
 using namespace pp;
 using namespace pp::prof;
 
-namespace {
-
-/// Reads a function's array-mode path counters back out of simulated
-/// memory.
-void readArrayTable(const FunctionInstrInfo &Info, const hw::Machine &Machine,
-                    FunctionPathProfile &Profile) {
-  for (uint64_t Sum = 0; Sum != Info.NumPaths; ++Sum) {
-    uint64_t Addr = Info.TableAddr + Sum * Info.Stride;
-    uint64_t Freq = Machine.peek(Addr, 8);
-    if (Freq == 0)
-      continue;
-    PathEntry Entry;
-    Entry.PathSum = Sum;
-    Entry.Freq = Freq;
-    if (Info.Stride >= 24) {
-      Entry.Metric0 = Machine.peek(Addr + 8, 8);
-      Entry.Metric1 = Machine.peek(Addr + 16, 8);
-    }
-    Profile.Paths.push_back(Entry);
-  }
-}
-
-/// Reconstructs full edge counts from chord counters by flow conservation
-/// over the spanning tree (Knuth's method).
-void reconstructEdgeCounts(const ir::Function &OriginalF,
-                           const FunctionInstrInfo &Info,
-                           const hw::Machine &Machine, EdgeProfile &Profile) {
-  cfg::Cfg G(OriginalF);
-  Profile.EdgeCounts.assign(G.numEdges(), 0);
-
-  std::vector<bool> Known(G.numEdges(), false);
-  for (size_t Slot = 0; Slot != Info.ChordEdges.size(); ++Slot) {
-    unsigned EdgeId = Info.ChordEdges[Slot];
-    Profile.EdgeCounts[EdgeId] =
-        Machine.peek(Info.EdgeTableAddr + Slot * 8, 8);
-    Known[EdgeId] = true;
-  }
-  Profile.Invocations =
-      Machine.peek(Info.EdgeTableAddr + Info.ChordEdges.size() * 8, 8);
-
-  // Mark edges from unreachable sources as known zeros.
-  for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId)
-    if (!G.isReachable(G.edge(EdgeId).From))
-      Known[EdgeId] = true;
-
-  // Flow conservation per node, with the virtual EXIT -> ENTRY edge
-  // carrying the invocation count: repeatedly solve any node with exactly
-  // one unknown incident edge.
-  auto VirtualIn = [&](unsigned Node) -> uint64_t {
-    return Node == G.entryNode() ? Profile.Invocations : 0;
-  };
-  auto VirtualOut = [&](unsigned Node) -> uint64_t {
-    return Node == G.exitNode() ? Profile.Invocations : 0;
-  };
-
-  bool Progress = true;
-  while (Progress) {
-    Progress = false;
-    for (unsigned Node = 0; Node != G.numNodes(); ++Node) {
-      if (Node != G.exitNode() && !G.isReachable(Node))
-        continue;
-      int UnknownEdge = -1;
-      bool UnknownIsIn = false;
-      unsigned UnknownCount = 0;
-      uint64_t InSum = VirtualIn(Node), OutSum = VirtualOut(Node);
-      for (unsigned EdgeId : G.inEdges(Node)) {
-        if (Known[EdgeId]) {
-          InSum += Profile.EdgeCounts[EdgeId];
-        } else {
-          ++UnknownCount;
-          UnknownEdge = static_cast<int>(EdgeId);
-          UnknownIsIn = true;
-        }
-      }
-      for (unsigned EdgeId : G.outEdges(Node)) {
-        if (Known[EdgeId]) {
-          OutSum += Profile.EdgeCounts[EdgeId];
-        } else {
-          ++UnknownCount;
-          UnknownEdge = static_cast<int>(EdgeId);
-          UnknownIsIn = false;
-        }
-      }
-      if (UnknownCount != 1)
-        continue;
-      uint64_t Value = UnknownIsIn ? OutSum - InSum : InSum - OutSum;
-      Profile.EdgeCounts[static_cast<unsigned>(UnknownEdge)] = Value;
-      Known[static_cast<unsigned>(UnknownEdge)] = true;
-      Progress = true;
-    }
-  }
-}
-
-} // namespace
-
-/// The stager's mutable cross-stage state: the partially built outcome plus
-/// the execution apparatus (machine, VM, runtime) stages 2-4 share.
+/// The stager's mutable cross-stage state: the partially built outcome,
+/// the acquisition engine doing the mode-specific work, and the execution
+/// apparatus (machine, VM) stages 2-4 share.
 struct RunStager::State {
   RunOutcome Outcome;
+  std::unique_ptr<AcquisitionEngine> Engine;
   std::unique_ptr<hw::Machine> Machine;
   std::unique_ptr<vm::Vm> VM;
-  std::unique_ptr<Runtime> RT;
+  /// Span label shared by the four stage spans: "exact/flowhw",
+  /// "overflow/context", ... — what pp-report obs breaks acquisition cost
+  /// down by.
+  std::string SpanLabel;
   bool Instrumented = false;
   bool Loaded = false;
   bool Executed = false;
 };
 
 RunStager::RunStager(const ir::Module &M, const SessionOptions &Options)
-    : M(M), Options(Options), S(std::make_unique<State>()) {}
+    : M(M), Options(Options), S(std::make_unique<State>()) {
+  S->Engine = makeAcquisitionEngine(M, Options);
+  S->SpanLabel =
+      std::string(S->Engine->name()) + "/" + modeName(Options.Config.M);
+}
 
 RunStager::~RunStager() = default;
 
 void RunStager::instrument() {
   assert(!S->Instrumented && "instrument() runs once");
-  S->Outcome.Instr = prof::instrument(M, Options.Config);
+  obs::SpanScope Span("prof", "instrument", S->SpanLabel);
+  S->Outcome.Instr = S->Engine->prepare();
   S->Instrumented = true;
 }
 
 void RunStager::load() {
   assert(S->Instrumented && !S->Loaded && "load() follows instrument()");
+  obs::SpanScope Span("prof", "load", S->SpanLabel);
   S->Machine = std::make_unique<hw::Machine>(Options.MachineCfg);
   S->Machine->counters().selectPicEvents(Options.Config.Pic0,
                                          Options.Config.Pic1);
@@ -148,16 +62,15 @@ void RunStager::load() {
     S->VM->setSignal(Handler, Options.SignalInterval);
   }
 
-  if (Options.Config.M != Mode::None) {
-    S->RT = std::make_unique<Runtime>(S->Outcome.Instr, *S->Machine);
-    S->VM->setRuntime(S->RT.get());
-  }
+  S->Engine->attach(*S->Machine, *S->VM, S->Outcome.Instr);
   S->Loaded = true;
 }
 
 void RunStager::execute() {
   assert(S->Loaded && !S->Executed && "execute() follows load()");
+  obs::SpanScope Span("prof", "execute", S->SpanLabel);
   S->Outcome.Result = S->VM->run();
+  Span.setWork(S->Machine->counters().total(hw::Event::Cycles));
   S->Executed = true;
 }
 
@@ -168,59 +81,14 @@ const Instrumented &RunStager::instrumented() const {
 
 RunOutcome RunStager::extract() {
   assert(S->Executed && "extract() follows execute()");
+  obs::SpanScope Span("prof", "extract", S->SpanLabel);
   RunOutcome &Outcome = S->Outcome;
   hw::Machine &Machine = *S->Machine;
-  Runtime *RT = S->RT.get();
 
   for (unsigned E = 0; E != hw::NumEvents; ++E)
     Outcome.Totals[E] = Machine.counters().total(static_cast<hw::Event>(E));
 
-  Mode ActiveMode = Options.Config.M;
-  if (ActiveMode == Mode::Flow || ActiveMode == Mode::FlowHw) {
-    Outcome.PathProfiles.resize(Outcome.Instr.Functions.size());
-    for (size_t Id = 0; Id != Outcome.Instr.Functions.size(); ++Id) {
-      const FunctionInstrInfo &Info = Outcome.Instr.Functions[Id];
-      FunctionPathProfile &Profile = Outcome.PathProfiles[Id];
-      Profile.FuncId = static_cast<unsigned>(Id);
-      if (!Info.HasPathProfile)
-        continue;
-      Profile.HasProfile = true;
-      Profile.NumPaths = Info.NumPaths;
-      Profile.Hashed = Info.Hashed;
-      if (!Info.Hashed) {
-        readArrayTable(Info, Machine, Profile);
-      } else {
-        for (const auto &[Key, Cell] : RT->hashTable(Profile.FuncId)) {
-          PathEntry Entry;
-          Entry.PathSum = Key;
-          Entry.Freq = Cell.Freq;
-          Entry.Metric0 = Cell.Metric0;
-          Entry.Metric1 = Cell.Metric1;
-          Profile.Paths.push_back(Entry);
-        }
-        std::sort(Profile.Paths.begin(), Profile.Paths.end(),
-                  [](const PathEntry &A, const PathEntry &B) {
-                    return A.PathSum < B.PathSum;
-                  });
-      }
-    }
-  }
-
-  if (ActiveMode == Mode::Edge) {
-    Outcome.EdgeProfiles.resize(Outcome.Instr.Functions.size());
-    for (size_t Id = 0; Id != Outcome.Instr.Functions.size(); ++Id) {
-      const FunctionInstrInfo &Info = Outcome.Instr.Functions[Id];
-      EdgeProfile &Profile = Outcome.EdgeProfiles[Id];
-      Profile.FuncId = static_cast<unsigned>(Id);
-      if (!Info.Instrumented)
-        continue;
-      Profile.HasProfile = true;
-      reconstructEdgeCounts(*M.function(Id), Info, Machine, Profile);
-    }
-  }
-
-  if (RT && modeUsesCct(ActiveMode))
-    Outcome.Tree = RT->takeTree();
+  S->Engine->extract(Outcome, Machine);
 
   return std::move(S->Outcome);
 }

@@ -12,6 +12,7 @@
 #define PP_PROF_SESSION_H
 
 #include "cct/CallingContextTree.h"
+#include "prof/Acquisition.h"
 #include "prof/Instrumenter.h"
 #include "vm/Vm.h"
 
@@ -35,6 +36,9 @@ struct SessionOptions {
   /// signal handler every SignalInterval executed instructions.
   std::string SignalHandler;
   uint64_t SignalInterval = 0;
+  /// How profiles are acquired: exact instrumentation (default, the
+  /// historical behaviour) or counter-overflow sampling.
+  AcquisitionOptions Acq;
 };
 
 /// One executed path and its accumulated measurements.
@@ -77,6 +81,8 @@ struct RunOutcome {
   std::vector<EdgeProfile> EdgeProfiles;
   /// The CCT (context modes).
   std::unique_ptr<cct::CallingContextTree> Tree;
+  /// What acquisition cost (all zero for exact instrumentation).
+  AcquisitionStats Acq;
 
   uint64_t total(hw::Event E) const {
     return Totals[static_cast<unsigned>(E)];
@@ -97,6 +103,11 @@ struct RunOutcome {
 /// A stager is single-use and keeps references to \p M and \p Options,
 /// which must outlive it. Each stage requires the previous one; extract()
 /// consumes the stager's state.
+///
+/// The stager owns the run's machinery (machine, VM, signal wiring) and
+/// delegates everything acquisition-specific — what to instrument, what
+/// to attach, how to read profiles back — to the AcquisitionEngine that
+/// Options.Acq selects (see prof/Acquisition.h).
 class RunStager {
 public:
   RunStager(const ir::Module &M, const SessionOptions &Options);

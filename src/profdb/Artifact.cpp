@@ -14,7 +14,7 @@ using namespace pp::profdb;
 namespace {
 
 constexpr uint64_t Magic = 0x50504442; // "PPDB"
-constexpr uint64_t Version = 1;
+constexpr uint64_t Version = 2; // 2: acquisition joined the schema
 
 // Minimum encoded sizes (bytes) of variable-count elements, used to bound
 // counts before allocation.
@@ -69,6 +69,7 @@ std::vector<uint8_t> profdb::encodeArtifact(const Artifact &A) {
   W.str(A.Schema.Mode);
   W.str(A.Schema.Pic0);
   W.str(A.Schema.Pic1);
+  W.str(A.Schema.Acquisition);
   W.u64(A.ExecutedInsts);
 
   W.u64(hw::NumEvents);
@@ -121,7 +122,9 @@ DecodeStatus profdb::decodeArtifact(const std::vector<uint8_t> &Bytes,
   (void)Header.u64(FileVersion);
   if (FileMagic != Magic)
     return DecodeStatus::BadMagic;
-  if (FileVersion != Version)
+  // Version 1 predates the acquisition schema field; those artifacts are
+  // all exact, so they decode with the default.
+  if (FileVersion != Version && FileVersion != 1)
     return DecodeStatus::BadVersion;
 
   size_t PayloadSize = Bytes.size() - 4;
@@ -139,7 +142,12 @@ DecodeStatus profdb::decodeArtifact(const std::vector<uint8_t> &Bytes,
   if (!R.str(Out.Fingerprint) || !R.u64(Out.SourceHash) ||
       !R.u64(Out.RunCount) || !R.str(Out.Workload) || !R.u64(Out.Scale) ||
       !R.str(Out.Schema.Mode) || !R.str(Out.Schema.Pic0) ||
-      !R.str(Out.Schema.Pic1) || !R.u64(Out.ExecutedInsts))
+      !R.str(Out.Schema.Pic1))
+    return DecodeStatus::Truncated;
+  Out.Schema.Acquisition = "exact";
+  if (FileVersion >= 2 && !R.str(Out.Schema.Acquisition))
+    return DecodeStatus::Truncated;
+  if (!R.u64(Out.ExecutedInsts))
     return DecodeStatus::Truncated;
 
   uint64_t NumTotals;
@@ -205,7 +213,8 @@ Artifact profdb::artifactFromOutcome(const prof::RunOutcome &Outcome,
                                      const std::string &Fingerprint,
                                      const std::string &Workload,
                                      uint64_t Scale,
-                                     const prof::ProfileConfig &Config) {
+                                     const prof::ProfileConfig &Config,
+                                     const std::string &Acquisition) {
   Artifact A;
   A.Fingerprint = Fingerprint;
   A.SourceHash = fnv1a(Fingerprint);
@@ -215,6 +224,7 @@ Artifact profdb::artifactFromOutcome(const prof::RunOutcome &Outcome,
   A.Schema.Mode = prof::modeName(Config.M);
   A.Schema.Pic0 = hw::eventName(Config.Pic0);
   A.Schema.Pic1 = hw::eventName(Config.Pic1);
+  A.Schema.Acquisition = Acquisition;
   A.ExecutedInsts = Outcome.Result.ExecutedInsts;
   A.Totals = Outcome.Totals;
   A.Functions.reserve(M.numFunctions());

@@ -46,9 +46,14 @@ struct MetricSchema {
   /// hw::eventName routed to PIC0 / PIC1 ("Insts", "DC RdMiss", ...).
   std::string Pic0;
   std::string Pic1;
+  /// prof::acquisitionName of the run ("exact"/"overflow"). Exact counts
+  /// and sampled estimates must never be merged or diffed against each
+  /// other, so acquisition is part of the schema, like the mode.
+  std::string Acquisition = "exact";
 
   bool operator==(const MetricSchema &Other) const {
-    return Mode == Other.Mode && Pic0 == Other.Pic0 && Pic1 == Other.Pic1;
+    return Mode == Other.Mode && Pic0 == Other.Pic0 && Pic1 == Other.Pic1 &&
+           Acquisition == Other.Acquisition;
   }
   bool operator!=(const MetricSchema &Other) const {
     return !(*this == Other);
@@ -130,7 +135,8 @@ Artifact artifactFromOutcome(const prof::RunOutcome &Outcome,
                              const ir::Module &M,
                              const std::string &Fingerprint,
                              const std::string &Workload, uint64_t Scale,
-                             const prof::ProfileConfig &Config);
+                             const prof::ProfileConfig &Config,
+                             const std::string &Acquisition = "exact");
 
 /// Deep copy (the CCT makes Artifact move-only).
 Artifact cloneArtifact(const Artifact &A);

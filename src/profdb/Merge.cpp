@@ -357,10 +357,12 @@ bool profdb::mergeArtifacts(const Artifact &A, const Artifact &B,
                             Artifact &Out, std::string &Error) {
   if (A.Schema != B.Schema) {
     Error = formatString(
-        "incompatible metric schemas: (%s, PIC0=%s, PIC1=%s) vs "
-        "(%s, PIC0=%s, PIC1=%s)",
+        "incompatible metric schemas: (%s, PIC0=%s, PIC1=%s, acq=%s) vs "
+        "(%s, PIC0=%s, PIC1=%s, acq=%s)",
         A.Schema.Mode.c_str(), A.Schema.Pic0.c_str(), A.Schema.Pic1.c_str(),
-        B.Schema.Mode.c_str(), B.Schema.Pic0.c_str(), B.Schema.Pic1.c_str());
+        A.Schema.Acquisition.c_str(), B.Schema.Mode.c_str(),
+        B.Schema.Pic0.c_str(), B.Schema.Pic1.c_str(),
+        B.Schema.Acquisition.c_str());
     return false;
   }
   if (A.Workload != B.Workload || A.Scale != B.Scale) {

@@ -63,13 +63,19 @@ using namespace pp::vm;
 // points are identical either way, since the counter decrements exactly
 // once per executed instruction between boundary checks. With no signal
 // handler installed (SigHandler is run-invariant) the signal work folds
-// to one never-taken register test.
+// to one never-taken register test; likewise the overflow-trap check
+// (TrapH run-invariant) vanishes when no trap handler is installed, and
+// otherwise costs one load+compare against the armed PIC's threshold.
 #define PP_PROLOGUE()                                                          \
   do {                                                                         \
     if (SigHandler && !InSignal) {                                             \
       if (SignalCountdown == 0)                                                \
         goto deliver_signal;                                                   \
       --SignalCountdown;                                                       \
+    }                                                                          \
+    if (TrapH && MC.counters().overflowPending()) {                            \
+      FR->InstIdx = PP_PC();                                                   \
+      deliverOverflowTrap(D->Addr);                                            \
     }                                                                          \
     assert(PP_PC() < StreamLen && "ran off end of stream");                    \
     MC.beginInst(D->Addr);                                                     \
@@ -190,10 +196,12 @@ RunResult Vm::runThreaded() {
 
   // Lower the module once per run; pseudo-op hooks bind to the currently
   // attached runtime, so the stream cannot be reused across setRuntime.
-  // Superinstruction fusion is only sound when signal delivery cannot
-  // preempt the boundary inside a fused pair.
-  Decoded = std::make_unique<Predecoder>(M, Runtime,
-                                         /*FuseCmpBr=*/SignalHandler == nullptr);
+  // Superinstruction fusion is only sound when neither signal delivery
+  // nor a counter-overflow trap can preempt the boundary inside a fused
+  // pair.
+  Decoded = std::make_unique<Predecoder>(
+      M, Runtime,
+      /*FuseCmpBr=*/SignalHandler == nullptr && TrapHook == nullptr);
 
   Frames.clear();
   {
@@ -227,6 +235,7 @@ RunResult Vm::runThreaded() {
   uint64_t Executed = 0;
   uint64_t FusedCond = 0;
   ir::Function *const SigHandler = SignalHandler;
+  TrapHandler *const TrapH = TrapHook;
   const uint64_t Budget = MaxInsts;
   Tracer *const TH = TracerHook;
   ProfRuntime *const RT = Runtime;
@@ -571,10 +580,10 @@ fetch:
 
 fused_br : {
   // Second half of a fused compare+branch: D advances onto the CondBr's
-  // own slot and replays the fetch prologue for it — minus the signal
-  // checks, which cannot fire here because fusion is disabled whenever a
-  // handler is installed.
-  assert(!SigHandler && "fused ops require no signal handler");
+  // own slot and replays the fetch prologue for it — minus the signal and
+  // overflow-trap checks, which cannot fire here because fusion is
+  // disabled whenever either handler is installed.
+  assert(!SigHandler && !TrapH && "fused ops require no async handlers");
   ++D;
   assert(PP_PC() < StreamLen && "ran off end of stream");
   MC.beginInst(D->Addr);

@@ -22,6 +22,7 @@ using ir::Opcode;
 
 ProfRuntime::~ProfRuntime() = default;
 Tracer::~Tracer() = default;
+TrapHandler::~TrapHandler() = default;
 
 ProfRuntime::HookFn ProfRuntime::bindOp(const ir::Inst &) {
   // Generic binding: route through the virtual execOp. The profiling
@@ -64,6 +65,16 @@ RunResult Vm::run() {
                                    : obs::Counter::VmInstsReference,
            Result.ExecutedInsts);
   return Result;
+}
+
+void Vm::deliverOverflowTrap(uint64_t Pc) {
+  // Hardware delivery order: the wrap disarms the trap (the handler
+  // re-arms for the next period), the pipeline flush costs cycles, then
+  // the handler observes the machine with the interrupted PC.
+  Machine.counters().disarmOverflowTrap();
+  Machine.addCycles(Machine.cost().TrapDeliveryCycles);
+  ++TrapsDelivered;
+  TrapHook->onOverflowTrap(*this, Pc);
 }
 
 void Vm::layout() {
@@ -201,6 +212,12 @@ RunResult Vm::runReference() {
     Frame &FR = Frames.back();
     assert(FR.InstIdx < FR.BB->insts().size() && "ran off end of block");
     const Inst &I = FR.BB->insts()[FR.InstIdx];
+
+    // Counter-overflow traps fire at the same boundary: after signal
+    // work, before the interrupted instruction issues (the threaded
+    // prologue agrees, so delivery points are engine-identical).
+    if (TrapHook && Machine.counters().overflowPending())
+      deliverOverflowTrap(I.Addr);
 
     Machine.beginInst(I.Addr);
     if (++Result.ExecutedInsts > MaxInsts) {

@@ -93,6 +93,18 @@ public:
                       const ir::Function &Callee) {}
 };
 
+/// Observer of counter-overflow traps (hw::PerfCounters::armOverflowTrap).
+/// Traps are delivered at instruction boundaries, before the instruction
+/// at \p Pc executes; the VM disarms the trap and charges
+/// CostModel::TrapDeliveryCycles before invoking the handler, which
+/// re-arms if it wants further traps. Handlers run as host code — they
+/// must not push simulated frames.
+class TrapHandler {
+public:
+  virtual ~TrapHandler();
+  virtual void onOverflowTrap(Vm &VM, uint64_t Pc) = 0;
+};
+
 /// Outcome of a run.
 struct RunResult {
   bool Ok = false;
@@ -112,6 +124,11 @@ public:
 
   void setRuntime(ProfRuntime *R) { Runtime = R; }
   void setTracer(Tracer *T) { TracerHook = T; }
+  /// Receives counter-overflow traps. Installing a handler disables
+  /// cmp+branch superinstruction fusion in the threaded engine (a trap
+  /// must not be deliverable at the hidden boundary inside a fused pair),
+  /// exactly as installing a signal handler does.
+  void setTrapHandler(TrapHandler *T) { TrapHook = T; }
   /// Selects the execution engine (default: defaultEngine(), i.e. the
   /// $PP_VM_ENGINE choice). Must be called before run().
   void setEngine(Engine E) { Eng = E; }
@@ -133,6 +150,9 @@ public:
 
   /// Number of signals delivered so far.
   uint64_t signalsDelivered() const { return SignalsDelivered; }
+
+  /// Number of counter-overflow traps delivered so far.
+  uint64_t trapsDelivered() const { return TrapsDelivered; }
 
   /// Runs main() to completion.
   RunResult run();
@@ -215,11 +235,16 @@ private:
   }
   void takeEdge(Frame &FR, const ir::BasicBlock &From, int SuccIndex,
                 ir::BasicBlock *To);
+  /// Delivers a pending counter-overflow trap at the boundary before the
+  /// instruction at \p Pc: disarm, charge TrapDeliveryCycles, invoke the
+  /// handler. Cold path, shared by both engines.
+  void deliverOverflowTrap(uint64_t Pc);
 
   ir::Module &M;
   hw::Machine &Machine;
   ProfRuntime *Runtime = nullptr;
   Tracer *TracerHook = nullptr;
+  TrapHandler *TrapHook = nullptr;
   Engine Eng = defaultEngine();
   uint64_t MaxInsts = uint64_t(1) << 34;
   std::vector<Frame> Frames;
@@ -236,6 +261,7 @@ private:
   uint64_t SignalInterval = 0;
   uint64_t SignalCountdown = 0;
   uint64_t SignalsDelivered = 0;
+  uint64_t TrapsDelivered = 0;
   bool InSignal = false;
 };
 

@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/FaultInjector.h"
+#include "obs/Obs.h"
 #include "driver/RunScheduler.h"
 #include "profdb/Merge.h"
 #include "support/Env.h"
@@ -191,5 +192,32 @@ TEST(Env, CrossModeSeedsKnobRejectsNonNumeric) {
     // Zero seeds would run nothing; it reads as "use the default".
     EnvGuard Guard("PP_CROSSMODE_SEEDS", "0");
     EXPECT_EQ(testutil::seedCountFromEnv("PP_CROSSMODE_SEEDS", 6), 6u);
+  }
+}
+
+TEST(Env, ObsRingCapacityKnobIsStrictAndClamped) {
+  {
+    EnvGuard Guard("PP_OBS_RING_CAPACITY", "4096");
+    EXPECT_EQ(obs::configuredRingCapacity(), 4096u);
+  }
+  {
+    // A typo'd capacity keeps the default, never parses as 0 (which
+    // would make the ring unable to hold anything).
+    EnvGuard Guard("PP_OBS_RING_CAPACITY", "banana");
+    EXPECT_EQ(obs::configuredRingCapacity(), size_t(1) << 14);
+  }
+  {
+    EnvGuard Guard("PP_OBS_RING_CAPACITY", nullptr);
+    EXPECT_EQ(obs::configuredRingCapacity(), size_t(1) << 14);
+  }
+  {
+    // Degenerate values clamp instead of breaking the ring: too small
+    // rounds up to 64 slots, absurdly large rounds down to 2^20.
+    EnvGuard Small("PP_OBS_RING_CAPACITY", "1");
+    EXPECT_EQ(obs::configuredRingCapacity(), 64u);
+  }
+  {
+    EnvGuard Large("PP_OBS_RING_CAPACITY", "99999999");
+    EXPECT_EQ(obs::configuredRingCapacity(), size_t(1) << 20);
   }
 }

@@ -117,6 +117,68 @@ TEST(PerfCounters, WriteSetsBothPics) {
   EXPECT_EQ(Counters.readPics(), 0u);
 }
 
+TEST(PerfCounters, ArmOverflowTrapProgramsTheWrap) {
+  // Arming writes 2^32 - Period into the chosen PIC, so the trap fires
+  // exactly when the 32-bit counter wraps — the UltraSPARC idiom.
+  PerfCounters Counters;
+  Counters.selectPicEvents(Event::Insts, Event::Cycles);
+  Counters.armOverflowTrap(0, 1000);
+  EXPECT_TRUE(Counters.overflowArmed());
+  EXPECT_EQ(Counters.overflowPic(), 0u);
+  EXPECT_EQ(Counters.overflowEvent(), Event::Insts);
+  EXPECT_EQ(Counters.readPics() & 0xffffffff, 0x100000000ULL - 1000);
+  EXPECT_FALSE(Counters.overflowPending());
+
+  Counters.count(Event::Insts, 999);
+  EXPECT_FALSE(Counters.overflowPending()) << "one event short of the wrap";
+  Counters.count(Event::Insts, 1);
+  EXPECT_TRUE(Counters.overflowPending()) << "the wrap crossed";
+
+  Counters.disarmOverflowTrap();
+  EXPECT_FALSE(Counters.overflowArmed());
+  EXPECT_FALSE(Counters.overflowPending());
+  Counters.count(Event::Insts, 1 << 20);
+  EXPECT_FALSE(Counters.overflowPending()) << "disarmed traps never fire";
+}
+
+TEST(PerfCounters, OverflowTrapTracksUnarmedEventsNever) {
+  // Events not routed to the armed PIC must not advance it toward the
+  // trap.
+  PerfCounters Counters;
+  Counters.selectPicEvents(Event::Insts, Event::DCacheReadMiss);
+  Counters.armOverflowTrap(1, 10);
+  Counters.count(Event::Insts, 1 << 16);
+  EXPECT_FALSE(Counters.overflowPending());
+  Counters.count(Event::DCacheReadMiss, 10);
+  EXPECT_TRUE(Counters.overflowPending());
+}
+
+TEST(PerfCounters, WritePicsAndResetRederiveTheTrapThreshold) {
+  // wrpic and a totals reset both move the armed PIC out from under the
+  // cached trap threshold; the threshold must follow the new distance to
+  // the wrap rather than fire early or never.
+  PerfCounters Counters;
+  Counters.selectPicEvents(Event::Insts, Event::Cycles);
+  Counters.armOverflowTrap(0, 1000);
+  Counters.count(Event::Insts, 400);
+
+  // Software rewinds the PIC: now 100 events from the wrap.
+  Counters.writePics((Counters.readPics() & ~0xffffffffULL) |
+                     (0x100000000ULL - 100));
+  Counters.count(Event::Insts, 99);
+  EXPECT_FALSE(Counters.overflowPending());
+  Counters.count(Event::Insts, 1);
+  EXPECT_TRUE(Counters.overflowPending());
+
+  // Re-arm, then reset all totals: the armed distance survives the reset.
+  Counters.armOverflowTrap(0, 50);
+  Counters.resetTotals();
+  Counters.count(Event::Insts, 49);
+  EXPECT_FALSE(Counters.overflowPending());
+  Counters.count(Event::Insts, 1);
+  EXPECT_TRUE(Counters.overflowPending());
+}
+
 TEST(PerfCounters, UnselectedEventsDoNotTickPics) {
   PerfCounters Counters;
   Counters.selectPicEvents(Event::Insts, Event::Cycles);

@@ -257,6 +257,14 @@ TEST(ProfDbMergeRejectTest, IncompatibleInputsAreRefused) {
   EXPECT_FALSE(profdb::mergeArtifacts(Base, OtherPic, Out, Error));
   EXPECT_NE(Error.find("schema"), std::string::npos) << Error;
 
+  // Different acquisition: exact counts and sampled estimates must never
+  // sum into one table.
+  profdb::Artifact OtherAcq = profdb::cloneArtifact(Base);
+  OtherAcq.Schema.Acquisition = "overflow";
+  Error.clear();
+  EXPECT_FALSE(profdb::mergeArtifacts(Base, OtherAcq, Out, Error));
+  EXPECT_NE(Error.find("acq"), std::string::npos) << Error;
+
   // Different workload identity.
   profdb::Artifact OtherLoad = profdb::cloneArtifact(Base);
   OtherLoad.Workload = "someone-else";

@@ -1,8 +1,22 @@
-//===- tests/SamplingTest.cpp - the §7.2 sampling baseline ---------------------===//
+//===- tests/SamplingTest.cpp - the overflow-sampling acquisition engine -------===//
+//
+// §7.2's sampling baseline, now acquired through counter-overflow traps:
+// prof::OverflowSampling arms a PIC to wrap after a period of events and
+// reconstructs approximate profiles from the trapped PCs plus a shadow
+// call stack. The tests cover the paper's statistical arguments (log
+// growth, missed contexts), the trap edge cases (wrap at a call
+// boundary, traps during signal handlers, traps with an empty shadow
+// stack), and the determinism contract (same sampled profile from both
+// VM engines and any scheduler width).
+//
+//===----------------------------------------------------------------------===//
 
+#include "cct/Export.h"
+#include "driver/RunCache.h"
+#include "driver/RunScheduler.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
-#include "prof/SamplingProfiler.h"
+#include "prof/OverflowSampling.h"
 #include "prof/Session.h"
 #include "workloads/Examples.h"
 #include "workloads/Spec.h"
@@ -13,18 +27,40 @@ using namespace pp;
 
 namespace {
 
+/// One standalone sampled run: engine, prepared module, machine, VM.
 struct SampledRun {
   vm::RunResult Result;
-  std::unique_ptr<prof::SamplingProfiler> Sampler;
+  std::unique_ptr<prof::OverflowSampling> Sampler;
+  prof::Instrumented Instr;
+  std::unique_ptr<hw::Machine> Machine;
+  std::unique_ptr<vm::Vm> VM;
+
+  prof::RunOutcome extract() {
+    prof::RunOutcome Outcome;
+    Sampler->extract(Outcome, *Machine);
+    return Outcome;
+  }
 };
 
-SampledRun runSampled(ir::Module &M, uint64_t Interval) {
+/// Runs \p M with the overflow engine trapping every \p Period cycles
+/// (PIC0 = Cycles), under \p Mode's reconstruction.
+SampledRun runSampled(ir::Module &M, uint64_t Period,
+                      prof::Mode Mode = prof::Mode::Context) {
   SampledRun Out;
-  hw::Machine Machine;
-  Out.Sampler = std::make_unique<prof::SamplingProfiler>(Machine, Interval);
-  vm::Vm VM(M, Machine);
-  VM.setTracer(Out.Sampler.get());
-  Out.Result = VM.run();
+  prof::ProfileConfig Config;
+  Config.M = Mode;
+  Config.Pic0 = hw::Event::Cycles;
+  prof::AcquisitionOptions Acq;
+  Acq.Kind = prof::Acquisition::Overflow;
+  Acq.Pic = 0;
+  Acq.Period = Period;
+  Out.Sampler = std::make_unique<prof::OverflowSampling>(M, Config, Acq);
+  Out.Instr = Out.Sampler->prepare();
+  Out.Machine = std::make_unique<hw::Machine>();
+  Out.Machine->counters().selectPicEvents(Config.Pic0, Config.Pic1);
+  Out.VM = std::make_unique<vm::Vm>(*Out.Instr.M, *Out.Machine);
+  Out.Sampler->attach(*Out.Machine, *Out.VM, Out.Instr);
+  Out.Result = Out.VM->run();
   return Out;
 }
 
@@ -55,7 +91,7 @@ TEST(Sampling, SamplesObserveRealContexts) {
   unsigned MainId = M->findFunction("main")->id();
   for (const std::vector<uint32_t> &Sample : Run.Sampler->samples()) {
     if (Sample.empty())
-      continue; // interrupt before main entered
+      continue; // trap before main entered
     EXPECT_EQ(Sample.front(), MainId);
     EXPECT_LE(Sample.size(), 5u); // main M A B C is the deepest chain
   }
@@ -69,7 +105,7 @@ TEST(Sampling, DenseSamplingFindsAllContextsOfTinyProgram) {
   prof::SessionOptions Options;
   Options.Config.M = prof::Mode::Context;
   prof::RunOutcome Ctx = prof::runProfile(*M, Options);
-  // Sampling every cycle sees every context that is ever on the stack,
+  // Trapping every cycle sees every context that is ever on the stack,
   // minus the empty pre-main context.
   EXPECT_GE(Run.Sampler->numDistinctContexts() + 1,
             Ctx.Tree->numRecords() - 1);
@@ -116,8 +152,12 @@ TEST(Sampling, UnmatchedExitAndUnwindDoNotUnderflow) {
   // must absorb them instead of popping an empty vector (UB).
   auto M = workloads::buildFig4Module();
   const ir::Function &Main = *M->findFunction("main");
-  hw::Machine Machine;
-  prof::SamplingProfiler Sampler(Machine, 1000);
+  prof::ProfileConfig Config;
+  Config.M = prof::Mode::Context;
+  prof::AcquisitionOptions Acq;
+  Acq.Kind = prof::Acquisition::Overflow;
+  Acq.Period = 1000;
+  prof::OverflowSampling Sampler(*M, Config, Acq);
 
   Sampler.onExitFunction(Main);   // unmatched: stack is empty
   Sampler.onUnwindFunction(Main); // unmatched: still empty
@@ -127,7 +167,149 @@ TEST(Sampling, UnmatchedExitAndUnwindDoNotUnderflow) {
   Sampler.onExitFunction(Main); // matched
   Sampler.onExitFunction(Main); // unmatched again — still safe
   Sampler.onUnwindFunction(Main);
-  EXPECT_EQ(Sampler.numSamples(), 0u); // interval never elapsed
+  EXPECT_EQ(Sampler.numSamples(), 0u); // no trap ever delivered
+}
+
+TEST(Sampling, TrapWithEmptyShadowStackIsRecordedSafely) {
+  // A trap can land before main's frame exists (or after every frame
+  // unwound). The handler must log an empty stack, bump no context, and
+  // re-arm without touching the tree.
+  auto M = workloads::buildFig4Module();
+  prof::ProfileConfig Config;
+  Config.M = prof::Mode::Context;
+  prof::AcquisitionOptions Acq;
+  Acq.Kind = prof::Acquisition::Overflow;
+  Acq.Period = 64;
+  prof::OverflowSampling Sampler(*M, Config, Acq);
+  prof::Instrumented Instr = Sampler.prepare();
+  hw::Machine Machine;
+  Machine.counters().selectPicEvents(Config.Pic0, Config.Pic1);
+  vm::Vm VM(*Instr.M, Machine);
+  Sampler.attach(Machine, VM, Instr);
+
+  Sampler.onOverflowTrap(VM, 0); // shadow stack is empty
+  EXPECT_EQ(Sampler.stats().Traps, 1u);
+  EXPECT_EQ(Sampler.numSamples(), 1u);
+  EXPECT_TRUE(Sampler.samples().front().empty());
+  EXPECT_EQ(Sampler.numDistinctContexts(), 0u); // tree untouched
+  EXPECT_TRUE(Machine.counters().overflowArmed()) << "handler re-arms";
+}
+
+TEST(Sampling, WrapExactlyAtCallBoundary) {
+  // Arm the instruction counter so the wrap lands exactly on a call
+  // instruction: the trap is delivered at the next dispatch boundary,
+  // which is the callee's first instruction — the sample must attribute
+  // to the callee's context, with the shadow stack already consistent.
+  //
+  // Instruction stream: main.mov(1) main.call(2) A.ret(3) main.ret(4).
+  auto Build = [] {
+    auto M = std::make_unique<ir::Module>();
+    ir::Function *A = M->addFunction("A", 0);
+    {
+      ir::IRBuilder IRB(A, A->addBlock("entry"));
+      IRB.retImm(7);
+    }
+    ir::Function *Main = M->addFunction("main", 0);
+    {
+      ir::IRBuilder IRB(Main, Main->addBlock("entry"));
+      IRB.movImm(1);
+      IRB.call(A, {});
+      IRB.retImm(0);
+    }
+    M->setMain(Main);
+    ir::verifyModuleOrDie(*M);
+    return M;
+  };
+
+  auto RunWithInstPeriod = [&Build](uint64_t Period) {
+    auto M = Build();
+    prof::ProfileConfig Config;
+    Config.M = prof::Mode::Context;
+    Config.Pic0 = hw::Event::Insts;
+    prof::AcquisitionOptions Acq;
+    Acq.Kind = prof::Acquisition::Overflow;
+    Acq.Pic = 0;
+    Acq.Period = Period;
+    auto Sampler = std::make_unique<prof::OverflowSampling>(*M, Config, Acq);
+    prof::Instrumented Instr = Sampler->prepare();
+    hw::Machine Machine;
+    Machine.counters().selectPicEvents(Config.Pic0, Config.Pic1);
+    vm::Vm VM(*Instr.M, Machine);
+    Sampler->attach(Machine, VM, Instr);
+    vm::RunResult Result = VM.run();
+    EXPECT_TRUE(Result.Ok) << Result.Error;
+    return Sampler;
+  };
+
+  // Wrap on the call instruction itself: delivery happens with A's frame
+  // already pushed, so the first sample's stack is [main, A].
+  auto OnCall = RunWithInstPeriod(2);
+  ASSERT_GE(OnCall->numSamples(), 1u);
+  ASSERT_EQ(OnCall->samples().front().size(), 2u);
+  EXPECT_EQ(OnCall->samples().front().back(), 0u);  // A is function 0
+  EXPECT_EQ(OnCall->samples().front().front(), 1u); // main below it
+
+  // Wrap on A's return: delivery happens back in main, after the callee
+  // frame popped — the sample must not still show A.
+  auto OnRet = RunWithInstPeriod(3);
+  ASSERT_GE(OnRet->numSamples(), 1u);
+  ASSERT_EQ(OnRet->samples().front().size(), 1u);
+  EXPECT_EQ(OnRet->samples().front().front(), 1u); // just main
+}
+
+TEST(Sampling, TrapDuringSignalHandlerReRootsTheContext) {
+  // Traps that land while a signal handler runs must attribute to the
+  // handler's re-rooted context (root -> SignalSlot -> handler), not to
+  // an interrupted-call child — the same multiple-roots answer the exact
+  // CCT gives (§4.2).
+  auto M = workloads::buildLoopModule(20000);
+  ir::Function *Handler = M->addFunction("handler", 0);
+  {
+    ir::BasicBlock *Entry = Handler->addBlock("entry");
+    ir::IRBuilder IRB(Handler, Entry);
+    // Enough work that a period-64 cycle trap regularly lands inside.
+    ir::Reg V = IRB.movImm(0);
+    for (int Step = 0; Step != 24; ++Step)
+      V = IRB.addImm(V, 1);
+    IRB.ret(V);
+  }
+  ir::verifyModuleOrDie(*M);
+
+  prof::ProfileConfig Config;
+  Config.M = prof::Mode::Context;
+  Config.Pic0 = hw::Event::Cycles;
+  prof::AcquisitionOptions Acq;
+  Acq.Kind = prof::Acquisition::Overflow;
+  Acq.Pic = 0;
+  Acq.Period = 64;
+  prof::OverflowSampling Sampler(*M, Config, Acq);
+  prof::Instrumented Instr = Sampler.prepare();
+  hw::Machine Machine;
+  Machine.counters().selectPicEvents(Config.Pic0, Config.Pic1);
+  vm::Vm VM(*Instr.M, Machine);
+  VM.setSignal(Instr.M->findFunction("handler"), 100);
+  Sampler.attach(Machine, VM, Instr);
+  vm::RunResult Result = VM.run();
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_GT(VM.signalsDelivered(), 0u);
+
+  prof::RunOutcome Outcome;
+  Sampler.extract(Outcome, Machine);
+  ASSERT_TRUE(Outcome.Tree);
+
+  // Some trap landed inside the handler, and its record hangs off the
+  // root's signal slot rather than off main's frame.
+  unsigned HandlerId = M->findFunction("handler")->id();
+  bool SampledHandlerUnderRoot = false;
+  for (const auto &Record : Outcome.Tree->records()) {
+    if (Record->procId() != HandlerId || Record->Metrics[0] == 0)
+      continue;
+    ASSERT_NE(Record->parent(), nullptr);
+    EXPECT_EQ(Record->parent()->procId(), cct::RootProcId);
+    SampledHandlerUnderRoot = true;
+  }
+  EXPECT_TRUE(SampledHandlerUnderRoot)
+      << "no trap sampled the handler's re-rooted context";
 }
 
 TEST(Sampling, SurvivesLongjmpOutOfSignalHandler) {
@@ -174,12 +356,21 @@ TEST(Sampling, SurvivesLongjmpOutOfSignalHandler) {
   M->setMain(Main);
   ir::verifyModuleOrDie(*M);
 
+  prof::ProfileConfig Config;
+  Config.M = prof::Mode::Context;
+  Config.Pic0 = hw::Event::Cycles;
+  prof::AcquisitionOptions Acq;
+  Acq.Kind = prof::Acquisition::Overflow;
+  Acq.Pic = 0;
+  Acq.Period = 25;
+  prof::OverflowSampling Sampler(*M, Config, Acq);
+  prof::Instrumented Instr = Sampler.prepare();
   hw::Machine Machine;
-  prof::SamplingProfiler Sampler(Machine, 25);
-  vm::Vm VM(*M, Machine);
-  VM.setTracer(&Sampler);
-  VM.setSignal(Handler, 50);
+  Machine.counters().selectPicEvents(Config.Pic0, Config.Pic1);
+  vm::Vm VM(*Instr.M, Machine);
+  VM.setSignal(Instr.M->findFunction("handler"), 50);
   VM.setMaxInsts(1 << 20);
+  Sampler.attach(Machine, VM, Instr);
   vm::RunResult Result = VM.run();
   ASSERT_TRUE(Result.Ok) << Result.Error;
   EXPECT_EQ(Result.ExitValue, 123u);
@@ -188,8 +379,98 @@ TEST(Sampling, SurvivesLongjmpOutOfSignalHandler) {
   unsigned MainId = Main->id();
   for (const std::vector<uint32_t> &Sample : Sampler.samples()) {
     if (Sample.empty())
-      continue; // interrupt before main entered
+      continue; // trap before main entered
     EXPECT_EQ(Sample.front(), MainId);
     EXPECT_LE(Sample.size(), 2u); // main, possibly the handler
+  }
+}
+
+namespace {
+
+/// Everything the sampled profile contains, in comparable form.
+struct SampledProfile {
+  std::array<uint64_t, hw::NumEvents> Totals{};
+  uint64_t Traps = 0;
+  std::vector<std::tuple<unsigned, uint64_t, uint64_t, uint64_t, uint64_t>>
+      Paths; // (func, sum, freq, m0, m1)
+  std::vector<uint8_t> TreeBytes;
+};
+
+SampledProfile profileOf(const prof::RunOutcome &Outcome) {
+  SampledProfile P;
+  P.Totals = Outcome.Totals;
+  P.Traps = Outcome.Acq.Traps;
+  for (const prof::FunctionPathProfile &Profile : Outcome.PathProfiles)
+    for (const prof::PathEntry &Entry : Profile.Paths)
+      P.Paths.emplace_back(Profile.FuncId, Entry.PathSum, Entry.Freq,
+                           Entry.Metric0, Entry.Metric1);
+  if (Outcome.Tree)
+    P.TreeBytes = cct::serialize(*Outcome.Tree);
+  return P;
+}
+
+} // namespace
+
+TEST(Sampling, DeterministicAcrossVmEngines) {
+  // The determinism contract: trap points depend only on event totals,
+  // which are engine-invariant — so a fixed (seed, period, workload)
+  // yields the same sampled profile from the reference and threaded VMs,
+  // jittered or not.
+  for (uint64_t Seed : {uint64_t(0), uint64_t(42)}) {
+    auto Run = [Seed](vm::Engine Engine) {
+      auto M = workloads::buildWorkload("130.li", 1);
+      prof::SessionOptions Options;
+      Options.Config.M = prof::Mode::ContextFlow;
+      Options.Engine = Engine;
+      Options.Acq.Kind = prof::Acquisition::Overflow;
+      Options.Acq.Pic = 0;
+      Options.Acq.Period = 500;
+      Options.Acq.Seed = Seed;
+      return profileOf(prof::runProfile(*M, Options));
+    };
+    SampledProfile Ref = Run(vm::Engine::Reference);
+    SampledProfile Thr = Run(vm::Engine::Threaded);
+    EXPECT_EQ(Ref.Totals, Thr.Totals) << "seed " << Seed;
+    EXPECT_EQ(Ref.Traps, Thr.Traps) << "seed " << Seed;
+    EXPECT_EQ(Ref.Paths, Thr.Paths) << "seed " << Seed;
+    EXPECT_EQ(Ref.TreeBytes, Thr.TreeBytes) << "seed " << Seed;
+    EXPECT_GT(Ref.Traps, 0u);
+  }
+}
+
+TEST(Sampling, DeterministicAcrossSchedulerWidths) {
+  // Same contract across the driver: a serial scheduler and a 4-worker
+  // pool produce identical sampled outcomes (the engine is per-run state;
+  // nothing leaks across concurrently executing runs).
+  auto Run = [](unsigned Threads) {
+    driver::RunCache Cache("");
+    driver::RunScheduler Sched(&Cache, Threads);
+    std::vector<size_t> Tickets;
+    for (const char *Name : {"130.li", "129.compress", "134.perl"}) {
+      driver::RunPlan Plan;
+      Plan.Workload = Name;
+      Plan.Scale = 1;
+      Plan.Options.Config.M = prof::Mode::FlowHw;
+      Plan.Options.Acq.Kind = prof::Acquisition::Overflow;
+      Plan.Options.Acq.Pic = 1;
+      Plan.Options.Acq.Period = 200;
+      Tickets.push_back(Sched.submit(std::move(Plan)));
+    }
+    std::vector<SampledProfile> Out;
+    for (size_t Ticket : Tickets) {
+      driver::OutcomePtr Outcome = Sched.get(Ticket);
+      EXPECT_TRUE(Outcome && Outcome->Result.Ok);
+      Out.push_back(profileOf(*Outcome));
+    }
+    return Out;
+  };
+  std::vector<SampledProfile> Serial = Run(0);
+  std::vector<SampledProfile> Pooled = Run(4);
+  ASSERT_EQ(Serial.size(), Pooled.size());
+  for (size_t Index = 0; Index != Serial.size(); ++Index) {
+    EXPECT_EQ(Serial[Index].Totals, Pooled[Index].Totals);
+    EXPECT_EQ(Serial[Index].Traps, Pooled[Index].Traps);
+    EXPECT_EQ(Serial[Index].Paths, Pooled[Index].Paths);
+    EXPECT_EQ(Serial[Index].TreeBytes, Pooled[Index].TreeBytes);
   }
 }

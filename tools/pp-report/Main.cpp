@@ -26,6 +26,7 @@
 #include "analysis/SiteStats.h"
 #include "cct/Export.h"
 #include "hw/Event.h"
+#include "prof/Acquisition.h"
 #include "prof/Instrumenter.h"
 #include "prof/Mode.h"
 #include "profdb/Diff.h"
@@ -69,6 +70,9 @@ void printUsage() {
       "  --paths=<n>       rows for top-paths (default 20)\n"
       "  --procs=<n>       rows for top-procs (default 20)\n"
       "  --limit=<n>       rows per diff section (default 20)\n"
+      "  --acquisition=<a> which acquisition's artifacts a --repo table\n"
+      "                    reads: exact (default) or overflow; artifacts\n"
+      "                    of the other acquisition are ignored\n"
       "  --collapsed=<c>   emit Brendan-Gregg collapsed stacks instead of\n"
       "                    cct-stats, weighted by calls|pic0|pic1\n"
       "\n"
@@ -149,9 +153,13 @@ const profdb::Artifact *selectArtifact(
   return Found;
 }
 
-profdb::MetricSchema schemaOf(prof::Mode M) {
-  return {prof::modeName(M), hw::eventName(hw::Event::Insts),
-          hw::eventName(hw::Event::DCacheReadMiss)};
+profdb::MetricSchema schemaOf(prof::Mode M, const std::string &Acq) {
+  profdb::MetricSchema Schema;
+  Schema.Mode = prof::modeName(M);
+  Schema.Pic0 = hw::eventName(hw::Event::Insts);
+  Schema.Pic1 = hw::eventName(hw::Event::DCacheReadMiss);
+  Schema.Acquisition = Acq;
+  return Schema;
 }
 
 /// The artifact-side collectPathRecords: same flattening, same order.
@@ -176,11 +184,12 @@ void noteMissingRow(const std::string &Workload, const char *Mode) {
 
 /// Table 4 (Table5 = false) or Table 5 from a repository of Flow-and-HW
 /// artifacts, through the same renderer the live benches use.
-int renderRepoPathTable(const std::string &Dir, bool Table5) {
+int renderRepoPathTable(const std::string &Dir, bool Table5,
+                        const std::string &Acq) {
   std::vector<profdb::Artifact> All;
   if (!loadRepo(Dir, All))
     return 1;
-  profdb::MetricSchema Want = schemaOf(prof::Mode::FlowHw);
+  profdb::MetricSchema Want = schemaOf(prof::Mode::FlowHw, Acq);
   std::vector<analysis::SuitePathRows> Rows;
   for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
     const profdb::Artifact *A = selectArtifact(All, Spec.Name, Want);
@@ -200,11 +209,11 @@ int renderRepoPathTable(const std::string &Dir, bool Table5) {
 /// columns compare the stored CCT against the workload's static call
 /// sites, so the (deterministic) module is rebuilt and re-instrumented
 /// locally, exactly as the live bench does.
-int renderRepoTable3(const std::string &Dir) {
+int renderRepoTable3(const std::string &Dir, const std::string &Acq) {
   std::vector<profdb::Artifact> All;
   if (!loadRepo(Dir, All))
     return 1;
-  profdb::MetricSchema Want = schemaOf(prof::Mode::ContextFlow);
+  profdb::MetricSchema Want = schemaOf(prof::Mode::ContextFlow, Acq);
   std::vector<analysis::Table3Row> Rows;
   for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
     const profdb::Artifact *A = selectArtifact(All, Spec.Name, Want);
@@ -309,6 +318,7 @@ int main(int Argc, char **Argv) {
   }
 
   std::string Repo, OutPath, Collapsed;
+  std::string Acq = "exact";
   size_t Paths = 20, Procs = 20, Limit = 20;
   std::vector<std::string> Inputs;
   for (int Index = 2; Index != Argc; ++Index) {
@@ -339,6 +349,13 @@ int main(int Argc, char **Argv) {
       Limit = static_cast<size_t>(std::atoi(V));
     } else if (const char *V = Value("--collapsed=")) {
       Collapsed = V;
+    } else if (const char *V = Value("--acquisition=")) {
+      prof::Acquisition Kind;
+      if (!prof::parseAcquisition(V, Kind)) {
+        std::fprintf(stderr, "pp-report: unknown acquisition '%s'\n", V);
+        return 1;
+      }
+      Acq = prof::acquisitionName(Kind);
     } else if (Arg.rfind("-", 0) == 0) {
       std::fprintf(stderr, "pp-report: unknown option '%s'\n", Arg.c_str());
       return 1;
@@ -367,10 +384,10 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     if (Cmd == "top-paths")
-      return renderRepoPathTable(Repo, /*Table5=*/false);
+      return renderRepoPathTable(Repo, /*Table5=*/false, Acq);
     if (Cmd == "top-procs")
-      return renderRepoPathTable(Repo, /*Table5=*/true);
-    return renderRepoTable3(Repo);
+      return renderRepoPathTable(Repo, /*Table5=*/true, Acq);
+    return renderRepoTable3(Repo, Acq);
   }
 
   if (Inputs.empty()) {

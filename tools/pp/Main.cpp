@@ -36,6 +36,7 @@ struct Options {
   prof::Mode M = prof::Mode::FlowHw;
   hw::Event Pic0 = hw::Event::Insts;
   hw::Event Pic1 = hw::Event::DCacheReadMiss;
+  prof::AcquisitionOptions Acq;
   int Scale = 1;
   double HotThreshold = 0.01;
   bool DumpIr = false;
@@ -71,6 +72,17 @@ void printUsage() {
       "  --coverage        report path coverage per function (flow modes)\n"
       "  --signal=<f>:<n>  run function f as a signal handler every n\n"
       "                    executed instructions\n"
+      "  --acquisition=<a> exact (instrumented counter reads, the default)\n"
+      "                    or overflow (PIC overflow-trap sampling; the\n"
+      "                    profile becomes a statistical estimate)\n"
+      "  --period=<n>      overflow sampling period in events "
+      "(default 65536)\n"
+      "  --sample-pic=<p>  which PIC's overflow traps drive sampling: 0 "
+      "or 1\n"
+      "                    (default 0)\n"
+      "  --sample-seed=<s> nonzero: jitter each period in [p/2, 3p/2) "
+      "from a\n"
+      "                    deterministic PRNG; 0 keeps the period fixed\n"
       "  --dot=<file>      write the CCT as Graphviz\n"
       "  --cct-out=<file>  write the serialised CCT profile\n"
       "  --profile-out=<dir>  deposit a profile artifact per run into dir\n"
@@ -161,6 +173,26 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.MaxPathsShown = static_cast<unsigned>(std::atoi(V));
     } else if (Arg == "--coverage") {
       Opts.Coverage = true;
+    } else if (const char *V = Value("--acquisition=")) {
+      if (!prof::parseAcquisition(V, Opts.Acq.Kind)) {
+        std::fprintf(stderr, "pp: unknown acquisition '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--period=")) {
+      Opts.Acq.Period = std::strtoull(V, nullptr, 10);
+      if (Opts.Acq.Period == 0) {
+        std::fprintf(stderr, "pp: bad --period\n");
+        return false;
+      }
+    } else if (const char *V = Value("--sample-pic=")) {
+      unsigned Pic = static_cast<unsigned>(std::atoi(V));
+      if (Pic > 1) {
+        std::fprintf(stderr, "pp: --sample-pic wants 0 or 1\n");
+        return false;
+      }
+      Opts.Acq.Pic = Pic;
+    } else if (const char *V = Value("--sample-seed=")) {
+      Opts.Acq.Seed = std::strtoull(V, nullptr, 10);
     } else if (const char *V = Value("--signal=")) {
       Opts.SignalSpec = V;
     } else if (const char *V = Value("--dot=")) {
@@ -405,6 +437,7 @@ int main(int Argc, char **Argv) {
   Session.Config.M = Opts.M;
   Session.Config.Pic0 = Opts.Pic0;
   Session.Config.Pic1 = Opts.Pic1;
+  Session.Acq = Opts.Acq;
   if (!Opts.SignalSpec.empty()) {
     size_t Colon = Opts.SignalSpec.find(':');
     if (Colon == std::string::npos) {
@@ -444,6 +477,9 @@ int main(int Argc, char **Argv) {
   };
   prof::SessionOptions BaseSession = Session;
   BaseSession.Config.M = prof::Mode::None;
+  // The overhead baseline is always an exact uninstrumented run — the
+  // thing both acquisitions are measured against.
+  BaseSession.Acq = prof::AcquisitionOptions();
   driver::Driver &D = driver::defaultDriver();
   if (!Opts.ProfileOutDir.empty())
     D.scheduler().setProfileOutDir(Opts.ProfileOutDir);
@@ -469,9 +505,16 @@ int main(int Argc, char **Argv) {
   std::printf("== %s under %s (PIC0=%s, PIC1=%s) ==\n", Opts.Input.c_str(),
               prof::modeName(Opts.M), hw::eventName(Opts.Pic0),
               hw::eventName(Opts.Pic1));
-  std::printf("exit value %llu; %llu instructions executed\n\n",
+  std::printf("exit value %llu; %llu instructions executed\n",
               (unsigned long long)Run->Result.ExitValue,
               (unsigned long long)Run->Result.ExecutedInsts);
+  if (Opts.Acq.Kind == prof::Acquisition::Overflow)
+    std::printf("overflow sampling on PIC%u, period %llu: %llu traps, "
+                "%llu samples (profile is a statistical estimate)\n",
+                Opts.Acq.Pic, (unsigned long long)Opts.Acq.Period,
+                (unsigned long long)Run->Acq.Traps,
+                (unsigned long long)Run->Acq.Samples);
+  std::printf("\n");
   reportSummary(*Base, *Run);
 
   if (Opts.M == prof::Mode::Flow || Opts.M == prof::Mode::FlowHw) {
