@@ -1,0 +1,201 @@
+//===- bench/collectd_ingest.cpp - fleet ingest throughput ----------------------===//
+//
+// Load-tests the pp-collectd ingest service with a simulated fleet:
+// 1024 clients each uploading a few profile artifacts through the
+// bounded-queue thread pool into windowed merge trees, with queries
+// running against the folded windows while ingest is still in flight.
+// Reports sustained artifacts/sec and the p50/p99 query latency under
+// that ingest load, and asserts the fold stayed deterministic (threaded
+// bytes == a serial reference fold).
+//
+// Writes BENCH_collectd.json (machine-readable; CI uploads it as a
+// workflow artifact).
+//
+//===----------------------------------------------------------------------===//
+
+#include "collectd/Ingest.h"
+#include "prof/Session.h"
+#include "profdb/Artifact.h"
+#include "support/TableWriter.h"
+#include "workloads/Spec.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace pp;
+
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point From,
+               std::chrono::steady_clock::time_point To) {
+  return std::chrono::duration<double>(To - From).count();
+}
+
+} // namespace
+
+int main() {
+  constexpr uint64_t NumClients = 1024;
+  constexpr uint64_t UploadsPerClient = 3;
+  constexpr uint64_t NumWindows = 4;
+  constexpr unsigned NumQueries = 256;
+  const char *Workload = "130.li";
+
+  auto Module = workloads::buildWorkload(Workload, 1);
+  if (!Module) {
+    std::fprintf(stderr, "collectd_ingest: cannot build %s\n", Workload);
+    return 1;
+  }
+
+  // One real run; every client uploads its artifact under a per-upload
+  // fingerprint (distinct fleet machines reporting the same binary).
+  prof::SessionOptions Options;
+  Options.Config.M = prof::Mode::ContextFlowHw;
+  prof::RunOutcome Outcome = prof::runProfile(*Module, Options);
+  if (!Outcome.Result.Ok) {
+    std::fprintf(stderr, "collectd_ingest: run failed: %s\n",
+                 Outcome.Result.Error.c_str());
+    return 1;
+  }
+
+  const uint64_t TotalUploads = NumClients * UploadsPerClient;
+  std::vector<collectd::Upload> Uploads;
+  Uploads.reserve(TotalUploads);
+  size_t UploadBytes = 0;
+  for (uint64_t Index = 0; Index != TotalUploads; ++Index) {
+    profdb::Artifact A = profdb::artifactFromOutcome(
+        Outcome, *Module, "fleet;upload" + std::to_string(Index), Workload,
+        1, Options.Config);
+    uint64_t Client = Index / UploadsPerClient;
+    collectd::Upload U{"c" + std::to_string(Client), Client % NumWindows,
+                       profdb::encodeArtifact(A)};
+    UploadBytes += U.Bytes.size();
+    Uploads.push_back(std::move(U));
+  }
+
+  // Serial reference fold for the determinism check.
+  std::vector<std::vector<uint8_t>> Reference;
+  {
+    collectd::IngestConfig C;
+    C.Threads = 0;
+    collectd::IngestService Service(C);
+    for (const collectd::Upload &U : Uploads)
+      Service.submit(U);
+    Service.drain();
+    std::string Error;
+    Reference = Service.windowBytes(0, Error);
+    if (Reference.empty()) {
+      std::fprintf(stderr, "collectd_ingest: reference fold failed: %s\n",
+                   Error.c_str());
+      return 1;
+    }
+  }
+
+  unsigned Cores = std::thread::hardware_concurrency();
+  collectd::IngestConfig C;
+  C.Threads = Cores ? std::min(Cores, 8u) : 4;
+  C.QueueCapacity = 512;
+  collectd::IngestService Service(C);
+
+  // Feed the fleet from one producer thread while the main thread runs
+  // queries against whatever the windows hold so far — the service's
+  // steady state, not an idle postmortem.
+  auto T0 = std::chrono::steady_clock::now();
+  std::thread Producer([&Service, &Uploads] {
+    for (collectd::Upload &U : Uploads)
+      Service.submit(std::move(U));
+  });
+
+  std::vector<double> QueryLatencies;
+  QueryLatencies.reserve(NumQueries);
+  for (unsigned Q = 0; Q != NumQueries; ++Q) {
+    uint64_t Window = Q % NumWindows;
+    std::string Error;
+    auto Tq0 = std::chrono::steady_clock::now();
+    std::string Out = Service.queryTopProcs(Window, 10, Error);
+    auto Tq1 = std::chrono::steady_clock::now();
+    // Early queries may beat the first accepted upload of a window;
+    // those answer "no such window", which is itself a served query.
+    (void)Out;
+    QueryLatencies.push_back(seconds(Tq0, Tq1));
+  }
+
+  Producer.join();
+  Service.drain();
+  auto T1 = std::chrono::steady_clock::now();
+  double IngestSeconds = seconds(T0, T1);
+
+  collectd::IngestStats Stats = Service.stats();
+  if (Stats.Accepted != TotalUploads) {
+    std::fprintf(stderr,
+                 "collectd_ingest: expected %llu accepted, got %llu\n",
+                 static_cast<unsigned long long>(TotalUploads),
+                 static_cast<unsigned long long>(Stats.Accepted));
+    return 1;
+  }
+
+  std::string Error;
+  std::vector<std::vector<uint8_t>> Threaded = Service.windowBytes(0, Error);
+  if (Threaded != Reference) {
+    std::fprintf(stderr, "collectd_ingest: threaded fold diverged from the "
+                         "serial reference\n");
+    return 1;
+  }
+
+  std::sort(QueryLatencies.begin(), QueryLatencies.end());
+  auto Percentile = [&QueryLatencies](double P) {
+    size_t Index = static_cast<size_t>(P * (QueryLatencies.size() - 1));
+    return QueryLatencies[Index];
+  };
+  double P50 = Percentile(0.50), P99 = Percentile(0.99);
+  double PerSec = TotalUploads / IngestSeconds;
+
+  auto Ms = [](double Seconds) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", Seconds * 1e3);
+    return std::string(Buf);
+  };
+  TableWriter Table;
+  Table.setHeader({"Clients", "Uploads", "Threads", "Artifacts/s",
+                   "Query p50 ms", "Query p99 ms", "Compactions"});
+  Table.addRow({std::to_string(NumClients), std::to_string(TotalUploads),
+                std::to_string(C.Threads), std::to_string((uint64_t)PerSec),
+                Ms(P50), Ms(P99), std::to_string(Stats.Compactions)});
+  std::printf("Fleet ingest (%llu clients x %llu uploads, %u queries "
+              "in flight; threaded bytes == serial bytes)\n\n%s",
+              static_cast<unsigned long long>(NumClients),
+              static_cast<unsigned long long>(UploadsPerClient), NumQueries,
+              Table.render().c_str());
+
+  std::ofstream Json("BENCH_collectd.json");
+  char Buf[640];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\n  \"bench\": \"collectd_ingest\",\n"
+                "  \"clients\": %llu,\n"
+                "  \"uploads\": %llu,\n"
+                "  \"upload_bytes\": %zu,\n"
+                "  \"windows\": %llu,\n"
+                "  \"ingest_threads\": %u,\n"
+                "  \"hardware_cores\": %u,\n"
+                "  \"ingest_seconds\": %.6f,\n"
+                "  \"artifacts_per_second\": %.1f,\n"
+                "  \"queries\": %u,\n"
+                "  \"query_p50_seconds\": %.6f,\n"
+                "  \"query_p99_seconds\": %.6f,\n"
+                "  \"compactions\": %llu,\n"
+                "  \"bit_identical\": true\n}\n",
+                static_cast<unsigned long long>(NumClients),
+                static_cast<unsigned long long>(TotalUploads), UploadBytes,
+                static_cast<unsigned long long>(NumWindows), C.Threads,
+                Cores, IngestSeconds, PerSec, NumQueries, P50, P99,
+                static_cast<unsigned long long>(Stats.Compactions));
+  Json << Buf;
+  std::printf("\nwrote BENCH_collectd.json (%.0f artifacts/s, query p99 "
+              "%.2f ms)\n",
+              PerSec, P99 * 1e3);
+  return 0;
+}

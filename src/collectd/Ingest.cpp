@@ -1,0 +1,328 @@
+//===- collectd/Ingest.cpp - Fleet artifact ingest service --------------------===//
+
+#include "collectd/Ingest.h"
+
+#include "driver/FaultInjector.h"
+#include "obs/Obs.h"
+#include "profdb/Report.h"
+#include "profdb/Store.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace pp;
+using namespace pp::collectd;
+
+const char *collectd::rejectReasonName(RejectReason R) {
+  switch (R) {
+  case RejectReason::None:
+    return "none";
+  case RejectReason::Corrupt:
+    return "corrupt";
+  case RejectReason::CrossAcquisition:
+    return "cross-acquisition";
+  case RejectReason::QuotaExceeded:
+    return "quota-exceeded";
+  case RejectReason::MergeFailed:
+    return "merge-failed";
+  case RejectReason::NumReasons:
+    break;
+  }
+  return "?";
+}
+
+namespace {
+
+/// The admission key of an artifact: everything mergeArtifacts checks
+/// before summing — workload, scale, full metric schema, and the program
+/// shape (function table + path-table geometry + CCT presence). Two
+/// artifacts with equal keys always merge cleanly, so distinct shapes
+/// can never collide inside one MergeTree.
+std::string groupKeyOf(const profdb::Artifact &A) {
+  std::string Shape;
+  for (const std::string &F : A.Functions) {
+    Shape += F;
+    Shape += ';';
+  }
+  for (const prof::FunctionPathProfile &P : A.PathProfiles)
+    Shape += formatString("%u:%d:%llu;", P.FuncId, int(P.HasProfile),
+                          static_cast<unsigned long long>(P.NumPaths));
+  return formatString(
+      "%s|%llu|%s|%s|%s|%s|%c|%016llx", A.Workload.c_str(),
+      static_cast<unsigned long long>(A.Scale), A.Schema.Mode.c_str(),
+      A.Schema.Pic0.c_str(), A.Schema.Pic1.c_str(),
+      A.Schema.Acquisition.c_str(), A.Tree ? 'c' : '-',
+      static_cast<unsigned long long>(profdb::fnv1a(Shape)));
+}
+
+} // namespace
+
+IngestService::IngestService(IngestConfig C) : Cfg(std::move(C)) {
+  if (Cfg.QueueCapacity == 0)
+    Cfg.QueueCapacity = 1;
+  for (unsigned I = 0; I != Cfg.Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+IngestService::~IngestService() {
+  drain();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Stopping = true;
+  }
+  QueueNotEmpty.notify_all();
+  QueueNotFull.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void IngestService::submit(Upload U) {
+  std::unique_lock<std::mutex> Lock(QueueMu);
+  if (Workers.empty()) {
+    // Manual-pump mode: blocking on QueueNotFull would deadlock — the
+    // calling thread is the only consumer. Make room by ingesting the
+    // queue head inline; capacity still bounds memory.
+    while (Queue.size() >= Cfg.QueueCapacity && !Stopping) {
+      Upload Head = std::move(Queue.front());
+      Queue.pop_front();
+      Lock.unlock();
+      ingestNow(std::move(Head));
+      Lock.lock();
+    }
+  } else {
+    QueueNotFull.wait(
+        Lock, [this] { return Queue.size() < Cfg.QueueCapacity || Stopping; });
+  }
+  if (Stopping)
+    return;
+  Queue.push_back(std::move(U));
+  QueueNotEmpty.notify_one();
+}
+
+bool IngestService::trySubmit(Upload U) {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    if (!Stopping && Queue.size() < Cfg.QueueCapacity) {
+      Queue.push_back(std::move(U));
+      QueueNotEmpty.notify_one();
+      return true;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(StateMu);
+  ++Stats.Backpressured;
+  return false;
+}
+
+bool IngestService::popUpload(Upload &Out) {
+  std::unique_lock<std::mutex> Lock(QueueMu);
+  QueueNotEmpty.wait(Lock, [this] { return !Queue.empty() || Stopping; });
+  if (Queue.empty())
+    return false;
+  Out = std::move(Queue.front());
+  Queue.pop_front();
+  ++InFlight;
+  QueueNotFull.notify_all();
+  return true;
+}
+
+void IngestService::workerLoop() {
+  Upload U;
+  while (popUpload(U)) {
+    ingestNow(std::move(U));
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    --InFlight;
+    // Wake both blocked submitters and a drain() waiting for idle.
+    QueueNotFull.notify_all();
+  }
+}
+
+void IngestService::drain() {
+  if (Workers.empty()) {
+    // Manual-pump mode: the calling thread is the worker.
+    while (true) {
+      Upload U;
+      {
+        std::lock_guard<std::mutex> Lock(QueueMu);
+        if (Queue.empty())
+          break;
+        U = std::move(Queue.front());
+        Queue.pop_front();
+        QueueNotFull.notify_all();
+      }
+      ingestNow(std::move(U));
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> Lock(QueueMu);
+  QueueNotFull.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+}
+
+UploadResult IngestService::ingestNow(Upload U) {
+  obs::SpanScope Span("collectd", "ingest", "", /*Work=*/U.Bytes.size());
+  auto Reject = [this](RejectReason Reason,
+                       profdb::DecodeStatus Decode) -> UploadResult {
+    obs::add(obs::Counter::CollectdRejected);
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Stats.Submitted;
+    ++Stats.Rejected;
+    ++Stats.RejectedBy[static_cast<size_t>(Reason)];
+    return UploadResult{false, Reason, Decode};
+  };
+
+  // The read seam stands in for corruption in flight; whatever it does
+  // to the bytes, the decoder's CRC + bounds checks turn it into a typed
+  // rejection of this one upload.
+  driver::FaultInjector::instance().mutateCacheRead(U.Bytes);
+
+  profdb::Artifact A;
+  profdb::DecodeStatus Decode = profdb::decodeArtifact(U.Bytes, A);
+  if (Decode != profdb::DecodeStatus::Ok)
+    return Reject(RejectReason::Corrupt, Decode);
+
+  if (A.Schema.Acquisition != Cfg.Acquisition)
+    return Reject(RejectReason::CrossAcquisition, profdb::DecodeStatus::Ok);
+
+  std::string Key = groupKeyOf(A);
+  std::lock_guard<std::mutex> Lock(StateMu);
+  ++Stats.Submitted;
+
+  if (Cfg.TenantWindowQuota) {
+    uint64_t &Used = QuotaUsed[{U.Tenant, U.Window}];
+    if (Used >= Cfg.TenantWindowQuota) {
+      obs::add(obs::Counter::CollectdRejected);
+      ++Stats.Rejected;
+      ++Stats.RejectedBy[static_cast<size_t>(RejectReason::QuotaExceeded)];
+      return UploadResult{false, RejectReason::QuotaExceeded,
+                          profdb::DecodeStatus::Ok};
+    }
+    ++Used;
+  }
+
+  Window &W = Windows[U.Window];
+  auto It = W.find(Key);
+  if (It == W.end())
+    It = W.emplace(std::piecewise_construct, std::forward_as_tuple(Key),
+                   std::forward_as_tuple(A.Workload, Cfg.Fanout,
+                                         Cfg.MergeThreads))
+             .first;
+  std::string Error;
+  if (!It->second.Tree.add(std::move(A), Error)) {
+    obs::add(obs::Counter::CollectdRejected);
+    ++Stats.Rejected;
+    ++Stats.RejectedBy[static_cast<size_t>(RejectReason::MergeFailed)];
+    return UploadResult{false, RejectReason::MergeFailed,
+                        profdb::DecodeStatus::Ok};
+  }
+  obs::add(obs::Counter::CollectdAccepted);
+  ++Stats.Accepted;
+  return UploadResult{true, RejectReason::None, profdb::DecodeStatus::Ok};
+}
+
+template <typename RenderFn>
+std::string IngestService::queryWindow(uint64_t Window, std::string &Error,
+                                       RenderFn Render) {
+  obs::add(obs::Counter::CollectdQueries);
+  std::lock_guard<std::mutex> Lock(StateMu);
+  ++Stats.Queries;
+  auto It = Windows.find(Window);
+  if (It == Windows.end()) {
+    Error = formatString("no such window %llu",
+                         static_cast<unsigned long long>(Window));
+    return "";
+  }
+  std::string Out;
+  for (auto &[Key, G] : It->second) {
+    const profdb::Artifact *F = G.Tree.folded(Error);
+    if (!F)
+      return "";
+    // The renderers open with reportHeader themselves.
+    Out += Render(*F);
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string IngestService::queryTopPaths(uint64_t Window, size_t Limit,
+                                         std::string &Error) {
+  obs::SpanScope Span("collectd", "query", "top-paths");
+  return queryWindow(Window, Error, [Limit](const profdb::Artifact &A) {
+    return profdb::reportTopPaths(A, Limit);
+  });
+}
+
+std::string IngestService::queryTopProcs(uint64_t Window, size_t Limit,
+                                         std::string &Error) {
+  obs::SpanScope Span("collectd", "query", "top-procs");
+  return queryWindow(Window, Error, [Limit](const profdb::Artifact &A) {
+    return profdb::reportTopProcs(A, Limit);
+  });
+}
+
+std::string IngestService::queryCctStats(uint64_t Window,
+                                         std::string &Error) {
+  obs::SpanScope Span("collectd", "query", "cct-stats");
+  return queryWindow(Window, Error, [](const profdb::Artifact &A) {
+    return profdb::reportCctStats(A);
+  });
+}
+
+std::vector<std::vector<uint8_t>>
+IngestService::windowBytes(uint64_t Window, std::string &Error) {
+  std::lock_guard<std::mutex> Lock(StateMu);
+  std::vector<std::vector<uint8_t>> Out;
+  auto It = Windows.find(Window);
+  if (It == Windows.end()) {
+    Error = formatString("no such window %llu",
+                         static_cast<unsigned long long>(Window));
+    return Out;
+  }
+  for (auto &[Key, G] : It->second) {
+    const profdb::Artifact *F = G.Tree.folded(Error);
+    if (!F)
+      return {};
+    Out.push_back(profdb::encodeArtifact(*F));
+  }
+  return Out;
+}
+
+std::vector<uint64_t> IngestService::windows() const {
+  std::lock_guard<std::mutex> Lock(StateMu);
+  std::vector<uint64_t> Ids;
+  for (const auto &[Id, W] : Windows)
+    Ids.push_back(Id);
+  return Ids;
+}
+
+IngestStats IngestService::stats() const {
+  std::lock_guard<std::mutex> Lock(StateMu);
+  IngestStats Out = Stats;
+  Out.Windows = Windows.size();
+  for (const auto &[Id, W] : Windows)
+    for (const auto &[Key, G] : W)
+      Out.Compactions += G.Tree.compactions();
+  return Out;
+}
+
+bool IngestService::persist(std::string &Error) {
+  if (Cfg.StoreDir.empty()) {
+    Error = "no store directory configured";
+    return false;
+  }
+  std::lock_guard<std::mutex> Lock(StateMu);
+  for (auto &[Id, W] : Windows) {
+    std::string Dir =
+        Cfg.StoreDir + "/w" + formatString("%llu", (unsigned long long)Id);
+    for (auto &[Key, G] : W) {
+      const profdb::Artifact *F = G.Tree.folded(Error);
+      if (!F)
+        return false;
+      // Named by group key, not fingerprint: two groups whose merged
+      // fingerprints degenerate to the same hash (XOR of identical
+      // sources) must still land in distinct files.
+      std::string Path = Dir + "/" + profdb::artifactFileName(Key);
+      if (!profdb::writeArtifactFile(Path, *F, Error))
+        return false;
+    }
+  }
+  return true;
+}

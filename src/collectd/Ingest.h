@@ -1,0 +1,209 @@
+//===- collectd/Ingest.h - Fleet artifact ingest service -------*- C++ -*-===//
+///
+/// \file
+/// The continuous-profiling collector: a long-running service that
+/// accepts encoded profile artifacts (.ppa bytes) uploaded by a fleet of
+/// clients and folds them into per-window incremental merge trees
+/// (collectd/MergeTree.h). The paper's tables are batch reports over one
+/// run; this is the "always on" production shape — thousands of uploads
+/// an hour, bounded memory, queries served from the folded windows.
+///
+/// Admission pipeline, per upload:
+///
+///   1. The bytes pass through the FaultInjector read seam, standing in
+///      for network/disk corruption in flight.
+///   2. decodeArtifact — every upload is untrusted; a typed DecodeStatus
+///      rejects the upload, never the window.
+///   3. Acquisition check — exact counts and sampled estimates must not
+///      fold together, so an upload whose schema acquisition differs
+///      from the service's is rejected (CrossAcquisition).
+///   4. Per-(tenant, window) quota.
+///   5. Fold into the window's schema group (keyed by workload, scale,
+///      schema, and program shape, so merge incompatibilities cannot
+///      collide inside one tree).
+///
+/// Ingest runs on a thread pool behind a bounded queue: submit() blocks
+/// for space (backpressure), trySubmit() refuses instead. Threads == 0
+/// selects manual-pump mode — submissions only enqueue, drain() processes
+/// them on the calling thread — which is what the deterministic tests
+/// use.
+///
+/// Every fold is deterministic: the window's merged bytes are identical
+/// for any arrival order, thread count, or compaction grouping (see
+/// MergeTree.h), so a rejected upload provably leaves the window
+/// byte-identical to a run that never saw it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_COLLECTD_INGEST_H
+#define PP_COLLECTD_INGEST_H
+
+#include "collectd/MergeTree.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pp {
+namespace collectd {
+
+/// Why an upload was not folded into its window.
+enum class RejectReason : unsigned {
+  None = 0,
+  /// The bytes failed decodeArtifact; UploadResult::Decode says how.
+  Corrupt,
+  /// The artifact's schema acquisition differs from the service's.
+  CrossAcquisition,
+  /// The (tenant, window) accepted-upload quota is exhausted.
+  QuotaExceeded,
+  /// A compaction or fold merge failed (structural corruption that
+  /// passed the decoder); the upload is dropped, the window survives.
+  MergeFailed,
+  NumReasons
+};
+
+/// Human-readable name ("corrupt", "cross-acquisition", ...).
+const char *rejectReasonName(RejectReason R);
+
+/// One client upload: encoded artifact bytes bound for a time window.
+struct Upload {
+  std::string Tenant;
+  uint64_t Window = 0;
+  std::vector<uint8_t> Bytes;
+};
+
+/// The typed outcome of ingesting one upload.
+struct UploadResult {
+  bool Accepted = false;
+  RejectReason Reason = RejectReason::None;
+  /// Valid when Reason == Corrupt.
+  profdb::DecodeStatus Decode = profdb::DecodeStatus::Ok;
+};
+
+struct IngestConfig {
+  /// Ingest worker threads; 0 = manual-pump mode (drain() processes the
+  /// queue on the calling thread — deterministic, used by tests).
+  unsigned Threads = 4;
+  /// Bounded queue depth; submit() blocks at capacity, trySubmit()
+  /// refuses.
+  size_t QueueCapacity = 1024;
+  /// Accepted uploads allowed per (tenant, window); 0 = unlimited.
+  uint64_t TenantWindowQuota = 0;
+  /// MergeTree level fanout.
+  unsigned Fanout = 8;
+  /// Threads per mergeAll reduction wave.
+  unsigned MergeThreads = 1;
+  /// The acquisition this collector accepts ("exact" or "overflow").
+  std::string Acquisition = "exact";
+  /// Root for persist(): window folds land in StoreDir/w<window>/.
+  /// Empty = memory-only.
+  std::string StoreDir;
+};
+
+/// Aggregate service counters. Schedule-independent: totals depend only
+/// on the submitted uploads, never on worker interleaving.
+struct IngestStats {
+  uint64_t Submitted = 0;
+  uint64_t Accepted = 0;
+  uint64_t Rejected = 0;
+  uint64_t RejectedBy[static_cast<size_t>(RejectReason::NumReasons)] = {};
+  /// trySubmit() refusals — backpressure, not upload verdicts.
+  uint64_t Backpressured = 0;
+  uint64_t Compactions = 0;
+  uint64_t Queries = 0;
+  size_t Windows = 0;
+};
+
+class IngestService {
+public:
+  explicit IngestService(IngestConfig C);
+  /// Drains the queue and joins the workers.
+  ~IngestService();
+
+  IngestService(const IngestService &) = delete;
+  IngestService &operator=(const IngestService &) = delete;
+
+  /// Enqueues \p U, blocking while the queue is at capacity. In
+  /// manual-pump mode there is no consumer to wait for, so a full queue
+  /// pumps queued uploads inline on the calling thread instead of
+  /// deadlocking.
+  void submit(Upload U);
+  /// Enqueues \p U unless the queue is at capacity; false = backpressure,
+  /// the caller should retry later.
+  bool trySubmit(Upload U);
+  /// Blocks until every enqueued upload has been ingested. In
+  /// manual-pump mode this processes the queue on the calling thread.
+  void drain();
+
+  /// Synchronous ingest on the calling thread, returning the typed
+  /// verdict. The queued paths funnel into this.
+  UploadResult ingestNow(Upload U);
+
+  /// The hottest paths / procedures / CCT statistics of \p Window,
+  /// rendered per schema group through the same profdb report code
+  /// pp-report uses (so a collector answer is byte-comparable to a
+  /// pp-report run over the same artifacts).
+  std::string queryTopPaths(uint64_t Window, size_t Limit,
+                            std::string &Error);
+  std::string queryTopProcs(uint64_t Window, size_t Limit,
+                            std::string &Error);
+  std::string queryCctStats(uint64_t Window, std::string &Error);
+
+  /// The encoded folded artifact of each schema group in \p Window, in
+  /// group-key order — the byte-identity hook the determinism and
+  /// rejection-isolation tests compare.
+  std::vector<std::vector<uint8_t>> windowBytes(uint64_t Window,
+                                                std::string &Error);
+
+  /// Ascending ids of every window that has accepted at least one upload.
+  std::vector<uint64_t> windows() const;
+
+  IngestStats stats() const;
+
+  /// Writes every window's folded groups to StoreDir/w<window>/ as
+  /// ordinary .ppa artifact files (pp-report can load them directly).
+  bool persist(std::string &Error);
+
+private:
+  struct Group {
+    std::string Label; ///< workload name, for query headers
+    MergeTree Tree;
+    Group(const std::string &Label, unsigned Fanout, unsigned MergeThreads)
+        : Label(Label), Tree(Fanout, MergeThreads) {}
+  };
+  using Window = std::map<std::string, Group>;
+
+  void workerLoop();
+  bool popUpload(Upload &Out);
+  /// Renders \p Window group by group via \p Render; shared shape of the
+  /// three queries.
+  template <typename RenderFn>
+  std::string queryWindow(uint64_t Window, std::string &Error,
+                          RenderFn Render);
+
+  IngestConfig Cfg;
+
+  mutable std::mutex QueueMu;
+  std::condition_variable QueueNotEmpty;
+  std::condition_variable QueueNotFull;
+  std::deque<Upload> Queue;
+  size_t InFlight = 0; ///< popped but not yet ingested
+  bool Stopping = false;
+
+  mutable std::mutex StateMu;
+  std::map<uint64_t, Window> Windows;
+  std::map<std::pair<std::string, uint64_t>, uint64_t> QuotaUsed;
+  IngestStats Stats;
+
+  std::vector<std::thread> Workers;
+};
+
+} // namespace collectd
+} // namespace pp
+
+#endif // PP_COLLECTD_INGEST_H

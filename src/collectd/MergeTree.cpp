@@ -1,0 +1,67 @@
+//===- collectd/MergeTree.cpp - Windowed incremental merging ------------------===//
+
+#include "collectd/MergeTree.h"
+
+#include "obs/Obs.h"
+#include "profdb/Merge.h"
+
+using namespace pp;
+using namespace pp::collectd;
+
+MergeTree::MergeTree(unsigned Fanout, unsigned MergeThreads)
+    : Fanout(Fanout < 2 ? 2 : Fanout),
+      MergeThreads(MergeThreads ? MergeThreads : 1) {}
+
+bool MergeTree::add(profdb::Artifact A, std::string &Error) {
+  if (Levels.empty())
+    Levels.emplace_back();
+  Levels[0].push_back(std::move(A));
+  ++Leaves;
+  Cache.reset();
+
+  // Cascade compactions up the levels. A full level is merged into one
+  // artifact on the next level, which may fill that level in turn.
+  for (size_t Level = 0; Level != Levels.size(); ++Level) {
+    if (Levels[Level].size() < Fanout)
+      break;
+    obs::SpanScope Span("collectd", "compact", "",
+                        /*Work=*/Levels[Level].size(),
+                        /*Items=*/Levels[Level].size());
+    profdb::Artifact Merged;
+    std::vector<profdb::Artifact> Inputs = std::move(Levels[Level]);
+    Levels[Level].clear();
+    if (!profdb::mergeAll(std::move(Inputs), Merged, Error, MergeThreads))
+      return false;
+    ++Compactions;
+    obs::add(obs::Counter::CollectdCompactions);
+    if (Level + 1 == Levels.size())
+      Levels.emplace_back();
+    Levels[Level + 1].push_back(std::move(Merged));
+  }
+  return true;
+}
+
+const profdb::Artifact *MergeTree::folded(std::string &Error) {
+  if (Cache)
+    return Cache.get();
+  std::vector<profdb::Artifact> Resident;
+  for (const std::vector<profdb::Artifact> &Level : Levels)
+    for (const profdb::Artifact &A : Level)
+      Resident.push_back(profdb::cloneArtifact(A));
+  if (Resident.empty()) {
+    Error = "empty merge tree";
+    return nullptr;
+  }
+  profdb::Artifact Out;
+  if (!profdb::mergeAll(std::move(Resident), Out, Error, MergeThreads))
+    return nullptr;
+  Cache = std::make_unique<profdb::Artifact>(std::move(Out));
+  return Cache.get();
+}
+
+size_t MergeTree::residentArtifacts() const {
+  size_t Count = 0;
+  for (const std::vector<profdb::Artifact> &Level : Levels)
+    Count += Level.size();
+  return Count;
+}

@@ -1,0 +1,71 @@
+//===- collectd/MergeTree.h - Windowed incremental merging -----*- C++ -*-===//
+///
+/// \file
+/// The fleet collector's per-window accumulator: an LSM-style tree of
+/// profile artifacts. Accepted uploads land in level 0; when a level
+/// reaches the fanout it is compacted — merged into one artifact
+/// (profdb::mergeAll) that is pushed to the next level — so resident
+/// memory is O(fanout * log N) artifacts for N accepted uploads, not
+/// O(N).
+///
+/// Determinism: because pairwise artifact merging is associative and
+/// commutative with canonical re-emission (see profdb/Merge.h), the fold
+/// of a window is bit-identical for any upload arrival order, any
+/// compaction grouping, and any merge thread count. CollectdTest pins
+/// this by shuffling arrivals and comparing encoded bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_COLLECTD_MERGETREE_H
+#define PP_COLLECTD_MERGETREE_H
+
+#include "profdb/Artifact.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pp {
+namespace collectd {
+
+/// One schema group's merge tree within one time window. Not
+/// thread-safe; the ingest service serializes access per window.
+class MergeTree {
+public:
+  /// \p Fanout artifacts per level before a compaction (clamped to >= 2);
+  /// \p MergeThreads is handed to mergeAll's reduction waves.
+  explicit MergeTree(unsigned Fanout = 8, unsigned MergeThreads = 1);
+
+  /// Folds \p A into the tree, compacting any level the add fills. The
+  /// caller has already verified \p A belongs to this tree's schema
+  /// group, so a merge failure here is structural corruption that slipped
+  /// past the decoder; it surfaces as false + \p Error.
+  bool add(profdb::Artifact A, std::string &Error);
+
+  /// The fold of everything added so far: one artifact merging every
+  /// leaf. Cached until the next add. Null (with \p Error set) when the
+  /// tree is empty or a fold merge fails.
+  const profdb::Artifact *folded(std::string &Error);
+
+  /// Total artifacts accepted into the tree.
+  uint64_t leafCount() const { return Leaves; }
+  /// Level compactions performed so far.
+  uint64_t compactions() const { return Compactions; }
+  /// Artifacts currently resident across all levels — the memory bound
+  /// the LSM shape exists to enforce.
+  size_t residentArtifacts() const;
+
+private:
+  unsigned Fanout;
+  unsigned MergeThreads;
+  /// Levels[0] holds raw uploads; Levels[i] holds merges of Fanout^i.
+  std::vector<std::vector<profdb::Artifact>> Levels;
+  uint64_t Leaves = 0;
+  uint64_t Compactions = 0;
+  std::unique_ptr<profdb::Artifact> Cache;
+};
+
+} // namespace collectd
+} // namespace pp
+
+#endif // PP_COLLECTD_MERGETREE_H

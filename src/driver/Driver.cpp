@@ -11,7 +11,7 @@ using namespace pp;
 using namespace pp::driver;
 
 Driver::~Driver() {
-  if (!envFlag("PP_DRIVER_STATS"))
+  if (!envFlag("PP_DRIVER_STATS", "pp-driver"))
     return;
   RunCache::Stats C = Cache.stats();
   std::fprintf(stderr,

@@ -23,7 +23,7 @@ using namespace pp;
 using namespace pp::driver;
 
 unsigned RunScheduler::defaultWorkerThreads() {
-  if (envFlag("PP_DRIVER_SERIAL"))
+  if (envFlag("PP_DRIVER_SERIAL", "pp-driver"))
     return 0;
   unsigned Hardware = std::thread::hardware_concurrency();
   unsigned Default = std::clamp(Hardware ? Hardware : 4u, 4u, 16u);

@@ -95,7 +95,13 @@ public:
   /// delivers pending traps at the next instruction boundary. Arming is a
   /// privileged register write, not a new counting mechanism: the PIC
   /// value really changes, exactly as wrpic would change it.
+  ///
+  /// A zero period is clamped to 1: writing 2^32 - 0 would wrap the
+  /// register all the way around, silently arming a 2^32-event trap that
+  /// in practice never fires.
   void armOverflowTrap(unsigned Pic, uint32_t Period) {
+    if (Period == 0)
+      Period = 1;
     TrapPic = Pic;
     TrapArmed = true;
     uint32_t Start = static_cast<uint32_t>(0) - Period;

@@ -34,6 +34,8 @@ const char *const CounterNames[] = {
     "profdb.merges",          "fault.reads_corrupted",
     "fault.writes_failed",    "fault.runs_failed",
     "acq.traps_delivered",    "acq.samples_recorded",
+    "collectd.accepted",      "collectd.rejected",
+    "collectd.compactions",   "collectd.queries",
 };
 static_assert(sizeof(CounterNames) / sizeof(CounterNames[0]) ==
                   static_cast<size_t>(Counter::NumCounters),
@@ -96,8 +98,11 @@ public:
   }
 
   Collector() : StartNs(hostNowNs()) {
-    const char *Obs = std::getenv("PP_OBS");
-    Enabled.store(!(Obs && Obs[0] == '0'), std::memory_order_relaxed);
+    // Recording defaults on; only a strict PP_OBS=0 disables it. A value
+    // like PP_OBS=true warns and keeps the default instead of silently
+    // reading as anything.
+    Enabled.store(envBoolOr("PP_OBS", "pp-obs", true),
+                  std::memory_order_relaxed);
     if (const char *Out = std::getenv("PP_OBS_OUT"))
       ReportPath = Out;
     if (const char *Trace = std::getenv("PP_OBS_TRACE"))

@@ -78,6 +78,10 @@ enum class Counter : unsigned {
   FaultRunsFailed,       ///< fault-injector run failures
   AcqTrapsDelivered,     ///< counter-overflow traps delivered to samplers
   AcqSamplesRecorded,    ///< stack samples recorded by overflow sampling
+  CollectdAccepted,      ///< fleet uploads folded into a window tree
+  CollectdRejected,      ///< fleet uploads rejected with a typed reason
+  CollectdCompactions,   ///< merge-tree level compactions performed
+  CollectdQueries,       ///< window queries served
   NumCounters
 };
 

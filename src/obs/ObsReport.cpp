@@ -12,6 +12,8 @@
 #include <sstream>
 #include <tuple>
 
+#include <dirent.h>
+
 using namespace pp;
 using namespace pp::obs;
 
@@ -19,8 +21,9 @@ namespace {
 
 /// A minimal recursive-descent JSON reader, sufficient for (a superset
 /// of) what obs::renderJsonReport emits: objects, arrays, strings,
-/// unsigned integers, and the literals true/false/null. No floats, no
-/// \uXXXX beyond the control range the emitter writes.
+/// unsigned integers, and the literals true/false/null. No floats.
+/// \uXXXX escapes (including surrogate pairs) decode to UTF-8, so
+/// reports written by other emitters round-trip without mangling.
 class JsonReader {
 public:
   JsonReader(const std::string &Text, std::string &Error)
@@ -52,6 +55,48 @@ public:
     return false;
   }
 
+  /// Four hex digits of a \uXXXX escape (the backslash and 'u' already
+  /// consumed). False + fail() on truncation or a non-hex digit.
+  bool readHex4(unsigned &Value) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape"), false;
+    Value = 0;
+    for (int Nibble = 0; Nibble != 4; ++Nibble) {
+      char H = Text[Pos++];
+      Value <<= 4;
+      if (H >= '0' && H <= '9')
+        Value |= static_cast<unsigned>(H - '0');
+      else if (H >= 'a' && H <= 'f')
+        Value |= static_cast<unsigned>(H - 'a' + 10);
+      else if (H >= 'A' && H <= 'F')
+        Value |= static_cast<unsigned>(H - 'A' + 10);
+      else
+        return fail("bad \\u escape"), false;
+    }
+    return true;
+  }
+
+  /// Appends \p CodePoint as UTF-8 — the encoding span labels travel in
+  /// everywhere else (raw bytes through the emitter), so an escaped and a
+  /// raw label of the same text parse identically.
+  static void appendUtf8(std::string &Out, unsigned CodePoint) {
+    if (CodePoint < 0x80) {
+      Out += static_cast<char>(CodePoint);
+    } else if (CodePoint < 0x800) {
+      Out += static_cast<char>(0xC0 | (CodePoint >> 6));
+      Out += static_cast<char>(0x80 | (CodePoint & 0x3F));
+    } else if (CodePoint < 0x10000) {
+      Out += static_cast<char>(0xE0 | (CodePoint >> 12));
+      Out += static_cast<char>(0x80 | ((CodePoint >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (CodePoint & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (CodePoint >> 18));
+      Out += static_cast<char>(0x80 | ((CodePoint >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((CodePoint >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (CodePoint & 0x3F));
+    }
+  }
+
   bool readString(std::string &Out) {
     skipSpace();
     if (!expect('"'))
@@ -81,22 +126,27 @@ public:
           Out += '\r';
           break;
         case 'u': {
-          if (Pos + 4 > Text.size())
-            return fail("truncated \\u escape"), false;
-          unsigned Value = 0;
-          for (int Nibble = 0; Nibble != 4; ++Nibble) {
-            char H = Text[Pos++];
-            Value <<= 4;
-            if (H >= '0' && H <= '9')
-              Value |= static_cast<unsigned>(H - '0');
-            else if (H >= 'a' && H <= 'f')
-              Value |= static_cast<unsigned>(H - 'a' + 10);
-            else if (H >= 'A' && H <= 'F')
-              Value |= static_cast<unsigned>(H - 'A' + 10);
-            else
-              return fail("bad \\u escape"), false;
+          unsigned Value;
+          if (!readHex4(Value))
+            return false;
+          // Surrogate pairs encode one supplementary-plane code point
+          // across two \u escapes; a lone half is not a character and is
+          // rejected rather than smuggled through as garbage.
+          if (Value >= 0xD800 && Value <= 0xDBFF) {
+            if (Pos + 2 > Text.size() || Text[Pos] != '\\' ||
+                Text[Pos + 1] != 'u')
+              return fail("unpaired \\u surrogate"), false;
+            Pos += 2;
+            unsigned Low;
+            if (!readHex4(Low))
+              return false;
+            if (Low < 0xDC00 || Low > 0xDFFF)
+              return fail("unpaired \\u surrogate"), false;
+            Value = 0x10000 + ((Value - 0xD800) << 10) + (Low - 0xDC00);
+          } else if (Value >= 0xDC00 && Value <= 0xDFFF) {
+            return fail("unpaired \\u surrogate"), false;
           }
-          Out += static_cast<char>(Value & 0x7f);
+          appendUtf8(Out, Value);
           break;
         }
         default:
@@ -286,6 +336,64 @@ std::string obs::renderObsReport(const ObsReport &R) {
                                static_cast<unsigned long long>(S->Vt1))});
   Out += Spans.render();
   return Out;
+}
+
+std::vector<std::string> obs::listObsReportFiles(const std::string &Dir) {
+  std::vector<std::string> Paths;
+  DIR *D = opendir(Dir.c_str());
+  if (!D)
+    return Paths;
+  while (dirent *Entry = readdir(D)) {
+    std::string Name = Entry->d_name;
+    if (Name.size() > 5 && Name.compare(Name.size() - 5, 5, ".json") == 0)
+      Paths.push_back(Dir + "/" + Name);
+  }
+  closedir(D);
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}
+
+bool obs::aggregateObsReports(const std::vector<ObsReport> &Reports,
+                              ObsReport &Out, std::string &Error) {
+  Out = ObsReport();
+  if (Reports.empty()) {
+    Error = "no obs reports to aggregate";
+    return false;
+  }
+  // Counter and span identity is the name, not the position: reports
+  // written by different binary builds may differ in which (append-only)
+  // counters exist, and a counter one report lacks simply contributes 0.
+  std::map<std::string, size_t> CounterIndex;
+  using Key = std::tuple<std::string, std::string, std::string>;
+  std::map<Key, size_t> SpanIndex;
+  for (const ObsReport &R : Reports) {
+    Out.Version = std::max(Out.Version, R.Version);
+    Out.DroppedRecords += R.DroppedRecords;
+    for (const auto &[Name, Value] : R.Counters) {
+      auto [It, Inserted] = CounterIndex.emplace(Name, Out.Counters.size());
+      if (Inserted)
+        Out.Counters.emplace_back(Name, Value);
+      else
+        Out.Counters[It->second].second += Value;
+    }
+    for (const ObsReport::Span &S : R.Spans) {
+      auto [It, Inserted] =
+          SpanIndex.emplace(Key{S.Cat, S.Name, S.Label}, Out.Spans.size());
+      if (Inserted) {
+        Out.Spans.push_back(S);
+        continue;
+      }
+      ObsReport::Span &Sum = Out.Spans[It->second];
+      Sum.Count += S.Count;
+      Sum.Items += S.Items;
+      Sum.Work += S.Work;
+      // Virtual time is per-run, so the interval union is a coverage
+      // envelope, not a wall-clock ordering.
+      Sum.Vt0 = std::min(Sum.Vt0, S.Vt0);
+      Sum.Vt1 = std::max(Sum.Vt1, S.Vt1);
+    }
+  }
+  return true;
 }
 
 std::string obs::diffObsReports(const ObsReport &A, const ObsReport &B) {

@@ -59,6 +59,19 @@ std::string renderObsReport(const ObsReport &R);
 /// when the reports agree.
 std::string diffObsReports(const ObsReport &A, const ObsReport &B);
 
+/// Every "*.json" file directly inside \p Dir, sorted by name — the
+/// repository layout `pp --obs-out DIR/run.json` accumulates. Empty when
+/// the directory is missing or holds no reports.
+std::vector<std::string> listObsReportFiles(const std::string &Dir);
+
+/// Folds \p Reports into one fleet-wide aggregate: counters sum by name
+/// (first-seen order, so the append-only enum order survives), spans sum
+/// count/items/work by (cat, name, label) with the virtual-time interval
+/// widened to cover every contributor, and dropped records sum. False +
+/// \p Error when \p Reports is empty.
+bool aggregateObsReports(const std::vector<ObsReport> &Reports,
+                         ObsReport &Out, std::string &Error);
+
 } // namespace obs
 } // namespace pp
 

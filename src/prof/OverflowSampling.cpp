@@ -17,6 +17,14 @@ OverflowSampling::OverflowSampling(const ir::Module &M,
                                    const AcquisitionOptions &Acq)
     : M(M), Config(Config), Acq(Acq), Jitter(Acq.Seed) {
   this->Acq.Pic = this->Acq.Pic ? 1 : 0;
+  // The PIC is 32 bits wide, so a valid period is [1, 2^32-1]: zero would
+  // arm a 2^32-event trap (the register wraps all the way around) and
+  // anything above the register width cannot be programmed at all. The
+  // CLI rejects out-of-range values; programmatic callers are clamped.
+  if (this->Acq.Period == 0)
+    this->Acq.Period = 1;
+  if (this->Acq.Period > 0xffffffffULL)
+    this->Acq.Period = 0xffffffffULL;
 
   // Structural facts come from the pristine module; the executed clone
   // preserves block and edge order, so ids and path sums line up.

@@ -5,6 +5,7 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <dirent.h>
@@ -25,16 +26,36 @@ std::string profdb::profileOutDirFromEnv() {
   return Dir ? Dir : "";
 }
 
+bool profdb::makeDirs(const std::string &Dir, std::string &Error) {
+  if (Dir.empty())
+    return true;
+  // Create each prefix in turn, mkdir -p style: a nested repository
+  // directory (PP_PROFILE_OUT=a/b/c, a collectd window directory) must
+  // not require its parents to pre-exist. EEXIST is fine at every level;
+  // a component that exists as a regular file surfaces as the final
+  // open/rename failure with that path in the message.
+  size_t Pos = Dir[0] == '/' ? 1 : 0;
+  while (true) {
+    size_t Slash = Dir.find('/', Pos);
+    std::string Prefix =
+        Slash == std::string::npos ? Dir : Dir.substr(0, Slash);
+    if (!Prefix.empty() && Prefix != "." && mkdir(Prefix.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      Error = "cannot create directory '" + Prefix + "'";
+      return false;
+    }
+    if (Slash == std::string::npos)
+      return true;
+    Pos = Slash + 1;
+  }
+}
+
 bool profdb::writeArtifactFile(const std::string &Path, const Artifact &A,
                                std::string &Error) {
   size_t Slash = Path.find_last_of('/');
-  if (Slash != std::string::npos && Slash != 0) {
-    std::string Dir = Path.substr(0, Slash);
-    if (mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST) {
-      Error = "cannot create directory '" + Dir + "'";
+  if (Slash != std::string::npos && Slash != 0)
+    if (!makeDirs(Path.substr(0, Slash), Error))
       return false;
-    }
-  }
 
   std::vector<uint8_t> Bytes = encodeArtifact(A);
   // Write-to-temp + rename: a crash or concurrent writer never leaves a
@@ -79,7 +100,52 @@ DecodeStatus profdb::readArtifactFile(const std::string &Path,
   return decodeArtifact(Bytes, Out);
 }
 
+namespace {
+
+/// True when \p Name is a writeArtifactFile temp ("<base>.ppa.tmp.<pid>")
+/// whose writer is gone: the pid can no longer perform the rename, so the
+/// temp is garbage forever unless someone sweeps it. A live pid (or one
+/// we cannot probe, EPERM) keeps the temp — the writer may still be
+/// between open and rename.
+bool isStaleTempName(const std::string &Name) {
+  static const char Marker[] = ".ppa.tmp.";
+  size_t At = Name.rfind(Marker);
+  if (At == std::string::npos)
+    return false;
+  std::string PidText = Name.substr(At + sizeof(Marker) - 1);
+  if (PidText.empty() ||
+      PidText.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  errno = 0;
+  long Pid = std::strtol(PidText.c_str(), nullptr, 10);
+  if (errno != 0 || Pid <= 0)
+    return false;
+  return ::kill(static_cast<pid_t>(Pid), 0) != 0 && errno == ESRCH;
+}
+
+} // namespace
+
+size_t profdb::sweepStaleTemps(const std::string &Dir) {
+  size_t Swept = 0;
+  DIR *D = opendir(Dir.c_str());
+  if (!D)
+    return Swept;
+  std::vector<std::string> Stale;
+  while (dirent *Entry = readdir(D))
+    if (isStaleTempName(Entry->d_name))
+      Stale.push_back(Dir + "/" + Entry->d_name);
+  closedir(D);
+  for (const std::string &Path : Stale)
+    if (::unlink(Path.c_str()) == 0)
+      ++Swept;
+  return Swept;
+}
+
 std::vector<std::string> profdb::listArtifactFiles(const std::string &Dir) {
+  // Opening a repository is the natural sweep point for temps orphaned by
+  // writers that died between open and rename: without it, a fleet of
+  // crashing uploaders grows the directory without bound.
+  sweepStaleTemps(Dir);
   std::vector<std::string> Paths;
   DIR *D = opendir(Dir.c_str());
   if (!D)

@@ -27,11 +27,22 @@ std::string artifactFileName(const std::string &Fingerprint);
 /// $PP_PROFILE_OUT, or "" when unset (emission disabled).
 std::string profileOutDirFromEnv();
 
+/// Creates \p Dir and every missing parent (mkdir -p). Returns false with
+/// \p Error set on the first component that cannot be created.
+bool makeDirs(const std::string &Dir, std::string &Error);
+
 /// Serialises \p A to \p Path atomically (temp file + rename; the
-/// directory is created if missing). Returns false with \p Error set on
-/// any failure; a half-written file is never left at \p Path.
+/// directory — including nested parents — is created if missing).
+/// Returns false with \p Error set on any failure; a half-written file is
+/// never left at \p Path.
 bool writeArtifactFile(const std::string &Path, const Artifact &A,
                        std::string &Error);
+
+/// Deletes "*.ppa.tmp.<pid>" temps in \p Dir whose writer pid is dead —
+/// the debris a writer that crashed between open and rename leaves
+/// behind. Temps of live (or unprobeable) pids are kept. Returns how many
+/// files were removed. listArtifactFiles runs this automatically.
+size_t sweepStaleTemps(const std::string &Dir);
 
 /// Reads and decodes \p Path. I/O failures report Unreadable; everything
 /// else is the decoder's verdict.

@@ -33,7 +33,24 @@ uint64_t pp::envUint64Or(const char *Name, const char *Tool,
   return Default;
 }
 
-bool pp::envFlag(const char *Name) {
+bool pp::envBoolOr(const char *Name, const char *Tool, bool Default) {
   const char *Text = std::getenv(Name);
-  return Text && Text[0] == '1';
+  if (!Text || !*Text)
+    return Default;
+  if (!Text[1]) {
+    if (Text[0] == '0')
+      return false;
+    if (Text[0] == '1')
+      return true;
+  }
+  // PP_OBS=true once read as unset while PP_DRIVER_SERIAL=10 read as
+  // set — both silently. Boolean knobs are as strict as numeric ones.
+  std::fprintf(stderr,
+               "%s: warning: ignoring non-boolean %s='%s' (want 0 or 1)\n",
+               Tool, Name, Text);
+  return Default;
+}
+
+bool pp::envFlag(const char *Name, const char *Tool) {
+  return envBoolOr(Name, Tool, false);
 }

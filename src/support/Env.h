@@ -35,9 +35,17 @@ EnvParse envUint64(const char *Name, const char *Tool, uint64_t &Out);
 /// the default being kept) and returns \p Default.
 uint64_t envUint64Or(const char *Name, const char *Tool, uint64_t Default);
 
-/// True when \p Name is set and its first character is '1' (the repo's
-/// boolean-knob convention: PP_DRIVER_SERIAL=1, PP_DRIVER_STATS=1).
-bool envFlag(const char *Name);
+/// Reads \p Name as a strict boolean knob: only "0" and "1" are
+/// accepted. Unset (or empty) returns \p Default; any other value —
+/// "true", "yes", "10" — warns on stderr as
+/// "<Tool>: warning: ignoring non-boolean <Name>='<value>' (want 0 or 1)"
+/// and returns \p Default, matching the strict-numeric discipline of
+/// envUint64.
+bool envBoolOr(const char *Name, const char *Tool, bool Default);
+
+/// envBoolOr with a false default (the repo's flag convention:
+/// PP_DRIVER_SERIAL=1, PP_DRIVER_STATS=1).
+bool envFlag(const char *Name, const char *Tool = "pp");
 
 } // namespace pp
 

@@ -96,18 +96,51 @@ TEST(Env, Uint64OrKeepsTheDefaultOnBadInput) {
   }
 }
 
-TEST(Env, FlagChecksTheFirstCharacter) {
+TEST(Env, FlagAcceptsOnlyZeroAndOne) {
+  struct Case {
+    const char *Text; // nullptr = unset
+    bool Want;
+  };
+  const Case Cases[] = {
+      {nullptr, false},
+      {"", false},
+      {"0", false},
+      {"1", true},
+      // The original bug: only the first character was inspected, so
+      // "10" read as true and "01" as false. Anything that is not
+      // exactly "0" or "1" now warns and keeps the default.
+      {"10", false},
+      {"01", false},
+      {"true", false},
+      {"yes", false},
+      {"2", false},
+  };
+  for (const Case &C : Cases) {
+    EnvGuard Guard("PP_ENV_TEST_FLAG", C.Text);
+    EXPECT_EQ(envFlag("PP_ENV_TEST_FLAG"), C.Want)
+        << (C.Text ? C.Text : "<unset>");
+  }
+}
+
+TEST(Env, BoolOrKeepsTheDefaultOnBadInput) {
+  // envBoolOr carries the caller's default through unset AND malformed —
+  // PP_OBS defaults on, so PP_OBS=true must not silently disable it.
   {
-    EnvGuard Guard("PP_ENV_TEST_FLAG", "1");
-    EXPECT_TRUE(envFlag("PP_ENV_TEST_FLAG"));
+    EnvGuard Guard("PP_ENV_TEST_FLAG", nullptr);
+    EXPECT_TRUE(envBoolOr("PP_ENV_TEST_FLAG", "pp-tests", true));
+    EXPECT_FALSE(envBoolOr("PP_ENV_TEST_FLAG", "pp-tests", false));
+  }
+  {
+    EnvGuard Guard("PP_ENV_TEST_FLAG", "true");
+    EXPECT_TRUE(envBoolOr("PP_ENV_TEST_FLAG", "pp-tests", true));
   }
   {
     EnvGuard Guard("PP_ENV_TEST_FLAG", "0");
-    EXPECT_FALSE(envFlag("PP_ENV_TEST_FLAG"));
+    EXPECT_FALSE(envBoolOr("PP_ENV_TEST_FLAG", "pp-tests", true));
   }
   {
-    EnvGuard Guard("PP_ENV_TEST_FLAG", nullptr);
-    EXPECT_FALSE(envFlag("PP_ENV_TEST_FLAG"));
+    EnvGuard Guard("PP_ENV_TEST_FLAG", "1");
+    EXPECT_TRUE(envBoolOr("PP_ENV_TEST_FLAG", "pp-tests", false));
   }
 }
 

@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace pp;
@@ -238,6 +239,53 @@ TEST(FaultSweepTest, ArtifactFileReadFoldsIoIntoStatus) {
             profdb::DecodeStatus::Unreadable);
   EXPECT_EQ(profdb::readArtifactFile("/tmp/pp-no-such-artifact.ppa", Out),
             profdb::DecodeStatus::Unreadable);
+}
+
+TEST(FaultSweepTest, StaleWriterTempsAreSweptOnListing) {
+  std::string Dir = makeTempDir();
+  ASSERT_FALSE(Dir.empty());
+
+  auto Touch = [&](const std::string &Name) {
+    std::ofstream Out(Dir + "/" + Name, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(Out.is_open());
+    Out << "partial";
+  };
+
+  // A writer that died between open and rename: a child that exits
+  // immediately gives us a pid guaranteed dead once waitpid returns.
+  pid_t Dead = fork();
+  ASSERT_GE(Dead, 0);
+  if (Dead == 0)
+    _exit(0);
+  ASSERT_EQ(waitpid(Dead, nullptr, 0), Dead);
+
+  Touch("ppa-00000000deadbeef.ppa.tmp." + std::to_string(Dead));
+  // A writer still alive (us) and a name that merely looks temp-ish must
+  // both survive the sweep.
+  Touch("ppa-00000000cafef00d.ppa.tmp." + std::to_string(getpid()));
+  Touch("ppa-0000000012345678.ppa.tmp.notapid");
+
+  // Listing a repository sweeps the orphan and only the orphan.
+  std::vector<std::string> Files = profdb::listArtifactFiles(Dir);
+  EXPECT_TRUE(Files.empty()); // temps never list as artifacts
+  EXPECT_NE(::access((Dir + "/ppa-00000000cafef00d.ppa.tmp." +
+                      std::to_string(getpid()))
+                         .c_str(),
+                     F_OK),
+            -1);
+  EXPECT_NE(
+      ::access((Dir + "/ppa-0000000012345678.ppa.tmp.notapid").c_str(), F_OK),
+      -1);
+  EXPECT_EQ(::access((Dir + "/ppa-00000000deadbeef.ppa.tmp." +
+                      std::to_string(Dead))
+                         .c_str(),
+                     F_OK),
+            -1);
+
+  // A second sweep finds nothing left to do.
+  EXPECT_EQ(profdb::sweepStaleTemps(Dir), 0u);
+
+  removeDir(Dir);
 }
 
 TEST(FaultSweepTest, StaleVersionReportsBadVersion) {

@@ -141,6 +141,20 @@ TEST(PerfCounters, ArmOverflowTrapProgramsTheWrap) {
   EXPECT_FALSE(Counters.overflowPending()) << "disarmed traps never fire";
 }
 
+TEST(PerfCounters, ZeroPeriodArmsTheNextEventNotTheWrap) {
+  // armOverflowTrap(pic, 0) used to write 2^32 - 0 = 0 into the PIC,
+  // silently arming a trap 2^32 events away. A zero period clamps to 1:
+  // the very next event fires the trap.
+  PerfCounters Counters;
+  Counters.selectPicEvents(Event::Insts, Event::Cycles);
+  Counters.armOverflowTrap(0, 0);
+  EXPECT_TRUE(Counters.overflowArmed());
+  EXPECT_EQ(Counters.readPics() & 0xffffffff, 0xffffffffULL);
+  EXPECT_FALSE(Counters.overflowPending());
+  Counters.count(Event::Insts, 1);
+  EXPECT_TRUE(Counters.overflowPending()) << "zero period must mean 1, not 2^32";
+}
+
 TEST(PerfCounters, OverflowTrapTracksUnarmedEventsNever) {
   // Events not routed to the armed PIC must not advance it toward the
   // trap.

@@ -337,3 +337,37 @@ TEST(ProfDbStoreTest, WriteReadListRoundTrip) {
   std::string Cmd = std::string("rm -rf ") + Dir;
   (void)std::system(Cmd.c_str());
 }
+
+TEST(ProfDbStoreTest, WriteCreatesNestedParentDirectories) {
+  char Template[] = "/tmp/pp-profdb-test-XXXXXX";
+  const char *Dir = mkdtemp(Template);
+  ASSERT_NE(Dir, nullptr);
+
+  const uint64_t Seed = 3;
+  auto Program = makeProgram(Seed);
+  profdb::Artifact A = makeShard(Seed, 0, Mode::ContextFlowHw, *Program);
+
+  // Three missing levels below the temp root; writeArtifactFile used to
+  // create only the last one and fail with ENOENT on the mkstemp.
+  std::string Nested = std::string(Dir) + "/tenant-7/2026-08/w042";
+  std::string Path = Nested + "/" + profdb::artifactFileName(A.Fingerprint);
+  std::string Error;
+  ASSERT_TRUE(profdb::writeArtifactFile(Path, A, Error)) << Error;
+
+  profdb::Artifact Back;
+  ASSERT_EQ(profdb::readArtifactFile(Path, Back), profdb::DecodeStatus::Ok);
+  EXPECT_EQ(profdb::encodeArtifact(Back), profdb::encodeArtifact(A));
+
+  std::vector<std::string> Files = profdb::listArtifactFiles(Nested);
+  ASSERT_EQ(Files.size(), 1u);
+
+  // An unwritable parent still reports a typed error, not success.
+  Error.clear();
+  EXPECT_FALSE(profdb::writeArtifactFile(
+      "/proc/no-such-root/a/b/" + profdb::artifactFileName(A.Fingerprint), A,
+      Error));
+  EXPECT_NE(Error.find("cannot create directory"), std::string::npos) << Error;
+
+  std::string Cmd = std::string("rm -rf ") + Dir;
+  (void)std::system(Cmd.c_str());
+}

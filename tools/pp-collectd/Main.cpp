@@ -1,0 +1,327 @@
+//===- tools/pp-collectd/Main.cpp - Fleet ingest daemon ------------------------===//
+//
+// The collector's front door. Two feeding modes:
+//
+//   pp-collectd --ingest=DIR [--window=N]   upload every .ppa in DIR
+//   pp-collectd --clients=N [...]           simulate a fleet: N clients
+//                                           running instrumented workloads
+//                                           and uploading their artifacts
+//
+// Either way, uploads flow through the bounded-queue ingest service into
+// per-window merge trees, and the folded windows answer the same queries
+// pp-report does (top-paths / top-procs / cct-stats) — plus an ingest
+// stats table with every typed rejection reason.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collectd/Ingest.h"
+#include "driver/Driver.h"
+#include "obs/Obs.h"
+#include "profdb/Artifact.h"
+#include "profdb/Store.h"
+#include "support/Format.h"
+#include "support/TableWriter.h"
+#include "workloads/Spec.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace pp;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: pp-collectd [options]\n"
+      "\n"
+      "Fleet profile collector: ingests .ppa artifact uploads into\n"
+      "time-windowed incremental merge trees and serves pp-report-style\n"
+      "queries over the folded windows.\n"
+      "\n"
+      "feeding (pick one):\n"
+      "  --ingest=<dir>     upload every .ppa artifact in <dir>\n"
+      "  --clients=<n>      simulate <n> fleet clients (default 8)\n"
+      "\n"
+      "simulation options:\n"
+      "  --uploads=<n>      uploads per client (default 2)\n"
+      "  --workloads=<a,b>  source workloads (default 130.li,129.compress)\n"
+      "  --corrupt-every=<n> flip one byte of every nth upload, showing\n"
+      "                     the typed corrupt-rejection path\n"
+      "\n"
+      "service options:\n"
+      "  --window=<n>       window for --ingest uploads (default 0)\n"
+      "  --windows=<n>      windows simulated uploads spread over (default 2)\n"
+      "  --threads=<n>      ingest workers; 0 = synchronous (default 4)\n"
+      "  --queue=<n>        bounded queue capacity (default 256)\n"
+      "  --quota=<n>        accepted uploads per tenant+window (0 = off)\n"
+      "  --fanout=<n>       merge-tree level fanout (default 8)\n"
+      "  --store=<dir>      persist folded windows to <dir>/w<id>/ as .ppa\n"
+      "\n"
+      "queries (printed per window after ingest):\n"
+      "  --top-paths=<n>    hottest Ball-Larus paths by PIC1\n"
+      "  --top-procs=<n>    hottest procedures by PIC1\n"
+      "  --cct-stats        calling-context-tree statistics\n");
+}
+
+bool parseCount(const char *Flag, const char *Text, uint64_t &Out) {
+  if (parseUint64(Text, Out))
+    return true;
+  std::fprintf(stderr, "pp-collectd: bad %s '%s' (want a number)\n", Flag,
+               Text);
+  return false;
+}
+
+std::vector<std::string> splitList(const std::string &Text) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Text.size();
+    if (Comma != Pos)
+      Out.push_back(Text.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return Out;
+}
+
+/// Encoded uploads for the simulated fleet: each workload runs once in
+/// Flow-and-HW (path queries) and once in Context-and-Flow-and-HW (CCT
+/// queries), then each client's uploads are those runs' artifacts under
+/// per-upload fingerprints — exactly what distinct fleet machines
+/// reporting the same binary would send.
+bool buildUploadPool(const std::vector<std::string> &Workloads,
+                     uint64_t Clients, uint64_t UploadsPerClient,
+                     std::vector<std::vector<uint8_t>> &Pool) {
+  driver::Driver D(/*DiskDir=*/"", /*Threads=*/0);
+  struct Source {
+    driver::OutcomePtr Run;
+    std::unique_ptr<ir::Module> Module;
+    prof::ProfileConfig Config;
+    std::string Workload;
+  };
+  std::vector<Source> Sources;
+  for (const std::string &Name : Workloads) {
+    for (prof::Mode M : {prof::Mode::FlowHw, prof::Mode::ContextFlowHw}) {
+      driver::RunPlan Plan;
+      Plan.Workload = Name;
+      Plan.Options.Config.M = M;
+      Source S;
+      S.Run = D.run(Plan);
+      if (!S.Run || !S.Run->Result.Ok) {
+        std::fprintf(stderr, "pp-collectd: workload '%s' failed: %s\n",
+                     Name.c_str(),
+                     S.Run ? S.Run->Result.Error.c_str() : "no outcome");
+        return false;
+      }
+      S.Module = workloads::buildWorkload(Name, 1);
+      S.Config = Plan.Options.Config;
+      S.Workload = Name;
+      Sources.push_back(std::move(S));
+    }
+  }
+
+  uint64_t Total = Clients * UploadsPerClient;
+  for (uint64_t Index = 0; Index != Total; ++Index) {
+    const Source &S = Sources[Index % Sources.size()];
+    profdb::Artifact A = profdb::artifactFromOutcome(
+        *S.Run, *S.Module,
+        formatString("sim;%s;upload%llu", S.Workload.c_str(),
+                     static_cast<unsigned long long>(Index)),
+        S.Workload, 1, S.Config);
+    Pool.push_back(profdb::encodeArtifact(A));
+  }
+  return true;
+}
+
+void printStats(const collectd::IngestService &Service) {
+  collectd::IngestStats Stats = Service.stats();
+  TableWriter Table;
+  Table.setHeader({"Ingest", "Count"});
+  Table.addRow({"submitted", std::to_string(Stats.Submitted)});
+  Table.addRow({"accepted", std::to_string(Stats.Accepted)});
+  Table.addRow({"rejected", std::to_string(Stats.Rejected)});
+  for (unsigned R = 1;
+       R != static_cast<unsigned>(collectd::RejectReason::NumReasons); ++R)
+    Table.addRow({formatString("  %s", collectd::rejectReasonName(
+                                           collectd::RejectReason(R))),
+                  std::to_string(Stats.RejectedBy[R])});
+  Table.addRow({"backpressured", std::to_string(Stats.Backpressured)});
+  Table.addRow({"compactions", std::to_string(Stats.Compactions)});
+  Table.addRow({"windows", std::to_string(Stats.Windows)});
+  Table.addRow({"queries", std::to_string(Stats.Queries)});
+  std::printf("%s", Table.render().c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Clients = 8, Uploads = 2, Windows = 2, Window = 0;
+  uint64_t CorruptEvery = 0, TopPaths = 0, TopProcs = 0;
+  bool CctStats = false, ClientsSet = false;
+  std::string IngestDir, WorkloadList = "130.li,129.compress";
+  collectd::IngestConfig Config;
+  Config.Threads = 4;
+  Config.QueueCapacity = 256;
+
+  for (int Index = 1; Index != Argc; ++Index) {
+    std::string Arg = Argv[Index];
+    auto Value = [&Arg](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    uint64_t N;
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (const char *V = Value("--ingest=")) {
+      IngestDir = V;
+    } else if (const char *V = Value("--clients=")) {
+      if (!parseCount("--clients", V, Clients))
+        return 1;
+      ClientsSet = true;
+    } else if (const char *V = Value("--uploads=")) {
+      if (!parseCount("--uploads", V, Uploads))
+        return 1;
+    } else if (const char *V = Value("--workloads=")) {
+      WorkloadList = V;
+    } else if (const char *V = Value("--corrupt-every=")) {
+      if (!parseCount("--corrupt-every", V, CorruptEvery))
+        return 1;
+    } else if (const char *V = Value("--window=")) {
+      if (!parseCount("--window", V, Window))
+        return 1;
+    } else if (const char *V = Value("--windows=")) {
+      if (!parseCount("--windows", V, Windows) || Windows == 0) {
+        std::fprintf(stderr, "pp-collectd: --windows wants at least 1\n");
+        return 1;
+      }
+    } else if (const char *V = Value("--threads=")) {
+      if (!parseCount("--threads", V, N))
+        return 1;
+      Config.Threads = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--queue=")) {
+      if (!parseCount("--queue", V, N) || N == 0) {
+        std::fprintf(stderr, "pp-collectd: --queue wants at least 1\n");
+        return 1;
+      }
+      Config.QueueCapacity = N;
+    } else if (const char *V = Value("--quota=")) {
+      if (!parseCount("--quota", V, Config.TenantWindowQuota))
+        return 1;
+    } else if (const char *V = Value("--fanout=")) {
+      if (!parseCount("--fanout", V, N))
+        return 1;
+      Config.Fanout = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--store=")) {
+      Config.StoreDir = V;
+    } else if (const char *V = Value("--top-paths=")) {
+      if (!parseCount("--top-paths", V, TopPaths))
+        return 1;
+    } else if (const char *V = Value("--top-procs=")) {
+      if (!parseCount("--top-procs", V, TopProcs))
+        return 1;
+    } else if (Arg == "--cct-stats") {
+      CctStats = true;
+    } else {
+      std::fprintf(stderr, "pp-collectd: unknown option '%s'\n",
+                   Arg.c_str());
+      return 1;
+    }
+  }
+  if (!IngestDir.empty() && ClientsSet) {
+    std::fprintf(stderr,
+                 "pp-collectd: --ingest and --clients are mutually "
+                 "exclusive\n");
+    return 1;
+  }
+
+  collectd::IngestService Service(Config);
+
+  if (!IngestDir.empty()) {
+    std::vector<std::string> Files = profdb::listArtifactFiles(IngestDir);
+    if (Files.empty()) {
+      std::fprintf(stderr, "pp-collectd: no .ppa artifacts in '%s'\n",
+                   IngestDir.c_str());
+      return 1;
+    }
+    for (const std::string &Path : Files) {
+      std::ifstream In(Path, std::ios::binary);
+      std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                                 std::istreambuf_iterator<char>());
+      Service.submit({Path, Window, std::move(Bytes)});
+    }
+  } else {
+    std::vector<std::string> Workloads = splitList(WorkloadList);
+    if (Workloads.empty() || Clients == 0 || Uploads == 0) {
+      std::fprintf(stderr,
+                   "pp-collectd: nothing to simulate (check --clients, "
+                   "--uploads, --workloads)\n");
+      return 1;
+    }
+    std::vector<std::vector<uint8_t>> Pool;
+    if (!buildUploadPool(Workloads, Clients, Uploads, Pool))
+      return 1;
+    for (uint64_t Client = 0; Client != Clients; ++Client)
+      for (uint64_t U = 0; U != Uploads; ++U) {
+        uint64_t Index = Client * Uploads + U;
+        std::vector<uint8_t> Bytes = Pool[Index];
+        if (CorruptEvery && (Index + 1) % CorruptEvery == 0 &&
+            Bytes.size() > 16)
+          Bytes[Bytes.size() / 2] ^= 0x20;
+        Service.submit({formatString("c%llu",
+                                     static_cast<unsigned long long>(Client)),
+                        Client % Windows, std::move(Bytes)});
+      }
+  }
+
+  Service.drain();
+
+  for (uint64_t Id : Service.windows()) {
+    std::string Error;
+    if (TopPaths) {
+      std::string Out = Service.queryTopPaths(Id, TopPaths, Error);
+      if (Out.empty() && !Error.empty()) {
+        std::fprintf(stderr, "pp-collectd: %s\n", Error.c_str());
+        return 1;
+      }
+      std::printf("-- window %llu --\n%s",
+                  static_cast<unsigned long long>(Id), Out.c_str());
+    }
+    if (TopProcs) {
+      std::string Out = Service.queryTopProcs(Id, TopProcs, Error);
+      if (Out.empty() && !Error.empty()) {
+        std::fprintf(stderr, "pp-collectd: %s\n", Error.c_str());
+        return 1;
+      }
+      std::printf("-- window %llu --\n%s",
+                  static_cast<unsigned long long>(Id), Out.c_str());
+    }
+    if (CctStats) {
+      std::string Out = Service.queryCctStats(Id, Error);
+      if (Out.empty() && !Error.empty()) {
+        std::fprintf(stderr, "pp-collectd: %s\n", Error.c_str());
+        return 1;
+      }
+      std::printf("-- window %llu --\n%s",
+                  static_cast<unsigned long long>(Id), Out.c_str());
+    }
+  }
+
+  if (!Config.StoreDir.empty()) {
+    std::string Error;
+    if (!Service.persist(Error)) {
+      std::fprintf(stderr, "pp-collectd: persist failed: %s\n",
+                   Error.c_str());
+      return 1;
+    }
+    std::printf("persisted %zu window(s) under %s\n",
+                Service.windows().size(), Config.StoreDir.c_str());
+  }
+
+  printStats(Service);
+  return 0;
+}

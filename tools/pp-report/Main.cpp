@@ -17,6 +17,7 @@
 //   pp-report cct-stats --repo DIR          (Table 3)
 //   pp-report obs <report.json>             (pretty-print an obs report)
 //   pp-report obs <a.json> <b.json>         (diff two obs reports)
+//   pp-report obs --repo DIR       (aggregate every stored obs report)
 //
 //===----------------------------------------------------------------------===//
 
@@ -61,7 +62,8 @@ void printUsage() {
       "  cct-stats         calling-context-tree statistics\n"
       "  obs <a.json> [b.json]  pretty-print a pipeline observability\n"
       "                    report (pp --obs-out / $PP_OBS_OUT), or diff\n"
-      "                    two of them (B - A)\n"
+      "                    two of them (B - A); with --repo=<dir>,\n"
+      "                    aggregate every stored report into one\n"
       "\n"
       "options:\n"
       "  --repo=<dir>      render the paper table (3/4/5 for cct-stats/\n"
@@ -262,9 +264,42 @@ int runMerge(const std::string &OutPath,
   return 0;
 }
 
+/// `obs --repo DIR`: folds every *.json report stored in \p Dir into one
+/// fleet-wide aggregate (counters summed by name, spans summed by
+/// identity) and renders it. Unparsable reports warn and are skipped,
+/// mirroring the artifact-side loadRepo.
+int runObsRepo(const std::string &Dir) {
+  std::vector<std::string> Files = obs::listObsReportFiles(Dir);
+  if (Files.empty()) {
+    std::fprintf(stderr, "pp-report: no .json obs reports in '%s'\n",
+                 Dir.c_str());
+    return 1;
+  }
+  std::vector<obs::ObsReport> Reports;
+  for (const std::string &Path : Files) {
+    obs::ObsReport R;
+    std::string Error;
+    if (!obs::readObsReportFile(Path, R, Error)) {
+      std::fprintf(stderr, "pp-report: skipping %s\n", Error.c_str());
+      continue;
+    }
+    Reports.push_back(std::move(R));
+  }
+  obs::ObsReport Aggregate;
+  std::string Error;
+  if (!obs::aggregateObsReports(Reports, Aggregate, Error)) {
+    std::fprintf(stderr, "pp-report: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("aggregate of %zu obs report(s) in %s\n%s", Reports.size(),
+              Dir.c_str(), obs::renderObsReport(Aggregate).c_str());
+  return 0;
+}
+
 int runObs(const std::vector<std::string> &Inputs) {
   if (Inputs.empty() || Inputs.size() > 2) {
-    std::fprintf(stderr, "pp-report: obs wants one or two report files\n");
+    std::fprintf(stderr, "pp-report: obs wants one or two report files "
+                         "(or --repo)\n");
     return 1;
   }
   obs::ObsReport A;
@@ -368,8 +403,17 @@ int main(int Argc, char **Argv) {
     return runMerge(OutPath, Inputs);
   if (Cmd == "diff")
     return runDiff(Inputs, Limit);
-  if (Cmd == "obs")
+  if (Cmd == "obs") {
+    if (!Repo.empty()) {
+      if (!Inputs.empty()) {
+        std::fprintf(stderr, "pp-report: --repo and explicit reports are "
+                             "mutually exclusive\n");
+        return 1;
+      }
+      return runObsRepo(Repo);
+    }
     return runObs(Inputs);
+  }
 
   if (Cmd != "top-paths" && Cmd != "top-procs" && Cmd != "cct-stats") {
     std::fprintf(stderr, "pp-report: unknown command '%s'\n", Cmd.c_str());

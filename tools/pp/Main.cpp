@@ -179,11 +179,17 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       }
     } else if (const char *V = Value("--period=")) {
-      Opts.Acq.Period = std::strtoull(V, nullptr, 10);
-      if (Opts.Acq.Period == 0) {
-        std::fprintf(stderr, "pp: bad --period\n");
+      // The PIC is 32 bits wide: 0 would arm a 2^32-event trap (the
+      // register wraps all the way around) and > 2^32-1 cannot be
+      // programmed, so both are user errors, not values to clamp quietly.
+      uint64_t Period = 0;
+      if (!parseUint64(V, Period) || Period == 0 ||
+          Period > 0xffffffffULL) {
+        std::fprintf(stderr,
+                     "pp: bad --period '%s' (want 1..4294967295)\n", V);
         return false;
       }
+      Opts.Acq.Period = Period;
     } else if (const char *V = Value("--sample-pic=")) {
       unsigned Pic = static_cast<unsigned>(std::atoi(V));
       if (Pic > 1) {
