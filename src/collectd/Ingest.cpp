@@ -33,11 +33,13 @@ const char *collectd::rejectReasonName(RejectReason R) {
 
 namespace {
 
-/// The admission key of an artifact: everything mergeArtifacts checks
-/// before summing — workload, scale, full metric schema, and the program
-/// shape (function table + path-table geometry + CCT presence). Two
-/// artifacts with equal keys always merge cleanly, so distinct shapes
-/// can never collide inside one MergeTree.
+/// The admission key of an artifact: the cheap shape checks
+/// mergeArtifacts makes before summing — workload, scale, full metric
+/// schema, function table, path-table geometry, CCT presence. It routes
+/// obviously-distinct shapes to distinct trees; it is NOT a mergeability
+/// proof (it cannot see CCT edge structure or hashed-table thresholds),
+/// so the authoritative gate is MergeTree::add's trial merge, which
+/// rejects an incompatible artifact at admission with the tree intact.
 std::string groupKeyOf(const profdb::Artifact &A) {
   std::string Shape;
   for (const std::string &F : A.Functions) {
@@ -187,7 +189,7 @@ UploadResult IngestService::ingestNow(Upload U) {
   ++Stats.Submitted;
 
   if (Cfg.TenantWindowQuota) {
-    uint64_t &Used = QuotaUsed[{U.Tenant, U.Window}];
+    uint64_t Used = QuotaUsed[{U.Tenant, U.Window}];
     if (Used >= Cfg.TenantWindowQuota) {
       obs::add(obs::Counter::CollectdRejected);
       ++Stats.Rejected;
@@ -195,24 +197,35 @@ UploadResult IngestService::ingestNow(Upload U) {
       return UploadResult{false, RejectReason::QuotaExceeded,
                           profdb::DecodeStatus::Ok};
     }
-    ++Used;
   }
 
   Window &W = Windows[U.Window];
   auto It = W.find(Key);
-  if (It == W.end())
+  bool NewGroup = It == W.end();
+  if (NewGroup)
     It = W.emplace(std::piecewise_construct, std::forward_as_tuple(Key),
                    std::forward_as_tuple(A.Workload, Cfg.Fanout,
                                          Cfg.MergeThreads))
              .first;
   std::string Error;
   if (!It->second.Tree.add(std::move(A), Error)) {
+    // The trial merge inside add() rejected the upload with the tree
+    // untouched. A group (and window) created only for this upload must
+    // not linger empty — an empty tree would fail every later query.
+    if (NewGroup) {
+      W.erase(It);
+      if (W.empty())
+        Windows.erase(U.Window);
+    }
     obs::add(obs::Counter::CollectdRejected);
     ++Stats.Rejected;
     ++Stats.RejectedBy[static_cast<size_t>(RejectReason::MergeFailed)];
     return UploadResult{false, RejectReason::MergeFailed,
                         profdb::DecodeStatus::Ok};
   }
+  // Quota charges accepted uploads only, as IngestConfig documents.
+  if (Cfg.TenantWindowQuota)
+    ++QuotaUsed[{U.Tenant, U.Window}];
   obs::add(obs::Counter::CollectdAccepted);
   ++Stats.Accepted;
   return UploadResult{true, RejectReason::None, profdb::DecodeStatus::Ok};

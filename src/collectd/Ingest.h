@@ -17,10 +17,13 @@
 ///   3. Acquisition check — exact counts and sampled estimates must not
 ///      fold together, so an upload whose schema acquisition differs
 ///      from the service's is rejected (CrossAcquisition).
-///   4. Per-(tenant, window) quota.
+///   4. Per-(tenant, window) quota (charged to accepted uploads only).
 ///   5. Fold into the window's schema group (keyed by workload, scale,
-///      schema, and program shape, so merge incompatibilities cannot
-///      collide inside one tree).
+///      schema, and program shape). The group's MergeTree trial-merges
+///      the artifact against its running fold before committing it, so
+///      an incompatibility the key cannot see (CCT edge structure,
+///      hashed-table thresholds) rejects this upload at admission —
+///      never a later one, and never the group's accepted contents.
 ///
 /// Ingest runs on a thread pool behind a bounded queue: submit() blocks
 /// for space (backpressure), trySubmit() refuses instead. Threads == 0
@@ -61,8 +64,9 @@ enum class RejectReason : unsigned {
   CrossAcquisition,
   /// The (tenant, window) accepted-upload quota is exhausted.
   QuotaExceeded,
-  /// A compaction or fold merge failed (structural corruption that
-  /// passed the decoder); the upload is dropped, the window survives.
+  /// The admission trial merge failed (structural corruption that passed
+  /// the decoder, or a shape the group key does not distinguish); the
+  /// upload is dropped at admission, the window survives byte-identical.
   MergeFailed,
   NumReasons
 };
@@ -105,8 +109,12 @@ struct IngestConfig {
   std::string StoreDir;
 };
 
-/// Aggregate service counters. Schedule-independent: totals depend only
-/// on the submitted uploads, never on worker interleaving.
+/// Aggregate service counters. The totals (Submitted, Accepted,
+/// Rejected, RejectedBy, Compactions) depend only on the set of
+/// submitted uploads, never on worker interleaving — with one carve-out:
+/// when TenantWindowQuota is set and uploads race over a shared quota,
+/// *which* uploads win the remaining slots (and therefore the windows'
+/// folded contents) follows admission order; only the counts are stable.
 struct IngestStats {
   uint64_t Submitted = 0;
   uint64_t Accepted = 0;

@@ -37,14 +37,20 @@ public:
   explicit MergeTree(unsigned Fanout = 8, unsigned MergeThreads = 1);
 
   /// Folds \p A into the tree, compacting any level the add fills. The
-  /// caller has already verified \p A belongs to this tree's schema
-  /// group, so a merge failure here is structural corruption that slipped
-  /// past the decoder; it surfaces as false + \p Error.
+  /// add is transactional: \p A is trial-merged against the running fold
+  /// (which carries the union of every accepted leaf's structure) before
+  /// any level is touched, and a compaction cascade commits only after
+  /// every merge in the chain has succeeded. A merge-incompatible
+  /// artifact — structural corruption that slipped past the decoder, or
+  /// a shape the group key does not distinguish — therefore surfaces as
+  /// false + \p Error on *this* add, and provably leaves the tree (and
+  /// its folded bytes) exactly as if the artifact was never offered.
   bool add(profdb::Artifact A, std::string &Error);
 
   /// The fold of everything added so far: one artifact merging every
-  /// leaf. Cached until the next add. Null (with \p Error set) when the
-  /// tree is empty or a fold merge fails.
+  /// leaf, maintained incrementally across adds (bit-identical to a flat
+  /// mergeAll of the leaves by the associativity pinned in CollectdTest).
+  /// Null (with \p Error set) only when the tree is empty.
   const profdb::Artifact *folded(std::string &Error);
 
   /// Total artifacts accepted into the tree.
@@ -62,7 +68,9 @@ private:
   std::vector<std::vector<profdb::Artifact>> Levels;
   uint64_t Leaves = 0;
   uint64_t Compactions = 0;
-  std::unique_ptr<profdb::Artifact> Cache;
+  /// The incremental fold of every accepted leaf — both what folded()
+  /// serves and the admission witness add() trial-merges against.
+  std::unique_ptr<profdb::Artifact> Fold;
 };
 
 } // namespace collectd

@@ -8,6 +8,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <dirent.h>
 #include <fstream>
 #include <sys/stat.h>
@@ -102,12 +103,9 @@ DecodeStatus profdb::readArtifactFile(const std::string &Path,
 
 namespace {
 
-/// True when \p Name is a writeArtifactFile temp ("<base>.ppa.tmp.<pid>")
-/// whose writer is gone: the pid can no longer perform the rename, so the
-/// temp is garbage forever unless someone sweeps it. A live pid (or one
-/// we cannot probe, EPERM) keeps the temp — the writer may still be
-/// between open and rename.
-bool isStaleTempName(const std::string &Name) {
+/// True when \p Name is a writeArtifactFile temp ("<base>.ppa.tmp.<pid>");
+/// \p Pid receives the recorded writer pid.
+bool parseTempName(const std::string &Name, pid_t &Pid) {
   static const char Marker[] = ".ppa.tmp.";
   size_t At = Name.rfind(Marker);
   if (At == std::string::npos)
@@ -117,10 +115,31 @@ bool isStaleTempName(const std::string &Name) {
       PidText.find_first_not_of("0123456789") != std::string::npos)
     return false;
   errno = 0;
-  long Pid = std::strtol(PidText.c_str(), nullptr, 10);
-  if (errno != 0 || Pid <= 0)
+  long Value = std::strtol(PidText.c_str(), nullptr, 10);
+  if (errno != 0 || Value <= 0)
     return false;
-  return ::kill(static_cast<pid_t>(Pid), 0) != 0 && errno == ESRCH;
+  Pid = static_cast<pid_t>(Value);
+  return true;
+}
+
+/// Whether the temp at \p Path (writer \p Pid) can be reclaimed. Age is
+/// the primary signal: a temp younger than the grace period is always
+/// kept, whatever the pid probe says — on a shared filesystem the pid of
+/// a live writer on another host reads as dead, and sweeping it would
+/// race the writer's own rename. Past the grace period the temp goes as
+/// soon as the pid probes dead; a probe that says "alive" (which may be
+/// an unrelated process that recycled the number) only defers the sweep
+/// until the hard age limit.
+bool isStaleTemp(const std::string &Path, pid_t Pid) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return false;
+  time_t Age = ::time(nullptr) - St.st_mtime;
+  if (Age < StaleTempGraceSeconds)
+    return false;
+  if (Age >= StaleTempHardSeconds)
+    return true;
+  return ::kill(Pid, 0) != 0 && errno == ESRCH;
 }
 
 } // namespace
@@ -131,9 +150,12 @@ size_t profdb::sweepStaleTemps(const std::string &Dir) {
   if (!D)
     return Swept;
   std::vector<std::string> Stale;
-  while (dirent *Entry = readdir(D))
-    if (isStaleTempName(Entry->d_name))
-      Stale.push_back(Dir + "/" + Entry->d_name);
+  while (dirent *Entry = readdir(D)) {
+    pid_t Pid;
+    std::string Path = Dir + "/" + Entry->d_name;
+    if (parseTempName(Entry->d_name, Pid) && isStaleTemp(Path, Pid))
+      Stale.push_back(std::move(Path));
+  }
   closedir(D);
   for (const std::string &Path : Stale)
     if (::unlink(Path.c_str()) == 0)

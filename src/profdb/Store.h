@@ -15,6 +15,7 @@
 
 #include "profdb/Artifact.h"
 
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -38,10 +39,25 @@ bool makeDirs(const std::string &Dir, std::string &Error);
 bool writeArtifactFile(const std::string &Path, const Artifact &A,
                        std::string &Error);
 
-/// Deletes "*.ppa.tmp.<pid>" temps in \p Dir whose writer pid is dead —
-/// the debris a writer that crashed between open and rename leaves
-/// behind. Temps of live (or unprobeable) pids are kept. Returns how many
-/// files were removed. listArtifactFiles runs this automatically.
+/// A temp younger than this many seconds is never swept: its writer may
+/// still be between open and rename, and the writer pid alone cannot
+/// prove otherwise (pids recycle; on a shared filesystem they belong to
+/// another host's pid domain entirely).
+constexpr time_t StaleTempGraceSeconds = 15 * 60;
+/// Past this age a temp is swept even when its recorded pid probes as
+/// alive — an atomic write takes milliseconds, so by now the pid has
+/// been recycled by an unrelated process (which would otherwise shield
+/// dead writers' debris forever).
+constexpr time_t StaleTempHardSeconds = 24 * 60 * 60;
+
+/// Deletes "*.ppa.tmp.<pid>" temps in \p Dir whose writer can no longer
+/// finish the rename — the debris a writer that crashed between open and
+/// rename leaves behind. Staleness is age-first: temps younger than
+/// StaleTempGraceSeconds are always kept; older ones are swept once
+/// their writer pid probes dead, the kill(pid, 0) probe being only a
+/// same-host optimisation that lets a live writer keep its temp until
+/// StaleTempHardSeconds. Returns how many files were removed.
+/// listArtifactFiles runs this automatically.
 size_t sweepStaleTemps(const std::string &Dir);
 
 /// Reads and decodes \p Path. I/O failures report Unreadable; everything

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cct/CallingContextTree.h"
 #include "collectd/Ingest.h"
 #include "collectd/MergeTree.h"
 #include "driver/Driver.h"
@@ -239,6 +240,116 @@ TEST(CollectdMergeTreeTest, CompactionsBoundResidencyAndMatchFlatMerge) {
       << Error;
   EXPECT_EQ(profdb::encodeArtifact(*Folded),
             profdb::encodeArtifact(FlatMerged));
+}
+
+//===----------------------------------------------------------------------===//
+// Merge-incompatible uploads — rejected at admission, window intact
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+profdb::Artifact decodedArtifact(unsigned Serial) {
+  profdb::Artifact A;
+  EXPECT_EQ(profdb::decodeArtifact(
+                encodedArtifact("fleet;u" + std::to_string(Serial), "exact"),
+                A),
+            profdb::DecodeStatus::Ok);
+  return A;
+}
+
+/// An artifact that decodes cleanly and lands in the same schema group as
+/// the good uploads — the group key sees only CCT *presence*, not its
+/// geometry — but cannot merge with them: its CCT hash threshold differs,
+/// which mergeArtifacts rejects as a CCT geometry mismatch.
+std::vector<uint8_t> incompatibleBytes() {
+  profdb::Artifact A = decodedArtifact(97);
+  EXPECT_NE(A.Tree, nullptr);
+  cct::TreeImage Image = A.Tree->image();
+  Image.HashThreshold += 1;
+  A.Tree = cct::CallingContextTree::fromImage(Image);
+  EXPECT_NE(A.Tree, nullptr);
+  return profdb::encodeArtifact(A);
+}
+
+} // namespace
+
+TEST(CollectdMergeTreeTest, IncompatibleAddRejectsAndLeavesTreeUntouched) {
+  MergeTree Tree(/*Fanout=*/2, /*MergeThreads=*/1);
+  std::string Error;
+  for (unsigned Serial = 0; Serial != 3; ++Serial)
+    ASSERT_TRUE(Tree.add(decodedArtifact(Serial), Error)) << Error;
+
+  const profdb::Artifact *Before = Tree.folded(Error);
+  ASSERT_NE(Before, nullptr) << Error;
+  std::vector<uint8_t> BeforeBytes = profdb::encodeArtifact(*Before);
+  uint64_t BeforeCompactions = Tree.compactions();
+  size_t BeforeResident = Tree.residentArtifacts();
+
+  // With fanout 2 and three leaves, this add would fill level 0 and
+  // cascade; the used-to-be bug let a failing compaction move the level's
+  // accepted artifacts out and lose them. The trial merge must reject the
+  // incompatible artifact before any level is touched.
+  profdb::Artifact Bad;
+  ASSERT_EQ(profdb::decodeArtifact(incompatibleBytes(), Bad),
+            profdb::DecodeStatus::Ok);
+  EXPECT_FALSE(Tree.add(std::move(Bad), Error));
+  EXPECT_NE(Error.find("CCT geometry mismatch"), std::string::npos) << Error;
+
+  // Nothing moved: counters, residency, and the folded bytes are exactly
+  // as if the artifact was never offered.
+  EXPECT_EQ(Tree.leafCount(), 3u);
+  EXPECT_EQ(Tree.compactions(), BeforeCompactions);
+  EXPECT_EQ(Tree.residentArtifacts(), BeforeResident);
+  const profdb::Artifact *After = Tree.folded(Error);
+  ASSERT_NE(After, nullptr) << Error;
+  EXPECT_EQ(profdb::encodeArtifact(*After), BeforeBytes);
+
+  // And the tree still accepts compatible leaves afterwards.
+  ASSERT_TRUE(Tree.add(decodedArtifact(3), Error)) << Error;
+  EXPECT_EQ(Tree.leafCount(), 4u);
+}
+
+TEST(CollectdIngestTest, MergeIncompatibleUploadRejectsAtAdmission) {
+  IngestService Clean(manualConfig());
+  IngestService Faulty(manualConfig());
+
+  // Level 0 is far from full (default fanout 8): the old failure mode
+  // accepted the incompatible upload here and surfaced the merge failure
+  // on a later innocent upload or query.
+  for (unsigned Serial = 0; Serial != 2; ++Serial) {
+    Upload U = makeUpload("t0", 5, Serial);
+    EXPECT_TRUE(Clean.ingestNow(U).Accepted);
+    EXPECT_TRUE(Faulty.ingestNow(std::move(U)).Accepted);
+  }
+
+  UploadResult Verdict =
+      Faulty.ingestNow(Upload{"t0", 5, incompatibleBytes()});
+  EXPECT_FALSE(Verdict.Accepted);
+  EXPECT_EQ(Verdict.Reason, RejectReason::MergeFailed);
+  EXPECT_EQ(Verdict.Decode, profdb::DecodeStatus::Ok);
+
+  // Later uploads into the window are innocent and stay accepted.
+  Upload U = makeUpload("t0", 5, 2);
+  EXPECT_TRUE(Clean.ingestNow(U).Accepted);
+  EXPECT_TRUE(Faulty.ingestNow(std::move(U)).Accepted);
+
+  IngestStats Stats = Faulty.stats();
+  EXPECT_EQ(Stats.Accepted, 3u);
+  EXPECT_EQ(
+      Stats.RejectedBy[static_cast<size_t>(RejectReason::MergeFailed)], 1u);
+
+  // The window's fold is byte-identical to a service that never saw the
+  // incompatible upload, and queries keep serving.
+  std::string Error;
+  std::vector<std::vector<uint8_t>> FaultyBytes =
+      Faulty.windowBytes(5, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  std::vector<std::vector<uint8_t>> CleanBytes = Clean.windowBytes(5, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(FaultyBytes, CleanBytes);
+  EXPECT_NE(Faulty.queryCctStats(5, Error).find("runs=3"),
+            std::string::npos);
+  EXPECT_TRUE(Error.empty()) << Error;
 }
 
 //===----------------------------------------------------------------------===//

@@ -22,7 +22,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
+#include <sys/time.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -250,6 +252,16 @@ TEST(FaultSweepTest, StaleWriterTempsAreSweptOnListing) {
     ASSERT_TRUE(Out.is_open());
     Out << "partial";
   };
+  // Backdates a temp's mtime so the age-gated sweep sees it as \p Age old.
+  auto SetAge = [&](const std::string &Name, time_t Age) {
+    struct timeval Times[2];
+    Times[0].tv_sec = Times[1].tv_sec = ::time(nullptr) - Age;
+    Times[0].tv_usec = Times[1].tv_usec = 0;
+    ASSERT_EQ(::utimes((Dir + "/" + Name).c_str(), Times), 0);
+  };
+  auto Exists = [&](const std::string &Name) {
+    return ::access((Dir + "/" + Name).c_str(), F_OK) == 0;
+  };
 
   // A writer that died between open and rename: a child that exits
   // immediately gives us a pid guaranteed dead once waitpid returns.
@@ -259,28 +271,38 @@ TEST(FaultSweepTest, StaleWriterTempsAreSweptOnListing) {
     _exit(0);
   ASSERT_EQ(waitpid(Dead, nullptr, 0), Dead);
 
-  Touch("ppa-00000000deadbeef.ppa.tmp." + std::to_string(Dead));
-  // A writer still alive (us) and a name that merely looks temp-ish must
-  // both survive the sweep.
-  Touch("ppa-00000000cafef00d.ppa.tmp." + std::to_string(getpid()));
+  // Dead writer, past the grace period: the canonical orphan.
+  std::string DeadOld = "ppa-00000000deadbeef.ppa.tmp." + std::to_string(Dead);
+  Touch(DeadOld);
+  SetAge(DeadOld, profdb::StaleTempGraceSeconds + 60);
+  // Dead-probing writer, younger than the grace period: on a shared
+  // filesystem this is what a *live* writer on another host looks like,
+  // so the sweep must not touch it.
+  std::string DeadFresh =
+      "ppa-00000000feedface.ppa.tmp." + std::to_string(Dead);
+  Touch(DeadFresh);
+  // Live writer (us), past grace but under the hard limit: kept.
+  std::string LiveOld =
+      "ppa-00000000cafef00d.ppa.tmp." + std::to_string(getpid());
+  Touch(LiveOld);
+  SetAge(LiveOld, profdb::StaleTempGraceSeconds + 60);
+  // "Live" pid but ancient: no writer holds a temp open this long, so the
+  // pid must have been recycled by an unrelated process — swept.
+  std::string LiveAncient =
+      "ppa-00000000ba5eba11.ppa.tmp." + std::to_string(getpid());
+  Touch(LiveAncient);
+  SetAge(LiveAncient, profdb::StaleTempHardSeconds + 60);
+  // A name that merely looks temp-ish survives any sweep.
   Touch("ppa-0000000012345678.ppa.tmp.notapid");
 
-  // Listing a repository sweeps the orphan and only the orphan.
+  // Listing a repository sweeps the orphans and only the orphans.
   std::vector<std::string> Files = profdb::listArtifactFiles(Dir);
   EXPECT_TRUE(Files.empty()); // temps never list as artifacts
-  EXPECT_NE(::access((Dir + "/ppa-00000000cafef00d.ppa.tmp." +
-                      std::to_string(getpid()))
-                         .c_str(),
-                     F_OK),
-            -1);
-  EXPECT_NE(
-      ::access((Dir + "/ppa-0000000012345678.ppa.tmp.notapid").c_str(), F_OK),
-      -1);
-  EXPECT_EQ(::access((Dir + "/ppa-00000000deadbeef.ppa.tmp." +
-                      std::to_string(Dead))
-                         .c_str(),
-                     F_OK),
-            -1);
+  EXPECT_FALSE(Exists(DeadOld));
+  EXPECT_FALSE(Exists(LiveAncient));
+  EXPECT_TRUE(Exists(DeadFresh));
+  EXPECT_TRUE(Exists(LiveOld));
+  EXPECT_TRUE(Exists("ppa-0000000012345678.ppa.tmp.notapid"));
 
   // A second sweep finds nothing left to do.
   EXPECT_EQ(profdb::sweepStaleTemps(Dir), 0u);
