@@ -4,11 +4,14 @@
 
 #include "driver/FaultInjector.h"
 #include "obs/Obs.h"
+#include "profdb/Merge.h"
 #include "profdb/Report.h"
 #include "profdb/Store.h"
+#include "support/Env.h"
 #include "support/Format.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace pp;
 using namespace pp::collectd;
@@ -25,10 +28,19 @@ const char *collectd::rejectReasonName(RejectReason R) {
     return "quota-exceeded";
   case RejectReason::MergeFailed:
     return "merge-failed";
+  case RejectReason::RateLimited:
+    return "rate-limited";
+  case RejectReason::WindowExpired:
+    return "window-expired";
   case RejectReason::NumReasons:
     break;
   }
   return "?";
+}
+
+size_t collectd::retainWindowsFromEnv() {
+  return static_cast<size_t>(
+      envUint64Or("PP_COLLECTD_RETAIN_WINDOWS", "pp-collectd", 0));
 }
 
 namespace {
@@ -62,6 +74,17 @@ std::string groupKeyOf(const profdb::Artifact &A) {
 IngestService::IngestService(IngestConfig C) : Cfg(std::move(C)) {
   if (Cfg.QueueCapacity == 0)
     Cfg.QueueCapacity = 1;
+  if (Cfg.RetainWindows == 0)
+    Cfg.RetainWindows = retainWindowsFromEnv();
+  if (Cfg.TenantRatePerSec > 0 && Cfg.TenantRateBurst <= 0)
+    Cfg.TenantRateBurst = std::max(1.0, Cfg.TenantRatePerSec);
+  if (!Cfg.RateClockNs)
+    Cfg.RateClockNs = [] {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    };
   for (unsigned I = 0; I != Cfg.Threads; ++I)
     Workers.emplace_back([this] { workerLoop(); });
 }
@@ -171,6 +194,22 @@ UploadResult IngestService::ingestNow(Upload U) {
     return UploadResult{false, Reason, Decode};
   };
 
+  // The token bucket gates admission before any byte of the upload is
+  // touched: a tenant hammering the collector is refused at the cost of
+  // a map lookup, not a decode.
+  if (Cfg.TenantRatePerSec > 0) {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    if (!rateAllowLocked(U.Tenant)) {
+      obs::add(obs::Counter::CollectdRejected);
+      obs::add(obs::Counter::CollectdRateLimited);
+      ++Stats.Submitted;
+      ++Stats.Rejected;
+      ++Stats.RejectedBy[static_cast<size_t>(RejectReason::RateLimited)];
+      return UploadResult{false, RejectReason::RateLimited,
+                          profdb::DecodeStatus::Ok};
+    }
+  }
+
   // The read seam stands in for corruption in flight; whatever it does
   // to the bytes, the decoder's CRC + bounds checks turn it into a typed
   // rejection of this one upload.
@@ -187,6 +226,18 @@ UploadResult IngestService::ingestNow(Upload U) {
   std::string Key = groupKeyOf(A);
   std::lock_guard<std::mutex> Lock(StateMu);
   ++Stats.Submitted;
+
+  // A window below the retention watermark has been persisted and
+  // dropped; folding into a fresh resident copy would make the stored
+  // artifact and the late fold disagree about the same window, so the
+  // window is simply closed.
+  if (U.Window < ExpiredBelow) {
+    obs::add(obs::Counter::CollectdRejected);
+    ++Stats.Rejected;
+    ++Stats.RejectedBy[static_cast<size_t>(RejectReason::WindowExpired)];
+    return UploadResult{false, RejectReason::WindowExpired,
+                        profdb::DecodeStatus::Ok};
+  }
 
   if (Cfg.TenantWindowQuota) {
     uint64_t Used = QuotaUsed[{U.Tenant, U.Window}];
@@ -228,7 +279,52 @@ UploadResult IngestService::ingestNow(Upload U) {
     ++QuotaUsed[{U.Tenant, U.Window}];
   obs::add(obs::Counter::CollectdAccepted);
   ++Stats.Accepted;
+  if (Cfg.RetainWindows && Windows.size() > Cfg.RetainWindows)
+    enforceRetentionLocked();
   return UploadResult{true, RejectReason::None, profdb::DecodeStatus::Ok};
+}
+
+bool IngestService::rateAllowLocked(const std::string &Tenant) {
+  uint64_t NowNs = Cfg.RateClockNs();
+  auto [It, New] = Buckets.try_emplace(Tenant);
+  Bucket &B = It->second;
+  if (New) {
+    // A tenant's first contact finds a full bucket: bursts up to the
+    // burst depth are the design, sustained overrun is not.
+    B.Tokens = Cfg.TenantRateBurst;
+    B.LastNs = NowNs;
+  }
+  double Elapsed = NowNs >= B.LastNs ? (NowNs - B.LastNs) * 1e-9 : 0.0;
+  B.LastNs = NowNs;
+  B.Tokens = std::min(Cfg.TenantRateBurst,
+                      B.Tokens + Elapsed * Cfg.TenantRatePerSec);
+  if (B.Tokens < 1.0)
+    return false;
+  B.Tokens -= 1.0;
+  return true;
+}
+
+void IngestService::enforceRetentionLocked() {
+  while (Windows.size() > Cfg.RetainWindows) {
+    auto Oldest = Windows.begin();
+    std::string Error;
+    if (Cfg.StoreDir.empty() ||
+        !persistWindowLocked(Oldest->first, Oldest->second, Error)) {
+      // Unpersisted uploads are never dropped: the window stays resident
+      // (over the cap) until a later accept retries the sweep.
+      ++Stats.RetentionHeld;
+      return;
+    }
+    uint64_t Id = Oldest->first;
+    Windows.erase(Oldest);
+    ExpiredBelow = std::max(ExpiredBelow, Id + 1);
+    ++Stats.WindowsExpired;
+    obs::add(obs::Counter::CollectdWindowsExpired);
+    // The window's quota ledger goes with it; the watermark now rejects
+    // anything that would need it.
+    for (auto It = QuotaUsed.begin(); It != QuotaUsed.end();)
+      It = It->first.second == Id ? QuotaUsed.erase(It) : std::next(It);
+  }
 }
 
 template <typename RenderFn>
@@ -316,26 +412,32 @@ IngestStats IngestService::stats() const {
   return Out;
 }
 
+bool IngestService::persistWindowLocked(uint64_t Id, Window &W,
+                                        std::string &Error) {
+  std::string Dir =
+      Cfg.StoreDir + "/w" + formatString("%llu", (unsigned long long)Id);
+  for (auto &[Key, G] : W) {
+    const profdb::Artifact *F = G.Tree.folded(Error);
+    if (!F)
+      return false;
+    // Named by group key, not fingerprint: two groups whose merged
+    // fingerprints degenerate to the same hash (XOR of identical
+    // sources) must still land in distinct files.
+    std::string Path = Dir + "/" + profdb::artifactFileName(Key);
+    if (!profdb::writeArtifactFile(Path, *F, Error))
+      return false;
+  }
+  return true;
+}
+
 bool IngestService::persist(std::string &Error) {
   if (Cfg.StoreDir.empty()) {
     Error = "no store directory configured";
     return false;
   }
   std::lock_guard<std::mutex> Lock(StateMu);
-  for (auto &[Id, W] : Windows) {
-    std::string Dir =
-        Cfg.StoreDir + "/w" + formatString("%llu", (unsigned long long)Id);
-    for (auto &[Key, G] : W) {
-      const profdb::Artifact *F = G.Tree.folded(Error);
-      if (!F)
-        return false;
-      // Named by group key, not fingerprint: two groups whose merged
-      // fingerprints degenerate to the same hash (XOR of identical
-      // sources) must still land in distinct files.
-      std::string Path = Dir + "/" + profdb::artifactFileName(Key);
-      if (!profdb::writeArtifactFile(Path, *F, Error))
-        return false;
-    }
-  }
+  for (auto &[Id, W] : Windows)
+    if (!persistWindowLocked(Id, W, Error))
+      return false;
   return true;
 }

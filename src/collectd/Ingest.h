@@ -46,6 +46,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -68,6 +69,12 @@ enum class RejectReason : unsigned {
   /// the decoder, or a shape the group key does not distinguish); the
   /// upload is dropped at admission, the window survives byte-identical.
   MergeFailed,
+  /// The tenant's token bucket is empty. Checked ahead of everything
+  /// else — a rate-limited refusal costs no decode work.
+  RateLimited,
+  /// The upload names a window retention already persisted and dropped
+  /// from residency; the window is closed to further uploads.
+  WindowExpired,
   NumReasons
 };
 
@@ -107,6 +114,22 @@ struct IngestConfig {
   /// Root for persist(): window folds land in StoreDir/w<window>/.
   /// Empty = memory-only.
   std::string StoreDir;
+  /// Sustained per-tenant admission rate (uploads/second) enforced by a
+  /// token bucket *ahead* of the per-window quota; 0 disables it. The
+  /// quota caps how much of a window one tenant may own, the bucket caps
+  /// how hard a tenant may hammer the service getting there.
+  double TenantRatePerSec = 0;
+  /// Bucket depth (burst allowance); 0 = max(1, TenantRatePerSec).
+  double TenantRateBurst = 0;
+  /// Monotonic nanosecond clock for the token buckets; null = the steady
+  /// clock. Tests inject a manual clock to make refill deterministic.
+  std::function<uint64_t()> RateClockNs;
+  /// Resident-window cap: when more windows than this hold uploads, the
+  /// oldest are persisted to StoreDir and dropped from memory (then
+  /// closed to late uploads — WindowExpired). 0 = unlimited. A window
+  /// that cannot be persisted (no StoreDir, write failure) is never
+  /// dropped. Constructor default: $PP_COLLECTD_RETAIN_WINDOWS.
+  size_t RetainWindows = 0;
 };
 
 /// Aggregate service counters. The totals (Submitted, Accepted,
@@ -125,7 +148,16 @@ struct IngestStats {
   uint64_t Compactions = 0;
   uint64_t Queries = 0;
   size_t Windows = 0;
+  /// Windows persisted and dropped from residency by RetainWindows.
+  uint64_t WindowsExpired = 0;
+  /// Times retention wanted to drop a window but could not persist it —
+  /// the window stayed resident (unpersisted data is never dropped).
+  uint64_t RetentionHeld = 0;
 };
+
+/// $PP_COLLECTD_RETAIN_WINDOWS via the strict env path (support/Env.h);
+/// 0 (and unset, and junk-with-a-warning) = unlimited.
+size_t retainWindowsFromEnv();
 
 class IngestService {
 public:
@@ -193,6 +225,15 @@ private:
   template <typename RenderFn>
   std::string queryWindow(uint64_t Window, std::string &Error,
                           RenderFn Render);
+  /// Token-bucket check for \p Tenant (StateMu held). False = refuse.
+  bool rateAllowLocked(const std::string &Tenant);
+  /// Writes window \p Id's folded groups under StoreDir/w<Id>/ (StateMu
+  /// held). Shared by persist() and retention expiry.
+  bool persistWindowLocked(uint64_t Id, Window &W, std::string &Error);
+  /// Persists and drops the oldest windows until at most RetainWindows
+  /// remain resident (StateMu held). A window that cannot be persisted
+  /// stays resident and stops the sweep.
+  void enforceRetentionLocked();
 
   IngestConfig Cfg;
 
@@ -207,6 +248,15 @@ private:
   std::map<uint64_t, Window> Windows;
   std::map<std::pair<std::string, uint64_t>, uint64_t> QuotaUsed;
   IngestStats Stats;
+  /// Per-tenant token buckets (rate limiting).
+  struct Bucket {
+    double Tokens = 0;
+    uint64_t LastNs = 0;
+  };
+  std::map<std::string, Bucket> Buckets;
+  /// Retention watermark: every window id below this has been persisted
+  /// and dropped; late uploads aimed under it reject as WindowExpired.
+  uint64_t ExpiredBelow = 0;
 
   std::vector<std::thread> Workers;
 };

@@ -36,6 +36,11 @@ const char *const CounterNames[] = {
     "acq.traps_delivered",    "acq.samples_recorded",
     "collectd.accepted",      "collectd.rejected",
     "collectd.compactions",   "collectd.queries",
+    "collectd.rate_limited",  "collectd.windows_expired",
+    "collectd.net.conns",     "collectd.net.frames_in",
+    "collectd.net.frames_out", "collectd.net.bytes_in",
+    "collectd.net.bytes_out", "collectd.net.protocol_errors",
+    "collectd.net.idle_closed",
 };
 static_assert(sizeof(CounterNames) / sizeof(CounterNames[0]) ==
                   static_cast<size_t>(Counter::NumCounters),

@@ -82,6 +82,15 @@ enum class Counter : unsigned {
   CollectdRejected,      ///< fleet uploads rejected with a typed reason
   CollectdCompactions,   ///< merge-tree level compactions performed
   CollectdQueries,       ///< window queries served
+  CollectdRateLimited,   ///< uploads refused by the per-tenant token bucket
+  CollectdWindowsExpired, ///< windows persisted + dropped by retention
+  CollectdNetConns,      ///< connections accepted by the socket front end
+  CollectdNetFramesIn,   ///< frames decoded off client sockets
+  CollectdNetFramesOut,  ///< frames written back to clients
+  CollectdNetBytesIn,    ///< bytes read off client sockets
+  CollectdNetBytesOut,   ///< bytes written back to clients
+  CollectdNetProtocolErrors, ///< streams dropped for frame-level errors
+  CollectdNetIdleClosed, ///< connections closed by the idle timeout
   NumCounters
 };
 

@@ -2,6 +2,7 @@
 
 #include "profdb/Store.h"
 
+#include "support/Env.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -135,14 +136,30 @@ bool isStaleTemp(const std::string &Path, pid_t Pid) {
   if (::stat(Path.c_str(), &St) != 0)
     return false;
   time_t Age = ::time(nullptr) - St.st_mtime;
-  if (Age < StaleTempGraceSeconds)
+  if (Age < staleTempGraceSeconds())
     return false;
-  if (Age >= StaleTempHardSeconds)
+  if (Age >= staleTempHardSeconds())
     return true;
   return ::kill(Pid, 0) != 0 && errno == ESRCH;
 }
 
 } // namespace
+
+time_t profdb::staleTempGraceSeconds() {
+  return static_cast<time_t>(envUint64Or(
+      "PP_COLLECTD_TEMP_GRACE_SECS", "pp-collectd",
+      static_cast<uint64_t>(StaleTempGraceSeconds)));
+}
+
+time_t profdb::staleTempHardSeconds() {
+  time_t Grace = staleTempGraceSeconds();
+  time_t Hard = static_cast<time_t>(envUint64Or(
+      "PP_COLLECTD_TEMP_HARD_SECS", "pp-collectd",
+      static_cast<uint64_t>(StaleTempHardSeconds)));
+  // An inverted pair would sweep live-writer temps the grace period
+  // promised to keep; clamp rather than guess which knob was meant.
+  return std::max(Hard, Grace);
+}
 
 size_t profdb::sweepStaleTemps(const std::string &Dir) {
   size_t Swept = 0;

@@ -473,3 +473,137 @@ TEST(CollectdIngestTest, PersistWritesOrdinaryArtifacts) {
 
   removeDir(Dir);
 }
+
+//===----------------------------------------------------------------------===//
+// Token-bucket rate limiting
+//===----------------------------------------------------------------------===//
+
+TEST(CollectdRateTest, BucketRefusesBeyondBurstAndRefillsOnTheClock) {
+  // A manual clock makes the bucket exact: burst-many accepts, then
+  // typed refusals until the injected time advances.
+  uint64_t NowNs = 0;
+  IngestConfig C = manualConfig();
+  C.TenantRatePerSec = 2;  // one token every half second
+  C.TenantRateBurst = 3;
+  C.RateClockNs = [&NowNs] { return NowNs; };
+  IngestService Service(C);
+
+  unsigned Accepted = 0, Limited = 0;
+  for (unsigned Serial = 0; Serial != 6; ++Serial) {
+    UploadResult R = Service.ingestNow(makeUpload("t0", 0, Serial));
+    if (R.Accepted)
+      ++Accepted;
+    else {
+      EXPECT_EQ(R.Reason, RejectReason::RateLimited);
+      EXPECT_EQ(R.Decode, profdb::DecodeStatus::Ok);
+      ++Limited;
+    }
+  }
+  EXPECT_EQ(Accepted, 3u);
+  EXPECT_EQ(Limited, 3u);
+
+  // Half a second buys exactly one more token.
+  NowNs += 500000000;
+  EXPECT_TRUE(Service.ingestNow(makeUpload("t0", 0, 10)).Accepted);
+  UploadResult R = Service.ingestNow(makeUpload("t0", 0, 11));
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.Reason, RejectReason::RateLimited);
+
+  // The refusal accounting is per reason and never charges the quota or
+  // decode counters: a rate-limited upload was refused unseen.
+  IngestStats Stats = Service.stats();
+  EXPECT_EQ(Stats.Submitted, 8u);
+  EXPECT_EQ(Stats.Accepted, 4u);
+  EXPECT_EQ(Stats.RejectedBy[static_cast<size_t>(RejectReason::RateLimited)],
+            4u);
+  EXPECT_EQ(Stats.RejectedBy[static_cast<size_t>(RejectReason::Corrupt)], 0u);
+}
+
+TEST(CollectdRateTest, BucketsArePerTenant) {
+  uint64_t NowNs = 0;
+  IngestConfig C = manualConfig();
+  C.TenantRatePerSec = 1;
+  C.TenantRateBurst = 1;
+  C.RateClockNs = [&NowNs] { return NowNs; };
+  IngestService Service(C);
+
+  // Each tenant gets its own full bucket; one tenant draining hers does
+  // not starve another's first upload.
+  EXPECT_TRUE(Service.ingestNow(makeUpload("t0", 0, 0)).Accepted);
+  EXPECT_FALSE(Service.ingestNow(makeUpload("t0", 0, 1)).Accepted);
+  EXPECT_TRUE(Service.ingestNow(makeUpload("t1", 0, 2)).Accepted);
+  EXPECT_FALSE(Service.ingestNow(makeUpload("t1", 0, 3)).Accepted);
+}
+
+//===----------------------------------------------------------------------===//
+// Window retention
+//===----------------------------------------------------------------------===//
+
+TEST(CollectdRetentionTest, OldWindowsArePersistedThenDroppedAndClosed) {
+  std::string Dir = makeTempDir();
+  ASSERT_FALSE(Dir.empty());
+
+  IngestConfig C = manualConfig();
+  C.StoreDir = Dir;
+  C.RetainWindows = 2;
+  IngestService Service(C);
+
+  // Fill windows 1..3: crossing the cap must persist-and-drop window 1.
+  for (uint64_t Window = 1; Window != 4; ++Window)
+    for (unsigned Serial = 0; Serial != 2; ++Serial)
+      ASSERT_TRUE(Service
+                      .ingestNow(makeUpload("t0", Window,
+                                            unsigned(Window) * 10 + Serial))
+                      .Accepted);
+
+  IngestStats Stats = Service.stats();
+  EXPECT_EQ(Stats.WindowsExpired, 1u);
+  EXPECT_EQ(Stats.RetentionHeld, 0u);
+  std::vector<uint64_t> Resident = Service.windows();
+  EXPECT_EQ(Resident, (std::vector<uint64_t>{2, 3}));
+
+  // The expired window's fold landed on disk before it left memory.
+  std::vector<std::string> Files = profdb::listArtifactFiles(Dir + "/w1");
+  ASSERT_EQ(Files.size(), 1u);
+  profdb::Artifact Back;
+  ASSERT_EQ(profdb::readArtifactFile(Files[0], Back),
+            profdb::DecodeStatus::Ok);
+  EXPECT_EQ(Back.RunCount, 2u);
+
+  // A late upload aimed below the watermark is refused typed — folding
+  // into a fresh resident window 1 would disagree with the stored bytes.
+  UploadResult Late = Service.ingestNow(makeUpload("t0", 1, 99));
+  EXPECT_FALSE(Late.Accepted);
+  EXPECT_EQ(Late.Reason, RejectReason::WindowExpired);
+  EXPECT_EQ(
+      Service.stats().RejectedBy[static_cast<size_t>(
+          RejectReason::WindowExpired)],
+      1u);
+
+  removeDir(Dir);
+}
+
+TEST(CollectdRetentionTest, UnpersistableWindowsAreNeverDropped) {
+  // No StoreDir: retention wants to shed the oldest window but has
+  // nowhere to put it. The window must stay resident — dropping
+  // unpersisted uploads would silently lose fleet data.
+  IngestConfig C = manualConfig();
+  C.RetainWindows = 1;
+  IngestService Service(C);
+
+  for (uint64_t Window = 0; Window != 3; ++Window)
+    ASSERT_TRUE(
+        Service.ingestNow(makeUpload("t0", Window, unsigned(Window))).Accepted);
+
+  IngestStats Stats = Service.stats();
+  EXPECT_EQ(Stats.WindowsExpired, 0u);
+  EXPECT_GE(Stats.RetentionHeld, 1u);
+  EXPECT_EQ(Service.windows().size(), 3u);
+
+  // Every window still answers queries — nothing was shed.
+  std::string Error;
+  for (uint64_t Window = 0; Window != 3; ++Window) {
+    EXPECT_FALSE(Service.queryCctStats(Window, Error).empty());
+    EXPECT_TRUE(Error.empty()) << Error;
+  }
+}

@@ -11,7 +11,9 @@
 #include "driver/FaultInjector.h"
 #include "obs/Obs.h"
 #include "driver/RunScheduler.h"
+#include "collectd/Ingest.h"
 #include "profdb/Merge.h"
+#include "profdb/Store.h"
 #include "support/Env.h"
 
 #include "RandomProgram.h"
@@ -252,5 +254,54 @@ TEST(Env, ObsRingCapacityKnobIsStrictAndClamped) {
   {
     EnvGuard Large("PP_OBS_RING_CAPACITY", "99999999");
     EXPECT_EQ(obs::configuredRingCapacity(), size_t(1) << 20);
+  }
+}
+
+TEST(Env, StaleTempSweepKnobsAreStrictAndOrdered) {
+  {
+    EnvGuard Grace("PP_COLLECTD_TEMP_GRACE_SECS", nullptr);
+    EnvGuard Hard("PP_COLLECTD_TEMP_HARD_SECS", nullptr);
+    EXPECT_EQ(profdb::staleTempGraceSeconds(), profdb::StaleTempGraceSeconds);
+    EXPECT_EQ(profdb::staleTempHardSeconds(), profdb::StaleTempHardSeconds);
+  }
+  {
+    EnvGuard Grace("PP_COLLECTD_TEMP_GRACE_SECS", "60");
+    EnvGuard Hard("PP_COLLECTD_TEMP_HARD_SECS", "3600");
+    EXPECT_EQ(profdb::staleTempGraceSeconds(), 60);
+    EXPECT_EQ(profdb::staleTempHardSeconds(), 3600);
+  }
+  {
+    // Typos warn and keep the defaults: "soon" must not parse as 0,
+    // which would let the sweeper delete a temp file mid-write.
+    EnvGuard Grace("PP_COLLECTD_TEMP_GRACE_SECS", "soon");
+    EnvGuard Hard("PP_COLLECTD_TEMP_HARD_SECS", "later");
+    EXPECT_EQ(profdb::staleTempGraceSeconds(), profdb::StaleTempGraceSeconds);
+    EXPECT_EQ(profdb::staleTempHardSeconds(), profdb::StaleTempHardSeconds);
+  }
+  {
+    // The hard deadline clamps to at least the grace period, so an
+    // operator raising only the grace can never make the hard sweep
+    // delete files the grace pass still protects.
+    EnvGuard Grace("PP_COLLECTD_TEMP_GRACE_SECS", "7200");
+    EnvGuard Hard("PP_COLLECTD_TEMP_HARD_SECS", "60");
+    EXPECT_EQ(profdb::staleTempGraceSeconds(), 7200);
+    EXPECT_EQ(profdb::staleTempHardSeconds(), 7200);
+  }
+}
+
+TEST(Env, RetainWindowsKnobIsStrict) {
+  {
+    EnvGuard Guard("PP_COLLECTD_RETAIN_WINDOWS", nullptr);
+    EXPECT_EQ(collectd::retainWindowsFromEnv(), 0u);
+  }
+  {
+    EnvGuard Guard("PP_COLLECTD_RETAIN_WINDOWS", "8");
+    EXPECT_EQ(collectd::retainWindowsFromEnv(), 8u);
+  }
+  {
+    // "lots" keeps the default 0 (retention disabled), never a random
+    // cap that would start expiring live windows.
+    EnvGuard Guard("PP_COLLECTD_RETAIN_WINDOWS", "lots");
+    EXPECT_EQ(collectd::retainWindowsFromEnv(), 0u);
   }
 }

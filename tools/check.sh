@@ -30,9 +30,10 @@ run_tsan() {
   cmake -B build-tsan -S . -DPP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target driver_test \
         --target fault_injection_test --target profdb_test \
-        --target obs_test
+        --target obs_test --target collectd_test --target wire_test \
+        --target server_test
   (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-        -R 'DriverTest|RunKeyTest|OutcomeIOTest|SchedulerTest|Fault|ProfDb|Obs')
+        -R 'DriverTest|RunKeyTest|OutcomeIOTest|SchedulerTest|Fault|ProfDb|Obs|Collectd|Wire|Server')
 }
 
 case "$MODE" in
