@@ -66,6 +66,11 @@ RunKey RunKey::of(const RunPlan &Plan) {
                       (unsigned long long)O.Acq.Period,
                       (unsigned long long)O.Acq.Seed,
                       (unsigned long long)Cost.TrapDeliveryCycles);
+  // The optimizer dimension follows the same append-only convention as
+  // ;acq=: only non-baseline runs carry it, so every pre-optimizer
+  // fingerprint keeps its byte string, hash, and cache file.
+  if (!Plan.OptVariant.empty())
+    F += ";opt=" + Plan.OptVariant;
   return Key;
 }
 

@@ -50,6 +50,11 @@ struct RunPlan {
   /// module's contents (e.g. a user-supplied input file); the run then
   /// bypasses the cache and duplicate-submission folding.
   bool Cacheable = true;
+  /// Names the optimizer configuration that produced the module Build
+  /// constructs ("layout", "layout+superblock+inline", ...); empty for
+  /// unoptimized modules. Part of the fingerprint, so optimized and
+  /// baseline runs of the same workload never collide in the cache.
+  std::string OptVariant;
 };
 
 } // namespace driver

@@ -1,0 +1,122 @@
+//===- ir/Clone.cpp - Block cloning and call inlining -------------------------===//
+
+#include "ir/Clone.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <unordered_map>
+
+using namespace pp;
+using namespace pp::ir;
+
+BasicBlock *ir::cloneBlock(Function &F, const BasicBlock &Source,
+                           const std::string &Suffix) {
+  BasicBlock *Copy = F.addBlock(Source.name() + Suffix);
+  Copy->insts() = Source.insts();
+  return Copy;
+}
+
+namespace {
+
+/// Rebases \p R into the caller's register file (NoReg stays NoReg).
+Reg rebase(Reg R, Reg Base) { return R == NoReg ? NoReg : R + Base; }
+
+} // namespace
+
+size_t ir::inlineCall(Function &Caller, BasicBlock &BB, size_t CallIndex) {
+  if (CallIndex >= BB.insts().size())
+    return 0;
+  const Inst Call = BB.insts()[CallIndex]; // copy: the vector is edited below
+  if (Call.Op != Opcode::Call || !Call.Callee || Call.Callee == &Caller)
+    return 0;
+  const Function &Callee = *Call.Callee;
+  if (Callee.numBlocks() == 0)
+    return 0;
+
+  const size_t InstsBefore = Caller.numInsts();
+
+  // Fresh registers shadowing the callee's frame.
+  const Reg RegBase = Caller.numRegs();
+  for (unsigned R = 0; R != Callee.numRegs(); ++R)
+    Caller.freshReg();
+
+  // Unique block names within the caller: the parser resolves branch
+  // targets per-function by name, so every clone gets a monotone suffix.
+  const std::string Suffix = ".il" + std::to_string(Caller.numBlocks());
+
+  // The continuation: everything after the call, terminator included.
+  BasicBlock *Cont = Caller.addBlock(BB.name() + ".cont" + Suffix);
+  Cont->insts().assign(BB.insts().begin() + CallIndex + 1, BB.insts().end());
+
+  // Clone the callee body, remapping registers and branch targets.
+  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+  for (const auto &CalleeBB : Callee.blocks())
+    BlockMap[CalleeBB.get()] =
+        Caller.addBlock(Callee.name() + "." + CalleeBB->name() + Suffix);
+  for (const auto &CalleeBB : Callee.blocks()) {
+    BasicBlock *Copy = BlockMap[CalleeBB.get()];
+    for (const Inst &Orig : CalleeBB->insts()) {
+      if (Orig.Op == Opcode::Ret) {
+        // Return value -> call destination, then fall into the
+        // continuation.
+        if (Call.Dst != NoReg && (Orig.BIsImm || Orig.B != NoReg)) {
+          Inst Mv;
+          Mv.Op = Opcode::Mov;
+          Mv.Dst = Call.Dst;
+          Mv.BIsImm = Orig.BIsImm;
+          Mv.B = Orig.BIsImm ? NoReg : rebase(Orig.B, RegBase);
+          Mv.Imm = Orig.Imm;
+          Copy->insts().push_back(Mv);
+        }
+        Inst Br;
+        Br.Op = Opcode::Br;
+        Br.T1 = Cont;
+        Copy->insts().push_back(Br);
+        continue;
+      }
+      Inst I = Orig;
+      if (I.Dst != NoReg)
+        I.Dst += RegBase;
+      if (I.A != NoReg)
+        I.A += RegBase;
+      if (!I.BIsImm && I.B != NoReg)
+        I.B += RegBase;
+      for (Reg &Arg : I.Args)
+        Arg += RegBase;
+      if (I.T1) {
+        auto It = BlockMap.find(I.T1);
+        if (It != BlockMap.end())
+          I.T1 = It->second;
+      }
+      if (I.T2) {
+        auto It = BlockMap.find(I.T2);
+        if (It != BlockMap.end())
+          I.T2 = It->second;
+      }
+      for (BasicBlock *&Target : I.SwitchTargets) {
+        auto It = BlockMap.find(Target);
+        if (It != BlockMap.end())
+          Target = It->second;
+      }
+      Copy->insts().push_back(I);
+    }
+  }
+
+  // Rewrite the call site: drop the call and its tail, marshal the
+  // arguments into the callee's parameter registers, enter the clone.
+  BB.insts().erase(BB.insts().begin() + CallIndex, BB.insts().end());
+  for (unsigned P = 0; P != Callee.numParams(); ++P) {
+    Inst Mv;
+    Mv.Op = Opcode::Mov;
+    Mv.Dst = RegBase + P;
+    Mv.B = P < Call.Args.size() ? Call.Args[P] : NoReg;
+    BB.insts().push_back(Mv);
+  }
+  Inst Enter;
+  Enter.Op = Opcode::Br;
+  Enter.T1 = BlockMap[Callee.entry()];
+  BB.insts().push_back(Enter);
+
+  return Caller.numInsts() - InstsBefore;
+}

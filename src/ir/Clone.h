@@ -1,0 +1,46 @@
+//===- ir/Clone.h - Block cloning and call inlining -------------*- C++ -*-===//
+///
+/// \file
+/// The IR surgery the profile-guided optimizer needs: duplicating a basic
+/// block (superblock tail duplication) and expanding a direct call inline
+/// (CCT-hotness-directed inlining). Both are mechanical — all policy
+/// (budgets, recursion refusal, hotness thresholds) lives in opt; these
+/// utilities only guarantee the result verifies and preserves semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_IR_CLONE_H
+#define PP_IR_CLONE_H
+
+#include <cstddef>
+#include <string>
+
+namespace pp {
+namespace ir {
+
+class BasicBlock;
+class Function;
+
+/// Appends a copy of \p Source to \p F, named Source.name() + \p Suffix
+/// (the parser resolves branch targets per-function by name, so callers
+/// must pick suffixes that keep names unique). Instructions are copied
+/// verbatim: branch targets still point at Source's successors and
+/// registers are unchanged; the caller redirects what it needs to.
+BasicBlock *cloneBlock(Function &F, const BasicBlock &Source,
+                       const std::string &Suffix);
+
+/// Expands the direct call at \p BB.insts()[CallIndex] into \p Caller:
+/// the callee's blocks are cloned with registers rebased onto fresh
+/// caller registers, parameters become register moves, every callee Ret
+/// becomes a move into the call's destination plus a branch to a new
+/// continuation block holding the rest of \p BB. Refuses (returns 0)
+/// non-calls, indirect calls, and self-calls; otherwise returns the net
+/// number of instructions added to \p Caller. Callees containing Setjmp
+/// must be refused by the caller — inlining changes the frame a Setjmp
+/// buffer records.
+size_t inlineCall(Function &Caller, BasicBlock &BB, size_t CallIndex);
+
+} // namespace ir
+} // namespace pp
+
+#endif // PP_IR_CLONE_H

@@ -40,7 +40,9 @@ const char *const CounterNames[] = {
     "collectd.net.conns",     "collectd.net.frames_in",
     "collectd.net.frames_out", "collectd.net.bytes_in",
     "collectd.net.bytes_out", "collectd.net.protocol_errors",
-    "collectd.net.idle_closed",
+    "collectd.net.idle_closed", "opt.functions_reordered",
+    "opt.blocks_duplicated",  "opt.sites_inlined",
+    "opt.profile_refusals",
 };
 static_assert(sizeof(CounterNames) / sizeof(CounterNames[0]) ==
                   static_cast<size_t>(Counter::NumCounters),

@@ -91,6 +91,10 @@ enum class Counter : unsigned {
   CollectdNetBytesOut,   ///< bytes written back to clients
   CollectdNetProtocolErrors, ///< streams dropped for frame-level errors
   CollectdNetIdleClosed, ///< connections closed by the idle timeout
+  OptFunctionsReordered, ///< functions re-laid-out hot-path-first
+  OptBlocksDuplicated,   ///< blocks tail-duplicated by superblock formation
+  OptSitesInlined,       ///< call sites expanded by the inliner
+  OptProfileRefusals,    ///< artifacts refused by ProfileView with a typed reason
   NumCounters
 };
 

@@ -1,0 +1,211 @@
+//===- opt/Inline.cpp - CCT-hotness-directed inlining -------------------------===//
+///
+/// The context profile as an inlining oracle: a call site is worth
+/// inlining when the CCT subtrees hanging off its callee slot carry at
+/// least a configured fraction of the whole run's PIC0 (invocations when
+/// the profile recorded no HW metrics). Sites are refused with a counted
+/// reason when inlining would be unsafe or unbounded: indirect targets,
+/// recursion (a CCT backedge, a self-call, or a static call cycle back to
+/// the caller), callees containing Setjmp (the buffer records the frame
+/// it runs in), and callers whose instruction budget is spent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Clone.h"
+#include "ir/Module.h"
+#include "obs/Obs.h"
+#include "opt/Pass.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace pp;
+using namespace pp::opt;
+
+namespace {
+
+bool containsSetjmp(const ir::Function &F) {
+  for (const auto &BB : F.blocks())
+    for (const ir::Inst &I : BB->insts())
+      if (I.Op == ir::Opcode::Setjmp)
+        return true;
+  return false;
+}
+
+/// Extra instructions one inlined invocation executes over the call it
+/// replaces. The Call instruction marshals arguments into the callee
+/// frame and carries the return value back by itself; expansion spells
+/// those out as numParams argument Movs plus one result Mov when any
+/// return carries a value (the entry/continuation Brs replace the
+/// Call/Ret pair one for one).
+uint64_t perCallOverhead(const ir::Function &Callee) {
+  bool ReturnsValue = false;
+  for (const auto &BB : Callee.blocks())
+    for (const ir::Inst &I : BB->insts())
+      if (I.Op == ir::Opcode::Ret && (I.BIsImm || I.B != ir::NoReg))
+        ReturnsValue = true;
+  return Callee.numParams() + (ReturnsValue ? 1 : 0);
+}
+
+/// True when \p From can reach \p Target through direct call edges.
+/// Inlining such a callee is semantically fine (the clone still calls),
+/// but iterating it re-grows the same cycle every run, so the pass
+/// refuses it as recursion.
+bool reachesThroughCalls(const ir::Function &From, const ir::Function &Target) {
+  std::unordered_set<const ir::Function *> Visited;
+  std::vector<const ir::Function *> Stack{&From};
+  while (!Stack.empty()) {
+    const ir::Function *F = Stack.back();
+    Stack.pop_back();
+    if (F == &Target)
+      return true;
+    if (!Visited.insert(F).second)
+      continue;
+    for (const auto &BB : F->blocks())
+      for (const ir::Inst &I : BB->insts())
+        if (I.Op == ir::Opcode::Call && I.Callee)
+          Stack.push_back(I.Callee);
+  }
+  return false;
+}
+
+struct Decision {
+  unsigned Caller = 0;
+  ir::BasicBlock *BB = nullptr;
+  unsigned InstIndex = 0;
+  uint64_t Weight = 0;
+  uint64_t EstimatedGrowth = 0;
+};
+
+} // namespace
+
+PassStats opt::runInlinePass(ir::Module &M, const ProfileView &View,
+                             const PassOptions &Opts) {
+  assert(&View.module() == &M && "view resolved against a different module");
+  PassStats Stats;
+  Stats.Kind = PassKind::Inline;
+  if (!View.hasCct())
+    return Stats;
+
+  const bool UseMetric = View.totalMetric0() != 0;
+  const uint64_t Total = UseMetric ? View.totalMetric0() : View.totalCalls();
+  if (!Total)
+    return Stats;
+
+  std::vector<Decision> Candidates;
+  for (unsigned Id = 0; Id != View.numFunctions(); ++Id) {
+    const std::vector<SiteRef> &Sites = View.sites(Id);
+    const std::vector<SiteHotness> &Hotness = View.siteHotness(Id);
+    if (Sites.empty() || Hotness.size() != Sites.size())
+      continue;
+    ir::Function &Caller = *M.function(Id);
+    if (Caller.isInstrumented())
+      continue;
+    bool Considered = false;
+    for (unsigned S = 0; S != Sites.size(); ++S) {
+      const SiteRef &Ref = Sites[S];
+      const SiteHotness &Hot = Hotness[S];
+      const uint64_t Weight = UseMetric ? Hot.Metric0 : Hot.Calls;
+      if (!Weight && !Hot.Recursive)
+        continue;
+      // Recursion backedges carry no attributed weight (their subtree is
+      // the ancestor's own, already counted), so they must bypass the
+      // hotness gate to be refused — and counted — explicitly.
+      if (!Hot.Recursive &&
+          Weight * Opts.InlineHotDen < Total * Opts.InlineHotNum)
+        continue; // below the hotness threshold
+      Considered = true;
+      if (Ref.Indirect || Hot.Indirect) {
+        ++Stats.UnsafeRefusals;
+        continue;
+      }
+      if (Hot.Recursive) {
+        ++Stats.RecursionRefusals;
+        continue;
+      }
+      // The site handle must still name the call it was enumerated from
+      // (a prior pass may have moved it into a continuation block).
+      if (Ref.InstIndex >= Ref.BB->insts().size())
+        continue;
+      const ir::Inst &I = Ref.BB->insts()[Ref.InstIndex];
+      if (I.Op != ir::Opcode::Call || !I.Callee)
+        continue;
+      const ir::Function &Callee = *I.Callee;
+      if (&Callee == &Caller || reachesThroughCalls(Callee, Caller)) {
+        ++Stats.RecursionRefusals;
+        continue;
+      }
+      if (containsSetjmp(Callee)) {
+        ++Stats.UnsafeRefusals;
+        continue;
+      }
+      if (perCallOverhead(Callee) > Opts.InlineMaxOverhead) {
+        ++Stats.CostRefusals;
+        continue;
+      }
+      Decision D;
+      D.Caller = Id;
+      D.BB = Ref.BB;
+      D.InstIndex = Ref.InstIndex;
+      D.Weight = Weight;
+      D.EstimatedGrowth = Callee.numInsts() + Callee.numParams() + 2;
+      Candidates.push_back(D);
+    }
+    if (Considered)
+      ++Stats.FunctionsConsidered;
+  }
+
+  // Budget allocation in hotness order (deterministic tie-break on the
+  // site's identity), so the hottest sites claim the caller budget first.
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const Decision &A, const Decision &B) {
+              if (A.Weight != B.Weight)
+                return A.Weight > B.Weight;
+              if (A.Caller != B.Caller)
+                return A.Caller < B.Caller;
+              if (A.BB->id() != B.BB->id())
+                return A.BB->id() < B.BB->id();
+              return A.InstIndex < B.InstIndex;
+            });
+  std::vector<uint64_t> Spent(M.numFunctions(), 0);
+  std::vector<Decision> Accepted;
+  for (const Decision &D : Candidates) {
+    if (Spent[D.Caller] + D.EstimatedGrowth > Opts.InlineBudget) {
+      ++Stats.BudgetRefusals;
+      continue;
+    }
+    Spent[D.Caller] += D.EstimatedGrowth;
+    Accepted.push_back(D);
+  }
+
+  // Execution order: within one block, descending instruction index, so
+  // inlining one site never stales another accepted site's index (the
+  // tail that moves to the continuation block is always behind the sites
+  // still to be expanded).
+  std::sort(Accepted.begin(), Accepted.end(),
+            [](const Decision &A, const Decision &B) {
+              if (A.Caller != B.Caller)
+                return A.Caller < B.Caller;
+              if (A.BB->id() != B.BB->id())
+                return A.BB->id() < B.BB->id();
+              return A.InstIndex > B.InstIndex;
+            });
+  std::vector<bool> Changed(M.numFunctions(), false);
+  for (const Decision &D : Accepted) {
+    ir::Function &Caller = *M.function(D.Caller);
+    if (D.InstIndex >= D.BB->insts().size() ||
+        D.BB->insts()[D.InstIndex].Op != ir::Opcode::Call)
+      continue;
+    const size_t Added = ir::inlineCall(Caller, *D.BB, D.InstIndex);
+    if (!Added)
+      continue;
+    ++Stats.SitesInlined;
+    Stats.InstsAdded += Added;
+    Changed[D.Caller] = true;
+    obs::add(obs::Counter::OptSitesInlined);
+  }
+  for (bool C : Changed)
+    Stats.FunctionsChanged += C ? 1 : 0;
+  return Stats;
+}

@@ -12,36 +12,22 @@
 using namespace pp;
 using namespace pp::opt;
 
-bool opt::layoutHotPathFirst(ir::Function &F,
-                             const prof::FunctionPathProfile &Profile) {
-  if (!Profile.HasProfile || Profile.Paths.empty())
+bool opt::reorderTraceFirst(ir::Function &F,
+                            const std::vector<ir::BasicBlock *> &Trace) {
+  // A function with fewer than two blocks has exactly one layout; treating
+  // it as reorderable only churns change counters.
+  if (F.numBlocks() < 2)
     return false;
-
-  // Hottest path by measured cost (PIC0 when present, frequency
-  // otherwise).
-  const prof::PathEntry *Hottest = &Profile.Paths.front();
-  for (const prof::PathEntry &Entry : Profile.Paths) {
-    uint64_t Best = Hottest->Metric0 ? Hottest->Metric0 : Hottest->Freq;
-    uint64_t Cur = Entry.Metric0 ? Entry.Metric0 : Entry.Freq;
-    if (Cur > Best)
-      Hottest = &Entry;
-  }
-
-  cfg::Cfg G(F);
-  bl::PathNumbering PN(G);
-  if (!PN.valid())
-    return false;
-  bl::RegeneratedPath Path = PN.regenerate(Hottest->PathSum);
 
   std::vector<ir::BasicBlock *> NewOrder;
   std::set<ir::BasicBlock *> Placed;
-  NewOrder.push_back(F.entry()); // the entry must stay first
+  // The entry must stay first even when it is cold (a hot path that
+  // begins at a loop head never mentions it).
+  NewOrder.push_back(F.entry());
   Placed.insert(F.entry());
-  for (unsigned Node : Path.Nodes) {
-    ir::BasicBlock *BB = G.block(Node);
+  for (ir::BasicBlock *BB : Trace)
     if (Placed.insert(BB).second)
       NewOrder.push_back(BB);
-  }
   for (const auto &BB : F.blocks())
     if (Placed.insert(BB.get()).second)
       NewOrder.push_back(BB.get());
@@ -56,11 +42,47 @@ bool opt::layoutHotPathFirst(ir::Function &F,
   return true;
 }
 
+bool opt::layoutHotPathFirst(ir::Function &F,
+                             const prof::FunctionPathProfile &Profile) {
+  if (!Profile.HasProfile || Profile.Paths.empty())
+    return false;
+  if (F.numBlocks() < 2)
+    return false;
+
+  // Hottest path by a consistent measure: measured PIC0 cost when the run
+  // recorded any, frequency otherwise. (Comparing one path's metric
+  // against another's frequency — the old behaviour — picked garbage
+  // whenever a run mixed zero- and nonzero-metric paths.)
+  bool UseMetric = false;
+  for (const prof::PathEntry &Entry : Profile.Paths)
+    UseMetric |= Entry.Metric0 != 0;
+  const prof::PathEntry *Hottest = &Profile.Paths.front();
+  for (const prof::PathEntry &Entry : Profile.Paths) {
+    uint64_t Best = UseMetric ? Hottest->Metric0 : Hottest->Freq;
+    uint64_t Cur = UseMetric ? Entry.Metric0 : Entry.Freq;
+    if (Cur > Best)
+      Hottest = &Entry;
+  }
+
+  cfg::Cfg G(F);
+  bl::PathNumbering PN(G);
+  if (!PN.valid() || Hottest->PathSum >= PN.numPaths())
+    return false;
+  bl::RegeneratedPath Path = PN.regenerate(Hottest->PathSum);
+
+  std::vector<ir::BasicBlock *> Trace;
+  for (unsigned Node : Path.Nodes)
+    Trace.push_back(G.block(Node));
+  return reorderTraceFirst(F, Trace);
+}
+
 LayoutResult opt::layoutHotPathsFirst(ir::Module &M,
                                       const prof::RunOutcome &Profile) {
   LayoutResult Result;
   for (const prof::FunctionPathProfile &FuncProfile : Profile.PathProfiles) {
-    if (!FuncProfile.HasProfile)
+    if (!FuncProfile.HasProfile || FuncProfile.Paths.empty())
+      continue;
+    if (M.function(FuncProfile.FuncId)->numBlocks() < 2)
       continue;
     ++Result.FunctionsConsidered;
     if (layoutHotPathFirst(*M.function(FuncProfile.FuncId), FuncProfile))

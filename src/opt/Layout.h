@@ -17,13 +17,25 @@
 
 #include "prof/Session.h"
 
+#include <vector>
+
 namespace pp {
 namespace ir {
+class BasicBlock;
 class Function;
 class Module;
 } // namespace ir
 
 namespace opt {
+
+/// The layout core both entry points share: reorder \p F's blocks to
+/// entry-first, then \p Trace in order (skipping the entry and
+/// duplicates), then the rest in their current order. Skips functions
+/// with fewer than two blocks and no-op permutations — the pass is
+/// idempotent and never churns change counters. Returns true when the
+/// block order actually changed.
+bool reorderTraceFirst(ir::Function &F,
+                       const std::vector<ir::BasicBlock *> &Trace);
 
 /// Outcome of a layout pass.
 struct LayoutResult {

@@ -1,0 +1,304 @@
+//===- opt/ProfileView.cpp - Optimizer view of a profile artifact -------------===//
+
+#include "opt/ProfileView.h"
+
+#include "bl/PathNumbering.h"
+#include "cct/CallingContextTree.h"
+#include "cfg/Cfg.h"
+#include "ir/Module.h"
+#include "obs/Obs.h"
+#include "prof/CallSites.h"
+#include "profdb/Artifact.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace pp;
+using namespace pp::opt;
+
+const char *opt::viewStatusName(ViewStatus Status) {
+  switch (Status) {
+  case ViewStatus::Ok:
+    return "ok";
+  case ViewStatus::CrossAcquisition:
+    return "cross-acquisition";
+  case ViewStatus::SchemaMismatch:
+    return "schema-mismatch";
+  case ViewStatus::EmptyPathTables:
+    return "empty-path-tables";
+  case ViewStatus::FunctionTableMismatch:
+    return "function-table-mismatch";
+  case ViewStatus::PathSpaceMismatch:
+    return "path-space-mismatch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Per-(function, path sum) accumulator across every source the artifact
+/// stores paths in (flat tables for Flow modes, per-record CCT tables for
+/// ContextFlow modes; merged artifacts only ever populate one).
+struct PathAgg {
+  uint64_t Freq = 0;
+  uint64_t Metric0 = 0;
+  uint64_t Metric1 = 0;
+};
+
+ViewStatus refuse(ViewStatus Status) {
+  obs::add(obs::Counter::OptProfileRefusals);
+  return Status;
+}
+
+} // namespace
+
+ViewStatus ProfileView::build(const profdb::Artifact &A, const ir::Module &M,
+                              ProfileView &Out) {
+  Out = ProfileView();
+  Out.M = &M;
+
+  if (A.Schema.Acquisition != "exact")
+    return refuse(ViewStatus::CrossAcquisition);
+
+  static const prof::Mode AllModes[] = {
+      prof::Mode::None,      prof::Mode::Edge,
+      prof::Mode::Flow,      prof::Mode::FlowHw,
+      prof::Mode::Context,   prof::Mode::ContextHw,
+      prof::Mode::ContextFlow, prof::Mode::ContextFlowHw,
+  };
+  bool KnownMode = false;
+  for (prof::Mode Candidate : AllModes)
+    if (A.Schema.Mode == prof::modeName(Candidate)) {
+      Out.ProfMode = Candidate;
+      KnownMode = true;
+      break;
+    }
+  if (!KnownMode)
+    return refuse(ViewStatus::SchemaMismatch);
+  const prof::Mode Mode = Out.ProfMode;
+  if (!prof::modeUsesPaths(Mode) && !prof::modeUsesCct(Mode))
+    return refuse(ViewStatus::SchemaMismatch);
+
+  const size_t NumFuncs = M.numFunctions();
+  if (A.Functions.size() != NumFuncs)
+    return refuse(ViewStatus::FunctionTableMismatch);
+  for (size_t Id = 0; Id != NumFuncs; ++Id)
+    if (A.Functions[Id] != M.function(Id)->name())
+      return refuse(ViewStatus::FunctionTableMismatch);
+
+  Out.Funcs.resize(NumFuncs);
+  Out.Sites.resize(NumFuncs);
+  Out.SiteHot.resize(NumFuncs);
+
+  // Resolve call sites to (block, instruction) handles now, in the
+  // canonical enumeration order the CCT's callee slots use. Handles stay
+  // valid across reorderBlocks; the indices they were derived from do not.
+  for (size_t Id = 0; Id != NumFuncs; ++Id) {
+    const ir::Function &F = *M.function(Id);
+    for (const prof::CallSite &Site : prof::enumerateCallSites(F))
+      Out.Sites[Id].push_back(
+          SiteRef{F.block(Site.BlockId), Site.InstIndex, Site.Indirect});
+  }
+
+  if (prof::modeUsesPaths(Mode)) {
+    std::vector<std::map<uint64_t, PathAgg>> Agg(NumFuncs);
+    std::vector<uint64_t> DeclaredPaths(NumFuncs, 0);
+
+    for (const prof::FunctionPathProfile &Profile : A.PathProfiles) {
+      if (!Profile.HasProfile)
+        continue;
+      if (Profile.FuncId >= NumFuncs)
+        return refuse(ViewStatus::FunctionTableMismatch);
+      DeclaredPaths[Profile.FuncId] = Profile.NumPaths;
+      for (const prof::PathEntry &Entry : Profile.Paths) {
+        PathAgg &Cell = Agg[Profile.FuncId][Entry.PathSum];
+        Cell.Freq += Entry.Freq;
+        Cell.Metric0 += Entry.Metric0;
+        Cell.Metric1 += Entry.Metric1;
+      }
+    }
+
+    if (A.Tree) {
+      for (const auto &R : A.Tree->records()) {
+        if (R->PathTable.empty())
+          continue;
+        if (R->procId() == cct::RootProcId ||
+            R->procId() >= NumFuncs)
+          return refuse(ViewStatus::FunctionTableMismatch);
+        for (const auto &CellPair : R->PathTable) {
+          PathAgg &Cell = Agg[R->procId()][CellPair.first];
+          Cell.Freq += CellPair.second.Freq;
+          Cell.Metric0 += CellPair.second.Metric0;
+          Cell.Metric1 += CellPair.second.Metric1;
+        }
+      }
+      for (size_t Id = 0; Id != NumFuncs && Id != A.Tree->numProcs(); ++Id)
+        if (A.Tree->procDesc(static_cast<cct::ProcId>(Id)).NumPaths)
+          DeclaredPaths[Id] =
+              A.Tree->procDesc(static_cast<cct::ProcId>(Id)).NumPaths;
+    }
+
+    for (size_t Id = 0; Id != NumFuncs; ++Id) {
+      if (Agg[Id].empty() && !DeclaredPaths[Id])
+        continue;
+      const ir::Function &F = *M.function(Id);
+      cfg::Cfg G(F);
+      bl::PathNumbering PN(G);
+      // The profiler only records paths for functions whose numbering is
+      // countable; an artifact claiming paths for an uncountable function
+      // was collected from different code.
+      if (!PN.valid())
+        return refuse(ViewStatus::PathSpaceMismatch);
+      if (DeclaredPaths[Id] && DeclaredPaths[Id] != PN.numPaths())
+        return refuse(ViewStatus::PathSpaceMismatch);
+      if (Agg[Id].empty())
+        continue;
+
+      FunctionHotness &FH = Out.Funcs[Id];
+      bool UseMetric = false;
+      for (const auto &CellPair : Agg[Id]) {
+        if (CellPair.first >= PN.numPaths())
+          return refuse(ViewStatus::PathSpaceMismatch);
+        UseMetric |= CellPair.second.Metric0 != 0;
+        FH.TotalFreq += CellPair.second.Freq;
+        FH.TotalMetric0 += CellPair.second.Metric0;
+        FH.TotalMetric1 += CellPair.second.Metric1;
+      }
+
+      // Rank paths by the consistent measure: measured PIC0 cost when
+      // the run recorded any, frequency otherwise. Ties keep the smaller
+      // path sum (the map iterates ascending, stable_sort preserves it).
+      std::vector<std::pair<uint64_t, const PathAgg *>> Ranked;
+      for (const auto &CellPair : Agg[Id])
+        Ranked.push_back({CellPair.first, &CellPair.second});
+      std::stable_sort(Ranked.begin(), Ranked.end(),
+                       [UseMetric](const auto &L, const auto &R) {
+                         uint64_t WL = UseMetric ? L.second->Metric0
+                                                 : L.second->Freq;
+                         uint64_t WR = UseMetric ? R.second->Metric0
+                                                 : R.second->Freq;
+                         return WL > WR;
+                       });
+      if (Ranked.size() > MaxPathsKept)
+        Ranked.resize(MaxPathsKept);
+
+      for (const auto &[Sum, Cell] : Ranked) {
+        bl::RegeneratedPath Path = PN.regenerate(Sum);
+        HotPath HP;
+        HP.PathSum = Sum;
+        HP.Freq = Cell->Freq;
+        HP.Metric0 = Cell->Metric0;
+        HP.Metric1 = Cell->Metric1;
+        HP.StartsAfterBackedge = Path.StartsAfterBackedge;
+        for (unsigned Node : Path.Nodes)
+          HP.Blocks.push_back(G.block(Node));
+        for (unsigned EdgeId : Path.Edges) {
+          const cfg::Edge &E = G.edge(EdgeId);
+          if (E.To == G.exitNode())
+            continue; // the synthetic return edge ends the path
+          HP.SuccIndices.push_back(static_cast<unsigned>(E.SuccIndex));
+        }
+        if (HP.SuccIndices.size() + 1 != HP.Blocks.size())
+          return refuse(ViewStatus::PathSpaceMismatch);
+        FH.Paths.push_back(std::move(HP));
+      }
+      FH.Hottest = FH.Paths.front();
+      FH.HasPaths = true;
+      Out.HasPaths = true;
+    }
+
+    if (!Out.HasPaths)
+      return refuse(ViewStatus::EmptyPathTables);
+  }
+
+  if (prof::modeUsesCct(Mode)) {
+    if (!A.Tree)
+      return refuse(ViewStatus::SchemaMismatch);
+    const cct::CallingContextTree &T = *A.Tree;
+    if (T.numProcs() != NumFuncs)
+      return refuse(ViewStatus::FunctionTableMismatch);
+    for (size_t Id = 0; Id != NumFuncs; ++Id) {
+      const cct::ProcDesc &Desc = T.procDesc(static_cast<cct::ProcId>(Id));
+      if (Desc.Name != M.function(Id)->name() ||
+          Desc.NumSites != Out.Sites[Id].size())
+        return refuse(ViewStatus::FunctionTableMismatch);
+      Out.SiteHot[Id].resize(Out.Sites[Id].size());
+      for (size_t S = 0; S != Out.Sites[Id].size(); ++S)
+        Out.SiteHot[Id][S].Indirect = Out.Sites[Id][S].Indirect;
+    }
+
+    // Subtree metric sums: records are stored in allocation order with
+    // parents before children, so one reverse sweep folding each record
+    // into its parent accumulates complete subtrees.
+    const auto &Records = T.records();
+    const size_t N = Records.size();
+    std::unordered_map<const cct::CallRecord *, size_t> Index;
+    Index.reserve(N);
+    for (size_t I = 0; I != N; ++I)
+      Index[Records[I].get()] = I;
+    std::vector<uint64_t> SubCalls(N, 0), SubM0(N, 0), SubM1(N, 0);
+    for (size_t I = N; I-- > 0;) {
+      const cct::CallRecord &R = *Records[I];
+      // Own cost: record metrics (ContextHw) plus path-cell metrics
+      // (ContextFlowHw); the runtime populates exactly one of the two.
+      SubCalls[I] += R.Metrics.empty() ? 0 : R.Metrics[0];
+      SubM0[I] += R.Metrics.size() > 1 ? R.Metrics[1] : 0;
+      SubM1[I] += R.Metrics.size() > 2 ? R.Metrics[2] : 0;
+      for (const auto &CellPair : R.PathTable) {
+        SubM0[I] += CellPair.second.Metric0;
+        SubM1[I] += CellPair.second.Metric1;
+      }
+      if (R.parent()) {
+        auto It = Index.find(R.parent());
+        if (It == Index.end())
+          return refuse(ViewStatus::FunctionTableMismatch);
+        SubCalls[It->second] += SubCalls[I];
+        SubM0[It->second] += SubM0[I];
+        SubM1[It->second] += SubM1[I];
+      }
+    }
+
+    // Attribute each child subtree to the caller slot that reached it.
+    // A slot resolving to a non-child (an ancestor) is a recursion
+    // backedge: mark it and attribute nothing — its "subtree" is the
+    // ancestor's own, already counted.
+    for (size_t I = 0; I != N; ++I) {
+      const cct::CallRecord &R = *Records[I];
+      if (R.procId() == cct::RootProcId)
+        continue;
+      if (R.numSlots() != Out.SiteHot[R.procId()].size())
+        return refuse(ViewStatus::FunctionTableMismatch);
+      for (unsigned S = 0; S != R.numSlots(); ++S) {
+        const cct::CallRecord::Slot &Slot = R.slot(S);
+        SiteHotness &Hot = Out.SiteHot[R.procId()][S];
+        auto attribute = [&](const cct::CallRecord *Target) {
+          if (!Target)
+            return;
+          if (Target->parent() != &R) {
+            Hot.Recursive = true;
+            return;
+          }
+          auto It = Index.find(Target);
+          if (It == Index.end())
+            return;
+          const cct::CallRecord &Child = *Records[It->second];
+          Hot.Calls += Child.Metrics.empty() ? 0 : Child.Metrics[0];
+          Hot.Metric0 += SubM0[It->second];
+          Hot.Metric1 += SubM1[It->second];
+        };
+        if (Slot.K == cct::CallRecord::Slot::Kind::Record)
+          attribute(Slot.Direct);
+        else if (Slot.K == cct::CallRecord::Slot::Kind::List)
+          for (const auto &Entry : Slot.List)
+            attribute(Entry.first);
+      }
+    }
+
+    Out.TotalMetric0 = N ? SubM0[0] : 0;
+    Out.TotalCalls = N ? SubCalls[0] : 0;
+    Out.HasCct = true;
+  }
+
+  return ViewStatus::Ok;
+}

@@ -1,0 +1,179 @@
+//===- opt/ProfileView.h - Optimizer view of a profile artifact -*- C++ -*-===//
+///
+/// \file
+/// The read-side adapter between the profile repository and the optimizer:
+/// a ProfileView resolves a merged .ppa artifact against the pristine
+/// module it was collected from, answering the queries the passes ask —
+/// "what is this function's hottest Ball-Larus path?", "how many cycles
+/// does the CCT subtree under this call site carry?" — in terms of live
+/// IR handles (BasicBlock pointers, instruction indices) that survive
+/// block reordering.
+///
+/// Everything is resolved once, at build time, against the *pristine*
+/// module: path sums and call-site indices are defined by the original
+/// block numbering, so querying them after a pass has reordered blocks
+/// would silently read garbage. Build() therefore turns every path into a
+/// pointer chain and every call site into a (block, instruction) handle
+/// up front; passes may then mutate the module freely.
+///
+/// Artifacts are refused — with a typed reason, never a silent no-op —
+/// when they cannot have come from the module at hand: sampled
+/// acquisition (approximate counts must not steer transforms that claim
+/// measured wins), an unknown or profile-free metric schema, a function
+/// table naming different procedures, or path sums outside the module's
+/// path space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_OPT_PROFILEVIEW_H
+#define PP_OPT_PROFILEVIEW_H
+
+#include "prof/Mode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pp {
+namespace ir {
+class BasicBlock;
+class Module;
+} // namespace ir
+
+namespace profdb {
+struct Artifact;
+} // namespace profdb
+
+namespace opt {
+
+/// Why an artifact was refused (Ok = usable).
+enum class ViewStatus : unsigned {
+  Ok = 0,
+  /// The artifact's acquisition is not "exact": sampled estimates must
+  /// not drive optimizations whose speedups we then claim as measured.
+  CrossAcquisition,
+  /// The metric schema names an unknown mode, or a mode that recorded
+  /// neither paths nor a CCT (None/Edge) — nothing to optimize from.
+  SchemaMismatch,
+  /// A path-recording mode whose tables hold no executed path anywhere
+  /// (e.g. a run that never reached instrumented code).
+  EmptyPathTables,
+  /// The artifact's function table (or CCT geometry) does not match the
+  /// module: different count, names, or call-site counts.
+  FunctionTableMismatch,
+  /// A recorded path sum (or path-space size) is impossible for the
+  /// module's Ball-Larus numbering — the profile came from different code.
+  PathSpaceMismatch,
+};
+
+/// Human-readable refusal reason for diagnostics.
+const char *viewStatusName(ViewStatus Status);
+
+/// One hot path, resolved to live IR handles. Blocks[i+1] is reached from
+/// Blocks[i] through terminator successor SuccIndices[i]; the chain stays
+/// valid across Function::reorderBlocks because it never mentions ids.
+struct HotPath {
+  std::vector<ir::BasicBlock *> Blocks;
+  /// Successor index taken out of Blocks[i] (size = Blocks.size() - 1).
+  std::vector<unsigned> SuccIndices;
+  uint64_t PathSum = 0;
+  uint64_t Freq = 0;
+  uint64_t Metric0 = 0;
+  uint64_t Metric1 = 0;
+  /// True when the path begins at a loop head rather than the entry.
+  bool StartsAfterBackedge = false;
+};
+
+/// Per-function path-profile summary.
+struct FunctionHotness {
+  bool HasPaths = false;
+  /// Executed paths in descending hotness order (measured PIC0 when the
+  /// run recorded any, frequency otherwise; ties keep the smaller path
+  /// sum), capped at MaxPathsKept. Paths[0] is the hottest.
+  std::vector<HotPath> Paths;
+  /// Paths[0], kept as a named handle for the single-trace consumers.
+  HotPath Hottest;
+  uint64_t TotalFreq = 0;
+  uint64_t TotalMetric0 = 0;
+  uint64_t TotalMetric1 = 0;
+};
+
+/// How many resolved paths a FunctionHotness retains. Layout chains
+/// traces in this order; past a dozen the tail carries noise, not signal.
+inline constexpr size_t MaxPathsKept = 16;
+
+/// One call site of a function, as a reorder-proof handle. Sites are held
+/// in the canonical prof::enumerateCallSites order, so index i is CCT
+/// callee slot i.
+struct SiteRef {
+  ir::BasicBlock *BB = nullptr;
+  unsigned InstIndex = 0;
+  bool Indirect = false;
+};
+
+/// CCT-derived hotness of one call site: the metrics carried by every
+/// subtree hanging off this slot, summed over all contexts of the caller.
+struct SiteHotness {
+  /// Invocations of the callee(s) through this site.
+  uint64_t Calls = 0;
+  /// Subtree PIC0 / PIC1 sums (own metrics of every record below).
+  uint64_t Metric0 = 0;
+  uint64_t Metric1 = 0;
+  /// True when any context resolved this slot to an ancestor record — a
+  /// recursion backedge; inlining such a site would unroll recursion.
+  bool Recursive = false;
+  bool Indirect = false;
+};
+
+/// The optimizer's query interface over one artifact + module pair.
+class ProfileView {
+public:
+  ProfileView() = default;
+
+  /// Resolves \p A against \p M. On refusal, \p Out is unspecified and
+  /// must be discarded; obs counts the refusal (opt.profile_refusals).
+  static ViewStatus build(const profdb::Artifact &A, const ir::Module &M,
+                          ProfileView &Out);
+
+  const ir::Module &module() const { return *M; }
+  prof::Mode mode() const { return ProfMode; }
+
+  /// True when at least one function has a resolved hot path.
+  bool hasPaths() const { return HasPaths; }
+  /// True when the artifact carried a CCT matching the module.
+  bool hasCct() const { return HasCct; }
+
+  size_t numFunctions() const { return Funcs.size(); }
+  const FunctionHotness &function(unsigned FuncId) const {
+    return Funcs[FuncId];
+  }
+  /// Call sites of \p FuncId in CCT slot order (handles, reorder-proof).
+  const std::vector<SiteRef> &sites(unsigned FuncId) const {
+    return Sites[FuncId];
+  }
+  /// Parallel to sites(): CCT subtree hotness per slot (empty vectors
+  /// when the artifact had no CCT).
+  const std::vector<SiteHotness> &siteHotness(unsigned FuncId) const {
+    return SiteHot[FuncId];
+  }
+
+  /// Whole-run PIC0 total over the CCT (the inliner's 100% mark) and
+  /// whole-run invocation count, for frequency fallback.
+  uint64_t totalMetric0() const { return TotalMetric0; }
+  uint64_t totalCalls() const { return TotalCalls; }
+
+private:
+  const ir::Module *M = nullptr;
+  prof::Mode ProfMode = prof::Mode::None;
+  bool HasPaths = false;
+  bool HasCct = false;
+  std::vector<FunctionHotness> Funcs;
+  std::vector<std::vector<SiteRef>> Sites;
+  std::vector<std::vector<SiteHotness>> SiteHot;
+  uint64_t TotalMetric0 = 0;
+  uint64_t TotalCalls = 0;
+};
+
+} // namespace opt
+} // namespace pp
+
+#endif // PP_OPT_PROFILEVIEW_H

@@ -1,0 +1,118 @@
+//===- opt/Superblock.cpp - path-based superblock formation -------------------===//
+///
+/// Tail duplication along the hottest Ball-Larus path: from the first
+/// side-entered block of the trace onward, every trace block is cloned
+/// and the hot predecessor's edge redirected into the clone chain, so the
+/// hot path becomes a straight fall-through sequence no cold edge enters
+/// mid-way. Cold side *exits* still leave the chain into the original
+/// blocks, which keep every predecessor except the hot one. A per-function
+/// duplication budget bounds the code growth; refusals are counted, never
+/// silent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Clone.h"
+#include "ir/Module.h"
+#include "obs/Obs.h"
+#include "opt/Layout.h"
+#include "opt/Pass.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+
+using namespace pp;
+using namespace pp::opt;
+
+PassStats opt::runSuperblockPass(ir::Module &M, const ProfileView &View,
+                                 const PassOptions &Opts) {
+  assert(&View.module() == &M && "view resolved against a different module");
+  PassStats Stats;
+  Stats.Kind = PassKind::Superblock;
+
+  for (unsigned Id = 0; Id != View.numFunctions(); ++Id) {
+    const FunctionHotness &FH = View.function(Id);
+    if (!FH.HasPaths)
+      continue;
+    ir::Function &F = *M.function(Id);
+    if (F.isInstrumented())
+      continue;
+    const HotPath &HP = FH.Hottest;
+    if (HP.Blocks.size() < 2)
+      continue;
+
+    // The trace must still be intact: every step's recorded successor
+    // index must lead to the next trace block (an earlier pass is free
+    // to have rewired it — then there is nothing trustworthy to form).
+    bool Intact = true;
+    for (size_t J = 0; J + 1 != HP.Blocks.size() && Intact; ++J) {
+      ir::BasicBlock *BB = HP.Blocks[J];
+      Intact = BB->hasTerminator() &&
+               HP.SuccIndices[J] < BB->numSuccessors() &&
+               BB->successor(HP.SuccIndices[J]) == HP.Blocks[J + 1];
+    }
+    if (!Intact)
+      continue;
+    ++Stats.FunctionsConsidered;
+
+    // Predecessor-edge counts, to find side entrances.
+    std::unordered_map<const ir::BasicBlock *, unsigned> PredCount;
+    for (const auto &BB : F.blocks()) {
+      if (!BB->hasTerminator())
+        continue;
+      for (unsigned S = 0; S != BB->numSuccessors(); ++S)
+        ++PredCount[BB->successor(S)];
+    }
+
+    // First side-entered trace position. The head (entry or loop head) is
+    // never duplicated: its extra predecessors are function entry or the
+    // loop's own back edge, which duplication cannot remove.
+    size_t Start = 0;
+    for (size_t J = 1; J != HP.Blocks.size(); ++J)
+      if (PredCount[HP.Blocks[J]] > 1) {
+        Start = J;
+        break;
+      }
+    if (Start == 0)
+      continue; // no side entrances: the trace already is a superblock
+
+    // Clone the tail, re-pointing the hot predecessor edge clone by
+    // clone. Each clone's side edges keep targeting the original cold
+    // blocks; only the trace edge is redirected.
+    uint64_t Budget = Opts.DupBudget;
+    ir::BasicBlock *Pred = HP.Blocks[Start - 1];
+    unsigned PredSucc = HP.SuccIndices[Start - 1];
+    std::vector<ir::BasicBlock *> Clones;
+    for (size_t J = Start; J != HP.Blocks.size(); ++J) {
+      ir::BasicBlock *Orig = HP.Blocks[J];
+      const uint64_t Size = Orig->insts().size();
+      if (Size > Budget) {
+        ++Stats.BudgetRefusals;
+        break;
+      }
+      Budget -= Size;
+      ir::BasicBlock *Clone = ir::cloneBlock(
+          F, *Orig, ".dup" + std::to_string(F.numBlocks()));
+      Pred->setSuccessor(PredSucc, Clone);
+      Clones.push_back(Clone);
+      ++Stats.BlocksDuplicated;
+      Stats.InstsAdded += Size;
+      obs::add(obs::Counter::OptBlocksDuplicated);
+      Pred = Clone;
+      if (J + 1 != HP.Blocks.size())
+        PredSucc = HP.SuccIndices[J];
+    }
+    if (Clones.empty())
+      continue;
+    ++Stats.FunctionsChanged;
+
+    // Lay the new chain where the duplicated tail used to sit: head
+    // prefix, then the clones, then everything else (the now-cold
+    // originals drift to the back).
+    std::vector<ir::BasicBlock *> Order(HP.Blocks.begin(),
+                                        HP.Blocks.begin() + Start);
+    Order.insert(Order.end(), Clones.begin(), Clones.end());
+    reorderTraceFirst(F, Order);
+  }
+  return Stats;
+}

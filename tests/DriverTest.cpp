@@ -150,6 +150,24 @@ TEST(RunKeyTest, FingerprintSeparatesEngines) {
   EXPECT_NE(RunKey::of(Ref).Fingerprint, RunKey::of(Thr).Fingerprint);
 }
 
+TEST(RunKeyTest, OptVariantDimensionIsAppendOnly) {
+  // Baseline plans carry no ;opt= dimension at all, so every
+  // pre-optimizer fingerprint (and its cache file) is byte-identical to
+  // what it always was; tagged plans get their own cache identity.
+  RunPlan Base = makePlan("124.m88ksim", prof::Mode::None);
+  EXPECT_EQ(RunKey::of(Base).Fingerprint.find(";opt="), std::string::npos);
+
+  RunPlan Tagged = makePlan("124.m88ksim", prof::Mode::None);
+  Tagged.OptVariant = "layout+superblock+inline";
+  EXPECT_NE(RunKey::of(Tagged).Fingerprint.find(";opt=layout+superblock+inline"),
+            std::string::npos);
+  EXPECT_NE(RunKey::of(Base).Fingerprint, RunKey::of(Tagged).Fingerprint);
+
+  RunPlan Other = makePlan("124.m88ksim", prof::Mode::None);
+  Other.OptVariant = "layout";
+  EXPECT_NE(RunKey::of(Other).Fingerprint, RunKey::of(Tagged).Fingerprint);
+}
+
 TEST(RunKeyTest, PredicatePlansAreUncacheable) {
   RunPlan Plan = makePlan("124.m88ksim", prof::Mode::FlowHw);
   Plan.Options.Config.ShouldInstrument = [](const ir::Function &) {

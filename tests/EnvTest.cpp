@@ -12,6 +12,7 @@
 #include "obs/Obs.h"
 #include "driver/RunScheduler.h"
 #include "collectd/Ingest.h"
+#include "opt/Pass.h"
 #include "profdb/Merge.h"
 #include "profdb/Store.h"
 #include "support/Env.h"
@@ -286,6 +287,59 @@ TEST(Env, StaleTempSweepKnobsAreStrictAndOrdered) {
     EnvGuard Hard("PP_COLLECTD_TEMP_HARD_SECS", "60");
     EXPECT_EQ(profdb::staleTempGraceSeconds(), 7200);
     EXPECT_EQ(profdb::staleTempHardSeconds(), 7200);
+  }
+}
+
+TEST(Env, OptBudgetKnobsAreStrict) {
+  {
+    EnvGuard Inline("PP_OPT_INLINE_BUDGET", "64");
+    EnvGuard Dup("PP_OPT_DUP_BUDGET", "32");
+    opt::PassOptions Opts = opt::PassOptions::fromEnv("pp-tests");
+    EXPECT_EQ(Opts.InlineBudget, 64u);
+    EXPECT_EQ(Opts.DupBudget, 32u);
+  }
+  {
+    // Typos keep the defaults: "big" must not parse as 0, which would
+    // silently disable inlining and tail duplication everywhere.
+    EnvGuard Inline("PP_OPT_INLINE_BUDGET", "big");
+    EnvGuard Dup("PP_OPT_DUP_BUDGET", "lots");
+    opt::PassOptions Opts = opt::PassOptions::fromEnv("pp-tests");
+    EXPECT_EQ(Opts.InlineBudget, opt::PassOptions().InlineBudget);
+    EXPECT_EQ(Opts.DupBudget, opt::PassOptions().DupBudget);
+  }
+  {
+    EnvGuard Inline("PP_OPT_INLINE_BUDGET", nullptr);
+    EnvGuard Dup("PP_OPT_DUP_BUDGET", nullptr);
+    opt::PassOptions Opts = opt::PassOptions::fromEnv("pp-tests");
+    EXPECT_EQ(Opts.InlineBudget, opt::PassOptions().InlineBudget);
+    EXPECT_EQ(Opts.DupBudget, opt::PassOptions().DupBudget);
+  }
+}
+
+TEST(Env, OptPassListKnobIsStrict) {
+  const std::vector<opt::PassKind> Default = {opt::PassKind::Layout,
+                                              opt::PassKind::Superblock};
+  {
+    EnvGuard Guard("PP_OPT_PASSES", "inline,layout");
+    std::vector<opt::PassKind> Passes =
+        opt::passesFromEnv("pp-tests", Default);
+    ASSERT_EQ(Passes.size(), 2u);
+    EXPECT_EQ(Passes[0], opt::PassKind::Inline);
+    EXPECT_EQ(Passes[1], opt::PassKind::Layout);
+  }
+  {
+    // An unknown pass name warns and keeps the caller's default order —
+    // a typo must not silently run an empty (or partial) pipeline.
+    EnvGuard Guard("PP_OPT_PASSES", "layout,unroll");
+    EXPECT_EQ(opt::passesFromEnv("pp-tests", Default), Default);
+  }
+  {
+    EnvGuard Guard("PP_OPT_PASSES", nullptr);
+    EXPECT_EQ(opt::passesFromEnv("pp-tests", Default), Default);
+  }
+  {
+    EnvGuard Guard("PP_OPT_PASSES", "");
+    EXPECT_EQ(opt::passesFromEnv("pp-tests", Default), Default);
   }
 }
 

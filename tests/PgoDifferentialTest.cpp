@@ -1,0 +1,106 @@
+//===- tests/PgoDifferentialTest.cpp - optimized-vs-original differential -----===//
+//
+// The optimizer's safety net, in the EngineEquivalenceTest mold: for a
+// wide sweep of random programs (recursion, indirect calls, switches, FP,
+// setjmp/longjmp), run the full PGO loop — profile, package the artifact,
+// resolve a ProfileView against a fresh copy, run every pass — and prove
+// the optimized program behaves bit-identically to the original on BOTH
+// VM engines. A transform that miscompiles one seed's corner case fails
+// here, with the seed in the test name.
+//
+// $PP_PGO_DIFF_SEEDS widens the sweep (default: 64 seeds).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "opt/Pass.h"
+#include "prof/Session.h"
+#include "profdb/Artifact.h"
+
+#include "RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace pp;
+using prof::Mode;
+
+namespace {
+
+testutil::RandomProgramOptions coverage() {
+  testutil::RandomProgramOptions Opts;
+  Opts.WithFp = true;
+  Opts.WithSetjmp = true; // exercises the inliner's setjmp refusal
+  return Opts;
+}
+
+prof::RunOutcome runPlain(ir::Module &M, vm::Engine Eng) {
+  prof::SessionOptions Options;
+  Options.Config.M = Mode::None;
+  Options.Engine = Eng;
+  return prof::runProfile(M, Options);
+}
+
+class PgoDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(PgoDifferentialTest, OptimizedProgramIsBitIdenticalOnBothEngines) {
+  const uint64_t Seed = GetParam();
+  auto Pristine = testutil::makeRandomProgram(Seed, coverage());
+
+  prof::RunOutcome BaseRef = runPlain(*Pristine, vm::Engine::Reference);
+  prof::RunOutcome BaseThr = runPlain(*Pristine, vm::Engine::Threaded);
+  ASSERT_TRUE(BaseRef.Result.Ok) << BaseRef.Result.Error;
+  ASSERT_EQ(BaseRef.Result.ExitValue, BaseThr.Result.ExitValue);
+
+  // Profile exactly as the production loop does: context + flow + the two
+  // events the optimizer is denominated in, packaged as a .ppa artifact.
+  prof::SessionOptions ProfOptions;
+  ProfOptions.Config.M = Mode::ContextFlowHw;
+  ProfOptions.Config.Pic0 = hw::Event::Cycles;
+  ProfOptions.Config.Pic1 = hw::Event::ICacheMiss;
+  prof::RunOutcome Profile = prof::runProfile(*Pristine, ProfOptions);
+  ASSERT_TRUE(Profile.Result.Ok) << Profile.Result.Error;
+  profdb::Artifact A = profdb::artifactFromOutcome(
+      Profile, *Pristine, "pgo-diff", "random", 1, ProfOptions.Config);
+
+  // Resolve against a fresh build of the same seed and run every pass.
+  auto M = testutil::makeRandomProgram(Seed, coverage());
+  opt::ProfileView View;
+  ASSERT_EQ(opt::ProfileView::build(A, *M, View), opt::ViewStatus::Ok)
+      << "seed " << Seed;
+  opt::PipelineResult Result = opt::runPipeline(
+      *M, View,
+      {opt::PassKind::Layout, opt::PassKind::Superblock, opt::PassKind::Inline},
+      opt::PassOptions());
+  ASSERT_TRUE(Result.Ok) << "seed " << Seed << ": " << Result.Error;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(ir::verifyModule(*M, Errors)) << "seed " << Seed << ": "
+                                            << Errors.front();
+
+  // The optimized program must compute what the original computed, and
+  // the two engines must agree on it bit for bit — including the
+  // ground-truth event totals of the transformed code.
+  prof::RunOutcome OptRef = runPlain(*M, vm::Engine::Reference);
+  prof::RunOutcome OptThr = runPlain(*M, vm::Engine::Threaded);
+  ASSERT_TRUE(OptRef.Result.Ok) << "seed " << Seed << ": "
+                                << OptRef.Result.Error;
+  EXPECT_EQ(OptRef.Result.ExitValue, BaseRef.Result.ExitValue)
+      << "seed " << Seed;
+
+  EXPECT_EQ(OptRef.Result.Ok, OptThr.Result.Ok) << "seed " << Seed;
+  EXPECT_EQ(OptRef.Result.Error, OptThr.Result.Error) << "seed " << Seed;
+  EXPECT_EQ(OptRef.Result.ExitValue, OptThr.Result.ExitValue)
+      << "seed " << Seed;
+  EXPECT_EQ(OptRef.Result.ExecutedInsts, OptThr.Result.ExecutedInsts)
+      << "seed " << Seed;
+  for (unsigned E = 0; E != hw::NumEvents; ++E)
+    EXPECT_EQ(OptRef.Totals[E], OptThr.Totals[E])
+        << "seed " << Seed << " event "
+        << hw::eventName(static_cast<hw::Event>(E));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PgoDifferentialTest,
+    ::testing::Range<uint64_t>(
+        0, testutil::seedCountFromEnv("PP_PGO_DIFF_SEEDS", 64)));

@@ -9,9 +9,10 @@
 # usage: tools/check.sh [asan|tsan|all]   (default: asan)
 #
 # The ASan pass runs the full suite; the TSan pass runs the driver,
-# fault-injection, profile-repository, and observability tests, which
-# exercise every concurrent component (worker pool, run cache, parallel
-# artifact merge, per-thread obs ring buffers).
+# fault-injection, profile-repository, observability, and optimizer
+# tests, which exercise every concurrent component (worker pool, run
+# cache, parallel artifact merge, per-thread obs ring buffers, and the
+# benches' Build closures optimizing modules on worker threads).
 
 set -e
 
@@ -31,9 +32,10 @@ run_tsan() {
   cmake --build build-tsan -j "$JOBS" --target driver_test \
         --target fault_injection_test --target profdb_test \
         --target obs_test --target collectd_test --target wire_test \
-        --target server_test
+        --target server_test --target opt_test \
+        --target pgo_differential_test
   (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-        -R 'DriverTest|RunKeyTest|OutcomeIOTest|SchedulerTest|Fault|ProfDb|Obs|Collectd|Wire|Server')
+        -R 'DriverTest|RunKeyTest|OutcomeIOTest|SchedulerTest|Fault|ProfDb|Obs|Collectd|Wire|Server|Opt|Pgo')
 }
 
 case "$MODE" in
