@@ -12,6 +12,11 @@ using namespace pp::analysis;
 std::vector<uint64_t>
 analysis::edgeCountsFromPaths(const ir::Module &Original, unsigned FuncId,
                               const prof::FunctionPathProfile &Profile) {
+  // k-iteration window sums live in a different id space than the
+  // single-iteration numbering built below; projecting them would charge
+  // edge counts to unrelated paths.
+  if (Profile.KIters > 1)
+    return {};
   const ir::Function &F = *Original.function(FuncId);
   cfg::Cfg G(F);
   bl::PathNumbering PN(G);

@@ -14,6 +14,10 @@ analysis::correctInstructionCounts(const ir::Module &Original,
                                    unsigned FuncId,
                                    const prof::FunctionPathProfile &Profile) {
   std::vector<CorrectedPath> Out;
+  // k-iteration window sums are not classic path sums; the correction is
+  // defined per acyclic path, so there is nothing sound to derive here.
+  if (Profile.KIters > 1)
+    return Out;
   const ir::Function &F = *Original.function(FuncId);
   cfg::Cfg G(F);
   bl::PathNumbering PN(G);

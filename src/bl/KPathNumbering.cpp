@@ -1,0 +1,194 @@
+//===- bl/KPathNumbering.cpp - Multi-iteration path numbering ---------------===//
+
+#include "bl/KPathNumbering.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace pp;
+using namespace pp::bl;
+
+KPathNumbering::KPathNumbering(const PathNumbering &PN, unsigned RequestedK)
+    : PN(PN), RequestedK(RequestedK == 0 ? 1 : RequestedK) {
+  if (!PN.valid())
+    reportFatalError("k-path numbering requires a valid single-iteration "
+                     "numbering (the ladder bottoms out at edge profiling "
+                     "before reaching here)");
+  // The fallback ladder: the window count is monotone in k, so the first
+  // k that fits is the largest usable one. k = 1 recomputes exactly the
+  // legacy sums and cannot overflow when the base numbering is valid.
+  for (unsigned K = this->RequestedK; K >= 1; --K) {
+    if (tryBuild(K)) {
+      EffectiveK = K;
+      return;
+    }
+  }
+  unreachable("single-iteration numbering overflowed despite a valid base");
+}
+
+bool KPathNumbering::tryBuild(unsigned K) {
+  const cfg::Cfg &G = PN.graph();
+  const std::vector<TEdge> &TEdges = PN.transformedEdges();
+  unsigned NumNodes = G.numNodes();
+  NP.assign(K, std::vector<uint64_t>(NumNodes, 0));
+  Val.assign(K, std::vector<uint64_t>(TEdges.size(), 0));
+
+  // Top level first: ExitPseudo edges below the top reference the next
+  // level up; within one level the finish order lists every node after
+  // all of its same-level successors (and, at level 0, the back-edge
+  // targets the EntryPseudo edges of ENTRY reference).
+  for (unsigned Level = K; Level-- > 0;) {
+    std::vector<uint64_t> &LevelNP = NP[Level];
+    std::vector<uint64_t> &LevelVal = Val[Level];
+    for (unsigned Node : PN.finishOrder()) {
+      if (Node == G.exitNode()) {
+        LevelNP[Node] = 1;
+        continue;
+      }
+      uint64_t Sum = 0;
+      for (unsigned Index : PN.transformedOutEdges(Node)) {
+        const TEdge &E = TEdges[Index];
+        uint64_t Weight = 0;
+        switch (E.Kind) {
+        case TEdgeKind::Real:
+          Weight = LevelNP[E.To];
+          break;
+        case TEdgeKind::ExitPseudo:
+          // Top level: the window ends here (one way). Below: cross to the
+          // back edge's target on the next level.
+          Weight = Level + 1 == K ? 1 : NP[Level + 1][G.edge(E.CfgEdgeId).To];
+          break;
+        case TEdgeKind::EntryPseudo:
+          // "The window starts at the back edge's target": meaningful only
+          // at level 0; mid-window visits to ENTRY (back edges into the
+          // entry block) continue through real edges alone.
+          Weight = Level == 0 ? LevelNP[E.To] : 0;
+          break;
+        }
+        LevelVal[Index] = Sum;
+        Sum += Weight;
+        if (Sum >= PathNumbering::MaxPaths)
+          return false;
+      }
+      LevelNP[Node] = Sum;
+    }
+  }
+  return true;
+}
+
+uint64_t KPathNumbering::segmentValue(const RegeneratedPath &Segment,
+                                      unsigned Level) const {
+  assert(Level < EffectiveK && "level beyond the effective window size");
+  uint64_t Sum = 0;
+  if (Level == 0 && Segment.StartsAfterBackedge) {
+    // The elided case (back edge into ENTRY) decodes as an ordinary entry
+    // path and never reaches here; guard anyway so a hand-built segment
+    // gets the start value 0 the runtime would use.
+    unsigned Index = PN.entryPseudoIndexForBackedge(Segment.EntryBackedge);
+    if (Index != ~0u)
+      Sum += Val[0][Index];
+  }
+  for (unsigned CfgEdgeId : Segment.Edges) {
+    unsigned Index = PN.transformedIndexForCfgEdge(CfgEdgeId);
+    assert(Index != ~0u && "segment traverses an unreachable edge");
+    Sum += Val[Level][Index];
+  }
+  if (Segment.EndsWithBackedge) {
+    unsigned Index = PN.transformedIndexForCfgEdge(Segment.ExitBackedge);
+    assert(Index != ~0u && "segment ends with an unreachable back edge");
+    Sum += Val[Level][Index];
+  }
+  return Sum;
+}
+
+NumberingQueryStatus
+KPathNumbering::tryRegenerate(uint64_t WindowSum,
+                              std::vector<RegeneratedPath> &Out) const {
+  if (WindowSum >= numPaths())
+    return NumberingQueryStatus::OutOfRange;
+  Out.clear();
+
+  const cfg::Cfg &G = PN.graph();
+  const std::vector<TEdge> &TEdges = PN.transformedEdges();
+  uint64_t Remaining = WindowSum;
+  unsigned Level = 0;
+  unsigned Node = G.entryNode();
+  bool FirstStep = true;
+  RegeneratedPath Seg;
+  Seg.Nodes.push_back(Node);
+
+  while (Node != G.exitNode()) {
+    const std::vector<unsigned> &OutIds = PN.transformedOutEdges(Node);
+    assert(!OutIds.empty() && "walked into a dead end");
+    // Choosable prefix values are strictly increasing in TOut order, so
+    // the edge to take is the last one whose value <= Remaining.
+    // EntryPseudo edges are window starts: weightless and unchoosable
+    // after the first step (including at levels >= 1, where mid-window
+    // visits to ENTRY make them share a prefix value with their
+    // neighbour).
+    unsigned Chosen = ~0u;
+    for (unsigned Index : OutIds) {
+      if (TEdges[Index].Kind == TEdgeKind::EntryPseudo && !FirstStep)
+        continue;
+      if (Chosen != ~0u && Val[Level][Index] > Remaining)
+        break;
+      Chosen = Index;
+    }
+    assert(Chosen != ~0u && "no choosable out-edge");
+    const TEdge &E = TEdges[Chosen];
+    assert(Val[Level][Chosen] <= Remaining);
+    Remaining -= Val[Level][Chosen];
+    FirstStep = false;
+
+    switch (E.Kind) {
+    case TEdgeKind::Real:
+      Seg.Edges.push_back(E.CfgEdgeId);
+      if (E.To != G.exitNode())
+        Seg.Nodes.push_back(E.To);
+      Node = E.To;
+      break;
+    case TEdgeKind::EntryPseudo:
+      // First step only: the window begins just after a back edge, at its
+      // target.
+      Seg.StartsAfterBackedge = true;
+      Seg.EntryBackedge = E.CfgEdgeId;
+      Seg.Nodes.assign(1, E.To);
+      Node = E.To;
+      break;
+    case TEdgeKind::ExitPseudo: {
+      Seg.EndsWithBackedge = true;
+      Seg.ExitBackedge = E.CfgEdgeId;
+      if (Level + 1 == EffectiveK) {
+        // The window closes at the top level.
+        Node = G.exitNode();
+        break;
+      }
+      // Level crossing: the next segment starts at the back edge's target.
+      Out.push_back(std::move(Seg));
+      Seg = RegeneratedPath();
+      unsigned Target = G.edge(E.CfgEdgeId).To;
+      Seg.StartsAfterBackedge = true;
+      Seg.EntryBackedge = E.CfgEdgeId;
+      Seg.Nodes.push_back(Target);
+      ++Level;
+      Node = Target;
+      break;
+    }
+    }
+  }
+  Out.push_back(std::move(Seg));
+  assert(Remaining == 0 && "window sum not fully consumed");
+  return NumberingQueryStatus::Ok;
+}
+
+std::vector<RegeneratedPath>
+KPathNumbering::regenerate(uint64_t WindowSum) const {
+  std::vector<RegeneratedPath> Segments;
+  NumberingQueryStatus S = tryRegenerate(WindowSum, Segments);
+  if (S != NumberingQueryStatus::Ok)
+    reportFatalError(formatString("k-path regenerate refused: %s",
+                                  numberingQueryStatusName(S)));
+  return Segments;
+}

@@ -1,0 +1,120 @@
+//===- bl/KPathNumbering.h - Multi-iteration path numbering ----*- C++ -*-===//
+///
+/// \file
+/// Ball-Larus path numbering across k loop iterations, after D'Elia &
+/// Demetrescu, "Ball-Larus Path Profiling Across Multiple Loop Iterations"
+/// (arXiv 1304.5197). A k-path (a "window") is a sequence of up to k
+/// acyclic Ball-Larus paths ("segments") joined by back edges: the window
+/// ends when the procedure returns, or when the k-th segment ends with a
+/// back edge.
+///
+/// The numbering reuses the single-iteration transformed graph unchanged
+/// and replicates it across k levels (level j = number of back edges
+/// already crossed inside the window):
+///
+///  * a Real edge at level j stays within the level and weighs NP_j(To);
+///  * the ExitPseudo edge of back edge b = v -> w weighs 1 at the top
+///    level (the window ends) and NP_{j+1}(w) below it (it is the
+///    level-crossing edge);
+///  * EntryPseudo edges encode "the window starts at w just after back
+///    edge b" and therefore carry weight only at level 0 (NP_0(To)); at
+///    deeper levels they weigh nothing and are never taken (every CFG edge
+///    into the entry block is a DFS back edge, so mid-window visits to
+///    ENTRY arrive via level crossings and continue through real edges).
+///
+/// Summing per-level prefix values along any window yields a dense id in
+/// [0, numPaths()); k = 1 reproduces the legacy numbering value-for-value.
+/// Construction runs a deterministic fallback ladder k, k-1, ..., 1: the
+/// largest k whose NP stays below 2^62 wins (the count is monotone in k,
+/// and the single-iteration numbering is valid by precondition).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PP_BL_KPATHNUMBERING_H
+#define PP_BL_KPATHNUMBERING_H
+
+#include "bl/PathNumbering.h"
+
+#include <memory>
+
+namespace pp {
+namespace bl {
+
+/// k-iteration path numbering layered over a valid single-iteration
+/// PathNumbering (which must outlive this object).
+class KPathNumbering {
+public:
+  /// Builds the numbering for the largest k <= RequestedK that does not
+  /// overflow (the fallback ladder). \p PN must be valid().
+  KPathNumbering(const PathNumbering &PN, unsigned RequestedK);
+
+  const PathNumbering &base() const { return PN; }
+
+  /// The k the caller asked for.
+  unsigned requestedK() const { return RequestedK; }
+  /// The k the ladder settled on (>= 1; == requestedK() when nothing
+  /// overflowed). 1 means the numbering is exactly the legacy one.
+  unsigned effectiveK() const { return EffectiveK; }
+  /// True when windows span more than one iteration (effectiveK() >= 2).
+  bool multiIteration() const { return EffectiveK >= 2; }
+
+  /// NP_0(ENTRY): window sums lie in [0, numPaths()).
+  uint64_t numPaths() const { return NP[0][PN.graph().entryNode()]; }
+
+  /// NP_j(n): windows suffixes from node \p Node at level \p Level.
+  uint64_t numPathsFrom(unsigned Level, unsigned Node) const {
+    return NP[Level][Node];
+  }
+  /// Val_j(e): the level-\p Level value of transformed edge \p TEdgeIndex.
+  uint64_t levelValue(unsigned Level, unsigned TEdgeIndex) const {
+    return Val[Level][TEdgeIndex];
+  }
+
+  /// The contribution of one decoded segment executed at level \p Level to
+  /// its window's sum: the level-0 EntryPseudo start value when the window
+  /// itself began just after a back edge, plus the level values of the
+  /// segment's ordinary edges, plus the ExitPseudo value when the segment
+  /// ends with a back edge. Summing segmentValue(S_j, j) over a window's
+  /// segments reproduces the window sum.
+  uint64_t segmentValue(const RegeneratedPath &Segment,
+                        unsigned Level) const;
+
+  /// Reconstructs the per-iteration segments of window \p WindowSum.
+  /// Segment j executed at level j; every segment but the last ends with a
+  /// back edge, and the last ends with a back edge only when the window
+  /// closed at the top level.
+  NumberingQueryStatus tryRegenerate(uint64_t WindowSum,
+                                     std::vector<RegeneratedPath> &Out) const;
+  /// Reports a fatal error on any non-Ok tryRegenerate status.
+  std::vector<RegeneratedPath> regenerate(uint64_t WindowSum) const;
+
+private:
+  /// Computes NP/Val for k = \p K; false when NP overflows 2^62.
+  bool tryBuild(unsigned K);
+
+  const PathNumbering &PN;
+  unsigned RequestedK;
+  unsigned EffectiveK = 1;
+  /// NP[level][node] and Val[level][transformed-edge], level < effectiveK.
+  std::vector<std::vector<uint64_t>> NP;
+  std::vector<std::vector<uint64_t>> Val;
+};
+
+/// Everything the runtime and the renderers need to interpret one
+/// function's k-paths, with owned storage: the CFG snapshot (taken on the
+/// pristine function, before instrumentation inserts code), the legacy
+/// numbering it feeds, and the k-numbering on top. Built once per
+/// instrumented function and shared read-only.
+struct KPathBundle {
+  cfg::Cfg G;
+  PathNumbering PN;
+  KPathNumbering KPN;
+
+  KPathBundle(const ir::Function &F, unsigned RequestedK)
+      : G(F), PN(G), KPN(PN, RequestedK) {}
+};
+
+} // namespace bl
+} // namespace pp
+
+#endif // PP_BL_KPATHNUMBERING_H

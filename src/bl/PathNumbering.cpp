@@ -2,6 +2,9 @@
 
 #include "bl/PathNumbering.h"
 
+#include "support/Error.h"
+#include "support/Format.h"
+
 #include <cassert>
 #include <cstddef>
 #include <limits>
@@ -9,9 +12,34 @@
 using namespace pp;
 using namespace pp::bl;
 
-/// Path counts beyond this are treated as overflow; such functions cannot
-/// use path profiling and fall back to edge profiling.
-static constexpr uint64_t MaxPaths = uint64_t(1) << 62;
+const char *bl::numberingQueryStatusName(NumberingQueryStatus Status) {
+  switch (Status) {
+  case NumberingQueryStatus::Ok:
+    return "ok";
+  case NumberingQueryStatus::Overflowed:
+    return "overflowed";
+  case NumberingQueryStatus::NotABackedge:
+    return "not-a-backedge";
+  case NumberingQueryStatus::IsABackedge:
+    return "is-a-backedge";
+  case NumberingQueryStatus::Unreachable:
+    return "unreachable";
+  case NumberingQueryStatus::OutOfRange:
+    return "out-of-range";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Aborts with a uniform message for the narrow accessors, which promise a
+/// value and therefore cannot report.
+[[noreturn]] void refuseQuery(const char *Query, NumberingQueryStatus S) {
+  reportFatalError(formatString("path numbering query %s refused: %s", Query,
+                                numberingQueryStatusName(S)));
+}
+
+} // namespace
 
 PathNumbering::PathNumbering(const cfg::Cfg &G) : G(G) {
   buildTransformedGraph();
@@ -72,7 +100,6 @@ void PathNumbering::computeNumPaths() {
   unsigned NumNodes = G.numNodes();
   NumPathsFrom.assign(NumNodes, 0);
 
-  std::vector<unsigned> FinishOrder;
   FinishOrder.reserve(NumNodes);
   std::vector<uint8_t> Visited(NumNodes, 0); // 0 white, 1 grey, 2 black
   struct Frame {
@@ -136,38 +163,104 @@ void PathNumbering::assignEdgeValues() {
   }
 }
 
-uint64_t PathNumbering::valueForCfgEdge(unsigned CfgEdgeId) const {
-  assert(!G.isBackedge(CfgEdgeId) && "use backedge{End,Start}Value");
+NumberingQueryStatus
+PathNumbering::tryValueForCfgEdge(unsigned CfgEdgeId, uint64_t &Out) const {
+  if (Overflowed)
+    return NumberingQueryStatus::Overflowed;
+  if (CfgEdgeId >= G.numEdges())
+    return NumberingQueryStatus::OutOfRange;
+  if (G.isBackedge(CfgEdgeId))
+    return NumberingQueryStatus::IsABackedge;
   unsigned Index = RealIndex[CfgEdgeId];
-  assert(Index != ~0u && "edge unreachable from ENTRY");
-  return TEdges[Index].Val;
+  if (Index == ~0u)
+    return NumberingQueryStatus::Unreachable;
+  Out = TEdges[Index].Val;
+  return NumberingQueryStatus::Ok;
 }
 
-uint64_t PathNumbering::backedgeEndValue(unsigned CfgEdgeId) const {
-  assert(G.isBackedge(CfgEdgeId) && "not a back edge");
+NumberingQueryStatus
+PathNumbering::tryBackedgeEndValue(unsigned CfgEdgeId, uint64_t &Out) const {
+  if (Overflowed)
+    return NumberingQueryStatus::Overflowed;
+  if (CfgEdgeId >= G.numEdges())
+    return NumberingQueryStatus::OutOfRange;
+  if (!G.isBackedge(CfgEdgeId))
+    return NumberingQueryStatus::NotABackedge;
   unsigned Index = RealIndex[CfgEdgeId];
-  assert(Index != ~0u);
+  if (Index == ~0u)
+    return NumberingQueryStatus::Unreachable;
   assert(TEdges[Index].Kind == TEdgeKind::ExitPseudo);
-  return TEdges[Index].Val;
+  Out = TEdges[Index].Val;
+  return NumberingQueryStatus::Ok;
 }
 
-uint64_t PathNumbering::backedgeStartValue(unsigned CfgEdgeId) const {
-  assert(G.isBackedge(CfgEdgeId) && "not a back edge");
+NumberingQueryStatus
+PathNumbering::tryBackedgeStartValue(unsigned CfgEdgeId,
+                                     uint64_t &Out) const {
+  if (Overflowed)
+    return NumberingQueryStatus::Overflowed;
+  if (CfgEdgeId >= G.numEdges())
+    return NumberingQueryStatus::OutOfRange;
+  if (!G.isBackedge(CfgEdgeId))
+    return NumberingQueryStatus::NotABackedge;
   unsigned Index = EntryPseudoIndex[CfgEdgeId];
   if (Index == ~0u) {
+    if (RealIndex[CfgEdgeId] == ~0u)
+      return NumberingQueryStatus::Unreachable;
     // Back edge into the entry block: restarted paths are ordinary entry
     // paths.
     assert(G.edge(CfgEdgeId).To == G.entryNode());
-    return 0;
+    Out = 0;
+    return NumberingQueryStatus::Ok;
   }
   assert(TEdges[Index].Kind == TEdgeKind::EntryPseudo);
-  return TEdges[Index].Val;
+  Out = TEdges[Index].Val;
+  return NumberingQueryStatus::Ok;
+}
+
+uint64_t PathNumbering::valueForCfgEdge(unsigned CfgEdgeId) const {
+  uint64_t Value = 0;
+  NumberingQueryStatus S = tryValueForCfgEdge(CfgEdgeId, Value);
+  if (S != NumberingQueryStatus::Ok)
+    refuseQuery("valueForCfgEdge", S);
+  return Value;
+}
+
+uint64_t PathNumbering::backedgeEndValue(unsigned CfgEdgeId) const {
+  uint64_t Value = 0;
+  NumberingQueryStatus S = tryBackedgeEndValue(CfgEdgeId, Value);
+  if (S != NumberingQueryStatus::Ok)
+    refuseQuery("backedgeEndValue", S);
+  return Value;
+}
+
+uint64_t PathNumbering::backedgeStartValue(unsigned CfgEdgeId) const {
+  uint64_t Value = 0;
+  NumberingQueryStatus S = tryBackedgeStartValue(CfgEdgeId, Value);
+  if (S != NumberingQueryStatus::Ok)
+    refuseQuery("backedgeStartValue", S);
+  return Value;
+}
+
+NumberingQueryStatus PathNumbering::tryRegenerate(uint64_t PathSum,
+                                                  RegeneratedPath &Out) const {
+  if (Overflowed)
+    return NumberingQueryStatus::Overflowed;
+  if (PathSum >= numPaths())
+    return NumberingQueryStatus::OutOfRange;
+  Out = regenerateUnchecked(PathSum);
+  return NumberingQueryStatus::Ok;
 }
 
 RegeneratedPath PathNumbering::regenerate(uint64_t PathSum) const {
-  assert(valid() && "cannot regenerate paths after overflow");
-  assert(PathSum < numPaths() && "path sum out of range");
+  if (Overflowed)
+    refuseQuery("regenerate", NumberingQueryStatus::Overflowed);
+  if (PathSum >= numPaths())
+    refuseQuery("regenerate", NumberingQueryStatus::OutOfRange);
+  return regenerateUnchecked(PathSum);
+}
 
+RegeneratedPath PathNumbering::regenerateUnchecked(uint64_t PathSum) const {
   RegeneratedPath Path;
   uint64_t Remaining = PathSum;
   unsigned Node = G.entryNode();

@@ -52,6 +52,28 @@ struct TEdge {
   uint64_t Val = 0;
 };
 
+/// Why a numbering query could not be answered. Overflowed numberings used
+/// to answer these queries with debug-only asserts (silent garbage in
+/// release builds); every query now has a try-variant returning one of
+/// these, and the narrow legacy accessors report a fatal error instead of
+/// reading unassigned values.
+enum class NumberingQueryStatus : uint8_t {
+  Ok,
+  /// The numbering overflowed 2^62 potential paths; no values exist.
+  Overflowed,
+  /// A back-edge query was asked about an ordinary edge.
+  NotABackedge,
+  /// An ordinary-edge query was asked about a back edge.
+  IsABackedge,
+  /// The edge's source is unreachable from ENTRY (no transformed edge).
+  Unreachable,
+  /// The path sum is outside [0, numPaths()).
+  OutOfRange,
+};
+
+/// Short label for \p Status ("ok", "overflowed", ...).
+const char *numberingQueryStatusName(NumberingQueryStatus Status);
+
 /// A path reconstructed from its path sum.
 struct RegeneratedPath {
   /// Executed blocks, as CFG node indices (never includes the virtual
@@ -78,6 +100,10 @@ struct RegeneratedPath {
 /// back to edge profiling (numbers this large never index tables anyway).
 class PathNumbering {
 public:
+  /// Path counts at or beyond this are treated as overflow; such functions
+  /// cannot use path profiling and fall back to edge profiling.
+  static constexpr uint64_t MaxPaths = uint64_t(1) << 62;
+
   explicit PathNumbering(const cfg::Cfg &G);
 
   const cfg::Cfg &graph() const { return G; }
@@ -101,29 +127,69 @@ public:
   }
 
   /// Val(e) for a non-back-edge CFG edge (the "r += Val" increment).
+  /// Reports a fatal error on any non-Ok tryValueForCfgEdge status.
   uint64_t valueForCfgEdge(unsigned CfgEdgeId) const;
 
   /// For back edge \p CfgEdgeId: the value of its v -> EXIT pseudo edge
   /// (added to r when committing the ending path, "count[r+END]++").
+  /// Reports a fatal error on any non-Ok tryBackedgeEndValue status.
   uint64_t backedgeEndValue(unsigned CfgEdgeId) const;
 
   /// For back edge \p CfgEdgeId: the value of its ENTRY -> w pseudo edge
   /// (the new path sum after the back edge, "r = START").
+  /// Reports a fatal error on any non-Ok tryBackedgeStartValue status.
   uint64_t backedgeStartValue(unsigned CfgEdgeId) const;
 
   /// Reconstructs the block sequence for \p PathSum (< numPaths()).
+  /// Reports a fatal error on any non-Ok tryRegenerate status.
   RegeneratedPath regenerate(uint64_t PathSum) const;
+
+  // --- Typed queries --------------------------------------------------------
+  // The try-variants answer the same questions but refuse with a status
+  // instead of asserting: Overflowed numberings, misdirected edge kinds,
+  // unreachable edges, and out-of-range sums are all reportable states a
+  // caller holding untrusted input (a stored artifact, another run's
+  // profile) must be able to probe without UB.
+
+  NumberingQueryStatus tryValueForCfgEdge(unsigned CfgEdgeId,
+                                          uint64_t &Out) const;
+  NumberingQueryStatus tryBackedgeEndValue(unsigned CfgEdgeId,
+                                           uint64_t &Out) const;
+  NumberingQueryStatus tryBackedgeStartValue(unsigned CfgEdgeId,
+                                             uint64_t &Out) const;
+  NumberingQueryStatus tryRegenerate(uint64_t PathSum,
+                                     RegeneratedPath &Out) const;
+
+  // --- Structure accessors (the k-iteration numbering builds on these) -----
+
+  /// Transformed-edge index of a CFG edge: the Real edge for ordinary
+  /// edges, the ExitPseudo edge for back edges; ~0u when absent
+  /// (unreachable source).
+  unsigned transformedIndexForCfgEdge(unsigned CfgEdgeId) const {
+    return RealIndex[CfgEdgeId];
+  }
+  /// EntryPseudo index of a back edge; ~0u when absent (unreachable, or
+  /// elided because the back edge targets the entry block).
+  unsigned entryPseudoIndexForBackedge(unsigned CfgEdgeId) const {
+    return EntryPseudoIndex[CfgEdgeId];
+  }
+  /// Reverse topological order of the transformed DAG (every node after
+  /// all of its transformed successors; EXIT first, ENTRY last). Only the
+  /// nodes reachable from ENTRY appear.
+  const std::vector<unsigned> &finishOrder() const { return FinishOrder; }
 
 private:
   void buildTransformedGraph();
   void computeNumPaths();
   void assignEdgeValues();
+  RegeneratedPath regenerateUnchecked(uint64_t PathSum) const;
 
   const cfg::Cfg &G;
   bool Overflowed = false;
   std::vector<TEdge> TEdges;
   std::vector<std::vector<unsigned>> TOut;
   std::vector<uint64_t> NumPathsFrom;
+  std::vector<unsigned> FinishOrder;
   /// Map from CFG edge id to transformed-edge index for Real edges, or to
   /// the ExitPseudo index for back edges; ~0u when absent.
   std::vector<unsigned> RealIndex;

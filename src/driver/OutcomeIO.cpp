@@ -15,16 +15,18 @@ using namespace pp::driver;
 namespace {
 
 constexpr uint64_t Magic = 0x5050524f; // "PPRO"
-constexpr uint64_t Version = 3;        // 2: CRC32 trailer; 3: acquisition stats
+// 2: CRC32 trailer; 3: acquisition stats; 4: k-BL iteration counts
+// (KIters in path profiles and instrumentation metadata).
+constexpr uint64_t Version = 4;
 
 // Minimum encoded sizes (bytes) of variable-count elements, used to bound
 // counts before allocation.
-constexpr size_t MinPathProfileBytes = 8 + 1 + 8 + 1 + 8;
+constexpr size_t MinPathProfileBytes = 8 + 1 + 8 + 1 + 8 + 8;
 constexpr size_t MinPathEntryBytes = 4 * 8;
 constexpr size_t MinEdgeProfileBytes = 8 + 1 + 8 + 8;
-// 3 flag bytes + NumPaths, TableAddr, Stride, EdgeTableAddr, chord count,
-// NumSites, and the SiteIsIndirect length: 7 u64 fields.
-constexpr size_t MinInstrInfoBytes = 3 + 7 * 8;
+// 3 flag bytes + NumPaths, KIters, TableAddr, Stride, EdgeTableAddr,
+// chord count, NumSites, and the SiteIsIndirect length: 8 u64 fields.
+constexpr size_t MinInstrInfoBytes = 3 + 8 * 8;
 
 DecodeStatus readTree(ByteReader &R,
                       std::unique_ptr<cct::CallingContextTree> &Out) {
@@ -66,14 +68,18 @@ DecodeStatus decodePayload(ByteReader &R, prof::RunOutcome &Out) {
     return DecodeStatus::Truncated;
   Out.PathProfiles.resize(NumPathProfiles);
   for (prof::FunctionPathProfile &Profile : Out.PathProfiles) {
-    uint64_t FuncId, NumEntries;
+    uint64_t FuncId, KIters, NumEntries;
     uint8_t HasProfile, Hashed;
     if (!R.u64(FuncId) || !R.u8(HasProfile) || !R.u64(Profile.NumPaths) ||
-        !R.u8(Hashed) || !R.count(NumEntries, MinPathEntryBytes))
+        !R.u8(Hashed) || !R.u64(KIters) ||
+        !R.count(NumEntries, MinPathEntryBytes))
       return DecodeStatus::Truncated;
+    if (KIters == 0)
+      return DecodeStatus::Malformed;
     Profile.FuncId = static_cast<unsigned>(FuncId);
     Profile.HasProfile = HasProfile != 0;
     Profile.Hashed = Hashed != 0;
+    Profile.KIters = static_cast<unsigned>(KIters);
     Profile.Paths.resize(NumEntries);
     for (prof::PathEntry &Entry : Profile.Paths)
       if (!R.u64(Entry.PathSum) || !R.u64(Entry.Freq) ||
@@ -106,16 +112,19 @@ DecodeStatus decodePayload(ByteReader &R, prof::RunOutcome &Out) {
   Out.Instr.Functions.resize(NumFunctions);
   for (prof::FunctionInstrInfo &Info : Out.Instr.Functions) {
     uint8_t Instrumented, HasPathProfile, Hashed;
-    uint64_t Stride, NumChords, NumSites;
+    uint64_t KIters, Stride, NumChords, NumSites;
     if (!R.u8(Instrumented) || !R.u8(HasPathProfile) ||
-        !R.u64(Info.NumPaths) || !R.u8(Hashed) || !R.u64(Info.TableAddr) ||
-        !R.u64(Stride) || !R.u64(Info.EdgeTableAddr) ||
-        !R.count(NumChords, 8))
+        !R.u64(Info.NumPaths) || !R.u8(Hashed) || !R.u64(KIters) ||
+        !R.u64(Info.TableAddr) || !R.u64(Stride) ||
+        !R.u64(Info.EdgeTableAddr) || !R.count(NumChords, 8))
       return DecodeStatus::Truncated;
+    if (KIters == 0)
+      return DecodeStatus::Malformed;
     Info.F = nullptr;
     Info.Instrumented = Instrumented != 0;
     Info.HasPathProfile = HasPathProfile != 0;
     Info.Hashed = Hashed != 0;
+    Info.KIters = static_cast<unsigned>(KIters);
     Info.Stride = static_cast<unsigned>(Stride);
     Info.ChordEdges.resize(NumChords);
     for (unsigned &Edge : Info.ChordEdges) {
@@ -196,6 +205,7 @@ driver::serializeOutcome(const prof::RunOutcome &Outcome,
     W.u8(Profile.HasProfile ? 1 : 0);
     W.u64(Profile.NumPaths);
     W.u8(Profile.Hashed ? 1 : 0);
+    W.u64(Profile.KIters);
     W.u64(Profile.Paths.size());
     for (const prof::PathEntry &Entry : Profile.Paths) {
       W.u64(Entry.PathSum);
@@ -222,6 +232,7 @@ driver::serializeOutcome(const prof::RunOutcome &Outcome,
     W.u8(Info.HasPathProfile ? 1 : 0);
     W.u64(Info.NumPaths);
     W.u8(Info.Hashed ? 1 : 0);
+    W.u64(Info.KIters);
     W.u64(Info.TableAddr);
     W.u64(Info.Stride);
     W.u64(Info.EdgeTableAddr);

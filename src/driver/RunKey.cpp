@@ -71,6 +71,11 @@ RunKey RunKey::of(const RunPlan &Plan) {
   // fingerprint keeps its byte string, hash, and cache file.
   if (!Plan.OptVariant.empty())
     F += ";opt=" + Plan.OptVariant;
+  // The k-BL window dimension, append-only like ;acq= and ;opt=: k=1 runs
+  // are classic Ball-Larus and keep every legacy fingerprint byte, hash,
+  // and cache file.
+  if (C.K > 1)
+    F += formatString(";k=%u", C.K);
   return Key;
 }
 

@@ -31,6 +31,8 @@ const char *opt::viewStatusName(ViewStatus Status) {
     return "function-table-mismatch";
   case ViewStatus::PathSpaceMismatch:
     return "path-space-mismatch";
+  case ViewStatus::MultiIterationPaths:
+    return "multi-iteration-paths";
   }
   return "unknown";
 }
@@ -60,6 +62,13 @@ ViewStatus ProfileView::build(const profdb::Artifact &A, const ir::Module &M,
 
   if (A.Schema.Acquisition != "exact")
     return refuse(ViewStatus::CrossAcquisition);
+  if (A.Schema.K > 1)
+    return refuse(ViewStatus::MultiIterationPaths);
+  // Merged pre-k artifacts have Schema.K == 1; trust the per-function
+  // flag too so a hand-assembled mix cannot slip window sums through.
+  for (const prof::FunctionPathProfile &Profile : A.PathProfiles)
+    if (Profile.KIters > 1)
+      return refuse(ViewStatus::MultiIterationPaths);
 
   static const prof::Mode AllModes[] = {
       prof::Mode::None,      prof::Mode::Edge,

@@ -63,6 +63,10 @@ enum class ViewStatus : unsigned {
   /// A recorded path sum (or path-space size) is impossible for the
   /// module's Ball-Larus numbering — the profile came from different code.
   PathSpaceMismatch,
+  /// The artifact counts k-iteration (k > 1) window sums; the optimizer's
+  /// layout passes reason about single-iteration acyclic paths and would
+  /// misdecode window ids as classic path sums.
+  MultiIterationPaths,
 };
 
 /// Human-readable refusal reason for diagnostics.

@@ -6,6 +6,7 @@
 #include "prof/OverflowSampling.h"
 #include "prof/Runtime.h"
 #include "prof/Session.h"
+#include "support/Error.h"
 
 #include <algorithm>
 #include <cassert>
@@ -156,6 +157,7 @@ public:
         Profile.HasProfile = true;
         Profile.NumPaths = Info.NumPaths;
         Profile.Hashed = Info.Hashed;
+        Profile.KIters = Info.KIters;
         if (!Info.Hashed) {
           readArrayTable(Info, Machine, Profile);
         } else {
@@ -209,6 +211,11 @@ prof::makeAcquisitionEngine(const ir::Module &M,
   case Acquisition::Exact:
     return std::make_unique<ExactInstrumentation>(M, Options);
   case Acquisition::Overflow:
+    // Sampled PCs reconstruct single-iteration paths; there is no window
+    // state to sample, so k-BL runs must be exact.
+    if (Options.Config.K > 1)
+      reportFatalError("k-iteration path profiling (k>1) requires the "
+                       "exact acquisition engine");
     return std::make_unique<OverflowSampling>(M, Options.Config, Options.Acq);
   }
   assert(false && "unknown acquisition kind");

@@ -7,6 +7,7 @@
 #include "cfg/Cfg.h"
 #include "prof/CallSites.h"
 #include "support/Error.h"
+#include "support/Format.h"
 
 #include <cassert>
 #include <unordered_map>
@@ -191,9 +192,24 @@ private:
     Info.NumPaths = Plan.NumPaths;
     Info.Hashed = Plan.UseHashTable;
     Info.Stride = modeUsesHw(Config.M) ? 24 : 8;
+    // Multi-iteration windows: build the k-numbering (its internal ladder
+    // settles on the largest k <= Config.K that fits) on the still
+    // pristine clone. The emitted instrumentation is unchanged — the
+    // runtime stitches the per-segment commits into windows — but the
+    // counter space becomes the window-id space, which is far too sparse
+    // for arrays, so hashing is forced.
+    if (Config.K > 1 && !modeUsesPerRecordPaths(Config.M)) {
+      auto Bundle = std::make_shared<const bl::KPathBundle>(F, Config.K);
+      if (Bundle->KPN.multiIteration()) {
+        Info.KIters = Bundle->KPN.effectiveK();
+        Info.NumPaths = Bundle->KPN.numPaths();
+        Info.Hashed = true;
+        Info.KPaths = std::move(Bundle);
+      }
+    }
     if (modeUsesPerRecordPaths(Config.M))
       return; // per-record tables live in the CCT heap
-    uint64_t Bytes = Plan.UseHashTable
+    uint64_t Bytes = Info.Hashed
                          ? (uint64_t(Config.Plan.ArrayThreshold) * 32)
                          : Plan.NumPaths * Info.Stride;
     size_t Index = M.addGlobal("__pp.paths." + F.name(), Bytes);
@@ -484,6 +500,15 @@ private:
 
 Instrumented prof::instrument(const ir::Module &Original,
                               const ProfileConfig &Config) {
+  // Multi-iteration windows only exist for whole-function path tables:
+  // per-record (CCT) tables and the non-path modes have no window the
+  // runtime could stitch. Refuse up front rather than silently profiling
+  // something other than what was asked for.
+  if (Config.K > 1 && Config.M != Mode::Flow && Config.M != Mode::FlowHw)
+    reportFatalError(formatString(
+        "k-iteration path profiling (k=%u) requires flow or flowhw mode, "
+        "not %s",
+        Config.K, modeName(Config.M)));
   Instrumented Result;
   Result.M = Original.clone();
   Result.Config = Config;

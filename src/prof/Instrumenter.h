@@ -14,6 +14,7 @@
 #ifndef PP_PROF_INSTRUMENTER_H
 #define PP_PROF_INSTRUMENTER_H
 
+#include "bl/KPathNumbering.h"
 #include "ir/Module.h"
 #include "prof/Mode.h"
 
@@ -39,6 +40,17 @@ struct FunctionInstrInfo {
   uint64_t TableAddr = 0;
   /// Bytes per path cell: 8 (frequency) or 24 (frequency + 2 metrics).
   unsigned Stride = 0;
+  /// Effective iterations per counted path after the per-function fallback
+  /// ladder: ProfileConfig::K when the k-numbering fits, a smaller k when
+  /// it overflowed. 1 means classic single-iteration paths; >= 2 means
+  /// NumPaths counts k-iteration windows and Hashed is forced (window ids
+  /// are too sparse for arrays).
+  unsigned KIters = 1;
+  /// The k-numbering behind KIters >= 2 (CFG snapshot + both numberings,
+  /// owned); null for single-iteration functions. Not serialized: outcomes
+  /// restored from the run cache carry KIters but rebuild bundles on
+  /// demand (the numbering is deterministic in the pristine module).
+  std::shared_ptr<const bl::KPathBundle> KPaths;
 
   // --- Edge profiling ------------------------------------------------------
   uint64_t EdgeTableAddr = 0;

@@ -50,6 +50,12 @@ enum class Mode {
 /// Short mode label for reports.
 const char *modeName(Mode M);
 
+/// The tools' default ProfileConfig::K: $PP_BL_K, strictly parsed.
+/// Malformed or out-of-range values (want 1..16) warn under \p Tool's
+/// name and fall back to classic k = 1; an explicit --k= flag wins over
+/// the environment.
+unsigned defaultKFromEnv(const char *Tool);
+
 inline bool modeUsesPaths(Mode M) {
   return M == Mode::Flow || M == Mode::FlowHw || M == Mode::ContextFlow ||
          M == Mode::ContextFlowHw;
@@ -76,6 +82,14 @@ struct ProfileConfig {
   hw::Event Pic1 = hw::Event::DCacheReadMiss;
   /// Path-probe placement options.
   bl::PlanOptions Plan;
+  /// Window size for multi-iteration (k-BL) path profiling: paths may span
+  /// up to K loop iterations (K-1 back edges). 1 is classic Ball-Larus and
+  /// keeps every fingerprint, profile, and report byte-identical; K >= 2
+  /// requires Flow or FlowHw mode with the exact acquisition engine.
+  /// Per-function, the numbering ladder falls back K -> K-1 -> ... -> 1
+  /// (then edge profiling) when the path count overflows 2^62; the level
+  /// actually chosen is recorded in FunctionInstrInfo::KIters.
+  unsigned K = 1;
   /// Distinguish call sites in the CCT (the paper's default; disabling
   /// aggregates per (caller, callee) pair — the §4.1 space/precision
   /// trade-off, measured by the ablation bench).

@@ -195,6 +195,13 @@ void Runtime::doPathHashCommit(vm::Vm &VM, const ir::Inst &I) {
   assert(FuncId < Instr.Functions.size());
   const FunctionInstrInfo &Info = Instr.Functions[FuncId];
   uint64_t Key = VM.reg(I.A);
+  if (Info.KIters >= 2) {
+    // Multi-iteration windows: the emitted commit is unchanged (Key is
+    // the legacy segment sum), but the runtime stitches segments into
+    // k-iteration windows and counts those instead.
+    doKSegmentCommit(VM, Info, FuncId, Key);
+    return;
+  }
   HashPathCell &Cell = HashTables[FuncId][Key];
   ++Cell.Freq;
 
@@ -215,6 +222,104 @@ void Runtime::doPathHashCommit(vm::Vm &VM, const ir::Inst &I) {
     Machine.touchData(CellAddr + 24, 8, /*IsWrite=*/true);
     Machine.chargeInsts(6);
   }
+}
+
+const Runtime::KSegment &Runtime::decodeSegment(const FunctionInstrInfo &Info,
+                                                unsigned FuncId,
+                                                uint64_t Key) {
+  std::unordered_map<uint64_t, KSegment> &Table = KSegCache[FuncId];
+  auto It = Table.find(Key);
+  if (It != Table.end())
+    return It->second;
+
+  assert(Info.KPaths && "k-segment commit without a k-numbering");
+  const bl::KPathBundle &Bundle = *Info.KPaths;
+  bl::RegeneratedPath Seg;
+  bl::NumberingQueryStatus S = Bundle.PN.tryRegenerate(Key, Seg);
+  if (S != bl::NumberingQueryStatus::Ok)
+    reportFatalError(std::string("k-segment decode refused: ") +
+                     bl::numberingQueryStatusName(S));
+  KSegment Decoded;
+  Decoded.EndsWithBackedge = Seg.EndsWithBackedge;
+  Decoded.LevelVals.reserve(Info.KIters);
+  for (unsigned Level = 0; Level != Info.KIters; ++Level)
+    Decoded.LevelVals.push_back(Bundle.KPN.segmentValue(Seg, Level));
+  return Table.emplace(Key, std::move(Decoded)).first->second;
+}
+
+void Runtime::commitKWindow(const FunctionInstrInfo &Info, const KWindow &W) {
+  HashPathCell &Cell = HashTables[W.FuncId][W.Acc];
+  ++Cell.Freq;
+
+  // Charge one probe of the open-addressed table plus the counter update
+  // — the same traffic the per-path commit pays in single-iteration runs,
+  // but only once per window.
+  uint64_t Cells = Instr.Config.Plan.ArrayThreshold;
+  uint64_t Mixed = W.Acc * 0x9e3779b97f4a7c15ULL;
+  uint64_t CellAddr = Info.TableAddr + (Mixed % Cells) * 32;
+  Machine.touchData(CellAddr, 8, /*IsWrite=*/false); // key compare
+  Machine.touchData(CellAddr + 8, 8, /*IsWrite=*/false);
+  Machine.touchData(CellAddr + 8, 8, /*IsWrite=*/true);
+  Machine.chargeInsts(8);
+
+  if (Instr.Config.M == Mode::FlowHw) {
+    Cell.Metric0 += W.M0;
+    Cell.Metric1 += W.M1;
+    Machine.touchData(CellAddr + 16, 8, /*IsWrite=*/true);
+    Machine.touchData(CellAddr + 24, 8, /*IsWrite=*/true);
+    Machine.chargeInsts(6);
+  }
+}
+
+void Runtime::doKSegmentCommit(vm::Vm &VM, const FunctionInstrInfo &Info,
+                               unsigned FuncId, uint64_t Key) {
+  const KSegment &Seg = decodeSegment(Info, FuncId, Key);
+
+  // The activation's window is the innermost one; a first commit in this
+  // activation pushes a fresh window (longjmp discards are handled by
+  // onFrameUnwound, so anything deeper is already gone).
+  size_t Depth = VM.frameDepth();
+  assert((KStack.empty() || KStack.back().FrameDepth <= Depth) &&
+         "stale window from an unwound frame");
+  if (KStack.empty() || KStack.back().FrameDepth != Depth)
+    KStack.push_back(KWindow{Depth, FuncId, 0, 0, 0, 0});
+  KWindow &W = KStack.back();
+  assert(W.FuncId == FuncId && "window belongs to another function");
+  assert(W.Level < Seg.LevelVals.size());
+
+  // Register-accumulate the segment's level value: the in-flight window
+  // sum lives in a register pair, so a mid-window segment costs a table
+  // lookup's worth less than a single-iteration commit.
+  W.Acc += Seg.LevelVals[W.Level];
+  Machine.chargeInsts(3);
+  if (Instr.Config.M == Mode::FlowHw) {
+    // The PICs are zeroed at entry and at every back-edge restart, so the
+    // current values are this segment's metric deltas; fold the 32-bit
+    // lanes into the window accumulators.
+    uint64_t Cur = Machine.counters().readPics();
+    W.M0 += static_cast<uint32_t>(Cur);
+    W.M1 += Cur >> 32;
+    Machine.chargeInsts(4);
+  }
+
+  if (Seg.EndsWithBackedge && W.Level + 1 < Info.KIters) {
+    ++W.Level;
+    return;
+  }
+  commitKWindow(Info, W);
+  if (Seg.EndsWithBackedge) {
+    // Window closed at the top level; the activation continues with a
+    // fresh window whose first segment starts just after this back edge
+    // (its decode carries the EntryPseudo start value, so nothing is
+    // added here).
+    W.Level = 0;
+    W.Acc = 0;
+    W.M0 = 0;
+    W.M1 = 0;
+    return;
+  }
+  // The segment returned: the activation is done.
+  KStack.pop_back();
 }
 
 void Runtime::onSignalDeliver(vm::Vm &VM) {
@@ -247,4 +352,8 @@ void Runtime::onFrameUnwound(vm::Vm &VM, const ir::Function &F) {
     GcspSlot = Shadow.back().SavedGcspSlot;
     Shadow.pop_back();
   }
+  // Partial k-iteration windows of unwound activations are discarded, the
+  // same way a longjmp loses the in-flight path register r.
+  while (!KStack.empty() && KStack.back().FrameDepth >= VM.frameDepth())
+    KStack.pop_back();
 }

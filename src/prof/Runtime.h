@@ -78,11 +78,37 @@ private:
     uint64_t HwStart;
   };
 
+  /// One in-flight k-iteration window of one activation: the window sum
+  /// and metric lanes accumulated so far, and the level (back edges
+  /// crossed) the next segment commits at. Stacked because activations
+  /// nest; matched to activations by frame depth.
+  struct KWindow {
+    size_t FrameDepth;
+    unsigned FuncId;
+    unsigned Level = 0;
+    uint64_t Acc = 0;
+    uint64_t M0 = 0;
+    uint64_t M1 = 0;
+  };
+
+  /// Memoized decode of one legacy segment sum: its per-level window-sum
+  /// contributions and whether it ended with a back edge. Keys repeat
+  /// enormously (hot paths), so each is decoded once per run.
+  struct KSegment {
+    std::vector<uint64_t> LevelVals;
+    bool EndsWithBackedge = false;
+  };
+
   void doCctEnter(vm::Vm &VM);
   void doCctExit(vm::Vm &VM);
   void doHwProbe(vm::Vm &VM, int Kind);
   void doPathHashCommit(vm::Vm &VM, const ir::Inst &I);
   void doCctPathCommit(vm::Vm &VM, const ir::Inst &I);
+  void doKSegmentCommit(vm::Vm &VM, const FunctionInstrInfo &Info,
+                        unsigned FuncId, uint64_t Key);
+  void commitKWindow(const FunctionInstrInfo &Info, const KWindow &W);
+  const KSegment &decodeSegment(const FunctionInstrInfo &Info,
+                                unsigned FuncId, uint64_t Key);
 
   cct::CallRecord *currentRecord() {
     return Shadow.empty() ? Tree->root() : Shadow.back().Record;
@@ -99,6 +125,12 @@ private:
   std::vector<std::pair<cct::CallRecord *, unsigned>> SignalSavedGcsps;
   std::unordered_map<unsigned, std::unordered_map<uint64_t, HashPathCell>>
       HashTables;
+  /// In-flight k-iteration windows, innermost activation last. Only
+  /// functions with KIters >= 2 push entries.
+  std::vector<KWindow> KStack;
+  /// Per-function segment decode cache (KIters >= 2 functions only).
+  std::unordered_map<unsigned, std::unordered_map<uint64_t, KSegment>>
+      KSegCache;
 };
 
 } // namespace prof

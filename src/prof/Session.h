@@ -56,6 +56,11 @@ struct FunctionPathProfile {
   bool HasProfile = false;
   uint64_t NumPaths = 0;
   bool Hashed = false;
+  /// Iterations per counted path: 1 for classic Ball-Larus, >= 2 when the
+  /// entries are k-iteration window sums (the function's effective k after
+  /// the fallback ladder; NumPaths is then the window-id space). Sums of
+  /// different KIters are incomparable — merge/diff refuse to mix them.
+  unsigned KIters = 1;
   /// Executed paths only (Freq > 0), sorted by PathSum.
   std::vector<PathEntry> Paths;
 };

@@ -14,12 +14,13 @@ using namespace pp::profdb;
 namespace {
 
 constexpr uint64_t Magic = 0x50504442; // "PPDB"
-constexpr uint64_t Version = 2; // 2: acquisition joined the schema
+// 2: acquisition joined the schema; 3: k-BL (schema K, per-function KIters)
+constexpr uint64_t Version = 3;
 
 // Minimum encoded sizes (bytes) of variable-count elements, used to bound
 // counts before allocation.
 constexpr size_t MinFunctionBytes = 8;               // name length
-constexpr size_t MinPathProfileBytes = 8 + 1 + 8 + 1 + 8;
+constexpr size_t MinPathProfileBytes = 8 + 1 + 8 + 1 + 8 + 8;
 constexpr size_t MinPathEntryBytes = 4 * 8;
 
 } // namespace
@@ -70,6 +71,7 @@ std::vector<uint8_t> profdb::encodeArtifact(const Artifact &A) {
   W.str(A.Schema.Pic0);
   W.str(A.Schema.Pic1);
   W.str(A.Schema.Acquisition);
+  W.u64(A.Schema.K);
   W.u64(A.ExecutedInsts);
 
   W.u64(hw::NumEvents);
@@ -86,6 +88,7 @@ std::vector<uint8_t> profdb::encodeArtifact(const Artifact &A) {
     W.u8(Profile.HasProfile ? 1 : 0);
     W.u64(Profile.NumPaths);
     W.u8(Profile.Hashed ? 1 : 0);
+    W.u64(Profile.KIters);
     W.u64(Profile.Paths.size());
     for (const prof::PathEntry &Entry : Profile.Paths) {
       W.u64(Entry.PathSum);
@@ -122,9 +125,10 @@ DecodeStatus profdb::decodeArtifact(const std::vector<uint8_t> &Bytes,
   (void)Header.u64(FileVersion);
   if (FileMagic != Magic)
     return DecodeStatus::BadMagic;
-  // Version 1 predates the acquisition schema field; those artifacts are
-  // all exact, so they decode with the default.
-  if (FileVersion != Version && FileVersion != 1)
+  // Version 1 predates the acquisition schema field (those artifacts are
+  // all exact) and version 2 predates k-BL (all classic k=1); both decode
+  // with the defaults.
+  if (FileVersion != Version && FileVersion != 1 && FileVersion != 2)
     return DecodeStatus::BadVersion;
 
   size_t PayloadSize = Bytes.size() - 4;
@@ -147,6 +151,15 @@ DecodeStatus profdb::decodeArtifact(const std::vector<uint8_t> &Bytes,
   Out.Schema.Acquisition = "exact";
   if (FileVersion >= 2 && !R.str(Out.Schema.Acquisition))
     return DecodeStatus::Truncated;
+  Out.Schema.K = 1;
+  if (FileVersion >= 3) {
+    uint64_t K;
+    if (!R.u64(K))
+      return DecodeStatus::Truncated;
+    if (K == 0)
+      return DecodeStatus::Malformed;
+    Out.Schema.K = static_cast<unsigned>(K);
+  }
   if (!R.u64(Out.ExecutedInsts))
     return DecodeStatus::Truncated;
 
@@ -175,7 +188,18 @@ DecodeStatus profdb::decodeArtifact(const std::vector<uint8_t> &Bytes,
     uint64_t FuncId, NumEntries;
     uint8_t HasProfile, Hashed;
     if (!R.u64(FuncId) || !R.u8(HasProfile) || !R.u64(Profile.NumPaths) ||
-        !R.u8(Hashed) || !R.count(NumEntries, MinPathEntryBytes))
+        !R.u8(Hashed))
+      return DecodeStatus::Truncated;
+    Profile.KIters = 1;
+    if (FileVersion >= 3) {
+      uint64_t KIters;
+      if (!R.u64(KIters))
+        return DecodeStatus::Truncated;
+      if (KIters == 0)
+        return DecodeStatus::Malformed;
+      Profile.KIters = static_cast<unsigned>(KIters);
+    }
+    if (!R.count(NumEntries, MinPathEntryBytes))
       return DecodeStatus::Truncated;
     Profile.FuncId = static_cast<unsigned>(FuncId);
     Profile.HasProfile = HasProfile != 0;
@@ -225,6 +249,7 @@ Artifact profdb::artifactFromOutcome(const prof::RunOutcome &Outcome,
   A.Schema.Pic0 = hw::eventName(Config.Pic0);
   A.Schema.Pic1 = hw::eventName(Config.Pic1);
   A.Schema.Acquisition = Acquisition;
+  A.Schema.K = Config.K;
   A.ExecutedInsts = Outcome.Result.ExecutedInsts;
   A.Totals = Outcome.Totals;
   A.Functions.reserve(M.numFunctions());

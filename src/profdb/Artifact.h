@@ -50,10 +50,14 @@ struct MetricSchema {
   /// and sampled estimates must never be merged or diffed against each
   /// other, so acquisition is part of the schema, like the mode.
   std::string Acquisition = "exact";
+  /// Requested k-BL iteration count of the run (1 = classic Ball-Larus).
+  /// A k=2 window sum and a k=1 path sum occupy different id spaces, so k
+  /// is part of the schema: cross-k artifacts refuse to merge or diff.
+  unsigned K = 1;
 
   bool operator==(const MetricSchema &Other) const {
     return Mode == Other.Mode && Pic0 == Other.Pic0 && Pic1 == Other.Pic1 &&
-           Acquisition == Other.Acquisition;
+           Acquisition == Other.Acquisition && K == Other.K;
   }
   bool operator!=(const MetricSchema &Other) const {
     return !(*this == Other);

@@ -21,7 +21,12 @@
 namespace pp {
 namespace profdb {
 
-/// Delta of one Ball-Larus path between two profiles (B minus A).
+/// Delta of one Ball-Larus path between two profiles (B minus A). The
+/// (FuncId, PathSum) key names a path only within one path-id space;
+/// diffArtifacts validates that both artifacts agree on k (schema-level
+/// and per-function KIters) and on each function's NumPaths before any
+/// sums are compared, so a k=2 window sum never silently diffs against a
+/// k=1 path sum that happens to share its value.
 struct PathDelta {
   unsigned FuncId = 0;
   uint64_t PathSum = 0;

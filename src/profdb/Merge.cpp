@@ -311,6 +311,15 @@ bool mergePathProfiles(const std::vector<prof::FunctionPathProfile> &A,
   for (size_t Index = 0; Index != A.size(); ++Index) {
     const prof::FunctionPathProfile &PA = A[Index];
     const prof::FunctionPathProfile &PB = B[Index];
+    // Cross-k sums share numeric values but name different paths; refuse
+    // with the specific reason before the generic shape complaint.
+    if (PA.KIters != PB.KIters) {
+      Error = formatString(
+          "cannot merge path profiles across k for function %u: "
+          "k=%u vs k=%u",
+          PA.FuncId, PA.KIters, PB.KIters);
+      return false;
+    }
     if (PA.FuncId != PB.FuncId || PA.HasProfile != PB.HasProfile ||
         PA.NumPaths != PB.NumPaths || PA.Hashed != PB.Hashed) {
       Error = formatString("path-profile shape differs for function %u",
@@ -322,6 +331,7 @@ bool mergePathProfiles(const std::vector<prof::FunctionPathProfile> &A,
     Merged.HasProfile = PA.HasProfile;
     Merged.NumPaths = PA.NumPaths;
     Merged.Hashed = PA.Hashed;
+    Merged.KIters = PA.KIters;
     // Both sides are sorted by PathSum; a merge walk keeps the output
     // sorted and sums entries present in both.
     size_t IA = 0, IB = 0;
@@ -355,6 +365,14 @@ bool mergePathProfiles(const std::vector<prof::FunctionPathProfile> &A,
 
 bool profdb::mergeArtifacts(const Artifact &A, const Artifact &B,
                             Artifact &Out, std::string &Error) {
+  // A k mismatch is a schema mismatch too, but deserves its own message:
+  // the artifacts may agree on every metric and still count incomparable
+  // path spaces.
+  if (A.Schema.K != B.Schema.K) {
+    Error = formatString("cannot merge artifacts across k: k=%u vs k=%u",
+                         A.Schema.K, B.Schema.K);
+    return false;
+  }
   if (A.Schema != B.Schema) {
     Error = formatString(
         "incompatible metric schemas: (%s, PIC0=%s, PIC1=%s, acq=%s) vs "

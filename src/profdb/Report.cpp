@@ -25,6 +25,9 @@ struct PathRow {
   uint64_t Freq = 0;
   uint64_t Pic0 = 0;
   uint64_t Pic1 = 0;
+  /// The owning function's effective k (the fallback ladder can leave it
+  /// below the artifact's requested Schema.K).
+  unsigned KIters = 1;
 };
 
 std::vector<PathRow> flattenPaths(const Artifact &A) {
@@ -34,7 +37,7 @@ std::vector<PathRow> flattenPaths(const Artifact &A) {
       continue;
     for (const prof::PathEntry &Entry : Profile.Paths)
       Rows.push_back({Profile.FuncId, Entry.PathSum, Entry.Freq,
-                      Entry.Metric0, Entry.Metric1});
+                      Entry.Metric0, Entry.Metric1, Profile.KIters});
   }
   return Rows;
 }
@@ -55,11 +58,15 @@ void sortHottest(std::vector<PathRow> &Rows) {
 } // namespace
 
 std::string profdb::reportHeader(const Artifact &A) {
+  // The k tag only appears for k > 1 so classic artifacts keep their
+  // golden-locked header bytes.
+  std::string KTag =
+      A.Schema.K > 1 ? formatString(", k=%u", A.Schema.K) : std::string();
   return formatString(
-      "== %s (scale %llu, %s, PIC0=%s, PIC1=%s, runs=%llu) ==\n",
+      "== %s (scale %llu, %s%s, PIC0=%s, PIC1=%s, runs=%llu) ==\n",
       A.Workload.c_str(), static_cast<unsigned long long>(A.Scale),
-      A.Schema.Mode.c_str(), A.Schema.Pic0.c_str(), A.Schema.Pic1.c_str(),
-      static_cast<unsigned long long>(A.RunCount));
+      A.Schema.Mode.c_str(), KTag.c_str(), A.Schema.Pic0.c_str(),
+      A.Schema.Pic1.c_str(), static_cast<unsigned long long>(A.RunCount));
 }
 
 std::string profdb::reportTopPaths(const Artifact &A, size_t Limit) {
@@ -75,12 +82,24 @@ std::string profdb::reportTopPaths(const Artifact &A, size_t Limit) {
     Rows.resize(Limit);
 
   TableWriter Table;
-  Table.setHeader({"Function", "PathSum", "Freq", "PIC0", "PIC1", "PIC1%"});
-  for (const PathRow &Row : Rows)
-    Table.addRow({functionName(A.Functions, Row.FuncId),
-                  std::to_string(Row.PathSum), std::to_string(Row.Freq),
+  // k-BL artifacts label the sums as window sums and expose each
+  // function's effective k; classic artifacts keep their exact layout.
+  bool ShowK = A.Schema.K > 1;
+  if (ShowK)
+    Table.setHeader(
+        {"Function", "k", "WindowSum", "Freq", "PIC0", "PIC1", "PIC1%"});
+  else
+    Table.setHeader({"Function", "PathSum", "Freq", "PIC0", "PIC1", "PIC1%"});
+  for (const PathRow &Row : Rows) {
+    std::vector<std::string> Cells{functionName(A.Functions, Row.FuncId)};
+    if (ShowK)
+      Cells.push_back(std::to_string(Row.KIters));
+    Cells.insert(Cells.end(),
+                 {std::to_string(Row.PathSum), std::to_string(Row.Freq),
                   std::to_string(Row.Pic0), std::to_string(Row.Pic1),
                   formatPercent(double(Row.Pic1), double(TotalPic1))});
+    Table.addRow(std::move(Cells));
+  }
   return Out + Table.render();
 }
 

@@ -1,0 +1,60 @@
+//===- workloads/Extras.cpp - Non-SPEC registry workloads ---------------------===//
+//
+// Workloads reachable through buildWorkload() but deliberately kept out of
+// spec95Suite(), so the paper's 18-row tables (and their golden outputs)
+// stay untouched. pp.kbl-ladder exists for the k-iteration ablation: a
+// loop body with enough diamonds that the window count fits at k = 2 but
+// overflows 2^62 at k = 3, forcing the per-function fallback ladder on a
+// real driver-cached run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "workloads/Spec.h"
+#include "workloads/Util.h"
+
+using namespace pp;
+using namespace pp::workloads;
+using namespace pp::ir;
+
+std::unique_ptr<ir::Module> workloads::buildKblLadder(int Scale) {
+  auto M = std::make_unique<Module>();
+  uint64_t Input = addRandomGlobal(*M, "input", 1024, 0x6b1, 0);
+
+  Function *Main = M->addFunction("main", 0);
+  BasicBlock *Entry = Main->addBlock("entry");
+  IRBuilder IRB(Main, Entry);
+  Reg Sum = IRB.movImm(0);
+
+  // 24 data-driven diamonds per iteration: ~2^24 acyclic paths through
+  // the body, so k-window counts scale like 2^(24k) — under 2^62 at
+  // k = 2, far over it at k = 3.
+  constexpr int Diamonds = 24;
+  Loop L = beginLoop(IRB, 512 * Scale, "iter");
+  Reg Slot = IRB.andImm(L.Index, 1023);
+  Reg Addr = IRB.addImm(IRB.shlImm(Slot, 3), static_cast<int64_t>(Input));
+  Reg Bits = IRB.load(Addr, 0);
+  for (int Step = 0; Step != Diamonds; ++Step) {
+    BasicBlock *Left = Main->addBlock("l" + std::to_string(Step));
+    BasicBlock *Right = Main->addBlock("r" + std::to_string(Step));
+    BasicBlock *Join = Main->addBlock("j" + std::to_string(Step));
+    Reg Bit = IRB.andImm(IRB.shrImm(Bits, Step), 1);
+    IRB.condBr(Bit, Left, Right);
+    IRB.setBlock(Left);
+    Reg AddL = IRB.addImm(Sum, 3);
+    IRB.movRegInto(Sum, AddL);
+    IRB.br(Join);
+    IRB.setBlock(Right);
+    Reg AddR = IRB.xorImm(Sum, 5);
+    IRB.movRegInto(Sum, AddR);
+    IRB.br(Join);
+    IRB.setBlock(Join);
+  }
+  endLoop(IRB, L);
+  Reg Exit = IRB.andImm(Sum, 255);
+  IRB.ret(Exit);
+
+  M->setMain(Main);
+  verifyModuleOrDie(*M);
+  return M;
+}

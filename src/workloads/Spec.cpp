@@ -29,9 +29,19 @@ const std::vector<WorkloadSpec> &workloads::spec95Suite() {
   return Suite;
 }
 
+const std::vector<WorkloadSpec> &workloads::extraSuite() {
+  static const std::vector<WorkloadSpec> Suite = {
+      {"pp.kbl-ladder", false, buildKblLadder},
+  };
+  return Suite;
+}
+
 std::unique_ptr<ir::Module> workloads::buildWorkload(const std::string &Name,
                                                      int Scale) {
   for (const WorkloadSpec &Spec : spec95Suite())
+    if (Spec.Name == Name)
+      return Spec.Build(Scale);
+  for (const WorkloadSpec &Spec : extraSuite())
     if (Spec.Name == Name)
       return Spec.Build(Scale);
   return nullptr;

@@ -168,6 +168,24 @@ TEST(RunKeyTest, OptVariantDimensionIsAppendOnly) {
   EXPECT_NE(RunKey::of(Other).Fingerprint, RunKey::of(Tagged).Fingerprint);
 }
 
+TEST(RunKeyTest, KDimensionIsAppendOnly) {
+  // Classic k = 1 plans carry no ;k= dimension at all, so every
+  // pre-k-BL fingerprint (and its cache file) is byte-identical to what
+  // it always was; multi-iteration plans get their own cache identity.
+  RunPlan Base = makePlan("124.m88ksim", prof::Mode::FlowHw);
+  ASSERT_EQ(Base.Options.Config.K, 1u);
+  EXPECT_EQ(RunKey::of(Base).Fingerprint.find(";k="), std::string::npos);
+
+  RunPlan K2 = makePlan("124.m88ksim", prof::Mode::FlowHw);
+  K2.Options.Config.K = 2;
+  EXPECT_NE(RunKey::of(K2).Fingerprint.find(";k=2"), std::string::npos);
+  EXPECT_NE(RunKey::of(Base).Fingerprint, RunKey::of(K2).Fingerprint);
+
+  RunPlan K3 = makePlan("124.m88ksim", prof::Mode::FlowHw);
+  K3.Options.Config.K = 3;
+  EXPECT_NE(RunKey::of(K2).Fingerprint, RunKey::of(K3).Fingerprint);
+}
+
 TEST(RunKeyTest, PredicatePlansAreUncacheable) {
   RunPlan Plan = makePlan("124.m88ksim", prof::Mode::FlowHw);
   Plan.Options.Config.ShouldInstrument = [](const ir::Function &) {
@@ -278,6 +296,34 @@ TEST(OutcomeIOTest, RejectsMismatchedFingerprint) {
   EXPECT_FALSE(deserializeOutcome(Bytes, "fingerprint-b", Out));
   EXPECT_TRUE(deserializeOutcome(Bytes, "fingerprint-a", Out));
   expectOutcomesEqual(*Run, Out);
+}
+
+TEST(OutcomeIOTest, KItersSurviveTheCacheTrip) {
+  // A k = 2 outcome restored from the run cache must still know its
+  // windows span two iterations — per function (the ladder level) and in
+  // the instrumentation info — or the renderers would decode window ids
+  // against the wrong numbering.
+  Driver D(/*DiskDir=*/"", /*Threads=*/1);
+  RunPlan Plan = makePlan("130.li", prof::Mode::Flow);
+  Plan.Options.Config.K = 2;
+  OutcomePtr Run = D.run(Plan);
+  ASSERT_TRUE(Run && Run->Result.Ok);
+
+  std::vector<uint8_t> Bytes = serializeOutcome(*Run, "fp-k2");
+  prof::RunOutcome Out;
+  ASSERT_TRUE(deserializeOutcome(Bytes, "fp-k2", Out));
+  expectOutcomesEqual(*Run, Out);
+
+  bool SawMultiIteration = false;
+  ASSERT_EQ(Out.PathProfiles.size(), Run->PathProfiles.size());
+  for (size_t I = 0; I != Out.PathProfiles.size(); ++I)
+    EXPECT_EQ(Out.PathProfiles[I].KIters, Run->PathProfiles[I].KIters);
+  ASSERT_EQ(Out.Instr.Functions.size(), Run->Instr.Functions.size());
+  for (size_t I = 0; I != Out.Instr.Functions.size(); ++I) {
+    EXPECT_EQ(Out.Instr.Functions[I].KIters, Run->Instr.Functions[I].KIters);
+    SawMultiIteration |= Out.Instr.Functions[I].KIters > 1;
+  }
+  EXPECT_TRUE(SawMultiIteration);
 }
 
 TEST(OutcomeIOTest, RejectsMismatchedVersion) {

@@ -13,6 +13,7 @@
 #include "driver/RunScheduler.h"
 #include "collectd/Ingest.h"
 #include "opt/Pass.h"
+#include "prof/Mode.h"
 #include "profdb/Merge.h"
 #include "profdb/Store.h"
 #include "support/Env.h"
@@ -144,6 +145,30 @@ TEST(Env, BoolOrKeepsTheDefaultOnBadInput) {
   {
     EnvGuard Guard("PP_ENV_TEST_FLAG", "1");
     EXPECT_TRUE(envBoolOr("PP_ENV_TEST_FLAG", "pp-tests", false));
+  }
+}
+
+TEST(Env, BlKKnobParsesStrictlyAndClampsToRange) {
+  struct Case {
+    const char *Text; // nullptr = unset
+    unsigned Want;
+  };
+  const Case Cases[] = {
+      {nullptr, 1}, // unset: classic Ball-Larus
+      {"1", 1},
+      {"2", 2},
+      {"16", 16},
+      {"0", 1},      // k = 0 is meaningless: warn, stay classic
+      {"17", 1},     // out of range
+      {"banana", 1}, // malformed must not parse as 0 (or anything)
+      {"2x", 1},
+      {"-1", 1},
+      {" 2", 1},
+  };
+  for (const Case &C : Cases) {
+    EnvGuard Guard("PP_BL_K", C.Text);
+    EXPECT_EQ(prof::defaultKFromEnv("pp-tests"), C.Want)
+        << (C.Text ? C.Text : "<unset>");
   }
 }
 

@@ -282,6 +282,66 @@ TEST(ProfDbMergeRejectTest, IncompatibleInputsAreRefused) {
   EXPECT_FALSE(Error.empty());
 }
 
+TEST(ProfDbCrossKTest, CrossKMergeAndDiffAreRefused) {
+  // A k = 2 window sum and a k = 1 path sum occupy different id spaces:
+  // identical (function, sum) keys name unrelated paths, so cross-k
+  // merges and diffs must refuse with a typed reason, not silently sum
+  // or subtract unrelated counters.
+  const uint64_t Seed = 13;
+  auto Program = makeProgram(Seed);
+  profdb::Artifact Base = makeShard(Seed, 0, Mode::FlowHw, *Program);
+  ASSERT_EQ(Base.Schema.K, 1u);
+
+  profdb::Artifact OtherK = profdb::cloneArtifact(Base);
+  OtherK.Schema.K = 2;
+  profdb::Artifact Out;
+  std::string Error;
+  EXPECT_FALSE(profdb::mergeArtifacts(Base, OtherK, Out, Error));
+  EXPECT_NE(Error.find("across k"), std::string::npos) << Error;
+
+  profdb::ArtifactDiff Diff;
+  Error.clear();
+  EXPECT_FALSE(profdb::diffArtifacts(Base, OtherK, Diff, Error));
+  EXPECT_NE(Error.find("across k"), std::string::npos) << Error;
+
+  // Per-function fallback levels are part of the identity too: two k = 2
+  // runs can ladder differently, and a laddered (k = 1) table must not
+  // mix with a true k = 2 table for the same function.
+  profdb::Artifact Laddered = profdb::cloneArtifact(Base);
+  bool Flipped = false;
+  for (prof::FunctionPathProfile &Profile : Laddered.PathProfiles)
+    if (Profile.HasProfile && !Flipped) {
+      Profile.KIters = 2;
+      Flipped = true;
+    }
+  ASSERT_TRUE(Flipped);
+  Error.clear();
+  EXPECT_FALSE(profdb::mergeArtifacts(Base, Laddered, Out, Error));
+  EXPECT_NE(Error.find("across k"), std::string::npos) << Error;
+  Error.clear();
+  EXPECT_FALSE(profdb::diffArtifacts(Base, Laddered, Diff, Error));
+  EXPECT_NE(Error.find("across k"), std::string::npos) << Error;
+}
+
+TEST(ProfDbCrossKTest, KSurvivesTheEncodeDecodeTrip) {
+  const uint64_t Seed = 13;
+  auto Program = makeProgram(Seed);
+  profdb::Artifact A = makeShard(Seed, 0, Mode::FlowHw, *Program);
+  A.Schema.K = 3;
+  for (prof::FunctionPathProfile &Profile : A.PathProfiles)
+    if (Profile.HasProfile)
+      Profile.KIters = 2;
+
+  std::vector<uint8_t> Bytes = profdb::encodeArtifact(A);
+  profdb::Artifact Back;
+  ASSERT_EQ(profdb::decodeArtifact(Bytes, Back), profdb::DecodeStatus::Ok);
+  EXPECT_EQ(Back.Schema.K, 3u);
+  for (const prof::FunctionPathProfile &Profile : Back.PathProfiles)
+    if (Profile.HasProfile)
+      EXPECT_EQ(Profile.KIters, 2u);
+  EXPECT_EQ(profdb::encodeArtifact(Back), Bytes);
+}
+
 TEST(ProfDbDiffTest, SelfDiffIsEmptyAndShardDiffIsNot) {
   const uint64_t Seed = 5;
   auto Program = makeProgram(Seed);

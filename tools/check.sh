@@ -33,9 +33,9 @@ run_tsan() {
         --target fault_injection_test --target profdb_test \
         --target obs_test --target collectd_test --target wire_test \
         --target server_test --target opt_test \
-        --target pgo_differential_test
+        --target pgo_differential_test --target kpath_numbering_test
   (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-        -R 'DriverTest|RunKeyTest|OutcomeIOTest|SchedulerTest|Fault|ProfDb|Obs|Collectd|Wire|Server|Opt|Pgo')
+        -R 'DriverTest|RunKeyTest|OutcomeIOTest|SchedulerTest|Fault|ProfDb|Obs|Collectd|Wire|Server|Opt|Pgo|KPath|NumberingQueries')
 }
 
 case "$MODE" in

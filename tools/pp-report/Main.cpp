@@ -75,6 +75,10 @@ void printUsage() {
       "  --acquisition=<a> which acquisition's artifacts a --repo table\n"
       "                    reads: exact (default) or overflow; artifacts\n"
       "                    of the other acquisition are ignored\n"
+      "  --k=<n>           which k-iteration artifacts to read (default 1\n"
+      "                    = classic Ball-Larus); a --repo table ignores\n"
+      "                    other-k artifacts, explicit artifacts of a\n"
+      "                    different k are an error\n"
       "  --collapsed=<c>   emit Brendan-Gregg collapsed stacks instead of\n"
       "                    cct-stats, weighted by calls|pic0|pic1\n"
       "\n"
@@ -155,12 +159,14 @@ const profdb::Artifact *selectArtifact(
   return Found;
 }
 
-profdb::MetricSchema schemaOf(prof::Mode M, const std::string &Acq) {
+profdb::MetricSchema schemaOf(prof::Mode M, const std::string &Acq,
+                              unsigned K) {
   profdb::MetricSchema Schema;
   Schema.Mode = prof::modeName(M);
   Schema.Pic0 = hw::eventName(hw::Event::Insts);
   Schema.Pic1 = hw::eventName(hw::Event::DCacheReadMiss);
   Schema.Acquisition = Acq;
+  Schema.K = K;
   return Schema;
 }
 
@@ -187,11 +193,11 @@ void noteMissingRow(const std::string &Workload, const char *Mode) {
 /// Table 4 (Table5 = false) or Table 5 from a repository of Flow-and-HW
 /// artifacts, through the same renderer the live benches use.
 int renderRepoPathTable(const std::string &Dir, bool Table5,
-                        const std::string &Acq) {
+                        const std::string &Acq, unsigned K) {
   std::vector<profdb::Artifact> All;
   if (!loadRepo(Dir, All))
     return 1;
-  profdb::MetricSchema Want = schemaOf(prof::Mode::FlowHw, Acq);
+  profdb::MetricSchema Want = schemaOf(prof::Mode::FlowHw, Acq, K);
   std::vector<analysis::SuitePathRows> Rows;
   for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
     const profdb::Artifact *A = selectArtifact(All, Spec.Name, Want);
@@ -215,7 +221,8 @@ int renderRepoTable3(const std::string &Dir, const std::string &Acq) {
   std::vector<profdb::Artifact> All;
   if (!loadRepo(Dir, All))
     return 1;
-  profdb::MetricSchema Want = schemaOf(prof::Mode::ContextFlow, Acq);
+  // Context modes are k=1 by construction (k > 1 is flow/flowhw only).
+  profdb::MetricSchema Want = schemaOf(prof::Mode::ContextFlow, Acq, 1);
   std::vector<analysis::Table3Row> Rows;
   for (const workloads::WorkloadSpec &Spec : workloads::spec95Suite()) {
     const profdb::Artifact *A = selectArtifact(All, Spec.Name, Want);
@@ -355,6 +362,8 @@ int main(int Argc, char **Argv) {
   std::string Repo, OutPath, Collapsed;
   std::string Acq = "exact";
   size_t Paths = 20, Procs = 20, Limit = 20;
+  unsigned K = 1;
+  bool KGiven = false;
   std::vector<std::string> Inputs;
   for (int Index = 2; Index != Argc; ++Index) {
     std::string Arg = Argv[Index];
@@ -384,6 +393,14 @@ int main(int Argc, char **Argv) {
       Limit = static_cast<size_t>(std::atoi(V));
     } else if (const char *V = Value("--collapsed=")) {
       Collapsed = V;
+    } else if (const char *V = Value("--k=")) {
+      int Parsed = std::atoi(V);
+      if (Parsed < 1 || Parsed > 16) {
+        std::fprintf(stderr, "pp-report: bad --k '%s' (want 1..16)\n", V);
+        return 1;
+      }
+      K = static_cast<unsigned>(Parsed);
+      KGiven = true;
     } else if (const char *V = Value("--acquisition=")) {
       prof::Acquisition Kind;
       if (!prof::parseAcquisition(V, Kind)) {
@@ -428,9 +445,9 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     if (Cmd == "top-paths")
-      return renderRepoPathTable(Repo, /*Table5=*/false, Acq);
+      return renderRepoPathTable(Repo, /*Table5=*/false, Acq, K);
     if (Cmd == "top-procs")
-      return renderRepoPathTable(Repo, /*Table5=*/true, Acq);
+      return renderRepoPathTable(Repo, /*Table5=*/true, Acq, K);
     return renderRepoTable3(Repo, Acq);
   }
 
@@ -442,6 +459,14 @@ int main(int Argc, char **Argv) {
   profdb::Artifact A;
   if (!loadMerged(Inputs, A))
     return 1;
+  // Cross-k inputs already fail the merge above; this catches a uniform
+  // set of artifacts at a different k than the one explicitly asked for.
+  if (KGiven && A.Schema.K != K) {
+    std::fprintf(stderr,
+                 "pp-report: artifacts are k=%u, not the requested k=%u\n",
+                 A.Schema.K, K);
+    return 1;
+  }
 
   if (Cmd == "top-paths") {
     std::printf("%s", profdb::reportTopPaths(A, Paths).c_str());

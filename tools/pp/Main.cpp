@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/HotPaths.h"
+#include "bl/KPathNumbering.h"
 #include "bl/PathNumbering.h"
 #include "cct/Export.h"
 #include "driver/Driver.h"
@@ -17,6 +18,7 @@
 #include "obs/Obs.h"
 #include "ir/Printer.h"
 #include "prof/Session.h"
+#include "support/Env.h"
 #include "support/Format.h"
 #include "support/TableWriter.h"
 #include "workloads/Spec.h"
@@ -38,6 +40,7 @@ struct Options {
   hw::Event Pic1 = hw::Event::DCacheReadMiss;
   prof::AcquisitionOptions Acq;
   int Scale = 1;
+  unsigned K = 1;
   double HotThreshold = 0.01;
   bool DumpIr = false;
   bool DumpInstrumented = false;
@@ -66,6 +69,10 @@ void printUsage() {
       "                    cycles,insts,dcrmiss,dcwmiss,icmiss,mispredict,\n"
       "                    storebuf,fpstall (default insts,dcrmiss)\n"
       "  --scale=<n>       workload scale factor (default 1)\n"
+      "  --k=<n>           count paths spanning up to n-1 back edges\n"
+      "                    (k-iteration Ball-Larus; default 1 = classic;\n"
+      "                    needs flow/flowhw mode and exact acquisition;\n"
+      "                    $PP_BL_K sets the default)\n"
       "  --hot=<frac>      hot-path threshold as a miss fraction "
       "(default 0.01)\n"
       "  --paths=<n>       hot paths to list (default 10)\n"
@@ -167,6 +174,13 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         std::fprintf(stderr, "pp: bad scale\n");
         return false;
       }
+    } else if (const char *V = Value("--k=")) {
+      uint64_t K = 0;
+      if (!parseUint64(V, K) || K == 0 || K > 16) {
+        std::fprintf(stderr, "pp: bad --k '%s' (want 1..16)\n", V);
+        return false;
+      }
+      Opts.K = static_cast<unsigned>(K);
     } else if (const char *V = Value("--hot=")) {
       Opts.HotThreshold = std::atof(V);
     } else if (const char *V = Value("--paths=")) {
@@ -273,31 +287,71 @@ void reportHotPaths(const ir::Module &M, const prof::RunOutcome &Run,
                   .c_str());
 
   TableWriter Table;
-  Table.setHeader({"Function", "Path", "Freq", "PIC0", "PIC1", "Blocks"});
+  // k > 1 runs rename the sum column and render each window's iteration
+  // segments; k=1 output stays byte-identical to the classic tool.
+  bool KMode = Opts.K > 1;
+  if (KMode)
+    Table.setHeader({"Function", "k", "Window", "Freq", "PIC0", "PIC1",
+                     "Blocks"});
+  else
+    Table.setHeader({"Function", "Path", "Freq", "PIC0", "PIC1", "Blocks"});
   unsigned Shown = 0;
   for (size_t Index : A.HotIndices) {
     if (Shown++ == Opts.MaxPathsShown)
       break;
     const analysis::PathRecord &Record = Records[Index];
     const ir::Function &F = *M.function(Record.FuncId);
-    cfg::Cfg G(F);
-    bl::PathNumbering PN(G);
+    // The function's effective k after the fallback ladder, straight from
+    // the run's instrumentation metadata.
+    unsigned KIters =
+        Record.FuncId < Run.Instr.Functions.size()
+            ? Run.Instr.Functions[Record.FuncId].KIters
+            : 1;
     std::string Blocks;
-    if (PN.valid()) {
-      bl::RegeneratedPath Path = PN.regenerate(Record.PathSum);
-      if (Path.StartsAfterBackedge)
-        Blocks += "(loop) ";
-      for (size_t N = 0; N != Path.Nodes.size(); ++N) {
-        if (N)
-          Blocks += " ";
-        Blocks += G.block(Path.Nodes[N])->name();
+    if (KIters > 1) {
+      // Rebuilding the bundle is deterministic, so the decode matches the
+      // numbering the run counted with.
+      bl::KPathBundle Bundle(F, KIters);
+      std::vector<bl::RegeneratedPath> Segments =
+          Bundle.KPN.regenerate(Record.PathSum);
+      for (size_t S = 0; S != Segments.size(); ++S) {
+        const bl::RegeneratedPath &Path = Segments[S];
+        if (S)
+          Blocks += " | ";
+        else if (Path.StartsAfterBackedge)
+          Blocks += "(loop) ";
+        for (size_t N = 0; N != Path.Nodes.size(); ++N) {
+          if (N)
+            Blocks += " ";
+          Blocks += Bundle.G.block(Path.Nodes[N])->name();
+        }
       }
-      if (Path.EndsWithBackedge)
+      if (!Segments.empty() && Segments.back().EndsWithBackedge)
         Blocks += " (back edge)";
+    } else {
+      cfg::Cfg G(F);
+      bl::PathNumbering PN(G);
+      if (PN.valid()) {
+        bl::RegeneratedPath Path = PN.regenerate(Record.PathSum);
+        if (Path.StartsAfterBackedge)
+          Blocks += "(loop) ";
+        for (size_t N = 0; N != Path.Nodes.size(); ++N) {
+          if (N)
+            Blocks += " ";
+          Blocks += G.block(Path.Nodes[N])->name();
+        }
+        if (Path.EndsWithBackedge)
+          Blocks += " (back edge)";
+      }
     }
-    Table.addRow({F.name(), std::to_string(Record.PathSum),
+    std::vector<std::string> Cells{F.name()};
+    if (KMode)
+      Cells.push_back(std::to_string(KIters));
+    Cells.insert(Cells.end(),
+                 {std::to_string(Record.PathSum),
                   std::to_string(Record.Freq), std::to_string(Record.Insts),
                   std::to_string(Record.Misses), Blocks});
+    Table.addRow(std::move(Cells));
   }
   std::printf("%s\n", Table.render().c_str());
 }
@@ -418,6 +472,9 @@ void reportCct(const prof::RunOutcome &Run, const Options &Opts) {
 
 int main(int Argc, char **Argv) {
   Options Opts;
+  // $PP_BL_K supplies the default k (strictly parsed — a malformed value
+  // warns and falls back to classic); an explicit --k= wins.
+  Opts.K = prof::defaultKFromEnv("pp");
   if (!parseArgs(Argc, Argv, Opts))
     return 1;
   if (Opts.ListWorkloads) {
@@ -439,10 +496,28 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  if (Opts.K > 1) {
+    if (Opts.M != prof::Mode::Flow && Opts.M != prof::Mode::FlowHw) {
+      std::fprintf(stderr,
+                   "pp: --k=%u needs --mode=flow or --mode=flowhw "
+                   "(got %s)\n",
+                   Opts.K, prof::modeName(Opts.M));
+      return 1;
+    }
+    if (Opts.Acq.Kind != prof::Acquisition::Exact) {
+      std::fprintf(stderr,
+                   "pp: --k=%u needs --acquisition=exact (sampling "
+                   "reconstructs single-iteration paths only)\n",
+                   Opts.K);
+      return 1;
+    }
+  }
+
   prof::SessionOptions Session;
   Session.Config.M = Opts.M;
   Session.Config.Pic0 = Opts.Pic0;
   Session.Config.Pic1 = Opts.Pic1;
+  Session.Config.K = Opts.K;
   Session.Acq = Opts.Acq;
   if (!Opts.SignalSpec.empty()) {
     size_t Colon = Opts.SignalSpec.find(':');
@@ -484,7 +559,10 @@ int main(int Argc, char **Argv) {
   prof::SessionOptions BaseSession = Session;
   BaseSession.Config.M = prof::Mode::None;
   // The overhead baseline is always an exact uninstrumented run — the
-  // thing both acquisitions are measured against.
+  // thing both acquisitions are measured against. It is also always
+  // classic k=1: an uninstrumented run has no window state, and the
+  // baseline fingerprint must stay shared across k values.
+  BaseSession.Config.K = 1;
   BaseSession.Acq = prof::AcquisitionOptions();
   driver::Driver &D = driver::defaultDriver();
   if (!Opts.ProfileOutDir.empty())
@@ -520,6 +598,28 @@ int main(int Argc, char **Argv) {
                 Opts.Acq.Pic, (unsigned long long)Opts.Acq.Period,
                 (unsigned long long)Run->Acq.Traps,
                 (unsigned long long)Run->Acq.Samples);
+  if (Opts.K > 1) {
+    // Name the functions the fallback ladder dropped below the requested
+    // k (their k-path space would have overflowed 2^62 ids).
+    std::string Laddered;
+    for (size_t Id = 0; Id != Run->Instr.Functions.size(); ++Id) {
+      const prof::FunctionInstrInfo &Info = Run->Instr.Functions[Id];
+      if (!Info.HasPathProfile || Info.KIters >= Opts.K)
+        continue;
+      if (!Laddered.empty())
+        Laddered += ", ";
+      Laddered += formatString("%s k=%u", M->function(Id)->name().c_str(),
+                               Info.KIters);
+    }
+    if (Laddered.empty())
+      std::printf("k-iteration paths: k=%u on every instrumented "
+                  "function\n",
+                  Opts.K);
+    else
+      std::printf("k-iteration paths: requested k=%u; overflow fallback: "
+                  "%s\n",
+                  Opts.K, Laddered.c_str());
+  }
   std::printf("\n");
   reportSummary(*Base, *Run);
 
